@@ -1,0 +1,88 @@
+"""Ablation A1: Algorithm Polar_Grid against the baseline heuristics.
+
+Not a paper figure — the paper evaluates only its own algorithm — but
+the claim implicit in its related-work discussion is checkable: delay-
+oblivious joins (bandwidth-latency, capped star, random) degrade with
+group size while the polar grid converges; and the O(n^2) greedy compact
+tree, though excellent on radius, is priced out of large groups, which
+is the scalability argument the paper leads with.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import (
+    bandwidth_latency_tree,
+    capped_star,
+    compact_tree,
+    random_feasible_tree,
+)
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import unit_disk
+
+N_QUALITY = 4_000
+DEGREE = 6
+
+BUILDERS = {
+    "polar-grid": lambda pts: build_polar_grid_tree(pts, 0, DEGREE).tree,
+    "compact-tree": lambda pts: compact_tree(pts, 0, DEGREE),
+    "bandwidth-latency": lambda pts: bandwidth_latency_tree(
+        pts, 0, DEGREE, seed=0
+    ),
+    "capped-star": lambda pts: capped_star(pts, 0, DEGREE),
+    "random": lambda pts: random_feasible_tree(pts, 0, DEGREE, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+def test_baseline_build_time(benchmark, name):
+    points = unit_disk(N_QUALITY, seed=10)
+    tree = benchmark(BUILDERS[name], points)
+    tree.validate(max_out_degree=DEGREE)
+    benchmark.extra_info.update(
+        algorithm=name, n=N_QUALITY, radius=round(tree.radius(), 4)
+    )
+
+
+def test_quality_ordering():
+    """On a 4k-node disk: {polar grid, compact tree} beat the delay-
+    oblivious baselines by a wide margin."""
+    points = unit_disk(N_QUALITY, seed=11)
+    radii = {name: fn(points).radius() for name, fn in BUILDERS.items()}
+    assert radii["polar-grid"] < radii["capped-star"]
+    assert radii["polar-grid"] < radii["random"] / 2
+    assert radii["compact-tree"] < radii["capped-star"]
+    # The asymptotically-optimal tree is within 25% of the strong greedy.
+    assert radii["polar-grid"] < radii["compact-tree"] * 1.25
+
+
+def test_polar_grid_converges_baselines_do_not():
+    """Growing n: polar-grid's radius falls toward 1; the capped star's
+    does not improve."""
+    small, large = 1_000, 30_000
+    grid_small = build_polar_grid_tree(unit_disk(small, seed=12), 0, DEGREE)
+    grid_large = build_polar_grid_tree(unit_disk(large, seed=12), 0, DEGREE)
+    star_small = capped_star(unit_disk(small, seed=12), 0, DEGREE)
+    star_large = capped_star(unit_disk(large, seed=12), 0, DEGREE)
+    assert grid_large.radius < grid_small.radius
+    assert star_large.radius() > grid_large.radius * 1.3
+
+
+def test_scalability_crossover():
+    """The paper's real pitch: near-linear build time. The greedy
+    compact tree's per-node cost grows ~linearly in n (it is O(n^2)
+    total); the polar grid's stays flat."""
+    def per_node_seconds(builder, n):
+        points = unit_disk(n, seed=13)
+        t0 = time.perf_counter()
+        builder(points)
+        return (time.perf_counter() - t0) / n
+
+    grid_small = per_node_seconds(BUILDERS["polar-grid"], 2_000)
+    grid_big = per_node_seconds(BUILDERS["polar-grid"], 50_000)
+    compact_small = per_node_seconds(BUILDERS["compact-tree"], 2_000)
+    compact_big = per_node_seconds(BUILDERS["compact-tree"], 8_000)
+
+    assert grid_big < grid_small * 5  # near-linear
+    assert compact_big > compact_small * 2  # clearly super-linear

@@ -1,0 +1,81 @@
+"""Ablation A4: the minimum-diameter variant (paper's Conclusion).
+
+The paper claims its algorithm, rooted at an artificial node near the
+cloud centre, also solves the minimum-diameter degree-limited problem:
+asymptotically optimally in a sphere, within a factor of 2 in general
+convex regions. We measure convergence of the diameter toward the
+cloud's own diameter (the unbeatable lower bound) and the diameter/
+radius relationship.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.core.diameter import build_min_diameter_tree, tree_diameter
+from repro.workloads.generators import unit_disk
+
+_SCALE = current_scale()
+SIZES = tuple(s for s in _SCALE["fig_sizes"] if s <= 100_000)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_min_diameter_build(benchmark, n):
+    points = unit_disk(n, seed=90)
+
+    def build():
+        return build_min_diameter_tree(points, 6)
+
+    result, diameter = benchmark(build)
+    result.tree.validate(max_out_degree=6)
+    # Sampled farthest-pair lower bound on the optimal diameter.
+    sample = points[:: max(1, n // 64)]
+    spread = float(
+        np.sqrt(
+            ((sample[:, None, :] - sample[None, :, :]) ** 2).sum(axis=2)
+        ).max()
+    )
+    benchmark.extra_info.update(
+        n=n,
+        diameter=round(diameter, 4),
+        cloud_spread=round(spread, 4),
+        ratio=round(diameter / spread, 4),
+    )
+    assert diameter >= spread - 1e-9
+
+
+def test_diameter_converges_to_cloud_diameter():
+    """diameter/OPT -> 1 with n (sphere case of the conclusion)."""
+    ratios = []
+    for n in (500, 5_000, 50_000):
+        points = unit_disk(n, seed=91)
+        _result, diameter = build_min_diameter_tree(points, 6)
+        # Farthest-pair lower bound over a sample (exact enough here).
+        sample = points[:: max(1, n // 128)]
+        spread = float(
+            np.sqrt(
+                ((sample[:, None, :] - sample[None, :, :]) ** 2).sum(axis=2)
+            ).max()
+        )
+        ratios.append(diameter / spread)
+    assert ratios[2] < ratios[1] < ratios[0]
+    assert ratios[2] < 1.25
+
+
+def test_diameter_between_radius_and_twice_radius():
+    points = unit_disk(20_000, seed=92)
+    result, diameter = build_min_diameter_tree(points, 6)
+    radius = result.tree.radius()
+    assert radius <= diameter <= 2 * radius
+
+
+def test_central_root_beats_boundary_root():
+    """The artificial-root choice is the whole trick: rooting at a
+    boundary node roughly doubles the diameter."""
+    from repro.core.builder import build_polar_grid_tree
+
+    points = unit_disk(10_000, seed=93)
+    _result, central = build_min_diameter_tree(points, 6)
+    boundary = int(np.argmax(np.linalg.norm(points, axis=1)))
+    edge_tree = build_polar_grid_tree(points, boundary, 6).tree
+    assert tree_diameter(edge_tree) > central * 1.3

@@ -1,0 +1,102 @@
+"""Ablation A3: the algorithm combined with coordinate embeddings.
+
+The paper's future work: "Since for all mapping methods, there is
+usually a discrepancy between the Euclidean distances and the actual
+transmission delays, it is interesting to see how well the algorithm
+performs in combination with the mapping."
+
+We measure exactly that: trees built on GNP/Vivaldi coordinates from
+noisy or graph-structured delay matrices, scored on the TRUE delays,
+as a function of embedding distortion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.embedding import (
+    embedding_distortion,
+    gnp_embedding,
+    noisy_euclidean_delays,
+    transit_stub_delays,
+    vivaldi_embedding,
+)
+from repro.workloads.generators import unit_disk
+
+N_HOSTS = 150
+
+
+def true_radius(tree, delays) -> float:
+    parent = tree.parent
+    worst = 0.0
+    for node in range(tree.n):
+        total, walk = 0.0, node
+        while walk != tree.root:
+            total += delays[walk, int(parent[walk])]
+            walk = int(parent[walk])
+        worst = max(worst, total)
+    return worst
+
+
+@pytest.mark.parametrize("embedder", ["gnp", "vivaldi"])
+def test_embedding_time(benchmark, embedder):
+    points = unit_disk(N_HOSTS, seed=40)
+    delays = noisy_euclidean_delays(points, noise=0.1, seed=40)
+    if embedder == "gnp":
+        coords = benchmark(gnp_embedding, delays, 2, 9, 40)
+    else:
+        coords = benchmark(vivaldi_embedding, delays, 2, 60, 0.25, 40)
+    err = embedding_distortion(delays, coords)
+    benchmark.extra_info.update(
+        embedder=embedder,
+        median_rel_error=round(err["median_ratio_error"], 4),
+    )
+
+
+@pytest.mark.parametrize("noise", [0.0, 0.1, 0.3])
+def test_tree_quality_vs_embedding_noise(benchmark, noise):
+    """The answer to the paper's open question, quantified: true-delay
+    radius degrades gracefully with embedding distortion."""
+    points = unit_disk(N_HOSTS, seed=41)
+    delays = noisy_euclidean_delays(points, noise=noise, seed=41)
+    coords = gnp_embedding(delays, dim=2, n_landmarks=9, seed=41)
+
+    result = benchmark(build_polar_grid_tree, coords, 0, 6)
+    measured = true_radius(result.tree, delays)
+    direct_max = float(delays[0].max())
+    benchmark.extra_info.update(
+        noise=noise,
+        embedded_radius=round(result.radius, 4),
+        true_radius=round(measured, 4),
+        inflation_vs_direct=round(measured / direct_max, 4),
+    )
+    # Even at 30% noise the tree's true worst delay stays within a small
+    # factor of the unavoidable direct delay to the farthest host.
+    assert measured < 5.0 * direct_max
+
+
+def test_noise_monotonically_hurts():
+    points = unit_disk(N_HOSTS, seed=42)
+    inflations = []
+    for noise in (0.0, 0.4):
+        delays = noisy_euclidean_delays(points, noise=noise, seed=42)
+        coords = gnp_embedding(delays, dim=2, n_landmarks=9, seed=42)
+        tree = build_polar_grid_tree(coords, 0, 6).tree
+        inflations.append(true_radius(tree, delays) / float(delays[0].max()))
+    assert inflations[1] > inflations[0]
+
+
+def test_transit_stub_pipeline(benchmark):
+    """Graph-structured (non-metric-embeddable) delays: the hard case."""
+    delays = transit_stub_delays(N_HOSTS, n_transit=8, seed=43)
+    coords = gnp_embedding(delays, dim=2, n_landmarks=9, seed=43)
+
+    result = benchmark(build_polar_grid_tree, coords, 0, 6)
+    measured = true_radius(result.tree, delays)
+    err = embedding_distortion(delays, coords)
+    benchmark.extra_info.update(
+        median_rel_error=round(err["median_ratio_error"], 4),
+        true_radius_ms=round(measured, 2),
+        direct_max_ms=round(float(delays[0].max()), 2),
+    )
+    assert measured < 8.0 * float(delays[0].max())

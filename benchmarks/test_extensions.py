@@ -1,0 +1,91 @@
+"""Ablation A6: extension studies — degree sweep, regions, quadtree.
+
+Quantifies three questions the paper raises but leaves unmeasured: how
+much fan-out beyond the construction threshold buys (nothing), how the
+algorithm behaves on every Section IV-C region class, and how the
+square-grid bisection the paper "could have described" compares to the
+polar one it did describe.
+"""
+
+import pytest
+
+from repro.core.builder import build_bisection_tree
+from repro.core.quadtree import build_quadtree_tree
+from repro.experiments.extensions import (
+    algorithm_showdown,
+    degree_sweep,
+    region_study,
+)
+from repro.workloads.generators import rectangle_points, unit_disk
+
+N = 5_000
+
+
+def test_degree_sweep_rows(benchmark):
+    rows = benchmark.pedantic(
+        degree_sweep,
+        kwargs=dict(n=N, degrees=(2, 4, 6, 12), trials=3, seed=40),
+        rounds=1,
+        iterations=1,
+    )
+    by_degree = {r["degree"]: r for r in rows}
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    # The two construction regimes, and saturation beyond 6.
+    assert by_degree[2]["delay"] == pytest.approx(by_degree[4]["delay"])
+    assert by_degree[6]["delay"] < by_degree[2]["delay"]
+    assert by_degree[12]["delay"] == pytest.approx(by_degree[6]["delay"])
+
+
+def test_region_study_rows(benchmark):
+    rows = benchmark.pedantic(
+        region_study,
+        kwargs=dict(n=N, trials=3, seed=41),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    for row in rows:
+        if "non-convex" in row["workload"]:
+            assert 1.5 < row["delay_over_bound"] < 3.5
+        else:
+            assert row["delay_over_bound"] < 1.4
+
+
+def test_showdown_rows(benchmark):
+    rows = benchmark.pedantic(
+        algorithm_showdown, kwargs=dict(n=N, seed=42), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]
+    by_name = {r["algorithm"]: r for r in rows}
+    assert by_name["polar-grid deg6"]["vs_bound"] < 1.3
+    assert by_name["random deg6"]["vs_bound"] > 3.0
+
+
+@pytest.mark.parametrize("variant", ["quadtree", "polar-bisection"])
+def test_bisection_variant_build(benchmark, variant):
+    points = unit_disk(N, seed=43)
+    if variant == "quadtree":
+        result = benchmark(build_quadtree_tree, points, 0, 4)
+    else:
+        result = benchmark(build_bisection_tree, points, 0, 4)
+    result.tree.validate(max_out_degree=4)
+    benchmark.extra_info.update(
+        variant=variant, radius=round(result.radius, 4)
+    )
+
+
+def test_quadtree_wins_on_boxes():
+    """On box-shaped clouds the square split matches the geometry."""
+    points = rectangle_points(N, upper=(1.0, 1.0), seed=44)
+    quad = build_quadtree_tree(points, 0, 4).radius
+    polar = build_bisection_tree(points, 0, 4).radius
+    assert quad < polar

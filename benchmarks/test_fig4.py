@@ -1,0 +1,77 @@
+"""Benchmark: Figure 4 — average max delay vs eq.(7) bound vs core delay.
+
+Regenerates the three out-degree-6 series of Figure 4 and asserts their
+shape: the bound dominates and tightens with n, delay and core both fall
+toward 1, and the delay-core gap persists (the paper explains it by the
+outermost ring's constant width).
+"""
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.experiments.figures import figure4, sweep
+
+_SCALE = current_scale()
+
+
+@pytest.fixture(scope="module")
+def fig4_data():
+    results = sweep(
+        sizes=_SCALE["fig_sizes"],
+        trials=min(_SCALE["trials"], 5),
+        degrees=(6,),
+        seed=4,
+    )
+    return figure4(results=results)
+
+
+def test_fig4_series(benchmark, fig4_data):
+    """Times one representative build; carries the figure series in
+    extra_info, and renders the ASCII figure."""
+    from repro.core.builder import build_polar_grid_tree
+    from repro.workloads.generators import unit_disk
+
+    mid_n = _SCALE["fig_sizes"][len(_SCALE["fig_sizes"]) // 2]
+    points = unit_disk(mid_n, seed=4)
+    benchmark(build_polar_grid_tree, points, 0, 6)
+
+    fig = fig4_data
+    benchmark.extra_info["series"] = {
+        label: [round(v, 4) for v in values]
+        for label, values in fig.series.items()
+    }
+    print()
+    print(fig.render())
+
+
+def test_fig4_bound_dominates_everywhere(fig4_data):
+    fig = fig4_data
+    for bound, delay, core in zip(
+        fig.series["bound eq.(7)"],
+        fig.series["max delay"],
+        fig.series["core delay"],
+    ):
+        assert bound > delay > core
+
+
+def test_fig4_bound_tightens(fig4_data):
+    """The bound over-estimates badly at small n and improves with n —
+    the paper's main commentary on this figure."""
+    fig = fig4_data
+    gap = [
+        b - d
+        for b, d in zip(fig.series["bound eq.(7)"], fig.series["max delay"])
+    ]
+    assert gap[0] > 3.0  # wild at n=100
+    assert gap[-1] < 1.0  # tight at the largest size
+    assert all(a > b for a, b in zip(gap, gap[1:]))
+
+
+def test_fig4_delay_core_gap_persists(fig4_data):
+    """Delay minus core does not vanish (outermost-ring effect)."""
+    fig = fig4_data
+    gaps = [
+        d - c
+        for d, c in zip(fig.series["max delay"], fig.series["core delay"])
+    ]
+    assert all(g > 0.03 for g in gaps)

@@ -1,0 +1,71 @@
+"""Benchmark: Figure 5 — average max delay, out-degree 2 vs out-degree 6.
+
+The paper's claims for this figure: the degree-2 overhead is roughly
+twice the degree-6 overhead, and both curves converge to the lower bound
+of 1 as n grows — "the degree of each particular node becomes less and
+less important".
+"""
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.experiments.figures import figure5, sweep
+
+_SCALE = current_scale()
+
+
+@pytest.fixture(scope="module")
+def fig5_data():
+    results = sweep(
+        sizes=_SCALE["fig_sizes"],
+        trials=min(_SCALE["trials"], 5),
+        degrees=(6, 2),
+        seed=5,
+    )
+    return figure5(results=results)
+
+
+def test_fig5_series(benchmark, fig5_data):
+    from repro.core.builder import build_polar_grid_tree
+    from repro.workloads.generators import unit_disk
+
+    mid_n = _SCALE["fig_sizes"][len(_SCALE["fig_sizes"]) // 2]
+    points = unit_disk(mid_n, seed=5)
+    benchmark(build_polar_grid_tree, points, 0, 2)
+
+    fig = fig5_data
+    benchmark.extra_info["series"] = {
+        label: [round(v, 4) for v in values]
+        for label, values in fig.series.items()
+    }
+    print()
+    print(fig.render())
+
+
+def test_fig5_degree2_above_degree6(fig5_data):
+    for d2, d6 in zip(
+        fig5_data.series["out-degree 2"], fig5_data.series["out-degree 6"]
+    ):
+        assert d2 > d6
+
+
+def test_fig5_overhead_ratio_about_two(fig5_data):
+    """Averaged across sizes, overhead(deg2)/overhead(deg6) ~ 2."""
+    ratios = [
+        (d2 - 1.0) / (d6 - 1.0)
+        for d2, d6 in zip(
+            fig5_data.series["out-degree 2"], fig5_data.series["out-degree 6"]
+        )
+        if d6 > 1.0
+    ]
+    mean_ratio = sum(ratios) / len(ratios)
+    assert 1.3 < mean_ratio < 3.5, ratios
+
+
+def test_fig5_both_converge(fig5_data):
+    d2 = fig5_data.series["out-degree 2"]
+    d6 = fig5_data.series["out-degree 6"]
+    assert d2[-1] < d2[0] / 1.5
+    assert d6[-1] < d6[0] / 1.4
+    assert d2[-1] < 1.2
+    assert d6[-1] < 1.1

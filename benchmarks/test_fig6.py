@@ -1,0 +1,65 @@
+"""Benchmark: Figure 6 — average ring count k vs n.
+
+The paper reads the near-straight line on the log-n axis as logarithmic
+growth, consistent with eq. (5): ``k >= (1/2) log2 n`` with high
+probability. We assert the slope: about one extra ring per doubling-of-
+area decade, i.e. k grows ~ log2(n)/2 .. log2(n).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.core.bounds import rings_lower_bound
+from repro.experiments.figures import figure6, sweep
+
+_SCALE = current_scale()
+
+
+@pytest.fixture(scope="module")
+def fig6_data():
+    results = sweep(
+        sizes=_SCALE["fig_sizes"],
+        trials=min(_SCALE["trials"], 5),
+        degrees=(6,),
+        seed=6,
+    )
+    return figure6(results=results)
+
+
+def test_fig6_series(benchmark, fig6_data):
+    from repro.core.grid import PolarGrid
+    from repro.workloads.generators import unit_disk
+
+    n = _SCALE["fig_sizes"][-1]
+    points = unit_disk(min(n, 100_000), seed=6)[1:]
+
+    # Time the k-selection itself (grid fitting), the step this figure
+    # characterises.
+    benchmark(PolarGrid.fit, points, (0.0, 0.0))
+
+    fig = fig6_data
+    benchmark.extra_info["rings"] = [round(v, 3) for v in fig.series["rings k"]]
+    print()
+    print(fig.render())
+
+
+def test_fig6_monotone_in_n(fig6_data):
+    ks = fig6_data.series["rings k"]
+    assert all(a <= b for a, b in zip(ks, ks[1:]))
+
+
+def test_fig6_logarithmic_envelope(fig6_data):
+    """k sits between the eq.(5) floor and the occupancy ceiling log2 n."""
+    for n, k in zip(fig6_data.xs, fig6_data.series["rings k"]):
+        assert k >= rings_lower_bound(n) - 1.0
+        assert k <= math.log2(n) + 1.0
+
+
+def test_fig6_slope_is_logarithmic(fig6_data):
+    """Each 10x in n adds roughly log2(10)/2 ~ 1.7 .. 3.3 rings."""
+    ks = fig6_data.series["rings k"]
+    ns = fig6_data.xs
+    per_decade = (ks[-1] - ks[0]) / (math.log10(ns[-1]) - math.log10(ns[0]))
+    assert 1.2 < per_decade < 3.6, per_decade

@@ -1,0 +1,41 @@
+"""Benchmark: Figure 7 — running time vs number of nodes.
+
+This is the figure pytest-benchmark is made for: one timed build per
+size. The paper's claim is near-linear growth ("running time increases
+almost linearly, which makes it possible to run the algorithm for
+networks with very large sizes"); we assert that time per node stays
+within a small factor across two orders of magnitude.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import unit_disk
+
+_SCALE = current_scale()
+
+
+@pytest.mark.parametrize("degree", [6, 2])
+@pytest.mark.parametrize("n", _SCALE["fig_sizes"])
+def test_fig7_build_time(benchmark, n, degree):
+    points = unit_disk(n, seed=7)
+    result = benchmark(build_polar_grid_tree, points, 0, degree)
+    benchmark.extra_info.update(
+        n=n, degree=degree, seconds_single_run=round(result.build_seconds, 4)
+    )
+
+
+def test_fig7_near_linear_growth():
+    """Per-node build time varies by < 6x from 1k to 100k nodes (an
+    O(n^2) algorithm would blow past 100x)."""
+    per_node = {}
+    for n in (1_000, 10_000, 100_000):
+        points = unit_disk(n, seed=8)
+        t0 = time.perf_counter()
+        build_polar_grid_tree(points, 0, 6)
+        per_node[n] = (time.perf_counter() - t0) / n
+    ratio = max(per_node.values()) / min(per_node.values())
+    assert ratio < 6.0, per_node

@@ -1,0 +1,74 @@
+"""Benchmark: Figure 8 — average max delay in the three-dimensional
+unit sphere, out-degree 10 vs out-degree 2.
+
+The paper's claims: both variants converge to the lower bound of 1; the
+gap between them narrows with n; and 3-D delays exceed 2-D delays at
+equal n (sparser points in higher dimension).
+"""
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.experiments.figures import figure8, sweep
+from repro.experiments.runner import aggregate, run_trials
+
+_SCALE = current_scale()
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    results = sweep(
+        sizes=_SCALE["fig8_sizes"],
+        trials=min(_SCALE["trials"], 5),
+        degrees=(10, 2),
+        dim=3,
+        seed=8,
+    )
+    return figure8(results=results)
+
+
+def test_fig8_series(benchmark, fig8_data):
+    from repro.core.builder import build_polar_grid_tree
+    from repro.workloads.generators import unit_ball
+
+    mid_n = _SCALE["fig8_sizes"][len(_SCALE["fig8_sizes"]) // 2]
+    points = unit_ball(mid_n, dim=3, seed=8)
+    result = benchmark(build_polar_grid_tree, points, 0, 10)
+    result.tree.validate(max_out_degree=10)
+
+    fig = fig8_data
+    benchmark.extra_info["series"] = {
+        label: [round(v, 4) for v in values]
+        for label, values in fig.series.items()
+    }
+    print()
+    print(fig.render())
+
+
+def test_fig8_degree2_above_degree10(fig8_data):
+    for d2, d10 in zip(
+        fig8_data.series["out-degree 2"], fig8_data.series["out-degree 10"]
+    ):
+        assert d2 > d10
+
+
+def test_fig8_gap_narrows(fig8_data):
+    d2 = fig8_data.series["out-degree 2"]
+    d10 = fig8_data.series["out-degree 10"]
+    assert (d2[-1] - d10[-1]) < (d2[0] - d10[0])
+
+
+def test_fig8_both_converge(fig8_data):
+    d2 = fig8_data.series["out-degree 2"]
+    d10 = fig8_data.series["out-degree 10"]
+    assert d2[-1] < d2[0]
+    assert d10[-1] < d10[0]
+
+
+def test_fig8_3d_slower_than_2d():
+    """At equal n, 3-D delay exceeds 2-D delay (paper's closing remark
+    on this figure)."""
+    n = 5_000
+    two_d = aggregate(run_trials(n, 6, trials=3, dim=2, seed=9)).delay
+    three_d = aggregate(run_trials(n, 10, trials=3, dim=3, seed=9)).delay
+    assert three_d > two_d

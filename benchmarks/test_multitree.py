@@ -1,0 +1,66 @@
+"""Ablation A8: striped multi-trees and heterogeneous populations.
+
+Two deployment-shaped questions: what does striping buy (load spread vs
+per-stripe delay), and what does a leaf-heavy population cost the
+backbone?
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.heterogeneous import build_heterogeneous_tree
+from repro.overlay.multitree import build_striped_trees
+from repro.workloads.generators import unit_disk
+
+N = 10_000
+
+
+@pytest.mark.parametrize("stripes", [1, 2, 3])
+def test_striped_build(benchmark, stripes):
+    points = unit_disk(N, seed=60)
+    budget = 2 * stripes  # keep per-stripe fan-out constant at 2
+    multi = benchmark(build_striped_trees, points, 0, budget, stripes)
+    multi.validate(total_budget=budget)
+    stats = multi.load_stats()
+    benchmark.extra_info.update(
+        stripes=stripes,
+        completion_radius=round(multi.completion_radius(), 4),
+        forwarding_fraction=round(stats["forwarding_fraction"], 4),
+    )
+
+
+def test_striping_spreads_load():
+    points = unit_disk(N, seed=61)
+    single = build_polar_grid_tree(points, 0, 4).tree
+    single_frac = np.count_nonzero(single.out_degrees()[1:] > 0) / (N - 1)
+    multi = build_striped_trees(points, 0, 4, 2)
+    assert multi.load_stats()["forwarding_fraction"] > single_frac + 0.05
+    # And per-stripe delay stays in the binary construction's ballpark.
+    assert max(multi.stripe_radii()) < 1.35 * single.radius()
+
+
+@pytest.mark.parametrize("leaf_fraction", [0.0, 0.3, 0.6])
+def test_heterogeneous_build(benchmark, leaf_fraction):
+    rng = np.random.default_rng(62)
+    points = unit_disk(N, seed=62)
+    budgets = np.where(rng.random(N) < leaf_fraction, 0, 6).astype(np.int64)
+    budgets[0] = 6
+    result = benchmark(build_heterogeneous_tree, points, budgets)
+    degrees = result.tree.out_degrees()
+    assert np.all(degrees <= budgets)
+    benchmark.extra_info.update(
+        leaf_fraction=leaf_fraction, radius=round(result.radius, 4)
+    )
+
+
+def test_leaf_fraction_costs_bounded_delay():
+    """Even with 60% freeloaders the radius stays close to the all-
+    forwarders binary tree (leaves add one greedy hop)."""
+    rng = np.random.default_rng(63)
+    points = unit_disk(N, seed=63)
+    budgets = np.where(rng.random(N) < 0.6, 0, 6).astype(np.int64)
+    budgets[0] = 6
+    het = build_heterogeneous_tree(points, budgets)
+    uniform = build_polar_grid_tree(points, 0, 2)
+    assert het.radius < 1.5 * uniform.radius

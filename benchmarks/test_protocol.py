@@ -1,0 +1,79 @@
+"""Ablation A7: the price of decentralisation.
+
+Compares, on identical join sequences: the polar-grid full build
+(global, the paper's algorithm), the centralised greedy maintainer, and
+the message-level decentralised protocol — radius plus the messages per
+join that the decentralised variant pays instead of global knowledge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.protocol import DistributedJoinProtocol
+
+N = 2_000
+
+
+@pytest.fixture(scope="module")
+def join_coords():
+    rng = np.random.default_rng(50)
+    return [rng.normal(size=2) * 0.4 for _ in range(N)]
+
+
+def test_protocol_join_throughput(benchmark, join_coords):
+    proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=4)
+    for i, c in enumerate(join_coords):
+        proto.join(f"seed{i}", c)
+    rng = np.random.default_rng(51)
+    counter = [0]
+
+    def one_join():
+        counter[0] += 1
+        proto.join(f"bench{counter[0]}", rng.normal(size=2) * 0.4)
+
+    benchmark(one_join)
+    benchmark.extra_info.update(
+        group_size=proto.n,
+        mean_messages_per_join=round(proto.mean_messages_per_join(), 2),
+    )
+
+
+def test_quality_vs_centralisation(benchmark, join_coords):
+    def run():
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=4)
+        central = DynamicOverlay(
+            (0.0, 0.0), max_out_degree=4, rebuild_threshold=None
+        )
+        for i, c in enumerate(join_coords):
+            proto.join(f"m{i}", c)
+            central.join(f"m{i}", c)
+        return proto, central
+
+    proto, central = benchmark.pedantic(run, rounds=1, iterations=1)
+    points = proto.tree().points
+    grid = build_polar_grid_tree(points, 0, 4)
+
+    benchmark.extra_info.update(
+        decentralised_radius=round(proto.radius(), 4),
+        centralised_radius=round(central.radius(), 4),
+        polar_grid_radius=round(grid.radius, 4),
+        messages_per_join=round(proto.mean_messages_per_join(), 2),
+    )
+    # Local knowledge costs some delay but not unboundedly much.
+    assert proto.radius() <= 2.5 * central.radius()
+    # And it really is local: probes per join stay far below n.
+    assert proto.mean_messages_per_join() < N / 10
+
+
+def test_messages_grow_logarithmically(join_coords):
+    """Mean probes per join should grow like the tree depth, not n."""
+    small = DistributedJoinProtocol((0.0, 0.0), max_out_degree=4)
+    for i, c in enumerate(join_coords[:200]):
+        small.join(f"a{i}", c)
+    big = DistributedJoinProtocol((0.0, 0.0), max_out_degree=4)
+    for i, c in enumerate(join_coords):
+        big.join(f"b{i}", c)
+    # 10x the members, far less than 10x the probes.
+    assert big.mean_messages_per_join() < 4 * small.mean_messages_per_join()

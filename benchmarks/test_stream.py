@@ -1,0 +1,102 @@
+"""Ablation A9: stream continuity under churn, by tree shape.
+
+Degree-6 trees are shallow with few, heavily-loaded relays; degree-2
+trees are deep with many lightly-loaded relays. Which loses more
+packets under random relay failures? Deep trees put more receivers
+below any given relay on average — the shallow tree should lose less.
+Also: IP multicast vs overlay, head to head on the underlay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.embedding.gnp import gnp_embedding
+from repro.embedding.underlay import TransitStubNetwork
+from repro.overlay.stream_sim import FailureEvent, simulate_stream
+from repro.workloads.generators import unit_disk
+
+N = 1_000
+
+
+def random_relay_failures(tree, count, seed, horizon):
+    rng = np.random.default_rng(seed)
+    relays = np.flatnonzero(
+        (tree.out_degrees() > 0) & (np.arange(tree.n) != tree.root)
+    )
+    victims = rng.choice(relays, size=count, replace=False)
+    times = np.sort(rng.uniform(0.1 * horizon, 0.9 * horizon, size=count))
+    return [
+        FailureEvent(node=int(v), time=float(t))
+        for v, t in zip(victims, times)
+    ]
+
+
+@pytest.mark.parametrize("degree", [6, 2])
+def test_stream_under_churn(benchmark, degree):
+    points = unit_disk(N, seed=70)
+    tree = build_polar_grid_tree(points, 0, degree).tree
+    packets, interval = 200, 0.02
+    failures = random_relay_failures(
+        tree, 8, seed=70, horizon=packets * interval
+    )
+
+    def run():
+        return simulate_stream(
+            tree,
+            degree,
+            packets=packets,
+            packet_interval=interval,
+            failures=failures,
+            recovery_latency=0.1,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.final_tree.validate(max_out_degree=degree)
+    benchmark.extra_info.update(
+        degree=degree,
+        loss_fraction=round(report.loss_fraction(), 5),
+        failures=report.failures_applied,
+    )
+    assert report.failures_applied == 8
+    assert report.loss_fraction() < 0.25
+
+
+def test_shallow_trees_lose_less():
+    """Averaged over failure scripts, the degree-6 tree's loss fraction
+    is below the degree-2 tree's (smaller average subtree per relay)."""
+    points = unit_disk(N, seed=71)
+    losses = {}
+    for degree in (6, 2):
+        tree = build_polar_grid_tree(points, 0, degree).tree
+        fractions = []
+        for seed in range(6):
+            failures = random_relay_failures(tree, 6, seed=seed, horizon=4.0)
+            report = simulate_stream(
+                tree,
+                degree,
+                packets=200,
+                packet_interval=0.02,
+                failures=failures,
+                recovery_latency=0.1,
+            )
+            fractions.append(report.loss_fraction())
+        losses[degree] = float(np.mean(fractions))
+    assert losses[6] < losses[2]
+
+
+def test_overlay_vs_ip_multicast(benchmark):
+    """The deployability price, quantified on a transit-stub underlay."""
+    net = TransitStubNetwork.generate(120, n_transit=8, seed=72)
+    coords = gnp_embedding(net.delay_matrix(), dim=2, n_landmarks=9, seed=72)
+
+    def run():
+        tree = build_polar_grid_tree(coords, 0, 4).tree
+        return net.overlay_vs_ip_multicast(tree)
+
+    verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: round(v, 3) if isinstance(v, float) else v for k, v in verdict.items()}
+    )
+    assert 1.0 <= verdict["delay_ratio"] < 8.0
+    assert verdict["overlay_max_stress"] < 120 - 1  # better than a star

@@ -1,0 +1,81 @@
+"""Benchmark: Table I — the paper's headline experiment.
+
+Each (size, degree) cell of Table I becomes one benchmark: pytest-
+benchmark times the build (the paper's "CPU Sec" column) and the
+measured quality metrics land in ``extra_info`` next to the published
+values. Shape assertions encode what must replicate: delays fall toward
+1 with n, degree 2 costs more than degree 6, the eq.(7) bound dominates.
+
+Run::
+
+    pytest benchmarks/test_table1.py --benchmark-only
+    REPRO_BENCH_SCALE=paper pytest benchmarks/test_table1.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.core.builder import build_polar_grid_tree
+from repro.experiments.runner import aggregate, run_trials
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.workloads.generators import unit_disk
+
+_SCALE = current_scale()
+
+
+@pytest.mark.parametrize("degree", [6, 2])
+@pytest.mark.parametrize("n", _SCALE["table1_sizes"])
+def test_table1_cell(benchmark, n, degree):
+    points = unit_disk(n, seed=0)
+
+    result = benchmark(build_polar_grid_tree, points, 0, degree)
+    result.tree.validate(max_out_degree=degree)
+
+    # Quality statistics over independent trials (cheap relative to the
+    # timing loop for small n; reduced trial counts at giant n).
+    trials = _SCALE["trials"] if n <= 100_000 else 3
+    row = aggregate(run_trials(n, degree, trials=trials, seed=1))
+
+    paper = PAPER_TABLE1.get((n, degree))
+    benchmark.extra_info.update(
+        n=n,
+        degree=degree,
+        rings=row.rings,
+        core=round(row.core_delay, 4),
+        delay=round(row.delay, 4),
+        dev=round(row.delay_std, 4),
+        bound=round(row.bound, 4),
+        paper_delay=paper[2] if paper else None,
+        paper_core=paper[1] if paper else None,
+        paper_rings=paper[0] if paper else None,
+    )
+
+    # --- shape assertions (the reproduction claims) ---
+    assert row.bound > row.delay, "eq.(7) must dominate the measured delay"
+    if paper is not None:
+        # Delay within 20% of the published mean (both converge to 1).
+        assert row.delay == pytest.approx(paper[2], rel=0.20)
+        # Ring counts match the published averages within one ring.
+        assert abs(row.rings - paper[0]) <= 1.0
+
+
+def test_table1_monotone_convergence():
+    """Across sizes, the average delay decreases toward 1 (both degrees)."""
+    sizes = [s for s in _SCALE["table1_sizes"] if s <= 50_000]
+    for degree in (6, 2):
+        delays = [
+            aggregate(run_trials(n, degree, trials=5, seed=2)).delay
+            for n in sizes
+        ]
+        assert all(a > b for a, b in zip(delays, delays[1:])), (degree, delays)
+        assert delays[-1] > 1.0
+
+
+def test_table1_degree2_overhead():
+    """Degree-2 delay overhead is roughly twice the degree-6 overhead
+    (the paper's reading of Figure 5), here asserted loosely at one
+    mid-sized point."""
+    n = 10_000
+    six = aggregate(run_trials(n, 6, trials=5, seed=3)).delay - 1.0
+    two = aggregate(run_trials(n, 2, trials=5, seed=3)).delay - 1.0
+    assert 1.2 * six < two < 4.0 * six

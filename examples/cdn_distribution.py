@@ -1,0 +1,114 @@
+"""CDN flash-update distribution: the full pipeline, measurements first.
+
+Scenario: a content provider must push an urgent update from its origin
+to a few hundred edge servers using only server-to-server unicast, each
+server forwarding to at most 4 others (uplink budget). The paper's
+pipeline is:
+
+1. measure pairwise delays            -> simulated transit-stub Internet
+2. embed hosts into Euclidean space   -> GNP landmark embedding
+3. build the degree-bounded tree      -> Algorithm Polar_Grid
+4. disseminate                        -> event-driven simulator
+
+We score every algorithm on the TRUE delays (the transit-stub matrix),
+not the embedded estimates, and compare against the classic baselines —
+including the trade-off the paper's contribution is really about:
+the greedy compact tree is excellent at hundreds of nodes but costs
+O(n^2), while the polar grid stays near-optimal at millions of nodes in
+near-linear time.
+
+Run:  python examples/cdn_distribution.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import bandwidth_latency_tree, capped_star, compact_tree
+from repro.core.builder import build_polar_grid_tree
+from repro.embedding import (
+    embedding_distortion,
+    gnp_embedding,
+    transit_stub_delays,
+)
+from repro.workloads.generators import unit_disk
+
+N_SERVERS = 220
+FANOUT = 4  # < 6, so the grid algorithm runs its out-degree-2 variant
+
+
+def true_radius(parent: np.ndarray, root: int, delays: np.ndarray) -> float:
+    """Worst origin-to-edge delay measured on the real delay matrix."""
+    worst = 0.0
+    for node in range(parent.shape[0]):
+        total = 0.0
+        walk = node
+        while walk != root:
+            total += delays[walk, parent[walk]]
+            walk = int(parent[walk])
+        worst = max(worst, total)
+    return worst
+
+
+def main() -> None:
+    print(f"CDN update push: {N_SERVERS} servers, fan-out <= {FANOUT}\n")
+
+    # 1. "Measure" the Internet: shortest-path delays on a transit-stub
+    #    topology (our stand-in for real RTT measurements).
+    delays = transit_stub_delays(N_SERVERS, n_transit=10, seed=3)
+    print(f"measured delays: median {np.median(delays):.1f} ms, "
+          f"max {delays.max():.1f} ms")
+
+    # 2. Embed into R^2 with GNP (origin = host 0).
+    coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=3)
+    quality = embedding_distortion(delays, coords)
+    print(f"GNP embedding: median relative error "
+          f"{quality['median_ratio_error']:.2%}\n")
+
+    # Mixed uplink classes for the bandwidth-first baseline: a few fat
+    # university pipes, mostly thin ones.
+    rng = np.random.default_rng(3)
+    bandwidth = rng.choice([100.0, 10.0, 1.0], size=N_SERVERS, p=[0.1, 0.3, 0.6])
+
+    # 3+4. Build trees and score them on the TRUE delays.
+    contenders = {
+        "polar grid (paper)": build_polar_grid_tree(coords, 0, FANOUT).tree,
+        "compact tree": compact_tree(coords, 0, FANOUT),
+        "bandwidth-latency": bandwidth_latency_tree(
+            coords, 0, FANOUT, bandwidth=bandwidth, seed=3
+        ),
+        "capped star": capped_star(coords, 0, FANOUT),
+    }
+
+    print(f"{'algorithm':22} {'radius(embedded)':>17} {'radius(true ms)':>16}")
+    for name, tree in contenders.items():
+        tree.validate(max_out_degree=FANOUT)
+        embedded = tree.radius()
+        actual = true_radius(tree.parent, tree.root, delays)
+        print(f"{name:22} {embedded:17.2f} {actual:16.1f}")
+
+    print(
+        "\nAt a few hundred nodes the greedy compact tree wins on raw"
+        "\nradius — but it is O(n^2). The paper's algorithm is the one"
+        "\nthat still runs when the group has a million receivers:\n"
+    )
+
+    # The scaling act: polar grid at 200k nodes, compact tree timed at a
+    # size where O(n^2) is already visible.
+    big = unit_disk(200_000, seed=3)
+    t0 = time.perf_counter()
+    result = build_polar_grid_tree(big, 0, FANOUT)
+    t_grid = time.perf_counter() - t0
+    small = big[:4_000]
+    t0 = time.perf_counter()
+    compact_tree(small, 0, FANOUT)
+    t_compact = time.perf_counter() - t0
+    est = t_compact * (200_000 / 4_000) ** 2
+    print(f"polar grid, 200,000 nodes : {t_grid:6.2f}s "
+          f"(radius {result.radius:.3f}, lower bound ~1)")
+    print(f"compact tree, 4,000 nodes : {t_compact:6.2f}s "
+          f"-> ~{est/60:.0f} min extrapolated at 200k")
+
+
+if __name__ == "__main__":
+    main()

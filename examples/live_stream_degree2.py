@@ -1,0 +1,62 @@
+"""Live streaming with residential peers: out-degree-2 trees plus churn.
+
+Scenario: a webcast to thousands of viewers whose upload links can carry
+at most two stream copies — the paper's binary-tree case. We build the
+out-degree-2 polar-grid tree, simulate the dissemination with per-hop
+processing delay and uplink serialisation, then kill a relay mid-session
+and let the repair module reattach its orphans.
+
+Run:  python examples/live_stream_degree2.py
+"""
+
+import numpy as np
+
+from repro.overlay import Host, MulticastSession
+from repro.workloads.generators import unit_disk
+
+N_VIEWERS = 3_000
+
+
+def main() -> None:
+    # Viewer coordinates in delay space (unit disk; source at the centre,
+    # e.g. from network coordinates — see examples/cdn_distribution.py).
+    points = unit_disk(N_VIEWERS + 1, seed=11)
+    hosts = [
+        Host(
+            name="origin" if i == 0 else f"viewer-{i}",
+            coords=tuple(points[i]),
+            max_fanout=2,
+            processing_delay=0.002,  # 2 "ms" of forwarding latency
+        )
+        for i in range(N_VIEWERS + 1)
+    ]
+
+    session = MulticastSession(hosts, source="origin", algorithm="polar-grid")
+    tree = session.build()
+    metrics = session.metrics()
+    print(f"viewers             : {N_VIEWERS}")
+    print(f"max out-degree used : {metrics.max_out_degree} (budget 2)")
+    print(f"tree radius         : {metrics.radius:.4f}")
+    print(f"max depth           : {metrics.max_depth} hops")
+
+    # Replay one keyframe through the event simulator.
+    replay = session.simulate(serialization_delay=0.001)
+    print(f"last viewer receives: t = {replay.completion_time:.4f} "
+          f"(pure-distance radius {metrics.radius:.4f} + per-hop costs)")
+
+    # A relay with two children leaves mid-stream.
+    degrees = tree.out_degrees()
+    relays = np.flatnonzero(degrees == 2)
+    relay_idx = int(relays[relays != tree.root][0])
+    relay_name = session.hosts[relay_idx].name
+    print(f"\n{relay_name} (a relay with 2 children) disconnects...")
+    session.handle_departure(relay_name)
+    repaired = session.metrics()
+    print(f"repaired tree radius: {repaired.radius:.4f} "
+          f"(still out-degree <= 2: {repaired.max_out_degree <= 2})")
+    session.tree.validate(max_out_degree=2)
+    print("repaired tree passes full validation")
+
+
+if __name__ == "__main__":
+    main()

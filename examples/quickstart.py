@@ -1,0 +1,38 @@
+"""Quickstart: build a minimal-delay multicast tree in ten lines.
+
+Generates hosts uniformly in the unit disk (the paper's Section V
+workload), builds the asymptotically optimal polar-grid tree with
+out-degree 6, and prints the metrics the paper reports.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import build_polar_grid_tree, unit_disk
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+
+    # Row 0 is the source at the disk centre; rows 1.. are receivers.
+    points = unit_disk(n, seed=7)
+
+    result = build_polar_grid_tree(points, source=0, max_out_degree=6)
+    tree = result.tree
+    tree.validate(max_out_degree=6)
+
+    print(f"nodes                : {n}")
+    print(f"grid rings (k)       : {result.rings}")
+    print(f"max delay (radius)   : {tree.radius():.4f}")
+    print(f"core delay           : {result.core_delay:.4f}")
+    print(f"eq.(7) upper bound   : {result.upper_bound:.4f}")
+    print(f"max out-degree used  : {tree.max_out_degree()}")
+    print(f"build time           : {result.build_seconds:.3f}s")
+    print()
+    print("The optimal radius approaches 1 (the farthest receiver) as n")
+    print("grows; the tree's max delay should be within a few percent.")
+
+
+if __name__ == "__main__":
+    main()

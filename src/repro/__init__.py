@@ -1,0 +1,82 @@
+"""repro — Overlay Multicast Trees of Minimal Delay.
+
+A complete, production-quality reproduction of
+
+    Anton Riabov, Zhen Liu, Li Zhang.
+    "Overlay Multicast Trees of Minimal Delay". ICDCS 2004.
+
+The package builds degree-constrained spanning trees over hosts embedded in
+Euclidean space, minimising the *radius* of the tree — the longest
+source-to-receiver path, i.e. the maximum multicast delay.
+
+Top-level API
+-------------
+
+``build_polar_grid_tree``
+    Algorithm Polar_Grid (the paper's main contribution): asymptotically
+    optimal degree-constrained trees for points in a d-dimensional region.
+``build_bisection_tree``
+    The constant-factor Bisection algorithm of Section II, usable on its
+    own for arbitrary point sets.
+``MulticastTree``
+    Vectorised rooted-tree container with validity checking and
+    O(n log depth) delay evaluation.
+
+Sub-packages
+------------
+
+``repro.geometry``    points, polar transforms, regions, ring segments
+``repro.core``        trees, bisection, polar grids, builders, bounds
+``repro.baselines``   competing heuristics and an exact solver for tiny n
+``repro.embedding``   GNP / Vivaldi network-coordinate substrates
+``repro.overlay``     hosts, sessions, dissemination simulator, repair
+``repro.workloads``   seeded random point-set generators
+``repro.experiments`` harnesses reproducing Table I and Figures 4-8
+"""
+
+from repro.core.builder import (
+    BuildResult,
+    build_bisection_tree,
+    build_polar_grid_tree,
+)
+from repro.core.diameter import build_min_diameter_tree, tree_diameter
+from repro.core.io import load_tree, save_tree
+from repro.core.bounds import (
+    arc_length,
+    lemma1_probability,
+    polar_grid_upper_bound,
+    rings_lower_bound,
+    sum_of_inner_arcs,
+)
+from repro.core.tree import MulticastTree
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.host import Host
+from repro.overlay.session import MulticastSession
+from repro.workloads.generators import (
+    unit_ball,
+    unit_disk,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "DynamicOverlay",
+    "Host",
+    "MulticastSession",
+    "MulticastTree",
+    "arc_length",
+    "build_bisection_tree",
+    "build_min_diameter_tree",
+    "build_polar_grid_tree",
+    "lemma1_probability",
+    "load_tree",
+    "polar_grid_upper_bound",
+    "rings_lower_bound",
+    "save_tree",
+    "sum_of_inner_arcs",
+    "tree_diameter",
+    "unit_ball",
+    "unit_disk",
+    "__version__",
+]

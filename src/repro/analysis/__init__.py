@@ -1,0 +1,26 @@
+"""Empirical verification of the paper's formal claims.
+
+:mod:`repro.analysis.verify` turns every theorem, lemma and numbered
+equation of the paper into an executable check — Monte Carlo where the
+claim is probabilistic, exhaustive-oracle where it is combinatorial —
+and renders a pass/fail report (``python -m repro verify``).
+"""
+
+from repro.analysis.convergence import (
+    ConvergenceFit,
+    fit_power_law,
+    measure_convergence,
+)
+from repro.analysis.sensitivity import DepthSweep, sweep_grid_depth
+from repro.analysis.verify import CheckResult, VerificationReport, run_all_checks
+
+__all__ = [
+    "CheckResult",
+    "ConvergenceFit",
+    "DepthSweep",
+    "VerificationReport",
+    "fit_power_law",
+    "measure_convergence",
+    "run_all_checks",
+    "sweep_grid_depth",
+]

@@ -1,0 +1,96 @@
+"""Empirical convergence-rate estimation.
+
+The paper observes that "the algorithm converges very quickly" — faster
+than the analytic bound — but never quantifies the rate. This module
+does: fitting
+
+    delay(n) - L  ~  C * n^(-beta)
+
+on a log-log grid gives the empirical convergence exponent ``beta``.
+For context, the eq.(7) bound decays like ``Delta_0 ~ 2^(-k/2) ~
+n^(-1/4)`` (using ``k ~ log2 n / 2``), so any measured ``beta``
+meaningfully above 0.25 *is* the "faster than the theoretic bound"
+claim, made precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import aggregate, run_trials
+
+__all__ = ["ConvergenceFit", "fit_power_law", "measure_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceFit:
+    """Result of a power-law fit ``y ~ C * n^(-beta)``."""
+
+    beta: float
+    log_C: float
+    r_squared: float
+    sizes: tuple
+    values: tuple
+
+    def predict(self, n: float) -> float:
+        return float(np.exp(self.log_C) * n ** (-self.beta))
+
+
+def fit_power_law(sizes, values) -> ConvergenceFit:
+    """Least-squares fit of ``log y = log C - beta * log n``.
+
+    :param sizes: positive sample sizes.
+    :param values: positive excess values (e.g. ``delay - 1``).
+    :raises ValueError: on non-positive inputs or fewer than 3 points.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if sizes.shape != values.shape or sizes.size < 3:
+        raise ValueError("need at least 3 matching (size, value) pairs")
+    if np.any(sizes <= 0) or np.any(values <= 0):
+        raise ValueError("sizes and values must be positive for a log fit")
+    x = np.log(sizes)
+    y = np.log(values)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ConvergenceFit(
+        beta=float(-slope),
+        log_C=float(intercept),
+        r_squared=r_squared,
+        sizes=tuple(sizes.tolist()),
+        values=tuple(values.tolist()),
+    )
+
+
+def measure_convergence(
+    sizes=(500, 2_000, 8_000, 32_000),
+    max_out_degree: int = 6,
+    trials: int = 5,
+    dim: int = 2,
+    seed: int = 0,
+    limit: float = 1.0,
+) -> ConvergenceFit:
+    """Measure ``delay(n) - limit`` over a size ladder and fit the rate.
+
+    :param limit: the asymptotic delay (1.0 for the unit disk/ball).
+    :returns: the fitted :class:`ConvergenceFit`; ``beta`` is the
+        empirical convergence exponent.
+    """
+    excesses = []
+    for n in sizes:
+        row = aggregate(
+            run_trials(n, max_out_degree, trials=trials, dim=dim, seed=seed)
+        )
+        excess = row.delay - limit
+        if excess <= 0:
+            raise ValueError(
+                f"measured delay {row.delay} at n={n} is not above the "
+                f"limit {limit}; widen the trial count or lower the limit"
+            )
+        excesses.append(excess)
+    return fit_power_law(sizes, excesses)

@@ -1,0 +1,105 @@
+"""Sensitivity of the built tree to the grid depth ``k``.
+
+The algorithm picks the *largest* ``k`` whose grid satisfies the
+occupancy property. Is that actually the best ``k``? The bound says yes
+asymptotically (``S_k`` shrinks with ``k``), but at finite ``n`` a
+deeper grid means sparser cells and noisier representatives. This
+module sweeps ``k`` around the automatic choice and reports the delay
+at each depth, so the heuristic's optimality margin is a number rather
+than an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from statistics import mean
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.core_network import WiringError
+from repro.workloads.generators import unit_disk
+
+__all__ = ["DepthSweep", "sweep_grid_depth"]
+
+
+@dataclass(frozen=True)
+class DepthSweep:
+    """Delay per forced grid depth, around the automatic choice."""
+
+    n: int
+    max_out_degree: int
+    auto_k: int
+    depths: tuple
+    delays: tuple
+    infeasible: tuple  # depths that violated occupancy
+
+    def best_depth(self) -> int:
+        pairs = [
+            (delay, depth)
+            for depth, delay in zip(self.depths, self.delays)
+            if delay is not None
+        ]
+        return min(pairs)[1]
+
+    def auto_choice_regret(self) -> float:
+        """Relative delay excess of the automatic k over the best k."""
+        by_depth = dict(zip(self.depths, self.delays))
+        auto = by_depth.get(self.auto_k)
+        best = min(d for d in self.delays if d is not None)
+        if auto is None or best <= 0:
+            return 0.0
+        return auto / best - 1.0
+
+
+def sweep_grid_depth(
+    n: int = 5_000,
+    max_out_degree: int = 6,
+    span: int = 3,
+    trials: int = 5,
+    seed: int = 0,
+) -> DepthSweep:
+    """Force every depth in ``[auto_k - span, auto_k + span]``.
+
+    Depths whose grids violate occupancy on any trial are reported in
+    ``infeasible`` with a ``None`` delay (deeper-than-feasible grids
+    cannot be built at all — that *is* the finding for those depths).
+    """
+    if span < 1:
+        raise ValueError("span must be positive")
+    auto_ks = []
+    for trial in range(trials):
+        points = unit_disk(n, seed=seed + trial)
+        auto_ks.append(build_polar_grid_tree(points, 0, max_out_degree).rings)
+    auto_k = round(mean(auto_ks))
+
+    depths = tuple(
+        k for k in range(max(1, auto_k - span), auto_k + span + 1)
+    )
+    delays = []
+    infeasible = []
+    for k in depths:
+        per_trial = []
+        feasible = True
+        for trial in range(trials):
+            points = unit_disk(n, seed=seed + trial)
+            try:
+                result = build_polar_grid_tree(
+                    points, 0, max_out_degree, k=k
+                )
+            except WiringError:
+                feasible = False
+                break
+            per_trial.append(result.radius)
+        if feasible:
+            delays.append(mean(per_trial))
+        else:
+            delays.append(None)
+            infeasible.append(k)
+    return DepthSweep(
+        n=n,
+        max_out_degree=max_out_degree,
+        auto_k=auto_k,
+        depths=depths,
+        delays=tuple(delays),
+        infeasible=tuple(infeasible),
+    )

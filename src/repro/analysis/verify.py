@@ -1,0 +1,293 @@
+"""Executable checks for the paper's theorems, lemmas and equations.
+
+Each ``check_*`` function exercises one formal claim on fresh random
+instances and returns a :class:`CheckResult` carrying the measured
+quantities, so the report doubles as a numerical appendix:
+
+=============  ========================================================
+Lemma 1        empty-bucket probability <= n^a * exp(-n^(1-a))
+Lemma 2        the Lemma 1 bound <= 1/e for a <= 1/2
+Equation (1)   bisection path <= max(R-q, q-r) + 2Ra   (out-degree 4)
+Equation (2)   conservative form of the out-degree-2 path bound
+Theorem 1      bisection radius <= 5x / 9x the exhaustive optimum
+Equation (5)   built grids achieve k >= (1/2) log2 n - O(1)
+Equation (7)   built delay <= r_max + 2c*Delta_0 + S_k
+Theorem 2      delay/lower-bound ratio decreases toward 1 with n
+=============  ========================================================
+
+These are *statistical* checks of necessary consequences, not proofs —
+their value is catching implementation drift: any regression in the
+representative rule, the grid geometry or the wiring shows up here
+before it shows up in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.exact import optimal_radius
+from repro.core.bounds import (
+    bisection_constant_factor,
+    bisection_path_bound,
+    lemma1_probability,
+    lemma2_threshold,
+    polar_grid_upper_bound,
+    rings_lower_bound,
+)
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.workloads.generators import unit_disk
+
+__all__ = ["CheckResult", "VerificationReport", "run_all_checks"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one claim's verification."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """All check outcomes plus rendering."""
+
+    results: list = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def render(self) -> str:
+        width = max(len(r.claim) for r in self.results)
+        lines = ["Verification of the paper's formal claims", ""]
+        for r in self.results:
+            status = "PASS" if r.passed else "FAIL"
+            lines.append(f"  [{status}] {r.claim:<{width}}  {r.detail}")
+        lines.append("")
+        lines.append(
+            "all claims verified"
+            if self.all_passed
+            else "SOME CLAIMS FAILED — the implementation has drifted"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# individual checks
+# ----------------------------------------------------------------------
+
+
+def check_lemma1(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Monte Carlo empty-bucket probability against the Lemma 1 bound."""
+    trials = 400 if fast else 2_000
+    worst_margin = np.inf
+    detail_parts = []
+    for n, alpha in ((64, 0.5), (256, 0.45), (1024, 0.4)):
+        buckets = int(round(n**alpha))
+        empties = 0
+        for _ in range(trials):
+            counts = np.bincount(
+                rng.integers(0, buckets, size=n), minlength=buckets
+            )
+            empties += int(np.any(counts == 0))
+        empirical = empties / trials
+        bound = lemma1_probability(n, alpha)
+        worst_margin = min(worst_margin, bound - empirical)
+        detail_parts.append(f"n={n}: {empirical:.3f}<={bound:.3f}")
+    # Allow tiny Monte Carlo noise on top of the bound.
+    passed = worst_margin > -0.02
+    return CheckResult("Lemma 1 (empty buckets)", passed, "; ".join(detail_parts))
+
+
+def check_lemma2() -> CheckResult:
+    """Scan the bound over a wide n range for alpha <= 1/2."""
+    threshold = lemma2_threshold()
+    worst = 0.0
+    for alpha in (0.1, 0.25, 0.4, 0.5):
+        for n in np.unique(np.geomspace(1, 1e6, 60).astype(np.int64)):
+            worst = max(worst, lemma1_probability(int(n), alpha))
+    passed = worst <= threshold + 1e-12
+    return CheckResult(
+        "Lemma 2 (bound <= 1/e for a<=1/2)",
+        passed,
+        f"max over scan {worst:.4f} <= {threshold:.4f}",
+    )
+
+
+def _segment_instance(rng: np.random.Generator, n: int):
+    """Random points in a ring segment satisfying Section II's set-up."""
+    r_lo, r_hi = 0.65, 1.0
+    span = 0.12 * 2 * np.pi  # radians
+    radius = np.sqrt(rng.uniform(r_lo**2, r_hi**2, n))
+    theta = rng.uniform(0.0, span, n)
+    points = np.stack(
+        [radius * np.cos(theta), radius * np.sin(theta)], axis=1
+    )
+    return points, r_lo, r_hi, span, radius, theta
+
+
+def check_equation1(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Paths of the degree-4 bisection against eq. (1)."""
+    from repro.core.bisection import bisection_tree_2d
+    from repro.core.tree import MulticastTree
+
+    trials = 30 if fast else 150
+    worst_ratio = 0.0
+    for _ in range(trials):
+        n = int(rng.integers(2, 120))
+        points, r_lo, r_hi, span, radius, theta = _segment_instance(rng, n)
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[0] = 0
+        bisection_tree_2d(
+            radius.tolist(),
+            (theta / (2 * np.pi)).tolist(),
+            list(range(1, n)),
+            0,
+            (r_lo - 1e-12, r_hi),
+            (0.0, span / (2 * np.pi)),
+            parent,
+            4,
+        )
+        tree = MulticastTree(points=points, parent=parent, root=0)
+        bound = bisection_path_bound(r_lo, r_hi, span, float(radius[0]), 4)
+        worst_ratio = max(worst_ratio, tree.radius() / bound)
+    passed = worst_ratio <= 1.0 + 1e-9
+    return CheckResult(
+        "Equation (1) (deg-4 path bound)",
+        passed,
+        f"worst path/bound ratio {worst_ratio:.3f} over {trials} segments",
+    )
+
+
+def check_equation2(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Degree-2 bisection paths against the conservative eq. (2) form."""
+    from repro.core.bisection import bisection_tree_2d
+    from repro.core.tree import MulticastTree
+
+    trials = 30 if fast else 150
+    worst_ratio = 0.0
+    for _ in range(trials):
+        n = int(rng.integers(2, 120))
+        points, r_lo, r_hi, span, radius, theta = _segment_instance(rng, n)
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[0] = 0
+        bisection_tree_2d(
+            radius.tolist(),
+            (theta / (2 * np.pi)).tolist(),
+            list(range(1, n)),
+            0,
+            (r_lo - 1e-12, r_hi),
+            (0.0, span / (2 * np.pi)),
+            parent,
+            2,
+        )
+        tree = MulticastTree(points=points, parent=parent, root=0)
+        bound = bisection_path_bound(
+            r_lo, r_hi, span, float(radius[0]), 2, conservative=True
+        )
+        worst_ratio = max(worst_ratio, tree.radius() / bound)
+    passed = worst_ratio <= 1.0 + 1e-9
+    return CheckResult(
+        "Equation (2) (deg-2 path bound, conservative)",
+        passed,
+        f"worst path/bound ratio {worst_ratio:.3f} over {trials} segments",
+    )
+
+
+def check_theorem1(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Constant factors 5 / 9 against the exhaustive optimum."""
+    trials = 6 if fast else 15
+    worst = {4: 0.0, 2: 0.0}
+    for _ in range(trials):
+        n = int(rng.integers(4, 7))
+        points = rng.uniform(-1, 1, size=(n, 2))
+        for degree in (4, 2):
+            built = build_bisection_tree(points, 0, degree).radius
+            opt = optimal_radius(points, 0, degree)
+            if opt > 0:
+                worst[degree] = max(worst[degree], built / opt)
+    ok4 = worst[4] <= bisection_constant_factor(4) + 1e-9
+    ok2 = worst[2] <= bisection_constant_factor(2) + 1e-9
+    return CheckResult(
+        "Theorem 1 (factors 5 / 9 vs optimum)",
+        ok4 and ok2,
+        f"worst deg-4 factor {worst[4]:.2f}<=5, deg-2 {worst[2]:.2f}<=9",
+    )
+
+
+def check_equation5(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Observed k against the eq.(5) floor (1/2) log2 n."""
+    sizes = (256, 2_048) if fast else (256, 2_048, 16_384)
+    margins = []
+    for n in sizes:
+        for trial in range(3):
+            seed = int(rng.integers(1 << 30))
+            result = build_polar_grid_tree(unit_disk(n, seed=seed), 0, 6)
+            margins.append(result.rings - rings_lower_bound(n))
+    worst = min(margins)
+    passed = worst >= -1.0  # the paper's "with high probability" slack
+    return CheckResult(
+        "Equation (5) (k >= (1/2) log2 n)",
+        passed,
+        f"worst observed margin {worst:+.2f} rings",
+    )
+
+
+def check_equation7(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Built delays against the eq.(7) upper bound."""
+    trials = 6 if fast else 20
+    worst_ratio = 0.0
+    for _ in range(trials):
+        n = int(rng.integers(100, 4_000))
+        seed = int(rng.integers(1 << 30))
+        points = unit_disk(n, seed=seed)
+        for degree in (6, 2):
+            result = build_polar_grid_tree(points, 0, degree)
+            bound = polar_grid_upper_bound(result.rings, degree)
+            worst_ratio = max(worst_ratio, result.radius / bound)
+    passed = worst_ratio <= 1.0 + 1e-9
+    return CheckResult(
+        "Equation (7) (grid delay bound)",
+        passed,
+        f"worst delay/bound ratio {worst_ratio:.3f} over {trials} builds",
+    )
+
+
+def check_theorem2(rng: np.random.Generator, fast: bool) -> CheckResult:
+    """Asymptotic optimality: delay/lower-bound decreasing toward 1."""
+    sizes = (300, 3_000, 30_000) if fast else (300, 3_000, 30_000, 150_000)
+    ratios = []
+    for n in sizes:
+        seed = int(rng.integers(1 << 30))
+        points = unit_disk(n, seed=seed)
+        result = build_polar_grid_tree(points, 0, 6)
+        farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+        ratios.append(result.radius / farthest)
+    decreasing = all(a > b for a, b in zip(ratios, ratios[1:]))
+    close = ratios[-1] < 1.12
+    return CheckResult(
+        "Theorem 2 (asymptotic optimality)",
+        decreasing and close,
+        "delay/OPT ratio "
+        + " -> ".join(f"{r:.3f}" for r in ratios)
+        + f" over n={list(sizes)}",
+    )
+
+
+def run_all_checks(seed: int = 0, fast: bool = False) -> VerificationReport:
+    """Run every check with a shared seeded RNG."""
+    rng = np.random.default_rng(seed)
+    report = VerificationReport()
+    report.results.append(check_lemma1(rng, fast))
+    report.results.append(check_lemma2())
+    report.results.append(check_equation1(rng, fast))
+    report.results.append(check_equation2(rng, fast))
+    report.results.append(check_theorem1(rng, fast))
+    report.results.append(check_equation5(rng, fast))
+    report.results.append(check_equation7(rng, fast))
+    report.results.append(check_theorem2(rng, fast))
+    return report

@@ -1,0 +1,35 @@
+"""Baseline tree-construction heuristics and an exact solver for tiny n.
+
+The paper's evaluation measures only Algorithm Polar_Grid itself; these
+baselines put its numbers in context and back the approximation-factor
+tests:
+
+* :func:`compact_tree` — the greedy radius-minimising heuristic in the
+  spirit of the compact-tree algorithms of Shi & Turner (the MDDL line of
+  work the paper cites as [15]-[17]);
+* :func:`bandwidth_latency_tree` — the Bandwidth-Latency join heuristic
+  of Chu et al. ([5], [19]): maximise residual fan-out first, break ties
+  by latency;
+* :func:`capped_star`, :func:`random_feasible_tree` — sanity baselines;
+* :func:`optimal_radius_tree` — exhaustive optimum for ``n <= 8``, the
+  ground truth for Theorem 1's factor checks.
+"""
+
+from repro.baselines.bandwidth_latency import bandwidth_latency_tree
+from repro.baselines.compact_tree import compact_tree
+from repro.baselines.exact import (
+    optimal_diameter,
+    optimal_radius,
+    optimal_radius_tree,
+)
+from repro.baselines.naive import capped_star, random_feasible_tree
+
+__all__ = [
+    "bandwidth_latency_tree",
+    "capped_star",
+    "compact_tree",
+    "optimal_diameter",
+    "optimal_radius",
+    "optimal_radius_tree",
+    "random_feasible_tree",
+]

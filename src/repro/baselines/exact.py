@@ -1,0 +1,203 @@
+"""Exhaustive optimum for the degree-constrained minimum-radius problem.
+
+The problem is NP-hard (Malouch et al. [11]), so this solver is a test
+oracle, not a tool: it enumerates *parent vectors* — every non-source
+node independently picks a parent — prunes on degree budgets as it goes,
+and keeps the acyclic assignment of smallest radius. The search space is
+``(n-1)^(n-1)``, so the solver is capped at tiny ``n``; the test suite
+uses it to certify the approximation factors of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+from repro.geometry.points import pairwise_distances, validate_points
+
+__all__ = ["optimal_radius", "optimal_radius_tree", "MAX_EXACT_NODES"]
+
+# 7 nodes -> 6^6 = 46,656 parent vectors; 8 -> 7^7 ~ 824k (a few seconds).
+MAX_EXACT_NODES = 8
+
+
+def _radius_if_tree(
+    parent: list[int], source: int, dist: np.ndarray
+) -> float | None:
+    """Radius of the parent vector, or ``None`` if it contains a cycle.
+
+    Resolves delays by chasing parents with memoisation; a chain longer
+    than ``n`` proves a cycle.
+    """
+    n = len(parent)
+    delay = [None] * n
+    delay[source] = 0.0
+    worst = 0.0
+    for start in range(n):
+        if delay[start] is not None:
+            continue
+        chain = []
+        node = start
+        while delay[node] is None:
+            chain.append(node)
+            node = parent[node]
+            if len(chain) > n:
+                return None
+            if node in chain:
+                return None
+        base = delay[node]
+        for hop in reversed(chain):
+            base = base + dist[parent[hop], hop]
+            delay[hop] = base
+            if base > worst:
+                worst = base
+    return worst
+
+
+def optimal_radius_tree(
+    points, source: int = 0, max_out_degree: int = 2
+) -> MulticastTree:
+    """The exact optimum tree (smallest radius) for a tiny instance.
+
+    :raises ValueError: for more than :data:`MAX_EXACT_NODES` nodes, or
+        when the instance is infeasible for the degree bound.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    validate_points(points)
+    n = points.shape[0]
+    if n > MAX_EXACT_NODES:
+        raise ValueError(
+            f"exact search is capped at {MAX_EXACT_NODES} nodes; got {n}"
+        )
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if max_out_degree < 1:
+        raise ValueError("max_out_degree must be at least 1")
+
+    dist = pairwise_distances(points)
+    receivers = [v for v in range(n) if v != source]
+    parent = [source] * n
+    degree_used = [0] * n
+    best = {"radius": np.inf, "parent": None}
+
+    def assign(position: int):
+        if position == len(receivers):
+            radius = _radius_if_tree(parent, source, dist)
+            if radius is not None and radius < best["radius"]:
+                best["radius"] = radius
+                best["parent"] = list(parent)
+            return
+        v = receivers[position]
+        for u in range(n):
+            if u == v or degree_used[u] >= max_out_degree:
+                continue
+            parent[v] = u
+            degree_used[u] += 1
+            assign(position + 1)
+            degree_used[u] -= 1
+        parent[v] = source
+
+    assign(0)
+    if best["parent"] is None:
+        raise ValueError("no feasible tree under the degree bound")
+    return MulticastTree(
+        points=points,
+        parent=np.asarray(best["parent"], dtype=np.int64),
+        root=source,
+    )
+
+
+def optimal_radius(points, source: int = 0, max_out_degree: int = 2) -> float:
+    """Radius of the exact optimum tree."""
+    return optimal_radius_tree(points, source, max_out_degree).radius()
+
+
+def _diameter_of_parent_vector(
+    parent: list[int], root: int, dist: np.ndarray
+) -> float:
+    """Exact diameter of a tiny tree: max over pairs of path length,
+    computed from per-node root paths (O(n^2) in path length sums)."""
+    n = len(parent)
+    # Node -> list of ancestors (inclusive) and prefix distances.
+    chains = []
+    for v in range(n):
+        chain = [v]
+        acc = [0.0]
+        walk = v
+        while walk != root:
+            nxt = parent[walk]
+            acc.append(acc[-1] + dist[walk, nxt])
+            walk = nxt
+            chain.append(walk)
+        chains.append((chain, acc))
+    worst = 0.0
+    for u in range(n):
+        chain_u, acc_u = chains[u]
+        pos_u = {node: i for i, node in enumerate(chain_u)}
+        for v in range(u + 1, n):
+            chain_v, acc_v = chains[v]
+            # Lowest common ancestor: first node of v's chain on u's.
+            for i, node in enumerate(chain_v):
+                if node in pos_u:
+                    length = acc_v[i] + acc_u[pos_u[node]]
+                    break
+            worst = max(worst, length)
+    return worst
+
+
+MAX_EXACT_DIAMETER_NODES = 7
+
+
+def optimal_diameter(points, max_out_degree: int = 2) -> float:
+    """Exact minimum diameter over all roots and degree-bounded trees.
+
+    The diameter objective has no designated source, so the search also
+    ranges over the root (the out-degree constraint depends on the
+    orientation). Capped at :data:`MAX_EXACT_DIAMETER_NODES` nodes.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    validate_points(points)
+    n = points.shape[0]
+    if n > MAX_EXACT_DIAMETER_NODES:
+        raise ValueError(
+            f"exact diameter search is capped at "
+            f"{MAX_EXACT_DIAMETER_NODES} nodes; got {n}"
+        )
+    if max_out_degree < 1:
+        raise ValueError("max_out_degree must be at least 1")
+    if n == 1:
+        return 0.0
+
+    dist = pairwise_distances(points)
+    best = np.inf
+
+    for root in range(n):
+        receivers = [v for v in range(n) if v != root]
+        parent = [root] * n
+        degree_used = [0] * n
+
+        def assign(position: int):
+            nonlocal best
+            if position == len(receivers):
+                radius = _radius_if_tree(parent, root, dist)
+                if radius is None or radius >= best:
+                    return  # cyclic, or even the radius already loses
+                diameter = _diameter_of_parent_vector(parent, root, dist)
+                if diameter < best:
+                    best = diameter
+                return
+            v = receivers[position]
+            for u in range(n):
+                if u == v or degree_used[u] >= max_out_degree:
+                    continue
+                parent[v] = u
+                degree_used[u] += 1
+                assign(position + 1)
+                degree_used[u] -= 1
+            parent[v] = root
+
+        assign(0)
+
+    if not np.isfinite(best):
+        raise ValueError("no feasible tree under the degree bound")
+    return float(best)

@@ -1,0 +1,103 @@
+"""Sanity baselines: capped star and random feasible trees.
+
+``capped_star`` is what a naive deployment does: the source feeds its
+``D`` nearest receivers directly and everyone else chains behind the
+already-attached node closest to them. ``random_feasible_tree`` is the
+null model — any tree satisfying the degree bound — used to show how
+much structure the real algorithms add.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+from repro.geometry.points import validate_points
+
+__all__ = ["capped_star", "random_feasible_tree"]
+
+
+def capped_star(points, source: int = 0, max_out_degree: int = 6) -> MulticastTree:
+    """Source feeds its nearest ``D`` receivers; the rest attach greedily
+    by pure distance to any attached node with spare fan-out.
+
+    Unlike :func:`repro.baselines.compact_tree.compact_tree` this ignores
+    accumulated delay entirely — it is the "connect to whoever is close"
+    strategy, and its radius suffers accordingly on large groups.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    validate_points(points)
+    n = points.shape[0]
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if max_out_degree < 1:
+        raise ValueError("max_out_degree must be at least 1")
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    if n == 1:
+        return MulticastTree(points=points, parent=parent, root=source)
+
+    dist_to_source = np.sqrt(np.sum((points - points[source]) ** 2, axis=1))
+    receivers = np.array([i for i in range(n) if i != source], dtype=np.int64)
+    by_distance = receivers[np.argsort(dist_to_source[receivers], kind="stable")]
+
+    residual = np.full(n, max_out_degree, dtype=np.int64)
+    attached = np.zeros(n, dtype=bool)
+    attached[source] = True
+
+    # The star part: the source's D nearest receivers attach directly.
+    direct = by_distance[:max_out_degree]
+    parent[direct] = source
+    residual[source] -= direct.size
+    attached[direct] = True
+
+    # The overflow part: remaining receivers (still nearest-first) hang
+    # off whichever attached node with spare budget is closest to them.
+    for v in by_distance[max_out_degree:]:
+        v = int(v)
+        candidates = np.flatnonzero(attached & (residual > 0))
+        if candidates.size == 0:
+            raise ValueError("fan-out budgets exhausted")
+        dist = np.sqrt(np.sum((points[candidates] - points[v]) ** 2, axis=1))
+        u = int(candidates[int(np.argmin(dist))])
+        parent[v] = u
+        residual[u] -= 1
+        attached[v] = True
+
+    return MulticastTree(points=points, parent=parent, root=source)
+
+
+def random_feasible_tree(
+    points, source: int = 0, max_out_degree: int = 6, seed=None
+) -> MulticastTree:
+    """Attach receivers in random order to a random attached node with
+    spare fan-out — the null model for tree quality."""
+    points = np.asarray(points, dtype=np.float64)
+    validate_points(points)
+    n = points.shape[0]
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if max_out_degree < 1:
+        raise ValueError("max_out_degree must be at least 1")
+    rng = np.random.default_rng(seed)
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    residual = np.full(n, max_out_degree, dtype=np.int64)
+    open_nodes = [source]  # attached nodes with spare fan-out
+
+    for v in rng.permutation(n):
+        v = int(v)
+        if v == source:
+            continue
+        slot = int(rng.integers(0, len(open_nodes)))
+        u = open_nodes[slot]
+        parent[v] = u
+        residual[u] -= 1
+        if residual[u] == 0:
+            open_nodes[slot] = open_nodes[-1]
+            open_nodes.pop()
+        open_nodes.append(v)
+
+    return MulticastTree(points=points, parent=parent, root=source)

@@ -1,0 +1,288 @@
+"""Command-line front end: regenerate the paper's tables and figures.
+
+Examples
+--------
+
+Reproduce Table I at laptop scale (20 trials, up to 50k nodes)::
+
+    python -m repro table1
+
+Reproduce it at the paper's protocol (200 trials, up to 5M nodes —
+hours of CPU)::
+
+    python -m repro table1 --paper
+
+Render a figure::
+
+    python -m repro fig5 --trials 10
+
+Build one tree and print its summary::
+
+    python -m repro demo --nodes 10000 --degree 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.builder import build_polar_grid_tree
+from repro.experiments import figures as figures_mod
+from repro.experiments.table1 import (
+    DEFAULT_SIZES,
+    DEFAULT_TRIALS,
+    PAPER_SIZES,
+    format_table1,
+    run_table1,
+)
+from repro.workloads.generators import unit_ball, unit_disk
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-multicast",
+        description=(
+            "Reproduce 'Overlay Multicast Trees of Minimal Delay' "
+            "(Riabov, Liu, Zhang; ICDCS 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sweep_args(p, default_trials):
+        p.add_argument(
+            "--sizes",
+            type=int,
+            nargs="+",
+            default=None,
+            help="problem sizes n (default: a laptop-scale subset)",
+        )
+        p.add_argument(
+            "--trials",
+            type=int,
+            default=default_trials,
+            help="independent trials per size",
+        )
+        p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+        p.add_argument(
+            "--paper",
+            action="store_true",
+            help="use the paper's full protocol (200 trials, up to 5M nodes)",
+        )
+
+    t1 = sub.add_parser("table1", help="reproduce Table I")
+    add_sweep_args(t1, DEFAULT_TRIALS)
+    t1.add_argument(
+        "--json", action="store_true", help="emit rows as JSON instead of text"
+    )
+
+    for fig in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+        p = sub.add_parser(fig, help=f"reproduce Figure {fig[3:]}")
+        add_sweep_args(p, figures_mod.DEFAULT_TRIALS)
+        p.add_argument(
+            "--data", action="store_true", help="print the series table too"
+        )
+        p.add_argument(
+            "--svg",
+            metavar="PATH",
+            default=None,
+            help="also write the figure as an SVG line chart",
+        )
+
+    figures = sub.add_parser(
+        "figures",
+        help="regenerate Figures 4-8 into a directory (SVG + text)",
+    )
+    add_sweep_args(figures, figures_mod.DEFAULT_TRIALS)
+    figures.add_argument(
+        "--out", default="figures", help="output directory (created)"
+    )
+
+    demo = sub.add_parser("demo", help="build one tree and print a summary")
+    demo.add_argument("--nodes", type=int, default=10_000)
+    demo.add_argument("--degree", type=int, default=6)
+    demo.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--svg",
+        metavar="PATH",
+        default=None,
+        help="render the tree to an SVG file (2-D only)",
+    )
+    demo.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="serialise the tree (.npz or .json)",
+    )
+
+    diam = sub.add_parser(
+        "diameter",
+        help="minimum-diameter variant (paper's conclusion): artificial "
+        "central root, diameter reported",
+    )
+    diam.add_argument("--nodes", type=int, default=10_000)
+    diam.add_argument("--degree", type=int, default=6)
+    diam.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
+    diam.add_argument("--seed", type=int, default=0)
+
+    verify = sub.add_parser(
+        "verify",
+        help="empirically check the paper's theorems and lemmas "
+        "(Monte Carlo + exhaustive oracles)",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--fast", action="store_true", help="smaller sample sizes"
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="extension studies: degree sweep, region study, "
+        "all-algorithm showdown",
+    )
+    compare.add_argument(
+        "study",
+        choices=("degrees", "regions", "algorithms"),
+        help="which study to run",
+    )
+    compare.add_argument("--nodes", type=int, default=5_000)
+    compare.add_argument("--trials", type=int, default=3)
+    compare.add_argument("--seed", type=int, default=0)
+
+    score = sub.add_parser(
+        "scorecard",
+        help="grade the reproduction against the published Table I",
+    )
+    score.add_argument(
+        "--sizes", type=int, nargs="+", default=[100, 1_000, 10_000]
+    )
+    score.add_argument("--trials", type=int, default=10)
+    score.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _sweep_params(args, paper_trials=200):
+    if args.paper:
+        return PAPER_SIZES, paper_trials
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_SIZES
+    return sizes, args.trials
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        sizes, trials = _sweep_params(args)
+        rows = run_table1(sizes=sizes, trials=trials, seed=args.seed)
+        if args.json:
+            print(json.dumps([row.__dict__ for row in rows], indent=2))
+        else:
+            print(f"Table I reproduction ({trials} trials per size)")
+            print(format_table1(rows))
+        return 0
+
+    if args.command in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+        sizes, trials = _sweep_params(args)
+        fig_fn = getattr(figures_mod, f"figure{args.command[3:]}")
+        fig = fig_fn(sizes=sizes, trials=trials, seed=args.seed)
+        print(fig.render())
+        if args.data:
+            print()
+            print(fig.table())
+        if args.svg:
+            from repro.experiments.svg_charts import save_figure_svg
+
+            print(f"\nwrote {save_figure_svg(fig, args.svg)}")
+        return 0
+
+    if args.command == "figures":
+        sizes, trials = _sweep_params(args)
+        written = figures_mod.save_all_figures(
+            args.out, sizes=sizes, trials=trials, seed=args.seed,
+            progress=print,
+        )
+        print(f"{len(written)} files in {args.out}")
+        return 0
+
+    if args.command == "demo":
+        if args.dim == 2:
+            points = unit_disk(args.nodes, seed=args.seed)
+        else:
+            points = unit_ball(args.nodes, dim=args.dim, seed=args.seed)
+        result = build_polar_grid_tree(points, 0, args.degree)
+        summary = result.tree.summary()
+        summary.update(
+            rings=result.rings,
+            core_delay=result.core_delay,
+            bound=result.upper_bound,
+            build_seconds=result.build_seconds,
+        )
+        for key, value in summary.items():
+            print(f"{key:>15}: {value}")
+        if args.svg:
+            from repro.viz import save_svg
+
+            path = save_svg(result.tree, args.svg)
+            print(f"{'svg':>15}: {path}")
+        if args.save:
+            from repro.core.io import save_tree
+
+            path = save_tree(result.tree, args.save)
+            print(f"{'saved':>15}: {path}")
+        return 0
+
+    if args.command == "diameter":
+        from repro.core.diameter import build_min_diameter_tree
+
+        if args.dim == 2:
+            points = unit_disk(args.nodes, seed=args.seed)
+        else:
+            points = unit_ball(args.nodes, dim=args.dim, seed=args.seed)
+        result, diameter = build_min_diameter_tree(points, args.degree)
+        print(f"{'nodes':>15}: {args.nodes}")
+        print(f"{'root index':>15}: {result.tree.root}")
+        print(f"{'diameter':>15}: {diameter:.4f}")
+        print(f"{'radius':>15}: {result.radius:.4f}")
+        print(f"{'rings':>15}: {result.rings}")
+        return 0
+
+    if args.command == "verify":
+        from repro.analysis.verify import run_all_checks
+
+        report = run_all_checks(seed=args.seed, fast=args.fast)
+        print(report.render())
+        return 0 if report.all_passed else 1
+
+    if args.command == "compare":
+        from repro.experiments import extensions
+
+        if args.study == "degrees":
+            rows = extensions.degree_sweep(
+                n=args.nodes, trials=args.trials, seed=args.seed
+            )
+        elif args.study == "regions":
+            rows = extensions.region_study(
+                n=args.nodes, trials=args.trials, seed=args.seed
+            )
+        else:
+            rows = extensions.algorithm_showdown(n=args.nodes, seed=args.seed)
+        print(extensions.format_rows(rows))
+        return 0
+
+    if args.command == "scorecard":
+        from repro.experiments.scorecard import run_scorecard
+
+        card = run_scorecard(
+            sizes=tuple(args.sizes), trials=args.trials, seed=args.seed
+        )
+        print(card.render())
+        return 0 if card.passed else 1
+
+    return 2  # unreachable: argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Core algorithms: the paper's contribution and its direct substrates.
+
+* :mod:`repro.core.tree` — rooted-tree container with vectorised delay
+  evaluation and validity checking;
+* :mod:`repro.core.bisection` — the Section II constant-factor bisection
+  algorithm (out-degree 4/2 in 2-D, ``2^d``/2 in d dimensions);
+* :mod:`repro.core.grid` — the Section III equal-area polar grid and its
+  Section IV-C annulus generalisation (2-D);
+* :mod:`repro.core.grid_nd` — the Section IV-B equal-volume grid in any
+  dimension;
+* :mod:`repro.core.core_network` — representative selection and the binary
+  core tree (Sections III-B and IV-A);
+* :mod:`repro.core.builder` — ``build_polar_grid_tree`` /
+  ``build_bisection_tree`` front doors;
+* :mod:`repro.core.bounds` — the analytic quantities of the paper
+  (``Delta_i``, ``S_k``, equations (1), (2), (7), Lemmas 1-2).
+"""
+
+from repro.core.bisection import bisection_tree_2d, bisection_tree_nd
+from repro.core.bounds import (
+    arc_length,
+    bisection_path_bound,
+    lemma1_probability,
+    polar_grid_upper_bound,
+    rings_lower_bound,
+    sum_of_inner_arcs,
+)
+from repro.core.builder import BuildResult, build_bisection_tree, build_polar_grid_tree
+from repro.core.diameter import (
+    approximate_center,
+    build_min_diameter_tree,
+    tree_diameter,
+)
+from repro.core.grid import PolarGrid
+from repro.core.grid_nd import PolarGridND
+from repro.core.heterogeneous import build_heterogeneous_tree
+from repro.core.io import load_tree, save_tree
+from repro.core.quadtree import build_quadtree_tree, quadtree_path_bound
+from repro.core.tree import MulticastTree
+
+__all__ = [
+    "BuildResult",
+    "MulticastTree",
+    "PolarGrid",
+    "PolarGridND",
+    "approximate_center",
+    "build_heterogeneous_tree",
+    "build_min_diameter_tree",
+    "build_quadtree_tree",
+    "load_tree",
+    "quadtree_path_bound",
+    "save_tree",
+    "tree_diameter",
+    "arc_length",
+    "bisection_path_bound",
+    "bisection_tree_2d",
+    "bisection_tree_nd",
+    "build_bisection_tree",
+    "build_polar_grid_tree",
+    "lemma1_probability",
+    "polar_grid_upper_bound",
+    "rings_lower_bound",
+    "sum_of_inner_arcs",
+]

@@ -1,0 +1,361 @@
+"""The Bisection algorithm of Section II — constant-factor trees in a cell.
+
+Given points inside a ring segment (2-D) or its d-dimensional analogue (a
+radial interval times a box in measure-uniform angular coordinates), the
+algorithm recursively quarters the segment, connects the local source to a
+*representative* of each non-empty sub-segment (the point whose radius is
+closest to the source's radius), and recurses with the representative as
+the sub-segment's source.
+
+Three variants live here:
+
+``full`` (2-D out-degree 4, d-dim out-degree ``2^d``)
+    one split per axis per step — the paper's Section II algorithm and its
+    Section IV-B extension;
+``relay2`` (2-D out-degree 2)
+    the paper's binary modification: the source connects two *relay*
+    points of the segment (radius closest to its own), and each relay
+    connects representatives of two of the four sub-segments;
+``binary`` (d-dim out-degree 2)
+    axis-cycling halving: each step splits the cell along one axis
+    (radius, then each angular axis in turn) and connects the two
+    sub-segment representatives directly — the natural d-dimensional
+    binary form (the paper states the 3-D binary variant exists without
+    spelling it out; see DESIGN.md).
+
+All variants are iterative (explicit work stack): recursion depth on
+degenerate inputs is linear in the number of points, which would overflow
+CPython's stack long before the 5M-node experiments.
+
+Everything here is deliberately plain Python over small index lists: the
+polar-grid pipeline calls it once per grid cell, and cells hold O(1)
+points on average, where list arithmetic beats numpy dispatch by an order
+of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.points import validate_points
+from repro.geometry.polar import TWO_PI, SphericalTransform, to_polar
+from repro.geometry.rings import RingSegment
+
+__all__ = [
+    "bisection_tree_2d",
+    "bisection_tree_nd",
+    "bounding_segment_far_center",
+]
+
+
+# ----------------------------------------------------------------------
+# d-dimensional cells
+#
+# A cell is (r_lo, r_hi, box) where box is a tuple of (lo, hi) pairs in
+# measure-uniform angular coordinates. Radius splits at the Euclidean
+# midpoint (as in the paper's Section II); angular axes split at the box
+# midpoint, which is an exact equal-measure split by construction of the
+# coordinates.
+# ----------------------------------------------------------------------
+
+
+def _pick_representative(candidates, rho, source_rho):
+    """Index (into ``candidates``) of the point with radius closest to
+    ``source_rho`` — the paper's representative rule."""
+    best = 0
+    best_gap = abs(rho[candidates[0]] - source_rho)
+    for pos in range(1, len(candidates)):
+        gap = abs(rho[candidates[pos]] - source_rho)
+        if gap < best_gap:
+            best = pos
+            best_gap = gap
+    return best
+
+
+def _partition_full(indices, rho, t_axes, r_lo, r_hi, box):
+    """Split ``indices`` into the ``2^d`` sub-cells of one full step.
+
+    Returns parallel lists ``(groups, sub_cells)`` holding only non-empty
+    sub-cells. Sub-cell bit layout: bit 0 is the radial half (1 = outer),
+    bit ``1 + axis`` is the angular half of that axis.
+    """
+    r_mid = 0.5 * (r_lo + r_hi)
+    axes = len(box)
+    mids = [0.5 * (lo + hi) for lo, hi in box]
+    buckets = {}
+    for idx in indices:
+        code = 1 if rho[idx] > r_mid else 0
+        for axis in range(axes):
+            if t_axes[axis][idx] >= mids[axis]:
+                code |= 1 << (1 + axis)
+        buckets.setdefault(code, []).append(idx)
+
+    groups = []
+    cells = []
+    for code, members in buckets.items():
+        lo_r, hi_r = (r_mid, r_hi) if code & 1 else (r_lo, r_mid)
+        sub_box = tuple(
+            (mids[axis], box[axis][1])
+            if code & (1 << (1 + axis))
+            else (box[axis][0], mids[axis])
+            for axis in range(axes)
+        )
+        groups.append(members)
+        cells.append((lo_r, hi_r, sub_box))
+    return groups, cells
+
+
+def _run_full(stack, rho, t_axes, parent):
+    """Drain a work stack of ``(source, indices, cell)`` items, full mode."""
+    while stack:
+        source, indices, (r_lo, r_hi, box) = stack.pop()
+        if not indices:
+            continue
+        if len(indices) == 1:
+            parent[indices[0]] = source
+            continue
+        groups, cells = _partition_full(indices, rho, t_axes, r_lo, r_hi, box)
+        source_rho = rho[source]
+        for members, cell in zip(groups, cells):
+            pos = _pick_representative(members, rho, source_rho)
+            rep = members.pop(pos)
+            parent[rep] = source
+            if members:
+                stack.append((rep, members, cell))
+
+
+def _run_binary_nd(stack, rho, t_axes, parent):
+    """Axis-cycling out-degree-2 mode: items carry the axis to split next.
+
+    Stack items are ``(source, indices, cell, axis)`` with ``axis`` in
+    ``0 .. d-1`` (0 = radius).
+    """
+    axes = len(t_axes)
+    num_axes = axes + 1
+    while stack:
+        source, indices, (r_lo, r_hi, box), axis = stack.pop()
+        if not indices:
+            continue
+        if len(indices) <= 2:
+            for idx in indices:
+                parent[idx] = source
+            continue
+        if axis == 0:
+            mid = 0.5 * (r_lo + r_hi)
+            low = [i for i in indices if rho[i] <= mid]
+            high = [i for i in indices if rho[i] > mid]
+            halves = [
+                (low, (r_lo, mid, box)),
+                (high, (mid, r_hi, box)),
+            ]
+        else:
+            t = t_axes[axis - 1]
+            lo, hi = box[axis - 1]
+            mid = 0.5 * (lo + hi)
+            low = [i for i in indices if t[i] < mid]
+            high = [i for i in indices if t[i] >= mid]
+            box_low = box[: axis - 1] + ((lo, mid),) + box[axis:]
+            box_high = box[: axis - 1] + ((mid, hi),) + box[axis:]
+            halves = [
+                (low, (r_lo, r_hi, box_low)),
+                (high, (r_lo, r_hi, box_high)),
+            ]
+        next_axis = (axis + 1) % num_axes
+        source_rho = rho[source]
+        for members, cell in halves:
+            if not members:
+                continue
+            pos = _pick_representative(members, rho, source_rho)
+            rep = members.pop(pos)
+            parent[rep] = source
+            if members:
+                stack.append((rep, members, cell, next_axis))
+
+
+def _pick_two_relays(indices, rho, source_rho):
+    """Positions of the two points with radius closest to ``source_rho``."""
+    best = None
+    second = None
+    best_gap = second_gap = math.inf
+    for pos, idx in enumerate(indices):
+        gap = abs(rho[idx] - source_rho)
+        if gap < best_gap:
+            second, second_gap = best, best_gap
+            best, best_gap = pos, gap
+        elif gap < second_gap:
+            second, second_gap = pos, gap
+    return best, second
+
+
+def _run_relay2(stack, rho, t_axes, parent):
+    """The paper's 2-D out-degree-2 bisection (relay scheme).
+
+    Each step: source -> two relays (radius closest to the source's);
+    relay 1 -> representatives of the first two non-empty sub-segments,
+    relay 2 -> the remaining ones. Sub-segments are ordered so the two
+    radial halves of the same angular half are adjacent, keeping each
+    relay's work within one angular half whenever possible.
+    """
+    theta_t = t_axes[0]
+    while stack:
+        source, indices, (r_lo, r_hi, box) = stack.pop()
+        if not indices:
+            continue
+        if len(indices) <= 2:
+            for idx in indices:
+                parent[idx] = source
+            continue
+
+        source_rho = rho[source]
+        pos_a, pos_b = _pick_two_relays(indices, rho, source_rho)
+        # Remove the later position first so the earlier stays valid.
+        hi_pos, lo_pos = max(pos_a, pos_b), min(pos_a, pos_b)
+        relay_b = indices.pop(hi_pos)
+        relay_a = indices.pop(lo_pos)
+        parent[relay_a] = source
+        parent[relay_b] = source
+
+        r_mid = 0.5 * (r_lo + r_hi)
+        (t_lo, t_hi) = box[0]
+        t_mid = 0.5 * (t_lo + t_hi)
+        quadrants = [[], [], [], []]
+        for idx in indices:
+            code = (2 if theta_t[idx] >= t_mid else 0) | (
+                1 if rho[idx] > r_mid else 0
+            )
+            quadrants[code].append(idx)
+        sub_cells = [
+            (r_lo, r_mid, ((t_lo, t_mid),)),
+            (r_mid, r_hi, ((t_lo, t_mid),)),
+            (r_lo, r_mid, ((t_mid, t_hi),)),
+            (r_mid, r_hi, ((t_mid, t_hi),)),
+        ]
+        non_empty = [q for q in range(4) if quadrants[q]]
+        for seq, quadrant in enumerate(non_empty):
+            relay = relay_a if seq < 2 else relay_b
+            members = quadrants[quadrant]
+            pos = _pick_representative(members, rho, rho[relay])
+            rep = members.pop(pos)
+            parent[rep] = relay
+            if members:
+                stack.append((rep, members, sub_cells[quadrant]))
+
+
+# ----------------------------------------------------------------------
+# public in-cell entry points (used by the polar-grid builder)
+# ----------------------------------------------------------------------
+
+
+def bisection_tree_2d(
+    rho,
+    theta_t,
+    indices,
+    source,
+    r_range,
+    t_range,
+    parent,
+    max_out_degree: int,
+):
+    """Connect ``indices`` under ``source`` inside one 2-D ring segment.
+
+    :param rho: indexable radii for *all* node ids (list for speed).
+    :param theta_t: indexable angular coordinate ``theta / (2*pi)``,
+        already shifted so the segment does not wrap around zero.
+    :param indices: mutable list of node ids to connect (source excluded).
+        Consumed by the call.
+    :param source: node id acting as the local root.
+    :param r_range: ``(r_lo, r_hi)`` of the segment.
+    :param t_range: ``(t_lo, t_hi)`` of the segment (units of full turns).
+    :param parent: writeable parent mapping (list or int array).
+    :param max_out_degree: 4 or more selects the full variant; 2 or 3 the
+        relay variant.
+    :raises ValueError: if ``max_out_degree < 2``.
+    """
+    if max_out_degree < 2:
+        raise ValueError("bisection requires out-degree at least 2")
+    cell = (r_range[0], r_range[1], (tuple(t_range),))
+    stack = [(source, list(indices), cell)]
+    if max_out_degree >= 4:
+        _run_full(stack, rho, (theta_t,), parent)
+    else:
+        _run_relay2(stack, rho, (theta_t,), parent)
+
+
+def bisection_tree_nd(
+    rho,
+    t_axes,
+    indices,
+    source,
+    r_range,
+    t_box,
+    parent,
+    max_out_degree: int,
+):
+    """Connect ``indices`` under ``source`` inside one d-dimensional cell.
+
+    :param rho: indexable radii for all node ids.
+    :param t_axes: sequence of ``d - 1`` indexable angular coordinates.
+    :param t_box: tuple of ``(lo, hi)`` per angular axis.
+    :param max_out_degree: ``2^d`` or more selects the full variant
+        (out-degree ``2^d``); anything in ``[2, 2^d)`` the binary variant.
+    """
+    if max_out_degree < 2:
+        raise ValueError("bisection requires out-degree at least 2")
+    dim = len(t_axes) + 1
+    cell = (r_range[0], r_range[1], tuple(tuple(b) for b in t_box))
+    if max_out_degree >= (1 << dim):
+        stack = [(source, list(indices), cell)]
+        _run_full(stack, rho, t_axes, parent)
+    else:
+        stack = [(source, list(indices), cell, 0)]
+        _run_binary_nd(stack, rho, t_axes, parent)
+
+
+# ----------------------------------------------------------------------
+# standalone constant-factor construction (Section II, Theorem 1)
+# ----------------------------------------------------------------------
+
+
+def bounding_segment_far_center(
+    points: np.ndarray,
+) -> tuple[np.ndarray, RingSegment]:
+    """Place a far ring centre under the point cloud, per Section II.
+
+    The paper requires the covering segment to satisfy ``sin a > 5a/6``
+    (small angle) and ``r > 0.6 R``. Putting the centre at distance
+    ``1.5 * diag`` below the bounding box achieves both:
+    ``R <= D + diag`` gives ``r/R >= D / (D + diag) = 0.6``, and the
+    angular width is at most ``diag / D = 2/3 < 1.02`` radians.
+
+    :returns: ``(center, segment)`` — the ring centre and the minimal
+        covering :class:`~repro.geometry.rings.RingSegment` around it.
+    """
+    validate_points(points, dim=2)
+    lower = points.min(axis=0)
+    upper = points.max(axis=0)
+    diag = float(np.linalg.norm(upper - lower))
+    if diag == 0.0:
+        diag = 1.0  # all points coincide; any well-formed segment works
+    distance = 1.5 * diag
+    center = np.array([(lower[0] + upper[0]) / 2.0, lower[1] - distance])
+
+    rho, theta = to_polar(points, center)
+    # The cloud sits well above the centre, so angles cluster around pi/2
+    # and never straddle the branch cut at 0.
+    theta_lo = float(theta.min())
+    theta_hi = float(theta.max())
+    # The angular interval is half-open at the top; widen it a hair so
+    # the maximum-angle point stays inside.
+    span = max((theta_hi - theta_lo) * (1.0 + 1e-12) + 1e-12, 1e-9)
+    r_lo = float(rho.min())
+    r_hi = float(rho.max())
+    if r_hi <= r_lo:
+        r_hi = r_lo + 1e-12
+    # Open the inner boundary a hair so the innermost point is inside.
+    r_lo = math.nextafter(r_lo, 0.0)
+    segment = RingSegment(
+        r_inner=r_lo, r_outer=r_hi, theta_start=theta_lo, theta_span=span
+    )
+    return center, segment

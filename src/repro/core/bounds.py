@@ -1,0 +1,156 @@
+"""Analytic quantities from the paper: arc lengths, path bounds, lemmas.
+
+All of Section II's and Section III's closed-form machinery lives here so
+the experiment harness can print the exact "Bound" column of Table I and
+the test suite can check the theorems against built trees.
+
+Conventions: the grid has rings ``0..k`` with outer radii
+
+    r_i = sqrt(r_min^2 + (r_max^2 - r_min^2) * 2^(i - k)),
+
+reducing to the paper's ``r_i = 1/sqrt(2)^(k-i)`` on the unit disk, and
+ring ``i`` has ``2^i`` cells, so the arc length of a ring-``i`` cell is
+``Delta_i = 2*pi*r_i / 2^i`` — the paper's ``Delta_i = 2*pi /
+sqrt(2)^(k+i)`` when ``r_min = 0`` and ``r_max = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "arc_length",
+    "sum_of_inner_arcs",
+    "polar_grid_upper_bound",
+    "bisection_path_bound",
+    "bisection_constant_factor",
+    "lemma1_probability",
+    "lemma2_threshold",
+    "rings_lower_bound",
+    "ring_radius",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def ring_radius(i: int, k: int, r_max: float = 1.0, r_min: float = 0.0) -> float:
+    """Outer radius of ring ``i`` in a ``k``-ring grid (2-D)."""
+    if not 0 <= i <= k:
+        raise ValueError(f"ring index {i} outside [0, {k}]")
+    lo = r_min * r_min
+    hi = r_max * r_max
+    return math.sqrt(lo + (hi - lo) * 2.0 ** (i - k))
+
+
+def arc_length(i: int, k: int, r_max: float = 1.0, r_min: float = 0.0) -> float:
+    """``Delta_i``: arc length of one cell of ring ``i``.
+
+    On the unit disk this is the paper's ``2*pi / sqrt(2)^(k+i)``.
+    """
+    return TWO_PI * ring_radius(i, k, r_max, r_min) / (1 << i)
+
+
+def sum_of_inner_arcs(k: int, r_max: float = 1.0, r_min: float = 0.0) -> float:
+    """``S_k``: sum of ``Delta_i`` over the inner rings ``i = 1 .. k-1``.
+
+    Zero for ``k = 1`` (there are no inner rings to cross).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return sum(arc_length(i, k, r_max, r_min) for i in range(1, k))
+
+
+def polar_grid_upper_bound(
+    k: int,
+    max_out_degree: int,
+    r_max: float = 1.0,
+    r_min: float = 0.0,
+    j: int = 0,
+) -> float:
+    """Equation (7): upper bound on any path built by Algorithm Polar_Grid.
+
+        l_P  <=  r_max + 2*c*Delta_j + S_k,
+
+    with ``c = 1`` for the full construction and ``c = 2`` for the
+    out-degree-2 construction (the paper doubles the ``Delta_j``
+    coefficient for degree-2 trees). Table I evaluates it at ``j = 0``
+    because ``Delta_0 >= Delta_j`` for every ``j``.
+    """
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be at least 2")
+    c = 2.0 if max_out_degree < 6 else 1.0
+    return r_max + 2.0 * c * arc_length(j, k, r_max, r_min) + sum_of_inner_arcs(
+        k, r_max, r_min
+    )
+
+
+def bisection_path_bound(
+    r_inner: float,
+    r_outer: float,
+    angle: float,
+    source_radius: float,
+    max_out_degree: int,
+    conservative: bool = False,
+) -> float:
+    """Upper bound on any path of the Section II bisection.
+
+    With ``conservative=False`` this is the paper's equation (1)/(2):
+
+        l_p <= max(R - q, q - r) + 2*R*a      (out-degree 4)
+        l_p <= max(R - q, q - r) + 4*R*a      (out-degree 2)
+
+    With ``conservative=True`` the radial term is replaced by
+    ``2*(R - r)`` (out-degree 4) or ``4*(R - r)`` (out-degree 2) — a bound
+    that holds unconditionally for our construction, including the corner
+    cases where the paper's radial-monotonicity argument is informal (see
+    DESIGN.md). Both keep the constant-factor guarantee of Theorem 1.
+    """
+    if not 0.0 <= r_inner < r_outer:
+        raise ValueError("need 0 <= r_inner < r_outer")
+    if not r_inner <= source_radius <= r_outer:
+        raise ValueError("the source must lie inside the segment radially")
+    hops = 2.0 if max_out_degree < 4 else 1.0
+    arc = hops * 2.0 * r_outer * angle
+    if conservative:
+        radial = hops * 2.0 * (r_outer - r_inner)
+    else:
+        radial = max(r_outer - source_radius, source_radius - r_inner)
+    return radial + arc
+
+
+def bisection_constant_factor(max_out_degree: int) -> float:
+    """Theorem 1's approximation factor: 5 (out-degree >= 4) or 9."""
+    if max_out_degree >= 4:
+        return 5.0
+    if max_out_degree >= 2:
+        return 9.0
+    raise ValueError("max_out_degree must be at least 2")
+
+
+def lemma1_probability(n: float, alpha: float) -> float:
+    """Lemma 1's bound on the probability of an empty bucket.
+
+    Throwing ``n`` balls into ``n^alpha`` buckets leaves some bucket empty
+    with probability at most ``n^alpha * exp(-n^(1-alpha))``. The value is
+    clipped to 1 (it is a probability bound, and the raw expression
+    exceeds 1 for small ``n``).
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    raw = n**alpha * math.exp(-(n ** (1.0 - alpha)))
+    return min(1.0, raw)
+
+
+def lemma2_threshold() -> float:
+    """Lemma 2: for ``alpha <= 1/2`` the Lemma 1 bound never exceeds
+    ``exp(-1)`` — the constant that makes k ~ (1/2) log2 n safe."""
+    return math.exp(-1.0)
+
+
+def rings_lower_bound(n: float) -> float:
+    """Equation (5): with high probability ``k >= (1/2) * log2 n``."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    return 0.5 * math.log2(n)

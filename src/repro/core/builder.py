@@ -1,0 +1,383 @@
+"""End-to-end tree construction — the package's main entry points.
+
+``build_polar_grid_tree`` is Algorithm Polar_Grid of Section III with the
+Section IV generalisations: it covers the receivers with an equal-volume
+polar grid around the source, connects cell representatives into a binary
+core tree, and finishes each cell with the Section II bisection. The
+result is asymptotically optimal for points uniformly distributed in a
+convex region (Theorem 2).
+
+``build_bisection_tree`` exposes the Section II constant-factor algorithm
+on its own (Theorem 1: factor 5 for out-degree 4, factor 9 for
+out-degree 2, in the plane).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import bounds as bounds_mod
+from repro.core.bisection import (
+    bisection_tree_2d,
+    bisection_tree_nd,
+    bounding_segment_far_center,
+)
+from repro.core.core_network import wire_cells
+from repro.core.grid import PolarGrid
+from repro.core.grid_nd import PolarGridND, choose_ring_count
+from repro.core.tree import MulticastTree
+from repro.geometry.points import validate_points
+from repro.geometry.polar import TWO_PI, SphericalTransform
+
+__all__ = ["BuildResult", "build_polar_grid_tree", "build_bisection_tree"]
+
+
+@dataclass
+class BuildResult:
+    """Everything a build produces, including the paper's per-run metrics.
+
+    Attributes mirror the columns of Table I:
+
+    * ``rings`` — the chosen grid depth ``k`` (``None`` for plain
+      bisection builds);
+    * ``core_delay`` — longest source-to-representative delay, the
+      "Core" column;
+    * ``tree.radius()`` — the "Delay" column;
+    * ``upper_bound`` — equation (7) evaluated at ``j = 0`` for this
+      run's ``k`` (``None`` when no 2-D bound applies);
+    * ``build_seconds`` — the "CPU Sec" column.
+    """
+
+    tree: MulticastTree
+    max_out_degree: int
+    rings: int | None = None
+    core_delay: float | None = None
+    upper_bound: float | None = None
+    build_seconds: float = 0.0
+    representative_count: int = 0
+    grid: PolarGridND | None = None
+    representatives: np.ndarray = field(default=None, repr=False)
+
+    @property
+    def radius(self) -> float:
+        """Maximum source-to-receiver delay of the built tree."""
+        return self.tree.radius()
+
+
+def _validate_source(points: np.ndarray, source: int) -> int:
+    source = int(source)
+    if not 0 <= source < points.shape[0]:
+        raise ValueError(
+            f"source index {source} out of range for {points.shape[0]} points"
+        )
+    return source
+
+
+def _fallback_chain(
+    points: np.ndarray, source: int, max_out_degree: int
+) -> MulticastTree:
+    """Degenerate case: every receiver coincides with the source.
+
+    All delays are zero whatever we do; build the canonical array-backed
+    d-ary tree so the degree constraint still holds.
+    """
+    n = points.shape[0]
+    receivers = [i for i in range(n) if i != source]
+    parent = np.empty(n, dtype=np.int64)
+    parent[source] = source
+    d = max_out_degree
+    for pos, node in enumerate(receivers):
+        parent[node] = source if pos < d else receivers[pos // d - 1]
+    return MulticastTree(points=points, parent=parent, root=source)
+
+
+def build_polar_grid_tree(
+    points,
+    source: int = 0,
+    max_out_degree: int = 6,
+    *,
+    k: int | None = None,
+    fit_annulus: bool = False,
+    occupancy: str = "full",
+    representative_rule: str = "inner-anchor",
+) -> BuildResult:
+    """Algorithm Polar_Grid: an asymptotically optimal degree-bounded tree.
+
+    :param points: ``(n, d)`` host coordinates, source included.
+    :param source: index of the multicast source.
+    :param max_out_degree: fan-out budget per node. Values of at least
+        ``2^d + 2`` (6 in 2-D, 10 in 3-D) select the full construction;
+        values in ``[2, 2^d + 2)`` select the binary (out-degree-2)
+        construction of Section IV-A, which uses at most 2 links per node.
+    :param k: fix the grid depth instead of choosing the largest feasible
+        one (mostly for experiments; an infeasible ``k`` raises).
+    :param fit_annulus: cover only the annulus actually containing
+        receivers (Section IV-C) instead of the full ball around the
+        source. Tightens the grid when the source sits far from the
+        cloud; the disk experiments of Section V use ``False``.
+    :param occupancy: cell-occupancy rule used when choosing ``k``:
+        ``"full"`` is the paper's property 3 (right for sources well
+        inside the receiver cloud, and what Table I uses);
+        ``"connected"`` relaxes it so off-centre sources in convex
+        regions still get deep grids (Section IV-C; see
+        :meth:`~repro.core.grid_nd.PolarGridND.connectivity_ok`).
+    :param representative_rule: how a cell's representative is chosen.
+        ``"inner-anchor"`` (default) takes the point closest to the
+        centre of the cell's inner arc — our reading of III-B's "closest
+        to the center on the inner arc of the segment", and the rule
+        that reproduces Table I. ``"min-radius"`` takes the least-radius
+        point, the rule named in the Section III-E bound proof. The
+        ablation benchmark compares the two.
+    :returns: a :class:`BuildResult` whose tree spans all points, rooted
+        at the source, respecting ``max_out_degree``.
+    """
+    if representative_rule not in ("inner-anchor", "min-radius"):
+        raise ValueError(f"unknown representative rule {representative_rule!r}")
+    started = time.perf_counter()
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    validate_points(points)
+    if points.shape[1] < 2:
+        raise ValueError("the polar grid requires dimension >= 2")
+    source = _validate_source(points, source)
+    n, dim = points.shape
+    full_threshold = (1 << dim) + 2
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be at least 2")
+    binary = max_out_degree < full_threshold
+
+    if n == 1:
+        tree = MulticastTree(
+            points=points, parent=np.array([0], dtype=np.int64), root=source
+        )
+        return BuildResult(
+            tree=tree,
+            max_out_degree=max_out_degree,
+            build_seconds=time.perf_counter() - started,
+        )
+
+    transform = SphericalTransform(dim)
+    rho, t = transform.transform(points, points[source])
+    rho[source] = 0.0
+    r_max = float(rho.max())
+    if r_max <= 0.0:
+        tree = _fallback_chain(points, source, max_out_degree)
+        return BuildResult(
+            tree=tree,
+            max_out_degree=max_out_degree,
+            build_seconds=time.perf_counter() - started,
+        )
+
+    receiver_mask = np.ones(n, dtype=bool)
+    receiver_mask[source] = False
+    receivers = np.flatnonzero(receiver_mask)
+
+    r_min = 0.0
+    if fit_annulus:
+        nearest = float(rho[receivers].min())
+        if nearest > 0.0 and nearest < r_max:
+            # Open the annulus a hair below the nearest receiver so it
+            # falls strictly inside the inner region.
+            r_min = nearest * (1.0 - 1e-12)
+
+    grid_cls = PolarGrid if dim == 2 else PolarGridND
+
+    def factory(rings: int):
+        return grid_cls(
+            center=points[source],
+            r_min=r_min,
+            r_max=r_max,
+            k=rings,
+            transform=transform,
+        )
+
+    if k is None:
+        k = choose_ring_count(
+            factory, rho[receivers], t[receivers], occupancy=occupancy
+        )
+    grid = factory(int(k))
+
+    ring, cell = grid.assign(rho[receivers], t[receivers])
+    gid = grid.global_id(ring, cell)
+
+    # Distance from each receiver to its cell's inner and outer anchors
+    # (the centres of the cell's inner and outer faces). III-B picks the
+    # representative "closest to the center on the inner arc of the
+    # segment"; the binary mode's forwarder targets the outer anchor.
+    radii = np.array([grid.ring_radius(i) for i in range(grid.k + 1)])
+    r_lo = np.where(ring == 0, grid.r_min, radii[np.maximum(ring - 1, 0)])
+    r_hi = radii[ring]
+    t_recv = t[receivers]
+    t_mid = np.empty_like(t_recv)
+    for r in range(grid.k + 1):
+        mask = ring == r
+        if not np.any(mask):
+            continue
+        for axis, width in enumerate(grid.axis_splits(r)):
+            count = 1 << width
+            bins = np.minimum(
+                (t_recv[mask, axis] * count).astype(np.int64), count - 1
+            )
+            t_mid[mask, axis] = (bins + 0.5) / count
+    direction = transform.direction(t_mid)
+    recv_points = points[receivers]
+    center = points[source]
+    inner_dist = np.sqrt(
+        np.sum((recv_points - (center + r_lo[:, None] * direction)) ** 2, axis=1)
+    )
+    outer_dist = np.sqrt(
+        np.sum((recv_points - (center + r_hi[:, None] * direction)) ** 2, axis=1)
+    )
+
+    if representative_rule == "inner-anchor":
+        order = np.lexsort((inner_dist, gid))
+    else:  # "min-radius": the literal III-E rule (ablation)
+        order = np.lexsort((rho[receivers], gid))
+    sorted_nodes = receivers[order]
+    sorted_gid = gid[order]
+    cuts = np.flatnonzero(np.diff(sorted_gid)) + 1
+    starts = np.concatenate([[0], cuts])
+    ends = np.concatenate([cuts, [sorted_gid.shape[0]]])
+
+    node_lists = sorted_nodes.tolist()
+    groups = [
+        (int(sorted_gid[s]), node_lists[s:e]) for s, e in zip(starts, ends)
+    ]
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    rho_list = rho.tolist()
+    t_axes = tuple(t[:, j].tolist() for j in range(dim - 1))
+    outer_full = np.zeros(n)
+    outer_full[receivers] = outer_dist
+
+    reps = wire_cells(
+        grid,
+        source,
+        groups,
+        rho_list,
+        t_axes,
+        parent,
+        binary,
+        outer_anchor_dist=outer_full.tolist(),
+        points=points.tolist(),
+    )
+
+    tree = MulticastTree(points=points, parent=parent, root=source)
+    elapsed = time.perf_counter() - started
+
+    core_delay = (
+        float(tree.root_delays()[reps].max()) if reps.size else 0.0
+    )
+    upper = None
+    if dim == 2:
+        upper = bounds_mod.polar_grid_upper_bound(
+            k=grid.k,
+            max_out_degree=max_out_degree,
+            r_max=r_max,
+            r_min=r_min,
+        )
+    return BuildResult(
+        tree=tree,
+        max_out_degree=max_out_degree,
+        rings=grid.k,
+        core_delay=core_delay,
+        upper_bound=upper,
+        build_seconds=elapsed,
+        representative_count=int(reps.size),
+        grid=grid,
+        representatives=reps,
+    )
+
+
+def build_bisection_tree(
+    points,
+    source: int = 0,
+    max_out_degree: int = 4,
+) -> BuildResult:
+    """The Section II constant-factor bisection algorithm, standalone.
+
+    In 2-D the covering ring segment is placed around a far centre so that
+    Theorem 1's preconditions hold (``sin a > 5a/6``, ``r > 0.6 R``) and
+    the result is within a constant factor (5 for out-degree >= 4, 9 for
+    out-degree 2) of the optimal radius. In higher dimensions the
+    algorithm runs on the full annulus around the source — a valid
+    degree-bounded tree without the constant-factor certificate.
+
+    :param max_out_degree: 4 or more selects the quartering variant;
+        2 or 3 the binary variant (in d dimensions, ``2^d`` is the full
+        threshold).
+    """
+    started = time.perf_counter()
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    validate_points(points)
+    source = _validate_source(points, source)
+    n, dim = points.shape
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be at least 2")
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    receivers = [i for i in range(n) if i != source]
+
+    if not receivers:
+        tree = MulticastTree(points=points, parent=parent, root=source)
+        return BuildResult(
+            tree=tree,
+            max_out_degree=max_out_degree,
+            build_seconds=time.perf_counter() - started,
+        )
+
+    if dim == 2:
+        center, segment = bounding_segment_far_center(points)
+        from repro.geometry.polar import to_polar
+
+        rho, theta = to_polar(points, center)
+        # Shift angles so the segment starts at zero — no wrap inside.
+        theta_t = (
+            np.mod(theta - segment.theta_start, TWO_PI) / TWO_PI
+        ).tolist()
+        rho_list = rho.tolist()
+        bisection_tree_2d(
+            rho_list,
+            theta_t,
+            receivers,
+            source,
+            (segment.r_inner, segment.r_outer),
+            (0.0, segment.theta_span / TWO_PI),
+            parent,
+            max_out_degree,
+        )
+    else:
+        transform = SphericalTransform(dim)
+        rho, t = transform.transform(points, points[source])
+        r_max = float(rho.max())
+        if r_max <= 0.0:
+            tree = _fallback_chain(points, source, max_out_degree)
+            return BuildResult(
+                tree=tree,
+                max_out_degree=max_out_degree,
+                build_seconds=time.perf_counter() - started,
+            )
+        rho_list = rho.tolist()
+        t_axes = tuple(t[:, j].tolist() for j in range(dim - 1))
+        t_box = tuple((0.0, 1.0) for _ in range(dim - 1))
+        bisection_tree_nd(
+            rho_list,
+            t_axes,
+            receivers,
+            source,
+            (0.0, r_max),
+            t_box,
+            parent,
+            max_out_degree,
+        )
+
+    tree = MulticastTree(points=points, parent=parent, root=source)
+    return BuildResult(
+        tree=tree,
+        max_out_degree=max_out_degree,
+        build_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,208 @@
+"""Connecting grid cells: representatives, the core tree, in-cell wiring.
+
+This implements Sections III-B/III-C (the degree >= 2^d + 2 construction)
+and Section IV-A (the out-degree-2 construction). Cells are processed in
+ring order, innermost first, so a cell's *forward node* — whichever of its
+members owns the two links toward the next ring — is always known before
+its children need it.
+
+Link budget per node, ``full`` mode (out-degree ``2^d + 2``):
+
+* representative: <= 2 links to child-cell representatives, plus <= 2^d
+  links from the in-cell bisection = ``2^d + 2``;
+* any other cell member: <= 2^d (bisection only).
+
+Link budget per node, ``binary`` mode (out-degree 2), per Section IV-A:
+
+* 1 member:   the representative itself forwards (<= 2 child links);
+* 2 members:  rep -> other, other forwards (rep 1, other <= 2);
+* 3+ members: rep -> forwarder ``f`` and bisection hub ``b`` (rep 2);
+  ``f`` forwards (<= 2); ``b`` roots an out-degree-2 bisection (<= 2).
+
+When a cell has no non-empty child cells (outermost ring, or holes in
+ring k) the forwarding role is dropped and everything below the
+representative is plain bisection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bisection import bisection_tree_2d, bisection_tree_nd
+from repro.core.grid_nd import PolarGridND
+
+__all__ = ["wire_cells", "WiringError"]
+
+
+class WiringError(RuntimeError):
+    """Raised when the grid's occupancy invariant is violated mid-wiring
+    (an interior cell with points has an empty parent cell)."""
+
+
+def _distance(points, a: int, b: int) -> float:
+    """Euclidean distance between two nodes, plain Python (tiny inputs)."""
+    pa = points[a]
+    pb = points[b]
+    return sum((x - y) ** 2 for x, y in zip(pa, pb)) ** 0.5
+
+
+def _bisect_in_cell(
+    grid: PolarGridND,
+    ring: int,
+    cell: int,
+    members: list[int],
+    local_source: int,
+    rho,
+    t_axes,
+    parent,
+    binary: bool,
+):
+    """Run the in-cell bisection rooted at ``local_source``."""
+    if not members:
+        return
+    r_range = grid.cell_radial_range(ring)
+    t_box = grid.cell_t_box(ring, cell)
+    if grid.dim == 2:
+        # 2-D uses the paper's Section II variants verbatim (the relay
+        # scheme for out-degree 2, the 4-way split otherwise).
+        bisection_tree_2d(
+            rho,
+            t_axes[0],
+            members,
+            local_source,
+            r_range,
+            t_box[0],
+            parent,
+            2 if binary else 4,
+        )
+    else:
+        bisection_tree_nd(
+            rho,
+            t_axes,
+            members,
+            local_source,
+            r_range,
+            t_box,
+            parent,
+            2 if binary else (1 << grid.dim),
+        )
+
+
+def wire_cells(
+    grid: PolarGridND,
+    source: int,
+    groups,
+    rho,
+    t_axes,
+    parent,
+    binary: bool,
+    outer_anchor_dist=None,
+    points=None,
+) -> np.ndarray:
+    """Wire every non-empty cell and its interior; fill ``parent`` in place.
+
+    :param grid: the polar grid the cells come from.
+    :param source: global node id of the multicast source (grid centre).
+    :param groups: iterable of ``(gid, members)`` in ascending ``gid``
+        order, where ``members`` is the cell's receiver ids sorted by
+        distance to the cell's *inner anchor* (the centre of its inner
+        arc/face) — so ``members[0]`` is the representative of III-B.
+    :param rho: indexable per-node radii (Python list for speed).
+    :param t_axes: tuple of per-node angular coordinate sequences.
+    :param parent: writeable parent mapping, filled in place.
+    :param binary: True for the out-degree-2 construction of Section IV-A.
+    :param outer_anchor_dist: indexable per-node distance to the node's
+        cell *outer* anchor; used by the binary mode to pick the
+        forwarder nearest to the next ring. Falls back to preferring the
+        last member when omitted.
+    :returns: array of representative node ids (one per non-empty cell,
+        excluding the inner region when the source represents it) — the
+        nodes whose delays define the paper's "Core" column.
+    :raises WiringError: if an interior parent cell is empty (invalid k).
+    """
+    total = grid.total_cells
+    # forward_of[gid] = node owning the links toward ring+1; -1 = unset.
+    forward_of = np.full(total, -1, dtype=np.int64)
+    occupied = np.zeros(total, dtype=bool)
+    forward_of[0] = source  # the source forwards for an empty inner region
+
+    group_list = list(groups)
+    for gid, _members in group_list:
+        occupied[gid] = True
+
+    representatives = []
+    for gid, members in group_list:
+        ring, cell = grid.ring_of_global(gid)
+
+        if gid == 0:
+            # Inner region D0: the source is its representative.
+            local_rep = source
+            rest = members
+        else:
+            local_rep = members[0]
+            rest = members[1:]
+            parent_ring, parent_cell = grid.parent_cell(ring, cell)
+            upstream = forward_of[grid.global_id(parent_ring, parent_cell)]
+            if upstream < 0:
+                raise WiringError(
+                    f"cell (ring={ring}, cell={cell}) has an empty parent "
+                    f"cell (ring={parent_ring}, cell={parent_cell}); the "
+                    "grid does not satisfy the occupancy property — use "
+                    "a smaller k or let the builder choose it"
+                )
+            parent[local_rep] = int(upstream)
+            representatives.append(local_rep)
+
+        has_children = any(
+            occupied[grid.global_id(cr, cc)] for cr, cc in grid.child_cells(ring, cell)
+        )
+
+        if not binary:
+            forward_of[gid] = local_rep
+            _bisect_in_cell(
+                grid, ring, cell, list(rest), local_rep, rho, t_axes, parent,
+                binary=False,
+            )
+            continue
+
+        # --- out-degree-2 wiring (Section IV-A) ---
+        if not rest:
+            forward_of[gid] = local_rep
+        elif len(rest) == 1:
+            other = rest[0]
+            parent[other] = local_rep
+            # Case 2: the second point carries the links to the next ring.
+            forward_of[gid] = other
+        elif not has_children:
+            # No downstream cells: every spare link goes to the interior.
+            forward_of[gid] = local_rep
+            _bisect_in_cell(
+                grid, ring, cell, list(rest), local_rep, rho, t_axes, parent,
+                binary=True,
+            )
+        else:
+            # Case 3: forwarder = member nearest the cell's outer anchor
+            # (it hands off to the next ring, whose cells start there);
+            # bisection hub = the innermost remaining member.
+            rest = list(rest)
+            if outer_anchor_dist is not None and points is not None:
+                # Minimise the detour of the relay chain rep -> f -> next
+                # ring (whose cells start at the outer anchor).
+                fwd_pos = min(
+                    range(len(rest)),
+                    key=lambda p: _distance(points, local_rep, rest[p])
+                    + outer_anchor_dist[rest[p]],
+                )
+            else:
+                fwd_pos = len(rest) - 1
+            fwd = rest.pop(fwd_pos)
+            hub = rest.pop(0)
+            parent[hub] = local_rep
+            parent[fwd] = local_rep
+            forward_of[gid] = fwd
+            _bisect_in_cell(
+                grid, ring, cell, rest, hub, rho, t_axes, parent,
+                binary=True,
+            )
+
+    return np.asarray(representatives, dtype=np.int64)

@@ -1,0 +1,73 @@
+"""2-D polar grid — the paper's Section III-A construction.
+
+:class:`PolarGrid` is the two-dimensional specialisation of
+:class:`~repro.core.grid_nd.PolarGridND` with a polar-coordinate API and
+:class:`~repro.geometry.rings.RingSegment` cell geometry. In 2-D there is
+exactly one angular axis, so ring ``i`` consists of ``2^i`` aligned ring
+segments and cell ``c`` of ring ``i`` sits under cells ``2c`` and
+``2c + 1`` of ring ``i + 1`` — the layout of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid_nd import PolarGridND, choose_ring_count
+from repro.geometry.polar import TWO_PI, to_polar
+from repro.geometry.rings import RingSegment
+
+__all__ = ["PolarGrid"]
+
+
+class PolarGrid(PolarGridND):
+    """Equal-area polar grid over a disk or annulus in the plane."""
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.dim != 2:
+            raise ValueError("PolarGrid is 2-D; use PolarGridND for d != 2")
+
+    @classmethod
+    def fit(
+        cls,
+        points: np.ndarray,
+        center,
+        k: int | None = None,
+        r_min: float = 0.0,
+    ) -> "PolarGrid":
+        """Build the grid covering ``points`` around ``center``.
+
+        When ``k`` is omitted, picks the largest ring count satisfying the
+        occupancy property (Section III-A, property 3).
+        """
+        center = np.asarray(center, dtype=np.float64)
+        rho, theta = to_polar(points, center)
+        r_max = float(rho.max())
+        if r_max <= r_min:
+            raise ValueError("all points are within r_min of the centre")
+        if k is None:
+            t = (theta / TWO_PI)[:, None]
+            k = choose_ring_count(
+                lambda rings: cls(center=center, r_min=r_min, r_max=r_max, k=rings),
+                rho,
+                t,
+            )
+        return cls(center=center, r_min=r_min, r_max=r_max, k=k)
+
+    def assign_polar(
+        self, rho: np.ndarray, theta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(ring, cell)`` assignment from polar coordinates."""
+        t = (np.asarray(theta, dtype=np.float64) / TWO_PI)[:, None]
+        return self.assign(np.asarray(rho, dtype=np.float64), t)
+
+    def segment(self, ring: int, cell: int) -> RingSegment:
+        """Cell geometry as a :class:`RingSegment` around the grid centre."""
+        r_lo, r_hi = self.cell_radial_range(ring)
+        ((t_lo, t_hi),) = self.cell_t_box(ring, cell)
+        return RingSegment(
+            r_inner=r_lo,
+            r_outer=r_hi,
+            theta_start=t_lo * TWO_PI,
+            theta_span=(t_hi - t_lo) * TWO_PI,
+        )

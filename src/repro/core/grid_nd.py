@@ -1,0 +1,385 @@
+"""Equal-volume polar grids in any dimension (Sections III-A and IV-B).
+
+The grid partitions an annulus ``r_min < |p - c| <= r_max`` around the
+source into ``k + 1`` *rings*; ring ``i >= 1`` holds ``2^i`` equal-volume
+cells and ring ``0`` (the inner region, "D0") is kept whole. Ring radii
+satisfy
+
+    r_i^d  =  r_min^d + (r_max^d - r_min^d) * 2^(i - k),
+
+which for the unit disk (``r_min = 0``, ``r_max = 1``, ``d = 2``) reduces
+to the paper's ``r_i = 1 / sqrt(2)^(k - i)`` exactly, and doubles each
+ring's volume over the one inside it in every dimension.
+
+Within a ring, cells are dyadic boxes in the *measure-uniform* angular
+coordinates of :class:`~repro.geometry.polar.SphericalTransform`: going
+from ring ``i`` to ring ``i + 1`` splits every cell in half along one
+angular axis, cycling through the axes (this is the paper's "splitting
+axes are chosen to cycle through all the axes"). In 2-D there is a single
+angular axis and the construction reduces to the paper's aligned ring
+segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.polar import SphericalTransform
+
+__all__ = ["PolarGridND", "choose_ring_count"]
+
+# Guard against pathological ring counts: 2^61 cells would overflow int64
+# cell ids long before any realistic point set fills them.
+MAX_RINGS = 60
+
+
+def _ring_offsets(k: int) -> np.ndarray:
+    """Global id of the first cell of each ring: ring i starts at 2^i - 1."""
+    return (1 << np.arange(k + 2, dtype=np.int64)) - 1
+
+
+@dataclass(frozen=True)
+class PolarGridND:
+    """An equal-volume hyperspherical grid around a centre point.
+
+    :param center: grid centre (the multicast source), shape ``(d,)``.
+    :param r_min: inner radius of the covered annulus (0 for a ball).
+    :param r_max: outer radius; every point must satisfy
+        ``|p - c| <= r_max``.
+    :param k: number of subdivided rings. Ring ``k`` is the outermost.
+    """
+
+    center: np.ndarray
+    r_min: float
+    r_max: float
+    k: int
+    transform: SphericalTransform = field(default=None, compare=False)
+
+    def __post_init__(self):
+        center = np.asarray(self.center, dtype=np.float64)
+        if center.ndim != 1 or center.shape[0] < 2:
+            raise ValueError("grid centre must be a (d,) vector with d >= 2")
+        object.__setattr__(self, "center", center)
+        if not 0.0 <= self.r_min < self.r_max:
+            raise ValueError("need 0 <= r_min < r_max")
+        if not 1 <= self.k <= MAX_RINGS:
+            raise ValueError(f"ring count must be in [1, {MAX_RINGS}]; got {self.k}")
+        if self.transform is None:
+            object.__setattr__(
+                self, "transform", SphericalTransform(center.shape[0])
+            )
+        elif self.transform.dim != center.shape[0]:
+            raise ValueError("transform dimension does not match the centre")
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.center.shape[0]
+
+    @property
+    def angular_axes(self) -> int:
+        return self.dim - 1
+
+    @property
+    def total_cells(self) -> int:
+        """Cells in rings 0..k: ``2^(k+1) - 1`` (the paper's ~``2^(k+1)``)."""
+        return (1 << (self.k + 1)) - 1
+
+    def cells_in_ring(self, ring: int) -> int:
+        """``2^ring`` cells for subdivided rings; the inner region is one."""
+        self._check_ring(ring)
+        return 1 << ring
+
+    def _check_ring(self, ring: int):
+        if not 0 <= ring <= self.k:
+            raise ValueError(f"ring index {ring} outside [0, {self.k}]")
+
+    def ring_radius(self, i: int) -> float:
+        """Outer radius of ring ``i`` (``r_k == r_max``)."""
+        self._check_ring(i)
+        d = self.dim
+        lo = self.r_min**d
+        hi = self.r_max**d
+        return float((lo + (hi - lo) * 2.0 ** (i - self.k)) ** (1.0 / d))
+
+    def ring_radii(self) -> np.ndarray:
+        """All ring outer radii ``r_0 .. r_k``."""
+        return np.array([self.ring_radius(i) for i in range(self.k + 1)])
+
+    def cell_volume(self) -> float:
+        """Common volume of the subdivided cells (D0 has twice this)."""
+        from math import gamma, pi
+
+        d = self.dim
+        unit_ball = pi ** (d / 2.0) / gamma(d / 2.0 + 1.0)
+        return unit_ball * (self.r_max**d - self.r_min**d) / (1 << (self.k + 1))
+
+    # ------------------------------------------------------------------
+    # per-ring angular layout
+    # ------------------------------------------------------------------
+
+    def axis_splits(self, ring: int) -> tuple[int, ...]:
+        """Number of dyadic splits each angular axis has received by
+        ``ring`` (so ring ``ring`` has ``2^splits[j]`` bins on axis ``j``).
+
+        Splits are handed out round-robin: split ``l`` (taking ring ``l``
+        to ring ``l + 1`` cell counts) goes to axis ``l mod (d-1)``.
+        """
+        self._check_ring(ring)
+        axes = self.angular_axes
+        base, extra = divmod(ring, axes)
+        return tuple(base + (1 if j < extra else 0) for j in range(axes))
+
+    def cell_bins(self, ring: int, cell: int) -> tuple[int, ...]:
+        """Decode a cell id into per-axis bin indices (axis 0 slowest)."""
+        splits = self.axis_splits(ring)
+        bins = []
+        for width in reversed(splits):
+            bins.append(cell & ((1 << width) - 1))
+            cell >>= width
+        if cell:
+            raise ValueError("cell id out of range for this ring")
+        return tuple(reversed(bins))
+
+    def cell_from_bins(self, ring: int, bins) -> int:
+        """Inverse of :meth:`cell_bins`."""
+        splits = self.axis_splits(ring)
+        if len(bins) != len(splits):
+            raise ValueError("one bin index per angular axis is required")
+        cell = 0
+        for width, bin_index in zip(splits, bins):
+            if not 0 <= bin_index < (1 << width):
+                raise ValueError(f"bin index {bin_index} out of range")
+            cell = (cell << width) | bin_index
+        return cell
+
+    def split_axis(self, ring: int) -> int:
+        """Angular axis split when going from ring ``ring`` to ``ring+1``."""
+        return ring % self.angular_axes
+
+    def parent_cell(self, ring: int, cell: int) -> tuple[int, int]:
+        """The aligned cell of ring ``ring - 1`` containing this cell's
+        angular box (the paper's "aligned with 2 segments on level i+1")."""
+        self._check_ring(ring)
+        if ring == 0:
+            raise ValueError("the inner region has no parent cell")
+        if ring == 1:
+            return 0, 0
+        bins = list(self.cell_bins(ring, cell))
+        axis = self.split_axis(ring - 1)
+        bins[axis] //= 2
+        return ring - 1, self.cell_from_bins(ring - 1, bins)
+
+    def child_cells(self, ring: int, cell: int) -> tuple[tuple[int, int], ...]:
+        """The two aligned cells of ring ``ring + 1`` (empty for ring k)."""
+        self._check_ring(ring)
+        if ring == self.k:
+            return ()
+        if ring == 0:
+            return ((1, 0), (1, 1))
+        bins = list(self.cell_bins(ring, cell))
+        axis = self.split_axis(ring)
+        children = []
+        for half in (0, 1):
+            child_bins = list(bins)
+            child_bins[axis] = 2 * bins[axis] + half
+            children.append((ring + 1, self.cell_from_bins(ring + 1, child_bins)))
+        return tuple(children)
+
+    def cell_t_box(self, ring: int, cell: int) -> tuple[tuple[float, float], ...]:
+        """Angular bounds of the cell, per axis, in measure-uniform units."""
+        splits = self.axis_splits(ring)
+        bins = self.cell_bins(ring, cell)
+        box = []
+        for width, bin_index in zip(splits, bins):
+            count = 1 << width
+            box.append((bin_index / count, (bin_index + 1) / count))
+        return tuple(box)
+
+    def cell_radial_range(self, ring: int) -> tuple[float, float]:
+        """Radial bounds ``(r_lo, r_hi]`` of cells in ``ring``."""
+        self._check_ring(ring)
+        lo = self.r_min if ring == 0 else self.ring_radius(ring - 1)
+        return lo, self.ring_radius(ring)
+
+    # ------------------------------------------------------------------
+    # global ids
+    # ------------------------------------------------------------------
+
+    def global_id(self, ring, cell):
+        """Flatten ``(ring, cell)`` to a single id: ring i starts at 2^i - 1."""
+        ring = np.asarray(ring, dtype=np.int64)
+        cell = np.asarray(cell, dtype=np.int64)
+        return ((np.int64(1) << ring) - 1) + cell
+
+    def ring_of_global(self, gid: int) -> tuple[int, int]:
+        """Inverse of :meth:`global_id` for a scalar id."""
+        gid = int(gid)
+        ring = int(gid + 1).bit_length() - 1
+        return ring, gid - ((1 << ring) - 1)
+
+    # ------------------------------------------------------------------
+    # point assignment (vectorised)
+    # ------------------------------------------------------------------
+
+    def assign_radial(self, rho: np.ndarray) -> np.ndarray:
+        """Ring index per point from its radius.
+
+        Points at ``r_min`` or below land in ring 0 (only the source
+        should ever be below it); points within rounding of ``r_max``
+        land in ring ``k``.
+        """
+        d = self.dim
+        lo = self.r_min**d
+        hi = self.r_max**d
+        u = (rho.astype(np.float64) ** d - lo) / (hi - lo)
+        np.clip(u, 0.0, 1.0, out=u)
+        ring = np.zeros(rho.shape[0], dtype=np.int64)
+        positive = u > 0.0
+        with np.errstate(divide="ignore"):
+            # The small epsilon keeps points sitting exactly on circle i
+            # in ring i ("r_{i-1} < rho <= r_i") despite float rounding.
+            ring[positive] = np.ceil(
+                self.k + np.log2(u[positive]) - 1e-9
+            ).astype(np.int64)
+        np.clip(ring, 0, self.k, out=ring)
+        return ring
+
+    def assign(self, rho: np.ndarray, t: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(ring, cell)`` assignment for transformed points.
+
+        :param rho: ``(n,)`` radii around the grid centre.
+        :param t: ``(n, d-1)`` measure-uniform angular coordinates.
+        :returns: integer arrays ``(ring, cell)``.
+        """
+        if t.ndim != 2 or t.shape[1] != self.angular_axes:
+            raise ValueError(
+                f"expected t of shape (n, {self.angular_axes}), got {t.shape}"
+            )
+        ring = self.assign_radial(rho)
+        cell = np.zeros(rho.shape[0], dtype=np.int64)
+        for r in range(1, self.k + 1):
+            mask = ring == r
+            if not np.any(mask):
+                continue
+            code = np.zeros(int(mask.sum()), dtype=np.int64)
+            for width, column in zip(self.axis_splits(r), t[mask].T):
+                bins = np.minimum(
+                    (column * (1 << width)).astype(np.int64), (1 << width) - 1
+                )
+                code = (code << width) | bins
+            cell[mask] = code
+        return ring, cell
+
+    def assign_points(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Convenience: transform raw points and assign them."""
+        rho, t = self.transform.transform(points, self.center)
+        ring, cell = self.assign(rho, t)
+        return ring, cell
+
+    def occupancy_ok(self, ring: np.ndarray, cell: np.ndarray) -> bool:
+        """Property 3 of Section III-A: every cell of rings ``1..k-1``
+        holds at least one point (the outermost ring may have holes)."""
+        if self.k == 1:
+            return True
+        inner = (ring >= 1) & (ring <= self.k - 1)
+        if not np.any(inner):
+            return False
+        gid = self.global_id(ring[inner], cell[inner])
+        # Cells of rings 1..k-1 occupy global ids [1, 2^k - 2].
+        required = (1 << self.k) - 2
+        counts = np.bincount(gid, minlength=required + 1)
+        return int(np.count_nonzero(counts[1:])) == required
+
+    def parent_cells(self, ring: int, cells: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`parent_cell` for many cells of one ring."""
+        self._check_ring(ring)
+        if ring == 0:
+            raise ValueError("the inner region has no parent cell")
+        cells = np.asarray(cells, dtype=np.int64)
+        if ring == 1:
+            return np.zeros_like(cells)
+        splits = self.axis_splits(ring)
+        axis = self.split_axis(ring - 1)
+        bins = []
+        remainder = cells.copy()
+        for width in reversed(splits):
+            bins.append(remainder & ((1 << width) - 1))
+            remainder >>= width
+        bins.reverse()
+        bins[axis] = bins[axis] >> 1
+        out = np.zeros_like(cells)
+        for width, column in zip(self.axis_splits(ring - 1), bins):
+            out = (out << width) | column
+        return out
+
+    def connectivity_ok(self, ring: np.ndarray, cell: np.ndarray) -> bool:
+        """Relaxed occupancy for general convex regions (Section IV-C).
+
+        When the source is off-centre, whole angular sectors of the grid
+        lie outside the region and can never be occupied, so property 3
+        fails for any useful ``k``. For a *convex* region, however, the
+        straight segment from the source to any point stays inside the
+        region at a constant angular coordinate, so the radially-inward
+        parent of a cell that intersects the region also intersects it.
+        It therefore suffices that every occupied cell's parent cell is
+        occupied — the core tree stays connected and the degree budget
+        is untouched (each cell still has at most two child cells).
+        """
+        occupied = np.zeros(self.total_cells, dtype=bool)
+        occupied[self.global_id(ring, cell)] = True
+        for r in range(2, self.k + 1):
+            mask = ring == r
+            if not np.any(mask):
+                continue
+            parents = self.parent_cells(r, cell[mask])
+            if not np.all(occupied[self.global_id(r - 1, parents)]):
+                return False
+        return True
+
+
+def choose_ring_count(
+    grid_factory,
+    rho: np.ndarray,
+    t: np.ndarray,
+    n_points: int | None = None,
+    occupancy: str = "full",
+) -> int:
+    """Largest ``k`` whose grid satisfies the occupancy property.
+
+    :param grid_factory: callable ``k -> PolarGridND``.
+    :param rho: radii of the points to cover.
+    :param t: their angular coordinates.
+    :param n_points: override for the count used to cap the search
+        (defaults to ``len(rho)``).
+    :param occupancy: ``"full"`` for the paper's property 3 (every inner
+        cell non-empty — right for sources well inside the point cloud),
+        ``"connected"`` for the relaxed parent-chain rule that handles
+        off-centre sources in convex regions (see
+        :meth:`PolarGridND.connectivity_ok`).
+    :returns: the chosen ``k`` (at least 1 — a 1-ring grid is always
+        valid because it has no interior rings to keep occupied).
+    """
+    if occupancy not in ("full", "connected"):
+        raise ValueError(f"unknown occupancy rule {occupancy!r}")
+    n = n_points if n_points is not None else rho.shape[0]
+    # Rings 1..k-1 hold 2^k - 2 cells, so k can never exceed log2(n + 2)
+    # under the full rule; the paper's eq. (5) says the achieved k is
+    # about half that. The connected rule can afford a deeper grid, but
+    # going past log2(n) + a margin only adds empty leaf cells.
+    k_cap = min(MAX_RINGS, max(1, int(np.floor(np.log2(n + 2))) + 2))
+    for k in range(k_cap, 1, -1):
+        grid = grid_factory(k)
+        ring, cell = grid.assign(rho, t)
+        if occupancy == "full":
+            ok = grid.occupancy_ok(ring, cell)
+        else:
+            ok = grid.connectivity_ok(ring, cell)
+        if ok:
+            return k
+    return 1

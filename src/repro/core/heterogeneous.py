@@ -1,0 +1,144 @@
+"""Polar-grid trees over hosts with *mixed* fan-out budgets.
+
+The paper assumes a uniform degree bound. Real overlay populations are
+mixed: servers that can forward to many peers, DSL hosts that can carry
+one or two copies, and mobile/metered hosts that can forward nothing.
+
+This builder splits the population by capability:
+
+* **forwarders** — hosts whose budget covers the binary construction
+  (budget >= 2); the out-degree-2 polar grid is built over them, so the
+  asymptotic-optimality machinery applies to the backbone;
+* **leaf-only hosts** — budget 0 or 1; they attach greedily (minimum
+  resulting delay) to forwarders' *spare* capacity: a forwarder with
+  budget ``b`` uses at most 2 slots in the binary backbone and offers
+  the remaining ``b - used`` to leaves. (Budget-1 leaves still never
+  forward: granting their single slot would complicate nothing today,
+  but the role split keeps the backbone analysis intact.)
+
+The result honours every individual budget and degrades gracefully: with
+uniform budgets >= 2 and no leaf-only hosts it reduces to the ordinary
+binary construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.builder import BuildResult, build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.geometry.points import validate_points
+
+__all__ = ["build_heterogeneous_tree"]
+
+
+def build_heterogeneous_tree(
+    points,
+    budgets,
+    source: int = 0,
+    **grid_kwargs,
+) -> BuildResult:
+    """Degree-respecting tree over a mixed-capability population.
+
+    :param points: ``(n, d)`` coordinates.
+    :param budgets: per-host fan-out budgets, shape ``(n,)``. The source
+        needs budget >= 2 (it roots the backbone); hosts with budget
+        >= 2 form the backbone; the rest are leaves.
+    :param grid_kwargs: forwarded to the backbone's polar-grid build.
+    :returns: a :class:`~repro.core.builder.BuildResult`; ``rings`` etc.
+        describe the backbone build.
+    :raises ValueError: if the source is leaf-only, or spare forwarder
+        capacity cannot host all the leaves.
+    """
+    started = time.perf_counter()
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    validate_points(points)
+    n = points.shape[0]
+    budgets = np.asarray(budgets, dtype=np.int64)
+    if budgets.shape != (n,):
+        raise ValueError(f"budgets must have shape ({n},)")
+    if np.any(budgets < 0):
+        raise ValueError("budgets cannot be negative")
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if budgets[source] < 2:
+        raise ValueError("the source needs fan-out >= 2 to root the backbone")
+
+    forwarders = np.flatnonzero(budgets >= 2)
+    leaves = np.flatnonzero(budgets < 2)
+
+    # --- backbone: binary polar grid over the forwarders ---
+    backbone_points = points[forwarders]
+    backbone_source = int(np.flatnonzero(forwarders == source)[0])
+    backbone = build_polar_grid_tree(
+        backbone_points, backbone_source, 2, **grid_kwargs
+    )
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    backbone_parent = backbone.tree.parent
+    for local, global_idx in enumerate(forwarders.tolist()):
+        if global_idx != source:
+            parent[global_idx] = forwarders[backbone_parent[local]]
+
+    # --- leaves: greedy min-delay attachment to spare capacity ---
+    if leaves.size:
+        used = np.zeros(n, dtype=np.int64)
+        counts = np.bincount(
+            backbone_parent, minlength=len(forwarders)
+        )
+        counts[backbone_source] -= 1  # the root's self-loop
+        used[forwarders] = counts
+        spare = budgets - used
+        spare[leaves] = 0  # leaf-only hosts never forward
+
+        backbone_delays = backbone.tree.root_delays()
+        delay = np.zeros(n)
+        delay[forwarders] = backbone_delays
+
+        capacity = int(spare[forwarders].sum())
+        if capacity < leaves.size:
+            raise ValueError(
+                f"forwarders offer {capacity} spare slots for "
+                f"{leaves.size} leaf-only hosts; the population cannot "
+                "be spanned under these budgets"
+            )
+
+        # Nearest-to-source leaves first, so early attachments do not
+        # crowd out later ones unnecessarily.
+        leaf_order = leaves[
+            np.argsort(
+                np.linalg.norm(points[leaves] - points[source], axis=1)
+            )
+        ]
+        open_hosts = forwarders[spare[forwarders] > 0]
+        for leaf in leaf_order.tolist():
+            dist = np.linalg.norm(points[open_hosts] - points[leaf], axis=1)
+            cost = delay[open_hosts] + dist
+            pick = int(np.argmin(cost))
+            adopter = int(open_hosts[pick])
+            parent[leaf] = adopter
+            delay[leaf] = float(cost[pick])
+            spare[adopter] -= 1
+            if spare[adopter] == 0:
+                open_hosts = np.delete(open_hosts, pick)
+
+    tree = MulticastTree(points=points, parent=parent, root=source)
+    return BuildResult(
+        tree=tree,
+        max_out_degree=int(budgets.max()),
+        rings=backbone.rings,
+        core_delay=backbone.core_delay,
+        upper_bound=None,
+        build_seconds=time.perf_counter() - started,
+        representative_count=backbone.representative_count,
+        grid=backbone.grid,
+        representatives=(
+            forwarders[backbone.representatives]
+            if backbone.representatives is not None
+            and backbone.representatives.size
+            else backbone.representatives
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Saving and loading multicast trees.
+
+Two formats:
+
+* **npz** — compact binary via numpy; the right choice for multi-million
+  node trees (a 5M-node tree round-trips in well under a second);
+* **json** — human-readable, for configuration hand-offs and debugging.
+
+Both store exactly the tree's defining data (points, parent array,
+root) plus a format version, and both validate on load so a corrupted
+file fails loudly instead of producing a silently broken tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+
+__all__ = ["save_tree", "load_tree"]
+
+_FORMAT_VERSION = 1
+
+
+def save_tree(tree: MulticastTree, path) -> Path:
+    """Write a tree to ``path``; format chosen by suffix (.npz or .json).
+
+    :returns: the resolved path written.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            version=np.int64(_FORMAT_VERSION),
+            points=tree.points,
+            parent=tree.parent,
+            root=np.int64(tree.root),
+        )
+    elif path.suffix == ".json":
+        payload = {
+            "version": _FORMAT_VERSION,
+            "root": int(tree.root),
+            "points": tree.points.tolist(),
+            "parent": tree.parent.tolist(),
+        }
+        path.write_text(json.dumps(payload))
+    else:
+        raise ValueError(
+            f"unsupported suffix {path.suffix!r}; use .npz or .json"
+        )
+    return path
+
+
+def load_tree(path) -> MulticastTree:
+    """Read a tree written by :func:`save_tree` and validate it.
+
+    :raises ValueError: on unknown suffix or format version.
+    :raises repro.core.tree.TreeInvariantError: if the stored data does
+        not describe a valid tree.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(f"unsupported tree format version {version}")
+            tree = MulticastTree(
+                points=data["points"],
+                parent=data["parent"],
+                root=int(data["root"]),
+            )
+    elif path.suffix == ".json":
+        payload = json.loads(path.read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported tree format version {payload.get('version')}"
+            )
+        tree = MulticastTree(
+            points=np.asarray(payload["points"], dtype=np.float64),
+            parent=np.asarray(payload["parent"], dtype=np.int64),
+            root=int(payload["root"]),
+        )
+    else:
+        raise ValueError(
+            f"unsupported suffix {path.suffix!r}; use .npz or .json"
+        )
+    return tree.validate()

@@ -1,0 +1,188 @@
+"""The square-grid bisection variant of Section II.
+
+The paper remarks that the bisection algorithm "is easier to describe
+for a square" before developing the polar version it actually needs.
+This module implements that square version — a quadtree construction —
+both because it is the natural tool when the point cloud is a box
+rather than a disk, and as an ablation partner for the polar variant.
+
+Construction: the bounding box is split at its centre into ``2^d``
+equal sub-boxes; the local source connects the point *closest to
+itself* in each non-empty sub-box; recursion continues inside each
+sub-box with its representative as local source. Out-degree is ``2^d``
+(4 in the plane); the binary variant halves one axis at a time,
+cycling, for out-degree 2.
+
+Path-length bound (the square analogue of equation (1)): each level's
+hop stays inside a box whose diagonal halves every ``d`` splits, so
+
+    l_p  <=  2 * sqrt(d) * side     (full variant)
+
+for a top box of side ``side`` — within a constant factor of the
+optimum, since any tree must span the box (OPT >= side / 2 when the box
+is minimal).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.builder import BuildResult
+from repro.core.tree import MulticastTree
+from repro.geometry.points import validate_points
+
+__all__ = ["build_quadtree_tree", "quadtree_path_bound"]
+
+
+def quadtree_path_bound(side: float, dim: int, max_out_degree: int) -> float:
+    """Upper bound on any path of the square bisection.
+
+    ``2 * sqrt(d) * side`` for the full variant; the binary variant uses
+    up to ``d`` hops per full halving cycle, multiplying the bound by
+    ``d``.
+    """
+    if side < 0:
+        raise ValueError("side must be non-negative")
+    if dim < 1:
+        raise ValueError("dim must be positive")
+    hops = 1.0 if max_out_degree >= (1 << dim) else float(dim)
+    return 2.0 * math.sqrt(dim) * side * hops
+
+
+def _nearest(members, points, anchor):
+    """Position in ``members`` of the point nearest ``anchor``."""
+    best = 0
+    best_d = math.inf
+    for pos, idx in enumerate(members):
+        d = 0.0
+        p = points[idx]
+        for a, b in zip(p, anchor):
+            d += (a - b) * (a - b)
+        if d < best_d:
+            best_d = d
+            best = pos
+    return best
+
+
+def _run_full(stack, points, parent, dim):
+    """Full mode: one step splits every axis (2^d sub-boxes)."""
+    while stack:
+        source, members, (lower, upper) = stack.pop()
+        if not members:
+            continue
+        if len(members) == 1:
+            parent[members[0]] = source
+            continue
+        mid = [(lo + hi) / 2.0 for lo, hi in zip(lower, upper)]
+        buckets = {}
+        for idx in members:
+            code = 0
+            p = points[idx]
+            for axis in range(dim):
+                if p[axis] >= mid[axis]:
+                    code |= 1 << axis
+            buckets.setdefault(code, []).append(idx)
+        source_point = points[source]
+        for code, group in buckets.items():
+            sub_lower = tuple(
+                mid[a] if code & (1 << a) else lower[a] for a in range(dim)
+            )
+            sub_upper = tuple(
+                upper[a] if code & (1 << a) else mid[a] for a in range(dim)
+            )
+            pos = _nearest(group, points, source_point)
+            rep = group.pop(pos)
+            parent[rep] = source
+            if group:
+                stack.append((rep, group, (sub_lower, sub_upper)))
+
+
+def _run_binary(stack, points, parent, dim):
+    """Binary mode: halve one axis per step, cycling through the axes."""
+    while stack:
+        source, members, (lower, upper), axis = stack.pop()
+        if not members:
+            continue
+        if len(members) <= 2:
+            for idx in members:
+                parent[idx] = source
+            continue
+        mid = (lower[axis] + upper[axis]) / 2.0
+        low = [i for i in members if points[i][axis] < mid]
+        high = [i for i in members if points[i][axis] >= mid]
+        low_box = (
+            lower,
+            tuple(mid if a == axis else upper[a] for a in range(dim)),
+        )
+        high_box = (
+            tuple(mid if a == axis else lower[a] for a in range(dim)),
+            upper,
+        )
+        next_axis = (axis + 1) % dim
+        source_point = points[source]
+        for group, box in ((low, low_box), (high, high_box)):
+            if not group:
+                continue
+            pos = _nearest(group, points, source_point)
+            rep = group.pop(pos)
+            parent[rep] = source
+            if group:
+                stack.append((rep, group, box, next_axis))
+
+
+def build_quadtree_tree(
+    points,
+    source: int = 0,
+    max_out_degree: int = 4,
+) -> BuildResult:
+    """Square-grid bisection over the points' bounding box.
+
+    :param max_out_degree: ``2^d`` or more selects the full quadtree
+        (out-degree 4 in the plane); ``[2, 2^d)`` the axis-cycling
+        binary variant.
+    """
+    started = time.perf_counter()
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    validate_points(points)
+    n, dim = points.shape
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be at least 2")
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    receivers = [i for i in range(n) if i != source]
+
+    if receivers:
+        lower = points.min(axis=0)
+        upper = points.max(axis=0)
+        # Make the box square (equal sides) and open the top boundary a
+        # hair so max-coordinate points land inside their half.
+        side = float((upper - lower).max())
+        if side == 0.0:
+            side = 1.0
+        pad = side * 1e-12 + 1e-15
+        box = (
+            tuple(float(v) for v in lower),
+            tuple(float(v) + side + pad for v in lower),
+        )
+        point_rows = points.tolist()
+        if max_out_degree >= (1 << dim):
+            _run_full(
+                [(source, receivers, box)], point_rows, parent, dim
+            )
+        else:
+            _run_binary(
+                [(source, receivers, box, 0)], point_rows, parent, dim
+            )
+
+    tree = MulticastTree(points=points, parent=parent, root=source)
+    return BuildResult(
+        tree=tree,
+        max_out_degree=max_out_degree,
+        build_seconds=time.perf_counter() - started,
+    )

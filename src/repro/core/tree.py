@@ -1,0 +1,301 @@
+"""Rooted multicast trees over Euclidean point sets.
+
+The tree is stored as a flat *parent array*: ``parent[v]`` is the index of
+``v``'s parent, and ``parent[root] == root``. Nothing else is materialised
+unless asked for, which keeps a 5,000,000-node tree at two numpy arrays.
+
+Delay evaluation uses pointer doubling: ``log2(depth)`` vectorised passes
+instead of a Python-level traversal, so evaluating the paper's headline
+metric (the tree radius / maximum source-to-receiver delay) costs
+``O(n log depth)`` with numpy constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.points import validate_points
+
+__all__ = ["MulticastTree", "TreeInvariantError"]
+
+
+class TreeInvariantError(ValueError):
+    """Raised when a parent array does not describe a valid rooted tree."""
+
+
+@dataclass
+class MulticastTree:
+    """A rooted spanning tree over an ``(n, d)`` point set.
+
+    :param points: host coordinates, shape ``(n, d)``.
+    :param parent: parent indices, shape ``(n,)``; ``parent[root] == root``.
+    :param root: index of the source node.
+
+    Construction does *not* validate (builders create trees they know are
+    valid, and validation costs a full doubling pass); call
+    :meth:`validate` on anything that crossed an API boundary.
+    """
+
+    points: np.ndarray
+    parent: np.ndarray
+    root: int
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points, dtype=np.float64)
+        validate_points(self.points)
+        self.parent = np.asarray(self.parent, dtype=np.int64)
+        if self.parent.shape != (self.points.shape[0],):
+            raise ValueError(
+                f"parent array has shape {self.parent.shape}, expected "
+                f"({self.points.shape[0]},)"
+            )
+        self.root = int(self.root)
+        if not 0 <= self.root < self.n:
+            raise ValueError(f"root index {self.root} out of range for n={self.n}")
+        self._edge_lengths = None
+        self._root_delays = None
+        self._depths = None
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (source included)."""
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the embedding space."""
+        return self.points.shape[1]
+
+    @classmethod
+    def from_edges(cls, points: np.ndarray, edges, root: int) -> "MulticastTree":
+        """Build from ``(parent, child)`` pairs; missing children are an error."""
+        points = np.asarray(points, dtype=np.float64)
+        n = points.shape[0]
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[root] = root
+        for u, v in edges:
+            if parent[v] != -1:
+                raise TreeInvariantError(f"node {v} has two parents")
+            parent[v] = u
+        if np.any(parent < 0):
+            missing = int(np.flatnonzero(parent < 0)[0])
+            raise TreeInvariantError(f"node {missing} has no parent")
+        return cls(points=points, parent=parent, root=root)
+
+    def edges(self) -> np.ndarray:
+        """``(n-1, 2)`` array of ``(parent, child)`` pairs."""
+        children = np.flatnonzero(np.arange(self.n) != self.root)
+        return np.stack([self.parent[children], children], axis=1)
+
+    # ------------------------------------------------------------------
+    # degrees
+    # ------------------------------------------------------------------
+
+    def out_degrees(self) -> np.ndarray:
+        """Number of children of every node."""
+        counts = np.bincount(self.parent, minlength=self.n)
+        counts[self.root] -= 1  # the root's self-loop is not a child
+        return counts
+
+    def max_out_degree(self) -> int:
+        """The largest fan-out used anywhere in the tree."""
+        if self.n == 1:
+            return 0
+        return int(self.out_degrees().max())
+
+    # ------------------------------------------------------------------
+    # delays (pointer doubling)
+    # ------------------------------------------------------------------
+
+    def edge_lengths(self) -> np.ndarray:
+        """Euclidean length of each node's parent edge (0 for the root)."""
+        if self._edge_lengths is None:
+            diff = self.points - self.points[self.parent]
+            self._edge_lengths = np.sqrt(np.sum(diff * diff, axis=1))
+        return self._edge_lengths
+
+    def _double(self, accumulate: np.ndarray) -> np.ndarray:
+        """Pointer-doubling accumulation of per-edge values toward the root.
+
+        :param accumulate: per-node value of its parent edge.
+        :returns: per-node sum along the node-to-root path.
+        :raises TreeInvariantError: if the parent array contains a cycle
+            (doubling then fails to converge within ``log2(n) + 2`` passes).
+        """
+        total = accumulate.copy()
+        total[self.root] = 0
+        ancestor = self.parent.copy()
+        # A valid tree has depth < n, so log2(n) + 2 doubling passes suffice.
+        max_rounds = int(np.ceil(np.log2(max(self.n, 2)))) + 2
+        for _ in range(max_rounds):
+            if np.all(ancestor == self.root):
+                return total
+            total += total[ancestor]
+            ancestor = ancestor[ancestor]
+        if np.all(ancestor == self.root):
+            return total
+        raise TreeInvariantError(
+            "parent array does not converge to the root; it contains a cycle "
+            "or a second root"
+        )
+
+    def root_delays(self) -> np.ndarray:
+        """Delay (path length) from the root to every node.
+
+        This is the per-receiver multicast delay under the paper's model
+        where unicast delay equals Euclidean distance.
+        """
+        if self._root_delays is None:
+            self._root_delays = self._double(self.edge_lengths())
+        return self._root_delays
+
+    def depths(self) -> np.ndarray:
+        """Hop count from the root to every node."""
+        if self._depths is None:
+            hops = np.ones(self.n, dtype=np.float64)
+            self._depths = self._double(hops).astype(np.int64)
+        return self._depths
+
+    def radius(self) -> float:
+        """Length of the longest root-to-node path — the paper's objective."""
+        if self.n == 1:
+            return 0.0
+        return float(self.root_delays().max())
+
+    max_delay = radius
+
+    def delay_to(self, node: int) -> float:
+        """Delay from the root to one node."""
+        return float(self.root_delays()[node])
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Node indices from ``node`` up to and including the root."""
+        path = [int(node)]
+        seen = {int(node)}
+        while path[-1] != self.root:
+            nxt = int(self.parent[path[-1]])
+            if nxt in seen:
+                raise TreeInvariantError(f"cycle reached from node {node}")
+            path.append(nxt)
+            seen.add(nxt)
+        return path
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    def children_lists(self) -> list[list[int]]:
+        """Adjacency lists ``children[v]``; O(n) Python lists.
+
+        Needed by the event-driven simulator, which walks the tree in
+        dissemination order.
+        """
+        children = [[] for _ in range(self.n)]
+        for child, par in enumerate(self.parent.tolist()):
+            if child != self.root:
+                children[par].append(child)
+        return children
+
+    def subtree_nodes(self, node: int) -> np.ndarray:
+        """All nodes in the subtree rooted at ``node`` (vectorised).
+
+        Uses doubling over ancestor pointers: a node is in the subtree iff
+        ``node`` appears on its root path.
+        """
+        in_subtree = np.arange(self.n) == node
+        ancestor = self.parent.copy()
+        max_rounds = int(np.ceil(np.log2(max(self.n, 2)))) + 2
+        for _ in range(max_rounds):
+            in_subtree = in_subtree | in_subtree[ancestor]
+            if np.all(ancestor == self.root):
+                break
+            ancestor = ancestor[ancestor]
+        return np.flatnonzero(in_subtree)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self, max_out_degree: int | None = None) -> "MulticastTree":
+        """Check all tree invariants; return ``self`` for chaining.
+
+        Verifies: parent indices in range, exactly one root self-loop,
+        no cycles (doubling converges), and — if given — the out-degree
+        bound. Raises :class:`TreeInvariantError` on any violation.
+        """
+        if np.any((self.parent < 0) | (self.parent >= self.n)):
+            raise TreeInvariantError("parent index out of range")
+        self_loops = np.flatnonzero(self.parent == np.arange(self.n))
+        if self_loops.tolist() != [self.root]:
+            raise TreeInvariantError(
+                f"expected exactly one self-loop at the root {self.root}; "
+                f"found self-loops at {self_loops.tolist()}"
+            )
+        # _double raises on cycles / disconnected components.
+        self._double(np.zeros(self.n))
+        if max_out_degree is not None:
+            worst = self.max_out_degree()
+            if worst > max_out_degree:
+                raise TreeInvariantError(
+                    f"out-degree {worst} exceeds the bound {max_out_degree}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def stretch(self) -> np.ndarray:
+        """Per-node ratio of tree delay to direct source distance.
+
+        Nodes coincident with the source report stretch 1.
+        """
+        direct = np.sqrt(
+            np.sum((self.points - self.points[self.root]) ** 2, axis=1)
+        )
+        delays = self.root_delays()
+        out = np.ones(self.n, dtype=np.float64)
+        mask = direct > 0
+        out[mask] = delays[mask] / direct[mask]
+        return out
+
+    def to_networkx(self):
+        """The tree as a :class:`networkx.DiGraph` (edges parent->child,
+        weighted by Euclidean length; node attribute ``pos``).
+
+        For interop with the wider graph ecosystem — drawing, centrality
+        analysis, export formats. O(n) Python; not for the 5M-node path.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        lengths = self.edge_lengths()
+        for node in range(self.n):
+            graph.add_node(node, pos=tuple(self.points[node]))
+        for node in range(self.n):
+            if node != self.root:
+                graph.add_edge(
+                    int(self.parent[node]), node, weight=float(lengths[node])
+                )
+        return graph
+
+    def summary(self) -> dict:
+        """Human-oriented statistics bundle used by the CLI and examples."""
+        delays = self.root_delays()
+        degrees = self.out_degrees()
+        depths = self.depths()
+        return {
+            "nodes": self.n,
+            "dim": self.dim,
+            "radius": float(delays.max()) if self.n else 0.0,
+            "mean_delay": float(delays.mean()) if self.n else 0.0,
+            "max_out_degree": int(degrees.max()) if self.n else 0,
+            "max_depth": int(depths.max()) if self.n else 0,
+            "mean_stretch": float(self.stretch().mean()) if self.n else 1.0,
+        }

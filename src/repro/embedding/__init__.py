@@ -1,0 +1,37 @@
+"""Network-coordinate substrates: producing the Euclidean embedding.
+
+The paper *assumes* hosts are already mapped to Euclidean space so that
+unicast delay is approximated by distance, citing GNP-style measurement
+embeddings [12] and geographic mappings [16]/[10]. This package builds
+that assumed layer:
+
+* :mod:`repro.embedding.delay_models` — synthetic but structured
+  delay matrices (noisy-Euclidean, and transit-stub topologies via
+  networkx) standing in for Internet measurements we cannot take;
+* :mod:`repro.embedding.gnp` — Global Network Positioning: landmark
+  least-squares embedding into ``R^d``;
+* :mod:`repro.embedding.vivaldi` — decentralised spring-relaxation
+  coordinates, as a second embedding with different error behaviour.
+
+Together with :mod:`repro.core` this closes the loop the paper leaves to
+future work: "how well the algorithm performs in combination with the
+mapping" (see ``benchmarks/test_embedding.py``).
+"""
+
+from repro.embedding.delay_models import (
+    embedding_distortion,
+    noisy_euclidean_delays,
+    transit_stub_delays,
+)
+from repro.embedding.gnp import gnp_embedding
+from repro.embedding.underlay import TransitStubNetwork
+from repro.embedding.vivaldi import vivaldi_embedding
+
+__all__ = [
+    "TransitStubNetwork",
+    "embedding_distortion",
+    "gnp_embedding",
+    "noisy_euclidean_delays",
+    "transit_stub_delays",
+    "vivaldi_embedding",
+]

@@ -1,0 +1,111 @@
+"""Synthetic unicast-delay matrices.
+
+The paper's pipeline starts from *measured* pairwise Internet delays. We
+cannot measure the 2004 Internet, so these models generate delay matrices
+with the structure the embedding literature cares about: triangle-
+inequality violations of controlled magnitude (noisy Euclidean) and
+hierarchical routing detours (transit-stub graphs). Both exercise the
+same code path the real measurements would: matrix in, coordinates out,
+tree built on the coordinates, quality judged against the *true* delays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import pairwise_distances, validate_points
+
+__all__ = [
+    "noisy_euclidean_delays",
+    "transit_stub_delays",
+    "embedding_distortion",
+]
+
+
+def noisy_euclidean_delays(
+    points: np.ndarray, noise: float = 0.1, seed=None
+) -> np.ndarray:
+    """Delays = distances times symmetric lognormal noise.
+
+    :param points: ground-truth coordinates, shape ``(n, d)``.
+    :param noise: sigma of the lognormal factor; 0 gives exact distances.
+    :returns: symmetric ``(n, n)`` matrix with zero diagonal.
+    """
+    validate_points(points)
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    rng = np.random.default_rng(seed)
+    base = pairwise_distances(points)
+    factors = rng.lognormal(mean=0.0, sigma=noise, size=base.shape)
+    # Symmetrise the noise so delay(i, j) == delay(j, i).
+    factors = np.sqrt(factors * factors.T)
+    delays = base * factors
+    np.fill_diagonal(delays, 0.0)
+    return delays
+
+
+def transit_stub_delays(
+    n_hosts: int,
+    n_transit: int = 8,
+    stubs_per_transit: int = 3,
+    transit_delay: float = 20.0,
+    stub_delay: float = 5.0,
+    access_delay: float = 2.0,
+    seed=None,
+) -> np.ndarray:
+    """Delays from a two-level transit-stub topology (GT-ITM style).
+
+    A ring-plus-chords transit core connects stub domains; hosts attach
+    to random stub routers. Delays are shortest paths in the weighted
+    graph, which violate the triangle inequality structure of any
+    Euclidean space — the hard case for embeddings.
+
+    :param n_hosts: number of end hosts (the returned matrix size).
+    :returns: symmetric ``(n_hosts, n_hosts)`` delay matrix.
+
+    For the topology itself (link-stress analysis, routing queries) use
+    :class:`repro.embedding.underlay.TransitStubNetwork`, of which this
+    is the matrix-only view.
+    """
+    from repro.embedding.underlay import TransitStubNetwork
+
+    network = TransitStubNetwork.generate(
+        n_hosts,
+        n_transit=n_transit,
+        stubs_per_transit=stubs_per_transit,
+        transit_delay=transit_delay,
+        stub_delay=stub_delay,
+        access_delay=access_delay,
+        seed=seed,
+    )
+    return network.delay_matrix()
+
+
+def embedding_distortion(
+    delays: np.ndarray, coords: np.ndarray
+) -> dict[str, float]:
+    """How well coordinates reproduce a delay matrix.
+
+    :returns: dict with ``median_ratio_error`` (the GNP paper's relative
+        error median), ``mean_ratio_error`` and ``stress`` (normalised
+        RMS error).
+    """
+    validate_points(coords)
+    n = delays.shape[0]
+    if delays.shape != (n, n) or coords.shape[0] != n:
+        raise ValueError("delays must be (n, n) and coords (n, d)")
+    est = pairwise_distances(coords)
+    iu = np.triu_indices(n, k=1)
+    actual = delays[iu]
+    predicted = est[iu]
+    positive = actual > 0
+    ratio = np.abs(predicted[positive] - actual[positive]) / actual[positive]
+    denom = float(np.sum(actual**2))
+    stress = float(
+        np.sqrt(np.sum((predicted - actual) ** 2) / denom) if denom else 0.0
+    )
+    return {
+        "median_ratio_error": float(np.median(ratio)) if ratio.size else 0.0,
+        "mean_ratio_error": float(ratio.mean()) if ratio.size else 0.0,
+        "stress": stress,
+    }

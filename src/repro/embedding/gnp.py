@@ -1,0 +1,166 @@
+"""Global Network Positioning (Ng & Zhang [12]) landmark embedding.
+
+Two phases, as in the paper the reproduction target cites for its
+coordinate assumption:
+
+1. a small set of landmarks embeds itself by minimising the squared
+   relative error between landmark-landmark delays and distances;
+2. every other host solves its own small least-squares problem against
+   the fixed landmark coordinates.
+
+Landmarks are chosen by greedy maximin (farthest-point) selection on the
+delay matrix, which is what deployed GNP variants do to spread landmarks
+out. Uses :func:`scipy.optimize.least_squares` for both phases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import least_squares
+
+__all__ = ["gnp_embedding", "select_landmarks"]
+
+
+def select_landmarks(delays: np.ndarray, count: int, seed=None) -> np.ndarray:
+    """Greedy maximin landmark selection.
+
+    Starts from the host with the largest total delay (a periphery node)
+    and repeatedly adds the host farthest from the chosen set.
+    """
+    n = delays.shape[0]
+    if not 1 <= count <= n:
+        raise ValueError(f"landmark count must be in [1, {n}]")
+    first = int(np.argmax(delays.sum(axis=1)))
+    chosen = [first]
+    min_dist = delays[first].copy()
+    for _ in range(count - 1):
+        nxt = int(np.argmax(min_dist))
+        chosen.append(nxt)
+        np.minimum(min_dist, delays[nxt], out=min_dist)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def _relative_residuals(distances: np.ndarray, delays: np.ndarray) -> np.ndarray:
+    """GNP's relative-error objective, guarded against zero delays."""
+    scale = np.where(delays > 0, delays, 1.0)
+    return (distances - delays) / scale
+
+
+def _classical_mds(delays: np.ndarray, dim: int) -> np.ndarray:
+    """Classical (Torgerson) MDS: the closed-form Euclidean embedding.
+
+    Used to initialise the landmark optimisation: starting from the MDS
+    solution instead of a random point makes the refinement land in the
+    same basin every run (a random start plus a chaotic least-squares
+    descent occasionally picked a different local optimum — observed as
+    run-to-run nondeterminism).
+    """
+    m = delays.shape[0]
+    sq = delays**2
+    centering = np.eye(m) - np.ones((m, m)) / m
+    gram = -0.5 * centering @ sq @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1][:dim]
+    components = eigenvectors[:, order] * np.sqrt(
+        np.maximum(eigenvalues[order], 0.0)
+    )
+    if components.shape[1] < dim:
+        components = np.pad(
+            components, ((0, 0), (0, dim - components.shape[1]))
+        )
+    # Fix the rotation/reflection gauge so the output is canonical.
+    for axis in range(components.shape[1]):
+        if components[:, axis].sum() < 0:
+            components[:, axis] *= -1.0
+    return components
+
+
+def _trilaterate(
+    lm_coords: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Linear least-squares position from landmark distances.
+
+    Subtracting the first landmark's sphere equation from the others
+    linearises the system; the solution is the standard multilateration
+    initialiser (exact for consistent distances, robust otherwise).
+    """
+    ref = lm_coords[0]
+    rows = 2.0 * (lm_coords[1:] - ref)
+    rhs = (
+        np.sum(lm_coords[1:] ** 2, axis=1)
+        - np.sum(ref**2)
+        - targets[1:] ** 2
+        + targets[0] ** 2
+    )
+    solution, *_ = np.linalg.lstsq(rows, rhs, rcond=None)
+    return solution
+
+
+def gnp_embedding(
+    delays: np.ndarray,
+    dim: int = 2,
+    n_landmarks: int | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Embed a delay matrix into ``R^dim`` with the GNP procedure.
+
+    :param delays: symmetric ``(n, n)`` delay matrix, zero diagonal.
+    :param dim: target dimensionality (the cited work uses 2-8; 2 and 3
+        feed this package's tree algorithms directly).
+    :param n_landmarks: landmarks to use; defaults to ``2 * dim + 1``
+        (enough for a rigid fit plus redundancy), capped at ``n``.
+    :returns: ``(n, dim)`` coordinates.
+    """
+    delays = np.asarray(delays, dtype=np.float64)
+    n = delays.shape[0]
+    if delays.shape != (n, n):
+        raise ValueError("delays must be a square matrix")
+    if n < 2:
+        raise ValueError("need at least two hosts to embed")
+    if dim < 1:
+        raise ValueError("dim must be positive")
+    if not np.allclose(delays, delays.T, rtol=1e-8, atol=1e-10):
+        raise ValueError("delay matrix must be symmetric")
+    if np.any(delays < 0):
+        raise ValueError("delays cannot be negative")
+
+    if n_landmarks is None:
+        n_landmarks = min(n, 2 * dim + 1)
+    n_landmarks = min(n_landmarks, n)
+    landmarks = select_landmarks(delays, n_landmarks, seed=seed)
+    lm_delays = delays[np.ix_(landmarks, landmarks)]
+
+    # Phase 1: joint landmark embedding — classical MDS start, then a
+    # least-squares refinement of GNP's relative-error objective. The
+    # deterministic start keeps repeated runs in one optimisation basin
+    # (``seed`` only influences tie-breaking in landmark selection).
+    iu = np.triu_indices(n_landmarks, k=1)
+
+    def landmark_cost(flat: np.ndarray) -> np.ndarray:
+        coords = flat.reshape(n_landmarks, dim)
+        diff = coords[iu[0]] - coords[iu[1]]
+        dist = np.sqrt(np.sum(diff * diff, axis=1))
+        return _relative_residuals(dist, lm_delays[iu])
+
+    start = _classical_mds(lm_delays, dim).ravel()
+    fit = least_squares(landmark_cost, start, method="lm", max_nfev=2000)
+    lm_coords = fit.x.reshape(n_landmarks, dim)
+
+    # Phase 2: each host against the fixed landmarks, initialised by
+    # linear multilateration (deterministic and usually near-optimal).
+    coords = np.zeros((n, dim))
+    coords[landmarks] = lm_coords
+    landmark_set = set(landmarks.tolist())
+    for host in range(n):
+        if host in landmark_set:
+            continue
+        targets = delays[host, landmarks]
+
+        def host_cost(x: np.ndarray, targets=targets) -> np.ndarray:
+            dist = np.sqrt(np.sum((lm_coords - x) ** 2, axis=1))
+            return _relative_residuals(dist, targets)
+
+        guess = _trilaterate(lm_coords, targets)
+        sol = least_squares(host_cost, guess, method="lm", max_nfev=500)
+        coords[host] = sol.x
+    return coords

@@ -1,0 +1,245 @@
+"""Underlay topology model: the physical network beneath the overlay.
+
+Overlay multicast sends each tree edge as a unicast flow across the
+*underlay* (router-level) network. Two classic questions about an
+overlay tree need the underlay, not just the delay matrix:
+
+* **link stress** — how many overlay flows cross one physical link
+  (IP multicast achieves stress 1; overlay trees pay more);
+* **path inflation** — overlay-path delay over direct underlay delay.
+
+:class:`TransitStubNetwork` generates the two-level GT-ITM-style
+topology the 2000s overlay literature evaluated on (transit core ring +
+chords, stub domains, host access links) and answers routing queries.
+:func:`repro.embedding.delay_models.transit_stub_delays` is the
+matrix-only convenience view of the same generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TransitStubNetwork"]
+
+
+class TransitStubNetwork:
+    """A transit-stub underlay with attached end hosts.
+
+    Use :meth:`generate`; the constructor takes prebuilt parts.
+
+    :ivar graph: the weighted :class:`networkx.Graph` of routers+hosts.
+    :ivar hosts: node labels of the end hosts, index-aligned with the
+        delay matrix.
+    """
+
+    def __init__(self, graph, hosts):
+        import networkx as nx
+
+        if not isinstance(graph, nx.Graph):
+            raise TypeError("graph must be a networkx.Graph")
+        self.graph = graph
+        self.hosts = list(hosts)
+        if len(self.hosts) < 2:
+            raise ValueError("an underlay needs at least two hosts")
+        self._paths = None
+        self._lengths = None
+
+    @classmethod
+    def generate(
+        cls,
+        n_hosts: int,
+        n_transit: int = 8,
+        stubs_per_transit: int = 3,
+        transit_delay: float = 20.0,
+        stub_delay: float = 5.0,
+        access_delay: float = 2.0,
+        seed=None,
+    ) -> "TransitStubNetwork":
+        """Generate the topology (same parameters and distributions as
+        :func:`~repro.embedding.delay_models.transit_stub_delays`)."""
+        import networkx as nx
+
+        if n_hosts < 2:
+            raise ValueError("need at least two hosts")
+        if n_transit < 2 or stubs_per_transit < 1:
+            raise ValueError("need at least 2 transit routers and 1 stub each")
+        rng = np.random.default_rng(seed)
+        graph = nx.Graph()
+
+        transits = [("t", i) for i in range(n_transit)]
+        for i in range(n_transit):
+            graph.add_edge(
+                transits[i],
+                transits[(i + 1) % n_transit],
+                weight=transit_delay * (0.5 + rng.random()),
+            )
+        for _ in range(max(1, n_transit // 2)):
+            a, b = rng.choice(n_transit, size=2, replace=False)
+            graph.add_edge(
+                transits[int(a)],
+                transits[int(b)],
+                weight=transit_delay * (0.5 + rng.random()),
+            )
+
+        stubs = []
+        for i in range(n_transit):
+            for j in range(stubs_per_transit):
+                stub = ("s", i, j)
+                stubs.append(stub)
+                graph.add_edge(
+                    transits[i], stub, weight=stub_delay * (0.5 + rng.random())
+                )
+
+        hosts = []
+        for h in range(n_hosts):
+            stub = stubs[int(rng.integers(0, len(stubs)))]
+            host = ("h", h)
+            hosts.append(host)
+            graph.add_edge(
+                stub, host, weight=access_delay * (0.5 + rng.random())
+            )
+        return cls(graph, hosts)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _ensure_routes(self):
+        if self._paths is None:
+            import networkx as nx
+
+            self._paths = {}
+            self._lengths = {}
+            for host in self.hosts:
+                lengths, paths = nx.single_source_dijkstra(
+                    self.graph, host, weight="weight"
+                )
+                self._paths[host] = paths
+                self._lengths[host] = lengths
+
+    def delay_matrix(self) -> np.ndarray:
+        """Symmetric host-to-host shortest-path delays."""
+        self._ensure_routes()
+        n = len(self.hosts)
+        delays = np.zeros((n, n))
+        for i, hi in enumerate(self.hosts):
+            row = self._lengths[hi]
+            for j, hj in enumerate(self.hosts):
+                if i != j:
+                    delays[i, j] = row[hj]
+        return (delays + delays.T) / 2.0
+
+    def route(self, i: int, j: int) -> list:
+        """Router-level path between hosts ``i`` and ``j`` (node labels)."""
+        self._ensure_routes()
+        return self._paths[self.hosts[i]][self.hosts[j]]
+
+    # ------------------------------------------------------------------
+    # overlay analysis
+    # ------------------------------------------------------------------
+
+    def link_stress(self, tree) -> dict:
+        """Physical-link stress of an overlay tree.
+
+        Maps every overlay edge onto its underlay route and counts how
+        many overlay flows traverse each physical link.
+
+        :param tree: a :class:`~repro.core.tree.MulticastTree` whose node
+            indices align with :attr:`hosts`.
+        :returns: dict with ``max``, ``mean`` (over links carrying at
+            least one flow), ``links_used`` and the per-link ``counts``
+            mapping (frozenset endpoint pair -> flows).
+        """
+        if tree.n != len(self.hosts):
+            raise ValueError(
+                f"tree has {tree.n} nodes but the underlay hosts "
+                f"{len(self.hosts)}"
+            )
+        counts: dict[frozenset, int] = {}
+        for parent_idx, child_idx in tree.edges().tolist():
+            path = self.route(parent_idx, child_idx)
+            for a, b in zip(path, path[1:]):
+                key = frozenset((a, b))
+                counts[key] = counts.get(key, 0) + 1
+        if not counts:
+            return {"max": 0, "mean": 0.0, "links_used": 0, "counts": {}}
+        values = list(counts.values())
+        return {
+            "max": max(values),
+            "mean": sum(values) / len(values),
+            "links_used": len(values),
+            "counts": counts,
+        }
+
+    def ip_multicast_baseline(self, source: int = 0) -> dict:
+        """What network-supported IP multicast would achieve.
+
+        IP multicast delivers along the underlay's shortest-path tree
+        from the source: every physical link carries at most one copy
+        (stress 1) and every host receives at its unicast delay. The
+        paper's introduction motivates overlay multicast as the
+        deployable approximation of exactly this ideal; this method
+        computes the ideal so the gap is measurable.
+
+        :returns: dict with ``max_delay`` (the radius IP multicast
+            achieves), ``mean_delay``, and ``stress`` (always 1 by
+            construction, included for symmetric reporting).
+        """
+        self._ensure_routes()
+        src = self.hosts[source]
+        lengths = self._lengths[src]
+        delays = np.array(
+            [lengths[h] for h in self.hosts if h != src], dtype=np.float64
+        )
+        return {
+            "max_delay": float(delays.max()) if delays.size else 0.0,
+            "mean_delay": float(delays.mean()) if delays.size else 0.0,
+            "stress": 1,
+        }
+
+    def overlay_vs_ip_multicast(self, tree) -> dict:
+        """Head-to-head: an overlay tree against the IP-multicast ideal.
+
+        :returns: dict with the overlay's true-delay radius, the IP
+            radius, their ratio (>= 1: the price of deployability), and
+            the overlay's max link stress (vs IP's 1).
+        """
+        ip = self.ip_multicast_baseline(source=tree.root)
+        delays = self.delay_matrix()
+        worst = 0.0
+        parent = tree.parent
+        for node in range(tree.n):
+            total, walk = 0.0, node
+            while walk != tree.root:
+                total += delays[walk, int(parent[walk])]
+                walk = int(parent[walk])
+            worst = max(worst, total)
+        stress = self.link_stress(tree)
+        return {
+            "overlay_max_delay": worst,
+            "ip_max_delay": ip["max_delay"],
+            "delay_ratio": worst / ip["max_delay"]
+            if ip["max_delay"]
+            else 1.0,
+            "overlay_max_stress": stress["max"],
+            "ip_max_stress": 1,
+        }
+
+    def path_inflation(self, tree) -> np.ndarray:
+        """Per-receiver overlay delay over direct underlay delay (RDP
+        against the *real* network rather than the embedding)."""
+        self._ensure_routes()
+        delays = self.delay_matrix()
+        inflation = np.ones(tree.n)
+        root = tree.root
+        parent = tree.parent
+        for node in range(tree.n):
+            if node == root:
+                continue
+            total, walk = 0.0, node
+            while walk != root:
+                total += delays[walk, int(parent[walk])]
+                walk = int(parent[walk])
+            direct = delays[node, root]
+            inflation[node] = total / direct if direct > 0 else 1.0
+        return inflation

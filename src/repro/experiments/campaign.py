@@ -1,0 +1,161 @@
+"""Checkpointed experiment campaigns.
+
+The paper-scale protocol (200 trials, sizes to 5,000,000) takes hours;
+a crash at hour three must not cost the first two. A
+:class:`Campaign` persists every finished trial to disk as it completes
+(JSON-lines, one file per configuration) and resumes exactly where it
+stopped — re-running a finished campaign is a no-op that just re-reads
+the records.
+
+Layout under the campaign directory::
+
+    <dir>/<name>/n<3_size>_d<degree>_dim<dim>.jsonl   per-trial records
+    <dir>/<name>/summary.json                         aggregates, rewritten
+                                                      after every config
+
+Trials are seeded ``seed + trial_index``, so a resumed campaign produces
+bit-identical records to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.runner import (
+    AggregateRow,
+    TrialRecord,
+    aggregate,
+    run_trials,
+)
+
+__all__ = ["ExperimentSpec", "Campaign"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """What a campaign runs: the cross product of sizes and degrees."""
+
+    name: str
+    sizes: tuple = (100, 1_000, 10_000)
+    degrees: tuple = (6, 2)
+    dim: int = 2
+    trials: int = 20
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.name or "/" in self.name:
+            raise ValueError("campaign name must be a non-empty path segment")
+        if self.trials < 1:
+            raise ValueError("trials must be positive")
+        object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        object.__setattr__(
+            self, "degrees", tuple(int(d) for d in self.degrees)
+        )
+
+    def configurations(self):
+        for n in self.sizes:
+            for degree in self.degrees:
+                yield n, degree
+
+
+class Campaign:
+    """Run an :class:`ExperimentSpec` with per-trial checkpointing."""
+
+    def __init__(self, spec: ExperimentSpec, directory):
+        self.spec = spec
+        self.directory = Path(directory) / spec.name
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _config_path(self, n: int, degree: int) -> Path:
+        return self.directory / f"n{n}_d{degree}_dim{self.spec.dim}.jsonl"
+
+    def _load_records(self, n: int, degree: int) -> list[TrialRecord]:
+        path = self._config_path(n, degree)
+        if not path.exists():
+            return []
+        records = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            records.append(TrialRecord(**payload))
+        return records
+
+    def completed_trials(self, n: int, degree: int) -> int:
+        return len(self._load_records(n, degree))
+
+    def status(self) -> dict:
+        """Completed/total trial counts per configuration."""
+        return {
+            f"n={n} degree={degree}": (
+                self.completed_trials(n, degree),
+                self.spec.trials,
+            )
+            for n, degree in self.spec.configurations()
+        }
+
+    @property
+    def finished(self) -> bool:
+        return all(
+            done >= total for done, total in self.status().values()
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, progress=None) -> list[AggregateRow]:
+        """Run (or resume) every configuration; returns the aggregates.
+
+        :param progress: optional callable receiving one status string
+            per completed configuration.
+        """
+        rows = []
+        for n, degree in self.spec.configurations():
+            records = self._load_records(n, degree)
+            missing = self.spec.trials - len(records)
+            if missing > 0:
+                path = self._config_path(n, degree)
+                with path.open("a") as sink:
+                    for trial in range(len(records), self.spec.trials):
+                        # One-trial batches keep the checkpoint granular.
+                        (record,) = run_trials(
+                            n,
+                            degree,
+                            trials=1,
+                            dim=self.spec.dim,
+                            seed=self.spec.seed + trial,
+                        )
+                        sink.write(json.dumps(asdict(record)) + "\n")
+                        sink.flush()
+                        records.append(record)
+            row = aggregate(records[: self.spec.trials])
+            rows.append(row)
+            self._write_summary(rows)
+            if progress is not None:
+                progress(
+                    f"{self.spec.name}: n={n} degree={degree} "
+                    f"delay={row.delay:.4f} ({row.trials} trials)"
+                )
+        return rows
+
+    def _write_summary(self, rows: list[AggregateRow]):
+        payload = {
+            "spec": asdict(self.spec),
+            "rows": [asdict(row) for row in rows],
+        }
+        (self.directory / "summary.json").write_text(
+            json.dumps(payload, indent=2)
+        )
+
+    def summary_rows(self) -> list[AggregateRow]:
+        """Aggregates from the persisted summary (after :meth:`run`)."""
+        path = self.directory / "summary.json"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"campaign {self.spec.name!r} has no summary yet — run() first"
+            )
+        payload = json.loads(path.read_text())
+        return [AggregateRow(**row) for row in payload["rows"]]

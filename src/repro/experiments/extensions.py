@@ -1,0 +1,175 @@
+"""Extension studies beyond the paper's Section V.
+
+Three studies the paper motivates but does not run:
+
+* :func:`degree_sweep` — delay as a function of the fan-out budget
+  (the paper only contrasts 2 against 6/10; the sweep shows where the
+  extra fan-out stops paying);
+* :func:`region_study` — the Section IV-C generality claims measured:
+  annuli, rectangles, corner sources, clustered and density-tilted
+  populations, each against its own lower bound;
+* :func:`algorithm_showdown` — every tree builder in the package on one
+  workload: radius, depth and build time side by side.
+
+All return row dictionaries; ``format_rows`` renders them. The
+``python -m repro compare`` command and ``benchmarks/test_extensions.py``
+drive them.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import mean
+
+import numpy as np
+
+from repro.baselines import (
+    bandwidth_latency_tree,
+    capped_star,
+    compact_tree,
+    random_feasible_tree,
+)
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.quadtree import build_quadtree_tree
+from repro.experiments.reporting import format_table
+from repro.workloads.generators import (
+    annulus_points,
+    clustered_disk,
+    nonuniform_disk,
+    rectangle_points,
+    unit_disk,
+)
+
+__all__ = [
+    "degree_sweep",
+    "region_study",
+    "algorithm_showdown",
+    "format_rows",
+]
+
+
+def _lower_bound(points: np.ndarray) -> float:
+    """Farthest receiver from the source: unbeatable radius floor."""
+    return float(np.linalg.norm(points - points[0], axis=1).max())
+
+
+def degree_sweep(
+    n: int = 10_000,
+    degrees=(2, 3, 4, 6, 8, 12, 20),
+    trials: int = 5,
+    seed: int = 0,
+) -> list[dict]:
+    """Average radius and depth per fan-out budget on the unit disk.
+
+    Budgets in ``[2, 6)`` run the binary construction (the grid needs
+    ``2^d + 2``), so the sweep also shows the construction switch.
+    """
+    rows = []
+    for degree in degrees:
+        delays, depths = [], []
+        for trial in range(trials):
+            points = unit_disk(n, seed=seed + trial)
+            result = build_polar_grid_tree(points, 0, degree)
+            delays.append(result.radius)
+            depths.append(int(result.tree.depths().max()))
+        rows.append(
+            {
+                "degree": degree,
+                "construction": "full" if degree >= 6 else "binary",
+                "delay": mean(delays),
+                "max_depth": mean(depths),
+            }
+        )
+    return rows
+
+
+REGION_WORKLOADS = {
+    "disk / centre": lambda n, s: (unit_disk(n, seed=s), {}),
+    "annulus (non-convex!)": lambda n, s: (
+        annulus_points(n, r_inner=0.6, seed=s),
+        {"fit_annulus": True, "occupancy": "connected"},
+    ),
+    "rectangle / centre": lambda n, s: (
+        rectangle_points(n, seed=s),
+        {"occupancy": "connected"},
+    ),
+    "rectangle / corner": lambda n, s: (
+        rectangle_points(n, upper=(3.0, 1.0), source=(0.05, 0.05), seed=s),
+        {"fit_annulus": True, "occupancy": "connected"},
+    ),
+    "clustered disk": lambda n, s: (clustered_disk(n, seed=s), {}),
+    "tilted density": lambda n, s: (nonuniform_disk(n, tilt=0.8, seed=s), {}),
+}
+
+
+def region_study(
+    n: int = 10_000, trials: int = 5, seed: int = 0
+) -> list[dict]:
+    """The Section IV-C generality claims, measured.
+
+    Each workload reports the average ratio of the built radius to the
+    naive lower bound (the farthest receiver) — the number Theorem 2
+    says tends to 1 for any *convex* region. The annulus row is a
+    deliberate counterpoint: a hole around the source is non-convex, the
+    theorem does not apply, and the ratio stays near 2 no matter the
+    options — reaching all angular directions at the hole's radius
+    genuinely costs chord hops that the naive bound ignores.
+    """
+    rows = []
+    for name, make in REGION_WORKLOADS.items():
+        ratios, rings = [], []
+        for trial in range(trials):
+            points, kwargs = make(n, seed + trial)
+            result = build_polar_grid_tree(points, 0, 6, **kwargs)
+            ratios.append(result.radius / _lower_bound(points))
+            rings.append(result.rings)
+        rows.append(
+            {
+                "workload": name,
+                "delay_over_bound": mean(ratios),
+                "rings": mean(rings),
+            }
+        )
+    return rows
+
+
+ALGORITHMS = {
+    "polar-grid deg6": lambda pts: build_polar_grid_tree(pts, 0, 6).tree,
+    "polar-grid deg2": lambda pts: build_polar_grid_tree(pts, 0, 2).tree,
+    "quadtree deg4": lambda pts: build_quadtree_tree(pts, 0, 4).tree,
+    "bisection deg4": lambda pts: build_bisection_tree(pts, 0, 4).tree,
+    "compact-tree deg6": lambda pts: compact_tree(pts, 0, 6),
+    "bw-latency deg6": lambda pts: bandwidth_latency_tree(pts, 0, 6, seed=0),
+    "capped-star deg6": lambda pts: capped_star(pts, 0, 6),
+    "random deg6": lambda pts: random_feasible_tree(pts, 0, 6, seed=0),
+}
+
+
+def algorithm_showdown(n: int = 5_000, seed: int = 0) -> list[dict]:
+    """Every builder on the same disk: radius, depth, seconds."""
+    points = unit_disk(n, seed=seed)
+    bound = _lower_bound(points)
+    rows = []
+    for name, build in ALGORITHMS.items():
+        start = time.perf_counter()
+        tree = build(points)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "algorithm": name,
+                "radius": tree.radius(),
+                "vs_bound": tree.radius() / bound,
+                "max_depth": int(tree.depths().max()),
+                "seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def format_rows(rows: list[dict], precision: int = 3) -> str:
+    """Render a list of uniform row dicts as an aligned table."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0])
+    table = [[row[h] for h in headers] for row in rows]
+    return format_table(headers, table, precision=precision)

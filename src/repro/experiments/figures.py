@@ -1,0 +1,230 @@
+"""Figures 4-8 of the paper, as data series plus ASCII renderings.
+
+Figures 4-7 are different projections of the Table I sweep (delay vs
+bounds, degree comparison, ring counts, runtimes); Figure 8 repeats the
+delay experiment in the three-dimensional unit sphere with out-degrees
+10 and 2. Each ``figureN`` function returns a :class:`FigureData` whose
+``render()`` draws the paper's plot as an ASCII chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.reporting import ascii_chart, format_table
+from repro.experiments.runner import AggregateRow, aggregate, run_trials
+
+__all__ = [
+    "FigureData",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "save_all_figures",
+    "sweep",
+]
+
+DEFAULT_SIZES = (100, 500, 1_000, 5_000, 10_000, 50_000)
+DEFAULT_TRIALS = 10
+DEFAULT_SIZES_3D = (100, 500, 1_000, 5_000, 10_000, 50_000)
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: x values, named series, and labels."""
+
+    name: str
+    title: str
+    xs: list
+    series: dict = field(default_factory=dict)
+    y_label: str = ""
+    log_x: bool = True
+
+    def render(self, width: int = 72, height: int = 18) -> str:
+        chart = ascii_chart(
+            self.xs,
+            self.series,
+            width=width,
+            height=height,
+            log_x=self.log_x,
+            y_label=self.y_label,
+        )
+        return f"{self.name}: {self.title}\n{chart}"
+
+    def table(self) -> str:
+        headers = ["n"] + list(self.series)
+        rows = [
+            [x] + [self.series[label][i] for label in self.series]
+            for i, x in enumerate(self.xs)
+        ]
+        return format_table(headers, rows)
+
+
+def sweep(
+    sizes=DEFAULT_SIZES,
+    trials: int = DEFAULT_TRIALS,
+    degrees=(6, 2),
+    dim: int = 2,
+    seed: int = 0,
+) -> dict[tuple[int, int], AggregateRow]:
+    """Run the Section V sweep once; figures 4-7 all read from it.
+
+    :returns: mapping ``(n, degree) -> AggregateRow``.
+    """
+    out = {}
+    for n in sizes:
+        for degree in degrees:
+            out[(n, degree)] = aggregate(
+                run_trials(n, degree, trials, dim=dim, seed=seed)
+            )
+    return out
+
+
+def _sizes_of(results, degree):
+    return sorted(n for (n, d) in results if d == degree)
+
+
+def figure4(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+    """Figure 4: average maximum delay vs the eq. (7) bound and the core
+    delay, for the out-degree-6 tree."""
+    if results is None:
+        results = sweep(sizes, trials, degrees=(6,), seed=seed)
+    xs = _sizes_of(results, 6)
+    rows = [results[(n, 6)] for n in xs]
+    return FigureData(
+        name="Figure 4",
+        title="Average maximum delay compared to bounds (out-degree 6)",
+        xs=xs,
+        series={
+            "bound eq.(7)": [r.bound for r in rows],
+            "max delay": [r.delay for r in rows],
+            "core delay": [r.core_delay for r in rows],
+        },
+        y_label="delay (unit-disk radii)",
+    )
+
+
+def figure5(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+    """Figure 5: average maximum delay, out-degree 2 vs out-degree 6."""
+    if results is None:
+        results = sweep(sizes, trials, degrees=(6, 2), seed=seed)
+    xs = _sizes_of(results, 6)
+    return FigureData(
+        name="Figure 5",
+        title="Average maximum delay for out-degrees 2 and 6",
+        xs=xs,
+        series={
+            "out-degree 2": [results[(n, 2)].delay for n in xs],
+            "out-degree 6": [results[(n, 6)].delay for n in xs],
+        },
+        y_label="longest delay",
+    )
+
+
+def figure6(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+    """Figure 6: average number of rings k in the grid vs n.
+
+    The paper reads the straight line on the log axis as the logarithmic
+    growth implied by eq. (5), ``k >= (1/2) log2 n``.
+    """
+    if results is None:
+        results = sweep(sizes, trials, degrees=(6,), seed=seed)
+    xs = _sizes_of(results, 6)
+    return FigureData(
+        name="Figure 6",
+        title="Average number of rings in the polar grid",
+        xs=xs,
+        series={"rings k": [results[(n, 6)].rings for n in xs]},
+        y_label="rings",
+    )
+
+
+def figure7(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+    """Figure 7: algorithm running time vs n (near-linear growth)."""
+    if results is None:
+        results = sweep(sizes, trials, degrees=(6, 2), seed=seed)
+    xs = _sizes_of(results, 6)
+    return FigureData(
+        name="Figure 7",
+        title="Algorithm running time",
+        xs=xs,
+        series={
+            "out-degree 6 (s)": [results[(n, 6)].seconds for n in xs],
+            "out-degree 2 (s)": [results[(n, 2)].seconds for n in xs],
+        },
+        y_label="build seconds",
+    )
+
+
+def save_all_figures(
+    directory,
+    sizes=DEFAULT_SIZES,
+    sizes_3d=DEFAULT_SIZES_3D,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    progress=None,
+) -> list:
+    """Regenerate Figures 4-8 into ``directory`` as SVG + ASCII text.
+
+    Runs the 2-D sweep once (figures 4-7 are projections of it) and the
+    3-D sweep once (figure 8). Returns the list of written paths.
+
+    :param progress: optional callable for status lines.
+    """
+    from pathlib import Path
+
+    from repro.experiments.svg_charts import save_figure_svg
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    if progress:
+        progress("running the 2-D sweep (figures 4-7)...")
+    flat = sweep(sizes=sizes, trials=trials, degrees=(6, 2), seed=seed)
+    if progress:
+        progress("running the 3-D sweep (figure 8)...")
+    solid = sweep(
+        sizes=sizes_3d, trials=trials, degrees=(10, 2), dim=3, seed=seed
+    )
+
+    written = []
+    produced = [
+        ("fig4", figure4(results=flat)),
+        ("fig5", figure5(results=flat)),
+        ("fig6", figure6(results=flat)),
+        ("fig7", figure7(results=flat)),
+        ("fig8", figure8(results=solid)),
+    ]
+    for stem, fig in produced:
+        svg_path = save_figure_svg(fig, directory / f"{stem}.svg")
+        txt_path = directory / f"{stem}.txt"
+        txt_path.write_text(fig.render() + "\n\n" + fig.table() + "\n")
+        written.extend([svg_path, txt_path])
+        if progress:
+            progress(f"wrote {svg_path.name} and {txt_path.name}")
+    return written
+
+
+def figure8(
+    results=None, sizes=DEFAULT_SIZES_3D, trials=DEFAULT_TRIALS, seed=0
+):
+    """Figure 8: average maximum delay in the 3-D unit sphere.
+
+    The full 3-D construction has out-degree 10 (2^3 bisection links + 2
+    core links); the binary variant has out-degree 2. Both converge to
+    the lower bound of 1, slower than in 2-D.
+    """
+    if results is None:
+        results = sweep(sizes, trials, degrees=(10, 2), dim=3, seed=seed)
+    xs = _sizes_of(results, 10)
+    return FigureData(
+        name="Figure 8",
+        title="Average maximum delay in the 3-D unit sphere",
+        xs=xs,
+        series={
+            "out-degree 2": [results[(n, 2)].delay for n in xs],
+            "out-degree 10": [results[(n, 10)].delay for n in xs],
+        },
+        y_label="longest delay",
+    )

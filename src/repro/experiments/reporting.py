@@ -1,0 +1,111 @@
+"""ASCII rendering of experiment results: tables and log-x line charts.
+
+The paper's figures are log-x line plots; :func:`ascii_chart` renders the
+same series in a terminal so `python -m repro fig5` visibly reproduces
+Figure 5 without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["format_table", "ascii_chart"]
+
+
+def format_table(headers, rows, precision: int = 3) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Floats are formatted to ``precision`` decimals; None becomes "-".
+    """
+
+    def fmt(value):
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in text_rows)) if text_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    xs,
+    series: dict[str, list[float]],
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = True,
+    y_label: str = "",
+) -> str:
+    """Plot one or more series against shared x values, ASCII style.
+
+    :param xs: x coordinates (shared by all series).
+    :param series: mapping of label -> y values (same length as ``xs``);
+        each series gets its own marker character.
+    :param log_x: plot against log10(x) (the paper's node-count axes).
+    """
+    xs = list(xs)
+    if not xs or not series:
+        raise ValueError("need at least one point and one series")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {label!r} length mismatch")
+
+    def x_of(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ValueError("log_x requires positive x values")
+            return math.log10(value)
+        return float(value)
+
+    tx = [x_of(x) for x in xs]
+    x_lo, x_hi = min(tx), max(tx)
+    all_y = [y for ys in series.values() for y in ys if y is not None]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for (label, ys), marker in zip(series.items(), markers):
+        for x, y in zip(tx, ys):
+            if y is None:
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            tag = f"{y_hi:8.3f} |"
+        elif i == height - 1:
+            tag = f"{y_lo:8.3f} |"
+        else:
+            tag = "         |"
+        lines.append(tag + "".join(row))
+    lines.append("         +" + "-" * width)
+    left = f"{xs[0]:g}"
+    right = f"{xs[-1]:g}"
+    pad = " " * max(1, width - len(left) - len(right))
+    lines.append("          " + left + pad + right)
+    legend = "   ".join(
+        f"{marker} {label}"
+        for (label, _ys), marker in zip(series.items(), markers)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Replicated experiment runner.
+
+One *trial* = sample a point set, build a tree, record the Table I
+metrics. One *aggregate row* = the mean/std of those metrics over the
+trials of one configuration — exactly what each line of Table I reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import unit_ball, unit_disk
+
+__all__ = ["TrialRecord", "AggregateRow", "run_trials", "aggregate"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Metrics of a single build, mirroring Table I's columns."""
+
+    n: int
+    max_out_degree: int
+    dim: int
+    rings: int
+    core_delay: float
+    delay: float
+    bound: float | None
+    seconds: float
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Mean/std over the trials of one (n, degree, dim) configuration."""
+
+    n: int
+    max_out_degree: int
+    dim: int
+    trials: int
+    rings: float
+    core_delay: float
+    delay: float
+    delay_std: float
+    bound: float | None
+    seconds: float
+
+
+def run_trials(
+    n: int,
+    max_out_degree: int,
+    trials: int,
+    dim: int = 2,
+    seed: int = 0,
+) -> list[TrialRecord]:
+    """Run ``trials`` independent builds on fresh uniform samples.
+
+    The workload matches Section V: uniform unit disk for ``dim == 2``
+    (Table I, Figures 4-7), uniform unit ball otherwise (Figure 8), with
+    the source at the centre. Seeds are ``seed + trial index`` so runs
+    are reproducible and trials independent.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    records = []
+    for trial in range(trials):
+        if dim == 2:
+            points = unit_disk(n, seed=seed + trial)
+        else:
+            points = unit_ball(n, dim=dim, seed=seed + trial)
+        result = build_polar_grid_tree(points, 0, max_out_degree)
+        records.append(
+            TrialRecord(
+                n=n,
+                max_out_degree=max_out_degree,
+                dim=dim,
+                rings=result.rings,
+                core_delay=result.core_delay,
+                delay=result.radius,
+                bound=result.upper_bound,
+                seconds=result.build_seconds,
+            )
+        )
+    return records
+
+
+def aggregate(records: list[TrialRecord]) -> AggregateRow:
+    """Collapse one configuration's trials into a Table I row."""
+    if not records:
+        raise ValueError("cannot aggregate zero records")
+    head = records[0]
+    for r in records:
+        if (r.n, r.max_out_degree, r.dim) != (
+            head.n,
+            head.max_out_degree,
+            head.dim,
+        ):
+            raise ValueError("records mix configurations")
+    delays = [r.delay for r in records]
+    bounds = [r.bound for r in records if r.bound is not None]
+    return AggregateRow(
+        n=head.n,
+        max_out_degree=head.max_out_degree,
+        dim=head.dim,
+        trials=len(records),
+        rings=mean(r.rings for r in records),
+        core_delay=mean(r.core_delay for r in records),
+        delay=mean(delays),
+        delay_std=pstdev(delays) if len(delays) > 1 else 0.0,
+        bound=mean(bounds) if bounds else None,
+        seconds=mean(r.seconds for r in records),
+    )

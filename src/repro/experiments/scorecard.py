@@ -1,0 +1,143 @@
+"""The reproduction scorecard: measured vs published, with a verdict.
+
+Runs a (reduced) Table I sweep and grades every comparable column
+against the published numbers: relative error for delays and cores,
+absolute error for ring counts. CPU seconds are reported but ungraded
+(different hardware). ``python -m repro scorecard`` prints the result;
+the benchmark suite asserts the grade thresholds.
+
+Grading thresholds (per cell):
+
+* delay, core: within 15 % of the published mean *or* within three
+  published standard deviations — Table I's "Dev" column is the paper's
+  own statement of run-to-run spread;
+* rings: within 1.0 of the published average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import aggregate, run_trials
+from repro.experiments.table1 import PAPER_TABLE1
+
+__all__ = ["CellScore", "Scorecard", "run_scorecard"]
+
+DELAY_REL_TOL = 0.15
+RINGS_ABS_TOL = 1.0
+
+
+@dataclass(frozen=True)
+class CellScore:
+    """One (n, degree) cell's comparison."""
+
+    n: int
+    degree: int
+    measured_delay: float
+    paper_delay: float
+    measured_core: float
+    paper_core: float
+    measured_rings: float
+    paper_rings: float
+    paper_dev: float
+    passed: bool
+
+    def delay_error(self) -> float:
+        return abs(self.measured_delay - self.paper_delay) / self.paper_delay
+
+    def core_error(self) -> float:
+        return abs(self.measured_core - self.paper_core) / self.paper_core
+
+
+@dataclass
+class Scorecard:
+    cells: list
+
+    @property
+    def passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    def worst_delay_error(self) -> float:
+        return max(cell.delay_error() for cell in self.cells)
+
+    def render(self) -> str:
+        headers = [
+            "n",
+            "deg",
+            "delay",
+            "paper",
+            "err%",
+            "core",
+            "paper",
+            "rings",
+            "paper",
+            "grade",
+        ]
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [
+                    cell.n,
+                    cell.degree,
+                    round(cell.measured_delay, 3),
+                    cell.paper_delay,
+                    round(100 * cell.delay_error(), 1),
+                    round(cell.measured_core, 3),
+                    cell.paper_core,
+                    round(cell.measured_rings, 2),
+                    cell.paper_rings,
+                    "PASS" if cell.passed else "FAIL",
+                ]
+            )
+        verdict = (
+            "REPRODUCED: every graded cell within tolerance"
+            if self.passed
+            else "NOT REPRODUCED: some cells out of tolerance"
+        )
+        return format_table(headers, rows) + "\n\n" + verdict
+
+
+def _grade(measured, paper_delay, paper_core, paper_rings, paper_dev):
+    delay_ok = (
+        abs(measured.delay - paper_delay) / paper_delay <= DELAY_REL_TOL
+        or abs(measured.delay - paper_delay) <= 3 * max(paper_dev, 1e-9)
+    )
+    core_ok = abs(measured.core_delay - paper_core) / paper_core <= max(
+        DELAY_REL_TOL, 3 * paper_dev / paper_core if paper_core else 0.0
+    )
+    rings_ok = abs(measured.rings - paper_rings) <= RINGS_ABS_TOL
+    return delay_ok and core_ok and rings_ok
+
+
+def run_scorecard(
+    sizes=(100, 1_000, 10_000),
+    trials: int = 10,
+    degrees=(6, 2),
+    seed: int = 0,
+) -> Scorecard:
+    """Measure and grade the requested Table I cells.
+
+    :raises KeyError: if a requested (size, degree) has no published row.
+    """
+    cells = []
+    for n in sizes:
+        for degree in degrees:
+            paper = PAPER_TABLE1[(n, degree)]
+            p_rings, p_core, p_delay, p_dev, _bound, _cpu = paper
+            measured = aggregate(run_trials(n, degree, trials, seed=seed))
+            cells.append(
+                CellScore(
+                    n=n,
+                    degree=degree,
+                    measured_delay=measured.delay,
+                    paper_delay=p_delay,
+                    measured_core=measured.core_delay,
+                    paper_core=p_core,
+                    measured_rings=measured.rings,
+                    paper_rings=p_rings,
+                    paper_dev=p_dev,
+                    passed=_grade(measured, p_delay, p_core, p_rings, p_dev),
+                )
+            )
+    return Scorecard(cells=cells)

@@ -1,0 +1,195 @@
+"""SVG line charts for the reproduced figures (no plotting deps).
+
+The paper's Figures 4-8 are log-x line plots. :mod:`repro.experiments.
+reporting` renders them as ASCII for terminals; this module renders the
+same :class:`~repro.experiments.figures.FigureData` as standalone SVG —
+files you can drop into a paper or a README. Pure string assembly, same
+spirit as :mod:`repro.viz`.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+__all__ = ["figure_to_svg", "save_figure_svg"]
+
+# A small colour cycle, ordered for contrast on white.
+SERIES_COLORS = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+)
+MARKERS = "osd^v*"
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    """Round-number axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * magnitude:
+            raw = step * magnitude
+            break
+    # Start at or below lo and end at or above hi so the ticks *cover*
+    # the data range (the chart's y extent is taken from the ticks).
+    first = math.floor(lo / raw) * raw
+    ticks = [round(first, 10)]
+    t = first
+    while t < hi - raw * 1e-9:
+        t += raw
+        ticks.append(round(t, 10))
+    return ticks
+
+
+def figure_to_svg(
+    figure,
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render a :class:`FigureData` as an SVG line chart.
+
+    X is log10 when ``figure.log_x``; every series gets a colour, a
+    marker and a legend entry. Missing values (None) break the line.
+    """
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 36, 46
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs = list(figure.xs)
+    if not xs or not figure.series:
+        raise ValueError("figure has no data")
+
+    def tx(value: float) -> float:
+        if figure.log_x:
+            if value <= 0:
+                raise ValueError("log x-axis requires positive x values")
+            return math.log10(value)
+        return float(value)
+
+    x_vals = [tx(x) for x in xs]
+    x_lo, x_hi = min(x_vals), max(x_vals)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    all_y = [
+        y
+        for ys in figure.series.values()
+        for y in ys
+        if y is not None
+    ]
+    y_ticks = _nice_ticks(min(all_y), max(all_y))
+    y_lo, y_hi = y_ticks[0], y_ticks[-1]
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def px(value: float) -> float:
+        return margin_l + (tx(value) - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(value: float) -> float:
+        return margin_t + (y_hi - value) / (y_hi - y_lo) * plot_h
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-size="14">{figure.name}: {figure.title}</text>',
+    ]
+
+    # Gridlines + y labels.
+    for tick in y_ticks:
+        y = py(tick)
+        out.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        out.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    # X ticks at the data points (log axes label the decades instead).
+    if figure.log_x:
+        decade = math.ceil(x_lo)
+        while decade <= x_hi:
+            x = margin_l + (decade - x_lo) / (x_hi - x_lo) * plot_w
+            out.append(
+                f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+                f'y2="{height - margin_b}" stroke="#eeeeee"/>'
+            )
+            out.append(
+                f'<text x="{x:.1f}" y="{height - margin_b + 16}" '
+                f'text-anchor="middle">1e{decade}</text>'
+            )
+            decade += 1
+    else:
+        for x_val in xs:
+            x = px(x_val)
+            out.append(
+                f'<text x="{x:.1f}" y="{height - margin_b + 16}" '
+                f'text-anchor="middle">{x_val:g}</text>'
+            )
+
+    # Axes.
+    out.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    if figure.y_label:
+        out.append(
+            f'<text x="14" y="{margin_t + plot_h / 2:.0f}" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{margin_t + plot_h / 2:.0f})">{figure.y_label}</text>'
+        )
+
+    # Series.
+    for idx, (label, ys) in enumerate(figure.series.items()):
+        color = SERIES_COLORS[idx % len(SERIES_COLORS)]
+        segments = []
+        current = []
+        for x_val, y_val in zip(xs, ys):
+            if y_val is None:
+                if current:
+                    segments.append(current)
+                current = []
+                continue
+            current.append((px(x_val), py(y_val)))
+        if current:
+            segments.append(current)
+        for seg in segments:
+            path = " ".join(
+                f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+                for i, (x, y) in enumerate(seg)
+            )
+            out.append(
+                f'<path d="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2"/>'
+            )
+            for x, y in seg:
+                out.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" '
+                    f'fill="{color}"/>'
+                )
+        # Legend entry.
+        ly = margin_t + 14 + idx * 18
+        lx = margin_l + 12
+        out.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 22}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        out.append(f'<text x="{lx + 28}" y="{ly}">{label}</text>')
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_figure_svg(figure, path, **kwargs) -> Path:
+    """Render and write a figure; returns the path written."""
+    path = Path(path)
+    path.write_text(figure_to_svg(figure, **kwargs))
+    return path

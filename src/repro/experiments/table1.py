@@ -1,0 +1,118 @@
+"""Table I: the paper's headline experiment.
+
+For each problem size, average over trials of: the ring count ``k``, the
+core delay, the maximum delay, its standard deviation, the equation (7)
+bound at ``j = 0``, and the build CPU time — for the out-degree-6 and
+out-degree-2 trees on uniform unit-disk inputs with the source at the
+centre.
+
+:data:`PAPER_TABLE1` holds the published numbers so harness output can
+print measured-vs-paper side by side. CPU seconds are *not* comparable
+(Pentium II 400 MHz then, CPython + numpy now); every other column is.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import AggregateRow, aggregate, run_trials
+
+__all__ = ["PAPER_TABLE1", "PAPER_SIZES", "run_table1", "format_table1"]
+
+# Published Table I, keyed by (n, out_degree):
+# (rings, core, delay, dev, bound, cpu_seconds)
+PAPER_TABLE1 = {
+    (100, 6): (3.61, 1.53, 1.852, 0.20, 7.18, 0.002),
+    (500, 6): (5.26, 1.22, 1.420, 0.08, 4.92, 0.01),
+    (1_000, 6): (6.06, 1.13, 1.302, 0.05, 4.09, 0.02),
+    (5_000, 6): (8.01, 1.00, 1.142, 0.02, 2.65, 0.08),
+    (10_000, 6): (8.97, 0.99, 1.102, 0.02, 2.20, 0.17),
+    (50_000, 6): (11.00, 0.94, 1.049, 0.01, 1.61, 0.96),
+    (100_000, 6): (11.98, 0.95, 1.034, 0.00, 1.43, 2.01),
+    (500_000, 6): (14.00, 0.92, 1.016, 0.00, 1.22, 11.06),
+    (1_000_000, 6): (15.00, 0.93, 1.012, 0.00, 1.15, 22.99),
+    (5_000_000, 6): (17.00, 0.91, 1.005, 0.00, 1.08, 132.34),
+    (100, 2): (3.61, 2.21, 2.634, 0.31, 10.74, 0.0015),
+    (500, 2): (5.26, 1.61, 1.876, 0.15, 6.96, 0.01),
+    (1_000, 2): (6.06, 1.40, 1.622, 0.11, 5.66, 0.02),
+    (5_000, 2): (8.01, 1.12, 1.285, 0.04, 3.44, 0.08),
+    (10_000, 2): (8.97, 1.06, 1.202, 0.03, 2.76, 0.17),
+    (50_000, 2): (11.00, 0.98, 1.095, 0.01, 1.88, 1.02),
+    (100_000, 2): (11.98, 0.97, 1.067, 0.01, 1.63, 2.13),
+    (500_000, 2): (14.00, 0.93, 1.031, 0.00, 1.32, 11.84),
+    (1_000_000, 2): (15.00, 0.94, 1.022, 0.00, 1.22, 24.52),
+    (5_000_000, 2): (17.00, 0.91, 1.009, 0.00, 1.11, 142.08),
+}
+
+PAPER_SIZES = (
+    100,
+    500,
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+)
+
+# Defaults sized for a laptop run; the paper's full protocol is
+# sizes=PAPER_SIZES, trials=200.
+DEFAULT_SIZES = (100, 500, 1_000, 5_000, 10_000, 50_000)
+DEFAULT_TRIALS = 20
+
+
+def run_table1(
+    sizes=DEFAULT_SIZES,
+    trials: int = DEFAULT_TRIALS,
+    degrees=(6, 2),
+    seed: int = 0,
+) -> list[AggregateRow]:
+    """Regenerate Table I.
+
+    :param sizes: problem sizes (the paper used :data:`PAPER_SIZES`).
+    :param trials: trials per size (the paper used 200).
+    :param degrees: out-degree variants to run (the paper ran 6 and 2).
+    :returns: one :class:`AggregateRow` per (size, degree), sizes outer.
+    """
+    rows = []
+    for n in sizes:
+        for degree in degrees:
+            rows.append(aggregate(run_trials(n, degree, trials, seed=seed)))
+    return rows
+
+
+def format_table1(rows: list[AggregateRow], show_paper: bool = True) -> str:
+    """Render measured rows (optionally with the paper's values inline)."""
+    headers = [
+        "Nodes",
+        "Deg",
+        "Rings",
+        "Core",
+        "Delay",
+        "Dev",
+        "Bound",
+        "CPU Sec",
+    ]
+    if show_paper:
+        headers += ["Paper Delay", "Paper Core", "Paper Rings"]
+    table = []
+    for row in rows:
+        line = [
+            row.n,
+            row.max_out_degree,
+            round(row.rings, 2),
+            round(row.core_delay, 3),
+            round(row.delay, 3),
+            round(row.delay_std, 3),
+            None if row.bound is None else round(row.bound, 3),
+            round(row.seconds, 4),
+        ]
+        if show_paper:
+            paper = PAPER_TABLE1.get((row.n, row.max_out_degree))
+            if paper is None:
+                line += [None, None, None]
+            else:
+                line += [paper[2], paper[1], paper[0]]
+        table.append(line)
+    return format_table(headers, table)

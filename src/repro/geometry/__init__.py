@@ -1,0 +1,56 @@
+"""Geometric substrate: points, polar transforms, regions and ring segments.
+
+Everything in :mod:`repro.core` consumes coordinates through this package,
+so the conventions live here:
+
+* point sets are ``(n, d)`` float64 arrays;
+* 2-D polar angles are normalised to ``[0, 2*pi)``;
+* d-dimensional directions are expressed in *measure-uniform* coordinates
+  ``t in [0, 1)^(d-1)`` (see :mod:`repro.geometry.polar`), which makes
+  equal-measure grid cells plain dyadic boxes.
+"""
+
+from repro.geometry.points import (
+    as_points,
+    distances_from,
+    pairwise_distances,
+    validate_points,
+)
+from repro.geometry.projection import pca_project, project_tree
+from repro.geometry.polar import (
+    angles_to_unit_vectors,
+    normalize_angle,
+    to_polar,
+    from_polar,
+    SphericalTransform,
+)
+from repro.geometry.regions import (
+    Annulus,
+    Ball,
+    ConvexPolygon,
+    Disk,
+    Rectangle,
+    smallest_enclosing_annulus,
+)
+from repro.geometry.rings import RingSegment
+
+__all__ = [
+    "Annulus",
+    "Ball",
+    "ConvexPolygon",
+    "Disk",
+    "Rectangle",
+    "RingSegment",
+    "SphericalTransform",
+    "angles_to_unit_vectors",
+    "as_points",
+    "distances_from",
+    "from_polar",
+    "normalize_angle",
+    "pairwise_distances",
+    "pca_project",
+    "project_tree",
+    "smallest_enclosing_annulus",
+    "to_polar",
+    "validate_points",
+]

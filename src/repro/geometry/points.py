@@ -1,0 +1,89 @@
+"""Point-set helpers shared across the package.
+
+A *point set* is a ``(n, d)`` float64 :class:`numpy.ndarray`. These helpers
+centralise validation and the distance computations the tree algorithms
+rely on, so that dimension bugs surface with clear messages instead of
+numpy broadcasting surprises deep inside a build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_points",
+    "validate_points",
+    "distances_from",
+    "pairwise_distances",
+    "bounding_box",
+]
+
+
+def as_points(points, dim: int | None = None) -> np.ndarray:
+    """Coerce ``points`` into a validated ``(n, d)`` float64 array.
+
+    Accepts anything :func:`numpy.asarray` accepts. A single point of shape
+    ``(d,)`` is *not* promoted implicitly — pass ``[point]`` explicitly; the
+    ambiguity between "one d-dimensional point" and "d one-dimensional
+    points" has bitten enough callers that we refuse to guess.
+
+    :param points: array-like of shape ``(n, d)``.
+    :param dim: if given, require exactly this dimensionality.
+    :raises ValueError: on wrong shape, non-finite values, or ``dim``
+        mismatch.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    return validate_points(array, dim=dim)
+
+
+def validate_points(points: np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Validate an already-numpy point set and return it unchanged.
+
+    :raises ValueError: if ``points`` is not 2-D, has zero columns,
+        contains NaN/inf, or does not match ``dim``.
+    """
+    if points.ndim != 2:
+        raise ValueError(
+            f"point set must have shape (n, d); got shape {points.shape}"
+        )
+    if points.shape[1] < 1:
+        raise ValueError("point set must have at least one coordinate axis")
+    if dim is not None and points.shape[1] != dim:
+        raise ValueError(
+            f"expected {dim}-dimensional points, got {points.shape[1]}-dimensional"
+        )
+    if not np.all(np.isfinite(points)):
+        raise ValueError("point set contains NaN or infinite coordinates")
+    return points
+
+
+def distances_from(points: np.ndarray, origin) -> np.ndarray:
+    """Euclidean distance from every point to a single ``origin``.
+
+    :param points: ``(n, d)`` array.
+    :param origin: length-``d`` array-like.
+    :returns: ``(n,)`` float64 array.
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    if origin.shape != (points.shape[1],):
+        raise ValueError(
+            f"origin has shape {origin.shape}, expected ({points.shape[1]},)"
+        )
+    return np.sqrt(np.sum((points - origin) ** 2, axis=1))
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` Euclidean distance matrix.
+
+    Quadratic in memory — intended for the embedding substrate and for
+    small-n baselines, not for the multi-million-node grid pipeline.
+    """
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+def bounding_box(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Axis-aligned bounding box as ``(lower, upper)`` corner arrays."""
+    if points.shape[0] == 0:
+        raise ValueError("cannot bound an empty point set")
+    return points.min(axis=0), points.max(axis=0)

@@ -1,0 +1,60 @@
+"""Linear projections of higher-dimensional point sets.
+
+Network-coordinate systems often use 3-8 dimensions (the GNP paper the
+reproduction target cites evaluates up to 8); our SVG renderer and any
+plotting is 2-D. :func:`pca_project` gives the distance-optimal linear
+view — the principal 2-D subspace — plus the explained-variance split
+so the caller knows how honest the picture is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import validate_points
+
+__all__ = ["pca_project", "project_tree"]
+
+
+def pca_project(
+    points: np.ndarray, dim: int = 2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project points onto their top principal components.
+
+    :param points: ``(n, d)`` array with ``d >= dim``.
+    :param dim: target dimensionality.
+    :returns: ``(projected, explained)`` — the ``(n, dim)`` projection
+        (centred) and the fraction of total variance carried by each of
+        the ``dim`` kept components (sums to <= 1).
+    """
+    validate_points(points)
+    n, d = points.shape
+    if dim < 1:
+        raise ValueError("target dim must be positive")
+    if d < dim:
+        raise ValueError(f"cannot project {d}-D points up to {dim}-D")
+    centred = points - points.mean(axis=0)
+    # SVD of the centred cloud: right singular vectors are the PCs.
+    _u, singular, vt = np.linalg.svd(centred, full_matrices=False)
+    projected = centred @ vt[:dim].T
+    total = float(np.sum(singular**2))
+    if total == 0.0:
+        explained = np.zeros(dim)
+    else:
+        explained = (singular[:dim] ** 2) / total
+    return projected, explained
+
+
+def project_tree(tree, dim: int = 2):
+    """A copy of ``tree`` with PCA-projected coordinates.
+
+    Edge lengths change under projection (it is a view, not an
+    isometry); the returned tree is for *rendering*, not for delay
+    measurements — use the original for those.
+    """
+    from repro.core.tree import MulticastTree
+
+    projected, _explained = pca_project(tree.points, dim=dim)
+    return MulticastTree(
+        points=projected, parent=tree.parent.copy(), root=tree.root
+    )

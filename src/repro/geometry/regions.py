@@ -1,0 +1,262 @@
+"""Convex regions: membership tests and uniform sampling.
+
+The paper's asymptotic-optimality result applies to points distributed in
+any convex region (Section IV-C). These classes provide the regions the
+experiments and workload generators use. Every region supports
+
+* ``contains(points) -> bool array`` — elementwise membership, and
+* ``sample(n, rng) -> (n, d) array`` — i.i.d. uniform samples,
+
+with exact inverse-CDF sampling where cheap and rejection sampling from
+the bounding box otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.points import distances_from, validate_points
+
+__all__ = [
+    "Region",
+    "Disk",
+    "Ball",
+    "Annulus",
+    "Rectangle",
+    "ConvexPolygon",
+    "smallest_enclosing_annulus",
+]
+
+
+def _cross2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Z component of the cross product for arrays of 2-D vectors
+    (``numpy.cross`` dropped 2-D support in numpy 2.0)."""
+    return a[..., 0] * b[..., 1] - a[..., 1] * b[..., 0]
+
+
+class Region:
+    """Interface shared by all regions. Subclasses set :attr:`dim`."""
+
+    dim: int
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def _rejection_sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        acceptance_floor: float = 1e-3,
+    ) -> np.ndarray:
+        """Rejection-sample ``n`` points from the box ``[lower, upper]``.
+
+        Batches adaptively on the observed acceptance rate. Raises if the
+        region appears to occupy less than ``acceptance_floor`` of its box
+        (that would mean the region definition is degenerate, not that we
+        should spin forever).
+        """
+        accepted = []
+        total = 0
+        drawn = 0
+        while total < n:
+            # Draw enough that one more batch usually finishes the job.
+            rate = max(total / drawn, acceptance_floor) if drawn else 0.5
+            batch = int((n - total) / rate * 1.2) + 16
+            candidates = rng.uniform(lower, upper, size=(batch, self.dim))
+            keep = candidates[self.contains(candidates)]
+            accepted.append(keep)
+            total += keep.shape[0]
+            drawn += batch
+            if drawn > 64 and total < drawn * acceptance_floor:
+                raise RuntimeError(
+                    "rejection sampling acceptance rate below "
+                    f"{acceptance_floor}; region is degenerate relative to "
+                    "its bounding box"
+                )
+        return np.concatenate(accepted, axis=0)[:n]
+
+
+@dataclass(frozen=True)
+class Ball(Region):
+    """Solid d-dimensional ball. ``Ball(dim=2)`` is the paper's unit disk."""
+
+    dim: int = 2
+    center: tuple = None
+    radius: float = 1.0
+
+    def __post_init__(self):
+        if self.dim < 1:
+            raise ValueError("Ball requires dim >= 1")
+        if self.radius <= 0:
+            raise ValueError("Ball requires a positive radius")
+        center = self.center
+        if center is None:
+            center = (0.0,) * self.dim
+        center = tuple(float(c) for c in center)
+        if len(center) != self.dim:
+            raise ValueError(
+                f"center has {len(center)} coordinates, expected {self.dim}"
+            )
+        object.__setattr__(self, "center", center)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        validate_points(points, dim=self.dim)
+        return distances_from(points, self.center) <= self.radius
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Exact uniform sampling: Gaussian direction times ``U^(1/d)``."""
+        directions = rng.standard_normal((n, self.dim))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        # A standard normal vector is never exactly zero in practice, but
+        # guard the division anyway.
+        norms[norms == 0.0] = 1.0
+        radii = self.radius * rng.random(n) ** (1.0 / self.dim)
+        return np.asarray(self.center) + directions / norms * radii[:, None]
+
+
+def Disk(center=(0.0, 0.0), radius: float = 1.0) -> Ball:
+    """The unit-disk region of Sections III and V: a 2-D :class:`Ball`."""
+    return Ball(dim=2, center=tuple(center), radius=radius)
+
+
+@dataclass(frozen=True)
+class Annulus(Region):
+    """Points between two concentric spheres (``r_inner < |p - c| <= r_outer``)."""
+
+    dim: int = 2
+    center: tuple = None
+    r_inner: float = 0.5
+    r_outer: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.r_inner < self.r_outer:
+            raise ValueError("Annulus requires 0 <= r_inner < r_outer")
+        center = self.center
+        if center is None:
+            center = (0.0,) * self.dim
+        center = tuple(float(c) for c in center)
+        if len(center) != self.dim:
+            raise ValueError(
+                f"center has {len(center)} coordinates, expected {self.dim}"
+            )
+        object.__setattr__(self, "center", center)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        validate_points(points, dim=self.dim)
+        rho = distances_from(points, self.center)
+        return (rho > self.r_inner) & (rho <= self.r_outer)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Exact uniform sampling via the radial volume CDF."""
+        directions = rng.standard_normal((n, self.dim))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        lo = self.r_inner**self.dim
+        hi = self.r_outer**self.dim
+        radii = (lo + (hi - lo) * rng.random(n)) ** (1.0 / self.dim)
+        return np.asarray(self.center) + directions / norms * radii[:, None]
+
+
+@dataclass(frozen=True)
+class Rectangle(Region):
+    """Axis-aligned box in any dimension."""
+
+    lower: tuple = (0.0, 0.0)
+    upper: tuple = (1.0, 1.0)
+    dim: int = field(init=False, default=2)
+
+    def __post_init__(self):
+        lower = tuple(float(c) for c in self.lower)
+        upper = tuple(float(c) for c in self.upper)
+        if len(lower) != len(upper) or not lower:
+            raise ValueError("lower and upper must have equal, positive length")
+        if not all(lo < hi for lo, hi in zip(lower, upper)):
+            raise ValueError("Rectangle requires lower < upper on every axis")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "dim", len(lower))
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        validate_points(points, dim=self.dim)
+        lower = np.asarray(self.lower)
+        upper = np.asarray(self.upper)
+        return np.all((points >= lower) & (points <= upper), axis=1)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.lower, self.upper, size=(n, self.dim))
+
+
+@dataclass(frozen=True)
+class ConvexPolygon(Region):
+    """Convex polygon in the plane, given by counter-clockwise vertices."""
+
+    vertices: tuple = ()
+    dim: int = field(init=False, default=2)
+
+    def __post_init__(self):
+        vertices = np.asarray(self.vertices, dtype=np.float64)
+        if vertices.ndim != 2 or vertices.shape[1] != 2 or vertices.shape[0] < 3:
+            raise ValueError("ConvexPolygon needs >= 3 vertices of shape (m, 2)")
+        # Verify convexity and counter-clockwise orientation via cross
+        # products of consecutive edges.
+        rolled = np.roll(vertices, -1, axis=0)
+        rolled2 = np.roll(vertices, -2, axis=0)
+        cross = _cross2(rolled - vertices, rolled2 - rolled)
+        if np.any(cross < -1e-12):
+            raise ValueError(
+                "vertices must describe a convex polygon in counter-clockwise order"
+            )
+        object.__setattr__(self, "vertices", tuple(map(tuple, vertices.tolist())))
+
+    def _vertex_array(self) -> np.ndarray:
+        return np.asarray(self.vertices, dtype=np.float64)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        validate_points(points, dim=2)
+        vertices = self._vertex_array()
+        edges = np.roll(vertices, -1, axis=0) - vertices
+        # Point is inside iff it is on the left of (or on) every edge.
+        rel = points[:, None, :] - vertices[None, :, :]
+        cross = edges[None, :, 0] * rel[:, :, 1] - edges[None, :, 1] * rel[:, :, 0]
+        return np.all(cross >= -1e-12, axis=1)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Exact uniform sampling via fan triangulation."""
+        vertices = self._vertex_array()
+        anchor = vertices[0]
+        tri_a = vertices[1:-1] - anchor
+        tri_b = vertices[2:] - anchor
+        areas = 0.5 * np.abs(_cross2(tri_a, tri_b))
+        total = areas.sum()
+        if total <= 0:
+            raise ValueError("polygon has zero area")
+        choice = rng.choice(len(areas), size=n, p=areas / total)
+        u = rng.random(n)
+        v = rng.random(n)
+        flip = u + v > 1.0
+        u[flip] = 1.0 - u[flip]
+        v[flip] = 1.0 - v[flip]
+        return anchor + u[:, None] * tri_a[choice] + v[:, None] * tri_b[choice]
+
+
+def smallest_enclosing_annulus(
+    points: np.ndarray, center
+) -> tuple[float, float]:
+    """Radii ``(r_min, r_max)`` of the smallest annulus centred at ``center``
+    containing every point.
+
+    This is the "smallest ring covering all points and centered at the
+    source" of Section IV-C. ``r_min`` is zero when a point coincides with
+    the centre.
+    """
+    if points.shape[0] == 0:
+        raise ValueError("cannot enclose an empty point set")
+    rho = distances_from(points, center)
+    return float(rho.min()), float(rho.max())

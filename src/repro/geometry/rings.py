@@ -1,0 +1,135 @@
+"""Ring segments — the cells of the 2-D polar grid and bisection.
+
+A :class:`RingSegment` is the region between two circles around a common
+centre, cut by two rays: ``{ (rho, theta) : r_inner < rho <= r_outer,
+theta in [theta_start, theta_start + theta_span) }``. The radial interval
+is half-open at the bottom so that the segments produced by a split
+partition their parent exactly; the innermost region of a grid
+(``r_inner == 0``) additionally contains the centre itself.
+
+The angular interval may wrap around ``2*pi`` and may span the full circle
+(the grid's inner region D0 does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geometry.polar import TWO_PI
+
+__all__ = ["RingSegment"]
+
+
+@dataclass(frozen=True)
+class RingSegment:
+    """One cell of a polar grid, in polar coordinates around a fixed centre.
+
+    :param r_inner: inner radius (exclusive, unless zero).
+    :param r_outer: outer radius (inclusive).
+    :param theta_start: start angle in ``[0, 2*pi)``.
+    :param theta_span: angular width in ``(0, 2*pi]``.
+    """
+
+    r_inner: float
+    r_outer: float
+    theta_start: float
+    theta_span: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.r_inner < self.r_outer:
+            raise ValueError(
+                f"need 0 <= r_inner < r_outer; got [{self.r_inner}, {self.r_outer}]"
+            )
+        if not 0.0 < self.theta_span <= TWO_PI:
+            raise ValueError(f"theta_span must be in (0, 2*pi]; got {self.theta_span}")
+
+    # ------------------------------------------------------------------
+    # membership and measurements
+    # ------------------------------------------------------------------
+
+    def angle_offset(self, theta) -> np.ndarray:
+        """Angle measured from ``theta_start``, wrapped into ``[0, 2*pi)``."""
+        return np.mod(np.asarray(theta, dtype=np.float64) - self.theta_start, TWO_PI)
+
+    def contains(self, rho, theta) -> np.ndarray:
+        """Elementwise membership test for polar coordinates.
+
+        The centre itself (``rho == 0``) belongs only to segments with
+        ``r_inner == 0``.
+        """
+        rho = np.asarray(rho, dtype=np.float64)
+        if self.r_inner == 0.0:
+            radial = rho <= self.r_outer
+        else:
+            radial = (rho > self.r_inner) & (rho <= self.r_outer)
+        # A full-circle segment contains every angle.
+        if self.theta_span >= TWO_PI:
+            return radial
+        return radial & (self.angle_offset(theta) < self.theta_span)
+
+    def area(self) -> float:
+        """Area of the segment."""
+        return 0.5 * self.theta_span * (self.r_outer**2 - self.r_inner**2)
+
+    def outer_arc_length(self) -> float:
+        """Length of the outer bounding arc, the paper's ``R * a``."""
+        return self.r_outer * self.theta_span
+
+    def radial_extent(self) -> float:
+        """``R - r``: the radial thickness of the segment."""
+        return self.r_outer - self.r_inner
+
+    def mid_radius(self) -> float:
+        """The Euclidean mid radius ``(R + r) / 2`` used by the bisection."""
+        return 0.5 * (self.r_inner + self.r_outer)
+
+    def mid_angle_offset(self) -> float:
+        """Half the angular span (an *offset* from ``theta_start``)."""
+        return 0.5 * self.theta_span
+
+    # ------------------------------------------------------------------
+    # splitting (the bisection steps of Section II)
+    # ------------------------------------------------------------------
+
+    def split_radius(self) -> tuple["RingSegment", "RingSegment"]:
+        """Split by the arc at ``(R + r) / 2`` into (inner, outer) halves."""
+        mid = self.mid_radius()
+        return (
+            replace(self, r_outer=mid),
+            replace(self, r_inner=mid),
+        )
+
+    def split_angle(self) -> tuple["RingSegment", "RingSegment"]:
+        """Split by the bisecting ray into (low-angle, high-angle) halves."""
+        half = self.theta_span / 2.0
+        start_high = np.mod(self.theta_start + half, TWO_PI)
+        return (
+            replace(self, theta_span=half),
+            replace(self, theta_start=float(start_high), theta_span=half),
+        )
+
+    def split4(self) -> tuple["RingSegment", ...]:
+        """The four sub-segments of one bisection step.
+
+        Order: (inner/low-angle, outer/low-angle, inner/high-angle,
+        outer/high-angle). The two halves sharing an angular half are
+        adjacent in the tuple, which the out-degree-2 bisection exploits
+        when assigning sub-segments to its two relay points.
+        """
+        low, high = self.split_angle()
+        low_in, low_out = low.split_radius()
+        high_in, high_out = high.split_radius()
+        return (low_in, low_out, high_in, high_out)
+
+    def quadrant_of(self, rho, theta) -> np.ndarray:
+        """Index into :meth:`split4` for points assumed inside the segment.
+
+        Vectorised companion of :meth:`split4`: quadrant =
+        ``2 * (angle half) + (radial half)``.
+        """
+        rho = np.asarray(rho, dtype=np.float64)
+        radial_high = rho > self.mid_radius()
+        angle_high = self.angle_offset(theta) >= self.mid_angle_offset()
+        return 2 * angle_high.astype(np.int64) + radial_high.astype(np.int64)

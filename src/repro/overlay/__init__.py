@@ -1,0 +1,37 @@
+"""Overlay multicast runtime: hosts, sessions, simulation and repair.
+
+This package is the "application" layer on top of the tree algorithms: it
+models the end hosts of an overlay multicast group, builds distribution
+trees with any of the package's algorithms, replays a dissemination
+through an event-driven simulator, and handles host departures by
+reattaching orphaned subtrees — the operational pieces a deployment of
+the paper's algorithm would need.
+"""
+
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.host import Host
+from repro.overlay.protocol import DistributedJoinProtocol, JoinOutcome
+from repro.overlay.metrics import TreeMetrics, evaluate_tree
+from repro.overlay.multitree import MultiTree, build_striped_trees
+from repro.overlay.repair import repair_after_failure
+from repro.overlay.session import MulticastSession
+from repro.overlay.simulator import DisseminationResult, simulate_dissemination
+from repro.overlay.stream_sim import FailureEvent, StreamReport, simulate_stream
+
+__all__ = [
+    "DisseminationResult",
+    "DistributedJoinProtocol",
+    "DynamicOverlay",
+    "FailureEvent",
+    "StreamReport",
+    "simulate_stream",
+    "Host",
+    "JoinOutcome",
+    "MultiTree",
+    "MulticastSession",
+    "build_striped_trees",
+    "TreeMetrics",
+    "evaluate_tree",
+    "repair_after_failure",
+    "simulate_dissemination",
+]

@@ -1,0 +1,194 @@
+"""Dynamic group membership: incremental joins and leaves.
+
+The paper closes with "in practice, there is interest in a decentralized
+version of the algorithm". This module provides the membership layer
+such a deployment needs: hosts join and leave a live session without a
+global rebuild on every event.
+
+Policy (the standard one for overlay trees):
+
+* **join** — the newcomer attaches greedily: among members with spare
+  fan-out, pick the one minimising the newcomer's resulting
+  source-to-receiver delay (each member only needs to advertise its own
+  delay — a local, decentralisable rule);
+* **leave** — orphaned subtrees reattach via
+  :func:`repro.overlay.repair.repair_after_failure`;
+* **rebuild** — greedy maintenance erodes optimality, so once churn
+  since the last full build exceeds ``rebuild_threshold`` (a fraction of
+  the group), the polar-grid algorithm rebuilds from scratch. The
+  paper's near-linear build time is what makes periodic full rebuilds
+  affordable even for very large groups.
+
+The class tracks both trees' quality so the maintenance/rebuild
+trade-off is observable (see ``examples``/``benchmarks``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.overlay.repair import repair_after_failure
+
+__all__ = ["DynamicOverlay"]
+
+
+class DynamicOverlay:
+    """A multicast group that absorbs churn between full rebuilds.
+
+    :param source_coords: position of the (permanent) source.
+    :param max_out_degree: uniform fan-out budget.
+    :param rebuild_threshold: fraction of the membership that may churn
+        (joins + leaves) before the next event triggers a full
+        polar-grid rebuild. ``None`` disables automatic rebuilds.
+    """
+
+    def __init__(
+        self,
+        source_coords,
+        max_out_degree: int = 6,
+        rebuild_threshold: float | None = 0.25,
+    ):
+        coords = np.asarray(source_coords, dtype=np.float64)
+        if coords.ndim != 1 or coords.shape[0] < 2:
+            raise ValueError("source_coords must be a (d,) vector, d >= 2")
+        if max_out_degree < 2:
+            raise ValueError("max_out_degree must be at least 2")
+        if rebuild_threshold is not None and not 0.0 < rebuild_threshold:
+            raise ValueError("rebuild_threshold must be positive or None")
+
+        self.max_out_degree = int(max_out_degree)
+        self.rebuild_threshold = rebuild_threshold
+        self._names: list[str] = ["__source__"]
+        self._points: list[np.ndarray] = [coords]
+        self._index: dict[str, int] = {"__source__": 0}
+        # Parent indices into the current arrays; root loops to itself.
+        self._parent: list[int] = [0]
+        self._delay: list[float] = [0.0]
+        self._degree: list[int] = [0]
+        self._churn_since_rebuild = 0
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._names)
+
+    @property
+    def dim(self) -> int:
+        return self._points[0].shape[0]
+
+    def members(self) -> list[str]:
+        """Current member names, source first."""
+        return list(self._names)
+
+    def tree(self) -> MulticastTree:
+        """Snapshot of the current distribution tree."""
+        return MulticastTree(
+            points=np.asarray(self._points),
+            parent=np.asarray(self._parent, dtype=np.int64),
+            root=0,
+        )
+
+    def radius(self) -> float:
+        return max(self._delay) if self.n > 1 else 0.0
+
+    # ------------------------------------------------------------------
+
+    def _maybe_rebuild(self):
+        if self.rebuild_threshold is None or self.n < 3:
+            return
+        if self._churn_since_rebuild > self.rebuild_threshold * self.n:
+            self.rebuild()
+
+    def rebuild(self):
+        """Full polar-grid rebuild over the current membership."""
+        points = np.asarray(self._points)
+        result = build_polar_grid_tree(points, 0, self.max_out_degree)
+        tree = result.tree
+        self._parent = tree.parent.tolist()
+        self._delay = tree.root_delays().tolist()
+        self._degree = tree.out_degrees().tolist()
+        self._churn_since_rebuild = 0
+        self.rebuild_count += 1
+
+    def join(self, name: str, coords) -> str:
+        """Attach a new member; returns the name of its parent.
+
+        Greedy rule: minimise the newcomer's delay over members with
+        spare fan-out. May trigger a full rebuild (in which case the
+        returned parent reflects the post-rebuild tree).
+        """
+        if name in self._index:
+            raise ValueError(f"member {name!r} already in the session")
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape != (self.dim,):
+            raise ValueError(
+                f"coords must have shape ({self.dim},); got {coords.shape}"
+            )
+
+        points = np.asarray(self._points)
+        degree = np.asarray(self._degree)
+        delay = np.asarray(self._delay)
+        open_mask = degree < self.max_out_degree
+        candidates = np.flatnonzero(open_mask)
+        # The source plus a fan-out >= 2 guarantee there is always room:
+        # a tree over m nodes with every node allowed >= 2 children has
+        # at least one open node.
+        dist = np.sqrt(np.sum((points[candidates] - coords) ** 2, axis=1))
+        cost = delay[candidates] + dist
+        pick = int(candidates[int(np.argmin(cost))])
+
+        self._index[name] = self.n
+        self._names.append(name)
+        self._points.append(coords)
+        self._parent.append(pick)
+        self._delay.append(float(cost.min()))
+        self._degree.append(0)
+        self._degree[pick] += 1
+        self._churn_since_rebuild += 1
+        self._maybe_rebuild()
+        parent_idx = self._parent[self._index[name]]
+        return self._names[parent_idx]
+
+    def leave(self, name: str):
+        """Remove a member; orphans are reattached, churn is counted."""
+        if name == "__source__":
+            raise ValueError("the source cannot leave its own session")
+        if name not in self._index:
+            raise ValueError(f"unknown member {name!r}")
+        victim = self._index[name]
+
+        tree = self.tree()
+        new_tree, index_map = repair_after_failure(
+            tree, victim, self.max_out_degree
+        )
+        survivors = [i for i in range(self.n) if i != victim]
+        self._names = [self._names[i] for i in survivors]
+        self._points = [self._points[i] for i in survivors]
+        self._index = {nm: i for i, nm in enumerate(self._names)}
+        self._parent = new_tree.parent.tolist()
+        self._delay = new_tree.root_delays().tolist()
+        self._degree = new_tree.out_degrees().tolist()
+        self._churn_since_rebuild += 1
+        self._maybe_rebuild()
+
+    # ------------------------------------------------------------------
+
+    def quality_gap(self) -> float:
+        """Radius of the maintained tree over a fresh rebuild's radius.
+
+        1.0 means maintenance has cost nothing; the gap grows with churn
+        and resets on rebuild. This is the measurable trade-off the
+        rebuild threshold controls.
+        """
+        if self.n <= 2:
+            return 1.0
+        fresh = build_polar_grid_tree(
+            np.asarray(self._points), 0, self.max_out_degree
+        )
+        if fresh.radius == 0.0:
+            return 1.0
+        return self.radius() / fresh.radius

@@ -1,0 +1,73 @@
+"""End-host model for overlay multicast sessions.
+
+A :class:`Host` is a participant identified by name, positioned in the
+delay space (network coordinates, see :mod:`repro.embedding`), with a
+fan-out budget — the paper's "fixed bound on the number of hosts to which
+it can communicate", derived from its uplink bandwidth divided by the
+stream rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Host", "fanout_from_bandwidth"]
+
+
+def fanout_from_bandwidth(uplink_kbps: float, stream_kbps: float) -> int:
+    """Fan-out budget implied by an uplink: ``floor(uplink / stream)``.
+
+    This is the bandwidth-to-degree translation of the paper's
+    introduction. A host that cannot even sustain one copy gets fan-out
+    0 (it can only be a leaf).
+    """
+    if stream_kbps <= 0:
+        raise ValueError("stream rate must be positive")
+    if uplink_kbps < 0:
+        raise ValueError("uplink bandwidth cannot be negative")
+    return int(uplink_kbps // stream_kbps)
+
+
+@dataclass(frozen=True)
+class Host:
+    """One overlay participant.
+
+    :param name: unique identifier (hostname, peer id, ...).
+    :param coords: position in the Euclidean delay space.
+    :param max_fanout: out-degree budget in the distribution tree.
+    :param processing_delay: per-hop forwarding latency added by this
+        host when it relays the stream (same unit as coordinates).
+    """
+
+    name: str
+    coords: tuple
+    max_fanout: int = 6
+    processing_delay: float = 0.0
+
+    def __post_init__(self):
+        coords = tuple(float(c) for c in self.coords)
+        if len(coords) < 1:
+            raise ValueError("host coordinates must have at least one axis")
+        if not all(np.isfinite(coords)):
+            raise ValueError(f"host {self.name!r} has non-finite coordinates")
+        if self.max_fanout < 0:
+            raise ValueError(f"host {self.name!r} has negative fan-out")
+        if self.processing_delay < 0:
+            raise ValueError(f"host {self.name!r} has negative processing delay")
+        object.__setattr__(self, "coords", coords)
+
+    @property
+    def dim(self) -> int:
+        return len(self.coords)
+
+    def distance_to(self, other: "Host") -> float:
+        """Euclidean delay estimate between two hosts."""
+        a = np.asarray(self.coords)
+        b = np.asarray(other.coords)
+        if a.shape != b.shape:
+            raise ValueError(
+                f"hosts {self.name!r} and {other.name!r} live in different spaces"
+            )
+        return float(np.linalg.norm(a - b))

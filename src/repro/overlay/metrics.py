@@ -1,0 +1,98 @@
+"""Tree quality metrics for overlay multicast.
+
+Collects the statistics the paper reports (maximum delay, i.e. the tree
+radius) plus the usual companions from the overlay-multicast literature:
+delay percentiles, stretch (tree delay over direct unicast delay, aka
+RDP — relative delay penalty), depth, and fan-out utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+
+__all__ = ["TreeMetrics", "evaluate_tree", "forwarding_fairness"]
+
+
+def forwarding_fairness(tree: MulticastTree) -> float:
+    """Jain's fairness index of the forwarding load across receivers.
+
+    ``(sum d_i)^2 / (n * sum d_i^2)`` over the out-degrees of all
+    non-source members: 1.0 means everyone forwards equally, ``1/n``
+    means one member carries everything. Single trees are inherently
+    unfair (leaves forward nothing); the striped multi-trees of
+    :mod:`repro.overlay.multitree` raise this number — measured by the
+    A8 benchmark.
+    """
+    degrees = tree.out_degrees().astype(np.float64)
+    members = np.flatnonzero(np.arange(tree.n) != tree.root)
+    if members.size == 0:
+        return 1.0
+    load = degrees[members]
+    denominator = members.size * float(np.sum(load**2))
+    if denominator == 0.0:
+        return 1.0
+    return float(np.sum(load)) ** 2 / denominator
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """Summary statistics of one distribution tree."""
+
+    nodes: int
+    radius: float
+    mean_delay: float
+    p95_delay: float
+    max_stretch: float
+    mean_stretch: float
+    max_depth: int
+    mean_depth: float
+    max_out_degree: int
+    interior_nodes: int
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def evaluate_tree(tree: MulticastTree) -> TreeMetrics:
+    """Compute :class:`TreeMetrics` for a tree.
+
+    Stretch is computed over receivers that do not coincide with the
+    source (coincident receivers have no meaningful unicast baseline).
+    """
+    delays = tree.root_delays()
+    depths = tree.depths()
+    degrees = tree.out_degrees()
+    receivers = np.flatnonzero(np.arange(tree.n) != tree.root)
+
+    if receivers.size:
+        recv_delays = delays[receivers]
+        stretch = tree.stretch()[receivers]
+        radius = float(recv_delays.max())
+        mean_delay = float(recv_delays.mean())
+        p95 = float(np.percentile(recv_delays, 95.0))
+        max_stretch = float(stretch.max())
+        mean_stretch = float(stretch.mean())
+        max_depth = int(depths.max())
+        mean_depth = float(depths[receivers].mean())
+    else:
+        radius = mean_delay = p95 = 0.0
+        max_stretch = mean_stretch = 1.0
+        max_depth = 0
+        mean_depth = 0.0
+
+    return TreeMetrics(
+        nodes=tree.n,
+        radius=radius,
+        mean_delay=mean_delay,
+        p95_delay=p95,
+        max_stretch=max_stretch,
+        mean_stretch=mean_stretch,
+        max_depth=max_depth,
+        mean_depth=mean_depth,
+        max_out_degree=tree.max_out_degree(),
+        interior_nodes=int(np.count_nonzero(degrees)),
+    )

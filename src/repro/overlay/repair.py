@@ -1,0 +1,114 @@
+"""Tree repair after a host departure.
+
+When a non-root host leaves (failure or churn), the subtrees rooted at
+its children are orphaned. The repair reattaches each orphan root to the
+surviving node that minimises its new source-to-receiver delay among
+nodes with spare fan-out that are *not inside the orphan's own subtree*
+(which would create a cycle). Orphans are processed closest-to-source
+first so early reattachments can serve as attachment points for later
+ones.
+
+This is the operational complement the paper leaves to "future work on a
+decentralized version": it keeps the tree valid between full rebuilds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+
+__all__ = ["repair_after_failure"]
+
+
+def repair_after_failure(
+    tree: MulticastTree,
+    failed: int,
+    max_out_degree,
+) -> tuple[MulticastTree, np.ndarray]:
+    """Remove ``failed`` from the tree and reattach its orphans.
+
+    :param tree: the current distribution tree.
+    :param failed: index of the departing node (must not be the root).
+    :param max_out_degree: scalar fan-out bound, or per-node array
+        aligned with the *original* indices.
+    :returns: ``(new_tree, index_map)`` where ``index_map[old] = new``
+        position in the surviving tree and ``index_map[failed] == -1``.
+    :raises ValueError: if the root fails (a multicast without its source
+        cannot be repaired) or if no feasible attachment point remains.
+    """
+    failed = int(failed)
+    if failed == tree.root:
+        raise ValueError("cannot repair the failure of the source itself")
+    if not 0 <= failed < tree.n:
+        raise ValueError(f"node index {failed} out of range")
+
+    n = tree.n
+    if np.isscalar(max_out_degree):
+        budgets = np.full(n, int(max_out_degree), dtype=np.int64)
+    else:
+        budgets = np.asarray(max_out_degree, dtype=np.int64)
+        if budgets.shape != (n,):
+            raise ValueError(f"budgets must have shape ({n},)")
+
+    parent = tree.parent.copy()
+    orphans = np.flatnonzero(parent == failed)
+    orphans = orphans[orphans != failed]
+
+    delays = tree.root_delays().copy()
+    degrees = tree.out_degrees().copy()
+    degrees[tree.parent[failed]] -= 1  # the failed node's own uplink frees
+
+    # Mark the failed node unusable as an attachment point.
+    usable = np.ones(n, dtype=bool)
+    usable[failed] = False
+
+    # Closest-to-source orphans first: their reattachment restores short
+    # paths that deeper orphans can then hang from.
+    orphans = orphans[np.argsort(delays[orphans], kind="stable")]
+
+    # No orphan may adopt into a subtree that is itself still detached —
+    # two orphan subtrees adopting into each other forms a cycle. Mark
+    # every orphan subtree forbidden up front and release each one as it
+    # reconnects.
+    subtrees = {int(o): tree.subtree_nodes(int(o)) for o in orphans}
+    detached = np.zeros(n, dtype=bool)
+    for nodes in subtrees.values():
+        detached[nodes] = True
+
+    for orphan in orphans:
+        orphan = int(orphan)
+        subtree = subtrees[orphan]
+        candidates = np.flatnonzero(
+            usable & ~detached & (degrees < budgets)
+        )
+        if candidates.size == 0:
+            raise ValueError(
+                "no surviving node has spare fan-out to adopt the orphan"
+            )
+        dist = np.sqrt(
+            np.sum((tree.points[candidates] - tree.points[orphan]) ** 2, axis=1)
+        )
+        cost = delays[candidates] + dist
+        pick = int(np.argmin(cost))
+        adopter = int(candidates[pick])
+        parent[orphan] = adopter
+        degrees[adopter] += 1
+        # Update delays throughout the orphan's subtree for later orphans
+        # and release it as a legitimate attachment region.
+        shift = float(cost[pick]) - float(delays[orphan])
+        delays[subtree] += shift
+        detached[subtree] = False
+
+    # Compact indices: drop the failed node.
+    index_map = np.full(n, -1, dtype=np.int64)
+    survivors = np.flatnonzero(np.arange(n) != failed)
+    index_map[survivors] = np.arange(survivors.size)
+
+    new_parent = index_map[parent[survivors]]
+    new_tree = MulticastTree(
+        points=tree.points[survivors],
+        parent=new_parent,
+        root=int(index_map[tree.root]),
+    )
+    return new_tree, index_map

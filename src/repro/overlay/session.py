@@ -1,0 +1,197 @@
+"""Multicast sessions: the user-facing orchestration object.
+
+A :class:`MulticastSession` owns a set of :class:`~repro.overlay.host.Host`
+objects, builds a distribution tree with a chosen algorithm, evaluates
+it, simulates disseminations, and survives host departures via the
+repair module. It is the layer an application embeds; everything below
+it works on bare index arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bandwidth_latency import bandwidth_latency_tree
+from repro.baselines.compact_tree import compact_tree
+from repro.baselines.naive import capped_star, random_feasible_tree
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.overlay.host import Host
+from repro.overlay.metrics import TreeMetrics, evaluate_tree
+from repro.overlay.repair import repair_after_failure
+from repro.overlay.simulator import DisseminationResult, simulate_dissemination
+
+__all__ = ["MulticastSession", "ALGORITHMS"]
+
+ALGORITHMS = (
+    "polar-grid",
+    "bisection",
+    "compact-tree",
+    "bandwidth-latency",
+    "capped-star",
+    "random",
+)
+
+
+class MulticastSession:
+    """One multicast group: a source host plus receivers.
+
+    :param hosts: participating hosts; names must be unique.
+    :param source: name (or index) of the source host.
+    :param algorithm: one of :data:`ALGORITHMS`. The grid and bisection
+        algorithms use the group's *minimum* fan-out budget (they need a
+        uniform degree bound); the baseline heuristics honour per-host
+        budgets.
+    """
+
+    def __init__(self, hosts, source=0, algorithm: str = "polar-grid"):
+        hosts = list(hosts)
+        if len(hosts) < 1:
+            raise ValueError("a session needs at least the source host")
+        names = [h.name for h in hosts]
+        if len(set(names)) != len(names):
+            raise ValueError("host names must be unique")
+        dims = {h.dim for h in hosts}
+        if len(dims) != 1:
+            raise ValueError("all hosts must share one coordinate space")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            )
+
+        self.hosts: list[Host] = hosts
+        self.algorithm = algorithm
+        self._by_name = {h.name: i for i, h in enumerate(hosts)}
+        if isinstance(source, str):
+            if source not in self._by_name:
+                raise ValueError(f"unknown source host {source!r}")
+            self.source_index = self._by_name[source]
+        else:
+            source = int(source)
+            if not 0 <= source < len(hosts):
+                raise ValueError(f"source index {source} out of range")
+            self.source_index = source
+        self.tree: MulticastTree | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> Host:
+        return self.hosts[self.source_index]
+
+    @property
+    def n(self) -> int:
+        return len(self.hosts)
+
+    def index_of(self, name: str) -> int:
+        if name not in self._by_name:
+            raise ValueError(f"unknown host {name!r}")
+        return self._by_name[name]
+
+    def points(self) -> np.ndarray:
+        return np.asarray([h.coords for h in self.hosts], dtype=np.float64)
+
+    def fanout_budgets(self) -> np.ndarray:
+        return np.asarray([h.max_fanout for h in self.hosts], dtype=np.int64)
+
+    def _uniform_budget(self) -> int:
+        budget = int(self.fanout_budgets().min())
+        if budget < 2:
+            raise ValueError(
+                "this algorithm needs fan-out >= 2 on every host; "
+                "'polar-grid' (heterogeneous backbone), 'compact-tree' and "
+                "'bandwidth-latency' handle mixed populations with leaves"
+            )
+        return budget
+
+    # ------------------------------------------------------------------
+
+    def build(self, seed=None, **kwargs) -> MulticastTree:
+        """Build (or rebuild) the distribution tree."""
+        points = self.points()
+        src = self.source_index
+        if self.algorithm == "polar-grid":
+            budgets = self.fanout_budgets()
+            if int(budgets.min()) >= 2:
+                result = build_polar_grid_tree(
+                    points, src, int(budgets.min()), **kwargs
+                )
+            else:
+                # Mixed population with leaf-only hosts: binary backbone
+                # over the forwarders, leaves attached to spare slots.
+                from repro.core.heterogeneous import build_heterogeneous_tree
+
+                result = build_heterogeneous_tree(
+                    points, budgets, src, **kwargs
+                )
+            self.tree = result.tree
+            self.last_build = result
+        elif self.algorithm == "bisection":
+            result = build_bisection_tree(
+                points, src, self._uniform_budget(), **kwargs
+            )
+            self.tree = result.tree
+            self.last_build = result
+        elif self.algorithm == "compact-tree":
+            self.tree = compact_tree(points, src, self.fanout_budgets())
+            self.last_build = None
+        elif self.algorithm == "bandwidth-latency":
+            self.tree = bandwidth_latency_tree(
+                points, src, self.fanout_budgets(), seed=seed
+            )
+            self.last_build = None
+        elif self.algorithm == "capped-star":
+            self.tree = capped_star(points, src, self._uniform_budget())
+            self.last_build = None
+        else:  # "random"
+            self.tree = random_feasible_tree(
+                points, src, self._uniform_budget(), seed=seed
+            )
+            self.last_build = None
+        return self.tree
+
+    def _require_tree(self) -> MulticastTree:
+        if self.tree is None:
+            raise RuntimeError("call build() before using the tree")
+        return self.tree
+
+    def metrics(self) -> TreeMetrics:
+        """Quality metrics of the current tree."""
+        return evaluate_tree(self._require_tree())
+
+    def parent_of(self, name: str) -> str | None:
+        """Name of the host feeding ``name`` (None for the source)."""
+        tree = self._require_tree()
+        idx = self.index_of(name)
+        if idx == tree.root:
+            return None
+        return self.hosts[int(tree.parent[idx])].name
+
+    def simulate(self, serialization_delay: float = 0.0) -> DisseminationResult:
+        """Replay one dissemination using each host's processing delay."""
+        tree = self._require_tree()
+        proc = np.asarray(
+            [h.processing_delay for h in self.hosts], dtype=np.float64
+        )
+        return simulate_dissemination(
+            tree, processing_delay=proc, serialization_delay=serialization_delay
+        )
+
+    def handle_departure(self, name: str) -> MulticastTree:
+        """Remove a host and repair the tree in place.
+
+        The departing host's orphans are reattached greedily (see
+        :func:`repro.overlay.repair.repair_after_failure`); the session's
+        host list, indices and tree are updated consistently.
+        """
+        tree = self._require_tree()
+        idx = self.index_of(name)
+        new_tree, index_map = repair_after_failure(
+            tree, idx, self.fanout_budgets()
+        )
+        self.hosts = [h for h in self.hosts if h.name != name]
+        self._by_name = {h.name: i for i, h in enumerate(self.hosts)}
+        self.source_index = int(index_map[tree.root])
+        self.tree = new_tree
+        self.last_build = None
+        return new_tree

@@ -1,0 +1,104 @@
+"""SVG rendering of 2-D multicast trees (zero dependencies).
+
+Produces a standalone SVG: edges coloured by depth (core hops dark,
+deep bisection hops light), receivers as dots, the source as a ring.
+Useful for eyeballing the polar-grid structure — the binary core tree
+and the in-cell bisections of the paper's Figure 1/2 become visible.
+
+Only 2-D trees are rendered; project higher-dimensional trees first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+
+__all__ = ["tree_to_svg", "save_svg"]
+
+
+def _depth_color(depth: int, max_depth: int) -> str:
+    """Dark blue for shallow (core) edges fading to light for deep ones."""
+    frac = depth / max_depth if max_depth else 0.0
+    # Interpolate #1f3a93 (deep blue) -> #a8c6fa (pale blue).
+    start = (0x1F, 0x3A, 0x93)
+    end = (0xA8, 0xC6, 0xFA)
+    rgb = tuple(round(s + (e - s) * frac) for s, e in zip(start, end))
+    return f"#{rgb[0]:02x}{rgb[1]:02x}{rgb[2]:02x}"
+
+
+def tree_to_svg(
+    tree: MulticastTree,
+    size: int = 800,
+    margin: int = 20,
+    max_nodes: int = 200_000,
+) -> str:
+    """Render a 2-D tree to an SVG string.
+
+    :param size: canvas width/height in pixels.
+    :param max_nodes: refuse beyond this (a 5M-line SVG helps nobody).
+    :raises ValueError: for non-2-D trees or oversized inputs.
+    """
+    if tree.dim != 2:
+        raise ValueError("only 2-D trees can be rendered; project first")
+    if tree.n > max_nodes:
+        raise ValueError(
+            f"tree has {tree.n} nodes; rendering is capped at {max_nodes}"
+        )
+
+    pts = tree.points
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    extent = float(max(hi[0] - lo[0], hi[1] - lo[1], 1e-12))
+    scale = (size - 2 * margin) / extent
+
+    def xy(p):
+        x = margin + (p[0] - lo[0]) * scale
+        # SVG's y axis points down; flip so the plot reads like a graph.
+        y = size - margin - (p[1] - lo[1]) * scale
+        return f"{x:.2f}", f"{y:.2f}"
+
+    depths = tree.depths()
+    max_depth = int(depths.max()) if tree.n > 1 else 1
+    parent = tree.parent
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    for node in range(tree.n):
+        if node == tree.root:
+            continue
+        x1, y1 = xy(pts[int(parent[node])])
+        x2, y2 = xy(pts[node])
+        color = _depth_color(int(depths[node]), max_depth)
+        lines.append(
+            f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+            f'stroke="{color}" stroke-width="1"/>'
+        )
+    # Receivers on top of edges, source on top of everything.
+    radius = max(1.0, 3.0 - tree.n / 5000.0)
+    for node in range(tree.n):
+        if node == tree.root:
+            continue
+        cx, cy = xy(pts[node])
+        lines.append(
+            f'<circle cx="{cx}" cy="{cy}" r="{radius:.1f}" fill="#d35400"/>'
+        )
+    sx, sy = xy(pts[tree.root])
+    lines.append(
+        f'<circle cx="{sx}" cy="{sy}" r="7" fill="none" '
+        f'stroke="#c0392b" stroke-width="3"/>'
+    )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def save_svg(tree: MulticastTree, path, **kwargs) -> Path:
+    """Render and write; returns the path written."""
+    path = Path(path)
+    path.write_text(tree_to_svg(tree, **kwargs))
+    return path

@@ -1,0 +1,31 @@
+"""Seeded random workloads used by the experiments, tests and examples."""
+
+from repro.workloads.churn import (
+    ChurnEvent,
+    generate_churn_trace,
+    replay_trace,
+)
+from repro.workloads.generators import (
+    annulus_points,
+    clustered_disk,
+    nonuniform_disk,
+    polygon_points,
+    rectangle_points,
+    unit_ball,
+    unit_disk,
+    with_source_at_center,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "annulus_points",
+    "generate_churn_trace",
+    "replay_trace",
+    "clustered_disk",
+    "nonuniform_disk",
+    "polygon_points",
+    "rectangle_points",
+    "unit_ball",
+    "unit_disk",
+    "with_source_at_center",
+]

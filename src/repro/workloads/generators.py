@@ -1,0 +1,177 @@
+"""Random point-set generators for the paper's experiments and beyond.
+
+Every generator takes an explicit seed (or :class:`numpy.random.Generator`)
+and returns an ``(n, d)`` array **whose row 0 is the multicast source**.
+The Section V experiments place the source at the centre of the region;
+generators that support other placements say so.
+
+The non-uniform generators exist for the paper's remark that asymptotic
+optimality survives any density bounded below by ``eps > 0`` on a convex
+region: they exercise exactly that regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.regions import Annulus, Ball, ConvexPolygon, Rectangle
+
+__all__ = [
+    "as_rng",
+    "unit_disk",
+    "unit_ball",
+    "annulus_points",
+    "rectangle_points",
+    "polygon_points",
+    "clustered_disk",
+    "nonuniform_disk",
+    "with_source_at_center",
+]
+
+
+def as_rng(seed) -> np.random.Generator:
+    """Accept a seed, a Generator, or None (fresh entropy)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _require_positive(n: int) -> int:
+    n = int(n)
+    if n < 1:
+        raise ValueError("need at least one node (the source)")
+    return n
+
+
+def with_source_at_center(points: np.ndarray, center) -> np.ndarray:
+    """Prepend the source at ``center`` as row 0."""
+    center = np.asarray(center, dtype=np.float64)[None, :]
+    return np.concatenate([center, points], axis=0)
+
+
+def unit_disk(n: int, seed=None) -> np.ndarray:
+    """``n`` nodes: the source at the disk centre plus ``n - 1`` receivers
+    uniform in the unit disk — the Table I workload."""
+    n = _require_positive(n)
+    rng = as_rng(seed)
+    receivers = Ball(dim=2).sample(n - 1, rng)
+    return with_source_at_center(receivers, (0.0, 0.0))
+
+
+def unit_ball(n: int, dim: int = 3, seed=None) -> np.ndarray:
+    """Source at the centre of the unit ``dim``-ball plus uniform
+    receivers — the Figure 8 workload for ``dim = 3``."""
+    n = _require_positive(n)
+    rng = as_rng(seed)
+    receivers = Ball(dim=dim).sample(n - 1, rng)
+    return with_source_at_center(receivers, (0.0,) * dim)
+
+
+def annulus_points(
+    n: int, r_inner: float = 0.5, r_outer: float = 1.0, dim: int = 2, seed=None
+) -> np.ndarray:
+    """Source at the centre, receivers uniform in an annulus around it —
+    the Section IV-C regime where ``fit_annulus=True`` pays off."""
+    n = _require_positive(n)
+    rng = as_rng(seed)
+    region = Annulus(dim=dim, r_inner=r_inner, r_outer=r_outer)
+    receivers = region.sample(n - 1, rng)
+    return with_source_at_center(receivers, (0.0,) * dim)
+
+
+def rectangle_points(
+    n: int, lower=(0.0, 0.0), upper=(2.0, 1.0), source=None, seed=None
+) -> np.ndarray:
+    """Receivers uniform in a box; source anywhere inside (default: its
+    centre). Exercises the general-convex-region claim of Section IV-C."""
+    n = _require_positive(n)
+    rng = as_rng(seed)
+    region = Rectangle(lower=tuple(lower), upper=tuple(upper))
+    if source is None:
+        source = tuple(
+            (lo + hi) / 2.0 for lo, hi in zip(region.lower, region.upper)
+        )
+    receivers = region.sample(n - 1, rng)
+    return with_source_at_center(receivers, source)
+
+
+def polygon_points(n: int, vertices, source=None, seed=None) -> np.ndarray:
+    """Receivers uniform in a convex polygon; source defaults to the
+    vertex centroid (inside, by convexity)."""
+    n = _require_positive(n)
+    rng = as_rng(seed)
+    region = ConvexPolygon(vertices=tuple(map(tuple, vertices)))
+    if source is None:
+        source = tuple(np.mean(np.asarray(vertices, dtype=np.float64), axis=0))
+    receivers = region.sample(n - 1, rng)
+    return with_source_at_center(receivers, source)
+
+
+def clustered_disk(
+    n: int,
+    clusters: int = 5,
+    spread: float = 0.08,
+    background: float = 0.2,
+    seed=None,
+) -> np.ndarray:
+    """A clustered (non-uniform) population inside the unit disk.
+
+    ``background`` of the receivers are uniform over the disk (keeping
+    the density bounded below, per the paper's extension remark); the
+    rest are Gaussian blobs around random cluster centres, resampled
+    until they land inside the disk.
+    """
+    n = _require_positive(n)
+    if not 0.0 <= background <= 1.0:
+        raise ValueError("background must be a fraction in [0, 1]")
+    rng = as_rng(seed)
+    receivers = n - 1
+    n_background = int(round(receivers * background))
+    n_clustered = receivers - n_background
+    disk = Ball(dim=2)
+    base = disk.sample(n_background, rng)
+
+    centers = disk.sample(max(clusters, 1), rng) * 0.7
+    out = []
+    remaining = n_clustered
+    while remaining > 0:
+        pick = rng.integers(0, len(centers), size=remaining)
+        pts = centers[pick] + rng.normal(scale=spread, size=(remaining, 2))
+        inside = pts[np.sqrt((pts**2).sum(axis=1)) <= 1.0]
+        out.append(inside)
+        remaining -= inside.shape[0]
+    clustered = (
+        np.concatenate(out, axis=0)[:n_clustered]
+        if out
+        else np.empty((0, 2))
+    )
+    receivers_arr = np.concatenate([base, clustered], axis=0)
+    rng.shuffle(receivers_arr, axis=0)
+    return with_source_at_center(receivers_arr, (0.0, 0.0))
+
+
+def nonuniform_disk(n: int, tilt: float = 0.8, seed=None) -> np.ndarray:
+    """Receivers in the unit disk with density ``1 + tilt * x`` (linear
+    gradient, bounded below by ``1 - tilt > 0``), sampled by rejection.
+
+    This is exactly the "density strictly more than some eps inside the
+    convex region" case the paper's asymptotic result extends to.
+    """
+    n = _require_positive(n)
+    if not 0.0 <= tilt < 1.0:
+        raise ValueError("tilt must be in [0, 1) to keep the density positive")
+    rng = as_rng(seed)
+    receivers = n - 1
+    disk = Ball(dim=2)
+    out = [np.empty((0, 2))]
+    remaining = receivers
+    while remaining > 0:
+        batch = disk.sample(int(remaining * 2.2) + 8, rng)
+        accept = rng.random(batch.shape[0]) < (1.0 + tilt * batch[:, 0]) / (
+            1.0 + tilt
+        )
+        kept = batch[accept]
+        out.append(kept)
+        remaining -= kept.shape[0]
+    receivers_arr = np.concatenate(out, axis=0)[:receivers]
+    return with_source_at_center(receivers_arr, (0.0, 0.0))

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests that need more streams derive seeds."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def disk_points(rng):
+    """500 nodes in the unit disk, source at the centre (row 0)."""
+    from repro.workloads.generators import unit_disk
+
+    return unit_disk(500, seed=rng.integers(1 << 30))
+
+
+@pytest.fixture
+def small_disk_points():
+    """50 nodes, fixed seed — cheap enough for exhaustive checks."""
+    from repro.workloads.generators import unit_disk
+
+    return unit_disk(50, seed=99)
+
+
+def reference_root_delays(points: np.ndarray, parent: np.ndarray, root: int):
+    """O(n * depth) parent-chasing oracle for root delays."""
+    n = points.shape[0]
+    delays = np.zeros(n)
+    for node in range(n):
+        total = 0.0
+        walk = node
+        hops = 0
+        while walk != root:
+            p = int(parent[walk])
+            total += float(np.linalg.norm(points[walk] - points[p]))
+            walk = p
+            hops += 1
+            assert hops <= n, "cycle in reference walk"
+        delays[node] = total
+    return delays
+
+
+@pytest.fixture
+def delay_oracle():
+    return reference_root_delays

@@ -1,0 +1,87 @@
+"""Tests for the theorem-verification module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import (
+    CheckResult,
+    VerificationReport,
+    check_equation5,
+    check_equation7,
+    check_lemma1,
+    check_lemma2,
+    check_theorem1,
+    check_theorem2,
+    run_all_checks,
+)
+
+
+class TestReportPlumbing:
+    def test_all_passed_logic(self):
+        report = VerificationReport(
+            results=[
+                CheckResult("a", True, ""),
+                CheckResult("b", True, ""),
+            ]
+        )
+        assert report.all_passed
+        report.results.append(CheckResult("c", False, "boom"))
+        assert not report.all_passed
+
+    def test_render_contains_statuses(self):
+        report = VerificationReport(
+            results=[
+                CheckResult("good claim", True, "ok"),
+                CheckResult("bad claim", False, "nope"),
+            ]
+        )
+        text = report.render()
+        assert "[PASS] good claim" in text
+        assert "[FAIL] bad claim" in text
+        assert "FAILED" in text
+
+    def test_render_all_green(self):
+        report = VerificationReport(results=[CheckResult("x", True, "")])
+        assert "all claims verified" in report.render()
+
+
+class TestIndividualChecks:
+    def test_lemma1_passes(self):
+        rng = np.random.default_rng(1)
+        result = check_lemma1(rng, fast=True)
+        assert result.passed, result.detail
+
+    def test_lemma2_passes(self):
+        assert check_lemma2().passed
+
+    def test_theorem1_passes(self):
+        rng = np.random.default_rng(2)
+        result = check_theorem1(rng, fast=True)
+        assert result.passed, result.detail
+
+    def test_equation5_passes(self):
+        rng = np.random.default_rng(3)
+        result = check_equation5(rng, fast=True)
+        assert result.passed, result.detail
+
+    def test_equation7_passes(self):
+        rng = np.random.default_rng(4)
+        result = check_equation7(rng, fast=True)
+        assert result.passed, result.detail
+
+    def test_theorem2_passes(self):
+        rng = np.random.default_rng(5)
+        result = check_theorem2(rng, fast=True)
+        assert result.passed, result.detail
+
+
+class TestRunAll:
+    def test_full_fast_report_green(self):
+        report = run_all_checks(seed=7, fast=True)
+        assert report.all_passed, report.render()
+        assert len(report.results) == 8
+
+    def test_reproducible(self):
+        a = run_all_checks(seed=8, fast=True)
+        b = run_all_checks(seed=8, fast=True)
+        assert [r.detail for r in a.results] == [r.detail for r in b.results]

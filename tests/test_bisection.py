@@ -1,0 +1,239 @@
+"""Tests for the Section II bisection algorithm (all variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisection import (
+    bisection_tree_2d,
+    bisection_tree_nd,
+    bounding_segment_far_center,
+)
+from repro.core.bounds import bisection_path_bound
+from repro.core.builder import build_bisection_tree
+from repro.core.tree import MulticastTree
+from repro.geometry.polar import TWO_PI, to_polar
+
+
+def run_2d(points, source, segment_center, r_range, t_range, degree):
+    """Helper: run the in-cell 2-D bisection and return a validated tree."""
+    n = points.shape[0]
+    rho, theta = to_polar(points, segment_center)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    indices = [i for i in range(n) if i != source]
+    bisection_tree_2d(
+        rho.tolist(),
+        (theta / TWO_PI).tolist(),
+        indices,
+        source,
+        r_range,
+        t_range,
+        parent,
+        degree,
+    )
+    return MulticastTree(points=points, parent=parent, root=source)
+
+
+def segment_points(rng, n, r_range, t_range, center=(0.0, 0.0)):
+    """Uniform points in a ring segment around `center`."""
+    r = np.sqrt(rng.uniform(r_range[0] ** 2, r_range[1] ** 2, n))
+    theta = rng.uniform(t_range[0], t_range[1], n) * TWO_PI
+    pts = np.stack(
+        [center[0] + r * np.cos(theta), center[1] + r * np.sin(theta)], axis=1
+    )
+    return pts
+
+
+class TestDegree4:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 200])
+    def test_spanning_and_degree(self, rng, n):
+        pts = segment_points(rng, n, (0.5, 1.0), (0.0, 0.25))
+        tree = run_2d(pts, 0, (0.0, 0.0), (0.4999, 1.0), (0.0, 0.25), 4)
+        tree.validate(max_out_degree=4)
+
+    def test_path_bound_eq1(self, rng):
+        """Equation (1): l_p <= max(R-q, q-r) + 2Ra for every path."""
+        for trial in range(20):
+            local = np.random.default_rng(trial)
+            pts = segment_points(local, 80, (0.6, 1.0), (0.0, 0.15))
+            tree = run_2d(pts, 0, (0.0, 0.0), (0.5999, 1.0), (0.0, 0.15), 4)
+            q = float(np.linalg.norm(pts[0]))
+            bound = bisection_path_bound(0.6, 1.0, 0.15 * TWO_PI, q, 4)
+            assert tree.radius() <= bound + 1e-9
+
+    def test_duplicate_points_terminate(self):
+        pts = np.tile([[0.75, 0.1]], (30, 1))
+        pts[0] = [0.7, 0.0]
+        tree = run_2d(pts, 0, (0.0, 0.0), (0.5, 1.0), (0.0, 0.25), 4)
+        tree.validate(max_out_degree=4)
+
+    def test_single_receiver_attaches_to_source(self, rng):
+        pts = segment_points(rng, 2, (0.5, 1.0), (0.0, 0.2))
+        tree = run_2d(pts, 0, (0.0, 0.0), (0.49, 1.0), (0.0, 0.2), 4)
+        assert tree.parent[1] == 0
+
+
+class TestDegree2:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 10, 200])
+    def test_spanning_and_degree(self, rng, n):
+        pts = segment_points(rng, n, (0.5, 1.0), (0.0, 0.25))
+        tree = run_2d(pts, 0, (0.0, 0.0), (0.4999, 1.0), (0.0, 0.25), 2)
+        tree.validate(max_out_degree=2)
+
+    def test_conservative_path_bound(self):
+        """The conservative form of eq. (2) holds for every path."""
+        for trial in range(20):
+            local = np.random.default_rng(trial + 100)
+            pts = segment_points(local, 60, (0.6, 1.0), (0.0, 0.15))
+            tree = run_2d(pts, 0, (0.0, 0.0), (0.5999, 1.0), (0.0, 0.15), 2)
+            q = float(np.linalg.norm(pts[0]))
+            bound = bisection_path_bound(
+                0.6, 1.0, 0.15 * TWO_PI, q, 2, conservative=True
+            )
+            assert tree.radius() <= bound + 1e-9
+
+    def test_degree3_uses_binary_variant(self, rng):
+        pts = segment_points(rng, 40, (0.5, 1.0), (0.0, 0.25))
+        tree = run_2d(pts, 0, (0.0, 0.0), (0.4999, 1.0), (0.0, 0.25), 3)
+        tree.validate(max_out_degree=2)  # relay variant never uses 3
+
+    def test_duplicate_points_terminate(self):
+        pts = np.tile([[0.75, 0.1]], (25, 1))
+        pts[0] = [0.7, 0.0]
+        tree = run_2d(pts, 0, (0.0, 0.0), (0.5, 1.0), (0.0, 0.25), 2)
+        tree.validate(max_out_degree=2)
+
+    def test_rejects_degree_below_2(self, rng):
+        pts = segment_points(rng, 5, (0.5, 1.0), (0.0, 0.25))
+        with pytest.raises(ValueError, match="at least 2"):
+            run_2d(pts, 0, (0.0, 0.0), (0.4999, 1.0), (0.0, 0.25), 1)
+
+
+class TestNdBisection:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    @pytest.mark.parametrize("mode_degree", ["full", "binary"])
+    def test_spanning_and_degree(self, rng, dim, mode_degree):
+        from repro.geometry.polar import SphericalTransform
+
+        n = 120
+        pts = rng.normal(size=(n, dim))
+        tr = SphericalTransform(dim)
+        rho, t = tr.transform(pts, np.zeros(dim))
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[0] = 0
+        degree = (1 << dim) if mode_degree == "full" else 2
+        bisection_tree_nd(
+            rho.tolist(),
+            tuple(t[:, j].tolist() for j in range(dim - 1)),
+            list(range(1, n)),
+            0,
+            (0.0, float(rho.max())),
+            tuple((0.0, 1.0) for _ in range(dim - 1)),
+            parent,
+            degree,
+        )
+        tree = MulticastTree(points=pts, parent=parent, root=0)
+        tree.validate(max_out_degree=degree)
+
+    def test_binary_mode_cycles_axes(self, rng):
+        """Out-degree 2 in 3-D: depth must stay logarithmic-ish, proving
+        the splits actually separate points on every axis."""
+        from repro.geometry.polar import SphericalTransform
+
+        n = 500
+        pts = rng.normal(size=(n, 3))
+        tr = SphericalTransform(3)
+        rho, t = tr.transform(pts, np.zeros(3))
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[0] = 0
+        bisection_tree_nd(
+            rho.tolist(),
+            (t[:, 0].tolist(), t[:, 1].tolist()),
+            list(range(1, n)),
+            0,
+            (0.0, float(rho.max())),
+            ((0.0, 1.0), (0.0, 1.0)),
+            parent,
+            2,
+        )
+        tree = MulticastTree(points=pts, parent=parent, root=0)
+        tree.validate(max_out_degree=2)
+        # A balanced binary tree of 500 nodes is ~9 deep; allow slack for
+        # the geometric (not cardinality) splits.
+        assert tree.depths().max() < 60
+
+
+class TestFarCenterSegment:
+    def test_covers_all_points(self, rng):
+        pts = rng.uniform(-3, 5, size=(200, 2))
+        center, seg = bounding_segment_far_center(pts)
+        rho, theta = to_polar(pts, center)
+        assert np.all(seg.contains(rho, theta))
+
+    def test_theorem1_preconditions(self, rng):
+        """sin(a) > 5a/6 and r > 0.6 R (Section II's constants)."""
+        for trial in range(10):
+            local = np.random.default_rng(trial)
+            pts = local.normal(size=(50, 2)) * local.uniform(0.1, 10)
+            _center, seg = bounding_segment_far_center(pts)
+            a = seg.theta_span
+            assert np.sin(a) > 5 * a / 6
+            assert seg.r_inner > 0.6 * seg.r_outer
+
+    def test_single_point(self):
+        center, seg = bounding_segment_far_center(np.array([[1.0, 2.0]]))
+        rho, theta = to_polar(np.array([[1.0, 2.0]]), center)
+        assert seg.contains(rho, theta)[0]
+
+    def test_coincident_points(self):
+        pts = np.tile([[3.0, 3.0]], (5, 1))
+        _center, seg = bounding_segment_far_center(pts)
+        assert seg.r_outer > seg.r_inner
+
+
+class TestStandaloneBuilder:
+    @pytest.mark.parametrize("degree", [4, 2])
+    def test_builds_valid_tree(self, rng, degree):
+        pts = rng.normal(size=(150, 2))
+        result = build_bisection_tree(pts, 0, degree)
+        result.tree.validate(max_out_degree=degree)
+
+    def test_constant_factor_vs_exact(self):
+        """Theorem 1: radius <= factor * OPT on exhaustively solved inputs."""
+        from repro.baselines.exact import optimal_radius
+        from repro.core.bounds import bisection_constant_factor
+
+        for seed in range(12):
+            local = np.random.default_rng(seed)
+            pts = local.uniform(-1, 1, size=(6, 2))
+            for degree in (4, 2):
+                built = build_bisection_tree(pts, 0, degree).radius
+                opt = optimal_radius(pts, 0, degree)
+                factor = bisection_constant_factor(degree)
+                assert built <= factor * opt + 1e-9, (seed, degree)
+
+    def test_3d_standalone(self, rng):
+        pts = rng.normal(size=(100, 3))
+        result = build_bisection_tree(pts, 0, 8)
+        result.tree.validate(max_out_degree=8)
+
+    def test_source_only(self):
+        result = build_bisection_tree(np.zeros((1, 2)), 0, 4)
+        assert result.tree.n == 1
+
+    def test_all_coincident_3d(self):
+        pts = np.ones((20, 3))
+        result = build_bisection_tree(pts, 0, 2)
+        result.tree.validate(max_out_degree=2)
+        assert result.tree.radius() == 0.0
+
+    @given(st.integers(0, 10_000), st.integers(2, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_for_random_clouds(self, seed, n):
+        local = np.random.default_rng(seed)
+        pts = local.normal(size=(n, 2)) * local.uniform(0.01, 100)
+        for degree in (4, 2):
+            result = build_bisection_tree(pts, 0, degree)
+            result.tree.validate(max_out_degree=degree)

@@ -1,0 +1,165 @@
+"""Tests for the analytic bounds module against the paper's numbers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    arc_length,
+    bisection_constant_factor,
+    bisection_path_bound,
+    lemma1_probability,
+    lemma2_threshold,
+    polar_grid_upper_bound,
+    ring_radius,
+    rings_lower_bound,
+    sum_of_inner_arcs,
+)
+
+
+class TestArcLengths:
+    def test_delta_formula_unit_disk(self):
+        """Delta_i = 2*pi / sqrt(2)^(k+i) on the unit disk."""
+        k = 7
+        for i in range(k + 1):
+            expected = 2 * math.pi / math.sqrt(2.0) ** (k + i)
+            assert arc_length(i, k) == pytest.approx(expected)
+
+    def test_delta_monotone_decreasing(self):
+        k = 10
+        deltas = [arc_length(i, k) for i in range(k + 1)]
+        assert all(a > b for a, b in zip(deltas, deltas[1:]))
+
+    def test_s_k_closed_form(self):
+        """S_k matches the geometric-series closed form in the paper."""
+        for k in (2, 5, 9, 14):
+            expected = (
+                (2 * math.pi / math.sqrt(2.0) ** (k + 1))
+                * (1 - (1 / math.sqrt(2.0)) ** (k - 1))
+                / (1 - 1 / math.sqrt(2.0))
+            )
+            assert sum_of_inner_arcs(k) == pytest.approx(expected)
+
+    def test_s_1_is_zero(self):
+        assert sum_of_inner_arcs(1) == 0.0
+
+    def test_ring_radius_bounds(self):
+        assert ring_radius(0, 4) == pytest.approx(0.25)
+        assert ring_radius(4, 4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            ring_radius(5, 4)
+
+
+class TestEq7Bound:
+    def test_matches_table1_at_5m(self):
+        """k=17 gives Bound 1.08 (deg 6) and 1.11 (deg 2) in Table I."""
+        assert polar_grid_upper_bound(17, 6) == pytest.approx(1.08, abs=0.005)
+        assert polar_grid_upper_bound(17, 2) == pytest.approx(1.11, abs=0.005)
+
+    def test_matches_table1_at_1m(self):
+        assert polar_grid_upper_bound(15, 6) == pytest.approx(1.15, abs=0.005)
+        assert polar_grid_upper_bound(15, 2) == pytest.approx(1.22, abs=0.005)
+
+    def test_matches_table1_50k(self):
+        """The 50,000-node row has integral average k=11, so the paper's
+        Bound column is exactly eq.(7) there: 1.61 / 1.88. (Small-n rows
+        average the bound over a mix of k values and cannot be compared
+        pointwise.)"""
+        assert polar_grid_upper_bound(11, 6) == pytest.approx(1.61, abs=0.01)
+        assert polar_grid_upper_bound(11, 2) == pytest.approx(1.88, abs=0.01)
+        assert polar_grid_upper_bound(14, 6) == pytest.approx(1.22, abs=0.01)
+        assert polar_grid_upper_bound(14, 2) == pytest.approx(1.32, abs=0.01)
+
+    def test_bound_approaches_r_max(self):
+        assert polar_grid_upper_bound(40, 6) == pytest.approx(1.0, abs=1e-4)
+
+    def test_degree2_dominates_degree6(self):
+        for k in range(1, 20):
+            assert polar_grid_upper_bound(k, 2) > polar_grid_upper_bound(k, 6)
+
+    def test_scales_with_r_max(self):
+        assert polar_grid_upper_bound(5, 6, r_max=2.0) == pytest.approx(
+            2 * polar_grid_upper_bound(5, 6), rel=1e-12
+        )
+
+    @given(st.integers(1, 30))
+    def test_monotone_decreasing_in_k(self, k):
+        assert polar_grid_upper_bound(k + 1, 6) < polar_grid_upper_bound(k, 6)
+
+
+class TestBisectionBound:
+    def test_eq1_formula(self):
+        got = bisection_path_bound(0.6, 1.0, 0.2, 0.7, 4)
+        assert got == pytest.approx(max(0.3, 0.1) + 2 * 1.0 * 0.2)
+
+    def test_eq2_doubles_arc(self):
+        d4 = bisection_path_bound(0.6, 1.0, 0.2, 0.7, 4)
+        d2 = bisection_path_bound(0.6, 1.0, 0.2, 0.7, 2)
+        assert d2 - d4 == pytest.approx(2 * 1.0 * 0.2)
+
+    def test_conservative_dominates_paper(self):
+        paper = bisection_path_bound(0.6, 1.0, 0.2, 0.7, 4)
+        safe = bisection_path_bound(0.6, 1.0, 0.2, 0.7, 4, conservative=True)
+        assert safe >= paper
+
+    def test_source_outside_rejected(self):
+        with pytest.raises(ValueError, match="inside"):
+            bisection_path_bound(0.6, 1.0, 0.2, 0.5, 4)
+
+    def test_constant_factors(self):
+        assert bisection_constant_factor(4) == 5.0
+        assert bisection_constant_factor(6) == 5.0
+        assert bisection_constant_factor(2) == 9.0
+        with pytest.raises(ValueError):
+            bisection_constant_factor(1)
+
+
+class TestLemmas:
+    def test_lemma1_formula(self):
+        n, alpha = 1000.0, 0.4
+        raw = n**alpha * math.exp(-(n**0.6))
+        assert lemma1_probability(n, alpha) == pytest.approx(raw)
+
+    def test_lemma1_clipped_to_one(self):
+        assert lemma1_probability(2, 0.9) <= 1.0
+
+    def test_lemma1_vanishes_for_alpha_below_1(self):
+        assert lemma1_probability(1e6, 0.5) < 1e-300
+
+    def test_lemma2_bound_holds(self):
+        """For alpha <= 1/2 the bound never exceeds e^-1 (Lemma 2)."""
+        for alpha in (0.1, 0.3, 0.5):
+            for n in (1, 2, 5, 10, 100, 10_000):
+                assert lemma1_probability(n, alpha) <= lemma2_threshold() + 1e-12
+
+    def test_lemma2_fails_above_half(self):
+        """alpha > 1/2 can exceed e^-1 — the lemma is tight."""
+        assert lemma1_probability(3, 0.8) > lemma2_threshold()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lemma1_probability(0, 0.5)
+        with pytest.raises(ValueError):
+            lemma1_probability(10, 1.5)
+
+    def test_rings_lower_bound(self):
+        assert rings_lower_bound(1024) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            rings_lower_bound(0)
+
+
+class TestBoundConsistencyWithBuilds:
+    def test_observed_k_respects_eq5_statistically(self):
+        """Built grids achieve k >= 1/2 log2 n - O(1) (eq. 5)."""
+        from repro.core.builder import build_polar_grid_tree
+        from repro.workloads.generators import unit_disk
+
+        for n in (256, 2048, 16384):
+            ks = [
+                build_polar_grid_tree(unit_disk(n, seed=s), 0, 6).rings
+                for s in range(5)
+            ]
+            assert min(ks) >= rings_lower_bound(n) - 1.0, (n, ks)

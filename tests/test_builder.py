@@ -1,0 +1,244 @@
+"""Tests for build_polar_grid_tree — the end-to-end Algorithm Polar_Grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.core_network import WiringError
+from repro.workloads.generators import (
+    annulus_points,
+    clustered_disk,
+    nonuniform_disk,
+    rectangle_points,
+    unit_ball,
+    unit_disk,
+)
+
+
+class TestBasicInvariants:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 50, 1000])
+    @pytest.mark.parametrize("degree", [6, 2])
+    def test_valid_spanning_tree(self, n, degree):
+        points = unit_disk(n, seed=n * 7 + degree)
+        result = build_polar_grid_tree(points, 0, degree)
+        result.tree.validate(max_out_degree=degree)
+        assert result.tree.n == n
+        assert result.tree.root == 0
+
+    @pytest.mark.parametrize("degree", [7, 10, 100])
+    def test_higher_budgets_accepted(self, degree):
+        points = unit_disk(300, seed=1)
+        result = build_polar_grid_tree(points, 0, degree)
+        result.tree.validate(max_out_degree=degree)
+
+    @pytest.mark.parametrize("degree", [3, 4, 5])
+    def test_intermediate_budgets_use_binary(self, degree):
+        """Budgets below 2^d + 2 fall back to the out-degree-2 variant,
+        which never exceeds 2."""
+        points = unit_disk(300, seed=2)
+        result = build_polar_grid_tree(points, 0, degree)
+        result.tree.validate(max_out_degree=2)
+
+    def test_rejects_degree_below_2(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            build_polar_grid_tree(unit_disk(10, seed=0), 0, 1)
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError, match="source"):
+            build_polar_grid_tree(unit_disk(10, seed=0), 10, 6)
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError, match="dimension"):
+            build_polar_grid_tree(np.zeros((5, 1)), 0, 6)
+
+    def test_nonzero_source_index(self):
+        points = unit_disk(200, seed=3)
+        # Move the source into the middle of the array.
+        points = np.roll(points, 57, axis=0)
+        result = build_polar_grid_tree(points, 57, 6)
+        result.tree.validate(max_out_degree=6)
+        assert result.tree.root == 57
+
+    def test_deterministic(self):
+        points = unit_disk(500, seed=11)
+        a = build_polar_grid_tree(points, 0, 6)
+        b = build_polar_grid_tree(points, 0, 6)
+        assert np.array_equal(a.tree.parent, b.tree.parent)
+
+
+class TestDegenerateInputs:
+    def test_single_node(self):
+        result = build_polar_grid_tree(np.zeros((1, 2)), 0, 6)
+        assert result.tree.n == 1
+        assert result.rings is None
+
+    def test_all_coincident(self):
+        points = np.ones((40, 2))
+        result = build_polar_grid_tree(points, 0, 6)
+        result.tree.validate(max_out_degree=6)
+        assert result.tree.radius() == 0.0
+
+    def test_all_coincident_degree2(self):
+        points = np.ones((40, 2))
+        result = build_polar_grid_tree(points, 0, 2)
+        result.tree.validate(max_out_degree=2)
+
+    def test_two_coincident_plus_spread(self):
+        points = unit_disk(20, seed=4)
+        points[3] = points[0]  # a receiver on top of the source
+        result = build_polar_grid_tree(points, 0, 6)
+        result.tree.validate(max_out_degree=6)
+
+    def test_collinear_points(self):
+        n = 64
+        points = np.zeros((n, 2))
+        points[:, 0] = np.linspace(0, 1, n)
+        result = build_polar_grid_tree(points, 0, 6)
+        result.tree.validate(max_out_degree=6)
+        # Everything is on a ray: the radius is at least the farthest point.
+        assert result.radius >= 1.0 - 1e-9
+
+
+class TestMetrics:
+    def test_radius_at_least_lower_bound(self):
+        points = unit_disk(2000, seed=5)
+        result = build_polar_grid_tree(points, 0, 6)
+        farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+        assert result.radius >= farthest - 1e-9
+
+    def test_delay_within_eq7_bound(self):
+        """Theorem-level check: the built tree obeys equation (7)."""
+        for seed in range(10):
+            points = unit_disk(1500, seed=seed)
+            for degree in (6, 2):
+                result = build_polar_grid_tree(points, 0, degree)
+                assert result.radius <= result.upper_bound + 1e-9, (
+                    seed,
+                    degree,
+                )
+
+    def test_core_delay_at_most_radius(self):
+        points = unit_disk(800, seed=6)
+        result = build_polar_grid_tree(points, 0, 6)
+        assert result.core_delay <= result.radius + 1e-12
+
+    def test_rings_grow_with_n(self):
+        k_small = build_polar_grid_tree(unit_disk(100, seed=7), 0, 6).rings
+        k_large = build_polar_grid_tree(unit_disk(20_000, seed=7), 0, 6).rings
+        assert k_large >= k_small + 3
+
+    def test_convergence_toward_optimal(self):
+        """The asymptotic-optimality trend: the delay/lower-bound ratio
+        shrinks as n grows (Theorem 2's observable consequence)."""
+        ratios = []
+        for n in (200, 2000, 20000):
+            points = unit_disk(n, seed=13)
+            result = build_polar_grid_tree(points, 0, 6)
+            farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+            ratios.append(result.radius / farthest)
+        assert ratios[2] < ratios[1] < ratios[0]
+        assert ratios[2] < 1.15
+
+    def test_explicit_k_respected(self):
+        points = unit_disk(1000, seed=8)
+        result = build_polar_grid_tree(points, 0, 6, k=4)
+        assert result.rings == 4
+
+    def test_infeasible_k_raises(self):
+        points = unit_disk(30, seed=9)
+        with pytest.raises(WiringError, match="occupancy"):
+            build_polar_grid_tree(points, 0, 6, k=8)
+
+    def test_no_2d_bound_in_3d(self):
+        points = unit_ball(500, dim=3, seed=10)
+        result = build_polar_grid_tree(points, 0, 10)
+        assert result.upper_bound is None
+
+
+class TestHigherDimensions:
+    @pytest.mark.parametrize("dim,full_degree", [(3, 10), (4, 18)])
+    def test_full_construction(self, dim, full_degree):
+        points = unit_ball(800, dim=dim, seed=11)
+        result = build_polar_grid_tree(points, 0, full_degree)
+        result.tree.validate(max_out_degree=full_degree)
+
+    @pytest.mark.parametrize("dim", [3, 4])
+    def test_binary_construction(self, dim):
+        points = unit_ball(800, dim=dim, seed=12)
+        result = build_polar_grid_tree(points, 0, 2)
+        result.tree.validate(max_out_degree=2)
+
+    def test_3d_converges(self):
+        r_small = build_polar_grid_tree(
+            unit_ball(300, dim=3, seed=1), 0, 10
+        ).radius
+        r_large = build_polar_grid_tree(
+            unit_ball(30_000, dim=3, seed=1), 0, 10
+        ).radius
+        assert r_large < r_small
+
+
+class TestWorkloadRobustness:
+    def test_annulus_workload(self):
+        points = annulus_points(2000, seed=14)
+        plain = build_polar_grid_tree(points, 0, 6)
+        fitted = build_polar_grid_tree(points, 0, 6, fit_annulus=True)
+        plain.tree.validate(max_out_degree=6)
+        fitted.tree.validate(max_out_degree=6)
+        # The annulus grid concentrates rings where the points are.
+        assert fitted.rings >= plain.rings
+
+    def test_clustered_workload(self):
+        points = clustered_disk(3000, seed=15)
+        result = build_polar_grid_tree(points, 0, 6)
+        result.tree.validate(max_out_degree=6)
+
+    def test_nonuniform_density(self):
+        points = nonuniform_disk(3000, tilt=0.7, seed=16)
+        result = build_polar_grid_tree(points, 0, 6)
+        result.tree.validate(max_out_degree=6)
+        farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+        assert result.radius <= 1.5 * farthest
+
+    def test_corner_source_with_connected_rule(self):
+        points = rectangle_points(
+            5000, lower=(0, 0), upper=(2, 1), source=(0.02, 0.02), seed=17
+        )
+        relaxed = build_polar_grid_tree(
+            points, 0, 6, occupancy="connected", fit_annulus=True
+        )
+        relaxed.tree.validate(max_out_degree=6)
+        strict = build_polar_grid_tree(points, 0, 6)
+        strict.tree.validate(max_out_degree=6)
+        assert relaxed.radius <= strict.radius + 1e-9
+
+    def test_unknown_occupancy_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            build_polar_grid_tree(
+                unit_disk(50, seed=0), 0, 6, occupancy="bogus"
+            )
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(2, 400),
+        st.sampled_from([2, 3, 6, 8]),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_input_yields_valid_tree(self, n, degree, seed):
+        points = unit_disk(n, seed=seed)
+        result = build_polar_grid_tree(points, 0, degree)
+        result.tree.validate(max_out_degree=degree)
+        # Spanning: every node reachable (validate checks), right count.
+        assert result.tree.n == n
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_radius_never_below_farthest(self, seed):
+        points = unit_disk(200, seed=seed)
+        result = build_polar_grid_tree(points, 0, 6)
+        farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+        assert result.radius >= farthest - 1e-9

@@ -1,0 +1,96 @@
+"""Tests for the checkpointed campaign runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import Campaign, ExperimentSpec
+
+
+def small_spec(trials=3, name="unit"):
+    return ExperimentSpec(
+        name=name, sizes=(50, 100), degrees=(6,), trials=trials, seed=5
+    )
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            ExperimentSpec(name="")
+        with pytest.raises(ValueError, match="name"):
+            ExperimentSpec(name="a/b")
+        with pytest.raises(ValueError, match="trials"):
+            ExperimentSpec(name="x", trials=0)
+
+    def test_configurations_cross_product(self):
+        spec = ExperimentSpec(name="x", sizes=(10, 20), degrees=(6, 2))
+        assert list(spec.configurations()) == [
+            (10, 6),
+            (10, 2),
+            (20, 6),
+            (20, 2),
+        ]
+
+
+class TestCampaign:
+    def test_full_run_produces_rows_and_summary(self, tmp_path):
+        campaign = Campaign(small_spec(), tmp_path)
+        rows = campaign.run()
+        assert len(rows) == 2
+        assert campaign.finished
+        summary = json.loads(
+            (campaign.directory / "summary.json").read_text()
+        )
+        assert len(summary["rows"]) == 2
+        assert campaign.summary_rows()[0].delay == pytest.approx(
+            rows[0].delay
+        )
+
+    def test_rerun_is_a_noop(self, tmp_path):
+        campaign = Campaign(small_spec(), tmp_path)
+        first = campaign.run()
+        # Corrupting nothing, a second run reads the same records back.
+        second = Campaign(small_spec(), tmp_path).run()
+        assert [r.delay for r in first] == [r.delay for r in second]
+
+    def test_resume_after_partial_run(self, tmp_path):
+        # Phase 1: run with 1 trial (simulates an interrupted campaign).
+        partial = Campaign(small_spec(trials=1), tmp_path)
+        partial.run()
+        # Phase 2: the real spec wants 3 trials; only 2 more run.
+        campaign = Campaign(small_spec(trials=3), tmp_path)
+        assert campaign.completed_trials(50, 6) == 1
+        rows = campaign.run()
+        assert campaign.completed_trials(50, 6) == 3
+        # Resumed records are identical to a clean 3-trial campaign.
+        clean = Campaign(small_spec(trials=3, name="clean"), tmp_path)
+        clean_rows = clean.run()
+        assert rows[0].delay == pytest.approx(clean_rows[0].delay)
+
+    def test_status_reporting(self, tmp_path):
+        campaign = Campaign(small_spec(trials=2), tmp_path)
+        assert campaign.status()["n=50 degree=6"] == (0, 2)
+        assert not campaign.finished
+        campaign.run()
+        assert campaign.status()["n=50 degree=6"] == (2, 2)
+
+    def test_progress_callback(self, tmp_path):
+        lines = []
+        Campaign(small_spec(trials=1), tmp_path).run(progress=lines.append)
+        assert len(lines) == 2
+        assert "n=50" in lines[0]
+
+    def test_summary_before_run_raises(self, tmp_path):
+        campaign = Campaign(small_spec(name="fresh"), tmp_path)
+        with pytest.raises(FileNotFoundError, match="summary"):
+            campaign.summary_rows()
+
+    def test_checkpoint_files_are_json_lines(self, tmp_path):
+        campaign = Campaign(small_spec(trials=2), tmp_path)
+        campaign.run()
+        path = campaign.directory / "n50_d6_dim2.jsonl"
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["n"] == 50
+        assert "delay" in record

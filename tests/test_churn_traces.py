@@ -1,0 +1,125 @@
+"""Tests for the churn-trace generator and replay."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.protocol import DistributedJoinProtocol
+from repro.workloads.churn import ChurnEvent, generate_churn_trace, replay_trace
+
+
+class TestGeneration:
+    def test_sorted_and_well_formed(self):
+        events = generate_churn_trace(
+            duration=50.0, arrival_rate=2.0, mean_session=5.0, seed=1
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        for e in events:
+            assert 0.0 <= e.time < 50.0
+            if e.action == "join":
+                assert e.coords is not None and len(e.coords) == 2
+            else:
+                assert e.action == "leave"
+
+    def test_every_leave_has_prior_join(self):
+        events = generate_churn_trace(
+            duration=40.0, arrival_rate=3.0, mean_session=4.0, seed=2
+        )
+        seen = set()
+        for e in events:
+            if e.action == "join":
+                assert e.name not in seen
+                seen.add(e.name)
+            else:
+                assert e.name in seen
+
+    def test_arrival_rate_roughly_respected(self):
+        events = generate_churn_trace(
+            duration=200.0, arrival_rate=1.5, mean_session=3.0, seed=3
+        )
+        joins = sum(1 for e in events if e.action == "join")
+        assert 240 < joins < 360  # 300 expected, Poisson spread
+
+    def test_mean_session_roughly_respected(self):
+        events = generate_churn_trace(
+            duration=2_000.0,
+            arrival_rate=0.5,
+            mean_session=8.0,
+            session_sigma=0.5,
+            seed=4,
+        )
+        joins = {e.name: e.time for e in events if e.action == "join"}
+        sessions = [
+            e.time - joins[e.name] for e in events if e.action == "leave"
+        ]
+        # Truncation (sessions outliving the trace) biases downward a bit.
+        assert 5.0 < np.mean(sessions) < 9.5
+
+    def test_reproducible(self):
+        a = generate_churn_trace(30.0, 2.0, 4.0, seed=5)
+        b = generate_churn_trace(30.0, 2.0, 4.0, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_churn_trace(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="sigma"):
+            generate_churn_trace(1.0, 1.0, 1.0, session_sigma=-1.0)
+
+    def test_dimension_parameter(self):
+        events = generate_churn_trace(
+            20.0, 2.0, 4.0, dim=3, seed=6
+        )
+        join = next(e for e in events if e.action == "join")
+        assert len(join.coords) == 3
+
+
+class TestReplay:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: DynamicOverlay((0.0, 0.0), 4, rebuild_threshold=0.3),
+            lambda: DistributedJoinProtocol((0.0, 0.0), 4),
+        ],
+        ids=["dynamic", "protocol"],
+    )
+    def test_both_layers_survive_a_trace(self, factory):
+        events = generate_churn_trace(
+            duration=60.0, arrival_rate=2.0, mean_session=6.0, seed=7
+        )
+        overlay = factory()
+        stats = replay_trace(overlay, events)
+        assert stats["joins"] > stats["leaves"] >= 0
+        assert stats["peak"] >= 1
+        tree = overlay.tree()
+        tree.validate(max_out_degree=4)
+        assert tree.n == 1 + stats["joins"] - stats["leaves"]
+
+    def test_unknown_action_rejected(self):
+        overlay = DynamicOverlay((0.0, 0.0), 4)
+        with pytest.raises(ValueError, match="action"):
+            replay_trace(
+                overlay, [ChurnEvent(time=0.0, action="dance", name="x")]
+            )
+
+
+class TestNetworkxInterop:
+    def test_to_networkx_structure(self):
+        import networkx as nx
+
+        from repro.core.builder import build_polar_grid_tree
+        from repro.workloads.generators import unit_disk
+
+        tree = build_polar_grid_tree(unit_disk(120, seed=8), 0, 6).tree
+        graph = tree.to_networkx()
+        assert graph.number_of_nodes() == 120
+        assert graph.number_of_edges() == 119
+        assert nx.is_arborescence(graph)
+        # Weighted depth in networkx equals our root delays.
+        lengths = nx.single_source_dijkstra_path_length(
+            graph, tree.root, weight="weight"
+        )
+        delays = tree.root_delays()
+        for node, length in lengths.items():
+            assert length == pytest.approx(delays[node])

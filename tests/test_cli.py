@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.sizes is None
+
+    def test_fig_commands_exist(self):
+        for fig in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+            args = build_parser().parse_args([fig, "--trials", "2"])
+            assert args.command == fig
+
+    def test_demo_dim_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--dim", "7"])
+
+
+class TestMain:
+    def test_table1_text(self, capsys):
+        rc = main(["table1", "--sizes", "100", "--trials", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Rings" in out
+        assert "Paper Delay" in out
+
+    def test_table1_json(self, capsys):
+        rc = main(["table1", "--sizes", "100", "--trials", "2", "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert rows[0]["n"] == 100
+
+    def test_fig6_renders(self, capsys):
+        rc = main(["fig6", "--sizes", "100", "1000", "--trials", "2", "--data"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "rings k" in out
+
+    def test_fig8_runs_3d(self, capsys):
+        rc = main(["fig8", "--sizes", "100", "--trials", "1"])
+        assert rc == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        rc = main(["demo", "--nodes", "500", "--degree", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "radius" in out
+        assert "rings" in out
+
+    def test_demo_3d(self, capsys):
+        rc = main(["demo", "--nodes", "300", "--degree", "10", "--dim", "3"])
+        assert rc == 0
+        assert "radius" in capsys.readouterr().out
+
+    def test_demo_svg_and_save(self, capsys, tmp_path):
+        svg = tmp_path / "t.svg"
+        npz = tmp_path / "t.npz"
+        rc = main(
+            [
+                "demo",
+                "--nodes",
+                "200",
+                "--svg",
+                str(svg),
+                "--save",
+                str(npz),
+            ]
+        )
+        assert rc == 0
+        assert svg.exists()
+        from repro.core.io import load_tree
+
+        assert load_tree(npz).n == 200
+
+    def test_diameter_command(self, capsys):
+        rc = main(["diameter", "--nodes", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out
+        assert "root index" in out
+
+    def test_verify_fast(self, capsys):
+        rc = main(["verify", "--fast"])
+        assert rc == 0
+        assert "all claims verified" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("study", ["degrees", "regions", "algorithms"])
+    def test_compare_studies(self, capsys, study):
+        rc = main(
+            ["compare", study, "--nodes", "800", "--trials", "1"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_compare_requires_study(self):
+        with pytest.raises(SystemExit):
+            main(["compare"])
+
+    def test_figures_batch(self, tmp_path, capsys):
+        out = tmp_path / "figs"
+        rc = main(
+            [
+                "figures",
+                "--sizes",
+                "100",
+                "--trials",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        names = {p.name for p in out.iterdir()}
+        assert {"fig4.svg", "fig5.svg", "fig6.svg", "fig7.svg", "fig8.svg"} <= names
+        assert {"fig4.txt", "fig8.txt"} <= names

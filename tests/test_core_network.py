@@ -1,0 +1,118 @@
+"""Focused tests for the cell-wiring layer (core_network)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.core_network import WiringError, wire_cells
+from repro.core.grid import PolarGrid
+from repro.workloads.generators import unit_disk
+
+
+def wiring_inputs(points, k):
+    """Prepare wire_cells inputs the way the builder does."""
+    from repro.geometry.polar import SphericalTransform
+
+    n = points.shape[0]
+    tr = SphericalTransform(2)
+    rho, t = tr.transform(points, points[0])
+    grid = PolarGrid(
+        center=points[0], r_min=0.0, r_max=float(rho.max()), k=k, transform=tr
+    )
+    receivers = np.arange(1, n)
+    ring, cell = grid.assign(rho[receivers], t[receivers])
+    gid = grid.global_id(ring, cell)
+    order = np.lexsort((rho[receivers], gid))
+    nodes = receivers[order]
+    gids = gid[order]
+    cuts = np.flatnonzero(np.diff(gids)) + 1
+    starts = np.concatenate([[0], cuts])
+    ends = np.concatenate([cuts, [gids.shape[0]]])
+    groups = [
+        (int(gids[s]), nodes[s:e].tolist()) for s, e in zip(starts, ends)
+    ]
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[0] = 0
+    return grid, groups, rho.tolist(), (t[:, 0].tolist(),), parent
+
+
+class TestWireCells:
+    def test_full_mode_wires_everyone(self):
+        points = unit_disk(300, seed=60)
+        grid, groups, rho, t_axes, parent = wiring_inputs(points, k=4)
+        reps = wire_cells(grid, 0, groups, rho, t_axes, parent, binary=False)
+        assert np.all(parent >= 0)
+        assert reps.size == len([g for g, _m in groups if g != 0])
+
+    def test_binary_mode_degree(self):
+        points = unit_disk(300, seed=61)
+        grid, groups, rho, t_axes, parent = wiring_inputs(points, k=4)
+        wire_cells(grid, 0, groups, rho, t_axes, parent, binary=True)
+        from repro.core.tree import MulticastTree
+
+        tree = MulticastTree(points=points, parent=parent, root=0)
+        tree.validate(max_out_degree=2)
+
+    def test_invalid_k_raises_wiring_error(self):
+        points = unit_disk(20, seed=62)
+        # k=6 cannot be occupied by 19 receivers (needs 2^6-2 = 62 cells).
+        grid, groups, rho, t_axes, parent = wiring_inputs(points, k=6)
+        with pytest.raises(WiringError, match="occupancy"):
+            wire_cells(grid, 0, groups, rho, t_axes, parent, binary=False)
+
+    def test_representatives_carry_core_budget(self):
+        """In full mode, only representatives (and the source) may exceed
+        the bisection budget of 4 children."""
+        points = unit_disk(600, seed=63)
+        result = build_polar_grid_tree(points, 0, 6)
+        degrees = result.tree.out_degrees()
+        heavy = set(np.flatnonzero(degrees > 4).tolist())
+        allowed = set(result.representatives.tolist()) | {0}
+        assert heavy <= allowed
+
+    def test_empty_inner_region_forwards_from_source(self):
+        """All receivers far out: D0 is empty; ring-1 reps must attach
+        directly to the source."""
+        rng = np.random.default_rng(64)
+        theta = rng.uniform(0, 2 * np.pi, 60)
+        radius = rng.uniform(0.9, 1.0, 60)
+        points = np.zeros((61, 2))
+        points[1:, 0] = radius * np.cos(theta)
+        points[1:, 1] = radius * np.sin(theta)
+        result = build_polar_grid_tree(points, 0, 6)
+        result.tree.validate(max_out_degree=6)
+        # The source feeds exactly the ring-1 representatives (D0 empty).
+        assert result.tree.out_degrees()[0] <= 2
+
+
+class TestCoreStructure:
+    def test_representative_delays_form_core(self):
+        points = unit_disk(2000, seed=65)
+        result = build_polar_grid_tree(points, 0, 6)
+        delays = result.tree.root_delays()
+        assert result.core_delay == pytest.approx(
+            float(delays[result.representatives].max())
+        )
+
+    def test_core_path_uses_representatives(self):
+        """Each non-inner representative's parent chain passes only
+        through representatives/forwarders, never through bisection-only
+        nodes of other cells (full mode: parents of reps are reps)."""
+        points = unit_disk(1500, seed=66)
+        result = build_polar_grid_tree(points, 0, 6)
+        rep_set = set(result.representatives.tolist()) | {0}
+        for rep in result.representatives.tolist():
+            parent = int(result.tree.parent[rep])
+            assert parent in rep_set
+
+    def test_binary_mode_core_hops(self):
+        """Degree-2 wiring: a representative's parent is its parent
+        cell's forwarder, which lives in the parent cell (or is the
+        source)."""
+        points = unit_disk(1200, seed=67)
+        result = build_polar_grid_tree(points, 0, 2)
+        result.tree.validate(max_out_degree=2)
+        # The radius should exceed the degree-6 radius only modestly
+        # (Figure 5's "overhead roughly doubles" claim, loosely).
+        six = build_polar_grid_tree(points, 0, 6)
+        assert result.radius < six.radius * 2.5

@@ -1,0 +1,181 @@
+"""Tests for the minimum-diameter variant (paper's Conclusion)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import optimal_diameter
+from repro.core.diameter import (
+    approximate_center,
+    build_min_diameter_tree,
+    tree_diameter,
+)
+from repro.core.tree import MulticastTree
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+def chain_tree(xs) -> MulticastTree:
+    n = len(xs)
+    points = np.stack([np.asarray(xs, dtype=float), np.zeros(n)], axis=1)
+    parent = np.arange(-1, n - 1)
+    parent[0] = 0
+    return MulticastTree(points=points, parent=parent, root=0)
+
+
+class TestApproximateCenter:
+    def test_symmetric_cloud(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        center = approximate_center(pts)
+        assert np.allclose(center, [0.0, 0.0], atol=1e-9)
+
+    def test_covers_all_points(self, rng):
+        pts = rng.normal(size=(500, 3))
+        center = approximate_center(pts)
+        radii = np.linalg.norm(pts - center, axis=1)
+        direct = np.linalg.norm(pts[:, None] - pts[None, :], axis=2).max()
+        # Ritter's ball radius is within ~a few % of optimal; the optimal
+        # radius is at most the diameter, at least half of it.
+        assert radii.max() <= direct * 0.80
+
+    def test_single_point(self):
+        center = approximate_center(np.array([[2.0, 3.0]]))
+        assert np.allclose(center, [2.0, 3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            approximate_center(np.zeros((0, 2)))
+
+
+class TestTreeDiameter:
+    def test_chain(self):
+        assert tree_diameter(chain_tree([0, 1, 2, 5])) == pytest.approx(5.0)
+
+    def test_star(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [-3.0, 0.0], [0.0, 1.0]])
+        tree = MulticastTree(pts, np.zeros(4, dtype=np.int64), 0)
+        assert tree_diameter(tree) == pytest.approx(5.0)
+
+    def test_diameter_not_through_root(self):
+        """Two deep branches under one child: the diameter path avoids
+        the root entirely; two-sweep must still find it."""
+        pts = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.1, 5.0], [0.1, -5.0], [3.0, 0.0]]
+        )
+        parent = np.array([0, 0, 1, 1, 0])
+        tree = MulticastTree(pts, parent, 0)
+        assert tree_diameter(tree) == pytest.approx(10.0)
+
+    def test_single_node(self):
+        tree = MulticastTree(np.zeros((1, 2)), np.array([0]), 0)
+        assert tree_diameter(tree) == 0.0
+
+    def test_diameter_bounds_vs_radius(self, rng):
+        from repro.core.builder import build_polar_grid_tree
+
+        points = unit_disk(1000, seed=70)
+        tree = build_polar_grid_tree(points, 0, 6).tree
+        diameter = tree_diameter(tree)
+        radius = tree.radius()
+        assert radius <= diameter <= 2 * radius + 1e-9
+
+    def test_matches_brute_force(self, rng):
+        """Two-sweep vs O(n^2) pairwise oracle on random small trees."""
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            n = 20
+            points = local.normal(size=(n, 2))
+            parent = np.zeros(n, dtype=np.int64)
+            for i in range(1, n):
+                parent[i] = local.integers(0, i)
+            tree = MulticastTree(points, parent, 0)
+            delays = tree.root_delays()
+            depths = tree.depths()
+            # Brute force via LCA walks.
+            worst = 0.0
+            for u in range(n):
+                for v in range(u + 1, n):
+                    a, b = u, v
+                    while a != b:
+                        if depths[a] >= depths[b]:
+                            a = int(parent[a])
+                        else:
+                            b = int(parent[b])
+                    worst = max(worst, delays[u] + delays[v] - 2 * delays[a])
+            assert tree_diameter(tree) == pytest.approx(worst)
+
+
+class TestBuildMinDiameter:
+    def test_valid_tree_and_sane_diameter(self):
+        points = unit_disk(3000, seed=71)
+        result, diameter = build_min_diameter_tree(points, 6)
+        result.tree.validate(max_out_degree=6)
+        # Lower bound: the farthest pair must be connected.
+        pts = points
+        spread = 0.0
+        for i in range(0, 3000, 97):  # sampled farthest-pair lower bound
+            spread = max(
+                spread, float(np.linalg.norm(pts - pts[i], axis=1).max())
+            )
+        assert diameter >= spread - 1e-9
+        assert diameter <= 2.2 * spread
+
+    def test_root_is_central(self):
+        points = unit_disk(2000, seed=72)
+        result, _ = build_min_diameter_tree(points, 6)
+        root_radius = float(np.linalg.norm(points[result.tree.root]))
+        assert root_radius < 0.1  # near the disk centre
+
+    def test_converges_with_n(self):
+        """Diameter approaches the cloud diameter (~2 for the unit disk)
+        as n grows — the paper's sphere-case optimality claim."""
+        _, small = build_min_diameter_tree(unit_disk(300, seed=73), 6)
+        _, large = build_min_diameter_tree(unit_disk(30_000, seed=73), 6)
+        assert large < small
+        assert large < 2.3
+
+    def test_3d(self):
+        points = unit_ball(2000, dim=3, seed=74)
+        result, diameter = build_min_diameter_tree(points, 10)
+        result.tree.validate(max_out_degree=10)
+        assert diameter > 0
+
+    def test_kwargs_forwarded(self):
+        points = unit_disk(500, seed=75)
+        result, _ = build_min_diameter_tree(points, 6, k=3)
+        assert result.rings == 3
+
+
+class TestAgainstExactOptimum:
+    def test_within_reasonable_factor_of_optimal_diameter(self):
+        """No constant-factor theorem exists for arbitrary clouds (the
+        paper proves factor 2 for convex regions asymptotically), but on
+        tiny random instances the heuristic should stay within a small
+        factor of the exhaustive optimum."""
+        for seed in range(6):
+            local = np.random.default_rng(seed + 200)
+            pts = local.uniform(-1, 1, size=(6, 2))
+            opt = optimal_diameter(pts, max_out_degree=2)
+            _, heur = build_min_diameter_tree(pts, 2)
+            assert heur <= 4.0 * opt + 1e-9, (seed, heur, opt)
+
+    def test_exact_diameter_basics(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        # Chain rooted at the middle: diameter 2 (the line's length).
+        assert optimal_diameter(pts, 2) == pytest.approx(2.0)
+
+    def test_exact_diameter_beats_fixed_root(self):
+        """Root choice matters: the free-root optimum is at most the
+        radius-optimal-from-node-0 tree's diameter."""
+        from repro.baselines.exact import optimal_radius_tree
+
+        local = np.random.default_rng(9)
+        pts = local.uniform(-1, 1, size=(5, 2))
+        fixed = tree_diameter(optimal_radius_tree(pts, 0, 2))
+        free = optimal_diameter(pts, 2)
+        assert free <= fixed + 1e-9
+
+    def test_exact_diameter_guards(self):
+        with pytest.raises(ValueError, match="capped"):
+            optimal_diameter(np.zeros((9, 2)), 2)
+        with pytest.raises(ValueError, match="at least 1"):
+            optimal_diameter(np.zeros((3, 2)), 0)
+        assert optimal_diameter(np.zeros((1, 2)), 1) == 0.0

@@ -1,0 +1,162 @@
+"""Tests for DynamicOverlay — incremental joins/leaves with rebuilds."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.dynamic import DynamicOverlay
+
+
+def grow(overlay: DynamicOverlay, count: int, seed=0, scale=0.5):
+    rng = np.random.default_rng(seed)
+    for i in range(count):
+        overlay.join(f"m{seed}-{i}", rng.normal(size=overlay.dim) * scale)
+
+
+class TestConstruction:
+    def test_requires_vector_source(self):
+        with pytest.raises(ValueError, match="vector"):
+            DynamicOverlay(0.0)
+
+    def test_requires_degree_2(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            DynamicOverlay((0.0, 0.0), max_out_degree=1)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DynamicOverlay((0.0, 0.0), rebuild_threshold=0.0)
+
+    def test_starts_with_source_only(self):
+        ov = DynamicOverlay((0.0, 0.0))
+        assert ov.n == 1
+        assert ov.members() == ["__source__"]
+        assert ov.radius() == 0.0
+
+
+class TestJoins:
+    def test_join_returns_parent_name(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=None)
+        parent = ov.join("a", (1.0, 0.0))
+        assert parent == "__source__"
+        assert ov.n == 2
+
+    def test_duplicate_join_rejected(self):
+        ov = DynamicOverlay((0.0, 0.0))
+        ov.join("a", (1.0, 0.0))
+        with pytest.raises(ValueError, match="already"):
+            ov.join("a", (2.0, 0.0))
+
+    def test_wrong_dim_rejected(self):
+        ov = DynamicOverlay((0.0, 0.0))
+        with pytest.raises(ValueError, match="shape"):
+            ov.join("a", (1.0, 0.0, 0.0))
+
+    def test_degree_respected_without_rebuilds(self):
+        ov = DynamicOverlay((0.0, 0.0), max_out_degree=2, rebuild_threshold=None)
+        grow(ov, 100, seed=1)
+        tree = ov.tree().validate(max_out_degree=2)
+        assert tree.n == 101
+
+    def test_greedy_attaches_to_argmin_parent(self):
+        """With the source at capacity, the newcomer picks exactly the
+        open member minimising delay(parent) + dist(parent, newcomer)."""
+        rng = np.random.default_rng(11)
+        ov = DynamicOverlay((0.0, 0.0), max_out_degree=2, rebuild_threshold=None)
+        grow(ov, 25, seed=11)
+        newcomer = rng.normal(size=2)
+
+        tree = ov.tree()
+        delays = tree.root_delays()
+        degrees = tree.out_degrees()
+        candidates = [i for i in range(ov.n) if degrees[i] < 2]
+        best = min(
+            candidates,
+            key=lambda i: delays[i]
+            + float(np.linalg.norm(tree.points[i] - newcomer)),
+        )
+        expected_parent = ov.members()[best]
+
+        assert ov.join("probe", newcomer) == expected_parent
+
+    def test_cached_delays_match_tree(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=None)
+        grow(ov, 60, seed=2)
+        assert ov.radius() == pytest.approx(ov.tree().radius())
+
+
+class TestLeaves:
+    def test_leave_removes_member(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=None)
+        grow(ov, 30, seed=3)
+        ov.leave("m3-7")
+        assert ov.n == 31 - 1
+        assert "m3-7" not in ov.members()
+        ov.tree().validate(max_out_degree=6)
+
+    def test_source_cannot_leave(self):
+        ov = DynamicOverlay((0.0, 0.0))
+        with pytest.raises(ValueError, match="source"):
+            ov.leave("__source__")
+
+    def test_unknown_member(self):
+        ov = DynamicOverlay((0.0, 0.0))
+        with pytest.raises(ValueError, match="unknown"):
+            ov.leave("ghost")
+
+    def test_leave_keeps_delays_consistent(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=None)
+        grow(ov, 50, seed=4)
+        ov.leave("m4-0")
+        ov.leave("m4-20")
+        assert ov.radius() == pytest.approx(ov.tree().radius())
+
+
+class TestRebuilds:
+    def test_threshold_triggers_rebuild(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=0.5)
+        grow(ov, 50, seed=5)
+        assert ov.rebuild_count >= 1
+
+    def test_no_rebuild_when_disabled(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=None)
+        grow(ov, 50, seed=6)
+        assert ov.rebuild_count == 0
+
+    def test_rebuild_resets_quality(self):
+        ov = DynamicOverlay((0.0, 0.0), max_out_degree=6, rebuild_threshold=None)
+        grow(ov, 400, seed=7)
+        drifted = ov.quality_gap()
+        ov.rebuild()
+        assert ov.quality_gap() == pytest.approx(1.0)
+        assert ov.rebuild_count == 1
+        assert drifted >= 0.8  # sanity: the gap metric is a ratio
+
+    def test_manual_rebuild_preserves_membership(self):
+        ov = DynamicOverlay((0.0, 0.0), rebuild_threshold=None)
+        grow(ov, 40, seed=8)
+        names = set(ov.members())
+        ov.rebuild()
+        assert set(ov.members()) == names
+        ov.tree().validate(max_out_degree=6)
+
+
+class TestChurnSoak:
+    def test_long_random_churn_stays_valid(self):
+        """The closest thing to a live deployment: 500 mixed events."""
+        rng = np.random.default_rng(9)
+        ov = DynamicOverlay((0.0, 0.0), max_out_degree=3, rebuild_threshold=0.3)
+        alive = []
+        counter = 0
+        for _ in range(500):
+            if not alive or rng.random() < 0.6:
+                name = f"x{counter}"
+                counter += 1
+                ov.join(name, rng.normal(size=2) * 0.4)
+                alive.append(name)
+            else:
+                victim = alive.pop(int(rng.integers(0, len(alive))))
+                ov.leave(victim)
+        tree = ov.tree()
+        # Joins respect the budget; repairs may also use it fully.
+        tree.validate(max_out_degree=3)
+        assert tree.n == len(alive) + 1
+        assert ov.rebuild_count > 0

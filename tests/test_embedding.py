@@ -1,0 +1,184 @@
+"""Tests for the network-coordinate substrates (GNP, Vivaldi, delay models)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.delay_models import (
+    embedding_distortion,
+    noisy_euclidean_delays,
+    transit_stub_delays,
+)
+from repro.embedding.gnp import gnp_embedding, select_landmarks
+from repro.embedding.vivaldi import vivaldi_embedding
+from repro.geometry.points import pairwise_distances
+
+
+class TestDelayModels:
+    def test_noiseless_equals_distances(self, rng):
+        pts = rng.normal(size=(20, 2))
+        delays = noisy_euclidean_delays(pts, noise=0.0, seed=1)
+        assert np.allclose(delays, pairwise_distances(pts))
+
+    def test_noise_is_symmetric(self, rng):
+        pts = rng.normal(size=(15, 2))
+        delays = noisy_euclidean_delays(pts, noise=0.3, seed=2)
+        assert np.allclose(delays, delays.T)
+        assert np.allclose(np.diag(delays), 0.0)
+
+    def test_noise_magnitude_scales(self, rng):
+        pts = rng.normal(size=(30, 2))
+        base = pairwise_distances(pts)
+        small = noisy_euclidean_delays(pts, noise=0.05, seed=3)
+        large = noisy_euclidean_delays(pts, noise=0.5, seed=3)
+        iu = np.triu_indices(30, 1)
+        err_small = np.abs(small[iu] - base[iu]) / base[iu]
+        err_large = np.abs(large[iu] - base[iu]) / base[iu]
+        assert err_small.mean() < err_large.mean()
+
+    def test_negative_noise_rejected(self, rng):
+        with pytest.raises(ValueError, match="noise"):
+            noisy_euclidean_delays(rng.normal(size=(5, 2)), noise=-0.1)
+
+    def test_transit_stub_shape_and_symmetry(self):
+        delays = transit_stub_delays(30, seed=4)
+        assert delays.shape == (30, 30)
+        assert np.allclose(delays, delays.T)
+        assert np.allclose(np.diag(delays), 0.0)
+        offdiag = delays[np.triu_indices(30, 1)]
+        assert np.all(offdiag > 0)
+
+    def test_transit_stub_triangle_inequality(self):
+        """Shortest-path delays always satisfy the triangle inequality."""
+        d = transit_stub_delays(15, seed=5)
+        for i in range(15):
+            for j in range(15):
+                for k in range(15):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+    def test_transit_stub_validates_params(self):
+        with pytest.raises(ValueError):
+            transit_stub_delays(1)
+        with pytest.raises(ValueError):
+            transit_stub_delays(10, n_transit=1)
+
+
+class TestLandmarks:
+    def test_selection_is_spread_out(self, rng):
+        pts = rng.normal(size=(40, 2))
+        delays = pairwise_distances(pts)
+        landmarks = select_landmarks(delays, 5)
+        assert len(set(landmarks.tolist())) == 5
+        # Maximin landmarks should be pairwise farther apart than random
+        # picks on average.
+        lm = delays[np.ix_(landmarks, landmarks)]
+        mean_lm = lm[np.triu_indices(5, 1)].mean()
+        mean_all = delays[np.triu_indices(40, 1)].mean()
+        assert mean_lm > mean_all
+
+    def test_count_validation(self, rng):
+        delays = pairwise_distances(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            select_landmarks(delays, 0)
+        with pytest.raises(ValueError):
+            select_landmarks(delays, 6)
+
+
+class TestGNP:
+    def test_recovers_noiseless_geometry(self, rng):
+        """Distances must be reproduced (coordinates only up to rigid
+        motion, so compare distance matrices)."""
+        pts = rng.uniform(-1, 1, size=(25, 2))
+        delays = pairwise_distances(pts)
+        coords = gnp_embedding(delays, dim=2, seed=1)
+        err = embedding_distortion(delays, coords)
+        assert err["median_ratio_error"] < 0.02
+
+    def test_noisy_embedding_reasonable(self, rng):
+        pts = rng.uniform(-1, 1, size=(30, 2))
+        delays = noisy_euclidean_delays(pts, noise=0.1, seed=2)
+        coords = gnp_embedding(delays, dim=2, seed=2)
+        err = embedding_distortion(delays, coords)
+        assert err["median_ratio_error"] < 0.2
+
+    def test_3d_embedding(self, rng):
+        pts = rng.uniform(-1, 1, size=(20, 3))
+        delays = pairwise_distances(pts)
+        coords = gnp_embedding(delays, dim=3, seed=3)
+        assert coords.shape == (20, 3)
+        assert embedding_distortion(delays, coords)["median_ratio_error"] < 0.05
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            gnp_embedding(np.zeros((3, 4)))
+        bad = np.ones((3, 3))
+        with pytest.raises(ValueError, match="symmetric"):
+            gnp_embedding(bad + np.triu(np.ones((3, 3))))
+        with pytest.raises(ValueError, match="negative"):
+            gnp_embedding(-np.ones((3, 3)) + np.eye(3))
+
+    def test_deterministic_with_seed(self, rng):
+        pts = rng.uniform(-1, 1, size=(15, 2))
+        delays = pairwise_distances(pts)
+        a = gnp_embedding(delays, dim=2, seed=9)
+        b = gnp_embedding(delays, dim=2, seed=9)
+        assert np.allclose(a, b)
+
+
+class TestVivaldi:
+    def test_reduces_embedding_error(self, rng):
+        pts = rng.uniform(-1, 1, size=(30, 2))
+        delays = pairwise_distances(pts)
+        rough = vivaldi_embedding(delays, dim=2, rounds=2, seed=4)
+        refined = vivaldi_embedding(delays, dim=2, rounds=200, seed=4)
+        err_rough = embedding_distortion(delays, rough)["stress"]
+        err_refined = embedding_distortion(delays, refined)["stress"]
+        assert err_refined < err_rough
+        assert err_refined < 0.1
+
+    def test_output_centred(self, rng):
+        pts = rng.uniform(0, 10, size=(20, 2))
+        coords = vivaldi_embedding(pairwise_distances(pts), seed=5)
+        assert np.allclose(coords.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            vivaldi_embedding(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="rounds"):
+            vivaldi_embedding(np.zeros((3, 3)), rounds=0)
+        with pytest.raises(ValueError, match="step"):
+            vivaldi_embedding(np.zeros((3, 3)), step=2.0)
+
+
+class TestEndToEnd:
+    def test_embed_then_build_tree(self):
+        """The full paper pipeline: delays -> coordinates -> tree, scored
+        on the true delays."""
+        from repro.core.builder import build_polar_grid_tree
+
+        delays = transit_stub_delays(60, seed=6)
+        coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=6)
+        result = build_polar_grid_tree(coords, 0, 6)
+        result.tree.validate(max_out_degree=6)
+
+        # True worst delay through the tree must be within a sane factor
+        # of the best possible single hop (the farthest direct delay).
+        parent = result.tree.parent
+        worst = 0.0
+        for node in range(60):
+            total, walk = 0.0, node
+            while walk != 0:
+                total += delays[walk, int(parent[walk])]
+                walk = int(parent[walk])
+            worst = max(worst, total)
+        assert worst <= 6.0 * delays[0].max()
+
+    def test_distortion_metric_sanity(self, rng):
+        pts = rng.normal(size=(10, 2))
+        delays = pairwise_distances(pts)
+        perfect = embedding_distortion(delays, pts)
+        assert perfect["median_ratio_error"] == pytest.approx(0.0, abs=1e-12)
+        assert perfect["stress"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_distortion_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            embedding_distortion(np.zeros((3, 3)), rng.normal(size=(4, 2)))

@@ -1,0 +1,170 @@
+"""Tests for the experiment harness (runner, Table I, figures, reporting)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    sweep,
+)
+from repro.experiments.reporting import ascii_chart, format_table
+from repro.experiments.runner import TrialRecord, aggregate, run_trials
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+class TestRunner:
+    def test_run_trials_shape(self):
+        records = run_trials(200, 6, trials=3, seed=1)
+        assert len(records) == 3
+        assert all(r.n == 200 and r.max_out_degree == 6 for r in records)
+        assert all(r.rings >= 1 for r in records)
+
+    def test_trials_are_independent(self):
+        records = run_trials(300, 6, trials=3, seed=2)
+        delays = {r.delay for r in records}
+        assert len(delays) == 3
+
+    def test_seed_reproducibility(self):
+        a = run_trials(150, 2, trials=2, seed=3)
+        b = run_trials(150, 2, trials=2, seed=3)
+        assert [r.delay for r in a] == [r.delay for r in b]
+
+    def test_aggregate_means(self):
+        records = [
+            TrialRecord(100, 6, 2, 4, 1.0, 2.0, 3.0, 0.1),
+            TrialRecord(100, 6, 2, 6, 2.0, 4.0, 5.0, 0.3),
+        ]
+        row = aggregate(records)
+        assert row.rings == pytest.approx(5.0)
+        assert row.delay == pytest.approx(3.0)
+        assert row.delay_std == pytest.approx(1.0)
+        assert row.bound == pytest.approx(4.0)
+        assert row.trials == 2
+
+    def test_aggregate_rejects_mixed_configs(self):
+        records = [
+            TrialRecord(100, 6, 2, 4, 1.0, 2.0, 3.0, 0.1),
+            TrialRecord(200, 6, 2, 4, 1.0, 2.0, 3.0, 0.1),
+        ]
+        with pytest.raises(ValueError, match="mix"):
+            aggregate(records)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            aggregate([])
+
+    def test_3d_trials(self):
+        records = run_trials(200, 10, trials=2, dim=3, seed=4)
+        assert all(r.dim == 3 for r in records)
+        assert all(r.bound is None for r in records)
+
+
+class TestTable1:
+    def test_small_reproduction_matches_paper_trends(self):
+        rows = run_table1(sizes=(100, 1000), trials=5, seed=0)
+        assert len(rows) == 4  # 2 sizes x 2 degrees
+        by_key = {(r.n, r.max_out_degree): r for r in rows}
+        # Delay decreases with n for both degrees.
+        assert by_key[(1000, 6)].delay < by_key[(100, 6)].delay
+        assert by_key[(1000, 2)].delay < by_key[(100, 2)].delay
+        # Degree-2 always costs more than degree-6.
+        assert by_key[(100, 2)].delay > by_key[(100, 6)].delay
+        # And within shouting distance of the published numbers.
+        for (n, deg), row in by_key.items():
+            paper_delay = PAPER_TABLE1[(n, deg)][2]
+            assert row.delay == pytest.approx(paper_delay, rel=0.25), (n, deg)
+
+    def test_bound_dominates_delay(self):
+        rows = run_table1(sizes=(500,), trials=3, seed=1)
+        for row in rows:
+            assert row.bound > row.delay
+
+    def test_formatting_contains_paper_columns(self):
+        rows = run_table1(sizes=(100,), trials=2, seed=2)
+        text = format_table1(rows)
+        assert "Paper Delay" in text
+        assert "1.852" in text  # the published value for (100, 6)
+
+    def test_formatting_without_paper(self):
+        rows = run_table1(sizes=(100,), trials=2, seed=2)
+        text = format_table1(rows, show_paper=False)
+        assert "Paper" not in text
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return sweep(sizes=(100, 500, 2000), trials=3, degrees=(6, 2), seed=0)
+
+    def test_figure4(self, small_sweep):
+        fig = figure4(results=small_sweep)
+        assert fig.xs == [100, 500, 2000]
+        assert set(fig.series) == {"bound eq.(7)", "max delay", "core delay"}
+        # Bound dominates delay dominates... core is below delay.
+        for i in range(3):
+            assert fig.series["bound eq.(7)"][i] > fig.series["max delay"][i]
+            assert fig.series["core delay"][i] < fig.series["max delay"][i]
+        assert "Figure 4" in fig.render()
+
+    def test_figure5_degree_gap(self, small_sweep):
+        fig = figure5(results=small_sweep)
+        for d2, d6 in zip(fig.series["out-degree 2"], fig.series["out-degree 6"]):
+            assert d2 > d6
+
+    def test_figure6_rings_grow(self, small_sweep):
+        fig = figure6(results=small_sweep)
+        ks = fig.series["rings k"]
+        assert ks[0] < ks[1] < ks[2]
+
+    def test_figure7_runtime_grows(self, small_sweep):
+        fig = figure7(results=small_sweep)
+        times = fig.series["out-degree 6 (s)"]
+        assert times[2] > times[0]
+
+    def test_figure8_3d(self):
+        fig = figure8(sizes=(100, 1000), trials=2, seed=0)
+        d2 = fig.series["out-degree 2"]
+        d10 = fig.series["out-degree 10"]
+        assert d2[0] > d10[0]
+        # Both shrink with n.
+        assert d2[1] < d2[0]
+        assert d10[1] < d10[0]
+
+    def test_figure_table_rendering(self, small_sweep):
+        fig = figure6(results=small_sweep)
+        table = fig.table()
+        assert "rings k" in table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [10, None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.346" in text
+        assert "-" in lines[3]
+
+    def test_ascii_chart_contains_markers(self):
+        chart = ascii_chart(
+            [10, 100, 1000],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+        )
+        assert "*" in chart
+        assert "o" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_ascii_chart_log_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_chart([0, 1], {"s": [1.0, 2.0]})
+
+    def test_ascii_chart_validates_lengths(self):
+        with pytest.raises(ValueError, match="length"):
+            ascii_chart([1, 2], {"s": [1.0]})
+
+    def test_ascii_chart_flat_series(self):
+        # Constant y must not divide by zero.
+        chart = ascii_chart([1, 10], {"s": [2.0, 2.0]}, log_x=True)
+        assert "*" in chart

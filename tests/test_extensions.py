@@ -1,0 +1,96 @@
+"""Tests for the extension studies (degree sweep, regions, showdown)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    ALGORITHMS,
+    REGION_WORKLOADS,
+    algorithm_showdown,
+    degree_sweep,
+    format_rows,
+    region_study,
+)
+
+
+class TestDegreeSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return degree_sweep(n=2_000, degrees=(2, 4, 6, 12), trials=2, seed=0)
+
+    def test_row_shape(self, rows):
+        assert len(rows) == 4
+        assert {"degree", "construction", "delay", "max_depth"} <= set(rows[0])
+
+    def test_construction_switch_at_six(self, rows):
+        by_degree = {r["degree"]: r for r in rows}
+        assert by_degree[2]["construction"] == "binary"
+        assert by_degree[4]["construction"] == "binary"
+        assert by_degree[6]["construction"] == "full"
+
+    def test_binary_budgets_identical(self, rows):
+        """Budgets 2 and 4 both run the binary construction, so their
+        delays are identical — the sweep's most informative fact."""
+        by_degree = {r["degree"]: r for r in rows}
+        assert by_degree[2]["delay"] == pytest.approx(by_degree[4]["delay"])
+
+    def test_full_beats_binary(self, rows):
+        by_degree = {r["degree"]: r for r in rows}
+        assert by_degree[6]["delay"] < by_degree[2]["delay"]
+
+    def test_extra_budget_beyond_six_changes_nothing(self, rows):
+        by_degree = {r["degree"]: r for r in rows}
+        assert by_degree[12]["delay"] == pytest.approx(by_degree[6]["delay"])
+
+
+class TestRegionStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return region_study(n=3_000, trials=2, seed=1)
+
+    def test_covers_all_workloads(self, rows):
+        assert {r["workload"] for r in rows} == set(REGION_WORKLOADS)
+
+    def test_convex_regions_near_bound(self, rows):
+        for row in rows:
+            if "non-convex" in row["workload"]:
+                continue
+            assert row["delay_over_bound"] < 1.45, row
+
+    def test_nonconvex_annulus_is_the_outlier(self, rows):
+        annulus = next(r for r in rows if "non-convex" in r["workload"])
+        others = [
+            r["delay_over_bound"] for r in rows if "non-convex" not in r["workload"]
+        ]
+        assert annulus["delay_over_bound"] > max(others)
+
+
+class TestShowdown:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return algorithm_showdown(n=1_500, seed=2)
+
+    def test_covers_all_algorithms(self, rows):
+        assert {r["algorithm"] for r in rows} == set(ALGORITHMS)
+
+    def test_random_is_worst(self, rows):
+        by_name = {r["algorithm"]: r for r in rows}
+        worst = max(rows, key=lambda r: r["radius"])
+        assert worst["algorithm"] == "random deg6"
+        assert by_name["polar-grid deg6"]["radius"] < worst["radius"] / 2
+
+    def test_vs_bound_at_least_one(self, rows):
+        for row in rows:
+            assert row["vs_bound"] >= 1.0 - 1e-9
+
+    def test_timings_recorded(self, rows):
+        assert all(row["seconds"] >= 0.0 for row in rows)
+
+
+class TestFormatting:
+    def test_format_rows(self):
+        text = format_rows([{"a": 1, "b": 2.5}, {"a": 3, "b": None}])
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"

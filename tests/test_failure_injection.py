@@ -1,0 +1,106 @@
+"""Failure-injection scenarios across the overlay stack.
+
+These tests chain build -> simulate -> fail -> repair -> re-simulate in
+adversarial patterns (cascades, high-degree targets, repeated hits on
+the same region) and assert the system-level contract: after every
+repair the tree is valid, every surviving receiver is reachable, and
+the replayed dissemination matches the analytic delays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.overlay.repair import repair_after_failure
+from repro.overlay.simulator import simulate_dissemination
+from repro.workloads.generators import unit_disk
+
+
+def reachable_and_consistent(tree):
+    tree.validate()
+    replay = simulate_dissemination(tree)
+    assert np.allclose(replay.receive_time, tree.root_delays())
+    return replay
+
+
+class TestTargetedFailures:
+    def test_kill_the_heaviest_relay(self):
+        """The highest-fanout node (most orphans at once)."""
+        tree = build_polar_grid_tree(unit_disk(800, seed=1), 0, 6).tree
+        degrees = tree.out_degrees()
+        degrees[tree.root] = -1  # never the source
+        victim = int(np.argmax(degrees))
+        new_tree, _ = repair_after_failure(tree, victim, 6)
+        reachable_and_consistent(new_tree)
+
+    def test_kill_the_deepest_relay(self):
+        tree = build_polar_grid_tree(unit_disk(800, seed=2), 0, 2).tree
+        depths = tree.depths().astype(float)
+        depths[tree.out_degrees() == 0] = -1  # must be a relay
+        victim = int(np.argmax(depths))
+        new_tree, _ = repair_after_failure(tree, victim, 2)
+        reachable_and_consistent(new_tree)
+
+    def test_kill_a_source_child(self):
+        """Failure right below the root orphans a giant subtree."""
+        tree = build_polar_grid_tree(unit_disk(800, seed=3), 0, 6).tree
+        children = np.flatnonzero(tree.parent == tree.root)
+        victim = int(children[children != tree.root][0])
+        new_tree, _ = repair_after_failure(tree, victim, 6)
+        reachable_and_consistent(new_tree)
+
+
+class TestCascades:
+    @pytest.mark.parametrize("degree", [6, 2])
+    def test_ten_sequential_failures(self, degree):
+        tree = build_polar_grid_tree(unit_disk(600, seed=4), 0, degree).tree
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            candidates = np.flatnonzero(
+                np.arange(tree.n) != tree.root
+            )
+            victim = int(rng.choice(candidates))
+            tree, _ = repair_after_failure(tree, victim, degree)
+        assert tree.n == 590
+        reachable_and_consistent(tree)
+
+    def test_radius_degrades_gracefully_under_cascade(self):
+        tree = build_polar_grid_tree(unit_disk(1_000, seed=5), 0, 6).tree
+        original = tree.radius()
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            relays = np.flatnonzero(
+                (tree.out_degrees() > 0) & (np.arange(tree.n) != tree.root)
+            )
+            victim = int(rng.choice(relays))
+            tree, _ = repair_after_failure(tree, victim, 6)
+        reachable_and_consistent(tree)
+        assert tree.radius() < 3.0 * original
+
+    def test_repeated_hits_near_the_source(self):
+        """Failures concentrated where the core tree is thinnest."""
+        tree = build_polar_grid_tree(unit_disk(500, seed=6), 0, 6).tree
+        for _ in range(5):
+            delays = tree.root_delays().copy()
+            delays[tree.root] = np.inf
+            delays[tree.out_degrees() == 0] = np.inf  # relays only
+            victim = int(np.argmin(delays))
+            tree, _ = repair_after_failure(tree, victim, 6)
+        reachable_and_consistent(tree)
+
+
+class TestSimulatedOutageWindow:
+    def test_dissemination_after_mass_churn(self):
+        """A session loses 10% of members, one at a time, mid-stream."""
+        from repro.overlay.dynamic import DynamicOverlay
+
+        rng = np.random.default_rng(7)
+        overlay = DynamicOverlay((0.0, 0.0), 4, rebuild_threshold=0.5)
+        for i in range(300):
+            overlay.join(f"v{i}", rng.normal(size=2) * 0.4)
+        members = overlay.members()[1:]
+        for name in rng.choice(members, size=30, replace=False):
+            overlay.leave(str(name))
+        tree = overlay.tree()
+        replay = reachable_and_consistent(tree)
+        assert replay.receive_time.shape[0] == 271

@@ -1,0 +1,87 @@
+"""Additional figure/report plumbing tests (options, edge cases)."""
+
+import pytest
+
+from repro.experiments.figures import FigureData, figure5, figure8, sweep
+from repro.experiments.reporting import ascii_chart, format_table
+
+
+class TestFigureData:
+    def test_render_includes_name_and_title(self):
+        fig = FigureData(
+            name="Figure X",
+            title="something",
+            xs=[10, 100],
+            series={"s": [1.0, 2.0]},
+        )
+        out = fig.render()
+        assert "Figure X: something" in out
+
+    def test_table_lists_all_series(self):
+        fig = FigureData(
+            name="F",
+            title="t",
+            xs=[1, 2],
+            series={"a": [1.0, 2.0], "b": [3.0, 4.0]},
+            log_x=False,
+        )
+        table = fig.table()
+        assert "a" in table and "b" in table
+        assert "3.000" in table
+
+    def test_custom_chart_dimensions(self):
+        fig = FigureData(
+            name="F", title="t", xs=[10, 100], series={"s": [1.0, 2.0]}
+        )
+        out = fig.render(width=30, height=6)
+        longest = max(len(line) for line in out.splitlines())
+        assert longest <= 30 + 12  # plot width plus the y-label gutter
+
+
+class TestSweepReuse:
+    def test_one_sweep_feeds_multiple_figures(self):
+        results = sweep(sizes=(100, 500), trials=2, degrees=(6, 2), seed=9)
+        fig = figure5(results=results)
+        assert fig.xs == [100, 500]
+        # The sweep is keyed by (n, degree); figure5 reads both degrees.
+        assert len(fig.series["out-degree 2"]) == 2
+
+    def test_sweep_keys(self):
+        results = sweep(sizes=(100,), trials=1, degrees=(6,), seed=10)
+        assert set(results) == {(100, 6)}
+        row = results[(100, 6)]
+        assert row.n == 100 and row.max_out_degree == 6
+
+    def test_figure8_uses_3d(self):
+        fig = figure8(sizes=(100,), trials=1, seed=11)
+        assert "3-D" in fig.title
+
+
+class TestReportingEdgeCases:
+    def test_format_table_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_format_table_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_ascii_chart_single_point_series(self):
+        out = ascii_chart([10], {"s": [5.0]})
+        assert "*" in out
+
+    def test_ascii_chart_skips_none(self):
+        out = ascii_chart([10, 100], {"s": [1.0, None]}, log_x=True)
+        # One plotted marker plus the one in the legend ("* s").
+        assert out.count("*") == 2
+
+    def test_ascii_chart_many_series_markers(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(4)}
+        out = ascii_chart([10, 100], series)
+        for marker in "*o+x":
+            assert marker in out
+
+    def test_ascii_chart_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_chart([], {})

@@ -1,0 +1,99 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    as_points,
+    bounding_box,
+    distances_from,
+    pairwise_distances,
+    validate_points,
+)
+
+
+class TestAsPoints:
+    def test_accepts_lists(self):
+        pts = as_points([[0.0, 1.0], [2.0, 3.0]])
+        assert pts.shape == (2, 2)
+        assert pts.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_points([1.0, 2.0])
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_points([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_points([[np.inf, 0.0]])
+
+    def test_dim_check_passes(self):
+        as_points([[1.0, 2.0, 3.0]], dim=3)
+
+    def test_dim_check_fails(self):
+        with pytest.raises(ValueError, match="3-dimensional"):
+            as_points([[1.0, 2.0, 3.0]], dim=2)
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            as_points(np.zeros((3, 0)))
+
+    def test_empty_point_set_allowed(self):
+        pts = as_points(np.zeros((0, 2)))
+        assert pts.shape == (0, 2)
+
+    def test_validate_returns_same_object(self):
+        arr = np.zeros((2, 2))
+        assert validate_points(arr) is arr
+
+
+class TestDistances:
+    def test_distances_from_origin(self):
+        pts = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 0.0]])
+        d = distances_from(pts, (0.0, 0.0))
+        assert np.allclose(d, [5.0, 0.0, 1.0])
+
+    def test_distances_from_shifted_origin(self):
+        pts = np.array([[1.0, 1.0]])
+        assert np.isclose(distances_from(pts, (1.0, 0.0))[0], 1.0)
+
+    def test_origin_shape_mismatch(self):
+        with pytest.raises(ValueError, match="origin"):
+            distances_from(np.zeros((2, 2)), (0.0, 0.0, 0.0))
+
+    def test_pairwise_symmetry(self, rng):
+        pts = rng.normal(size=(10, 3))
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_pairwise_matches_manual(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(pts)
+        assert np.isclose(d[0, 1], 5.0)
+
+    def test_pairwise_triangle_inequality(self, rng):
+        pts = rng.normal(size=(8, 2))
+        d = pairwise_distances(pts)
+        for i in range(8):
+            for j in range(8):
+                for k in range(8):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestBoundingBox:
+    def test_basic(self):
+        lo, hi = bounding_box(np.array([[0.0, 5.0], [2.0, -1.0]]))
+        assert np.allclose(lo, [0.0, -1.0])
+        assert np.allclose(hi, [2.0, 5.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            bounding_box(np.zeros((0, 2)))

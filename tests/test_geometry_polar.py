@@ -1,0 +1,151 @@
+"""Unit + property tests for polar and hyperspherical transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polar import (
+    TWO_PI,
+    SphericalTransform,
+    angles_to_unit_vectors,
+    from_polar,
+    normalize_angle,
+    to_polar,
+)
+
+
+class TestNormalizeAngle:
+    def test_wraps_negative(self):
+        assert np.isclose(normalize_angle(-np.pi / 2), 3 * np.pi / 2)
+
+    def test_wraps_large(self):
+        assert np.isclose(normalize_angle(5 * np.pi), np.pi)
+
+    def test_zero_stays_zero(self):
+        assert normalize_angle(0.0) == 0.0
+
+    def test_tiny_negative_folds_to_zero(self):
+        out = normalize_angle(-1e-18)
+        assert 0.0 <= out < TWO_PI
+
+    @given(st.floats(-1e6, 1e6))
+    def test_always_in_range(self, theta):
+        out = float(normalize_angle(theta))
+        assert 0.0 <= out < TWO_PI
+
+
+class TestPolarRoundtrip:
+    def test_known_values(self):
+        pts = np.array([[1.0, 0.0], [0.0, 2.0], [-3.0, 0.0]])
+        rho, theta = to_polar(pts, (0.0, 0.0))
+        assert np.allclose(rho, [1.0, 2.0, 3.0])
+        assert np.allclose(theta, [0.0, np.pi / 2, np.pi])
+
+    def test_roundtrip(self, rng):
+        pts = rng.normal(size=(50, 2))
+        center = rng.normal(size=2)
+        rho, theta = to_polar(pts, center)
+        back = from_polar(rho, theta, center)
+        assert np.allclose(back, pts, atol=1e-12)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            to_polar(np.zeros((2, 3)), (0, 0, 0))
+
+    def test_angles_to_unit_vectors(self):
+        v = angles_to_unit_vectors([0.0, np.pi / 2])
+        assert np.allclose(v, [[1, 0], [0, 1]], atol=1e-12)
+
+
+class TestSphericalTransform2D:
+    def test_matches_plain_polar(self, rng):
+        pts = rng.normal(size=(30, 2))
+        tr = SphericalTransform(2)
+        rho, t = tr.transform(pts, np.zeros(2))
+        rho2, theta = to_polar(pts, (0.0, 0.0))
+        assert np.allclose(rho, rho2)
+        assert np.allclose(t[:, 0] * TWO_PI, theta, atol=1e-9)
+
+    def test_direction_roundtrip(self, rng):
+        tr = SphericalTransform(2)
+        t = rng.random((20, 1))
+        vec = tr.direction(t)
+        rho, t2 = tr.transform(vec, np.zeros(2))
+        assert np.allclose(rho, 1.0)
+        assert np.allclose(t2, t, atol=1e-9)
+
+
+@pytest.mark.parametrize("dim", [3, 4, 5])
+class TestSphericalTransformND:
+    def test_radius_is_euclidean(self, dim, rng):
+        pts = rng.normal(size=(40, dim))
+        tr = SphericalTransform(dim)
+        rho, _t = tr.transform(pts, np.zeros(dim))
+        assert np.allclose(rho, np.linalg.norm(pts, axis=1))
+
+    def test_t_in_unit_box(self, dim, rng):
+        pts = rng.normal(size=(200, dim))
+        tr = SphericalTransform(dim)
+        _rho, t = tr.transform(pts, np.zeros(dim))
+        assert t.shape == (200, dim - 1)
+        assert np.all(t >= 0.0)
+        assert np.all(t < 1.0)
+
+    def test_direction_inverts_transform(self, dim, rng):
+        tr = SphericalTransform(dim)
+        pts = rng.normal(size=(50, dim))
+        rho, t = tr.transform(pts, np.zeros(dim))
+        rebuilt = tr.direction(t) * rho[:, None]
+        assert np.allclose(rebuilt, pts, atol=1e-6)
+
+    def test_uniform_directions_give_uniform_t(self, dim, rng):
+        """Key invariant: dyadic t-boxes have equal sphere measure."""
+        vecs = rng.normal(size=(40_000, dim))
+        tr = SphericalTransform(dim)
+        _rho, t = tr.transform(vecs, np.zeros(dim))
+        for axis in range(dim - 1):
+            hist, _ = np.histogram(t[:, axis], bins=8, range=(0, 1))
+            # Each bin should hold ~5000 +- noise.
+            assert hist.min() > 4400, (axis, hist)
+            assert hist.max() < 5600, (axis, hist)
+
+    def test_t_axes_are_independent_enough(self, dim, rng):
+        """Joint uniformity over a coarse 2-D marginal grid."""
+        vecs = rng.normal(size=(40_000, dim))
+        tr = SphericalTransform(dim)
+        _rho, t = tr.transform(vecs, np.zeros(dim))
+        if dim - 1 < 2:
+            pytest.skip("needs two angular axes")
+        joint, _, _ = np.histogram2d(
+            t[:, 0], t[:, 1], bins=4, range=[[0, 1], [0, 1]]
+        )
+        assert joint.min() > 2000
+        assert joint.max() < 3000
+
+
+class TestSphericalTransformEdges:
+    def test_requires_dim_at_least_2(self):
+        with pytest.raises(ValueError, match="dim >= 2"):
+            SphericalTransform(1)
+
+    def test_point_at_center(self):
+        tr = SphericalTransform(3)
+        rho, t = tr.transform(np.zeros((1, 3)), np.zeros(3))
+        assert rho[0] == 0.0
+        assert np.all(np.isfinite(t))
+
+    def test_wrong_dim_points_rejected(self):
+        tr = SphericalTransform(3)
+        with pytest.raises(ValueError, match="3-dimensional"):
+            tr.transform(np.zeros((2, 2)), np.zeros(3))
+
+    def test_direction_shape_check(self):
+        tr = SphericalTransform(3)
+        with pytest.raises(ValueError, match="shape"):
+            tr.direction(np.zeros((2, 3)))
+
+    @settings(max_examples=25)
+    @given(st.integers(2, 6))
+    def test_angular_axes_count(self, dim):
+        assert SphericalTransform(dim).angular_axes == dim - 1

@@ -1,0 +1,159 @@
+"""Unit tests for regions: membership, sampling, enclosing annulus."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.regions import (
+    Annulus,
+    Ball,
+    ConvexPolygon,
+    Disk,
+    Rectangle,
+    smallest_enclosing_annulus,
+)
+
+
+class TestBall:
+    def test_disk_alias(self):
+        disk = Disk(center=(1.0, 2.0), radius=3.0)
+        assert disk.dim == 2
+        assert disk.center == (1.0, 2.0)
+
+    def test_contains(self):
+        ball = Ball(dim=2, radius=1.0)
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.01, 0.0]])
+        assert ball.contains(pts).tolist() == [True, True, False]
+
+    def test_sample_inside(self, rng):
+        ball = Ball(dim=3, center=(1, 1, 1), radius=2.0)
+        pts = ball.sample(500, rng)
+        assert pts.shape == (500, 3)
+        assert np.all(ball.contains(pts))
+
+    def test_sample_uniform_radially(self, rng):
+        """Radius^d of uniform ball samples is uniform on [0, 1]."""
+        ball = Ball(dim=2)
+        pts = ball.sample(20_000, rng)
+        u = np.sum(pts**2, axis=1)  # rho^2 ~ U[0,1] in 2-D
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        assert hist.min() > 1700
+        assert hist.max() < 2300
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            Ball(dim=2, radius=0.0)
+
+    def test_rejects_center_mismatch(self):
+        with pytest.raises(ValueError, match="center"):
+            Ball(dim=3, center=(0.0, 0.0))
+
+
+class TestAnnulus:
+    def test_contains_excludes_hole(self):
+        ann = Annulus(dim=2, r_inner=0.5, r_outer=1.0)
+        pts = np.array([[0.25, 0.0], [0.75, 0.0], [1.25, 0.0]])
+        assert ann.contains(pts).tolist() == [False, True, False]
+
+    def test_sample_inside(self, rng):
+        ann = Annulus(dim=3, r_inner=0.4, r_outer=0.9)
+        pts = ann.sample(400, rng)
+        rho = np.linalg.norm(pts, axis=1)
+        assert np.all(rho > 0.4)
+        assert np.all(rho <= 0.9 + 1e-12)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Annulus(r_inner=1.0, r_outer=0.5)
+
+
+class TestRectangle:
+    def test_contains(self):
+        box = Rectangle(lower=(0, 0), upper=(2, 1))
+        pts = np.array([[1.0, 0.5], [3.0, 0.5], [1.0, -0.1]])
+        assert box.contains(pts).tolist() == [True, False, False]
+
+    def test_sample(self, rng):
+        box = Rectangle(lower=(-1, 0, 5), upper=(1, 2, 6))
+        pts = box.sample(300, rng)
+        assert pts.shape == (300, 3)
+        assert np.all(box.contains(pts))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="lower < upper"):
+            Rectangle(lower=(0, 0), upper=(0, 1))
+
+
+class TestConvexPolygon:
+    TRIANGLE = ((0.0, 0.0), (2.0, 0.0), (0.0, 2.0))
+
+    def test_contains(self):
+        tri = ConvexPolygon(vertices=self.TRIANGLE)
+        pts = np.array([[0.5, 0.5], [1.5, 1.5], [-0.1, 0.5]])
+        assert tri.contains(pts).tolist() == [True, False, False]
+
+    def test_sample_inside(self, rng):
+        tri = ConvexPolygon(vertices=self.TRIANGLE)
+        pts = tri.sample(500, rng)
+        assert np.all(tri.contains(pts))
+
+    def test_sample_covers_both_triangle_halves(self, rng):
+        square = ConvexPolygon(vertices=((0, 0), (1, 0), (1, 1), (0, 1)))
+        pts = square.sample(4000, rng)
+        # Uniformity across the fan triangulation diagonal.
+        below = np.count_nonzero(pts[:, 1] < pts[:, 0])
+        assert 1800 < below < 2200
+
+    def test_rejects_concave(self):
+        with pytest.raises(ValueError, match="convex"):
+            ConvexPolygon(vertices=((0, 0), (2, 0), (1, 0.1), (0, 2)))
+
+    def test_rejects_clockwise(self):
+        with pytest.raises(ValueError, match="convex"):
+            ConvexPolygon(vertices=((0, 0), (0, 2), (2, 0)))
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError, match="3 vertices"):
+            ConvexPolygon(vertices=((0, 0), (1, 1)))
+
+
+class TestSmallestEnclosingAnnulus:
+    def test_basic(self):
+        pts = np.array([[1.0, 0.0], [0.0, 3.0]])
+        r_min, r_max = smallest_enclosing_annulus(pts, (0.0, 0.0))
+        assert r_min == pytest.approx(1.0)
+        assert r_max == pytest.approx(3.0)
+
+    def test_point_on_center(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        r_min, _ = smallest_enclosing_annulus(pts, (0.0, 0.0))
+        assert r_min == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            smallest_enclosing_annulus(np.zeros((0, 2)), (0.0, 0.0))
+
+    def test_all_points_inside_result(self, rng):
+        pts = rng.normal(size=(100, 2))
+        center = rng.normal(size=2)
+        r_min, r_max = smallest_enclosing_annulus(pts, center)
+        rho = np.linalg.norm(pts - center, axis=1)
+        assert np.all(rho >= r_min - 1e-12)
+        assert np.all(rho <= r_max + 1e-12)
+
+
+class TestRejectionSampling:
+    def test_degenerate_region_raises(self, rng):
+        """A region occupying ~0 of its box must fail loudly, not hang."""
+        from repro.geometry.regions import Region
+
+        class Sliver(Region):
+            dim = 2
+
+            def contains(self, points):
+                return np.zeros(points.shape[0], dtype=bool)
+
+        sliver = Sliver()
+        with pytest.raises(RuntimeError, match="acceptance"):
+            sliver._rejection_sample(
+                10, rng, np.zeros(2), np.ones(2), acceptance_floor=1e-3
+            )

@@ -1,0 +1,143 @@
+"""Unit + property tests for RingSegment splitting and membership."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.polar import TWO_PI
+from repro.geometry.rings import RingSegment
+
+
+def segment_strategy():
+    return st.builds(
+        lambda r_in, thickness, start, span: RingSegment(
+            r_inner=r_in,
+            r_outer=r_in + thickness,
+            theta_start=start,
+            theta_span=span,
+        ),
+        st.floats(0.0, 5.0),
+        st.floats(0.01, 5.0),
+        st.floats(0.0, TWO_PI - 1e-9),
+        st.floats(0.01, TWO_PI),
+    )
+
+
+class TestConstruction:
+    def test_rejects_inverted_radii(self):
+        with pytest.raises(ValueError, match="r_inner"):
+            RingSegment(1.0, 0.5, 0.0, 1.0)
+
+    def test_rejects_zero_span(self):
+        with pytest.raises(ValueError, match="theta_span"):
+            RingSegment(0.0, 1.0, 0.0, 0.0)
+
+    def test_rejects_excess_span(self):
+        with pytest.raises(ValueError, match="theta_span"):
+            RingSegment(0.0, 1.0, 0.0, TWO_PI + 0.1)
+
+    def test_full_circle_allowed(self):
+        seg = RingSegment(0.0, 1.0, 0.0, TWO_PI)
+        assert seg.area() == pytest.approx(np.pi)
+
+
+class TestMeasurements:
+    def test_area_quarter_annulus(self):
+        seg = RingSegment(1.0, 2.0, 0.0, np.pi / 2)
+        assert seg.area() == pytest.approx(0.5 * (np.pi / 2) * 3.0)
+
+    def test_outer_arc_length(self):
+        seg = RingSegment(0.5, 2.0, 0.0, 1.0)
+        assert seg.outer_arc_length() == pytest.approx(2.0)
+
+    def test_mid_values(self):
+        seg = RingSegment(1.0, 3.0, 0.5, 1.0)
+        assert seg.mid_radius() == pytest.approx(2.0)
+        assert seg.mid_angle_offset() == pytest.approx(0.5)
+        assert seg.radial_extent() == pytest.approx(2.0)
+
+
+class TestContains:
+    def test_basic_membership(self):
+        seg = RingSegment(1.0, 2.0, 0.0, np.pi / 2)
+        assert seg.contains(1.5, np.pi / 4)
+        assert not seg.contains(0.5, np.pi / 4)  # below inner radius
+        assert not seg.contains(1.5, np.pi)  # outside angle
+        assert not seg.contains(2.5, np.pi / 4)  # beyond outer radius
+
+    def test_half_open_radial_interval(self):
+        seg = RingSegment(1.0, 2.0, 0.0, 1.0)
+        assert not seg.contains(1.0, 0.5)  # inner boundary excluded
+        assert seg.contains(2.0, 0.5)  # outer boundary included
+
+    def test_center_in_zero_inner_segment(self):
+        seg = RingSegment(0.0, 1.0, 0.0, TWO_PI)
+        assert seg.contains(0.0, 0.0)
+
+    def test_wraparound_angle(self):
+        seg = RingSegment(0.0, 1.0, 3 * np.pi / 2, np.pi)  # wraps past 0
+        assert seg.contains(0.5, 7 * np.pi / 4)
+        assert seg.contains(0.5, np.pi / 4)
+        assert not seg.contains(0.5, np.pi / 2 + 0.01)
+
+    def test_vectorised(self):
+        seg = RingSegment(0.0, 1.0, 0.0, np.pi)
+        rho = np.array([0.5, 0.5, 2.0])
+        theta = np.array([0.1, 3 * np.pi / 2, 0.1])
+        assert seg.contains(rho, theta).tolist() == [True, False, False]
+
+
+class TestSplitting:
+    @given(segment_strategy())
+    def test_split4_preserves_area(self, seg):
+        parts = seg.split4()
+        assert len(parts) == 4
+        assert sum(p.area() for p in parts) == pytest.approx(seg.area())
+
+    @given(segment_strategy())
+    def test_split_radius_partitions(self, seg):
+        inner, outer = seg.split_radius()
+        assert inner.r_outer == pytest.approx(outer.r_inner)
+        assert inner.r_inner == seg.r_inner
+        assert outer.r_outer == seg.r_outer
+
+    @given(segment_strategy())
+    def test_split_angle_halves_span(self, seg):
+        low, high = seg.split_angle()
+        assert low.theta_span == pytest.approx(seg.theta_span / 2)
+        assert high.theta_span == pytest.approx(seg.theta_span / 2)
+
+    @given(
+        segment_strategy(),
+        st.floats(0.001, 0.999),
+        st.floats(0.001, 0.999),
+    )
+    def test_quadrant_matches_split4(self, seg, fr, fa):
+        """A point lands in exactly the sub-segment quadrant_of names.
+
+        Points exactly on the split boundaries are excluded: there the
+        two float formulations of the midpoint (the test's and the
+        split's) can round to different sides. The algorithms only ever
+        use quadrant_of, which assigns boundaries deterministically.
+        """
+        assume(abs(fr - 0.5) > 1e-6 and abs(fa - 0.5) > 1e-6)
+        rho = seg.r_inner + fr * (seg.r_outer - seg.r_inner)
+        theta = (seg.theta_start + fa * seg.theta_span) % TWO_PI
+        quadrant = int(seg.quadrant_of(rho, theta))
+        parts = seg.split4()
+        inside = [bool(p.contains(rho, theta)) for p in parts]
+        # Exactly one sub-segment contains the point, and it is the one
+        # quadrant_of claims (boundary floats can disagree; quadrant_of
+        # is the authority the algorithms use, contains the geometry).
+        assert sum(inside) == 1
+        assert inside[quadrant]
+
+    def test_quadrant_order_convention(self):
+        seg = RingSegment(0.0, 2.0, 0.0, 2.0)
+        # (angle-low, radius-low) -> 0; (angle-low, radius-high) -> 1;
+        # (angle-high, radius-low) -> 2; (angle-high, radius-high) -> 3.
+        assert int(seg.quadrant_of(0.5, 0.5)) == 0
+        assert int(seg.quadrant_of(1.5, 0.5)) == 1
+        assert int(seg.quadrant_of(0.5, 1.5)) == 2
+        assert int(seg.quadrant_of(1.5, 1.5)) == 3

@@ -1,0 +1,250 @@
+"""Tests for the 2-D polar grid (Section III-A geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import PolarGrid
+from repro.geometry.polar import TWO_PI, to_polar
+from repro.workloads.generators import unit_disk
+
+
+def make_grid(k=4, r_max=1.0, r_min=0.0):
+    return PolarGrid(center=np.zeros(2), r_min=r_min, r_max=r_max, k=k)
+
+
+class TestRadii:
+    def test_paper_radii_on_unit_disk(self):
+        """r_i = 1/sqrt(2)^(k-i) — equation (3)."""
+        k = 5
+        grid = make_grid(k=k)
+        for i in range(k + 1):
+            expected = (1.0 / np.sqrt(2.0)) ** (k - i)
+            assert grid.ring_radius(i) == pytest.approx(expected)
+
+    def test_outer_radius_is_r_max(self):
+        grid = make_grid(k=3, r_max=2.5)
+        assert grid.ring_radius(3) == pytest.approx(2.5)
+
+    def test_annulus_radii_monotone(self):
+        grid = make_grid(k=6, r_min=0.3, r_max=1.7)
+        radii = grid.ring_radii()
+        assert np.all(np.diff(radii) > 0)
+        assert radii[0] > 0.3
+        assert radii[-1] == pytest.approx(1.7)
+
+    def test_ring_index_out_of_range(self):
+        grid = make_grid(k=3)
+        with pytest.raises(ValueError, match="ring index"):
+            grid.ring_radius(4)
+
+
+class TestEqualArea:
+    @pytest.mark.parametrize("r_min", [0.0, 0.4])
+    def test_all_cells_have_equal_area(self, r_min):
+        grid = make_grid(k=5, r_min=r_min)
+        areas = []
+        for ring in range(1, grid.k + 1):
+            seg = grid.segment(ring, 0)
+            areas.append(seg.area())
+            # All cells of one ring are congruent; spot-check another.
+            other = grid.segment(ring, grid.cells_in_ring(ring) - 1)
+            assert other.area() == pytest.approx(seg.area())
+        assert np.allclose(areas, areas[0])
+        # The inner region D0 has exactly twice the cell area ("imagine
+        # that there are two cells inside circle 0").
+        d0 = grid.segment(0, 0)
+        assert d0.area() == pytest.approx(2 * areas[0])
+
+    def test_cell_volume_matches_segment_area(self):
+        grid = make_grid(k=4)
+        assert grid.cell_volume() == pytest.approx(grid.segment(2, 1).area())
+
+    def test_total_cells(self):
+        grid = make_grid(k=4)
+        assert grid.total_cells == 2**5 - 1
+        assert grid.cells_in_ring(0) == 1
+        assert grid.cells_in_ring(4) == 16
+
+
+class TestAlignment:
+    def test_child_cells_2d(self):
+        grid = make_grid(k=4)
+        assert grid.child_cells(2, 1) == ((3, 2), (3, 3))
+        assert grid.child_cells(0, 0) == ((1, 0), (1, 1))
+        assert grid.child_cells(4, 3) == ()
+
+    def test_parent_cell_2d(self):
+        grid = make_grid(k=4)
+        assert grid.parent_cell(3, 5) == (2, 2)
+        assert grid.parent_cell(1, 1) == (0, 0)
+        with pytest.raises(ValueError, match="no parent"):
+            grid.parent_cell(0, 0)
+
+    def test_parent_child_inverse(self):
+        grid = make_grid(k=6)
+        for ring in range(0, 6):
+            for cell in range(grid.cells_in_ring(ring)):
+                for child in grid.child_cells(ring, cell):
+                    assert grid.parent_cell(*child) == (ring, cell)
+
+    def test_child_segment_nested_in_parent(self):
+        grid = make_grid(k=5)
+        for ring in range(1, 5):
+            seg = grid.segment(ring, 1)
+            for child_ring, child_cell in grid.child_cells(ring, 1):
+                child = grid.segment(child_ring, child_cell)
+                # Same angular span coverage, outward radial interval.
+                assert child.r_inner == pytest.approx(seg.r_outer)
+                assert child.theta_start >= seg.theta_start - 1e-12
+                assert (
+                    child.theta_start + child.theta_span
+                    <= seg.theta_start + seg.theta_span + 1e-12
+                )
+
+
+class TestAssignment:
+    def test_assignment_matches_geometry(self, rng):
+        grid = make_grid(k=5)
+        pts = unit_disk(400, seed=3)[1:]
+        rho, theta = to_polar(pts, np.zeros(2))
+        ring, cell = grid.assign_polar(rho, theta)
+        for i in range(0, 400 - 1, 7):  # spot-check a subsample
+            seg = grid.segment(int(ring[i]), int(cell[i]))
+            assert seg.contains(rho[i], theta[i]), i
+
+    def test_boundary_points(self):
+        grid = make_grid(k=3)
+        radii = grid.ring_radii()
+        # Points exactly on circle i belong to ring i (inclusive outer).
+        rho = radii.copy()
+        theta = np.zeros_like(rho)
+        ring, _ = grid.assign_polar(rho, theta)
+        assert ring.tolist() == [0, 1, 2, 3]
+
+    def test_center_point_in_ring0(self):
+        grid = make_grid(k=3)
+        ring, cell = grid.assign_polar(np.array([0.0]), np.array([0.0]))
+        assert ring[0] == 0
+        assert cell[0] == 0
+
+    def test_beyond_r_max_clips_to_outer_ring(self):
+        grid = make_grid(k=3)
+        ring, _ = grid.assign_polar(np.array([1.0 + 1e-12]), np.array([0.0]))
+        assert ring[0] == 3
+
+    def test_angle_binning(self):
+        grid = make_grid(k=2)
+        # Ring 2 has 4 cells of span pi/2 starting at angle 0.
+        theta = np.array([0.1, np.pi / 2 + 0.1, np.pi + 0.1, 3 * np.pi / 2 + 0.1])
+        rho = np.full(4, 0.9)
+        ring, cell = grid.assign_polar(rho, theta)
+        assert ring.tolist() == [2, 2, 2, 2]
+        assert cell.tolist() == [0, 1, 2, 3]
+
+
+class TestOccupancy:
+    def test_occupancy_ok_full_grid(self):
+        grid = make_grid(k=3)
+        # One point in every inner cell (rings 1..2): 2 + 4 cells.
+        rho, theta = [], []
+        for ring in range(1, 3):
+            seg_count = grid.cells_in_ring(ring)
+            for c in range(seg_count):
+                seg = grid.segment(ring, c)
+                rho.append((seg.r_inner + seg.r_outer) / 2)
+                theta.append(seg.theta_start + seg.theta_span / 2)
+        ring_idx, cell_idx = grid.assign_polar(np.array(rho), np.array(theta))
+        assert grid.occupancy_ok(ring_idx, cell_idx)
+
+    def test_occupancy_fails_with_hole(self):
+        grid = make_grid(k=3)
+        seg = grid.segment(1, 0)
+        rho = np.array([(seg.r_inner + seg.r_outer) / 2])
+        theta = np.array([seg.theta_start + 0.01])
+        ring_idx, cell_idx = grid.assign_polar(rho, theta)
+        assert not grid.occupancy_ok(ring_idx, cell_idx)
+
+    def test_k1_always_ok(self):
+        grid = make_grid(k=1)
+        ring, cell = grid.assign_polar(np.array([0.9]), np.array([0.0]))
+        assert grid.occupancy_ok(ring, cell)
+
+    def test_fit_chooses_feasible_k(self):
+        pts = unit_disk(2000, seed=5)[1:]
+        grid = PolarGrid.fit(pts, np.zeros(2))
+        rho, theta = to_polar(pts, np.zeros(2))
+        ring, cell = grid.assign_polar(rho, theta)
+        assert grid.occupancy_ok(ring, cell)
+        # And k+1 must NOT be feasible (k is maximal).
+        bigger = PolarGrid(
+            center=np.zeros(2), r_min=0.0, r_max=grid.r_max, k=grid.k + 1
+        )
+        ring2, cell2 = bigger.assign_polar(rho, theta)
+        assert not bigger.occupancy_ok(ring2, cell2)
+
+    def test_fit_rejects_zero_extent(self):
+        pts = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="within r_min"):
+            PolarGrid.fit(pts, np.zeros(2))
+
+
+class TestConnectivityRule:
+    def test_full_implies_connected(self):
+        pts = unit_disk(500, seed=8)[1:]
+        grid = PolarGrid.fit(pts, np.zeros(2))
+        rho, theta = to_polar(pts, np.zeros(2))
+        ring, cell = grid.assign_polar(rho, theta)
+        assert grid.occupancy_ok(ring, cell)
+        assert grid.connectivity_ok(ring, cell)
+
+    def test_orphan_cell_fails_connectivity(self):
+        grid = make_grid(k=3)
+        # A point in ring 3 whose ring-2 parent cell is empty.
+        seg = grid.segment(3, 5)
+        rho = np.array([(seg.r_inner + seg.r_outer) / 2])
+        theta = np.array([seg.theta_start + seg.theta_span / 2])
+        ring, cell = grid.assign_polar(rho, theta)
+        assert not grid.connectivity_ok(ring, cell)
+
+    def test_ring1_only_is_connected(self):
+        grid = make_grid(k=3)
+        seg = grid.segment(1, 1)
+        rho = np.array([(seg.r_inner + seg.r_outer) / 2])
+        theta = np.array([seg.theta_start + seg.theta_span / 2])
+        ring, cell = grid.assign_polar(rho, theta)
+        # Ring-1 cells hang off the source directly: always connected.
+        assert grid.connectivity_ok(ring, cell)
+
+    def test_sector_population_gets_deep_grid(self):
+        """Receivers confined to one quadrant: property 3 collapses but
+        the connected rule keeps a useful grid depth."""
+        from repro.core.grid_nd import choose_ring_count
+
+        rng = np.random.default_rng(4)
+        theta = rng.uniform(0, np.pi / 4, 3000)
+        rho = np.sqrt(rng.uniform(0, 1, 3000))
+        pts = np.stack([rho * np.cos(theta), rho * np.sin(theta)], axis=1)
+
+        def factory(k):
+            return PolarGrid(center=np.zeros(2), r_min=0.0, r_max=1.0, k=k)
+
+        t = (to_polar(pts, np.zeros(2))[1] / TWO_PI)[:, None]
+        k_full = choose_ring_count(factory, rho, t, occupancy="full")
+        k_conn = choose_ring_count(factory, rho, t, occupancy="connected")
+        assert k_conn >= k_full + 3
+
+
+class TestValidationErrors:
+    def test_rejects_3d_center(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PolarGrid(center=np.zeros(3), r_min=0.0, r_max=1.0, k=2)
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError, match="r_min"):
+            make_grid(k=2, r_min=1.0, r_max=0.5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="ring count"):
+            make_grid(k=0)
+        with pytest.raises(ValueError, match="ring count"):
+            make_grid(k=99)

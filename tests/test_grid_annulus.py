@@ -1,0 +1,105 @@
+"""Annulus-mode grid specifics (Section IV-C's r_min > 0 regime)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.grid import PolarGrid
+from repro.geometry.polar import to_polar
+from repro.workloads.generators import annulus_points
+
+
+def make_annulus_grid(k=5, r_min=0.5, r_max=1.0):
+    return PolarGrid(center=np.zeros(2), r_min=r_min, r_max=r_max, k=k)
+
+
+class TestAnnulusGeometry:
+    def test_radii_interpolate_by_area(self):
+        grid = make_annulus_grid(k=4, r_min=0.5, r_max=1.0)
+        for i in range(5):
+            expected = np.sqrt(0.25 + (1.0 - 0.25) * 2.0 ** (i - 4))
+            assert grid.ring_radius(i) == pytest.approx(expected)
+
+    def test_innermost_radius_above_r_min(self):
+        grid = make_annulus_grid(k=6)
+        assert grid.ring_radius(0) > grid.r_min
+
+    def test_equal_cell_areas_in_annulus(self):
+        grid = make_annulus_grid(k=5)
+        areas = [
+            grid.segment(ring, 0).area() for ring in range(1, 6)
+        ]
+        assert np.allclose(areas, areas[0])
+        assert grid.segment(0, 0).area() == pytest.approx(2 * areas[0])
+
+    def test_d0_is_thin_annulus(self):
+        grid = make_annulus_grid(k=5, r_min=0.5)
+        d0 = grid.segment(0, 0)
+        assert d0.r_inner == pytest.approx(0.5)
+        assert d0.theta_span == pytest.approx(2 * np.pi)
+
+
+class TestAnnulusAssignment:
+    def test_point_below_r_min_lands_in_ring0(self):
+        grid = make_annulus_grid(k=4, r_min=0.5)
+        ring, cell = grid.assign_polar(np.array([0.3]), np.array([1.0]))
+        assert ring[0] == 0 and cell[0] == 0
+
+    def test_point_at_r_min_lands_in_ring0(self):
+        grid = make_annulus_grid(k=4, r_min=0.5)
+        ring, _ = grid.assign_polar(np.array([0.5]), np.array([0.0]))
+        assert ring[0] == 0
+
+    def test_assignment_matches_segments(self):
+        grid = make_annulus_grid(k=5)
+        rng = np.random.default_rng(1)
+        rho = np.sqrt(rng.uniform(0.25 + 1e-6, 1.0, 200))
+        theta = rng.uniform(0, 2 * np.pi, 200)
+        ring, cell = grid.assign_polar(rho, theta)
+        for i in range(0, 200, 11):
+            seg = grid.segment(int(ring[i]), int(cell[i]))
+            assert seg.contains(rho[i], theta[i]), i
+
+
+class TestAnnulusBuilds:
+    def test_fit_annulus_sets_positive_r_min(self):
+        points = annulus_points(2_000, r_inner=0.6, seed=2)
+        result = build_polar_grid_tree(points, 0, 6, fit_annulus=True)
+        assert result.grid.r_min > 0.5
+        result.tree.validate(max_out_degree=6)
+
+    def test_fit_annulus_gets_deeper_grid_on_shells(self):
+        points = annulus_points(2_000, r_inner=0.8, r_outer=1.0, seed=3)
+        plain = build_polar_grid_tree(points, 0, 6)
+        fitted = build_polar_grid_tree(points, 0, 6, fit_annulus=True)
+        assert fitted.rings > plain.rings
+
+    def test_fit_annulus_harmless_when_source_in_cloud(self):
+        from repro.workloads.generators import unit_disk
+
+        points = unit_disk(2_000, seed=4)
+        plain = build_polar_grid_tree(points, 0, 6)
+        fitted = build_polar_grid_tree(points, 0, 6, fit_annulus=True)
+        # r_min ~ nearest receiver ~ 1/sqrt(n): nearly identical grids.
+        assert fitted.radius == pytest.approx(plain.radius, rel=0.1)
+
+    def test_bound_uses_annulus_radii(self):
+        """Equation (7) holds with the annulus geometry too."""
+        points = annulus_points(3_000, r_inner=0.7, seed=5)
+        for degree in (6, 2):
+            result = build_polar_grid_tree(
+                points, 0, degree, fit_annulus=True
+            )
+            assert result.radius <= result.upper_bound + 1e-9
+
+    def test_degree2_annulus_build(self):
+        points = annulus_points(2_000, r_inner=0.6, seed=6)
+        result = build_polar_grid_tree(
+            points, 0, 2, fit_annulus=True, occupancy="connected"
+        )
+        result.tree.validate(max_out_degree=2)
+
+    def test_thin_shell_3d(self):
+        points = annulus_points(2_000, r_inner=0.7, dim=3, seed=7)
+        result = build_polar_grid_tree(points, 0, 10, fit_annulus=True)
+        result.tree.validate(max_out_degree=10)

@@ -1,0 +1,206 @@
+"""Tests for the d-dimensional equal-volume grid (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid_nd import MAX_RINGS, PolarGridND, choose_ring_count
+from repro.geometry.regions import Ball
+
+
+def make_grid(dim=3, k=4, r_max=1.0, r_min=0.0):
+    return PolarGridND(center=np.zeros(dim), r_min=r_min, r_max=r_max, k=k)
+
+
+class TestRadii3D:
+    def test_volume_doubles_per_ring(self):
+        """r_i = r_max * 2^((i-k)/d) — each ring doubles the enclosed
+        volume, the d-dimensional form of equation (3)."""
+        grid = make_grid(dim=3, k=5)
+        for i in range(6):
+            assert grid.ring_radius(i) == pytest.approx(2.0 ** ((i - 5) / 3.0))
+
+    def test_2d_matches_paper(self):
+        grid = make_grid(dim=2, k=4)
+        for i in range(5):
+            assert grid.ring_radius(i) == pytest.approx(
+                (1 / np.sqrt(2.0)) ** (4 - i)
+            )
+
+
+class TestAxisSplits:
+    def test_round_robin_3d(self):
+        grid = make_grid(dim=3, k=6)
+        # 2 angular axes; splits alternate starting at axis 0.
+        assert grid.axis_splits(0) == (0, 0)
+        assert grid.axis_splits(1) == (1, 0)
+        assert grid.axis_splits(2) == (1, 1)
+        assert grid.axis_splits(3) == (2, 1)
+        assert grid.axis_splits(6) == (3, 3)
+
+    def test_round_robin_4d(self):
+        grid = PolarGridND(center=np.zeros(4), r_min=0.0, r_max=1.0, k=7)
+        assert grid.axis_splits(7) == (3, 2, 2)
+
+    def test_2d_single_axis(self):
+        grid = make_grid(dim=2, k=5)
+        assert grid.axis_splits(3) == (3,)
+
+    def test_total_bins_match_cell_count(self):
+        grid = make_grid(dim=3, k=6)
+        for ring in range(7):
+            bins = grid.axis_splits(ring)
+            assert 2 ** sum(bins) == grid.cells_in_ring(ring)
+
+
+class TestCellCodec:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_bins_roundtrip(self, dim):
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=6)
+        for ring in (0, 1, 3, 6):
+            for cell in range(grid.cells_in_ring(ring)):
+                bins = grid.cell_bins(ring, cell)
+                assert grid.cell_from_bins(ring, bins) == cell
+
+    def test_out_of_range_cell(self):
+        grid = make_grid(dim=3, k=3)
+        with pytest.raises(ValueError, match="out of range"):
+            grid.cell_bins(2, 4)
+
+    def test_global_id_roundtrip(self):
+        grid = make_grid(dim=3, k=5)
+        for ring in range(6):
+            for cell in (0, grid.cells_in_ring(ring) - 1):
+                gid = int(grid.global_id(ring, cell))
+                assert grid.ring_of_global(gid) == (ring, cell)
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_parent_child_inverse(self, dim):
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=6)
+        for ring in range(6):
+            for cell in range(grid.cells_in_ring(ring)):
+                children = grid.child_cells(ring, cell)
+                assert len(children) == 2
+                for child in children:
+                    assert grid.parent_cell(*child) == (ring, cell)
+
+    def test_children_partition_ring(self):
+        grid = make_grid(dim=3, k=5)
+        for ring in range(5):
+            seen = set()
+            for cell in range(grid.cells_in_ring(ring)):
+                for _r, c in grid.child_cells(ring, cell):
+                    seen.add(c)
+            assert seen == set(range(grid.cells_in_ring(ring + 1)))
+
+    def test_parent_cells_vectorised_matches_scalar(self):
+        grid = make_grid(dim=3, k=6)
+        for ring in (2, 4, 6):
+            cells = np.arange(grid.cells_in_ring(ring))
+            parents = grid.parent_cells(ring, cells)
+            for cell, par in zip(cells.tolist(), parents.tolist()):
+                assert grid.parent_cell(ring, cell) == (ring - 1, par)
+
+    def test_child_box_nested_in_parent_box(self):
+        grid = make_grid(dim=4, k=6)
+        for ring in range(1, 6):
+            box = grid.cell_t_box(ring, 1)
+            for child_ring, child_cell in grid.child_cells(ring, 1):
+                child_box = grid.cell_t_box(child_ring, child_cell)
+                for (lo, hi), (clo, chi) in zip(box, child_box):
+                    assert lo - 1e-12 <= clo and chi <= hi + 1e-12
+
+
+class TestEqualVolume:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_monte_carlo_cell_occupancy(self, dim):
+        """Uniform ball samples spread uniformly over each ring's cells —
+        the empirical form of the equal-volume property."""
+        rng = np.random.default_rng(42)
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=5)
+        pts = Ball(dim=dim).sample(60_000, rng)
+        ring, cell = grid.assign_points(pts)
+        for r in range(1, 6):
+            counts = np.bincount(
+                cell[ring == r], minlength=grid.cells_in_ring(r)
+            )
+            expected = counts.sum() / grid.cells_in_ring(r)
+            assert counts.min() > expected * 0.75, (r, counts)
+            assert counts.max() < expected * 1.25, (r, counts)
+
+    def test_ring_population_doubles(self):
+        rng = np.random.default_rng(7)
+        grid = make_grid(dim=3, k=5)
+        pts = Ball(dim=3).sample(50_000, rng)
+        ring, _ = grid.assign_points(pts)
+        counts = np.bincount(ring, minlength=6).astype(float)
+        # Ring i+1 has twice the volume of ring i (i >= 1).
+        for i in range(1, 5):
+            assert counts[i + 1] / counts[i] == pytest.approx(2.0, rel=0.15)
+
+
+class TestChooseRingCount:
+    def test_matches_eq5_scaling(self):
+        """k grows like (1/2) log2 n (equation 5)."""
+        rng = np.random.default_rng(0)
+        ks = {}
+        for n in (256, 4096, 65536):
+            pts = Ball(dim=2).sample(n, rng)
+            grid = None
+
+            def factory(k):
+                return PolarGridND(
+                    center=np.zeros(2), r_min=0.0, r_max=1.0, k=k
+                )
+
+            from repro.geometry.polar import SphericalTransform
+
+            tr = SphericalTransform(2)
+            rho, t = tr.transform(pts, np.zeros(2))
+            ks[n] = choose_ring_count(factory, rho, t)
+        # Quadrupling n should add about 1 ring, and never fewer than
+        # the eq.(5) floor.
+        assert ks[4096] >= ks[256] + 1
+        assert ks[65536] >= ks[4096] + 1
+        for n, k in ks.items():
+            assert k >= 0.5 * np.log2(n) - 1
+
+    def test_minimum_k_is_1(self):
+        from repro.geometry.polar import SphericalTransform
+
+        tr = SphericalTransform(2)
+        pts = np.array([[0.9, 0.0]])
+        rho, t = tr.transform(pts, np.zeros(2))
+
+        def factory(k):
+            return PolarGridND(center=np.zeros(2), r_min=0.0, r_max=1.0, k=k)
+
+        assert choose_ring_count(factory, rho, t) == 1
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            choose_ring_count(None, np.zeros(1), np.zeros((1, 1)), occupancy="x")
+
+
+class TestConstruction:
+    def test_max_rings_guard(self):
+        with pytest.raises(ValueError, match="ring count"):
+            make_grid(k=MAX_RINGS + 1)
+
+    def test_transform_dim_mismatch(self):
+        from repro.geometry.polar import SphericalTransform
+
+        with pytest.raises(ValueError, match="transform"):
+            PolarGridND(
+                center=np.zeros(3),
+                r_min=0.0,
+                r_max=1.0,
+                k=2,
+                transform=SphericalTransform(2),
+            )
+
+    def test_assign_shape_check(self):
+        grid = make_grid(dim=3, k=2)
+        with pytest.raises(ValueError, match="shape"):
+            grid.assign(np.zeros(4), np.zeros((4, 1)))

@@ -1,0 +1,102 @@
+"""Deeper d-dimensional grid checks: d >= 5, codec fuzz, CDF tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.grid_nd import PolarGridND
+from repro.geometry.polar import SphericalTransform
+from repro.geometry.regions import Ball
+from repro.workloads.generators import unit_ball
+
+
+class TestHighDimensions:
+    @pytest.mark.parametrize("dim", [5, 6])
+    def test_transform_roundtrip_uses_cdf_tables(self, dim, rng):
+        """d >= 4 polar angles go through the tabulated sin^m CDFs."""
+        tr = SphericalTransform(dim)
+        pts = rng.normal(size=(100, dim))
+        rho, t = tr.transform(pts, np.zeros(dim))
+        rebuilt = tr.direction(t) * rho[:, None]
+        assert np.allclose(rebuilt, pts, atol=1e-5)
+
+    @pytest.mark.parametrize("dim", [5, 6])
+    def test_equal_measure_bins_high_d(self, dim, rng):
+        tr = SphericalTransform(dim)
+        pts = rng.normal(size=(30_000, dim))
+        _rho, t = tr.transform(pts, np.zeros(dim))
+        for axis in range(dim - 1):
+            hist, _ = np.histogram(t[:, axis], bins=4, range=(0, 1))
+            assert hist.min() > 30_000 / 4 * 0.85, (axis, hist)
+
+    def test_5d_build_full_and_binary(self):
+        points = unit_ball(1_500, dim=5, seed=1)
+        full = build_polar_grid_tree(points, 0, (1 << 5) + 2)
+        full.tree.validate(max_out_degree=34)
+        binary = build_polar_grid_tree(points, 0, 2)
+        binary.tree.validate(max_out_degree=2)
+
+    def test_6d_build(self):
+        points = unit_ball(800, dim=6, seed=2)
+        result = build_polar_grid_tree(points, 0, 2)
+        result.tree.validate(max_out_degree=2)
+        farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+        assert result.radius >= farthest - 1e-9
+
+
+class TestCodecFuzz:
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 10),
+        st.integers(0, 1 << 20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cell_codec_roundtrip_fuzz(self, dim, ring, raw):
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=10)
+        cell = raw % grid.cells_in_ring(ring)
+        bins = grid.cell_bins(ring, cell)
+        assert grid.cell_from_bins(ring, bins) == cell
+        gid = int(grid.global_id(ring, cell))
+        assert grid.ring_of_global(gid) == (ring, cell)
+        if ring >= 1:
+            parent = grid.parent_cell(ring, cell)
+            assert cell in [c for _r, c in grid.child_cells(*parent)]
+
+    @given(st.integers(2, 5), st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_parent_cells_vectorised_consistency(self, dim, ring):
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=9)
+        count = grid.cells_in_ring(ring)
+        cells = np.arange(min(count, 64))
+        parents = grid.parent_cells(ring, cells)
+        for c, p in zip(cells.tolist(), parents.tolist()):
+            assert grid.parent_cell(ring, c) == (ring - 1, p)
+
+
+class TestAssignmentConsistency:
+    @pytest.mark.parametrize("dim", [3, 4, 5])
+    def test_assigned_cell_boxes_contain_points(self, dim, rng):
+        """Every point's assigned cell's t-box actually contains its t."""
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=5)
+        pts = Ball(dim=dim).sample(500, rng)
+        rho, t = grid.transform.transform(pts, np.zeros(dim))
+        ring, cell = grid.assign(rho, t)
+        for i in range(0, 500, 17):
+            box = grid.cell_t_box(int(ring[i]), int(cell[i]))
+            for axis, (lo, hi) in enumerate(box):
+                assert lo - 1e-12 <= t[i, axis] < hi + 1e-12, (i, axis)
+
+    @pytest.mark.parametrize("dim", [3, 5])
+    def test_radial_assignment_in_bounds(self, dim, rng):
+        grid = PolarGridND(center=np.zeros(dim), r_min=0.0, r_max=1.0, k=6)
+        pts = Ball(dim=dim).sample(400, rng)
+        rho, t = grid.transform.transform(pts, np.zeros(dim))
+        ring, _ = grid.assign(rho, t)
+        radii = grid.ring_radii()
+        for i in range(0, 400, 13):
+            r = int(ring[i])
+            hi = radii[r]
+            lo = 0.0 if r == 0 else radii[r - 1]
+            assert lo - 1e-6 <= rho[i] <= hi + 1e-6, i

@@ -1,0 +1,99 @@
+"""Tests for the mixed-budget (heterogeneous) builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.heterogeneous import build_heterogeneous_tree
+from repro.workloads.generators import unit_disk
+
+
+def mixed_budgets(n, seed, p_leaf=0.3, p_one=0.1):
+    rng = np.random.default_rng(seed)
+    budgets = rng.choice(
+        [0, 1, 2, 4, 8],
+        size=n,
+        p=[p_leaf - p_one, p_one, 0.3, 0.2, 0.5 - p_leaf],
+    )
+    budgets[0] = 4  # the source must root the backbone
+    return budgets
+
+
+class TestBasics:
+    def test_valid_tree_with_mixed_population(self):
+        n = 800
+        points = unit_disk(n, seed=1)
+        budgets = mixed_budgets(n, seed=1)
+        result = build_heterogeneous_tree(points, budgets)
+        tree = result.tree
+        tree.validate()
+        assert np.all(tree.out_degrees() <= budgets)
+
+    def test_leaf_only_hosts_are_leaves(self):
+        n = 500
+        points = unit_disk(n, seed=2)
+        budgets = mixed_budgets(n, seed=2)
+        result = build_heterogeneous_tree(points, budgets)
+        degrees = result.tree.out_degrees()
+        leaves = np.flatnonzero(budgets < 2)
+        assert np.all(degrees[leaves] == 0)
+
+    def test_uniform_budgets_reduce_to_binary_build(self):
+        from repro.core.builder import build_polar_grid_tree
+
+        points = unit_disk(400, seed=3)
+        uniform = np.full(400, 2, dtype=np.int64)
+        het = build_heterogeneous_tree(points, uniform)
+        plain = build_polar_grid_tree(points, 0, 2)
+        assert np.array_equal(het.tree.parent, plain.tree.parent)
+
+    def test_source_must_forward(self):
+        points = unit_disk(10, seed=4)
+        budgets = np.full(10, 4, dtype=np.int64)
+        budgets[0] = 1
+        with pytest.raises(ValueError, match="source"):
+            build_heterogeneous_tree(points, budgets)
+
+    def test_insufficient_capacity_raises(self):
+        points = unit_disk(20, seed=5)
+        budgets = np.zeros(20, dtype=np.int64)
+        budgets[0] = 2  # two backbone slots... and 19 leaves
+        with pytest.raises(ValueError, match="spare slots"):
+            build_heterogeneous_tree(points, budgets)
+
+    def test_shape_validation(self):
+        points = unit_disk(10, seed=6)
+        with pytest.raises(ValueError, match="shape"):
+            build_heterogeneous_tree(points, np.zeros(5))
+        with pytest.raises(ValueError, match="negative"):
+            build_heterogeneous_tree(points, np.full(10, -1))
+
+
+class TestQuality:
+    def test_radius_reasonable_despite_leaves(self):
+        n = 3_000
+        points = unit_disk(n, seed=7)
+        budgets = mixed_budgets(n, seed=7)
+        result = build_heterogeneous_tree(points, budgets)
+        farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+        # Binary backbone plus one greedy leaf hop: modest inflation.
+        assert result.radius <= 2.2 * farthest
+
+    def test_backbone_metrics_exposed(self):
+        points = unit_disk(600, seed=8)
+        budgets = mixed_budgets(600, seed=8)
+        result = build_heterogeneous_tree(points, budgets)
+        assert result.rings >= 1
+        assert result.core_delay is not None
+
+    def test_leaves_pay_at_most_one_extra_hop(self):
+        n = 1_000
+        points = unit_disk(n, seed=9)
+        budgets = mixed_budgets(n, seed=9)
+        result = build_heterogeneous_tree(points, budgets)
+        tree = result.tree
+        delays = tree.root_delays()
+        leaves = np.flatnonzero(budgets < 2)
+        for leaf in leaves[:50]:
+            adopter = int(tree.parent[leaf])
+            hop = float(np.linalg.norm(points[leaf] - points[adopter]))
+            assert delays[leaf] == pytest.approx(delays[adopter] + hop)

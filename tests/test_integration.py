@@ -1,0 +1,132 @@
+"""Cross-module integration tests: full pipelines, example smoke runs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    MulticastSession,
+    MulticastTree,
+    build_bisection_tree,
+    build_polar_grid_tree,
+    unit_ball,
+    unit_disk,
+)
+from repro.overlay.host import Host
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_canonical_flow(self):
+        """The README's quickstart, as a test."""
+        points = unit_disk(2000, seed=1)
+        result = build_polar_grid_tree(points, source=0, max_out_degree=6)
+        tree = result.tree.validate(max_out_degree=6)
+        assert isinstance(tree, MulticastTree)
+        assert 1.0 <= result.radius <= result.upper_bound
+
+
+class TestAlgorithmsAgree:
+    def test_polar_grid_beats_bisection_at_scale(self):
+        """The hierarchical algorithm dominates its own subroutine on
+        disk inputs — the reason Section III exists."""
+        points = unit_disk(20_000, seed=2)
+        grid = build_polar_grid_tree(points, 0, 6).radius
+        bisect = build_bisection_tree(points, 0, 4).radius
+        assert grid < bisect
+
+    def test_all_algorithms_same_node_set(self):
+        points = unit_disk(300, seed=3)
+        hosts = [
+            Host(name=str(i), coords=tuple(points[i]), max_fanout=6)
+            for i in range(300)
+        ]
+        for algorithm in ("polar-grid", "bisection", "compact-tree"):
+            session = MulticastSession(hosts, source="0", algorithm=algorithm)
+            tree = session.build()
+            assert tree.n == 300
+            tree.validate(max_out_degree=6)
+
+    def test_simulator_is_universal_oracle(self):
+        """Every builder's tree replays to exactly its analytic delays."""
+        from repro.baselines import compact_tree
+        from repro.overlay.simulator import simulate_dissemination
+
+        points = unit_disk(400, seed=4)
+        for tree in (
+            build_polar_grid_tree(points, 0, 6).tree,
+            build_polar_grid_tree(points, 0, 2).tree,
+            build_bisection_tree(points, 0, 4).tree,
+            compact_tree(points, 0, 6),
+        ):
+            replay = simulate_dissemination(tree)
+            assert np.allclose(replay.receive_time, tree.root_delays())
+
+
+class TestLifecycle:
+    def test_build_simulate_fail_repair_rebuild(self):
+        points = unit_disk(500, seed=5)
+        hosts = [
+            Host(
+                name=f"n{i}",
+                coords=tuple(points[i]),
+                max_fanout=4,
+                processing_delay=0.001,
+            )
+            for i in range(500)
+        ]
+        session = MulticastSession(hosts, source="n0", algorithm="polar-grid")
+        session.build()
+        before = session.simulate()
+
+        # Three random relays churn out, one at a time.
+        rng = np.random.default_rng(6)
+        for _ in range(3):
+            degrees = session.tree.out_degrees()
+            relays = np.flatnonzero(
+                (degrees > 0) & (np.arange(session.n) != session.source_index)
+            )
+            victim = session.hosts[int(rng.choice(relays))].name
+            session.handle_departure(victim)
+            # The build used the binary variant (fanout 4 < 6), but the
+            # repair may legitimately use each host's full budget of 4.
+            session.tree.validate(max_out_degree=4)
+
+        after = session.simulate()
+        assert after.receive_time.shape[0] == 497
+        assert np.isfinite(after.completion_time)
+        assert before.completion_time > 0
+
+
+class TestDimensionalBehaviour:
+    def test_3d_delay_above_2d_delay(self):
+        """Section V's Figure 8 observation: at equal n, 3-D delays are
+        higher than 2-D delays."""
+        n = 5000
+        d2 = build_polar_grid_tree(unit_disk(n, seed=7), 0, 6).radius
+        d3 = build_polar_grid_tree(unit_ball(n, dim=3, seed=7), 0, 10).radius
+        assert d3 > d2
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "convex_region_anycast.py", "webinar_churn.py"],
+)
+def test_examples_run(script, monkeypatch, capsys):
+    """Examples must stay runnable (shrunk via argv where supported)."""
+    monkeypatch.setattr(sys, "argv", [script, "500"])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()

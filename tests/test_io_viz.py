@@ -1,0 +1,95 @@
+"""Tests for tree serialization and SVG rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.io import load_tree, save_tree
+from repro.core.tree import MulticastTree, TreeInvariantError
+from repro.viz import save_svg, tree_to_svg
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+@pytest.fixture
+def tree():
+    return build_polar_grid_tree(unit_disk(200, seed=80), 0, 6).tree
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("suffix", [".npz", ".json"])
+    def test_roundtrip(self, tree, tmp_path, suffix):
+        path = save_tree(tree, tmp_path / f"tree{suffix}")
+        loaded = load_tree(path)
+        assert np.array_equal(loaded.parent, tree.parent)
+        assert np.allclose(loaded.points, tree.points)
+        assert loaded.root == tree.root
+        assert loaded.radius() == pytest.approx(tree.radius())
+
+    def test_3d_roundtrip(self, tmp_path):
+        tree = build_polar_grid_tree(unit_ball(150, dim=3, seed=81), 0, 10).tree
+        loaded = load_tree(save_tree(tree, tmp_path / "t3.npz"))
+        assert loaded.dim == 3
+
+    def test_unknown_suffix(self, tree, tmp_path):
+        with pytest.raises(ValueError, match="suffix"):
+            save_tree(tree, tmp_path / "tree.xml")
+        with pytest.raises(ValueError, match="suffix"):
+            load_tree(tmp_path / "tree.xml")
+
+    def test_version_check_json(self, tree, tmp_path):
+        path = save_tree(tree, tmp_path / "tree.json")
+        text = path.read_text().replace('"version": 1', '"version": 99')
+        path.write_text(text)
+        with pytest.raises(ValueError, match="version"):
+            load_tree(path)
+
+    def test_corrupted_parent_rejected_on_load(self, tree, tmp_path):
+        import json
+
+        path = save_tree(tree, tmp_path / "tree.json")
+        payload = json.loads(path.read_text())
+        payload["parent"][5] = 5  # a second root: invalid
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TreeInvariantError):
+            load_tree(path)
+
+
+class TestSvg:
+    def test_renders_valid_svg(self, tree):
+        svg = tree_to_svg(tree)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        # n-1 edges, n-1 receiver dots, one source ring.
+        assert svg.count("<line") == tree.n - 1
+        assert svg.count("<circle") == tree.n
+
+    def test_save_svg(self, tree, tmp_path):
+        path = save_svg(tree, tmp_path / "tree.svg", size=400)
+        content = path.read_text()
+        assert 'width="400"' in content
+
+    def test_rejects_3d(self):
+        tree = build_polar_grid_tree(unit_ball(50, dim=3, seed=82), 0, 10).tree
+        with pytest.raises(ValueError, match="2-D"):
+            tree_to_svg(tree)
+
+    def test_node_cap(self, tree):
+        with pytest.raises(ValueError, match="capped"):
+            tree_to_svg(tree, max_nodes=10)
+
+    def test_single_node(self):
+        tree = MulticastTree(np.zeros((1, 2)), np.array([0]), 0)
+        svg = tree_to_svg(tree)
+        assert "<line" not in svg
+        assert svg.count("<circle") == 1
+
+    def test_coordinates_within_canvas(self, tree):
+        svg = tree_to_svg(tree, size=500, margin=10)
+        import re
+
+        coords = [
+            float(v)
+            for v in re.findall(r'(?:x[12]|y[12]|cx|cy)="([-\d.]+)"', svg)
+        ]
+        assert min(coords) >= 0.0
+        assert max(coords) <= 500.0

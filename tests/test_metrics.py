@@ -1,0 +1,92 @@
+"""Tests for overlay tree metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import MulticastTree
+from repro.core.builder import build_polar_grid_tree
+from repro.overlay.metrics import evaluate_tree
+from repro.workloads.generators import unit_disk
+
+
+def chain_tree(n: int) -> MulticastTree:
+    points = np.stack([np.arange(n, dtype=float), np.zeros(n)], axis=1)
+    parent = np.arange(-1, n - 1)
+    parent[0] = 0
+    return MulticastTree(points=points, parent=parent, root=0)
+
+
+class TestEvaluateTree:
+    def test_chain_metrics(self):
+        m = evaluate_tree(chain_tree(5))
+        assert m.nodes == 5
+        assert m.radius == pytest.approx(4.0)
+        assert m.mean_delay == pytest.approx((1 + 2 + 3 + 4) / 4)
+        assert m.max_depth == 4
+        assert m.max_out_degree == 1
+        assert m.interior_nodes == 4
+        assert m.max_stretch == pytest.approx(1.0)
+
+    def test_single_node(self):
+        tree = MulticastTree(np.zeros((1, 2)), np.array([0]), 0)
+        m = evaluate_tree(tree)
+        assert m.radius == 0.0
+        assert m.mean_stretch == 1.0
+        assert m.max_depth == 0
+
+    def test_detour_stretch(self):
+        pts = np.array([[0.0, 0.0], [0.0, 1.0], [0.0, 2.0]])
+        # 2 is fed through 1 but lies on the straight line: stretch 1.
+        tree = MulticastTree(pts, np.array([0, 0, 1]), 0)
+        m = evaluate_tree(tree)
+        assert m.max_stretch == pytest.approx(1.0)
+
+    def test_p95_between_mean_and_max(self):
+        points = unit_disk(2000, seed=50)
+        tree = build_polar_grid_tree(points, 0, 6).tree
+        m = evaluate_tree(tree)
+        assert m.mean_delay <= m.p95_delay <= m.radius
+
+    def test_as_dict_roundtrip(self):
+        m = evaluate_tree(chain_tree(3))
+        d = m.as_dict()
+        assert d["nodes"] == 3
+        assert set(d) >= {"radius", "mean_delay", "max_depth"}
+
+    def test_forwarding_fairness_extremes(self):
+        from repro.overlay.metrics import forwarding_fairness
+
+        # A star: the source forwards everything, members forward
+        # nothing at all — with zero member load the index is defined
+        # as 1 (nobody is treated worse than anybody else).
+        pts = np.zeros((5, 2))
+        star = MulticastTree(pts, np.zeros(5, dtype=np.int64), 0)
+        assert forwarding_fairness(star) == 1.0
+        # A chain: every member but the last forwards exactly once.
+        chain = chain_tree(5)
+        # loads = [1,1,1,0] -> 9 / (4*3) = 0.75
+        assert forwarding_fairness(chain) == pytest.approx(0.75)
+
+    def test_striping_improves_fairness(self):
+        from repro.overlay.metrics import forwarding_fairness
+        from repro.overlay.multitree import build_striped_trees
+
+        points = unit_disk(2_000, seed=52)
+        single = build_polar_grid_tree(points, 0, 4).tree
+        multi = build_striped_trees(points, 0, 4, 2)
+        # Fairness of the *total* load across stripes.
+        total = multi.total_out_degrees().astype(float)
+        members = np.arange(1, 2_000)
+        jain_multi = float(total[members].sum()) ** 2 / (
+            members.size * float((total[members] ** 2).sum())
+        )
+        assert jain_multi > forwarding_fairness(single)
+
+    def test_interior_nodes_counts_forwarders(self):
+        points = unit_disk(500, seed=51)
+        tree = build_polar_grid_tree(points, 0, 2).tree
+        m = evaluate_tree(tree)
+        degrees = tree.out_degrees()
+        assert m.interior_nodes == int(np.count_nonzero(degrees))
+        # A binary tree over 500 nodes needs at least ~250 forwarders.
+        assert m.interior_nodes >= 249

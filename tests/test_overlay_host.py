@@ -1,0 +1,70 @@
+"""Tests for the Host model."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.host import Host, fanout_from_bandwidth
+
+
+class TestHost:
+    def test_basic_construction(self):
+        h = Host(name="a", coords=(1.0, 2.0), max_fanout=4)
+        assert h.dim == 2
+        assert h.coords == (1.0, 2.0)
+
+    def test_coords_coerced_to_floats(self):
+        h = Host(name="a", coords=(1, 2, 3))
+        assert h.coords == (1.0, 2.0, 3.0)
+        assert h.dim == 3
+
+    def test_distance(self):
+        a = Host(name="a", coords=(0.0, 0.0))
+        b = Host(name="b", coords=(3.0, 4.0))
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert b.distance_to(a) == pytest.approx(5.0)
+
+    def test_distance_dim_mismatch(self):
+        a = Host(name="a", coords=(0.0, 0.0))
+        b = Host(name="b", coords=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="different spaces"):
+            a.distance_to(b)
+
+    def test_rejects_nan_coords(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            Host(name="a", coords=(np.nan, 0.0))
+
+    def test_rejects_negative_fanout(self):
+        with pytest.raises(ValueError, match="fan-out"):
+            Host(name="a", coords=(0.0, 0.0), max_fanout=-1)
+
+    def test_rejects_negative_processing_delay(self):
+        with pytest.raises(ValueError, match="processing"):
+            Host(name="a", coords=(0.0, 0.0), processing_delay=-0.1)
+
+    def test_rejects_empty_coords(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Host(name="a", coords=())
+
+    def test_frozen(self):
+        h = Host(name="a", coords=(0.0, 0.0))
+        with pytest.raises(AttributeError):
+            h.max_fanout = 3
+
+
+class TestFanoutFromBandwidth:
+    def test_basic(self):
+        assert fanout_from_bandwidth(10_000, 3_000) == 3
+
+    def test_exact_multiple(self):
+        assert fanout_from_bandwidth(9_000, 3_000) == 3
+
+    def test_leaf_only(self):
+        assert fanout_from_bandwidth(1_000, 3_000) == 0
+
+    def test_zero_stream_rejected(self):
+        with pytest.raises(ValueError, match="stream"):
+            fanout_from_bandwidth(1_000, 0)
+
+    def test_negative_uplink_rejected(self):
+        with pytest.raises(ValueError, match="uplink"):
+            fanout_from_bandwidth(-1, 100)

@@ -1,0 +1,237 @@
+"""Statement-by-statement checks of the paper's construction claims.
+
+Where other test modules check *our* invariants, these encode sentences
+of the paper directly: the white-box wiring cases of Section IV-A, the
+degree claims of Sections II/III-C, the monotone-radius property of the
+bisection, and the grid properties of Section III-A as stated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.grid import PolarGrid
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+class TestSectionIIStatements:
+    def test_at_most_four_children(self):
+        """"The algorithm constructs a spanning tree in which each node
+        has at most 4 children." (out-degree-4 bisection)"""
+        from repro.core.builder import build_bisection_tree
+
+        tree = build_bisection_tree(unit_disk(500, seed=1), 0, 4).tree
+        assert tree.max_out_degree() <= 4
+
+    def test_monotone_radius_from_bottom_source(self):
+        """"Each path always moves monotonically along the radius axis."
+        Provably true when the source sits at the segment's inner edge:
+        representatives are chosen closest to the local source's radius,
+        which from below means each quadrant's minimum — radii along any
+        path are then non-decreasing."""
+        from repro.core.bisection import bisection_tree_2d
+        from repro.core.tree import MulticastTree
+        from repro.geometry.polar import TWO_PI, to_polar
+
+        rng = np.random.default_rng(2)
+        n = 200
+        radius = np.sqrt(rng.uniform(0.36, 1.0, n))
+        theta = rng.uniform(0.0, 0.2, n) * TWO_PI
+        source = int(np.argmin(radius))
+        points = np.stack(
+            [radius * np.cos(theta), radius * np.sin(theta)], axis=1
+        )
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[source] = source
+        bisection_tree_2d(
+            radius.tolist(),
+            (theta / TWO_PI).tolist(),
+            [i for i in range(n) if i != source],
+            source,
+            (float(radius.min()) - 1e-12, 1.0),
+            (0.0, 0.2),
+            parent,
+            4,
+        )
+        tree = MulticastTree(points=points, parent=parent, root=source)
+        tree.validate(max_out_degree=4)
+        for node in range(n):
+            path = tree.path_to_root(node)
+            radii = [radius[i] for i in reversed(path)]
+            assert all(
+                a <= b + 1e-12 for a, b in zip(radii, radii[1:])
+            ), node
+
+
+class TestSectionIIIStatements:
+    def test_grid_property_1_equal_area(self):
+        """Property 1: "All cells of the grid have the same area." """
+        grid = PolarGrid(center=np.zeros(2), r_min=0.0, r_max=1.0, k=6)
+        areas = {
+            round(grid.segment(ring, 0).area(), 12)
+            for ring in range(1, 7)
+        }
+        assert len(areas) == 1
+
+    def test_grid_property_2_doubling(self):
+        """Property 2: "Each containing ring has twice more cells than
+        the ring immediately inside it." """
+        grid = PolarGrid(center=np.zeros(2), r_min=0.0, r_max=1.0, k=8)
+        for ring in range(1, 8):
+            assert grid.cells_in_ring(ring + 1) == 2 * grid.cells_in_ring(ring)
+
+    def test_grid_property_3_after_fit(self):
+        """Property 3: every cell non-empty except the outermost ring —
+        and the chosen k is maximal for it."""
+        points = unit_disk(5_000, seed=3)[1:]
+        grid = PolarGrid.fit(points, np.zeros(2))
+        from repro.geometry.polar import to_polar
+
+        rho, theta = to_polar(points, np.zeros(2))
+        ring, cell = grid.assign_polar(rho, theta)
+        inner = ring < grid.k
+        occupied = set(
+            zip(ring[inner].tolist(), cell[inner].tolist())
+        )
+        for r in range(1, grid.k):
+            for c in range(grid.cells_in_ring(r)):
+                assert (r, c) in occupied, (r, c)
+
+    def test_imagined_two_cells_inside_circle_0(self):
+        """"If we imagine that there are two cells inside circle 0":
+        the inner disk's area is exactly twice the common cell area."""
+        grid = PolarGrid(center=np.zeros(2), r_min=0.0, r_max=1.0, k=5)
+        assert grid.segment(0, 0).area() == pytest.approx(
+            2.0 * grid.cell_volume()
+        )
+
+    def test_out_degree_6_is_attained(self):
+        """III-C: "the resulting spanning tree will have maximum
+        out-degree 6" — the bound is tight, not just an upper bound."""
+        tree = build_polar_grid_tree(unit_disk(5_000, seed=4), 0, 6).tree
+        assert tree.max_out_degree() == 6
+
+    def test_representatives_connect_two_next_ring_cells(self):
+        """III-B: "Each representative is connected to two
+        representatives of next ring cells, aligned with its cell." """
+        result = build_polar_grid_tree(unit_disk(5_000, seed=5), 0, 6)
+        grid = result.grid
+        tree = result.tree
+        reps = set(result.representatives.tolist())
+        # Count children of representatives that are themselves reps:
+        # inner-ring reps must feed exactly two rep children.
+        from repro.geometry.polar import to_polar
+
+        rho, theta = to_polar(tree.points, tree.points[tree.root])
+        ring, _cell = grid.assign_polar(rho, theta)
+        rep_children = {rep: 0 for rep in reps}
+        for node in range(tree.n):
+            if node == tree.root:
+                continue
+            par = int(tree.parent[node])
+            if par in rep_children and node in reps:
+                rep_children[par] += 1
+        inner_reps = [
+            rep for rep in reps if ring[rep] <= grid.k - 2
+        ]
+        for rep in inner_reps:
+            assert rep_children[rep] == 2, rep
+
+
+class TestSectionIVAStatements:
+    """The three wiring cases, verified white-box via wire_cells."""
+
+    def _wire(self, cell_points):
+        """Run binary wiring on a hand-built single-cell ring-1 grid."""
+        from repro.core.core_network import wire_cells
+        from repro.geometry.polar import SphericalTransform
+
+        # Source at origin; a k=1 grid has D0 plus 2 outer cells.
+        pts = [np.zeros(2)] + [np.asarray(p, float) for p in cell_points]
+        points = np.stack(pts)
+        tr = SphericalTransform(2)
+        rho, t = tr.transform(points, points[0])
+        grid = PolarGrid(
+            center=points[0],
+            r_min=0.0,
+            r_max=float(rho.max()),
+            k=1,
+            transform=tr,
+        )
+        ring, cell = grid.assign(rho[1:], t[1:])
+        gid = grid.global_id(ring, cell)
+        order = np.lexsort((rho[1:], gid))
+        nodes = (np.arange(1, points.shape[0]))[order]
+        gids = gid[order]
+        groups = []
+        start = 0
+        for i in range(1, len(gids) + 1):
+            if i == len(gids) or gids[i] != gids[start]:
+                groups.append((int(gids[start]), nodes[start:i].tolist()))
+                start = i
+        parent = np.full(points.shape[0], -1, dtype=np.int64)
+        parent[0] = 0
+        wire_cells(
+            grid,
+            0,
+            groups,
+            rho.tolist(),
+            (t[:, 0].tolist(),),
+            parent,
+            binary=True,
+            points=points.tolist(),
+        )
+        return parent
+
+    def test_case_1_single_point_forwards(self):
+        """"There is only one point in the cell. Make it a cell
+        representative, and use it to connect..." — with one point the
+        rep attaches straight to the upstream forwarder (the source)."""
+        parent = self._wire([(0.9, 0.1)])
+        assert parent[1] == 0
+
+    def test_case_2_second_point_carries_links(self):
+        """"There are two points in the cell ... Connect the
+        representative directly to the other point." """
+        # Both points in the same outer cell (similar angles).
+        parent = self._wire([(0.8, 0.05), (0.95, 0.1)])
+        inner, outer = (1, 2)  # point 1 is closer to the centre
+        assert parent[inner] == 0  # rep hangs off the source
+        assert parent[outer] == inner  # rep -> other point
+
+    def test_case_3_rep_feeds_hub_and_forwarder(self):
+        """"The two special points are connected directly to the
+        representative point." (3+ points, with downstream cells)"""
+        # Five points in one ring-1 cell... but a k=1 grid has no next
+        # ring, so use k=2 geometry via the full builder instead: check
+        # that in a degree-2 build no node exceeds out-degree 2 and the
+        # representative of a populous inner cell has exactly 2 children.
+        result = build_polar_grid_tree(unit_disk(3_000, seed=6), 0, 2)
+        tree = result.tree
+        degrees = tree.out_degrees()
+        assert int(degrees.max()) <= 2
+        # Populous inner cells: their reps must use both links.
+        reps = result.representatives
+        rep_degrees = degrees[reps]
+        assert (rep_degrees == 2).sum() > len(reps) * 0.5
+
+
+class TestSectionVStatements:
+    def test_3d_full_construction_uses_degree_10(self):
+        """"the straightforward extension of our algorithm builds a tree
+        of out-degree 10" — attained, not just bounded."""
+        tree = build_polar_grid_tree(unit_ball(8_000, dim=3, seed=7), 0, 10).tree
+        assert tree.max_out_degree() == 10
+
+    def test_runtime_claim_points_inspected_once(self):
+        """"our algorithm inspects each point only once" during grid
+        assignment — O(n) observable as near-flat per-point cost."""
+        import time
+
+        costs = []
+        for n in (20_000, 80_000):
+            points = unit_disk(n, seed=8)
+            t0 = time.perf_counter()
+            build_polar_grid_tree(points, 0, 6)
+            costs.append((time.perf_counter() - t0) / n)
+        assert costs[1] < costs[0] * 3.0

@@ -1,0 +1,65 @@
+"""Tests for PCA projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.geometry.projection import pca_project, project_tree
+from repro.viz import tree_to_svg
+from repro.workloads.generators import unit_ball
+
+
+class TestPcaProject:
+    def test_planar_cloud_is_recovered(self, rng):
+        """Points on a tilted plane in R^3 project with ~100% variance."""
+        basis = np.linalg.qr(rng.normal(size=(3, 2)))[0]
+        coords2d = rng.normal(size=(200, 2))
+        points = coords2d @ basis.T + 5.0
+        projected, explained = pca_project(points, dim=2)
+        assert explained.sum() > 0.999
+        # Pairwise distances survive (projection onto the true plane).
+        from repro.geometry.points import pairwise_distances
+
+        assert np.allclose(
+            pairwise_distances(projected),
+            pairwise_distances(points),
+            atol=1e-9,
+        )
+
+    def test_explained_variance_ordering(self, rng):
+        points = rng.normal(size=(300, 4)) * np.array([5.0, 2.0, 1.0, 0.1])
+        _p, explained = pca_project(points, dim=3)
+        assert explained[0] > explained[1] > explained[2]
+
+    def test_output_centred(self, rng):
+        points = rng.normal(size=(50, 3)) + 100.0
+        projected, _ = pca_project(points)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_degenerate_cloud(self):
+        points = np.ones((10, 3))
+        projected, explained = pca_project(points)
+        assert np.allclose(projected, 0.0)
+        assert np.allclose(explained, 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="project"):
+            pca_project(rng.normal(size=(5, 2)), dim=3)
+        with pytest.raises(ValueError, match="positive"):
+            pca_project(rng.normal(size=(5, 2)), dim=0)
+
+
+class TestProjectTree:
+    def test_3d_tree_becomes_renderable(self):
+        tree = build_polar_grid_tree(unit_ball(200, dim=3, seed=1), 0, 10).tree
+        flat = project_tree(tree)
+        assert flat.dim == 2
+        assert flat.root == tree.root
+        svg = tree_to_svg(flat)
+        assert svg.count("<line") == tree.n - 1
+
+    def test_structure_preserved(self):
+        tree = build_polar_grid_tree(unit_ball(100, dim=4, seed=2), 0, 2).tree
+        flat = project_tree(tree)
+        assert np.array_equal(flat.parent, tree.parent)
+        flat.validate(max_out_degree=2)

@@ -1,0 +1,166 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *every* input, spanning multiple
+subsystems at once — the safety net under refactors. Per-module property
+tests live with their modules; these are the ones whose failure could
+implicate several of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import compact_tree
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.diameter import tree_diameter
+from repro.core.quadtree import build_quadtree_tree
+from repro.overlay.simulator import simulate_dissemination
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+def cloud(seed: int, n: int, dim: int = 2) -> np.ndarray:
+    if dim == 2:
+        return unit_disk(n, seed=seed)
+    return unit_ball(n, dim=dim, seed=seed)
+
+
+BUILDERS = {
+    "polar6": lambda pts: build_polar_grid_tree(pts, 0, 6).tree,
+    "polar2": lambda pts: build_polar_grid_tree(pts, 0, 2).tree,
+    "bisect4": lambda pts: build_bisection_tree(pts, 0, 4).tree,
+    "quad4": lambda pts: build_quadtree_tree(pts, 0, 4).tree,
+    "compact": lambda pts: compact_tree(pts, 0, 6),
+}
+
+
+@given(
+    st.sampled_from(sorted(BUILDERS)),
+    st.integers(0, 100_000),
+    st.integers(2, 250),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_builder_every_cloud_spans_validly(name, seed, n):
+    """Any builder, any cloud: a valid spanning tree with sane radius."""
+    points = cloud(seed, n)
+    tree = BUILDERS[name](points)
+    tree.validate()
+    assert tree.n == n
+    farthest = float(np.linalg.norm(points - points[0], axis=1).max())
+    assert tree.radius() >= farthest - 1e-9
+    # No builder may be worse than a full chain of worst-case hops.
+    assert tree.radius() <= 2.0 * n
+
+
+@given(st.integers(0, 100_000), st.integers(2, 200))
+@settings(max_examples=40, deadline=None)
+def test_simulator_matches_analysis_for_all_builders(seed, n):
+    """Event-driven replay equals analytic delays, whatever built it."""
+    points = cloud(seed, n)
+    for builder in BUILDERS.values():
+        tree = builder(points)
+        replay = simulate_dissemination(tree)
+        assert np.allclose(replay.receive_time, tree.root_delays())
+
+
+@given(st.integers(0, 100_000), st.integers(3, 200))
+@settings(max_examples=40, deadline=None)
+def test_radius_diameter_sandwich(seed, n):
+    """radius <= diameter <= 2 * radius for every rooted tree."""
+    points = cloud(seed, n)
+    tree = build_polar_grid_tree(points, 0, 6).tree
+    radius = tree.radius()
+    diameter = tree_diameter(tree)
+    assert radius - 1e-9 <= diameter <= 2 * radius + 1e-9
+
+
+@given(st.integers(0, 100_000), st.integers(2, 200), st.integers(2, 10))
+@settings(max_examples=40, deadline=None)
+def test_degree_budget_is_respected_exactly(seed, n, degree):
+    points = cloud(seed, n)
+    result = build_polar_grid_tree(points, 0, degree)
+    degrees = result.tree.out_degrees()
+    assert int(degrees.max()) <= degree
+    # The binary construction promises 2 even when offered 3..5.
+    if degree < 6:
+        assert int(degrees.max()) <= 2
+
+
+@given(st.integers(0, 100_000), st.integers(10, 200))
+@settings(max_examples=30, deadline=None)
+def test_eq7_bound_for_arbitrary_clouds(seed, n):
+    """Equation (7) holds for whatever k the build chose — not just the
+    uniform-disk regime the proof targets, since the bound derivation
+    only uses the grid geometry."""
+    points = cloud(seed, n)
+    for degree in (6, 2):
+        result = build_polar_grid_tree(points, 0, degree)
+        assert result.radius <= result.upper_bound + 1e-9
+
+
+@given(st.integers(0, 100_000), st.integers(3, 120))
+@settings(max_examples=30, deadline=None)
+def test_repair_of_random_failure_preserves_everything(seed, n):
+    from repro.overlay.repair import repair_after_failure
+
+    points = cloud(seed, n)
+    tree = build_polar_grid_tree(points, 0, 6).tree
+    rng = np.random.default_rng(seed)
+    victim = int(rng.integers(1, n))
+    new_tree, index_map = repair_after_failure(tree, victim, 6)
+    new_tree.validate(max_out_degree=6)
+    assert new_tree.n == n - 1
+    # Survivor coordinates are carried over exactly.
+    survivors = [i for i in range(n) if i != victim]
+    assert np.allclose(new_tree.points, points[survivors])
+    assert index_map[victim] == -1
+
+
+@given(st.integers(0, 100_000), st.integers(2, 150))
+@settings(max_examples=25, deadline=None)
+def test_serialization_roundtrip_any_tree(seed, n):
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.io import load_tree, save_tree
+
+    points = cloud(seed, n)
+    tree = build_polar_grid_tree(points, 0, 2).tree
+    with tempfile.TemporaryDirectory() as tmp:
+        loaded = load_tree(save_tree(tree, Path(tmp) / "t.npz"))
+    assert np.array_equal(loaded.parent, tree.parent)
+    assert loaded.radius() == pytest.approx(tree.radius())
+
+
+@given(st.integers(0, 100_000), st.integers(2, 150), st.integers(3, 4))
+@settings(max_examples=25, deadline=None)
+def test_higher_dimensions_share_all_invariants(seed, n, dim):
+    points = cloud(seed, n, dim=dim)
+    full_degree = (1 << dim) + 2
+    for degree in (full_degree, 2):
+        result = build_polar_grid_tree(points, 0, degree)
+        result.tree.validate(max_out_degree=degree)
+        replay = simulate_dissemination(result.tree)
+        assert np.allclose(replay.receive_time, result.tree.root_delays())
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_dynamic_overlay_equals_snapshot_semantics(seed):
+    """After any join/leave mix, the overlay's cached radius equals its
+    snapshot's, and the snapshot is valid."""
+    from repro.overlay.dynamic import DynamicOverlay
+
+    rng = np.random.default_rng(seed)
+    overlay = DynamicOverlay((0.0, 0.0), 4, rebuild_threshold=0.4)
+    alive = []
+    for step in range(60):
+        if not alive or rng.random() < 0.7:
+            name = f"n{step}"
+            overlay.join(name, rng.normal(size=2) * 0.4)
+            alive.append(name)
+        else:
+            overlay.leave(alive.pop(int(rng.integers(0, len(alive)))))
+    tree = overlay.tree()
+    tree.validate(max_out_degree=4)
+    assert overlay.radius() == pytest.approx(tree.radius())

@@ -1,0 +1,152 @@
+"""Tests for the decentralised join/leave protocol simulation."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.protocol import DistributedJoinProtocol
+
+
+def populate(proto: DistributedJoinProtocol, count: int, seed=0, scale=0.4):
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    for i in range(count):
+        outcomes.append(
+            proto.join(f"p{seed}-{i}", rng.normal(size=proto.dim) * scale)
+        )
+    return outcomes
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="vector"):
+            DistributedJoinProtocol(1.0)
+        with pytest.raises(ValueError, match="at least 2"):
+            DistributedJoinProtocol((0.0, 0.0), max_out_degree=1)
+
+    def test_initial_state(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        assert proto.n == 1
+        assert proto.radius() == 0.0
+        assert proto.mean_messages_per_join() == 0.0
+
+
+class TestJoin:
+    def test_first_join_attaches_to_source(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        outcome = proto.join("a", (0.5, 0.0))
+        assert outcome.parent == "__source__"
+        assert outcome.hops == 0
+        assert outcome.probes >= 1
+
+    def test_duplicate_rejected(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        proto.join("a", (0.5, 0.0))
+        with pytest.raises(ValueError, match="already"):
+            proto.join("a", (0.1, 0.1))
+
+    def test_dim_mismatch(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        with pytest.raises(ValueError, match="shape"):
+            proto.join("a", (1.0, 2.0, 3.0))
+
+    def test_degree_respected(self):
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=2)
+        populate(proto, 200, seed=1)
+        proto.tree().validate(max_out_degree=2)
+
+    def test_probe_counts_are_local(self):
+        """A join probes O(depth x fan-out) members, far fewer than n."""
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=4)
+        populate(proto, 500, seed=2)
+        rng = np.random.default_rng(3)
+        outcome = proto.join("probe", rng.normal(size=2) * 0.4)
+        assert outcome.probes < 120  # depth*5 at most, n=501 for contrast
+
+    def test_delays_consistent_with_tree(self):
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=3)
+        populate(proto, 120, seed=4)
+        assert proto.radius() == pytest.approx(proto.tree().radius())
+
+    def test_message_accounting(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        outcomes = populate(proto, 50, seed=5)
+        assert proto.total_messages == sum(o.probes for o in outcomes)
+        assert proto.join_count == 50
+        assert proto.mean_messages_per_join() == pytest.approx(
+            proto.total_messages / 50
+        )
+
+
+class TestLeave:
+    def test_leaf_leave(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        populate(proto, 30, seed=6)
+        before = proto.n
+        proto.leave("p6-29")
+        assert proto.n == before - 1
+        proto.tree().validate(max_out_degree=6)
+
+    def test_relay_leave_recovers_orphans(self):
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=3)
+        populate(proto, 100, seed=7)
+        tree = proto.tree()
+        degrees = tree.out_degrees()
+        relay = int(np.flatnonzero(degrees[1:] > 1)[0]) + 1
+        name = proto._names[relay]
+        messages = proto.leave(name)
+        assert messages > 0
+        proto.tree().validate(max_out_degree=3)
+        assert proto.n == 100  # 101 members minus the relay
+
+    def test_source_protected(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        with pytest.raises(ValueError, match="source"):
+            proto.leave("__source__")
+
+    def test_unknown_member(self):
+        proto = DistributedJoinProtocol((0.0, 0.0))
+        with pytest.raises(ValueError, match="unknown"):
+            proto.leave("ghost")
+
+    def test_delays_refreshed_after_leave(self):
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=3)
+        populate(proto, 80, seed=8)
+        tree = proto.tree()
+        relay = int(np.flatnonzero(tree.out_degrees()[1:] > 1)[0]) + 1
+        proto.leave(proto._names[relay])
+        assert proto.radius() == pytest.approx(proto.tree().radius())
+
+    def test_churn_soak(self):
+        rng = np.random.default_rng(9)
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=3)
+        alive = []
+        counter = 0
+        for _ in range(400):
+            if not alive or rng.random() < 0.65:
+                name = f"s{counter}"
+                counter += 1
+                proto.join(name, rng.normal(size=2) * 0.4)
+                alive.append(name)
+            else:
+                proto.leave(alive.pop(int(rng.integers(0, len(alive)))))
+        proto.tree().validate(max_out_degree=3)
+        assert proto.n == len(alive) + 1
+
+
+class TestQuality:
+    def test_decentralised_close_to_centralised(self):
+        """The protocol's tree should be within a modest factor of the
+        global-knowledge greedy on the same join sequence."""
+        from repro.overlay.dynamic import DynamicOverlay
+
+        rng = np.random.default_rng(10)
+        coords = [rng.normal(size=2) * 0.4 for _ in range(400)]
+
+        proto = DistributedJoinProtocol((0.0, 0.0), max_out_degree=4)
+        central = DynamicOverlay(
+            (0.0, 0.0), max_out_degree=4, rebuild_threshold=None
+        )
+        for i, c in enumerate(coords):
+            proto.join(f"m{i}", c)
+            central.join(f"m{i}", c)
+        assert proto.radius() <= 2.0 * central.radius()

@@ -1,0 +1,138 @@
+"""Tests for post-failure tree repair."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.overlay.repair import repair_after_failure
+from repro.workloads.generators import unit_disk
+
+
+def build(n=300, degree=6, seed=30):
+    points = unit_disk(n, seed=seed)
+    return build_polar_grid_tree(points, 0, degree).tree
+
+
+class TestRepair:
+    def test_leaf_failure_is_trivial(self):
+        tree = build()
+        leaf = int(np.flatnonzero(tree.out_degrees() == 0)[0])
+        new_tree, index_map = repair_after_failure(tree, leaf, 6)
+        new_tree.validate(max_out_degree=6)
+        assert new_tree.n == tree.n - 1
+        assert index_map[leaf] == -1
+
+    def test_relay_failure_reattaches_orphans(self):
+        tree = build()
+        degrees = tree.out_degrees()
+        relay = int(np.flatnonzero((degrees > 1) & (np.arange(tree.n) != 0))[0])
+        new_tree, index_map = repair_after_failure(tree, relay, 6)
+        new_tree.validate(max_out_degree=6)
+        assert new_tree.n == tree.n - 1
+        # All survivors present exactly once.
+        survivors = np.flatnonzero(np.arange(tree.n) != relay)
+        assert np.array_equal(np.sort(index_map[survivors]), np.arange(tree.n - 1))
+
+    def test_degree2_budget_respected_after_repair(self):
+        tree = build(degree=2, seed=31)
+        degrees = tree.out_degrees()
+        relay = int(np.flatnonzero((degrees == 2) & (np.arange(tree.n) != 0))[0])
+        new_tree, _ = repair_after_failure(tree, relay, 2)
+        new_tree.validate(max_out_degree=2)
+
+    def test_root_failure_rejected(self):
+        tree = build()
+        with pytest.raises(ValueError, match="source"):
+            repair_after_failure(tree, tree.root, 6)
+
+    def test_out_of_range_rejected(self):
+        tree = build()
+        with pytest.raises(ValueError, match="range"):
+            repair_after_failure(tree, tree.n + 5, 6)
+
+    def test_radius_does_not_explode(self):
+        tree = build(seed=32)
+        degrees = tree.out_degrees()
+        relay = int(np.flatnonzero((degrees > 2) & (np.arange(tree.n) != 0))[0])
+        new_tree, _ = repair_after_failure(tree, relay, 6)
+        assert new_tree.radius() <= tree.radius() * 2.0
+
+    def test_no_spare_capacity_raises(self):
+        # A 3-node chain with degree 1: killing the middle node leaves
+        # the root saturated? No — the root's slot frees (its child
+        # died), so repair succeeds. Force failure with degree budgets
+        # that are already violated-by-construction instead:
+        points = np.zeros((4, 2))
+        points[:, 0] = [0, 1, 2, 3]
+        parent = np.array([0, 0, 1, 1])  # root->1, 1->{2,3}
+        tree = MulticastTree(points, parent, 0)
+        # Budgets: root 1, everyone else 0. Node 1 dies; orphans 2 and 3
+        # need homes but only the root has a (single) freed slot.
+        budgets = np.array([1, 2, 0, 0])
+        with pytest.raises(ValueError, match="spare fan-out"):
+            repair_after_failure(tree, 1, budgets)
+
+    def test_two_sequential_failures(self):
+        tree = build(seed=33)
+        relay = int(
+            np.flatnonzero((tree.out_degrees() > 0) & (np.arange(tree.n) != 0))[0]
+        )
+        tree2, _ = repair_after_failure(tree, relay, 6)
+        relay2 = int(
+            np.flatnonzero(
+                (tree2.out_degrees() > 0) & (np.arange(tree2.n) != tree2.root)
+            )[0]
+        )
+        tree3, _ = repair_after_failure(tree2, relay2, 6)
+        tree3.validate(max_out_degree=6)
+        assert tree3.n == tree.n - 2
+
+    def test_mutual_adoption_cycle_regression(self):
+        """Two orphan subtrees must not adopt into each other.
+
+        Regression: orphans A and B of the same failed node each found
+        their cheapest attachment point inside the *other's* (still
+        detached) subtree, producing a cycle. Geometry below makes the
+        cross-subtree nodes the cheapest candidates by far while the
+        root is saturated.
+        """
+        #       r ── f ── A ── a2        (a2 placed right next to B)
+        #        \       └ B ── b2       (b2 placed right next to A)
+        #         c
+        points = np.array(
+            [
+                [0.0, 0.0],  # 0 root
+                [1.0, 0.0],  # 1 f (fails)
+                [1.0, 0.1],  # 2 A
+                [1.0, -0.1],  # 3 B
+                [1.0, -0.12],  # 4 a2 (child of A, hugging B)
+                [1.0, 0.12],  # 5 b2 (child of B, hugging A)
+                [0.0, 1.0],  # 6 c (root's other child, far away)
+            ]
+        )
+        parent = np.array([0, 0, 1, 1, 2, 3, 0])
+        tree = MulticastTree(points, parent, 0)
+        budgets = np.array([2, 2, 2, 2, 2, 2, 2])
+        budgets[0] = 2  # root: children f and c -> saturated after -1+...
+        # After f fails the root frees one slot; saturate it out so the
+        # cheap candidates really are the cross-subtree nodes:
+        budgets[0] = 1
+        new_tree, _ = repair_after_failure(tree, 1, budgets)
+        new_tree.validate()  # pre-fix: TreeInvariantError (cycle)
+
+    def test_orphan_subtree_stays_intact(self):
+        """Only the orphan's uplink changes; its internal edges survive."""
+        tree = build(seed=34)
+        degrees = tree.out_degrees()
+        relay = int(np.flatnonzero((degrees > 1) & (np.arange(tree.n) != 0))[0])
+        orphans = np.flatnonzero(tree.parent == relay)
+        orphan = int(orphans[0])
+        subtree_before = set(tree.subtree_nodes(orphan).tolist())
+
+        new_tree, index_map = repair_after_failure(tree, relay, 6)
+        mapped = {int(index_map[x]) for x in subtree_before}
+        subtree_after = set(
+            new_tree.subtree_nodes(int(index_map[orphan])).tolist()
+        )
+        assert mapped == subtree_after

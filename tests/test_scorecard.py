@@ -1,0 +1,72 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import (
+    CellScore,
+    Scorecard,
+    run_scorecard,
+)
+
+
+def make_cell(passed=True, measured_delay=1.0, paper_delay=1.0):
+    return CellScore(
+        n=100,
+        degree=6,
+        measured_delay=measured_delay,
+        paper_delay=paper_delay,
+        measured_core=0.9,
+        paper_core=0.9,
+        measured_rings=4.0,
+        paper_rings=3.61,
+        paper_dev=0.2,
+        passed=passed,
+    )
+
+
+class TestScorecardPlumbing:
+    def test_passed_aggregation(self):
+        card = Scorecard(cells=[make_cell(True), make_cell(True)])
+        assert card.passed
+        card.cells.append(make_cell(False))
+        assert not card.passed
+
+    def test_errors(self):
+        cell = make_cell(measured_delay=1.1, paper_delay=1.0)
+        assert cell.delay_error() == pytest.approx(0.1)
+
+    def test_render_verdicts(self):
+        good = Scorecard(cells=[make_cell(True)])
+        assert "REPRODUCED" in good.render()
+        bad = Scorecard(cells=[make_cell(False)])
+        assert "NOT REPRODUCED" in bad.render()
+        assert "FAIL" in bad.render()
+
+    def test_worst_delay_error(self):
+        card = Scorecard(
+            cells=[
+                make_cell(measured_delay=1.02, paper_delay=1.0),
+                make_cell(measured_delay=1.08, paper_delay=1.0),
+            ]
+        )
+        assert card.worst_delay_error() == pytest.approx(0.08)
+
+
+class TestRunScorecard:
+    def test_small_cells_reproduce(self):
+        card = run_scorecard(sizes=(100, 1_000), trials=8, seed=0)
+        assert len(card.cells) == 4
+        assert card.passed, card.render()
+        assert card.worst_delay_error() < 0.15
+
+    def test_unpublished_size_raises(self):
+        with pytest.raises(KeyError):
+            run_scorecard(sizes=(123,), trials=1)
+
+    def test_cli_scorecard(self, capsys):
+        from repro.cli import main
+
+        rc = main(["scorecard", "--sizes", "100", "--trials", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "REPRODUCED" in out

@@ -1,0 +1,51 @@
+"""Tests for the grid-depth sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import DepthSweep, sweep_grid_depth
+
+
+class TestDepthSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_grid_depth(n=2_000, span=2, trials=3, seed=0)
+
+    def test_depth_window_around_auto(self, sweep):
+        assert sweep.auto_k - 2 <= min(sweep.depths)
+        assert max(sweep.depths) == sweep.auto_k + 2
+
+    def test_deeper_than_feasible_is_flagged(self, sweep):
+        """Depths above the automatic k violate occupancy (that is what
+        makes the automatic k maximal)."""
+        for k in sweep.depths:
+            if k > sweep.auto_k:
+                assert k in sweep.infeasible
+
+    def test_delay_improves_toward_auto_k(self, sweep):
+        """Among feasible depths, delay decreases monotonically with k —
+        the reason the heuristic takes the largest feasible depth."""
+        feasible = [
+            (k, d) for k, d in zip(sweep.depths, sweep.delays) if d is not None
+        ]
+        delays = [d for _k, d in feasible]
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+    def test_auto_choice_has_zero_regret(self, sweep):
+        assert sweep.best_depth() == sweep.auto_k
+        assert sweep.auto_choice_regret() == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="span"):
+            sweep_grid_depth(n=100, span=0)
+
+    def test_regret_helper_with_synthetic_data(self):
+        sweep = DepthSweep(
+            n=10,
+            max_out_degree=6,
+            auto_k=4,
+            depths=(3, 4, 5),
+            delays=(1.2, 1.1, 1.05),
+            infeasible=(),
+        )
+        assert sweep.best_depth() == 5
+        assert sweep.auto_choice_regret() == pytest.approx(1.1 / 1.05 - 1.0)

@@ -1,0 +1,168 @@
+"""Tests for MulticastSession (the user-facing overlay orchestration)."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.host import Host
+from repro.overlay.session import ALGORITHMS, MulticastSession
+from repro.workloads.generators import unit_disk
+
+
+def make_hosts(n=60, fanout=6, seed=40, dim=2):
+    points = unit_disk(n, seed=seed) if dim == 2 else None
+    return [
+        Host(
+            name=f"h{i}" if i else "src",
+            coords=tuple(points[i]),
+            max_fanout=fanout,
+        )
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_source_by_name(self):
+        session = MulticastSession(make_hosts(), source="src")
+        assert session.source_index == 0
+
+    def test_source_by_index(self):
+        session = MulticastSession(make_hosts(), source=3)
+        assert session.source.name == "h3"
+
+    def test_unknown_source_name(self):
+        with pytest.raises(ValueError, match="unknown source"):
+            MulticastSession(make_hosts(), source="nope")
+
+    def test_duplicate_names_rejected(self):
+        hosts = make_hosts(5)
+        hosts[2] = Host(name="src", coords=(0.1, 0.1))
+        with pytest.raises(ValueError, match="unique"):
+            MulticastSession(hosts)
+
+    def test_mixed_dims_rejected(self):
+        hosts = make_hosts(3)
+        hosts[1] = Host(name="weird", coords=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="coordinate space"):
+            MulticastSession(hosts)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            MulticastSession(make_hosts(3), algorithm="magic")
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            MulticastSession([])
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestAllAlgorithms:
+    def test_builds_valid_tree(self, algorithm):
+        session = MulticastSession(make_hosts(80), algorithm=algorithm)
+        tree = session.build(seed=1)
+        tree.validate(max_out_degree=6)
+        assert tree.n == 80
+
+    def test_metrics_radius_matches_tree(self, algorithm):
+        session = MulticastSession(make_hosts(50), algorithm=algorithm)
+        session.build(seed=1)
+        assert session.metrics().radius == pytest.approx(session.tree.radius())
+
+
+class TestSessionBehaviour:
+    def test_requires_build_before_metrics(self):
+        session = MulticastSession(make_hosts(5))
+        with pytest.raises(RuntimeError, match="build"):
+            session.metrics()
+
+    def test_parent_of(self):
+        session = MulticastSession(make_hosts(30))
+        session.build()
+        assert session.parent_of("src") is None
+        parent = session.parent_of("h7")
+        assert parent in {h.name for h in session.hosts}
+
+    def test_low_fanout_falls_back_to_heterogeneous(self):
+        """polar-grid with leaf-only hosts routes through the mixed-
+        budget backbone builder and still honours every budget."""
+        hosts = make_hosts(30)
+        hosts[4] = Host(name="h4", coords=hosts[4].coords, max_fanout=1)
+        hosts[9] = Host(name="h9", coords=hosts[9].coords, max_fanout=0)
+        session = MulticastSession(hosts, algorithm="polar-grid")
+        tree = session.build()
+        degrees = tree.out_degrees()
+        assert degrees[4] <= 1
+        assert degrees[9] == 0
+        assert np.all(degrees <= session.fanout_budgets())
+
+    def test_low_fanout_blocks_bisection(self):
+        hosts = make_hosts(10)
+        hosts[4] = Host(name="h4", coords=hosts[4].coords, max_fanout=1)
+        session = MulticastSession(hosts, algorithm="bisection")
+        with pytest.raises(ValueError, match="fan-out >= 2"):
+            session.build()
+
+    def test_heterogeneous_budgets_with_compact_tree(self):
+        points = unit_disk(40, seed=41)
+        hosts = [
+            Host(
+                name=f"h{i}" if i else "src",
+                coords=tuple(points[i]),
+                max_fanout=(0 if i % 3 == 0 and i else 4),
+            )
+            for i in range(40)
+        ]
+        session = MulticastSession(hosts, algorithm="compact-tree")
+        tree = session.build()
+        degrees = tree.out_degrees()
+        budgets = session.fanout_budgets()
+        assert np.all(degrees <= budgets)
+
+    def test_simulate_uses_processing_delays(self):
+        points = unit_disk(30, seed=42)
+        hosts = [
+            Host(
+                name=f"h{i}" if i else "src",
+                coords=tuple(points[i]),
+                max_fanout=6,
+                processing_delay=0.1,
+            )
+            for i in range(30)
+        ]
+        session = MulticastSession(hosts)
+        session.build()
+        replay = session.simulate()
+        # Every non-direct receiver pays at least one processing hop.
+        assert replay.completion_time > session.tree.radius()
+
+    def test_departure_updates_everything(self):
+        session = MulticastSession(make_hosts(40))
+        session.build()
+        victim = "h11"
+        n_before = session.n
+        session.handle_departure(victim)
+        assert session.n == n_before - 1
+        assert victim not in {h.name for h in session.hosts}
+        session.tree.validate(max_out_degree=6)
+        # Metrics and simulation still work post-repair.
+        session.metrics()
+        session.simulate()
+
+    def test_departure_of_unknown_host(self):
+        session = MulticastSession(make_hosts(5))
+        session.build()
+        with pytest.raises(ValueError, match="unknown host"):
+            session.handle_departure("ghost")
+
+    def test_source_departure_rejected(self):
+        session = MulticastSession(make_hosts(5))
+        session.build()
+        with pytest.raises(ValueError, match="source"):
+            session.handle_departure("src")
+
+    def test_rebuild_after_departure(self):
+        session = MulticastSession(make_hosts(40))
+        session.build()
+        session.handle_departure("h5")
+        tree = session.build()  # full rebuild on the survivors
+        tree.validate(max_out_degree=6)
+        assert tree.n == 39

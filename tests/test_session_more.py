@@ -1,0 +1,116 @@
+"""Additional MulticastSession coverage: per-algorithm behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.host import Host
+from repro.overlay.session import MulticastSession
+from repro.workloads.generators import unit_disk
+
+
+def make_hosts(n=60, fanout=6, seed=90, proc=0.0):
+    points = unit_disk(n, seed=seed)
+    return [
+        Host(
+            name=f"h{i}" if i else "src",
+            coords=tuple(points[i]),
+            max_fanout=fanout,
+            processing_delay=proc,
+        )
+        for i in range(n)
+    ]
+
+
+class TestBuildKwargs:
+    def test_polar_grid_kwargs_forwarded(self):
+        session = MulticastSession(make_hosts(), algorithm="polar-grid")
+        session.build(k=3)
+        assert session.last_build.rings == 3
+
+    def test_last_build_exposed_for_grid(self):
+        session = MulticastSession(make_hosts(), algorithm="polar-grid")
+        session.build()
+        assert session.last_build is not None
+        assert session.last_build.upper_bound > session.metrics().radius
+
+    def test_last_build_none_for_baselines(self):
+        session = MulticastSession(make_hosts(), algorithm="compact-tree")
+        session.build()
+        assert session.last_build is None
+
+    def test_rebuild_replaces_tree(self):
+        session = MulticastSession(make_hosts(), algorithm="random")
+        a = session.build(seed=1).parent.copy()
+        b = session.build(seed=2).parent.copy()
+        assert not np.array_equal(a, b)
+
+
+class TestParentsAndPoints:
+    def test_parent_of_is_consistent_with_tree(self):
+        session = MulticastSession(make_hosts(40))
+        session.build()
+        tree = session.tree
+        for i, host in enumerate(session.hosts):
+            expected = (
+                None
+                if i == tree.root
+                else session.hosts[int(tree.parent[i])].name
+            )
+            assert session.parent_of(host.name) == expected
+
+    def test_points_matrix_matches_hosts(self):
+        session = MulticastSession(make_hosts(10))
+        pts = session.points()
+        for i, host in enumerate(session.hosts):
+            assert tuple(pts[i]) == host.coords
+
+    def test_index_of_unknown(self):
+        session = MulticastSession(make_hosts(5))
+        with pytest.raises(ValueError, match="unknown host"):
+            session.index_of("nope")
+
+
+class TestSimulationDetails:
+    def test_serialization_delay_propagates(self):
+        session = MulticastSession(make_hosts(50))
+        session.build()
+        fast = session.simulate(serialization_delay=0.0)
+        slow = session.simulate(serialization_delay=0.01)
+        assert slow.completion_time > fast.completion_time
+
+    def test_processing_delays_per_host(self):
+        hosts = make_hosts(30, proc=0.05)
+        session = MulticastSession(hosts)
+        session.build()
+        replay = session.simulate()
+        # Any receiver two hops deep pays at least one processing stop.
+        depths = session.tree.depths()
+        deep = np.flatnonzero(depths >= 2)
+        delays = session.tree.root_delays()
+        for node in deep[:10]:
+            assert replay.receive_time[node] > delays[node]
+
+    def test_heterogeneous_polar_grid_metrics(self):
+        points = unit_disk(50, seed=91)
+        hosts = [
+            Host(
+                name=f"h{i}" if i else "src",
+                coords=tuple(points[i]),
+                max_fanout=(0 if (i % 4 == 1) else 4),
+            )
+            for i in range(50)
+        ]
+        session = MulticastSession(hosts, algorithm="polar-grid")
+        session.build()
+        metrics = session.metrics()
+        assert metrics.radius > 0
+        # last_build carries the backbone's grid info.
+        assert session.last_build.rings >= 1
+
+    def test_departures_until_tiny(self):
+        session = MulticastSession(make_hosts(12, fanout=4))
+        session.build()
+        for name in [f"h{i}" for i in range(1, 10)]:
+            session.handle_departure(name)
+        assert session.n == 3
+        session.tree.validate(max_out_degree=4)

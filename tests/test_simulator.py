@@ -1,0 +1,81 @@
+"""Tests for the event-driven dissemination simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.overlay.simulator import simulate_dissemination
+from repro.workloads.generators import unit_disk
+
+
+def chain_tree(n: int) -> MulticastTree:
+    points = np.stack([np.arange(n, dtype=float), np.zeros(n)], axis=1)
+    parent = np.arange(-1, n - 1)
+    parent[0] = 0
+    return MulticastTree(points=points, parent=parent, root=0)
+
+
+class TestPureDistanceModel:
+    def test_matches_analytic_delays(self):
+        """With zero overheads the simulator IS the root-delay oracle."""
+        points = unit_disk(800, seed=20)
+        tree = build_polar_grid_tree(points, 0, 6).tree
+        result = simulate_dissemination(tree)
+        assert np.allclose(result.receive_time, tree.root_delays())
+        assert result.completion_time == pytest.approx(tree.radius())
+
+    def test_chain(self):
+        result = simulate_dissemination(chain_tree(5))
+        assert np.allclose(result.receive_time, [0, 1, 2, 3, 4])
+
+    def test_event_count(self):
+        result = simulate_dissemination(chain_tree(5))
+        assert result.events == 5
+
+    def test_delivery_order_is_time_sorted(self):
+        points = unit_disk(100, seed=21)
+        tree = build_polar_grid_tree(points, 0, 6).tree
+        result = simulate_dissemination(tree)
+        times = result.receive_time[result.order]
+        assert np.all(np.diff(times) >= -1e-12)
+
+
+class TestOverheads:
+    def test_scalar_processing_delay(self):
+        result = simulate_dissemination(chain_tree(4), processing_delay=0.5)
+        # Each relay adds 0.5 before forwarding; node i has i hops, but
+        # the last hop's receiver does not process.
+        assert np.allclose(result.receive_time, [0, 1.5, 3.0, 4.5])
+
+    def test_per_node_processing_delay(self):
+        proc = np.array([1.0, 0.0, 0.0, 0.0])
+        result = simulate_dissemination(chain_tree(4), processing_delay=proc)
+        assert np.allclose(result.receive_time, [0, 2.0, 3.0, 4.0])
+
+    def test_serialization_delay_staggers_children(self):
+        # A 3-leaf star: children at distance 1 each.
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        tree = MulticastTree(points, np.zeros(4, dtype=np.int64), 0)
+        result = simulate_dissemination(tree, serialization_delay=0.25)
+        arrivals = np.sort(result.receive_time[1:])
+        assert np.allclose(arrivals, [1.0, 1.25, 1.5])
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ValueError, match="negative"):
+            simulate_dissemination(chain_tree(3), processing_delay=-1.0)
+        with pytest.raises(ValueError, match="negative"):
+            simulate_dissemination(chain_tree(3), serialization_delay=-1.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            simulate_dissemination(chain_tree(3), processing_delay=np.zeros(5))
+
+    def test_overheads_never_reduce_delay(self):
+        points = unit_disk(200, seed=22)
+        tree = build_polar_grid_tree(points, 0, 2).tree
+        base = simulate_dissemination(tree)
+        loaded = simulate_dissemination(
+            tree, processing_delay=0.01, serialization_delay=0.01
+        )
+        assert np.all(loaded.receive_time >= base.receive_time - 1e-12)

@@ -1,0 +1,146 @@
+"""Tests for the continuous-stream simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.overlay.stream_sim import FailureEvent, StreamReport, simulate_stream
+from repro.workloads.generators import unit_disk
+
+
+@pytest.fixture
+def tree():
+    return build_polar_grid_tree(unit_disk(300, seed=1), 0, 6).tree
+
+
+class TestHappyPath:
+    def test_no_failures_no_loss(self, tree):
+        report = simulate_stream(tree, 6, packets=50)
+        receivers = np.flatnonzero(np.arange(tree.n) != tree.root)
+        assert np.all(report.delivered[receivers] == 50)
+        assert report.total_lost == 0
+        assert report.loss_fraction() == 0.0
+        assert report.failures_applied == 0
+        assert report.worst_interruption == 0.0
+
+    def test_source_delivers_nothing_to_itself(self, tree):
+        report = simulate_stream(tree, 6, packets=10)
+        assert report.delivered[tree.root] == 0
+
+    def test_validation(self, tree):
+        with pytest.raises(ValueError, match="one packet"):
+            simulate_stream(tree, 6, packets=0)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_stream(tree, 6, packet_interval=0.0)
+        with pytest.raises(ValueError, match="source"):
+            simulate_stream(
+                tree, 6, failures=[FailureEvent(node=tree.root, time=0.1)]
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_stream(
+                tree, 6, failures=[FailureEvent(node=tree.n + 1, time=0.1)]
+            )
+
+
+class TestFailures:
+    def test_leaf_failure_hurts_nobody_else(self, tree):
+        leaf = int(np.flatnonzero(tree.out_degrees() == 0)[0])
+        report = simulate_stream(
+            tree,
+            6,
+            packets=50,
+            packet_interval=0.02,
+            failures=[FailureEvent(node=leaf, time=0.5)],
+        )
+        assert report.failures_applied == 1
+        assert report.lost[leaf] == -1  # sentinel: it left
+        survivors = np.flatnonzero(report.lost >= 0)
+        assert np.all(report.lost[survivors] == 0)
+
+    def test_relay_failure_causes_bounded_loss(self, tree):
+        degrees = tree.out_degrees()
+        degrees[tree.root] = 0
+        relay = int(np.argmax(degrees))
+        subtree = set(tree.subtree_nodes(relay).tolist()) - {relay}
+        report = simulate_stream(
+            tree,
+            6,
+            packets=100,
+            packet_interval=0.02,
+            failures=[FailureEvent(node=relay, time=0.985)],
+            recovery_latency=0.1,
+        )
+        # Outage window [0.985, 1.085): packets 50..54 (5 packets).
+        for node in list(subtree)[:20]:
+            assert report.lost[node] == 5, node
+        # Nodes outside the subtree lose nothing.
+        outside = (
+            set(range(tree.n)) - subtree - {relay, tree.root}
+        )
+        for node in list(outside)[:20]:
+            assert report.lost[node] == 0
+
+    def test_final_tree_valid_after_failures(self, tree):
+        rng = np.random.default_rng(2)
+        victims = rng.choice(
+            np.arange(1, tree.n), size=5, replace=False
+        )
+        failures = [
+            FailureEvent(node=int(v), time=0.1 * (i + 1))
+            for i, v in enumerate(victims)
+        ]
+        report = simulate_stream(
+            tree, 6, packets=100, packet_interval=0.02, failures=failures
+        )
+        assert report.failures_applied == 5
+        report.final_tree.validate(max_out_degree=6)
+        assert report.final_tree.n == tree.n - 5
+
+    def test_duplicate_failure_ignored(self, tree):
+        leaf = int(np.flatnonzero(tree.out_degrees() == 0)[0])
+        report = simulate_stream(
+            tree,
+            6,
+            packets=30,
+            failures=[
+                FailureEvent(node=leaf, time=0.1),
+                FailureEvent(node=leaf, time=0.2),
+            ],
+        )
+        assert report.failures_applied == 1
+
+    def test_recovery_latency_scales_loss(self, tree):
+        degrees = tree.out_degrees()
+        degrees[tree.root] = 0
+        relay = int(np.argmax(degrees))
+        short = simulate_stream(
+            tree,
+            6,
+            packets=200,
+            packet_interval=0.01,
+            failures=[FailureEvent(node=relay, time=0.995)],
+            recovery_latency=0.05,
+        )
+        long = simulate_stream(
+            tree,
+            6,
+            packets=200,
+            packet_interval=0.01,
+            failures=[FailureEvent(node=relay, time=0.995)],
+            recovery_latency=0.5,
+        )
+        assert long.total_lost > short.total_lost
+        assert long.worst_interruption == pytest.approx(0.5)
+
+    def test_loss_fraction_bounds(self, tree):
+        degrees = tree.out_degrees()
+        degrees[tree.root] = 0
+        relay = int(np.argmax(degrees))
+        report = simulate_stream(
+            tree,
+            6,
+            packets=100,
+            packet_interval=0.02,
+            failures=[FailureEvent(node=relay, time=1.0)],
+        )
+        assert 0.0 < report.loss_fraction() < 0.5

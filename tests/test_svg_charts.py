@@ -1,0 +1,120 @@
+"""Tests for SVG figure rendering."""
+
+import re
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.svg_charts import (
+    _nice_ticks,
+    figure_to_svg,
+    save_figure_svg,
+)
+
+
+def sample_figure(log_x=True, with_none=False):
+    series = {
+        "alpha": [3.0, 2.0, 1.5, 1.2],
+        "beta": [5.0, None if with_none else 3.5, 2.0, 1.5],
+    }
+    return FigureData(
+        name="Figure T",
+        title="test chart",
+        xs=[100, 1_000, 10_000, 100_000],
+        series=series,
+        y_label="delay",
+        log_x=log_x,
+    )
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(1.05, 3.1)
+        assert ticks[0] <= 1.05
+        assert ticks[-1] >= 3.1
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(2.0, 2.0)
+        assert len(ticks) >= 2
+
+
+class TestFigureToSvg:
+    def test_well_formed(self):
+        svg = figure_to_svg(sample_figure())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Figure T" in svg
+        assert "alpha" in svg and "beta" in svg
+        assert "delay" in svg
+
+    def test_marker_counts(self):
+        svg = figure_to_svg(sample_figure())
+        # 2 series x 4 points.
+        assert svg.count("<circle") == 8
+
+    def test_none_breaks_the_line(self):
+        continuous = figure_to_svg(sample_figure())
+        broken = figure_to_svg(sample_figure(with_none=True))
+        # A broken series needs an extra path segment and loses a marker.
+        assert broken.count("<circle") == 7
+        assert broken.count("<path") > continuous.count("<path") - 1
+
+    def test_log_decade_labels(self):
+        svg = figure_to_svg(sample_figure(log_x=True))
+        assert "1e2" in svg and "1e5" in svg
+
+    def test_linear_axis_labels_points(self):
+        fig = sample_figure(log_x=False)
+        svg = figure_to_svg(fig)
+        assert "100000" in svg
+
+    def test_coordinates_inside_canvas(self):
+        svg = figure_to_svg(sample_figure(), width=500, height=300)
+        coords = [
+            float(v) for v in re.findall(r'c[xy]="([-\d.]+)"', svg)
+        ]
+        assert min(coords) >= 0
+        assert max(coords) <= 500
+
+    def test_empty_figure_rejected(self):
+        fig = FigureData(name="x", title="y", xs=[], series={})
+        with pytest.raises(ValueError, match="no data"):
+            figure_to_svg(fig)
+
+    def test_log_requires_positive(self):
+        fig = FigureData(
+            name="x", title="y", xs=[0, 10], series={"s": [1.0, 2.0]}
+        )
+        with pytest.raises(ValueError, match="positive"):
+            figure_to_svg(fig)
+
+
+class TestSaveAndCli:
+    def test_save(self, tmp_path):
+        path = save_figure_svg(sample_figure(), tmp_path / "fig.svg")
+        assert path.read_text().startswith("<svg")
+
+    def test_cli_fig_svg_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "fig6.svg"
+        rc = main(
+            [
+                "fig6",
+                "--sizes",
+                "100",
+                "500",
+                "--trials",
+                "1",
+                "--svg",
+                str(target),
+            ]
+        )
+        assert rc == 0
+        assert target.exists()
+        assert "rings" in target.read_text()

@@ -1,0 +1,206 @@
+"""Unit + property tests for MulticastTree (pointer-doubling delays etc.)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import MulticastTree, TreeInvariantError
+
+
+def chain_tree(n: int) -> MulticastTree:
+    """0 -> 1 -> 2 -> ... along the x axis."""
+    points = np.stack([np.arange(n, dtype=float), np.zeros(n)], axis=1)
+    parent = np.arange(-1, n - 1)
+    parent[0] = 0
+    return MulticastTree(points=points, parent=parent, root=0)
+
+
+def star_tree(n: int) -> MulticastTree:
+    points = np.zeros((n, 2))
+    points[1:, 0] = np.arange(1, n)
+    parent = np.zeros(n, dtype=np.int64)
+    return MulticastTree(points=points, parent=parent, root=0)
+
+
+@st.composite
+def random_tree(draw):
+    """A random valid tree: node i attaches to a random j < i."""
+    n = draw(st.integers(2, 60))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 2))
+    parent = np.zeros(n, dtype=np.int64)
+    for i in range(1, n):
+        parent[i] = rng.integers(0, i)
+    return MulticastTree(points=points, parent=parent, root=0)
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="parent array"):
+            MulticastTree(np.zeros((3, 2)), np.zeros(2, dtype=np.int64), 0)
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError, match="root"):
+            MulticastTree(np.zeros((2, 2)), np.array([0, 0]), 5)
+
+    def test_from_edges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        tree = MulticastTree.from_edges(pts, [(0, 1), (1, 2)], root=0)
+        assert tree.parent.tolist() == [0, 0, 1]
+
+    def test_from_edges_double_parent(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(TreeInvariantError, match="two parents"):
+            MulticastTree.from_edges(pts, [(0, 1), (2, 1)], root=0)
+
+    def test_from_edges_missing_parent(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(TreeInvariantError, match="no parent"):
+            MulticastTree.from_edges(pts, [(0, 1)], root=0)
+
+    def test_edges_roundtrip(self):
+        tree = chain_tree(5)
+        rebuilt = MulticastTree.from_edges(tree.points, tree.edges(), 0)
+        assert np.array_equal(rebuilt.parent, tree.parent)
+
+
+class TestDegrees:
+    def test_chain_degrees(self):
+        tree = chain_tree(4)
+        assert tree.out_degrees().tolist() == [1, 1, 1, 0]
+        assert tree.max_out_degree() == 1
+
+    def test_star_degrees(self):
+        tree = star_tree(5)
+        assert tree.out_degrees().tolist() == [4, 0, 0, 0, 0]
+        assert tree.max_out_degree() == 4
+
+    def test_single_node(self):
+        tree = MulticastTree(np.zeros((1, 2)), np.array([0]), 0)
+        assert tree.max_out_degree() == 0
+        assert tree.radius() == 0.0
+
+
+class TestDelays:
+    def test_chain_delays(self):
+        tree = chain_tree(5)
+        assert np.allclose(tree.root_delays(), [0, 1, 2, 3, 4])
+        assert tree.radius() == pytest.approx(4.0)
+
+    def test_star_delays(self):
+        tree = star_tree(4)
+        assert np.allclose(tree.root_delays(), [0, 1, 2, 3])
+
+    def test_depths_chain(self):
+        assert chain_tree(4).depths().tolist() == [0, 1, 2, 3]
+
+    def test_depths_star(self):
+        assert star_tree(4).depths().tolist() == [0, 1, 1, 1]
+
+    @given(random_tree())
+    @settings(max_examples=40)
+    def test_doubling_matches_oracle(self, tree):
+        from tests.conftest import reference_root_delays
+
+        expected = reference_root_delays(tree.points, tree.parent, tree.root)
+        assert np.allclose(tree.root_delays(), expected, atol=1e-9)
+
+    def test_delay_to_and_paths(self):
+        tree = chain_tree(4)
+        assert tree.delay_to(3) == pytest.approx(3.0)
+        assert tree.path_to_root(3) == [3, 2, 1, 0]
+
+    def test_deep_tree_does_not_recurse(self):
+        tree = chain_tree(5000)
+        assert tree.radius() == pytest.approx(4999.0)
+        assert tree.depths().max() == 4999
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        chain_tree(10).validate(max_out_degree=1)
+
+    def test_cycle_detected(self):
+        pts = np.zeros((3, 2))
+        parent = np.array([0, 2, 1])  # 1 <-> 2 cycle
+        tree = MulticastTree(pts, parent, 0)
+        with pytest.raises(TreeInvariantError):
+            tree.validate()
+
+    def test_two_roots_detected(self):
+        pts = np.zeros((3, 2))
+        parent = np.array([0, 1, 0])  # node 1 is its own parent too
+        tree = MulticastTree(pts, parent, 0)
+        with pytest.raises(TreeInvariantError, match="self-loop"):
+            tree.validate()
+
+    def test_parent_out_of_range(self):
+        pts = np.zeros((2, 2))
+        tree = MulticastTree(pts, np.array([0, 7]), 0)
+        with pytest.raises(TreeInvariantError, match="out of range"):
+            tree.validate()
+
+    def test_degree_bound_enforced(self):
+        tree = star_tree(5)
+        with pytest.raises(TreeInvariantError, match="out-degree"):
+            tree.validate(max_out_degree=3)
+        tree.validate(max_out_degree=4)
+
+    def test_validate_returns_self(self):
+        tree = chain_tree(3)
+        assert tree.validate() is tree
+
+
+class TestStructureQueries:
+    def test_children_lists(self):
+        tree = star_tree(4)
+        kids = tree.children_lists()
+        assert kids[0] == [1, 2, 3]
+        assert kids[1] == []
+
+    def test_subtree_nodes_chain(self):
+        tree = chain_tree(5)
+        assert tree.subtree_nodes(2).tolist() == [2, 3, 4]
+        assert tree.subtree_nodes(0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_subtree_nodes_star_leaf(self):
+        tree = star_tree(4)
+        assert tree.subtree_nodes(2).tolist() == [2]
+
+    @given(random_tree())
+    @settings(max_examples=20)
+    def test_subtree_partition(self, tree):
+        """Children subtrees of the root partition everything but the root."""
+        kids = tree.children_lists()[tree.root]
+        union = set()
+        for child in kids:
+            nodes = set(tree.subtree_nodes(child).tolist())
+            assert not (union & nodes)
+            union |= nodes
+        assert union == set(range(tree.n)) - {tree.root}
+
+
+class TestDiagnostics:
+    def test_stretch_of_chain(self):
+        tree = chain_tree(3)
+        assert np.allclose(tree.stretch(), [1.0, 1.0, 1.0])
+
+    def test_stretch_of_detour(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        tree = MulticastTree(pts, np.array([0, 0, 1]), 0)
+        expected = (np.sqrt(2) * 2) / 2.0
+        assert tree.stretch()[2] == pytest.approx(expected)
+
+    def test_stretch_coincident_receiver(self):
+        pts = np.zeros((2, 2))
+        tree = MulticastTree(pts, np.array([0, 0]), 0)
+        assert tree.stretch()[1] == 1.0
+
+    def test_summary_keys(self):
+        summary = chain_tree(4).summary()
+        assert summary["nodes"] == 4
+        assert summary["radius"] == pytest.approx(3.0)
+        assert summary["max_out_degree"] == 1
+        assert summary["max_depth"] == 3

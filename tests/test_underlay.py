@@ -1,0 +1,147 @@
+"""Tests for the transit-stub underlay and link-stress analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.embedding.delay_models import transit_stub_delays
+from repro.embedding.gnp import gnp_embedding
+from repro.embedding.underlay import TransitStubNetwork
+
+
+@pytest.fixture(scope="module")
+def network():
+    return TransitStubNetwork.generate(40, n_transit=6, seed=100)
+
+
+class TestGeneration:
+    def test_matrix_view_matches_legacy_function(self):
+        net = TransitStubNetwork.generate(20, n_transit=5, seed=7)
+        legacy = transit_stub_delays(20, n_transit=5, seed=7)
+        assert np.allclose(net.delay_matrix(), legacy)
+
+    def test_host_count(self, network):
+        assert len(network.hosts) == 40
+        assert network.delay_matrix().shape == (40, 40)
+
+    def test_graph_is_connected(self, network):
+        import networkx as nx
+
+        assert nx.is_connected(network.graph)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="two hosts"):
+            TransitStubNetwork.generate(1)
+        with pytest.raises(ValueError, match="transit"):
+            TransitStubNetwork.generate(10, n_transit=1)
+
+    def test_requires_graph_type(self):
+        with pytest.raises(TypeError, match="networkx"):
+            TransitStubNetwork("not a graph", ["a", "b"])
+
+
+class TestRouting:
+    def test_route_endpoints(self, network):
+        path = network.route(0, 5)
+        assert path[0] == network.hosts[0]
+        assert path[-1] == network.hosts[5]
+
+    def test_route_length_equals_delay(self, network):
+        delays = network.delay_matrix()
+        path = network.route(0, 5)
+        total = sum(
+            network.graph[a][b]["weight"] for a, b in zip(path, path[1:])
+        )
+        assert total == pytest.approx(delays[0, 5])
+
+
+class TestLinkStress:
+    def test_star_stress_concentrates_at_source_access(self, network):
+        """A pure star sends every flow over the source's access link:
+        stress there equals n - 1."""
+        n = len(network.hosts)
+        points = np.zeros((n, 2))  # coordinates irrelevant to stress
+        points[:, 0] = np.arange(n)
+        star = MulticastTree(points, np.zeros(n, dtype=np.int64), 0)
+        stress = network.link_stress(star)
+        assert stress["max"] == n - 1
+
+    def test_tree_stress_below_star_stress(self, network):
+        delays = network.delay_matrix()
+        coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=101)
+        tree = build_polar_grid_tree(coords, 0, 4).tree
+        n = len(network.hosts)
+        points = np.zeros((n, 2))
+        star = MulticastTree(points, np.zeros(n, dtype=np.int64), 0)
+        assert (
+            network.link_stress(tree)["max"]
+            < network.link_stress(star)["max"]
+        )
+
+    def test_stress_counts_sum_to_total_hops(self, network):
+        delays = network.delay_matrix()
+        coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=102)
+        tree = build_polar_grid_tree(coords, 0, 4).tree
+        stress = network.link_stress(tree)
+        total_from_counts = sum(stress["counts"].values())
+        total_hops = sum(
+            len(network.route(int(p), int(c))) - 1
+            for p, c in tree.edges().tolist()
+        )
+        assert total_from_counts == total_hops
+
+    def test_size_mismatch_rejected(self, network):
+        tree = MulticastTree(np.zeros((3, 2)), np.zeros(3, dtype=np.int64), 0)
+        with pytest.raises(ValueError, match="hosts"):
+            network.link_stress(tree)
+
+
+class TestIpMulticastComparison:
+    def test_ip_baseline_is_unicast_delays(self, network):
+        ip = network.ip_multicast_baseline(source=0)
+        delays = network.delay_matrix()
+        assert ip["max_delay"] == pytest.approx(delays[0].max())
+        assert ip["mean_delay"] == pytest.approx(
+            delays[0, 1:].mean()
+        )
+        assert ip["stress"] == 1
+
+    def test_overlay_pays_but_bounded(self, network):
+        delays = network.delay_matrix()
+        coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=104)
+        tree = build_polar_grid_tree(coords, 0, 4).tree
+        head2head = network.overlay_vs_ip_multicast(tree)
+        assert head2head["delay_ratio"] >= 1.0 - 1e-9
+        assert head2head["delay_ratio"] < 8.0
+        assert head2head["overlay_max_stress"] >= 1
+        assert head2head["ip_max_stress"] == 1
+
+    def test_star_overlay_matches_ip_delay(self, network):
+        """A pure star IS unicast from the source: same worst delay as
+        IP multicast, but its stress concentrates at the access link."""
+        n = len(network.hosts)
+        star = MulticastTree(
+            np.zeros((n, 2)), np.zeros(n, dtype=np.int64), 0
+        )
+        head2head = network.overlay_vs_ip_multicast(star)
+        assert head2head["delay_ratio"] == pytest.approx(1.0)
+        assert head2head["overlay_max_stress"] == n - 1
+
+
+class TestPathInflation:
+    def test_star_has_inflation_one(self, network):
+        n = len(network.hosts)
+        star = MulticastTree(
+            np.zeros((n, 2)), np.zeros(n, dtype=np.int64), 0
+        )
+        inflation = network.path_inflation(star)
+        assert np.allclose(inflation, 1.0)
+
+    def test_inflation_at_least_one(self, network):
+        delays = network.delay_matrix()
+        coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=103)
+        tree = build_polar_grid_tree(coords, 0, 4).tree
+        inflation = network.path_inflation(tree)
+        assert np.all(inflation >= 1.0 - 1e-9)
+        assert inflation[tree.root] == 1.0

@@ -1,0 +1,91 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    annulus_points,
+    as_rng,
+    clustered_disk,
+    nonuniform_disk,
+    polygon_points,
+    rectangle_points,
+    unit_ball,
+    unit_disk,
+)
+
+
+class TestCommonContract:
+    GENERATORS = [
+        lambda n, s: unit_disk(n, seed=s),
+        lambda n, s: unit_ball(n, dim=3, seed=s),
+        lambda n, s: annulus_points(n, seed=s),
+        lambda n, s: rectangle_points(n, seed=s),
+        lambda n, s: polygon_points(n, [(0, 0), (2, 0), (1, 2)], seed=s),
+        lambda n, s: clustered_disk(n, seed=s),
+        lambda n, s: nonuniform_disk(n, seed=s),
+    ]
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_shape_and_reproducibility(self, gen):
+        a = gen(101, 7)
+        b = gen(101, 7)
+        c = gen(101, 8)
+        assert a.shape[0] == 101
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_minimum_one_node(self, gen):
+        assert gen(1, 0).shape[0] == 1
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_zero_nodes_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen(0, 0)
+
+
+class TestSpecifics:
+    def test_unit_disk_source_at_center(self):
+        pts = unit_disk(50, seed=1)
+        assert np.allclose(pts[0], 0.0)
+        assert np.all(np.linalg.norm(pts[1:], axis=1) <= 1.0)
+
+    def test_unit_ball_dims(self):
+        assert unit_ball(10, dim=4, seed=1).shape == (10, 4)
+
+    def test_annulus_hole_is_empty(self):
+        pts = annulus_points(500, r_inner=0.5, seed=2)
+        rho = np.linalg.norm(pts[1:], axis=1)
+        assert rho.min() > 0.5
+
+    def test_rectangle_custom_source(self):
+        pts = rectangle_points(20, source=(0.1, 0.2), seed=3)
+        assert np.allclose(pts[0], [0.1, 0.2])
+
+    def test_polygon_source_defaults_to_centroid(self):
+        verts = [(0, 0), (3, 0), (0, 3)]
+        pts = polygon_points(10, verts, seed=4)
+        assert np.allclose(pts[0], [1.0, 1.0])
+
+    def test_clustered_stays_in_disk(self):
+        pts = clustered_disk(800, seed=5)
+        assert np.all(np.linalg.norm(pts[1:], axis=1) <= 1.0 + 1e-12)
+
+    def test_clustered_background_fraction_validated(self):
+        with pytest.raises(ValueError, match="background"):
+            clustered_disk(10, background=1.5, seed=0)
+
+    def test_nonuniform_tilt_shifts_mass(self):
+        pts = nonuniform_disk(20_000, tilt=0.9, seed=6)
+        # Density 1 + 0.9x: the mean x must be clearly positive.
+        assert pts[1:, 0].mean() > 0.1
+
+    def test_nonuniform_tilt_validated(self):
+        with pytest.raises(ValueError, match="tilt"):
+            nonuniform_disk(10, tilt=1.0, seed=0)
+
+    def test_as_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+        assert isinstance(as_rng(5), np.random.Generator)
