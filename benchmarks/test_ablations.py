@@ -15,8 +15,9 @@ import pytest
 
 from benchmarks.conftest import current_scale
 from repro.core.builder import build_polar_grid_tree
-from repro.experiments.runner import aggregate
 from repro.workloads.generators import rectangle_points, unit_disk
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 _SCALE = current_scale()
 N = 10_000

@@ -21,6 +21,8 @@ from repro.baselines import (
 from repro.core.builder import build_polar_grid_tree
 from repro.workloads.generators import unit_disk
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 N_QUALITY = 4_000
 DEGREE = 6
 
@@ -63,7 +65,6 @@ def test_polar_grid_converges_baselines_do_not():
     small, large = 1_000, 30_000
     grid_small = build_polar_grid_tree(unit_disk(small, seed=12), 0, DEGREE)
     grid_large = build_polar_grid_tree(unit_disk(large, seed=12), 0, DEGREE)
-    star_small = capped_star(unit_disk(small, seed=12), 0, DEGREE)
     star_large = capped_star(unit_disk(large, seed=12), 0, DEGREE)
     assert grid_large.radius < grid_small.radius
     assert star_large.radius() > grid_large.radius * 1.3

@@ -15,6 +15,8 @@ from benchmarks.conftest import current_scale
 from repro.core.diameter import build_min_diameter_tree, tree_diameter
 from repro.workloads.generators import unit_disk
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 _SCALE = current_scale()
 SIZES = tuple(s for s in _SCALE["fig_sizes"] if s <= 100_000)
 

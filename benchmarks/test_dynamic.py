@@ -10,6 +10,8 @@ import pytest
 
 from repro.overlay.dynamic import DynamicOverlay
 
+pytestmark = pytest.mark.bench
+
 
 def churn(overlay, events, seed, join_prob=0.7):
     rng = np.random.default_rng(seed)

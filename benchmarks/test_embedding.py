@@ -10,7 +10,6 @@ noisy or graph-structured delay matrices, scored on the TRUE delays,
 as a function of embedding distortion.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.builder import build_polar_grid_tree
@@ -22,6 +21,8 @@ from repro.embedding import (
     vivaldi_embedding,
 )
 from repro.workloads.generators import unit_disk
+
+pytestmark = pytest.mark.bench
 
 N_HOSTS = 150
 

@@ -1,0 +1,74 @@
+"""Benchmark: serial vs process trial engine on Table-I-shaped work.
+
+Times :func:`run_trials` through both backends on the mid-size rows of
+Table I (where a laptop spends its time) and checks the parallel run is
+record-identical to the serial one. Throughput numbers for the perf
+trajectory come from ``tools/bench_report.py`` (the ``BENCH_engine.json``
+artifact); this module keeps the comparison honest under pytest.
+
+Run::
+
+    pytest benchmarks/test_engine.py -m bench
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import current_scale
+from repro.experiments.parallel import ProcessExecutor, TrialTask
+from repro.experiments.runner import run_trials
+
+pytestmark = pytest.mark.bench
+
+_SCALE = current_scale()
+# Table-I-shaped: the sizes where trial counts (not one huge build)
+# dominate the wall clock.
+SIZES = tuple(n for n in _SCALE["table1_sizes"] if 1_000 <= n <= 50_000)
+TRIALS = max(4, _SCALE["trials"] // 2)
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("degree", (6, 2))
+def test_engines_agree_and_report_throughput(n, degree):
+    started = time.perf_counter()
+    serial = run_trials(n, degree, trials=TRIALS, seed=0, engine="serial")
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with ProcessExecutor(max_workers=WORKERS) as ex:
+        parallel = ex.map(
+            [TrialTask(n, degree, 2, seed=t) for t in range(TRIALS)]
+        )
+    parallel_s = time.perf_counter() - started
+
+    def strip(rs):
+        return [dataclasses.replace(r, seconds=0.0) for r in rs]
+
+    assert strip(serial) == strip(parallel)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"\nn={n} degree={degree} trials={TRIALS}: "
+        f"serial {serial_s:.2f}s, process[{WORKERS}] {parallel_s:.2f}s "
+        f"({speedup:.2f}x)"
+    )
+
+
+def test_engine_benchmark(benchmark):
+    """pytest-benchmark timing of the process engine at one cell."""
+    n = SIZES[0] if SIZES else 5_000
+
+    def build_batch():
+        with ProcessExecutor(max_workers=WORKERS) as ex:
+            return ex.map(
+                [TrialTask(n, 6, 2, seed=t) for t in range(TRIALS)]
+            )
+
+    records = benchmark.pedantic(build_batch, rounds=1, iterations=1)
+    assert len(records) == TRIALS
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["trials"] = TRIALS
+    benchmark.extra_info["workers"] = WORKERS

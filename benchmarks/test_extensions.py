@@ -18,6 +18,8 @@ from repro.experiments.extensions import (
 )
 from repro.workloads.generators import rectangle_points, unit_disk
 
+pytestmark = pytest.mark.bench
+
 N = 5_000
 
 

@@ -11,6 +11,8 @@ import pytest
 from benchmarks.conftest import current_scale
 from repro.experiments.figures import figure5, sweep
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 _SCALE = current_scale()
 
 

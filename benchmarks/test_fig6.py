@@ -14,6 +14,8 @@ from benchmarks.conftest import current_scale
 from repro.core.bounds import rings_lower_bound
 from repro.experiments.figures import figure6, sweep
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 _SCALE = current_scale()
 
 

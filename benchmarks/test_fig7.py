@@ -15,6 +15,8 @@ from benchmarks.conftest import current_scale
 from repro.core.builder import build_polar_grid_tree
 from repro.workloads.generators import unit_disk
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 _SCALE = current_scale()
 
 

@@ -12,6 +12,8 @@ from benchmarks.conftest import current_scale
 from repro.experiments.figures import figure8, sweep
 from repro.experiments.runner import aggregate, run_trials
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 _SCALE = current_scale()
 
 

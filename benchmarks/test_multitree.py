@@ -13,6 +13,8 @@ from repro.core.heterogeneous import build_heterogeneous_tree
 from repro.overlay.multitree import build_striped_trees
 from repro.workloads.generators import unit_disk
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 N = 10_000
 
 

@@ -13,6 +13,8 @@ from repro.core.builder import build_polar_grid_tree
 from repro.overlay.dynamic import DynamicOverlay
 from repro.overlay.protocol import DistributedJoinProtocol
 
+pytestmark = pytest.mark.bench
+
 N = 2_000
 
 

@@ -16,6 +16,8 @@ from repro.embedding.underlay import TransitStubNetwork
 from repro.overlay.stream_sim import FailureEvent, simulate_stream
 from repro.workloads.generators import unit_disk
 
+pytestmark = pytest.mark.bench
+
 N = 1_000
 
 

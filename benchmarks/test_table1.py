@@ -20,6 +20,8 @@ from repro.experiments.runner import aggregate, run_trials
 from repro.experiments.table1 import PAPER_TABLE1
 from repro.workloads.generators import unit_disk
 
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
 _SCALE = current_scale()
 
 

@@ -62,7 +62,7 @@ def main() -> None:
     # 2. Embed into R^2 with GNP (origin = host 0).
     coords = gnp_embedding(delays, dim=2, n_landmarks=8, seed=3)
     quality = embedding_distortion(delays, coords)
-    print(f"GNP embedding: median relative error "
+    print("GNP embedding: median relative error "
           f"{quality['median_ratio_error']:.2%}\n")
 
     # Mixed uplink classes for the bandwidth-first baseline: a few fat

@@ -71,7 +71,7 @@ def main() -> None:
         recovery_latency=0.12,
     )
     affected = int(np.count_nonzero(report.lost > 0))
-    print(f"\nstreaming with a mid-session relay failure:")
+    print("\nstreaming with a mid-session relay failure:")
     print(f"  receivers hit     : {affected} of {tree.n - 1}")
     print(f"  packets lost      : {report.total_lost} "
           f"({report.loss_fraction():.2%} of all deliveries)")

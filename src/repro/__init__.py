@@ -34,13 +34,6 @@ Sub-packages
 ``repro.experiments`` harnesses reproducing Table I and Figures 4-8
 """
 
-from repro.core.builder import (
-    BuildResult,
-    build_bisection_tree,
-    build_polar_grid_tree,
-)
-from repro.core.diameter import build_min_diameter_tree, tree_diameter
-from repro.core.io import load_tree, save_tree
 from repro.core.bounds import (
     arc_length,
     lemma1_probability,
@@ -48,6 +41,13 @@ from repro.core.bounds import (
     rings_lower_bound,
     sum_of_inner_arcs,
 )
+from repro.core.builder import (
+    BuildResult,
+    build_bisection_tree,
+    build_polar_grid_tree,
+)
+from repro.core.diameter import build_min_diameter_tree, tree_diameter
+from repro.core.io import load_tree, save_tree
 from repro.core.tree import MulticastTree
 from repro.overlay.dynamic import DynamicOverlay
 from repro.overlay.host import Host

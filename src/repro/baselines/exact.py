@@ -160,7 +160,7 @@ def optimal_diameter(points, max_out_degree: int = 2) -> float:
     n = points.shape[0]
     if n > MAX_EXACT_DIAMETER_NODES:
         raise ValueError(
-            f"exact diameter search is capped at "
+            "exact diameter search is capped at "
             f"{MAX_EXACT_DIAMETER_NODES} nodes; got {n}"
         )
     if max_out_degree < 1:

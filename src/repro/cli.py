@@ -71,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="use the paper's full protocol (200 trials, up to 5M nodes)",
         )
+        p.add_argument(
+            "--engine",
+            choices=("auto", "serial", "process"),
+            default="serial",
+            help="trial execution backend: 'process' fans trials out "
+            "over worker processes (identical results, see docs/ENGINE.md); "
+            "'auto' picks based on the host",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for --engine process "
+            "(default: all CPUs)",
+        )
 
     t1 = sub.add_parser("table1", help="reproduce Table I")
     add_sweep_args(t1, DEFAULT_TRIALS)
@@ -176,7 +192,13 @@ def main(argv=None) -> int:
 
     if args.command == "table1":
         sizes, trials = _sweep_params(args)
-        rows = run_table1(sizes=sizes, trials=trials, seed=args.seed)
+        rows = run_table1(
+            sizes=sizes,
+            trials=trials,
+            seed=args.seed,
+            engine=args.engine,
+            max_workers=args.workers,
+        )
         if args.json:
             print(json.dumps([row.__dict__ for row in rows], indent=2))
         else:
@@ -187,7 +209,13 @@ def main(argv=None) -> int:
     if args.command in ("fig4", "fig5", "fig6", "fig7", "fig8"):
         sizes, trials = _sweep_params(args)
         fig_fn = getattr(figures_mod, f"figure{args.command[3:]}")
-        fig = fig_fn(sizes=sizes, trials=trials, seed=args.seed)
+        fig = fig_fn(
+            sizes=sizes,
+            trials=trials,
+            seed=args.seed,
+            engine=args.engine,
+            max_workers=args.workers,
+        )
         print(fig.render())
         if args.data:
             print()
@@ -202,7 +230,7 @@ def main(argv=None) -> int:
         sizes, trials = _sweep_params(args)
         written = figures_mod.save_all_figures(
             args.out, sizes=sizes, trials=trials, seed=args.seed,
-            progress=print,
+            progress=print, engine=args.engine, max_workers=args.workers,
         )
         print(f"{len(written)} files in {args.out}")
         return 0

@@ -40,7 +40,7 @@ import math
 import numpy as np
 
 from repro.geometry.points import validate_points
-from repro.geometry.polar import TWO_PI, SphericalTransform, to_polar
+from repro.geometry.polar import to_polar
 from repro.geometry.rings import RingSegment
 
 __all__ = [

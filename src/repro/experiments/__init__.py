@@ -12,20 +12,25 @@ paper's parameters explicitly to reproduce at full scale. See
 EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 """
 
+from repro.experiments import extensions, figures
 from repro.experiments.campaign import Campaign, ExperimentSpec
-from repro.experiments.scorecard import Scorecard, run_scorecard
+from repro.experiments.parallel import (
+    TrialError,
+    TrialTask,
+    make_executor,
+)
 from repro.experiments.runner import (
     AggregateRow,
     TrialRecord,
     aggregate,
     run_trials,
 )
+from repro.experiments.scorecard import Scorecard, run_scorecard
 from repro.experiments.table1 import (
     PAPER_TABLE1,
     format_table1,
     run_table1,
 )
-from repro.experiments import extensions, figures
 
 __all__ = [
     "AggregateRow",
@@ -33,8 +38,11 @@ __all__ = [
     "ExperimentSpec",
     "PAPER_TABLE1",
     "Scorecard",
+    "TrialError",
     "TrialRecord",
+    "TrialTask",
     "extensions",
+    "make_executor",
     "run_scorecard",
     "aggregate",
     "figures",

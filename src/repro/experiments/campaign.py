@@ -20,15 +20,16 @@ bit-identical records to an uninterrupted one.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.experiments.runner import (
-    AggregateRow,
-    TrialRecord,
-    aggregate,
-    run_trials,
+from repro.experiments.parallel import (
+    TrialError,
+    TrialFailure,
+    TrialTask,
+    make_executor,
 )
+from repro.experiments.runner import AggregateRow, TrialRecord, aggregate
 
 __all__ = ["ExperimentSpec", "Campaign"]
 
@@ -106,40 +107,80 @@ class Campaign:
 
     # ------------------------------------------------------------------
 
-    def run(self, progress=None) -> list[AggregateRow]:
+    def run(
+        self,
+        progress=None,
+        engine: str = "serial",
+        max_workers: int | None = None,
+    ) -> list[AggregateRow]:
         """Run (or resume) every configuration; returns the aggregates.
 
         :param progress: optional callable receiving one status string
             per completed configuration.
+        :param engine: ``"serial"``, ``"process"``, or ``"auto"`` — how
+            trials are executed (see
+            :func:`repro.experiments.parallel.make_executor`).
+        :param max_workers: worker-process count for the process engine.
+        :raises TrialError: if any trial failed. Raised only after every
+            configuration was attempted, so one degenerate draw does not
+            cost the rest of the campaign; the checkpoint files keep
+            every trial completed before the failing one.
         """
         rows = []
-        for n, degree in self.spec.configurations():
-            records = self._load_records(n, degree)
-            missing = self.spec.trials - len(records)
-            if missing > 0:
-                path = self._config_path(n, degree)
-                with path.open("a") as sink:
-                    for trial in range(len(records), self.spec.trials):
-                        # One-trial batches keep the checkpoint granular.
-                        (record,) = run_trials(
-                            n,
-                            degree,
-                            trials=1,
-                            dim=self.spec.dim,
-                            seed=self.spec.seed + trial,
-                        )
-                        sink.write(json.dumps(asdict(record)) + "\n")
-                        sink.flush()
-                        records.append(record)
-            row = aggregate(records[: self.spec.trials])
-            rows.append(row)
-            self._write_summary(rows)
-            if progress is not None:
-                progress(
-                    f"{self.spec.name}: n={n} degree={degree} "
-                    f"delay={row.delay:.4f} ({row.trials} trials)"
-                )
+        failures: list[TrialFailure] = []
+        with make_executor(engine, max_workers) as executor:
+            for n, degree in self.spec.configurations():
+                records = self._run_config(executor, n, degree, failures)
+                if len(records) < self.spec.trials:
+                    continue  # failed mid-config; reported at the end
+                row = aggregate(records[: self.spec.trials])
+                rows.append(row)
+                self._write_summary(rows)
+                if progress is not None:
+                    progress(
+                        f"{self.spec.name}: n={n} degree={degree} "
+                        f"delay={row.delay:.4f} ({row.trials} trials)"
+                    )
+        if failures:
+            raise TrialError(failures, completed=rows)
         return rows
+
+    def _run_config(
+        self, executor, n: int, degree: int, failures: list
+    ) -> list[TrialRecord]:
+        """Run one configuration's missing trials, checkpointing each.
+
+        Workers may finish out of order; the executor hands results back
+        in *trial* order, and the checkpoint file is appended in that
+        order, so the on-disk prefix invariant (line ``i`` holds the
+        trial seeded ``seed + i``) survives interrupts and parallelism
+        alike. On the first failed trial the config stops checkpointing
+        (a gap would corrupt the prefix); a later resume recomputes the
+        tail deterministically.
+        """
+        records = self._load_records(n, degree)
+        if len(records) >= self.spec.trials:
+            return records
+        tasks = [
+            TrialTask(
+                n=n,
+                max_out_degree=degree,
+                dim=self.spec.dim,
+                seed=self.spec.seed + trial,
+            )
+            for trial in range(len(records), self.spec.trials)
+        ]
+        with self._config_path(n, degree).open("a") as sink:
+            # chunksize=1 keeps the checkpoint granular: each record is
+            # persisted as soon as its trial (and its predecessors) end.
+            for outcome in executor.imap(tasks, chunksize=1):
+                if isinstance(outcome, TrialFailure):
+                    failures.append(outcome)
+                    break
+                sink.write(json.dumps(asdict(outcome)) + "\n")
+                sink.flush()
+                records.append(outcome)
+        return records
 
     def _write_summary(self, rows: list[AggregateRow]):
         payload = {

@@ -67,16 +67,28 @@ def sweep(
     degrees=(6, 2),
     dim: int = 2,
     seed: int = 0,
+    engine: str = "serial",
+    max_workers: int | None = None,
 ) -> dict[tuple[int, int], AggregateRow]:
     """Run the Section V sweep once; figures 4-7 all read from it.
 
+    :param engine: trial execution backend (``"serial"``/``"process"``/
+        ``"auto"``, see :mod:`repro.experiments.parallel`).
     :returns: mapping ``(n, degree) -> AggregateRow``.
     """
     out = {}
     for n in sizes:
         for degree in degrees:
             out[(n, degree)] = aggregate(
-                run_trials(n, degree, trials, dim=dim, seed=seed)
+                run_trials(
+                    n,
+                    degree,
+                    trials,
+                    dim=dim,
+                    seed=seed,
+                    engine=engine,
+                    max_workers=max_workers,
+                )
             )
     return out
 
@@ -85,11 +97,25 @@ def _sizes_of(results, degree):
     return sorted(n for (n, d) in results if d == degree)
 
 
-def figure4(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+def figure4(
+    results=None,
+    sizes=DEFAULT_SIZES,
+    trials=DEFAULT_TRIALS,
+    seed=0,
+    engine="serial",
+    max_workers=None,
+):
     """Figure 4: average maximum delay vs the eq. (7) bound and the core
     delay, for the out-degree-6 tree."""
     if results is None:
-        results = sweep(sizes, trials, degrees=(6,), seed=seed)
+        results = sweep(
+            sizes,
+            trials,
+            degrees=(6,),
+            seed=seed,
+            engine=engine,
+            max_workers=max_workers,
+        )
     xs = _sizes_of(results, 6)
     rows = [results[(n, 6)] for n in xs]
     return FigureData(
@@ -105,10 +131,24 @@ def figure4(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
     )
 
 
-def figure5(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+def figure5(
+    results=None,
+    sizes=DEFAULT_SIZES,
+    trials=DEFAULT_TRIALS,
+    seed=0,
+    engine="serial",
+    max_workers=None,
+):
     """Figure 5: average maximum delay, out-degree 2 vs out-degree 6."""
     if results is None:
-        results = sweep(sizes, trials, degrees=(6, 2), seed=seed)
+        results = sweep(
+            sizes,
+            trials,
+            degrees=(6, 2),
+            seed=seed,
+            engine=engine,
+            max_workers=max_workers,
+        )
     xs = _sizes_of(results, 6)
     return FigureData(
         name="Figure 5",
@@ -122,14 +162,28 @@ def figure5(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
     )
 
 
-def figure6(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+def figure6(
+    results=None,
+    sizes=DEFAULT_SIZES,
+    trials=DEFAULT_TRIALS,
+    seed=0,
+    engine="serial",
+    max_workers=None,
+):
     """Figure 6: average number of rings k in the grid vs n.
 
     The paper reads the straight line on the log axis as the logarithmic
     growth implied by eq. (5), ``k >= (1/2) log2 n``.
     """
     if results is None:
-        results = sweep(sizes, trials, degrees=(6,), seed=seed)
+        results = sweep(
+            sizes,
+            trials,
+            degrees=(6,),
+            seed=seed,
+            engine=engine,
+            max_workers=max_workers,
+        )
     xs = _sizes_of(results, 6)
     return FigureData(
         name="Figure 6",
@@ -140,10 +194,24 @@ def figure6(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
     )
 
 
-def figure7(results=None, sizes=DEFAULT_SIZES, trials=DEFAULT_TRIALS, seed=0):
+def figure7(
+    results=None,
+    sizes=DEFAULT_SIZES,
+    trials=DEFAULT_TRIALS,
+    seed=0,
+    engine="serial",
+    max_workers=None,
+):
     """Figure 7: algorithm running time vs n (near-linear growth)."""
     if results is None:
-        results = sweep(sizes, trials, degrees=(6, 2), seed=seed)
+        results = sweep(
+            sizes,
+            trials,
+            degrees=(6, 2),
+            seed=seed,
+            engine=engine,
+            max_workers=max_workers,
+        )
     xs = _sizes_of(results, 6)
     return FigureData(
         name="Figure 7",
@@ -164,6 +232,8 @@ def save_all_figures(
     trials: int = DEFAULT_TRIALS,
     seed: int = 0,
     progress=None,
+    engine: str = "serial",
+    max_workers: int | None = None,
 ) -> list:
     """Regenerate Figures 4-8 into ``directory`` as SVG + ASCII text.
 
@@ -181,11 +251,24 @@ def save_all_figures(
 
     if progress:
         progress("running the 2-D sweep (figures 4-7)...")
-    flat = sweep(sizes=sizes, trials=trials, degrees=(6, 2), seed=seed)
+    flat = sweep(
+        sizes=sizes,
+        trials=trials,
+        degrees=(6, 2),
+        seed=seed,
+        engine=engine,
+        max_workers=max_workers,
+    )
     if progress:
         progress("running the 3-D sweep (figure 8)...")
     solid = sweep(
-        sizes=sizes_3d, trials=trials, degrees=(10, 2), dim=3, seed=seed
+        sizes=sizes_3d,
+        trials=trials,
+        degrees=(10, 2),
+        dim=3,
+        seed=seed,
+        engine=engine,
+        max_workers=max_workers,
     )
 
     written = []
@@ -207,7 +290,12 @@ def save_all_figures(
 
 
 def figure8(
-    results=None, sizes=DEFAULT_SIZES_3D, trials=DEFAULT_TRIALS, seed=0
+    results=None,
+    sizes=DEFAULT_SIZES_3D,
+    trials=DEFAULT_TRIALS,
+    seed=0,
+    engine="serial",
+    max_workers=None,
 ):
     """Figure 8: average maximum delay in the 3-D unit sphere.
 
@@ -216,7 +304,15 @@ def figure8(
     the lower bound of 1, slower than in 2-D.
     """
     if results is None:
-        results = sweep(sizes, trials, degrees=(10, 2), dim=3, seed=seed)
+        results = sweep(
+            sizes,
+            trials,
+            degrees=(10, 2),
+            dim=3,
+            seed=seed,
+            engine=engine,
+            max_workers=max_workers,
+        )
     xs = _sizes_of(results, 10)
     return FigureData(
         name="Figure 8",

@@ -1,0 +1,291 @@
+"""Parallel trial execution engine.
+
+The paper's evaluation (Table I, Figures 4-8) is a large grid of
+independent trials — every trial rebuilds its point set and tree from
+nothing but ``(n, degree, dim, seed)``, so the workload is embarrassingly
+parallel. This module supplies the machinery:
+
+* :class:`TrialTask` — the picklable description of one trial;
+* :func:`execute_trial` — a **top-level** worker function that rebuilds
+  points and tree from the task (top-level so it pickles under both the
+  ``fork`` and ``spawn`` start methods);
+* :class:`TrialExecutor` with :class:`SerialExecutor` and
+  :class:`ProcessExecutor` backends, created through
+  :func:`make_executor`;
+* :class:`TrialError` — raised *after* every trial has been attempted,
+  carrying each failure together with the seed that reproduces it.
+
+Determinism guarantee
+---------------------
+
+Trial ``i`` of a run is always seeded ``seed + i`` and always rebuilds
+its inputs inside the worker, so serial and process backends produce
+identical :class:`~repro.experiments.runner.TrialRecord` streams — same
+values, same order (results are yielded in *task* order regardless of
+completion order) — for every field except ``seconds``, which is
+wall-clock time measured per worker.
+
+Fallback policy
+---------------
+
+``engine="process"`` degrades gracefully to the serial backend when a
+process pool cannot help or cannot start: a single-CPU host
+(``os.cpu_count() == 1``), no usable multiprocessing start method, or a
+pool that breaks mid-run (the unfinished tasks are recomputed serially —
+determinism makes the recomputation exact). :class:`ProcessExecutor` can
+still be instantiated directly to force real subprocesses, e.g. to test
+picklability on a single-CPU box.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.builder import build_polar_grid_tree
+from repro.experiments.runner import TrialRecord
+from repro.workloads.generators import unit_ball, unit_disk
+
+__all__ = [
+    "ENGINES",
+    "TrialTask",
+    "TrialFailure",
+    "TrialError",
+    "TrialExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "execute_trial",
+    "run_task",
+    "make_executor",
+    "process_unavailable_reason",
+]
+
+ENGINES = ("auto", "serial", "process")
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """Everything needed to reproduce one trial, and nothing else.
+
+    Workers rebuild the point set and tree from these four integers, so
+    the task pickles in a few bytes and the result does not depend on
+    which worker (or which backend) ran it.
+    """
+
+    n: int
+    max_out_degree: int
+    dim: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """A trial that raised, captured picklably (exceptions may not be).
+
+    ``task.seed`` is the exact seed that reproduces the failure:
+    ``execute_trial(task)`` re-raises it deterministically.
+    """
+
+    task: TrialTask
+    error_type: str
+    error: str
+
+    def describe(self) -> str:
+        t = self.task
+        return (
+            f"trial seed={t.seed} (n={t.n}, degree={t.max_out_degree}, "
+            f"dim={t.dim}): {self.error_type}: {self.error}"
+        )
+
+
+class TrialError(RuntimeError):
+    """One or more trials failed; raised after every trial was attempted.
+
+    :ivar failures: the :class:`TrialFailure` of each failed trial.
+    :ivar completed: the :class:`TrialRecord` of each trial that did
+        succeed (in task order), so partial results are not lost.
+    """
+
+    def __init__(self, failures, completed=()):
+        self.failures = list(failures)
+        self.completed = list(completed)
+        shown = [f.describe() for f in self.failures[:5]]
+        if len(self.failures) > 5:
+            shown.append(f"... and {len(self.failures) - 5} more")
+        super().__init__(
+            f"{len(self.failures)} trial(s) failed "
+            f"({len(self.completed)} succeeded):\n  " + "\n  ".join(shown)
+        )
+
+
+def execute_trial(task: TrialTask) -> TrialRecord:
+    """Run one trial: sample points, build the tree, record metrics.
+
+    Top-level (module-scope) so :class:`ProcessExecutor` can pickle it.
+    The workload matches Section V: uniform unit disk for ``dim == 2``,
+    uniform unit ball otherwise, source at the centre. Timing
+    (``seconds``) is measured inside :func:`build_polar_grid_tree`, i.e.
+    per worker.
+    """
+    if task.dim == 2:
+        points = unit_disk(task.n, seed=task.seed)
+    else:
+        points = unit_ball(task.n, dim=task.dim, seed=task.seed)
+    result = build_polar_grid_tree(points, 0, task.max_out_degree)
+    return TrialRecord(
+        n=task.n,
+        max_out_degree=task.max_out_degree,
+        dim=task.dim,
+        rings=result.rings,
+        core_delay=result.core_delay,
+        delay=result.radius,
+        bound=result.upper_bound,
+        seconds=result.build_seconds,
+    )
+
+
+def run_task(task: TrialTask) -> TrialRecord | TrialFailure:
+    """:func:`execute_trial`, with the failure captured instead of raised.
+
+    Capturing keeps one degenerate draw from aborting a whole campaign:
+    the remaining trials still run, and the caller raises a single
+    :class:`TrialError` at the end naming every failing seed.
+    """
+    try:
+        return execute_trial(task)
+    except Exception as exc:  # noqa: BLE001 — reported via TrialError
+        return TrialFailure(
+            task=task, error_type=type(exc).__name__, error=str(exc)
+        )
+
+
+# ----------------------------------------------------------------------
+# Executors
+
+
+class TrialExecutor:
+    """Runs :class:`TrialTask` batches; results come back in task order."""
+
+    name = "abstract"
+
+    def imap(self, tasks, chunksize: int | None = None):
+        """Yield one outcome per task, in task order, as they finish."""
+        raise NotImplementedError
+
+    def map(self, tasks, chunksize: int | None = None) -> list:
+        """All outcomes at once, in task order."""
+        return list(self.imap(tasks, chunksize=chunksize))
+
+    def close(self):
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class SerialExecutor(TrialExecutor):
+    """The in-process backend: a plain loop, no pickling, no workers."""
+
+    name = "serial"
+
+    def __init__(self, fallback_reason: str | None = None):
+        #: why a requested process backend degraded to this one (or None)
+        self.fallback_reason = fallback_reason
+
+    def imap(self, tasks, chunksize: int | None = None):
+        for task in tasks:
+            yield run_task(task)
+
+
+class ProcessExecutor(TrialExecutor):
+    """The multi-core backend, on :class:`ProcessPoolExecutor`.
+
+    Tasks are distributed over ``max_workers`` subprocesses; results are
+    yielded in task order regardless of completion order (that is what
+    ``ProcessPoolExecutor.map`` guarantees). If the pool breaks mid-run
+    the unfinished tail is recomputed serially — trials are pure
+    functions of their task, so the recomputation is byte-identical.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = int(max_workers or os.cpu_count() or 1)
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def imap(self, tasks, chunksize: int | None = None):
+        tasks = list(tasks)
+        if chunksize is None:
+            # A few chunks per worker amortises pickling at small n
+            # while keeping the pool load-balanced at large n.
+            chunksize = max(1, len(tasks) // (self.max_workers * 4))
+        done = 0
+        try:
+            for outcome in self._pool.map(
+                run_task, tasks, chunksize=chunksize
+            ):
+                done += 1
+                yield outcome
+        except Exception:
+            # Pool infrastructure failure (BrokenProcessPool, a worker
+            # killed by the OOM killer, ...) — task-level exceptions
+            # never escape run_task. Finish the tail in-process.
+            for task in tasks[done:]:
+                yield run_task(task)
+
+    def close(self):
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Selection
+
+
+def process_unavailable_reason() -> str | None:
+    """Why a process pool would not help here, or ``None`` if it would.
+
+    Mirrors the fallback policy in the module docstring: a single CPU
+    makes worker processes pure overhead, and a platform without any
+    multiprocessing start method cannot host a pool at all.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return "single CPU (os.cpu_count() <= 1)"
+    try:
+        if not multiprocessing.get_all_start_methods():
+            return "no multiprocessing start method available"
+    except Exception as exc:  # pragma: no cover - exotic platforms
+        return f"multiprocessing unavailable: {exc}"
+    return None
+
+
+def make_executor(
+    engine: str = "auto", max_workers: int | None = None
+) -> TrialExecutor:
+    """Build the executor for an ``engine`` knob value.
+
+    * ``"serial"`` — always the in-process loop.
+    * ``"process"`` — a process pool, degrading to serial (with the
+      reason recorded on :attr:`SerialExecutor.fallback_reason`) when a
+      pool cannot help or cannot start.
+    * ``"auto"`` — ``"process"`` when it would help, else ``"serial"``.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}; got {engine!r}")
+    if engine == "serial":
+        return SerialExecutor()
+    reason = process_unavailable_reason()
+    if reason is None:
+        try:
+            return ProcessExecutor(max_workers=max_workers)
+        except (OSError, ImportError) as exc:
+            reason = f"process pool failed to start: {exc}"
+    return SerialExecutor(fallback_reason=reason)

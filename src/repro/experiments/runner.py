@@ -10,9 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean, pstdev
 
-from repro.core.builder import build_polar_grid_tree
-from repro.workloads.generators import unit_ball, unit_disk
-
 __all__ = ["TrialRecord", "AggregateRow", "run_trials", "aggregate"]
 
 
@@ -52,35 +49,46 @@ def run_trials(
     trials: int,
     dim: int = 2,
     seed: int = 0,
+    engine: str = "serial",
+    max_workers: int | None = None,
 ) -> list[TrialRecord]:
     """Run ``trials`` independent builds on fresh uniform samples.
 
     The workload matches Section V: uniform unit disk for ``dim == 2``
     (Table I, Figures 4-7), uniform unit ball otherwise (Figure 8), with
     the source at the centre. Seeds are ``seed + trial index`` so runs
-    are reproducible and trials independent.
+    are reproducible and trials independent; serial and process engines
+    return identical records, in trial order (except the wall-clock
+    ``seconds`` field — see :mod:`repro.experiments.parallel`).
+
+    :param engine: ``"serial"``, ``"process"``, or ``"auto"`` — how
+        trials are executed (see :func:`make_executor`).
+    :param max_workers: worker-process count for the process engine
+        (default: ``os.cpu_count()``).
+    :raises TrialError: if any trial raised. Every trial is attempted
+        first; the error lists each failing seed and carries the
+        successful records on ``.completed``.
     """
+    # Imported here: parallel.py needs TrialRecord from this module.
+    from repro.experiments.parallel import (
+        TrialError,
+        TrialFailure,
+        TrialTask,
+        make_executor,
+    )
+
     if trials < 1:
         raise ValueError("need at least one trial")
-    records = []
-    for trial in range(trials):
-        if dim == 2:
-            points = unit_disk(n, seed=seed + trial)
-        else:
-            points = unit_ball(n, dim=dim, seed=seed + trial)
-        result = build_polar_grid_tree(points, 0, max_out_degree)
-        records.append(
-            TrialRecord(
-                n=n,
-                max_out_degree=max_out_degree,
-                dim=dim,
-                rings=result.rings,
-                core_delay=result.core_delay,
-                delay=result.radius,
-                bound=result.upper_bound,
-                seconds=result.build_seconds,
-            )
-        )
+    tasks = [
+        TrialTask(n=n, max_out_degree=max_out_degree, dim=dim, seed=seed + t)
+        for t in range(trials)
+    ]
+    with make_executor(engine, max_workers) as executor:
+        outcomes = executor.map(tasks)
+    failures = [o for o in outcomes if isinstance(o, TrialFailure)]
+    records = [o for o in outcomes if not isinstance(o, TrialFailure)]
+    if failures:
+        raise TrialError(failures, completed=records)
     return records
 
 

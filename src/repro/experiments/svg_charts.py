@@ -96,7 +96,7 @@ def figure_to_svg(
     out = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
         f'height="{height}" viewBox="0 0 {width} {height}" '
-        f'font-family="sans-serif" font-size="12">',
+        'font-family="sans-serif" font-size="12">',
         f'<rect width="{width}" height="{height}" fill="white"/>',
         f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
         f'font-size="14">{figure.name}: {figure.title}</text>',
@@ -143,7 +143,7 @@ def figure_to_svg(
     if figure.y_label:
         out.append(
             f'<text x="14" y="{margin_t + plot_h / 2:.0f}" '
-            f'text-anchor="middle" transform="rotate(-90 14 '
+            'text-anchor="middle" transform="rotate(-90 14 '
             f'{margin_t + plot_h / 2:.0f})">{figure.y_label}</text>'
         )
 
@@ -168,7 +168,7 @@ def figure_to_svg(
             )
             out.append(
                 f'<path d="{path}" fill="none" stroke="{color}" '
-                f'stroke-width="2"/>'
+                'stroke-width="2"/>'
             )
             for x, y in seg:
                 out.append(

@@ -67,18 +67,35 @@ def run_table1(
     trials: int = DEFAULT_TRIALS,
     degrees=(6, 2),
     seed: int = 0,
+    engine: str = "serial",
+    max_workers: int | None = None,
 ) -> list[AggregateRow]:
     """Regenerate Table I.
 
     :param sizes: problem sizes (the paper used :data:`PAPER_SIZES`).
     :param trials: trials per size (the paper used 200).
     :param degrees: out-degree variants to run (the paper ran 6 and 2).
+    :param engine: trial execution backend, ``"serial"``/``"process"``/
+        ``"auto"`` (see :mod:`repro.experiments.parallel`); results are
+        identical either way.
+    :param max_workers: worker-process count for the process engine.
     :returns: one :class:`AggregateRow` per (size, degree), sizes outer.
     """
     rows = []
     for n in sizes:
         for degree in degrees:
-            rows.append(aggregate(run_trials(n, degree, trials, seed=seed)))
+            rows.append(
+                aggregate(
+                    run_trials(
+                        n,
+                        degree,
+                        trials,
+                        seed=seed,
+                        engine=engine,
+                        max_workers=max_workers,
+                    )
+                )
+            )
     return rows
 
 

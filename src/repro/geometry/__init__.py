@@ -16,14 +16,14 @@ from repro.geometry.points import (
     pairwise_distances,
     validate_points,
 )
-from repro.geometry.projection import pca_project, project_tree
 from repro.geometry.polar import (
+    SphericalTransform,
     angles_to_unit_vectors,
+    from_polar,
     normalize_angle,
     to_polar,
-    from_polar,
-    SphericalTransform,
 )
+from repro.geometry.projection import pca_project, project_tree
 from repro.geometry.regions import (
     Annulus,
     Ball,

@@ -10,9 +10,9 @@ the paper's algorithm would need.
 
 from repro.overlay.dynamic import DynamicOverlay
 from repro.overlay.host import Host
-from repro.overlay.protocol import DistributedJoinProtocol, JoinOutcome
 from repro.overlay.metrics import TreeMetrics, evaluate_tree
 from repro.overlay.multitree import MultiTree, build_striped_trees
+from repro.overlay.protocol import DistributedJoinProtocol, JoinOutcome
 from repro.overlay.repair import repair_after_failure
 from repro.overlay.session import MulticastSession
 from repro.overlay.simulator import DisseminationResult, simulate_dissemination

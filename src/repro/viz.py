@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
 
 from repro.core.tree import MulticastTree
 
@@ -91,7 +90,7 @@ def tree_to_svg(
     sx, sy = xy(pts[tree.root])
     lines.append(
         f'<circle cx="{sx}" cy="{sy}" r="7" fill="none" '
-        f'stroke="#c0392b" stroke-width="3"/>'
+        'stroke="#c0392b" stroke-width="3"/>'
     )
     lines.append("</svg>")
     return "\n".join(lines)

@@ -1,7 +1,6 @@
 """Tests for the theorem-verification module."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.verify import (
     CheckResult,

@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.convergence import (
-    ConvergenceFit,
-    fit_power_law,
-    measure_convergence,
-)
+from repro.analysis.convergence import fit_power_law, measure_convergence
 
 
 class TestFitPowerLaw:

@@ -5,12 +5,12 @@ import itertools
 import numpy as np
 import pytest
 
+from repro.baselines.compact_tree import compact_tree
 from repro.baselines.exact import (
     MAX_EXACT_NODES,
     optimal_radius,
     optimal_radius_tree,
 )
-from repro.baselines.compact_tree import compact_tree
 
 
 class TestKnownOptima:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.builder import build_polar_grid_tree
 from repro.core.grid import PolarGrid
-from repro.geometry.polar import to_polar
 from repro.workloads.generators import annulus_points
 
 

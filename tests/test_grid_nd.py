@@ -147,7 +147,6 @@ class TestChooseRingCount:
         ks = {}
         for n in (256, 4096, 65536):
             pts = Ball(dim=2).sample(n, rng)
-            grid = None
 
             def factory(k):
                 return PolarGridND(

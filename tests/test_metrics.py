@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.tree import MulticastTree
 from repro.core.builder import build_polar_grid_tree
+from repro.core.tree import MulticastTree
 from repro.overlay.metrics import evaluate_tree
 from repro.workloads.generators import unit_disk
 

@@ -1,0 +1,208 @@
+"""Tests for the parallel experiment engine (repro.experiments.parallel).
+
+The load-bearing guarantee: serial and process backends produce
+identical :class:`TrialRecord` streams, in trial order, for the same
+seed — identical in every field except ``seconds`` (wall-clock time,
+measured per worker). Most tests force :class:`ProcessExecutor`
+directly so real subprocesses (and real pickling) are exercised even on
+single-CPU hosts, where :func:`make_executor` would fall back to serial.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.campaign import Campaign, ExperimentSpec
+from repro.experiments.parallel import (
+    ENGINES,
+    ProcessExecutor,
+    SerialExecutor,
+    TrialError,
+    TrialFailure,
+    TrialTask,
+    execute_trial,
+    make_executor,
+    process_unavailable_reason,
+    run_task,
+)
+from repro.experiments.runner import TrialRecord, run_trials
+
+
+def strip_timing(records):
+    """Records with the wall-clock field zeroed — the deterministic part."""
+    return [dataclasses.replace(r, seconds=0.0) for r in records]
+
+
+class TestExecutors:
+    def test_make_executor_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            make_executor("threads")
+
+    def test_engine_names(self):
+        assert set(ENGINES) == {"auto", "serial", "process"}
+        with make_executor("serial") as ex:
+            assert isinstance(ex, SerialExecutor)
+
+    def test_process_falls_back_gracefully(self):
+        # Whatever the host, engine="process" must hand back a working
+        # executor; when it degrades, the reason is recorded.
+        with make_executor("process", max_workers=2) as ex:
+            if isinstance(ex, SerialExecutor):
+                assert ex.fallback_reason
+                assert ex.fallback_reason == process_unavailable_reason()
+            else:
+                assert ex.max_workers == 2
+
+    def test_auto_resolves(self):
+        with make_executor("auto") as ex:
+            assert ex.name in ("serial", "process")
+
+    def test_process_executor_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ProcessExecutor(max_workers=-1)
+
+    def test_results_come_back_in_task_order(self):
+        # Mixed sizes so completion order differs from task order under
+        # real parallelism.
+        tasks = [TrialTask(n, 6, 2, seed=10 + i) for i, n in
+                 enumerate((400, 50, 300, 60))]
+        with ProcessExecutor(max_workers=2) as ex:
+            outcomes = ex.map(tasks)
+        assert [o.n for o in outcomes] == [400, 50, 300, 60]
+        assert [o.delay for o in outcomes] == [
+            execute_trial(t).delay for t in tasks
+        ]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("n,trials", [(60, 3), (200, 4)])
+    def test_serial_and_process_records_identical(self, n, trials):
+        serial = run_trials(n, 6, trials=trials, seed=9, engine="serial")
+        process = run_trials(
+            n, 6, trials=trials, seed=9, engine="process", max_workers=2
+        )
+        assert strip_timing(serial) == strip_timing(process)
+
+    def test_forced_subprocesses_match_serial(self):
+        # Bypass the single-CPU fallback: genuine workers, genuine
+        # pickling of TrialTask and TrialRecord.
+        tasks = [TrialTask(150, 2, 2, seed=3 + t) for t in range(4)]
+        with ProcessExecutor(max_workers=2) as ex:
+            from_pool = ex.map(tasks)
+        assert all(isinstance(r, TrialRecord) for r in from_pool)
+        serial = run_trials(150, 2, trials=4, seed=3, engine="serial")
+        assert strip_timing(serial) == strip_timing(from_pool)
+
+    def test_3d_trials_through_engine(self):
+        serial = run_trials(100, 10, trials=2, dim=3, seed=1)
+        tasks = [TrialTask(100, 10, 3, seed=1 + t) for t in range(2)]
+        with ProcessExecutor(max_workers=2) as ex:
+            from_pool = ex.map(tasks)
+        assert strip_timing(serial) == strip_timing(from_pool)
+
+
+class TestFailureHandling:
+    def test_serial_failure_recorded_and_reraised(self):
+        # max_out_degree=1 fails deterministically inside the build.
+        with pytest.raises(TrialError) as info:
+            run_trials(40, 1, trials=3, seed=11, engine="serial")
+        err = info.value
+        assert len(err.failures) == 3
+        assert err.completed == []
+        assert [f.task.seed for f in err.failures] == [11, 12, 13]
+        assert "seed=11" in str(err)
+        assert "max_out_degree" in err.failures[0].error
+
+    def test_process_failure_crosses_the_pickle_boundary(self):
+        tasks = [TrialTask(40, 1, 2, seed=5)]
+        with ProcessExecutor(max_workers=2) as ex:
+            (outcome,) = ex.map(tasks)
+        assert isinstance(outcome, TrialFailure)
+        assert outcome.error_type == "ValueError"
+        assert outcome.task.seed == 5
+
+    def test_partial_failure_keeps_successes(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        real_build = parallel_mod.build_polar_grid_tree
+
+        def flaky(points, source, degree, **kw):
+            if len(points) == 77:  # poison one specific task
+                raise RuntimeError("degenerate draw")
+            return real_build(points, source, degree, **kw)
+
+        monkeypatch.setattr(
+            parallel_mod, "build_polar_grid_tree", flaky
+        )
+        tasks = [TrialTask(n, 6, 2, seed=i) for i, n in
+                 enumerate((50, 77, 60))]
+        outcomes = [run_task(t) for t in tasks]
+        assert isinstance(outcomes[0], TrialRecord)
+        assert isinstance(outcomes[1], TrialFailure)
+        assert isinstance(outcomes[2], TrialRecord)
+        assert outcomes[1].task.seed == 1
+        err = TrialError(
+            [o for o in outcomes if isinstance(o, TrialFailure)],
+            [o for o in outcomes if isinstance(o, TrialRecord)],
+        )
+        assert len(err.completed) == 2
+        assert "degenerate draw" in str(err)
+
+    def test_run_trials_still_validates_trials(self):
+        with pytest.raises(ValueError, match="trial"):
+            run_trials(10, 6, trials=0)
+
+
+def small_spec(trials=3, name="engine", degrees=(6,)):
+    return ExperimentSpec(
+        name=name, sizes=(50, 100), degrees=degrees, trials=trials, seed=5
+    )
+
+
+class TestCampaignEngine:
+    def test_process_campaign_matches_serial(self, tmp_path):
+        serial_rows = Campaign(small_spec(name="s"), tmp_path).run(
+            engine="serial"
+        )
+        process_rows = Campaign(small_spec(name="p"), tmp_path).run(
+            engine="process", max_workers=2
+        )
+        assert [
+            dataclasses.replace(r, seconds=0.0) for r in serial_rows
+        ] == [dataclasses.replace(r, seconds=0.0) for r in process_rows]
+
+    def test_resume_after_interrupt_reproduces_summary(self, tmp_path):
+        # Phase 1: an "interrupted" campaign completed only 1 trial.
+        Campaign(small_spec(trials=1, name="r"), tmp_path).run()
+        # Phase 2: resume to 3 trials, through a forced process pool so
+        # trials can genuinely complete out of order.
+        resumed = Campaign(small_spec(trials=3, name="r"), tmp_path)
+        with ProcessExecutor(max_workers=2) as ex:
+            for n, degree in resumed.spec.configurations():
+                resumed._run_config(ex, n, degree, [])
+        rows = resumed.run()  # all checkpointed: aggregates + summary
+        clean = Campaign(small_spec(trials=3, name="c"), tmp_path)
+        clean_rows = clean.run()
+        assert [
+            dataclasses.replace(r, seconds=0.0) for r in rows
+        ] == [dataclasses.replace(r, seconds=0.0) for r in clean_rows]
+        assert [
+            dataclasses.replace(r, seconds=0.0)
+            for r in resumed.summary_rows()
+        ] == [
+            dataclasses.replace(r, seconds=0.0)
+            for r in clean.summary_rows()
+        ]
+
+    def test_failing_config_reported_at_end(self, tmp_path):
+        # degrees=(1, 6): the degree-1 config fails in the build, the
+        # degree-6 config must still run and checkpoint fully.
+        spec = ExperimentSpec(
+            name="f", sizes=(50,), degrees=(1, 6), trials=2, seed=0
+        )
+        campaign = Campaign(spec, tmp_path)
+        with pytest.raises(TrialError) as info:
+            campaign.run()
+        assert campaign.completed_trials(50, 6) == 2
+        assert campaign.completed_trials(50, 1) == 0
+        assert len(info.value.completed) == 1  # the degree-6 aggregate

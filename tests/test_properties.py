@@ -8,7 +8,7 @@ implicate several of them.
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import compact_tree

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.builder import build_polar_grid_tree
-from repro.overlay.stream_sim import FailureEvent, StreamReport, simulate_stream
+from repro.overlay.stream_sim import FailureEvent, simulate_stream
 from repro.workloads.generators import unit_disk
 
 

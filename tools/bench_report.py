@@ -1,0 +1,133 @@
+"""Measure serial-vs-parallel engine throughput; emit BENCH_engine.json.
+
+Gives every PR a perf trajectory to compare against: the CI workflow
+runs this on a Table-I-shaped workload and uploads the JSON as an
+artifact. Schema — a list of entries, one per measured configuration::
+
+    {"name": str,      # "engine-serial" / "engine-process"
+     "n": int,         # nodes per trial
+     "trials": int,    # trials in the batch
+     "workers": int,   # worker processes (1 for serial)
+     "seconds": float, # wall-clock for the whole batch
+     "speedup": float} # serial seconds / this entry's seconds
+
+Run::
+
+    PYTHONPATH=src python tools/bench_report.py --out BENCH_engine.json
+    PYTHONPATH=src python tools/bench_report.py --n 10000 --trials 16 \\
+        --workers 4 --force-process
+
+``--force-process`` bypasses the single-CPU fallback and times real
+worker processes anyway (useful to validate overhead; on a single CPU
+the speedup will honestly sit near or below 1.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    TrialTask,
+    make_executor,
+)
+
+
+def time_batch(executor, tasks) -> float:
+    started = time.perf_counter()
+    outcomes = executor.map(tasks)
+    elapsed = time.perf_counter() - started
+    failed = [o for o in outcomes if not hasattr(o, "delay")]
+    if failed:
+        raise SystemExit(f"{len(failed)} trial(s) failed: {failed[0]}")
+    return elapsed
+
+
+def run_report(
+    n: int, trials: int, workers: int, force_process: bool
+) -> list[dict]:
+    tasks = [TrialTask(n, 6, 2, seed=t) for t in range(trials)]
+
+    with SerialExecutor() as executor:
+        serial_s = time_batch(executor, tasks)
+
+    if force_process:
+        parallel_executor = ProcessExecutor(max_workers=workers)
+    else:
+        parallel_executor = make_executor("process", max_workers=workers)
+    with parallel_executor as executor:
+        engine = executor.name
+        actual_workers = getattr(executor, "max_workers", 1)
+        parallel_s = time_batch(executor, tasks)
+
+    entries = [
+        {
+            "name": "engine-serial",
+            "n": n,
+            "trials": trials,
+            "workers": 1,
+            "seconds": round(serial_s, 4),
+            "speedup": 1.0,
+        },
+        {
+            "name": f"engine-{engine}",
+            "n": n,
+            "trials": trials,
+            "workers": actual_workers,
+            "seconds": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 3)
+            if parallel_s > 0
+            else 0.0,
+        },
+    ]
+    return entries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial-vs-parallel engine throughput report"
+    )
+    parser.add_argument("--n", type=int, default=5_000, help="nodes/trial")
+    parser.add_argument("--trials", type=int, default=12)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker processes for the parallel measurement",
+    )
+    parser.add_argument(
+        "--force-process",
+        action="store_true",
+        help="use real worker processes even where the engine would "
+        "fall back to serial (single-CPU hosts)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.trials < 1:
+        parser.error("--trials must be at least 1")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    entries = run_report(
+        args.n, args.trials, args.workers, args.force_process
+    )
+    Path(args.out).write_text(json.dumps(entries, indent=2) + "\n")
+    for e in entries:
+        print(
+            f"{e['name']:>16}: {e['seconds']:8.3f}s "
+            f"(workers={e['workers']}, speedup {e['speedup']:.2f}x)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

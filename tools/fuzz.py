@@ -21,7 +21,7 @@ import traceback
 
 import numpy as np
 
-from repro.baselines import bandwidth_latency_tree, capped_star, compact_tree
+from repro.baselines import bandwidth_latency_tree, compact_tree
 from repro.core.builder import build_bisection_tree, build_polar_grid_tree
 from repro.core.quadtree import build_quadtree_tree
 
