@@ -4,12 +4,25 @@
 equation of the paper into an executable check — Monte Carlo where the
 claim is probabilistic, exhaustive-oracle where it is combinatorial —
 and renders a pass/fail report (``python -m repro verify``).
+
+:mod:`repro.analysis.oracle` is the per-tree counterpart: an independent
+re-derivation of the structural invariants (spanning, acyclicity,
+degree cap, radius, polar-grid cell/representative rules) returning
+structured :class:`~repro.analysis.oracle.Violation` records — the
+backbone of the differential and fuzzing harnesses in
+:mod:`repro.testing`.
 """
 
 from repro.analysis.convergence import (
     ConvergenceFit,
     fit_power_law,
     measure_convergence,
+)
+from repro.analysis.oracle import (
+    OracleReport,
+    Violation,
+    check_build_result,
+    check_tree,
 )
 from repro.analysis.sensitivity import DepthSweep, sweep_grid_depth
 from repro.analysis.verify import CheckResult, VerificationReport, run_all_checks
@@ -18,7 +31,11 @@ __all__ = [
     "CheckResult",
     "ConvergenceFit",
     "DepthSweep",
+    "OracleReport",
     "VerificationReport",
+    "Violation",
+    "check_build_result",
+    "check_tree",
     "fit_power_law",
     "measure_convergence",
     "run_all_checks",

@@ -1,0 +1,498 @@
+"""Independent structural oracle for multicast trees.
+
+:class:`~repro.core.tree.MulticastTree` validates itself with the same
+vectorised machinery (pointer doubling) that computes its delays — a bug
+in that machinery can therefore hide from its own checks. This module
+re-derives every invariant the paper's constructions promise *from
+scratch*, using nothing but the raw parent array and the coordinates:
+
+* **spanning / acyclicity** — a plain breadth-first search from the root
+  over the child adjacency, never trusting cached delays or doubling;
+* **out-degree cap** — recomputed with a bincount against a scalar or
+  per-node budget (the paper's constraint ``d(v) <= d_max``);
+* **radius** — re-accumulated edge length by edge length in BFS order
+  and compared against the tree's own ``radius()`` / ``root_delays()``,
+  so stale caches and doubling bugs are caught too;
+* **polar-grid invariants** — for trees built by Algorithm Polar_Grid,
+  the cell-occupancy property (Section III-A, property 3 or the relaxed
+  IV-C parent-chain rule) and the representative rule of Section III-B
+  are re-checked against a fresh cell assignment.
+
+Every failure is returned as a structured :class:`Violation` record, not
+a boolean, so the fuzzing and differential harnesses in
+:mod:`repro.testing` can write actionable crash artifacts. Nothing here
+raises on bad trees unless you ask (:meth:`OracleReport.raise_if_failed`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tree import MulticastTree, TreeInvariantError
+
+__all__ = [
+    "Violation",
+    "OracleReport",
+    "check_tree",
+    "check_build_result",
+]
+
+# How many offending node indices a Violation records before truncating;
+# crash artifacts stay readable even when half the tree is wrong.
+MAX_NODES_PER_VIOLATION = 16
+
+# Relative slack for floating-point comparisons of recomputed delays.
+FLOAT_RTOL = 1e-9
+FLOAT_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough context to reproduce it.
+
+    :param code: stable machine-readable identifier (``"CYCLE"``,
+        ``"DEGREE_CAP"``, ...) — the fuzzer keys its artifacts on this.
+    :param message: human-readable description with the measured values.
+    :param nodes: offending node indices (truncated to
+        :data:`MAX_NODES_PER_VIOLATION`).
+    """
+
+    code: str
+    message: str
+    nodes: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        suffix = f" nodes={list(self.nodes)}" if self.nodes else ""
+        return f"[{self.code}] {self.message}{suffix}"
+
+
+@dataclass
+class OracleReport:
+    """All violations found by one oracle pass, plus summary statistics.
+
+    ``checks`` lists every check that actually ran, so a report with no
+    violations can still be audited for coverage (a check skipped for a
+    missing input is visibly absent).
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str, nodes=()) -> None:
+        nodes = tuple(int(v) for v in list(nodes)[:MAX_NODES_PER_VIOLATION])
+        self.violations.append(Violation(code, message, nodes))
+
+    def extend(self, other: "OracleReport") -> "OracleReport":
+        """Merge another report's findings into this one."""
+        self.violations.extend(other.violations)
+        self.checks.extend(c for c in other.checks if c not in self.checks)
+        self.stats.update(other.stats)
+        return self
+
+    def render(self) -> str:
+        lines = [
+            f"tree oracle: {len(self.checks)} checks, "
+            f"{len(self.violations)} violations"
+        ]
+        for v in self.violations:
+            lines.append(f"  {v}")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> "OracleReport":
+        """Raise :class:`TreeInvariantError` listing every violation."""
+        if not self.ok:
+            raise TreeInvariantError(self.render())
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by fuzz crash artifacts)."""
+        return {
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "stats": {k: _jsonable(v) for k, v in self.stats.items()},
+            "violations": [
+                {"code": v.code, "message": v.message, "nodes": list(v.nodes)}
+                for v in self.violations
+            ],
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# the core oracle
+# ----------------------------------------------------------------------
+
+
+def _coerce_inputs(tree, points, root):
+    """Accept a MulticastTree or a raw parent array; return raw arrays."""
+    if isinstance(tree, MulticastTree):
+        parent = np.asarray(tree.parent, dtype=np.int64)
+        tree_points = np.asarray(tree.points, dtype=np.float64)
+        tree_root = int(tree.root)
+        if points is None:
+            points = tree_points
+        if root is None:
+            root = tree_root
+        return tree, parent, np.asarray(points, dtype=np.float64), int(root)
+    # Raw parent array: points and root are mandatory.
+    if points is None or root is None:
+        raise ValueError("raw parent arrays need explicit points and root")
+    parent = np.asarray(tree, dtype=np.int64)
+    return None, parent, np.asarray(points, dtype=np.float64), int(root)
+
+
+def check_tree(tree, points=None, d_max=None, root=None) -> OracleReport:
+    """Re-derive every structural invariant of a rooted multicast tree.
+
+    :param tree: a :class:`~repro.core.tree.MulticastTree`, or a raw
+        parent array (then ``points`` and ``root`` are required).
+    :param points: expected coordinates; defaults to the tree's own, and
+        is cross-checked against them when both are available.
+    :param d_max: out-degree budget — a scalar, a per-node array, or
+        ``None`` to skip the degree check.
+    :param root: expected root index; defaults to the tree's own.
+    :returns: an :class:`OracleReport`; ``report.ok`` means every check
+        that ran found nothing wrong.
+
+    The oracle is deliberately redundant with
+    :meth:`MulticastTree.validate`: it shares no code path with the
+    pointer-doubling delay machinery, so a bug there cannot mask itself.
+    """
+    report = OracleReport()
+    mtree, parent, points, root = _coerce_inputs(tree, points, root)
+    n = int(parent.shape[0])
+    report.stats["n"] = n
+
+    report.checks.append("shape")
+    if points.ndim != 2 or points.shape[0] != n:
+        report.add(
+            "SHAPE",
+            f"points shape {points.shape} does not match {n} parent entries",
+        )
+        return report  # nothing downstream is meaningful
+    if not np.all(np.isfinite(points)):
+        bad = np.flatnonzero(~np.isfinite(points).all(axis=1))
+        report.add("NON_FINITE", "non-finite coordinates", bad)
+    if mtree is not None and points is not mtree.points:
+        if points.shape != mtree.points.shape or not np.array_equal(
+            points, mtree.points
+        ):
+            report.add(
+                "POINTS_MISMATCH",
+                "tree.points differ from the expected coordinates",
+            )
+    if not 0 <= root < n:
+        report.add("ROOT_RANGE", f"root index {root} out of range for n={n}")
+        return report
+
+    report.checks.append("parent-range")
+    out_of_range = np.flatnonzero((parent < 0) | (parent >= n))
+    if out_of_range.size:
+        report.add(
+            "PARENT_RANGE",
+            f"{out_of_range.size} parent indices outside [0, {n})",
+            out_of_range,
+        )
+        return report  # adjacency below would index out of bounds
+
+    report.checks.append("root-loop")
+    self_loops = np.flatnonzero(parent == np.arange(n))
+    if self_loops.tolist() != [root]:
+        report.add(
+            "ROOT_LOOP",
+            f"expected exactly one self-loop at root {root}; "
+            f"found self-loops at {self_loops.tolist()[:8]}",
+            self_loops,
+        )
+
+    # --- BFS from the root over the child adjacency -------------------
+    report.checks.append("spanning-bfs")
+    children = [[] for _ in range(n)]
+    for child, par in enumerate(parent.tolist()):
+        if child != root:
+            children[par].append(child)
+
+    order = []  # BFS order; every node appears after its parent
+    reached = np.zeros(n, dtype=bool)
+    reached[root] = True
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for child in children[node]:
+            if not reached[child]:
+                reached[child] = True
+                queue.append(child)
+    unreached = np.flatnonzero(~reached)
+    if unreached.size:
+        # Distinguish true cycles from components hanging off a bad root:
+        # chase parents from one stranded node; revisiting proves a cycle.
+        walk, seen = int(unreached[0]), set()
+        while walk not in seen and not reached[walk]:
+            seen.add(walk)
+            walk = int(parent[walk])
+        code = "CYCLE" if not reached[walk] else "NOT_SPANNING"
+        report.add(
+            code,
+            f"{unreached.size} of {n} nodes unreachable from the root",
+            unreached,
+        )
+
+    # --- out-degree cap -----------------------------------------------
+    if d_max is not None:
+        report.checks.append("degree-cap")
+        if np.isscalar(d_max):
+            budgets = np.full(n, int(d_max), dtype=np.int64)
+        else:
+            budgets = np.asarray(d_max, dtype=np.int64)
+            if budgets.shape != (n,):
+                raise ValueError(f"d_max must be scalar or shape ({n},)")
+        degrees = np.bincount(parent, minlength=n)
+        degrees[root] -= 1  # the root's self-loop is not a child
+        over = np.flatnonzero(degrees > budgets)
+        if over.size:
+            worst = int(over[np.argmax(degrees[over] - budgets[over])])
+            report.add(
+                "DEGREE_CAP",
+                f"{over.size} nodes exceed their fan-out budget "
+                f"(worst: node {worst} has {int(degrees[worst])} children, "
+                f"budget {int(budgets[worst])})",
+                over,
+            )
+        report.stats["max_out_degree"] = int(degrees.max()) if n > 1 else 0
+
+    # --- radius recomputation -----------------------------------------
+    # Accumulate parent-edge lengths in BFS order: O(n) scalar adds, no
+    # doubling, no caching. Only meaningful on a spanning, acyclic tree.
+    if not unreached.size:
+        report.checks.append("radius-recompute")
+        diffs = points - points[parent]
+        lengths = np.sqrt(np.sum(diffs * diffs, axis=1))
+        delays = np.zeros(n, dtype=np.float64)
+        for node in order:
+            if node != root:
+                delays[node] = delays[parent[node]] + lengths[node]
+        radius = float(delays.max()) if n else 0.0
+        report.stats["radius"] = radius
+        if mtree is not None:
+            claimed = mtree.root_delays()
+            if not np.allclose(
+                claimed, delays, rtol=FLOAT_RTOL, atol=FLOAT_ATOL
+            ):
+                bad = np.flatnonzero(
+                    ~np.isclose(claimed, delays, rtol=FLOAT_RTOL, atol=FLOAT_ATOL)
+                )
+                report.add(
+                    "DELAY_MISMATCH",
+                    f"root_delays() disagrees with the BFS recomputation at "
+                    f"{bad.size} nodes (worst gap "
+                    f"{float(np.abs(claimed - delays).max()):.3e})",
+                    bad,
+                )
+            claimed_radius = mtree.radius()
+            if not np.isclose(
+                claimed_radius, radius, rtol=FLOAT_RTOL, atol=FLOAT_ATOL
+            ):
+                report.add(
+                    "RADIUS_MISMATCH",
+                    f"radius() reports {claimed_radius!r}, recomputation "
+                    f"gives {radius!r}",
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# polar-grid specific invariants
+# ----------------------------------------------------------------------
+
+
+def _inner_anchor_distance(grid, points, nodes, ring, cell):
+    """Distance from each node to the centre of its cell's inner face —
+    the anchor the Section III-B representative rule minimises.
+
+    Mirrors the geometry in :func:`repro.core.builder.build_polar_grid_tree`
+    (independent recomputation, shared definitions).
+    """
+    radii = np.array([grid.ring_radius(i) for i in range(grid.k + 1)])
+    r_lo = np.where(ring == 0, grid.r_min, radii[np.maximum(ring - 1, 0)])
+    rho, t = grid.transform.transform(points[nodes], grid.center)
+    t_mid = np.empty_like(t)
+    for r in np.unique(ring):
+        mask = ring == r
+        for axis, width in enumerate(grid.axis_splits(int(r))):
+            count = 1 << width
+            bins = np.minimum(
+                (t[mask, axis] * count).astype(np.int64), count - 1
+            )
+            t_mid[mask, axis] = (bins + 0.5) / count
+    direction = grid.transform.direction(t_mid)
+    anchors = grid.center + r_lo[:, None] * direction
+    return np.sqrt(np.sum((points[nodes] - anchors) ** 2, axis=1))
+
+
+def check_build_result(
+    result,
+    points=None,
+    d_max=None,
+    source=None,
+    *,
+    occupancy: str | None = "full",
+    representative_rule: str | None = "inner-anchor",
+) -> OracleReport:
+    """Oracle pass over a :class:`~repro.core.builder.BuildResult`.
+
+    Runs :func:`check_tree` (with ``d_max`` defaulting to the budget the
+    build was asked for), then — when the result carries a polar grid —
+    re-derives the grid-level invariants:
+
+    * every receiver's ``(ring, cell)`` assignment is recomputed from the
+      raw coordinates and checked for **cell occupancy** (property 3 of
+      Section III-A for ``occupancy="full"``, the relaxed IV-C
+      parent-chain rule for ``"connected"``; pass ``None`` to skip, e.g.
+      for builds with a forced ``k``);
+    * the recorded **representatives** are distinct non-source nodes, one
+      per occupied subdivided cell, each a member of the cell it
+      represents;
+    * each representative actually optimises the configured
+      **representative rule** within its cell (min inner-anchor distance
+      for ``"inner-anchor"``, min radius for ``"min-radius"``; ``None``
+      skips the rule check).
+    """
+    tree = result.tree
+    if d_max is None:
+        d_max = result.max_out_degree
+    if source is None:
+        source = tree.root
+    report = check_tree(tree, points=points, d_max=d_max, root=source)
+    grid = getattr(result, "grid", None)
+    if grid is None or not report.ok and any(
+        v.code in ("SHAPE", "PARENT_RANGE", "ROOT_RANGE")
+        for v in report.violations
+    ):
+        return report
+
+    pts = np.asarray(tree.points, dtype=np.float64)
+    n = pts.shape[0]
+    receivers = np.flatnonzero(np.arange(n) != source)
+    ring, cell = grid.assign_points(pts[receivers])
+    gid = np.asarray(grid.global_id(ring, cell))
+
+    if occupancy is not None:
+        report.checks.append(f"grid-occupancy[{occupancy}]")
+        if occupancy == "full":
+            ok = grid.occupancy_ok(ring, cell)
+        elif occupancy == "connected":
+            ok = grid.connectivity_ok(ring, cell)
+        else:
+            raise ValueError(f"unknown occupancy rule {occupancy!r}")
+        if not ok:
+            report.add(
+                "OCCUPANCY",
+                f"grid with k={grid.k} fails the {occupancy!r} occupancy "
+                f"property over {receivers.size} receivers",
+            )
+
+    reps = getattr(result, "representatives", None)
+    if reps is None:
+        return report
+    reps = np.asarray(reps, dtype=np.int64)
+    report.checks.append("grid-representatives")
+    report.stats["representatives"] = int(reps.size)
+
+    bad_range = reps[(reps < 0) | (reps >= n)]
+    if bad_range.size:
+        report.add("REP_RANGE", "representative index out of range", bad_range)
+        return report
+    if np.unique(reps).size != reps.size:
+        dup = reps[np.flatnonzero(np.bincount(reps, minlength=n)[reps] > 1)]
+        report.add("REP_DUPLICATE", "a node represents two cells", dup)
+    if np.any(reps == source):
+        report.add("REP_SOURCE", "the source is listed as a representative")
+
+    # Map receivers -> their gid, then compare the represented cells with
+    # the occupied subdivided cells (the inner region D0 — gid 0 — is
+    # represented by the source itself and carries no entry in `reps`).
+    gid_of = np.full(n, -1, dtype=np.int64)
+    gid_of[receivers] = gid
+    rep_gids = gid_of[reps]
+    if np.any(rep_gids < 0):
+        report.add(
+            "REP_MEMBER",
+            "a representative is not a receiver of any cell",
+            reps[rep_gids < 0],
+        )
+    occupied = np.unique(gid[gid > 0])
+    represented = np.unique(rep_gids[rep_gids > 0])
+    if represented.size != rep_gids[rep_gids > 0].size:
+        report.add(
+            "REP_CELL_CLASH",
+            "two representatives claim the same cell",
+        )
+    missing = np.setdiff1d(occupied, represented)
+    if missing.size:
+        report.add(
+            "REP_MISSING",
+            f"{missing.size} occupied cells have no representative "
+            f"(gids {missing[:8].tolist()})",
+        )
+    extra = np.setdiff1d(represented, occupied)
+    if extra.size:
+        report.add(
+            "REP_EMPTY_CELL",
+            f"representatives recorded for {extra.size} empty cells",
+        )
+
+    if representative_rule is not None:
+        if representative_rule not in ("inner-anchor", "min-radius"):
+            raise ValueError(
+                f"unknown representative rule {representative_rule!r}"
+            )
+        report.checks.append(f"grid-rep-rule[{representative_rule}]")
+        if representative_rule == "inner-anchor":
+            key = _inner_anchor_distance(grid, pts, receivers, ring, cell)
+        else:
+            key, _ = grid.transform.transform(pts[receivers], grid.center)
+        key_of = np.full(n, np.inf)
+        key_of[receivers] = key
+        # Per-cell minimum of the rule's key, via sorting receivers by gid.
+        order = np.argsort(gid, kind="stable")
+        sorted_gid = gid[order]
+        sorted_key = key[order]
+        cuts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_gid)) + 1, [sorted_gid.size]]
+        )
+        best = {}
+        for s, e in zip(cuts[:-1], cuts[1:]):
+            best[int(sorted_gid[s])] = float(sorted_key[s:e].min())
+        # Ties (duplicate points) make any minimiser legitimate.
+        offenders = [
+            int(r)
+            for r, g in zip(reps, rep_gids)
+            if g > 0
+            and not np.isclose(
+                key_of[r], best[int(g)], rtol=1e-9, atol=1e-12
+            )
+        ]
+        if offenders:
+            report.add(
+                "REP_RULE",
+                f"{len(offenders)} representatives do not minimise the "
+                f"{representative_rule!r} key within their cell",
+                offenders,
+            )
+    return report

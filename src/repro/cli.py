@@ -177,6 +177,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     score.add_argument("--trials", type=int, default=10)
     score.add_argument("--seed", type=int, default=0)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seed-corpus differential fuzzing of the builders "
+        "(crash artifacts in results/fuzz/, exit 3 on violation)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=200, help="corpus size (instances)"
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock cap; stops early but never changes the corpus",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="base seed (corpus identity)"
+    )
+    fuzz.add_argument(
+        "--out", default="results/fuzz", help="crash artifact directory"
+    )
+    fuzz.add_argument(
+        "--max-crashes", type=int, default=5, help="stop after K crashes"
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write crash artifacts without the shrinking pass",
+    )
     return parser
 
 
@@ -299,6 +329,18 @@ def main(argv=None) -> int:
             rows = extensions.algorithm_showdown(n=args.nodes, seed=args.seed)
         print(extensions.format_rows(rows))
         return 0
+
+    if args.command == "fuzz":
+        from repro.testing.fuzz import run_fuzz
+
+        return run_fuzz(
+            seeds=args.seeds,
+            budget=args.budget,
+            base_seed=args.seed,
+            out_dir=args.out,
+            max_crashes=args.max_crashes,
+            shrink=not args.no_shrink,
+        )
 
     if args.command == "scorecard":
         from repro.experiments.scorecard import run_scorecard

@@ -35,6 +35,31 @@ from repro.geometry.polar import TWO_PI, SphericalTransform
 __all__ = ["BuildResult", "build_polar_grid_tree", "build_bisection_tree"]
 
 
+def representative_order(
+    representative_rule: str,
+    gid: np.ndarray,
+    inner_dist: np.ndarray,
+    rho: np.ndarray,
+) -> np.ndarray:
+    """Sort receivers by cell, best representative candidate first.
+
+    The first receiver of each ``gid`` run in the returned order becomes
+    the cell's representative (Section III-B). Factored out of
+    :func:`build_polar_grid_tree` so the mutation-smoke tests can break
+    the rule deliberately and prove the oracle catches it.
+
+    :param representative_rule: ``"inner-anchor"`` sorts by distance to
+        the cell's inner anchor; ``"min-radius"`` by distance to the
+        source (the literal III-E rule).
+    :param gid: global cell id per receiver (primary key).
+    :param inner_dist: distance to the cell's inner-arc centre.
+    :param rho: distance to the source.
+    """
+    if representative_rule == "inner-anchor":
+        return np.lexsort((inner_dist, gid))
+    return np.lexsort((rho, gid))  # "min-radius": the III-E ablation rule
+
+
 @dataclass
 class BuildResult:
     """Everything a build produces, including the paper's per-run metrics.
@@ -231,10 +256,9 @@ def build_polar_grid_tree(
         np.sum((recv_points - (center + r_hi[:, None] * direction)) ** 2, axis=1)
     )
 
-    if representative_rule == "inner-anchor":
-        order = np.lexsort((inner_dist, gid))
-    else:  # "min-radius": the literal III-E rule (ablation)
-        order = np.lexsort((rho[receivers], gid))
+    order = representative_order(
+        representative_rule, gid, inner_dist, rho[receivers]
+    )
     sorted_nodes = receivers[order]
     sorted_gid = gid[order]
     cuts = np.flatnonzero(np.diff(sorted_gid)) + 1

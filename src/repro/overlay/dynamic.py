@@ -42,6 +42,14 @@ class DynamicOverlay:
     :param rebuild_threshold: fraction of the membership that may churn
         (joins + leaves) before the next event triggers a full
         polar-grid rebuild. ``None`` disables automatic rebuilds.
+    :param validate: self-check after every membership event: the
+        current tree is re-derived through the independent oracle
+        (:func:`repro.analysis.oracle.check_tree`) and the incremental
+        delay/degree caches are compared against a recomputation; any
+        drift raises :class:`~repro.core.tree.TreeInvariantError`
+        immediately instead of corrupting later events. Costs O(n) per
+        event — intended for simulations and tests, not the 5M-node
+        path.
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class DynamicOverlay:
         source_coords,
         max_out_degree: int = 6,
         rebuild_threshold: float | None = 0.25,
+        validate: bool = False,
     ):
         coords = np.asarray(source_coords, dtype=np.float64)
         if coords.ndim != 1 or coords.shape[0] < 2:
@@ -60,6 +69,7 @@ class DynamicOverlay:
 
         self.max_out_degree = int(max_out_degree)
         self.rebuild_threshold = rebuild_threshold
+        self.validate = bool(validate)
         self._names: list[str] = ["__source__"]
         self._points: list[np.ndarray] = [coords]
         self._index: dict[str, int] = {"__source__": 0}
@@ -97,6 +107,31 @@ class DynamicOverlay:
 
     # ------------------------------------------------------------------
 
+    def _self_check(self):
+        """Oracle pass over the live tree plus cache-drift detection."""
+        from repro.analysis.oracle import check_tree
+        from repro.core.tree import TreeInvariantError
+
+        tree = self.tree()
+        report = check_tree(tree, d_max=self.max_out_degree)
+        report.raise_if_failed()
+        # The oracle validated the tree itself; now catch incremental
+        # bookkeeping drift, which a later join would silently act on.
+        fresh_delay = tree.root_delays()
+        if not np.allclose(self._delay, fresh_delay, rtol=1e-9, atol=1e-9):
+            worst = float(np.abs(np.asarray(self._delay) - fresh_delay).max())
+            raise TreeInvariantError(
+                f"cached delays drifted from the tree (worst gap {worst:.3e})"
+            )
+        if not np.array_equal(self._degree, tree.out_degrees()):
+            raise TreeInvariantError(
+                "cached out-degrees drifted from the tree"
+            )
+
+    def _after_event(self):
+        if self.validate:
+            self._self_check()
+
     def _maybe_rebuild(self):
         if self.rebuild_threshold is None or self.n < 3:
             return
@@ -113,6 +148,7 @@ class DynamicOverlay:
         self._degree = tree.out_degrees().tolist()
         self._churn_since_rebuild = 0
         self.rebuild_count += 1
+        self._after_event()
 
     def join(self, name: str, coords) -> str:
         """Attach a new member; returns the name of its parent.
@@ -150,6 +186,7 @@ class DynamicOverlay:
         self._degree[pick] += 1
         self._churn_since_rebuild += 1
         self._maybe_rebuild()
+        self._after_event()
         parent_idx = self._parent[self._index[name]]
         return self._names[parent_idx]
 
@@ -163,7 +200,7 @@ class DynamicOverlay:
 
         tree = self.tree()
         new_tree, index_map = repair_after_failure(
-            tree, victim, self.max_out_degree
+            tree, victim, self.max_out_degree, validate=self.validate
         )
         survivors = [i for i in range(self.n) if i != victim]
         self._names = [self._names[i] for i in survivors]
@@ -174,6 +211,7 @@ class DynamicOverlay:
         self._degree = new_tree.out_degrees().tolist()
         self._churn_since_rebuild += 1
         self._maybe_rebuild()
+        self._after_event()
 
     # ------------------------------------------------------------------
 

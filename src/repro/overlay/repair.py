@@ -25,6 +25,8 @@ def repair_after_failure(
     tree: MulticastTree,
     failed: int,
     max_out_degree,
+    *,
+    validate: bool = False,
 ) -> tuple[MulticastTree, np.ndarray]:
     """Remove ``failed`` from the tree and reattach its orphans.
 
@@ -32,6 +34,12 @@ def repair_after_failure(
     :param failed: index of the departing node (must not be the root).
     :param max_out_degree: scalar fan-out bound, or per-node array
         aligned with the *original* indices.
+    :param validate: run the independent structural oracle
+        (:func:`repro.analysis.oracle.check_tree`) over the repaired
+        tree — spanning, acyclicity, degree cap, recomputed delays —
+        and raise :class:`~repro.core.tree.TreeInvariantError` on any
+        violation. Churn simulations switch this on to self-check every
+        repair they perform.
     :returns: ``(new_tree, index_map)`` where ``index_map[old] = new``
         position in the surviving tree and ``index_map[failed] == -1``.
     :raises ValueError: if the root fails (a multicast without its source
@@ -111,4 +119,9 @@ def repair_after_failure(
         parent=new_parent,
         root=int(index_map[tree.root]),
     )
+    if validate:
+        # Lazy import: analysis depends on core, not the other way round.
+        from repro.analysis.oracle import check_tree
+
+        check_tree(new_tree, d_max=budgets[survivors]).raise_if_failed()
     return new_tree, index_map

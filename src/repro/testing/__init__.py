@@ -1,0 +1,35 @@
+"""Correctness tooling: differential verification and fuzzing.
+
+This package is the mutation-visible safety net around the tree
+builders. :mod:`repro.testing.differential` builds the same instance
+with every algorithm and cross-checks them against the structural oracle
+(:mod:`repro.analysis.oracle`), the exhaustive optimum (tiny ``n``), the
+eq. (7) bound and a set of metamorphic transforms.
+:mod:`repro.testing.fuzz` drives that harness from a deterministic seed
+corpus (``python -m repro fuzz``), writing shrunk crash artifacts to
+``results/fuzz/``. See ``docs/TESTING.md`` for the full picture.
+"""
+
+from repro.testing.differential import (
+    BuilderOutcome,
+    DifferentialReport,
+    run_differential,
+)
+from repro.testing.fuzz import (
+    EXIT_CLEAN,
+    EXIT_CRASH,
+    instance_from_seed,
+    run_fuzz,
+    shrink_instance,
+)
+
+__all__ = [
+    "BuilderOutcome",
+    "DifferentialReport",
+    "EXIT_CLEAN",
+    "EXIT_CRASH",
+    "instance_from_seed",
+    "run_differential",
+    "run_fuzz",
+    "shrink_instance",
+]

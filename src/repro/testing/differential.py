@@ -1,0 +1,400 @@
+"""Differential and metamorphic verification of the tree builders.
+
+One instance, every algorithm: :func:`run_differential` builds the same
+point set with Algorithm Polar_Grid, the Section II bisection, and the
+baselines (compact tree, capped star), runs the structural oracle of
+:mod:`repro.analysis.oracle` over each result, and then cross-checks the
+radii against every bound that must hold simultaneously:
+
+* **universal lower bound** — any spanning tree's radius is at least the
+  distance from the source to its farthest receiver;
+* **exact sandwich** — for tiny instances the exhaustive optimum of
+  :mod:`repro.baselines.exact` gives ``opt <= radius``, and Theorem 1
+  additionally caps the 2-D bisection at ``factor * opt``;
+* **equation (7)** — the 2-D polar-grid radius never exceeds the paper's
+  closed-form bound (reported by the builder itself).
+
+On top sit *metamorphic* transforms — rotation, translation, uniform
+scaling, point permutation. Isometries preserve all pairwise distances,
+so whenever the construction is equivariant under the transform the
+radius must be reproduced exactly (up to the scale factor); where a
+construction is deliberately frame- or order-dependent the harness still
+requires the transformed build to pass the oracle and the bounds. Which
+equivalences hold for which builder is encoded in
+:data:`METAMORPHIC_TRANSFORMS` and documented in ``docs/TESTING.md``:
+
+============  ==============================  ===========================
+transform     polar grid                      bisection
+============  ==============================  ===========================
+translate     radius equal                    radius equal
+scale         radius scales by the factor     radius scales by the factor
+permute       radius equal                    radius equal except the 2-D
+                                              binary mode (order-driven
+                                              forwarder chains)
+rotate-pi     radius equal in the full mode   radius equal for d >= 3
+              (the half-turn maps every       (the annulus t-box is
+              dyadic cell onto a cell); the   half-turn symmetric); the
+              binary core chains cells in     2-D mode anchors its ring
+              id order, so only bounds are    centre to the bounding box,
+              required                        so only bounds are required
+============  ==============================  ===========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from traceback import format_exception_only
+
+import numpy as np
+
+from repro.analysis.oracle import (
+    OracleReport,
+    Violation,
+    check_build_result,
+    check_tree,
+)
+from repro.baselines import capped_star, compact_tree
+from repro.baselines.exact import MAX_EXACT_NODES, optimal_radius
+from repro.core.bounds import bisection_constant_factor
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+
+__all__ = [
+    "BuilderOutcome",
+    "DifferentialReport",
+    "METAMORPHIC_TRANSFORMS",
+    "run_differential",
+]
+
+# Exhaustive search costs (n-1)^(n-1); 7 nodes (46k vectors) is cheap
+# enough to run on every fuzz iteration, 8 is opt-in.
+DEFAULT_EXACT_LIMIT = 7
+
+# Radii reproduced under an exact equivariance must match to this rtol
+# (builds repeat the same float ops on transformed inputs).
+METAMORPHIC_RTOL = 1e-7
+
+BOUND_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class BuilderOutcome:
+    """One builder's result on one instance (or variant of it)."""
+
+    builder: str
+    radius: float | None = None
+    report: OracleReport | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and (self.report is None or self.report.ok)
+
+
+@dataclass
+class DifferentialReport:
+    """Everything the harness measured on one instance."""
+
+    n: int
+    dim: int
+    source: int
+    d_max: int
+    outcomes: list[BuilderOutcome] = field(default_factory=list)
+    cross_violations: list[Violation] = field(default_factory=list)
+    optimum: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.cross_violations and all(o.ok for o in self.outcomes)
+
+    @property
+    def violations(self) -> list[Violation]:
+        """All violations, per-builder and cross-builder."""
+        out = list(self.cross_violations)
+        for o in self.outcomes:
+            if o.report is not None:
+                out.extend(o.report.violations)
+            if o.error is not None:
+                out.append(Violation("BUILD_ERROR", f"{o.builder}: {o.error}"))
+        return out
+
+    def add(self, code: str, message: str) -> None:
+        self.cross_violations.append(Violation(code, message))
+
+    def render(self) -> str:
+        head = (
+            f"differential check: n={self.n} dim={self.dim} "
+            f"source={self.source} d_max={self.d_max}"
+        )
+        lines = [head]
+        for o in self.outcomes:
+            radius = "-" if o.radius is None else f"{o.radius:.6g}"
+            status = "ok" if o.ok else "FAIL"
+            lines.append(f"  {o.builder:<24} radius={radius:<12} {status}")
+        for v in self.violations:
+            lines.append(f"  {v}")
+        lines.append("clean" if self.ok else "VIOLATIONS FOUND")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "n": self.n,
+            "dim": self.dim,
+            "source": self.source,
+            "d_max": self.d_max,
+            "optimum": self.optimum,
+            "radii": {
+                o.builder: o.radius for o in self.outcomes if o.radius is not None
+            },
+            "violations": [
+                {"code": v.code, "message": v.message, "nodes": list(v.nodes)}
+                for v in self.violations
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# metamorphic transforms
+# ----------------------------------------------------------------------
+
+
+def _translate(points, source, rng):
+    shift = rng.normal(scale=2.0, size=points.shape[1])
+    return points + shift, source, 1.0
+
+
+def _scale(points, source, rng):
+    factor = float(rng.uniform(0.3, 4.0))
+    return points * factor, source, factor
+
+
+def _permute(points, source, rng):
+    perm = rng.permutation(points.shape[0])
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    return points[perm], int(inverse[source]), 1.0
+
+
+def _rotate_pi(points, source, rng):
+    # A half-turn in the plane of the last two axes: the one rotation
+    # that maps every dyadic angular bin of the polar grid onto a bin.
+    rotated = points.copy()
+    rotated[:, -2:] *= -1.0
+    return rotated, source, 1.0
+
+
+def _grid_is_full_mode(dim: int, d_max: int) -> bool:
+    return d_max >= (1 << dim) + 2
+
+
+#: ``name -> (transform, radius_equal_for_grid, radius_equal_for_bisection)``
+#: where the predicates take ``(dim, d_max)``. When a predicate is false
+#: the transform still runs, but only the oracle and the bounds are
+#: asserted — not radius equality (see the module docstring's table).
+METAMORPHIC_TRANSFORMS = {
+    "translate": (_translate, lambda dim, d: True, lambda dim, d: True),
+    "scale": (_scale, lambda dim, d: True, lambda dim, d: True),
+    "permute": (
+        _permute,
+        lambda dim, d: True,
+        lambda dim, d: not (dim == 2 and d < 4),
+    ),
+    "rotate-pi": (
+        _rotate_pi,
+        _grid_is_full_mode,
+        lambda dim, d: dim >= 3,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+
+
+def _lower_bound(points: np.ndarray, source: int) -> float:
+    return float(np.sqrt(((points - points[source]) ** 2).sum(axis=1)).max())
+
+
+def _error_text(exc: BaseException) -> str:
+    return "".join(format_exception_only(type(exc), exc)).strip()
+
+
+def run_differential(
+    points,
+    source: int = 0,
+    d_max: int = 6,
+    *,
+    metamorphic: bool = True,
+    exact_limit: int | None = None,
+    seed: int = 0,
+) -> DifferentialReport:
+    """Build one instance with every algorithm and cross-check the lot.
+
+    :param points: ``(n, d)`` coordinates, ``d >= 2``.
+    :param source: root index.
+    :param d_max: fan-out budget handed to every builder (>= 2).
+    :param metamorphic: also rebuild under the
+        :data:`METAMORPHIC_TRANSFORMS` and check radius equivariance.
+    :param exact_limit: run the exhaustive optimum for ``n`` up to this
+        (default :data:`DEFAULT_EXACT_LIMIT`, capped at
+        :data:`~repro.baselines.exact.MAX_EXACT_NODES`).
+    :param seed: seed for the transform parameters (shift vector, scale
+        factor, permutation) — the harness itself is deterministic.
+    :returns: a :class:`DifferentialReport`; ``report.ok`` means every
+        builder produced an oracle-clean tree and every cross-check held.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("differential harness needs (n, d) points, d >= 2")
+    if d_max < 2:
+        raise ValueError("d_max must be at least 2")
+    n, dim = points.shape
+    source = int(source)
+    report = DifferentialReport(n=n, dim=dim, source=source, d_max=d_max)
+    lower = _lower_bound(points, source)
+
+    # --- base builds, each through the oracle --------------------------
+    radii: dict[str, float] = {}
+    grid_result = None
+
+    def run_builder(name, build, oracle):
+        nonlocal grid_result
+        try:
+            built = build()
+        except Exception as exc:  # noqa: BLE001 - recorded, not swallowed
+            report.outcomes.append(
+                BuilderOutcome(builder=name, error=_error_text(exc))
+            )
+            return
+        tree = built.tree if hasattr(built, "tree") else built
+        outcome = BuilderOutcome(
+            builder=name, radius=float(tree.radius()), report=oracle(built)
+        )
+        report.outcomes.append(outcome)
+        radii[name] = outcome.radius
+        if name == "polar-grid":
+            grid_result = built
+
+    run_builder(
+        "polar-grid",
+        lambda: build_polar_grid_tree(points, source, d_max),
+        lambda built: check_build_result(
+            built, occupancy="full", representative_rule="inner-anchor"
+        ),
+    )
+    run_builder(
+        "bisection",
+        lambda: build_bisection_tree(points, source, d_max),
+        lambda built: check_tree(built.tree, d_max=d_max, root=source),
+    )
+    run_builder(
+        "compact-tree",
+        lambda: compact_tree(points, source, d_max),
+        lambda built: check_tree(built, d_max=d_max, root=source),
+    )
+    run_builder(
+        "capped-star",
+        lambda: capped_star(points, source, d_max),
+        lambda built: check_tree(built, d_max=d_max, root=source),
+    )
+
+    # --- cross-builder bounds ------------------------------------------
+    slack = BOUND_SLACK * max(lower, 1.0)
+    for name, radius in radii.items():
+        if radius < lower - slack:
+            report.add(
+                "SANDWICH_LOWER",
+                f"{name} radius {radius:.6g} is below the farthest-receiver "
+                f"distance {lower:.6g} — delays are being under-reported",
+            )
+
+    limit = DEFAULT_EXACT_LIMIT if exact_limit is None else exact_limit
+    limit = min(limit, MAX_EXACT_NODES)
+    if n <= limit:
+        opt = optimal_radius(points, source, d_max)
+        report.optimum = opt
+        opt_slack = BOUND_SLACK * max(opt, 1.0)
+        for name, radius in radii.items():
+            if radius < opt - opt_slack:
+                report.add(
+                    "SANDWICH_EXACT",
+                    f"{name} radius {radius:.6g} beats the exhaustive "
+                    f"optimum {opt:.6g} — one of the two is wrong",
+                )
+        if dim == 2 and "bisection" in radii and opt > 0:
+            factor = bisection_constant_factor(d_max)
+            if radii["bisection"] > factor * opt + opt_slack:
+                report.add(
+                    "THEOREM1_FACTOR",
+                    f"2-D bisection radius {radii['bisection']:.6g} exceeds "
+                    f"{factor} x optimum ({opt:.6g}) — Theorem 1 is broken",
+                )
+
+    if (
+        grid_result is not None
+        and grid_result.upper_bound is not None
+        and "polar-grid" in radii
+    ):
+        bound = grid_result.upper_bound
+        if radii["polar-grid"] > bound * (1.0 + BOUND_SLACK) + BOUND_SLACK:
+            report.add(
+                "SANDWICH_EQ7",
+                f"polar-grid radius {radii['polar-grid']:.6g} exceeds its "
+                f"own eq. (7) bound {bound:.6g}",
+            )
+
+    # --- metamorphic layer ---------------------------------------------
+    if metamorphic:
+        rng = np.random.default_rng(seed)
+        for name, (transform, grid_eq, bisect_eq) in (
+            METAMORPHIC_TRANSFORMS.items()
+        ):
+            t_points, t_source, factor = transform(points, source, rng)
+            for builder, build, equal in (
+                (
+                    "polar-grid",
+                    lambda: build_polar_grid_tree(t_points, t_source, d_max),
+                    grid_eq(dim, d_max),
+                ),
+                (
+                    "bisection",
+                    lambda: build_bisection_tree(t_points, t_source, d_max),
+                    bisect_eq(dim, d_max),
+                ),
+            ):
+                if builder not in radii:
+                    continue  # the base build already failed; reported above
+                label = f"{builder}[{name}]"
+                try:
+                    variant = build()
+                except Exception as exc:  # noqa: BLE001
+                    report.outcomes.append(
+                        BuilderOutcome(builder=label, error=_error_text(exc))
+                    )
+                    continue
+                oracle = check_tree(variant.tree, d_max=d_max, root=t_source)
+                outcome = BuilderOutcome(
+                    builder=label,
+                    radius=float(variant.tree.radius()),
+                    report=oracle,
+                )
+                report.outcomes.append(outcome)
+                expected = factor * radii[builder]
+                if equal and not np.isclose(
+                    outcome.radius, expected, rtol=METAMORPHIC_RTOL, atol=1e-12
+                ):
+                    report.add(
+                        "METAMORPHIC_RADIUS",
+                        f"{label}: radius {outcome.radius:.9g} != expected "
+                        f"{expected:.9g} (base {radii[builder]:.9g}, "
+                        f"scale {factor:g})",
+                    )
+                t_lower = factor * lower
+                if outcome.radius < t_lower - BOUND_SLACK * max(t_lower, 1.0):
+                    report.add(
+                        "SANDWICH_LOWER",
+                        f"{label}: radius {outcome.radius:.6g} below the "
+                        f"transformed lower bound {t_lower:.6g}",
+                    )
+    return report

@@ -1,0 +1,420 @@
+"""Seed-corpus fuzzing harness for the tree builders.
+
+Each corpus entry is an index into a deterministic stream derived from a
+base seed: instance ``i`` is generated from
+``np.random.SeedSequence((base_seed, i))``, so a corpus is identified by
+``(base_seed, size)`` alone — no wall-clock, no loop state, no ordering
+effects. Re-running ``python -m repro fuzz --seeds 50`` reproduces the
+exact same 50 instances anywhere; the ``--budget`` clock only decides how
+far into the corpus a run gets, never what the instances are.
+
+Every instance goes through the differential harness
+(:func:`repro.testing.differential.run_differential` — all builders, the
+structural oracle, the sandwich bounds, the metamorphic transforms) plus
+the extra builders the harness does not cover (quadtree,
+bandwidth-latency) and an event-driven simulator cross-check. On any
+violation the instance is *shrunk* — the point count is bisected
+downward while the failure persists — and a JSON crash artifact
+(points + seed + violations, original and shrunk) lands in
+``results/fuzz/``. Artifacts are written only on violation; a clean run
+leaves the directory untouched.
+
+Exit codes: :data:`EXIT_CLEAN` (0) for a clean run, :data:`EXIT_CRASH`
+(3) when at least one violation was found (distinct from argparse's 2
+and from an ordinary crash of the harness itself, which propagates as a
+traceback with exit 1).
+
+Usage::
+
+    python -m repro fuzz --seeds 200 --budget 60
+    python tools/fuzz.py --seconds 60          # compatibility shim
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.testing.differential import run_differential
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_CRASH",
+    "FuzzInstance",
+    "instance_from_seed",
+    "check_instance",
+    "shrink_instance",
+    "run_fuzz",
+    "main",
+]
+
+EXIT_CLEAN = 0
+EXIT_CRASH = 3
+
+DEFAULT_OUT_DIR = "results/fuzz"
+
+# Metamorphic rebuilds multiply the per-instance cost; cap the size they
+# run at so a 60-second smoke budget still covers hundreds of seeds.
+METAMORPHIC_MAX_N = 250
+
+
+@dataclass(frozen=True)
+class FuzzInstance:
+    """One corpus entry, fully determined by ``(base_seed, index)``."""
+
+    base_seed: int
+    index: int
+    points: np.ndarray
+    source: int
+    d_max: int
+    kind: int
+
+    @property
+    def description(self) -> str:
+        n, dim = self.points.shape
+        return (
+            f"base_seed={self.base_seed} index={self.index} n={n} dim={dim} "
+            f"kind={self.kind} source={self.source} d_max={self.d_max}"
+        )
+
+
+def random_cloud(rng: np.random.Generator) -> tuple[np.ndarray, int]:
+    """A random point cloud with deliberately nasty shapes mixed in."""
+    n = int(rng.integers(2, 400))
+    dim = int(rng.choice([2, 2, 2, 3, 4]))
+    kind = int(rng.integers(0, 5))
+    if kind == 0:  # plain gaussian
+        pts = rng.normal(size=(n, dim))
+    elif kind == 1:  # extreme anisotropy
+        scales = 10.0 ** rng.uniform(-3, 3, size=dim)
+        pts = rng.normal(size=(n, dim)) * scales
+    elif kind == 2:  # heavy duplicates
+        base = rng.normal(size=(max(1, n // 8), dim))
+        pts = base[rng.integers(0, base.shape[0], size=n)]
+        pts = pts + rng.normal(scale=1e-9, size=pts.shape)
+    elif kind == 3:  # collinear
+        direction = rng.normal(size=dim)
+        pts = np.outer(rng.uniform(-5, 5, n), direction)
+    else:  # clustered far apart
+        centers = rng.normal(scale=100.0, size=(3, dim))
+        pts = centers[rng.integers(0, 3, size=n)] + rng.normal(size=(n, dim))
+    return pts, kind
+
+
+def instance_from_seed(base_seed: int, index: int) -> FuzzInstance:
+    """Materialise corpus entry ``index`` of the ``base_seed`` stream.
+
+    Deterministic by construction: the RNG is seeded from the pair
+    ``(base_seed, index)``, never from loop state, so any entry can be
+    regenerated in isolation (which is exactly what the shrinker and the
+    crash artifacts rely on).
+    """
+    rng = np.random.default_rng(np.random.SeedSequence((base_seed, index)))
+    points, kind = random_cloud(rng)
+    n = points.shape[0]
+    source = int(rng.integers(0, n))
+    d_max = int(rng.choice([2, 3, 4, 6, 8, 10, 20]))
+    return FuzzInstance(
+        base_seed=int(base_seed),
+        index=int(index),
+        points=points,
+        source=source,
+        d_max=d_max,
+        kind=kind,
+    )
+
+
+# ----------------------------------------------------------------------
+# per-instance checking
+# ----------------------------------------------------------------------
+
+
+def check_instance(
+    points: np.ndarray, source: int, d_max: int, *, metamorphic: bool | None = None
+) -> list[dict]:
+    """All violations the harness can find on one instance.
+
+    Returns a JSON-ready list — empty means clean. Exceptions from the
+    builders are converted into ``BUILD_ERROR``-style entries by the
+    differential harness; exceptions from the extra builders are caught
+    here the same way.
+    """
+    n = points.shape[0]
+    if metamorphic is None:
+        metamorphic = n <= METAMORPHIC_MAX_N
+    report = run_differential(
+        points, source, d_max, metamorphic=metamorphic, seed=0
+    )
+    violations = report.to_dict()["violations"]
+
+    # Builders outside the differential harness, plus the simulator.
+    from repro.analysis.oracle import check_tree
+    from repro.baselines import bandwidth_latency_tree
+    from repro.core.quadtree import build_quadtree_tree
+    from repro.overlay.simulator import simulate_dissemination
+
+    def extra(name, build):
+        try:
+            tree = build()
+            oracle = check_tree(tree, d_max=d_max, root=source)
+            for v in oracle.to_dict()["violations"]:
+                violations.append({**v, "message": f"{name}: {v['message']}"})
+            replay = simulate_dissemination(tree)
+            if not np.allclose(replay.receive_time, tree.root_delays()):
+                violations.append(
+                    {
+                        "code": "SIMULATOR_MISMATCH",
+                        "message": f"{name}: event-driven replay disagrees "
+                        "with analytic delays",
+                        "nodes": [],
+                    }
+                )
+        except Exception:  # noqa: BLE001 - a builder crash IS a finding
+            violations.append(
+                {
+                    "code": "BUILD_ERROR",
+                    "message": f"{name}: {traceback.format_exc(limit=6)}",
+                    "nodes": [],
+                }
+            )
+
+    extra("quadtree", lambda: build_quadtree_tree(points, source, d_max).tree)
+    extra(
+        "bandwidth-latency",
+        lambda: bandwidth_latency_tree(points, source, d_max, seed=0),
+    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+
+def shrink_instance(
+    points: np.ndarray,
+    source: int,
+    d_max: int,
+    *,
+    max_checks: int = 80,
+) -> tuple[np.ndarray, int, list[dict]]:
+    """Bisect ``n`` downward while the instance keeps failing.
+
+    Classic delta-debugging over the receiver set: repeatedly try to
+    drop a contiguous chunk (half, then quarters, ...) of the current
+    points — always keeping the source — and accept any removal that
+    still fails :func:`check_instance`. Metamorphic checks are disabled
+    during shrinking so the reduced reproducer pins the *structural*
+    failure.
+
+    :returns: ``(shrunk_points, shrunk_source, violations)`` for the
+        smallest failing instance found within ``max_checks`` re-checks.
+    """
+    keep = list(range(points.shape[0]))
+    best_violations = check_instance(
+        points, source, d_max, metamorphic=False
+    )
+    if not best_violations:
+        # The failure only manifests metamorphically; shrink against the
+        # full check instead (slower, still bounded by max_checks).
+        best_violations = check_instance(points, source, d_max)
+        full_check = True
+        if not best_violations:
+            return points, source, []
+    else:
+        full_check = False
+
+    def still_fails(indices):
+        sub = points[indices]
+        sub_source = indices.index(source)
+        found = check_instance(
+            sub, sub_source, d_max, metamorphic=None if full_check else False
+        )
+        return found
+
+    checks = 0
+    chunk = max(1, len(keep) // 2)
+    while chunk >= 1 and checks < max_checks:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(keep) and checks < max_checks:
+            candidate = [
+                node
+                for pos, node in enumerate(keep)
+                if node == source or not start <= pos < start + chunk
+            ]
+            if len(candidate) == len(keep) or len(candidate) < 2:
+                start += chunk
+                continue
+            checks += 1
+            found = still_fails(candidate)
+            if found:
+                keep = candidate
+                best_violations = found
+                shrunk_this_pass = True
+                # Re-scan from the front at the same granularity.
+                start = 0
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+        else:
+            chunk = min(chunk, max(1, len(keep) // 2))
+
+    shrunk = points[keep]
+    return shrunk, keep.index(source), best_violations
+
+
+# ----------------------------------------------------------------------
+# the corpus loop
+# ----------------------------------------------------------------------
+
+
+def _write_artifact(
+    out_dir: Path, instance: FuzzInstance, violations, shrunk
+) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"crash-{instance.base_seed}-{instance.index}.json"
+    shrunk_points, shrunk_source, shrunk_violations = shrunk
+    payload = {
+        "description": instance.description,
+        "base_seed": instance.base_seed,
+        "index": instance.index,
+        "d_max": instance.d_max,
+        "source": instance.source,
+        "kind": instance.kind,
+        "violations": violations,
+        "points": instance.points.tolist(),
+        "shrunk": {
+            "n": int(shrunk_points.shape[0]),
+            "source": int(shrunk_source),
+            "points": shrunk_points.tolist(),
+            "violations": shrunk_violations,
+        },
+        "reproduce": (
+            "from repro.testing.fuzz import instance_from_seed, "
+            "check_instance; "
+            f"i = instance_from_seed({instance.base_seed}, {instance.index}); "
+            "print(check_instance(i.points, i.source, i.d_max))"
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def run_fuzz(
+    seeds: int,
+    budget: float | None = None,
+    base_seed: int = 0,
+    out_dir: str = DEFAULT_OUT_DIR,
+    *,
+    max_crashes: int = 5,
+    shrink: bool = True,
+    report_every: int = 50,
+    log=print,
+) -> int:
+    """Run corpus entries ``0 .. seeds-1`` of the ``base_seed`` stream.
+
+    :param seeds: corpus size (number of instances).
+    :param budget: optional wall-clock cap in seconds; the run stops
+        early (still cleanly) when it is exhausted.
+    :param base_seed: corpus identity; same value, same instances.
+    :param out_dir: crash artifact directory (created on first crash).
+    :param max_crashes: stop after this many distinct failing instances.
+    :param shrink: bisect failing instances down before writing them out.
+    :returns: :data:`EXIT_CLEAN` or :data:`EXIT_CRASH`.
+    """
+    deadline = None if budget is None else time.monotonic() + float(budget)
+    out_path = Path(out_dir)
+    crashes = 0
+    executed = 0
+    for index in range(int(seeds)):
+        if deadline is not None and time.monotonic() >= deadline:
+            log(f"budget exhausted after {executed}/{seeds} instances")
+            break
+        instance = instance_from_seed(base_seed, index)
+        violations = check_instance(
+            instance.points, instance.source, instance.d_max
+        )
+        executed += 1
+        if violations:
+            crashes += 1
+            log(f"FUZZ FAILURE: {instance.description}")
+            for v in violations[:8]:
+                log(f"  [{v['code']}] {v['message'].splitlines()[0]}")
+            if shrink:
+                shrunk = shrink_instance(
+                    instance.points, instance.source, instance.d_max
+                )
+            else:
+                shrunk = (instance.points, instance.source, violations)
+            artifact = _write_artifact(out_path, instance, violations, shrunk)
+            log(
+                f"  artifact: {artifact} "
+                f"(shrunk to n={shrunk[0].shape[0]})"
+            )
+            if crashes >= max_crashes:
+                log(f"stopping after {crashes} crashes")
+                break
+        elif report_every and executed % report_every == 0:
+            log(f"{executed} instances clean (last index {index})")
+    if crashes:
+        log(f"fuzzing found {crashes} failing instances ({executed} run)")
+        return EXIT_CRASH
+    log(f"fuzzing clean: {executed} instances")
+    return EXIT_CLEAN
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="seed-corpus differential fuzzing of the tree builders",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=200, help="corpus size (instances)"
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock cap; stops early but never changes the corpus",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (corpus identity)"
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT_DIR, help="crash artifact directory"
+    )
+    parser.add_argument(
+        "--max-crashes", type=int, default=5, help="stop after K crashes"
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write crash artifacts without the shrinking pass",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    return run_fuzz(
+        seeds=args.seeds,
+        budget=args.budget,
+        base_seed=args.seed,
+        out_dir=args.out,
+        max_crashes=args.max_crashes,
+        shrink=not args.no_shrink,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

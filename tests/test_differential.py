@@ -1,0 +1,107 @@
+"""The differential harness: every builder on one instance, cross-checked."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testing import run_differential
+from repro.testing.differential import (
+    METAMORPHIC_TRANSFORMS,
+    DifferentialReport,
+)
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+def vcodes(report: DifferentialReport) -> set[str]:
+    return {v.code for v in report.violations}
+
+
+class TestCleanInstances:
+    @pytest.mark.parametrize(
+        ("dim", "d_max"), [(2, 2), (2, 6), (3, 4), (3, 10)]
+    )
+    def test_uniform_clouds_are_clean(self, dim, d_max):
+        points = (
+            unit_disk(90, seed=11) if dim == 2 else unit_ball(90, dim=3, seed=11)
+        )
+        report = run_differential(points, 0, d_max, seed=dim)
+        assert report.ok, report.render()
+        built = {o.builder for o in report.outcomes}
+        assert {"polar-grid", "bisection", "compact-tree", "capped-star"} <= built
+        # Every transform produced a variant build for both tree builders.
+        for name in METAMORPHIC_TRANSFORMS:
+            assert f"polar-grid[{name}]" in built
+            assert f"bisection[{name}]" in built
+
+    def test_exact_optimum_runs_on_tiny_instances(self):
+        report = run_differential(unit_disk(6, seed=12), 0, 3)
+        assert report.ok, report.render()
+        assert report.optimum is not None
+        for outcome in report.outcomes:
+            if outcome.radius is not None and "[" not in outcome.builder:
+                assert outcome.radius >= report.optimum - 1e-9
+
+    def test_two_nodes(self):
+        report = run_differential(unit_disk(2, seed=13), 0, 2)
+        assert report.ok, report.render()
+
+    def test_off_source_root(self):
+        points = unit_disk(40, seed=14)
+        report = run_differential(points, 7, 6)
+        assert report.ok, report.render()
+
+    def test_render_and_to_dict(self):
+        report = run_differential(unit_disk(30, seed=15), 0, 6)
+        text = report.render()
+        assert "clean" in text and "polar-grid" in text
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        lower = float(
+            np.sqrt((unit_disk(30, seed=15) ** 2).sum(axis=1)).max()
+        )
+        for name, radius in payload["radii"].items():
+            if "[" not in name:  # variants may be rescaled
+                assert radius >= lower - 1e-9
+        assert payload["violations"] == []
+
+
+class TestFailureDetection:
+    def test_builder_exception_becomes_build_error(self, monkeypatch):
+        import repro.testing.differential as diff
+
+        def explode(points, source, d_max):
+            raise RuntimeError("synthetic builder crash")
+
+        monkeypatch.setattr(diff, "compact_tree", explode)
+        report = run_differential(unit_disk(30, seed=16), 0, 6)
+        assert not report.ok
+        assert "BUILD_ERROR" in vcodes(report)
+        assert any(
+            "synthetic builder crash" in v.message for v in report.violations
+        )
+
+    def test_radius_inflation_breaks_the_metamorphic_layer(self, monkeypatch):
+        # A builder whose output quality depends on absolute position is
+        # exactly what the translate transform exists to catch.
+        import repro.testing.differential as diff
+
+        real = diff.build_polar_grid_tree
+        calls = {"count": 0}
+
+        def position_sensitive(points, source, d_max):
+            calls["count"] += 1
+            if calls["count"] > 1:  # base build fine, variants degraded
+                return real(points, source, max(2, d_max - 4))
+            return real(points, source, d_max)
+
+        monkeypatch.setattr(diff, "build_polar_grid_tree", position_sensitive)
+        report = run_differential(unit_disk(120, seed=17), 0, 6)
+        assert not report.ok
+        assert "METAMORPHIC_RADIUS" in vcodes(report)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="d >= 2"):
+            run_differential(np.zeros((5,)), 0, 4)
+        with pytest.raises(ValueError, match="d_max"):
+            run_differential(unit_disk(5, seed=1), 0, 1)

@@ -1,0 +1,171 @@
+"""The seed-corpus fuzzing harness: determinism, exit codes, artifacts."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.testing import EXIT_CLEAN, EXIT_CRASH
+from repro.testing.fuzz import (
+    instance_from_seed,
+    run_fuzz,
+    shrink_instance,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestSeedCorpus:
+    def test_instances_are_reproducible(self):
+        a = instance_from_seed(42, 7)
+        b = instance_from_seed(42, 7)
+        assert np.array_equal(a.points, b.points)
+        assert (a.source, a.d_max, a.kind) == (b.source, b.d_max, b.kind)
+
+    def test_instances_are_independent_of_iteration_order(self):
+        # Entry 7 materialised in isolation equals entry 7 of a sweep —
+        # no loop state leaks into the stream.
+        sweep = [instance_from_seed(42, i) for i in range(8)]
+        assert np.array_equal(sweep[7].points, instance_from_seed(42, 7).points)
+
+    def test_distinct_entries_differ(self):
+        a = instance_from_seed(42, 0)
+        b = instance_from_seed(42, 1)
+        c = instance_from_seed(43, 0)
+        assert a.points.shape != b.points.shape or not np.array_equal(
+            a.points, b.points
+        )
+        assert a.points.shape != c.points.shape or not np.array_equal(
+            a.points, c.points
+        )
+
+    def test_description_mentions_the_coordinates_of_reproduction(self):
+        inst = instance_from_seed(9, 3)
+        assert "base_seed=9" in inst.description
+        assert "index=3" in inst.description
+
+
+class TestCleanRun:
+    def test_clean_run_exits_zero_and_writes_nothing(self, tmp_path):
+        out = tmp_path / "fuzz"
+        lines = []
+        code = run_fuzz(
+            8, base_seed=0, out_dir=str(out), report_every=4, log=lines.append
+        )
+        assert code == EXIT_CLEAN
+        assert not out.exists()  # artifacts only on violation
+        assert any("clean" in line for line in lines)
+
+    def test_budget_truncates_but_stays_clean(self, tmp_path):
+        code = run_fuzz(
+            10_000, budget=0.0, out_dir=str(tmp_path / "f"), log=lambda *_: None
+        )
+        assert code == EXIT_CLEAN
+        assert not (tmp_path / "f").exists()
+
+
+class TestCrashPath:
+    @pytest.fixture()
+    def broken_builder(self, monkeypatch):
+        """Degree-cap mutation injected into the differential harness's
+        view of the polar-grid builder."""
+        import repro.testing.differential as diff
+
+        real = diff.build_polar_grid_tree
+
+        def evil(points, source, d_max):
+            result = real(points, source, d_max)
+            parent = result.tree.parent
+            n = parent.shape[0]
+            if n < 6:
+                return result
+            degrees = np.bincount(parent, minlength=n)
+            degrees[source] -= 1
+            hub = int(np.argmax(degrees))
+            leaves = np.flatnonzero(
+                np.isin(np.arange(n), parent, invert=True)
+                & (np.arange(n) != hub)
+            )
+            for victim in leaves[: d_max + 2]:
+                parent[victim] = hub
+            for cache in ("_root_delays", "_depths", "_edge_lengths"):
+                setattr(result.tree, cache, None)
+            return result
+
+        monkeypatch.setattr(diff, "build_polar_grid_tree", evil)
+
+    def test_crash_produces_artifact_and_exit_code(
+        self, tmp_path, broken_builder
+    ):
+        out = tmp_path / "fuzz"
+        lines = []
+        code = run_fuzz(
+            30,
+            base_seed=1,
+            out_dir=str(out),
+            max_crashes=1,
+            log=lines.append,
+        )
+        assert code == EXIT_CRASH
+        artifacts = sorted(out.glob("crash-*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["violations"], "artifact must carry the violations"
+        assert {"DEGREE_CAP"} <= {v["code"] for v in payload["violations"]}
+        # The artifact is a self-contained reproducer.
+        n = len(payload["points"])
+        assert payload["description"].startswith("base_seed=1")
+        assert "instance_from_seed(1," in payload["reproduce"]
+        # Shrinking reduced the instance and kept it failing.
+        assert 2 <= payload["shrunk"]["n"] <= n
+        assert payload["shrunk"]["violations"]
+        assert len(payload["shrunk"]["points"]) == payload["shrunk"]["n"]
+        assert any("FUZZ FAILURE" in line for line in lines)
+
+    def test_shrink_preserves_failure(self, broken_builder):
+        inst = next(
+            instance_from_seed(1, i)
+            for i in range(50)
+            if instance_from_seed(1, i).points.shape[0] >= 40
+        )
+        shrunk, source, violations = shrink_instance(
+            inst.points, inst.source, inst.d_max, max_checks=30
+        )
+        assert violations, "shrinking must keep the instance failing"
+        assert shrunk.shape[0] <= inst.points.shape[0]
+        assert 0 <= source < shrunk.shape[0]
+        # The shrunk source is the same physical point.
+        assert np.array_equal(shrunk[source], inst.points[inst.source])
+
+
+class TestEntryPoints:
+    def test_cli_subcommand_dispatch(self, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["fuzz", "--seeds", "3", "--out", str(tmp_path / "f"), "--seed", "5"]
+        )
+        assert code == EXIT_CLEAN
+
+    @pytest.mark.slow
+    def test_tools_shim_forwards_and_exits_clean(self, tmp_path):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "fuzz.py"),
+                "--seeds",
+                "3",
+                "--out",
+                str(tmp_path / "f"),
+            ],
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == EXIT_CLEAN, proc.stderr

@@ -1,0 +1,105 @@
+"""Mutation smoke tests: prove the oracle actually catches bugs.
+
+A verification layer that never fires is indistinguishable from one that
+works. Here we deliberately break the two central rules of Algorithm
+Polar_Grid — the Section III-B representative choice and the out-degree
+cap — via monkeypatching, and assert that the structural oracle and the
+differential harness both flag the sabotaged builds. If either mutation
+survives, the safety net has a hole.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.builder as builder_mod
+from repro.analysis.oracle import check_build_result
+from repro.core.builder import build_polar_grid_tree
+from repro.testing import run_differential
+from repro.workloads.generators import unit_disk
+
+POINTS = unit_disk(300, seed=71)
+D_MAX = 6
+
+
+@pytest.fixture()
+def worst_representative(monkeypatch):
+    """Invert the within-cell ordering: every cell picks its *worst*
+    candidate under the configured rule."""
+
+    def sabotaged(representative_rule, gid, inner_dist, rho):
+        if representative_rule == "inner-anchor":
+            return np.lexsort((-inner_dist, gid))
+        return np.lexsort((-rho, gid))
+
+    monkeypatch.setattr(builder_mod, "representative_order", sabotaged)
+
+
+@pytest.fixture()
+def degree_cap_breaker(monkeypatch):
+    """Wrap the core-network wiring: after the honest wiring, pile extra
+    leaves onto the busiest node until it exceeds the fan-out budget."""
+    real = builder_mod.wire_cells
+
+    def sabotaged(grid, source, groups, rho_list, t_axes, parent, binary, **kw):
+        reps = real(
+            grid, source, groups, rho_list, t_axes, parent, binary, **kw
+        )
+        n = parent.shape[0]
+        degrees = np.bincount(parent, minlength=n)
+        degrees[source] -= 1
+        hub = int(np.argmax(degrees))
+        is_leaf = np.isin(np.arange(n), parent, invert=True)
+        victims = np.flatnonzero(is_leaf & (np.arange(n) != hub))
+        for victim in victims[: D_MAX + 3 - int(degrees[hub])]:
+            parent[victim] = hub
+        return reps
+
+    monkeypatch.setattr(builder_mod, "wire_cells", sabotaged)
+
+
+def test_baseline_is_clean():
+    # The smoke test is only meaningful if the unmutated build passes.
+    report = check_build_result(build_polar_grid_tree(POINTS, 0, D_MAX))
+    assert report.ok, report.render()
+
+
+def test_oracle_catches_broken_representative_rule(worst_representative):
+    result = build_polar_grid_tree(POINTS, 0, D_MAX)
+    report = check_build_result(result)
+    assert not report.ok
+    assert "REP_RULE" in {v.code for v in report.violations}
+
+
+def test_differential_harness_catches_broken_representative_rule(
+    worst_representative,
+):
+    report = run_differential(POINTS, 0, D_MAX, metamorphic=False)
+    assert not report.ok
+    assert "REP_RULE" in {v.code for v in report.violations}
+
+
+def test_oracle_catches_degree_cap_violation(degree_cap_breaker):
+    result = build_polar_grid_tree(POINTS, 0, D_MAX)
+    report = check_build_result(result)
+    assert not report.ok
+    assert "DEGREE_CAP" in {v.code for v in report.violations}
+
+
+def test_differential_harness_catches_degree_cap_violation(
+    degree_cap_breaker,
+):
+    report = run_differential(POINTS, 0, D_MAX, metamorphic=False)
+    assert not report.ok
+    assert "DEGREE_CAP" in {v.code for v in report.violations}
+
+
+def test_fuzz_check_catches_mutations(worst_representative):
+    # The fuzzer's per-instance check sits on the same oracle; a seeded
+    # mutation must surface there too (this is what turns a green fuzz
+    # run into evidence rather than absence of assertions).
+    from repro.testing.fuzz import check_instance
+
+    violations = check_instance(POINTS, 0, D_MAX, metamorphic=False)
+    assert any(v["code"] == "REP_RULE" for v in violations)

@@ -1,0 +1,206 @@
+"""The structural oracle: independent invariant re-derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.oracle import OracleReport, check_build_result, check_tree
+from repro.baselines import capped_star, compact_tree
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.tree import MulticastTree, TreeInvariantError
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+def codes(report: OracleReport) -> set[str]:
+    return {v.code for v in report.violations}
+
+
+class TestCleanTrees:
+    @pytest.mark.parametrize("degree", [2, 6])
+    def test_polar_grid_build_is_clean(self, degree):
+        result = build_polar_grid_tree(unit_disk(400, seed=1), 0, degree)
+        report = check_build_result(result)
+        assert report.ok, report.render()
+        # Every layer of the oracle actually ran.
+        for expected in (
+            "spanning-bfs",
+            "degree-cap",
+            "radius-recompute",
+            "grid-occupancy[full]",
+            "grid-representatives",
+            "grid-rep-rule[inner-anchor]",
+        ):
+            assert expected in report.checks
+
+    def test_min_radius_rule_is_checked_as_configured(self):
+        result = build_polar_grid_tree(
+            unit_disk(400, seed=2), 0, 6, representative_rule="min-radius"
+        )
+        report = check_build_result(
+            result, representative_rule="min-radius"
+        )
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_other_builders_are_clean(self, dim):
+        points = (
+            unit_disk(200, seed=3) if dim == 2 else unit_ball(200, dim=3, seed=3)
+        )
+        for tree in (
+            build_bisection_tree(points, 0, 4).tree,
+            compact_tree(points, 0, 4),
+            capped_star(points, 0, 4),
+        ):
+            assert check_tree(tree, d_max=4, root=0).ok
+
+    def test_single_node_tree(self):
+        tree = MulticastTree(
+            points=np.zeros((1, 2)), parent=np.array([0]), root=0
+        )
+        report = check_tree(tree, d_max=2)
+        assert report.ok
+        assert report.stats["radius"] == 0.0
+
+
+class TestBrokenTrees:
+    @pytest.fixture()
+    def valid(self):
+        return build_polar_grid_tree(unit_disk(40, seed=4), 0, 6)
+
+    def test_parent_out_of_range(self, valid):
+        parent = valid.tree.parent.copy()
+        parent[5] = 999
+        report = check_tree(parent, points=valid.tree.points, root=0)
+        assert codes(report) == {"PARENT_RANGE"}
+
+    def test_cycle(self, valid):
+        parent = valid.tree.parent.copy()
+        parent[5], parent[7] = 7, 5
+        report = check_tree(parent, points=valid.tree.points, root=0)
+        assert "CYCLE" in codes(report)
+
+    def test_second_root(self, valid):
+        parent = valid.tree.parent.copy()
+        parent[3] = 3
+        report = check_tree(parent, points=valid.tree.points, root=0)
+        assert "ROOT_LOOP" in codes(report)
+
+    def test_degree_cap_scalar_and_per_node(self):
+        points = unit_disk(20, seed=5)
+        star = MulticastTree(
+            points=points, parent=np.zeros(20, dtype=np.int64), root=0
+        )
+        assert "DEGREE_CAP" in codes(check_tree(star, d_max=3))
+        budgets = np.full(20, 19)
+        assert check_tree(star, d_max=budgets).ok
+        budgets[0] = 5
+        assert "DEGREE_CAP" in codes(check_tree(star, d_max=budgets))
+
+    def test_stale_delay_cache_is_caught(self, valid):
+        tree = valid.tree
+        tree.root_delays()
+        tree._root_delays = tree._root_delays * 1.5
+        report = check_tree(tree)
+        assert {"DELAY_MISMATCH", "RADIUS_MISMATCH"} <= codes(report)
+
+    def test_points_mismatch(self, valid):
+        other = valid.tree.points + 1.0
+        report = check_tree(valid.tree, points=other)
+        assert "POINTS_MISMATCH" in codes(report)
+
+    def test_non_finite_coordinates(self, valid):
+        points = valid.tree.points.copy()
+        points[2, 0] = np.nan
+        report = check_tree(valid.tree.parent, points=points, root=0)
+        assert "NON_FINITE" in codes(report)
+
+    def test_shape_mismatch_short_circuits(self, valid):
+        report = check_tree(
+            valid.tree.parent, points=valid.tree.points[:-1], root=0
+        )
+        assert codes(report) == {"SHAPE"}
+
+    def test_raise_if_failed(self, valid):
+        parent = valid.tree.parent.copy()
+        parent[5], parent[7] = 7, 5
+        report = check_tree(parent, points=valid.tree.points, root=0)
+        with pytest.raises(TreeInvariantError, match="CYCLE"):
+            report.raise_if_failed()
+        assert check_tree(valid.tree).raise_if_failed().ok
+
+    def test_report_round_trip(self, valid):
+        report = check_build_result(valid)
+        as_dict = report.to_dict()
+        assert as_dict["ok"] is True
+        assert as_dict["stats"]["n"] == 40
+        assert "radius" in as_dict["stats"]
+        assert "grid-representatives" in as_dict["checks"]
+
+
+class TestGridInvariants:
+    def test_missing_representative_flagged(self):
+        result = build_polar_grid_tree(unit_disk(300, seed=6), 0, 6)
+        result.representatives = result.representatives[:-1]
+        report = check_build_result(result)
+        assert "REP_MISSING" in codes(report)
+
+    def test_duplicate_representative_flagged(self):
+        result = build_polar_grid_tree(unit_disk(300, seed=7), 0, 6)
+        reps = result.representatives.copy()
+        reps[1] = reps[0]
+        result.representatives = reps
+        report = check_build_result(result)
+        assert {"REP_DUPLICATE", "REP_CELL_CLASH"} & codes(report)
+
+    def test_source_as_representative_flagged(self):
+        result = build_polar_grid_tree(unit_disk(300, seed=8), 0, 6)
+        reps = result.representatives.copy()
+        reps[0] = result.tree.root
+        result.representatives = reps
+        report = check_build_result(result)
+        assert "REP_SOURCE" in codes(report)
+
+    def test_wrong_representative_violates_rule(self):
+        result = build_polar_grid_tree(unit_disk(500, seed=9), 0, 6)
+        tree = result.tree
+        grid = result.grid
+        receivers = np.flatnonzero(np.arange(tree.n) != tree.root)
+        ring, cell = grid.assign_points(tree.points[receivers])
+        gid = np.asarray(grid.global_id(ring, cell))
+        reps = result.representatives.copy()
+        gid_of = np.full(tree.n, -1, dtype=np.int64)
+        gid_of[receivers] = gid
+        # Replace one representative with a *different* member of the
+        # same cell (there must be a multi-member cell at n=500).
+        for i, rep in enumerate(reps):
+            cellmates = receivers[gid == gid_of[rep]]
+            others = cellmates[cellmates != rep]
+            if others.size:
+                reps[i] = others[0]
+                break
+        else:
+            pytest.skip("no multi-member cell in this instance")
+        result.representatives = reps
+        report = check_build_result(result)
+        assert "REP_RULE" in codes(report)
+
+    def test_occupancy_violation_detected(self):
+        # Receivers confined to one angular sector: with a forced deep
+        # grid, whole sectors stay empty — property 3 fails while the
+        # relaxed connected rule still holds.
+        rng = np.random.default_rng(10)
+        n = 400
+        theta = rng.uniform(0.0, np.pi / 4, n)
+        radius = np.sqrt(rng.uniform(0.0, 1.0, n))
+        points = np.stack(
+            [radius * np.cos(theta), radius * np.sin(theta)], axis=1
+        )
+        points[0] = 0.0
+        result = build_polar_grid_tree(
+            points, 0, 6, k=4, occupancy="connected"
+        )
+        report = check_build_result(result, occupancy="full")
+        assert "OCCUPANCY" in codes(report)
+        assert check_build_result(result, occupancy="connected").ok
+        assert check_build_result(result, occupancy=None).ok

@@ -1,0 +1,97 @@
+"""Metamorphic invariance of the builders' radii.
+
+Isometries and uniform scalings preserve pairwise distances (up to the
+scale factor), so wherever a construction is equivariant under the
+transform the built radius must be reproduced exactly. The equivalence
+table lives in :data:`repro.testing.differential.METAMORPHIC_TRANSFORMS`
+(and docs/TESTING.md); this suite pins it empirically across dimensions
+2-3, degrees 2/6/10 and both tree builders — and checks that even the
+deliberately frame- or order-dependent combinations still produce
+oracle-clean trees that respect the universal lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.oracle import check_tree
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.testing.differential import METAMORPHIC_TRANSFORMS
+from repro.workloads.generators import unit_ball, unit_disk
+
+RTOL = 1e-7
+
+BUILDERS = {
+    "polar-grid": build_polar_grid_tree,
+    "bisection": build_bisection_tree,
+}
+
+
+def instance(dim: int, seed: int) -> np.ndarray:
+    if dim == 2:
+        return unit_disk(160, seed=seed)
+    return unit_ball(160, dim=dim, seed=seed)
+
+
+def lower_bound(points: np.ndarray, source: int) -> float:
+    return float(np.sqrt(((points - points[source]) ** 2).sum(axis=1)).max())
+
+
+@pytest.mark.parametrize("transform_name", sorted(METAMORPHIC_TRANSFORMS))
+@pytest.mark.parametrize("builder_name", sorted(BUILDERS))
+@pytest.mark.parametrize("degree", [2, 6, 10])
+@pytest.mark.parametrize("dim", [2, 3])
+def test_radius_equivariance(dim, degree, builder_name, transform_name):
+    transform, grid_eq, bisect_eq = METAMORPHIC_TRANSFORMS[transform_name]
+    equal = (grid_eq if builder_name == "polar-grid" else bisect_eq)(
+        dim, degree
+    )
+    build = BUILDERS[builder_name]
+
+    points = instance(dim, seed=31 * dim + degree)
+    base = build(points, 0, degree)
+    rng = np.random.default_rng(100 + degree)
+    t_points, t_source, factor = transform(points, 0, rng)
+    variant = build(t_points, t_source, degree)
+
+    # Unconditional: the transformed build is still a valid bounded tree
+    # no worse than the farthest transformed receiver.
+    report = check_tree(variant.tree, d_max=degree, root=t_source)
+    assert report.ok, report.render()
+    assert variant.tree.radius() >= factor * lower_bound(points, 0) - 1e-9
+
+    if equal:
+        assert variant.tree.radius() == pytest.approx(
+            factor * base.tree.radius(), rel=RTOL
+        ), (
+            f"{builder_name} under {transform_name} should be an exact "
+            f"symmetry at dim={dim}, d_max={degree}"
+        )
+
+
+def test_scale_factor_is_exactly_linear():
+    # Radius under pure scaling must scale by the same factor for every
+    # builder — a direct check that no absolute length sneaks into the
+    # constructions.
+    points = unit_disk(120, seed=41)
+    for build in BUILDERS.values():
+        base = build(points, 0, 6).tree.radius()
+        for factor in (0.125, 8.0):  # exact binary floats: no rounding
+            scaled = build(points * factor, 0, 6).tree.radius()
+            assert scaled == pytest.approx(factor * base, rel=1e-12)
+
+
+def test_translation_composes_with_permutation():
+    # Two exact symmetries applied together must still be a symmetry.
+    points = unit_ball(140, dim=3, seed=42)
+    rng = np.random.default_rng(7)
+    perm = rng.permutation(points.shape[0])
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    shifted = points[perm] + rng.normal(scale=3.0, size=3)
+    base = build_polar_grid_tree(points, 0, 10).tree.radius()
+    moved = build_polar_grid_tree(
+        shifted, int(inverse[0]), 10
+    ).tree.radius()
+    assert moved == pytest.approx(base, rel=RTOL)

@@ -1,0 +1,117 @@
+"""Oracle-backed validation of the repair and churn layers.
+
+ISSUE requirement: after injected multi-node failures and repair, the
+repaired tree passes ``check_tree`` — and the ``validate=`` flag wired
+into :func:`repro.overlay.repair.repair_after_failure` and
+:class:`repro.overlay.dynamic.DynamicOverlay` actually runs (and raises)
+when the invariants break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.oracle import check_tree
+from repro.core.builder import build_polar_grid_tree
+from repro.core.tree import TreeInvariantError
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.repair import repair_after_failure
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+class TestRepairValidation:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_multi_node_failures_stay_oracle_clean(self, dim):
+        points = (
+            unit_disk(150, seed=51)
+            if dim == 2
+            else unit_ball(150, dim=3, seed=51)
+        )
+        degree = 4
+        tree = build_polar_grid_tree(points, 0, degree).tree
+        rng = np.random.default_rng(52)
+        for _ in range(12):
+            victim = int(rng.integers(1, tree.n))
+            # validate=True makes every repair self-check via the oracle.
+            tree, _ = repair_after_failure(tree, victim, degree, validate=True)
+            report = check_tree(tree, d_max=degree, root=0)
+            assert report.ok, report.render()
+        assert tree.n == 150 - 12
+
+    def test_per_node_budgets_survive_repair(self):
+        points = unit_disk(80, seed=53)
+        degree = 3
+        tree = build_polar_grid_tree(points, 0, degree).tree
+        budgets = np.full(tree.n, degree, dtype=np.int64)
+        budgets[0] = 10  # generous source, tight receivers
+        tree, index_map = repair_after_failure(tree, 5, budgets, validate=True)
+        survivors = np.flatnonzero(index_map >= 0)
+        report = check_tree(tree, d_max=budgets[survivors], root=0)
+        assert report.ok, report.render()
+
+    def test_validate_flag_raises_on_violated_budgets(self):
+        # Budgets tighter than the tree already uses: the repair itself
+        # only rations *new* attachments, so the repaired tree still
+        # violates the cap — exactly what the validate flag must catch.
+        points = unit_disk(100, seed=54)
+        tree = build_polar_grid_tree(points, 0, 6).tree
+        victim = int(np.flatnonzero(tree.out_degrees() == 0)[0])
+        tight = np.full(tree.n, 2, dtype=np.int64)
+        # Silent without validation...
+        repaired, _ = repair_after_failure(tree, victim, tight)
+        assert not check_tree(repaired, d_max=2, root=0).ok
+        # ...raising with it.
+        with pytest.raises(TreeInvariantError, match="DEGREE_CAP"):
+            repair_after_failure(tree, victim, tight, validate=True)
+
+
+class TestDynamicOverlayValidation:
+    def test_churn_with_validate_stays_clean(self):
+        rng = np.random.default_rng(55)
+        overlay = DynamicOverlay(
+            np.zeros(2), max_out_degree=3, rebuild_threshold=0.2, validate=True
+        )
+        alive: list[str] = []
+        for i in range(80):
+            if alive and rng.random() < 0.35:
+                name = alive.pop(int(rng.integers(0, len(alive))))
+                overlay.leave(name)
+            else:
+                name = f"h{i}"
+                overlay.join(name, rng.normal(size=2))
+                alive.append(name)
+        assert overlay.rebuild_count > 0  # rebuilds were validated too
+        report = check_tree(
+            overlay.tree(), d_max=overlay.max_out_degree, root=0
+        )
+        assert report.ok, report.render()
+        assert overlay.radius() == pytest.approx(
+            overlay.tree().radius(), rel=1e-9
+        )
+
+    def test_cache_drift_is_caught(self):
+        overlay = DynamicOverlay(np.zeros(2), max_out_degree=3, validate=True)
+        rng = np.random.default_rng(56)
+        for i in range(10):
+            overlay.join(f"h{i}", rng.normal(size=2))
+        overlay._delay[3] += 0.5  # simulated incremental bookkeeping bug
+        with pytest.raises(TreeInvariantError, match="drift"):
+            overlay.join("late", rng.normal(size=2))
+
+    def test_degree_cache_drift_is_caught(self):
+        overlay = DynamicOverlay(np.zeros(2), max_out_degree=3, validate=True)
+        rng = np.random.default_rng(57)
+        for i in range(10):
+            overlay.join(f"h{i}", rng.normal(size=2))
+        overlay._degree[0] += 1
+        with pytest.raises(TreeInvariantError, match="out-degree"):
+            overlay.join("late", rng.normal(size=2))
+
+    def test_validate_off_skips_the_self_check(self):
+        overlay = DynamicOverlay(np.zeros(2), max_out_degree=3, validate=False)
+        rng = np.random.default_rng(58)
+        for i in range(5):
+            overlay.join(f"h{i}", rng.normal(size=2))
+        overlay._delay[2] += 0.5
+        overlay.join("late", rng.normal(size=2))  # no raise: flag is off

@@ -1,114 +1,54 @@
-"""Release-QA fuzzer: random builds, validated, until the clock runs out.
+"""Compatibility shim: the fuzzer now lives in :mod:`repro.testing.fuzz`.
 
-Hammering the builders with random configurations is the cheapest way
-to find the next boundary bug (duplicate points, collinear clouds,
-extreme aspect ratios, tiny/huge budgets, weird dimensions). Every
-iteration builds with a random algorithm/workload/degree combination
-and validates the result tree; any exception or invariant violation
-prints a reproducer line and exits non-zero.
+The promoted harness is seed-corpus driven (instance ``i`` derives from
+``SeedSequence((base_seed, i))``, independent of wall-clock and loop
+state), runs the full differential + metamorphic checks, shrinks failing
+instances and writes crash artifacts to ``results/fuzz/``. Prefer::
 
-Usage::
+    python -m repro fuzz --seeds 200 --budget 60
 
-    python tools/fuzz.py --seconds 60 [--seed 0]
+This shim keeps the old ``--seconds`` interface working: it maps the
+time budget onto a large corpus and forwards everything else. Exit codes
+are the new ones: 0 clean, 3 crash-found.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-import traceback
 
-import numpy as np
-
-from repro.baselines import bandwidth_latency_tree, compact_tree
-from repro.core.builder import build_bisection_tree, build_polar_grid_tree
-from repro.core.quadtree import build_quadtree_tree
+from repro.testing.fuzz import DEFAULT_OUT_DIR, run_fuzz
 
 
-def random_cloud(rng: np.random.Generator) -> np.ndarray:
-    """A random point cloud with deliberately nasty shapes mixed in."""
-    n = int(rng.integers(2, 400))
-    dim = int(rng.choice([2, 2, 2, 3, 4]))
-    kind = rng.integers(0, 5)
-    if kind == 0:  # plain gaussian
-        pts = rng.normal(size=(n, dim))
-    elif kind == 1:  # extreme anisotropy
-        scales = 10.0 ** rng.uniform(-3, 3, size=dim)
-        pts = rng.normal(size=(n, dim)) * scales
-    elif kind == 2:  # heavy duplicates
-        base = rng.normal(size=(max(1, n // 8), dim))
-        pts = base[rng.integers(0, base.shape[0], size=n)]
-        pts = pts + rng.normal(scale=1e-9, size=pts.shape)
-    elif kind == 3:  # collinear
-        direction = rng.normal(size=dim)
-        pts = np.outer(rng.uniform(-5, 5, n), direction)
-    else:  # clustered far apart
-        centers = rng.normal(scale=100.0, size=(3, dim))
-        pts = centers[rng.integers(0, 3, size=n)] + rng.normal(size=(n, dim))
-    return pts
-
-
-def one_iteration(seed: int) -> str:
-    """Run one random build; returns a description string."""
-    rng = np.random.default_rng(seed)
-    points = random_cloud(rng)
-    n, dim = points.shape
-    source = int(rng.integers(0, n))
-    algo = rng.integers(0, 5)
-    degree = int(rng.choice([2, 3, 4, 6, 8, 10, 20]))
-    description = (
-        f"seed={seed} algo={algo} n={n} dim={dim} source={source} "
-        f"degree={degree}"
-    )
-    if algo == 0:
-        result = build_polar_grid_tree(points, source, degree)
-        tree = result.tree
-    elif algo == 1:
-        tree = build_bisection_tree(points, source, degree).tree
-    elif algo == 2:
-        tree = build_quadtree_tree(points, source, degree).tree
-    elif algo == 3:
-        tree = compact_tree(points, source, degree)
-    else:
-        tree = bandwidth_latency_tree(points, source, degree, seed=seed)
-    effective = 2 if (algo in (0, 1, 2) and degree < (1 << dim)) else degree
-    tree.validate(max_out_degree=max(effective, degree))
-    # Cross-check the delay machinery on every tree.
-    from repro.overlay.simulator import simulate_dissemination
-
-    replay = simulate_dissemination(tree)
-    if not np.allclose(replay.receive_time, tree.root_delays()):
-        raise AssertionError("simulator disagrees with analytic delays")
-    return description
-
-
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seconds", type=float, default=30.0)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=30.0,
+        help="wall-clock budget (legacy flag; caps a 1M-entry corpus)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="explicit corpus size (overrides the time-capped default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--out", default=DEFAULT_OUT_DIR)
     parser.add_argument(
         "--report-every", type=int, default=200, help="progress interval"
     )
-    args = parser.parse_args()
-
-    deadline = time.monotonic() + args.seconds
-    iteration = 0
-    seed = args.seed
-    while time.monotonic() < deadline:
-        try:
-            one_iteration(seed)
-        except Exception:
-            print(f"FUZZ FAILURE at seed={seed}")
-            print(f"reproduce with: one_iteration({seed})")
-            traceback.print_exc()
-            return 1
-        iteration += 1
-        seed += 1
-        if iteration % args.report_every == 0:
-            print(f"{iteration} iterations, last seed {seed - 1}")
-    print(f"fuzzing clean: {iteration} iterations")
-    return 0
+    args = parser.parse_args(argv)
+    seeds = args.seeds if args.seeds is not None else 1_000_000
+    budget = None if args.seeds is not None else args.seconds
+    return run_fuzz(
+        seeds=seeds,
+        budget=budget,
+        base_seed=args.seed,
+        out_dir=args.out,
+        report_every=args.report_every,
+    )
 
 
 if __name__ == "__main__":
