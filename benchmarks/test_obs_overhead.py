@@ -1,0 +1,28 @@
+"""Gate: the observability layer must be ~free while disabled.
+
+Mirrors ``tools/bench_obs.py`` (which writes the committed
+``BENCH_obs.json`` artifact): the structural disabled-mode overhead —
+no-op call cost × instrumentation points per build ÷ build time — must
+stay below 2%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.bench_obs import GATE_PCT, run
+
+pytestmark = pytest.mark.bench
+
+
+def test_disabled_overhead_under_gate():
+    report = run(n=20_000, repeats=5)
+    assert report["disabled_overhead_pct"] < GATE_PCT, report
+
+
+def test_noop_calls_are_nanoseconds():
+    # A disabled span/add call must stay well under a microsecond —
+    # that is what makes leaving instrumentation in hot paths safe.
+    report = run(n=5_000, repeats=3)
+    assert report["noop_span_ns"] < 5_000, report
+    assert report["noop_add_ns"] < 5_000, report

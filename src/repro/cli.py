@@ -19,6 +19,11 @@ Render a figure::
 Build one tree and print its summary::
 
     python -m repro demo --nodes 10000 --degree 2
+
+Trace where the time goes and dump the metrics of any run::
+
+    python -m repro table1 --engine process --trace out.jsonl --metrics
+    python -m repro trace-report out.jsonl
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import argparse
 import json
 import sys
 
+import repro.obs as obs
 from repro.core.builder import build_polar_grid_tree
 from repro.experiments import figures as figures_mod
 from repro.experiments.table1 import (
@@ -51,7 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_args(p):
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help="record hierarchical trace spans to a JSON-lines file "
+            "(summarise with 'trace-report FILE'; see docs/OBSERVABILITY.md)",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print a Prometheus-style metrics dump when the command "
+            "finishes (counters/gauges/histograms, merged across workers)",
+        )
+
     def add_sweep_args(p, default_trials):
+        add_obs_args(p)
         p.add_argument(
             "--sizes",
             type=int,
@@ -117,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     demo = sub.add_parser("demo", help="build one tree and print a summary")
+    add_obs_args(demo)
     demo.add_argument("--nodes", type=int, default=10_000)
     demo.add_argument("--degree", type=int, default=6)
     demo.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
@@ -183,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed-corpus differential fuzzing of the builders "
         "(crash artifacts in results/fuzz/, exit 3 on violation)",
     )
+    add_obs_args(fuzz)
     fuzz.add_argument(
         "--seeds", type=int, default=200, help="corpus size (instances)"
     )
@@ -207,6 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write crash artifacts without the shrinking pass",
     )
+
+    report = sub.add_parser(
+        "trace-report",
+        help="summarise a JSON-lines trace file written with --trace",
+    )
+    report.add_argument("file", help="trace file (results/trace/*.jsonl)")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        metavar="K",
+        help="how many slowest root spans to expand (default 3)",
+    )
     return parser
 
 
@@ -220,6 +257,43 @@ def _sweep_params(args, paper_trials=200):
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.command == "trace-report":
+        from repro.obs.report import summarize_trace
+
+        try:
+            print(summarize_trace(args.file, top=args.top))
+        except BrokenPipeError:  # e.g. `... | head` closed stdout early
+            sys.stderr.close()
+            return 0
+        return 0
+
+    observing = bool(
+        getattr(args, "trace", None) or getattr(args, "metrics", False)
+    )
+    if not observing:
+        return _dispatch(args)
+
+    # --trace / --metrics: record the whole command under one root span,
+    # then export. Trial spans and per-worker metric snapshots from the
+    # process engine are merged in as results arrive (docs/OBSERVABILITY.md).
+    obs.reset()
+    obs.enable()
+    try:
+        with obs.span(f"cli.{args.command}"):
+            code = _dispatch(args)
+    finally:
+        records = obs.current_records()
+        snap = obs.snapshot()
+        if getattr(args, "trace", None):
+            path = obs.write_trace_jsonl(records, args.trace, metrics=snap)
+            print(f"trace: {len(records)} spans -> {path}", file=sys.stderr)
+        if getattr(args, "metrics", False):
+            print(obs.prometheus_text(snap))
+        obs.reset()
+    return code
+
+
+def _dispatch(args) -> int:
     if args.command == "table1":
         sizes, trials = _sweep_params(args)
         rows = run_table1(

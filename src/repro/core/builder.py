@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core import bounds as bounds_mod
 from repro.core.bisection import (
     bisection_tree_2d,
@@ -159,6 +160,38 @@ def build_polar_grid_tree(
     :returns: a :class:`BuildResult` whose tree spans all points, rooted
         at the source, respecting ``max_out_degree``.
     """
+    with obs.span(
+        "polar_grid.build", degree=int(max_out_degree)
+    ) as build_span:
+        result = _build_polar_grid_impl(
+            points,
+            source,
+            max_out_degree,
+            k=k,
+            fit_annulus=fit_annulus,
+            occupancy=occupancy,
+            representative_rule=representative_rule,
+        )
+        build_span.set(
+            n=result.tree.n,
+            rings=result.rings,
+            representatives=result.representative_count,
+        )
+        obs.add("build.polar_grid.total")
+        obs.observe("build.polar_grid.seconds", result.build_seconds)
+        return result
+
+
+def _build_polar_grid_impl(
+    points,
+    source: int,
+    max_out_degree: int,
+    *,
+    k: int | None,
+    fit_annulus: bool,
+    occupancy: str,
+    representative_rule: str,
+) -> BuildResult:
     if representative_rule not in ("inner-anchor", "min-radius"):
         raise ValueError(f"unknown representative rule {representative_rule!r}")
     started = time.perf_counter()
@@ -218,57 +251,66 @@ def build_polar_grid_tree(
             transform=transform,
         )
 
-    if k is None:
-        k = choose_ring_count(
-            factory, rho[receivers], t[receivers], occupancy=occupancy
-        )
-    grid = factory(int(k))
+    with obs.span("polar_grid.cell_layout", n=n, dim=dim) as layout_span:
+        if k is None:
+            k = choose_ring_count(
+                factory, rho[receivers], t[receivers], occupancy=occupancy
+            )
+        grid = factory(int(k))
 
-    ring, cell = grid.assign(rho[receivers], t[receivers])
-    gid = grid.global_id(ring, cell)
+        ring, cell = grid.assign(rho[receivers], t[receivers])
+        gid = grid.global_id(ring, cell)
+        layout_span.set(rings=int(grid.k))
 
     # Distance from each receiver to its cell's inner and outer anchors
     # (the centres of the cell's inner and outer faces). III-B picks the
     # representative "closest to the center on the inner arc of the
     # segment"; the binary mode's forwarder targets the outer anchor.
-    radii = np.array([grid.ring_radius(i) for i in range(grid.k + 1)])
-    r_lo = np.where(ring == 0, grid.r_min, radii[np.maximum(ring - 1, 0)])
-    r_hi = radii[ring]
-    t_recv = t[receivers]
-    t_mid = np.empty_like(t_recv)
-    for r in range(grid.k + 1):
-        mask = ring == r
-        if not np.any(mask):
-            continue
-        for axis, width in enumerate(grid.axis_splits(r)):
-            count = 1 << width
-            bins = np.minimum(
-                (t_recv[mask, axis] * count).astype(np.int64), count - 1
+    with obs.span("polar_grid.representatives", rule=representative_rule):
+        radii = np.array([grid.ring_radius(i) for i in range(grid.k + 1)])
+        r_lo = np.where(ring == 0, grid.r_min, radii[np.maximum(ring - 1, 0)])
+        r_hi = radii[ring]
+        t_recv = t[receivers]
+        t_mid = np.empty_like(t_recv)
+        for r in range(grid.k + 1):
+            mask = ring == r
+            if not np.any(mask):
+                continue
+            for axis, width in enumerate(grid.axis_splits(r)):
+                count = 1 << width
+                bins = np.minimum(
+                    (t_recv[mask, axis] * count).astype(np.int64), count - 1
+                )
+                t_mid[mask, axis] = (bins + 0.5) / count
+        direction = transform.direction(t_mid)
+        recv_points = points[receivers]
+        center = points[source]
+        inner_dist = np.sqrt(
+            np.sum(
+                (recv_points - (center + r_lo[:, None] * direction)) ** 2,
+                axis=1,
             )
-            t_mid[mask, axis] = (bins + 0.5) / count
-    direction = transform.direction(t_mid)
-    recv_points = points[receivers]
-    center = points[source]
-    inner_dist = np.sqrt(
-        np.sum((recv_points - (center + r_lo[:, None] * direction)) ** 2, axis=1)
-    )
-    outer_dist = np.sqrt(
-        np.sum((recv_points - (center + r_hi[:, None] * direction)) ** 2, axis=1)
-    )
+        )
+        outer_dist = np.sqrt(
+            np.sum(
+                (recv_points - (center + r_hi[:, None] * direction)) ** 2,
+                axis=1,
+            )
+        )
 
-    order = representative_order(
-        representative_rule, gid, inner_dist, rho[receivers]
-    )
-    sorted_nodes = receivers[order]
-    sorted_gid = gid[order]
-    cuts = np.flatnonzero(np.diff(sorted_gid)) + 1
-    starts = np.concatenate([[0], cuts])
-    ends = np.concatenate([cuts, [sorted_gid.shape[0]]])
+        order = representative_order(
+            representative_rule, gid, inner_dist, rho[receivers]
+        )
+        sorted_nodes = receivers[order]
+        sorted_gid = gid[order]
+        cuts = np.flatnonzero(np.diff(sorted_gid)) + 1
+        starts = np.concatenate([[0], cuts])
+        ends = np.concatenate([cuts, [sorted_gid.shape[0]]])
 
-    node_lists = sorted_nodes.tolist()
-    groups = [
-        (int(sorted_gid[s]), node_lists[s:e]) for s, e in zip(starts, ends)
-    ]
+        node_lists = sorted_nodes.tolist()
+        groups = [
+            (int(sorted_gid[s]), node_lists[s:e]) for s, e in zip(starts, ends)
+        ]
 
     parent = np.full(n, -1, dtype=np.int64)
     parent[source] = source
@@ -277,24 +319,27 @@ def build_polar_grid_tree(
     outer_full = np.zeros(n)
     outer_full[receivers] = outer_dist
 
-    reps = wire_cells(
-        grid,
-        source,
-        groups,
-        rho_list,
-        t_axes,
-        parent,
-        binary,
-        outer_anchor_dist=outer_full.tolist(),
-        points=points.tolist(),
-    )
+    with obs.span(
+        "polar_grid.wire_cells", cells=len(groups), binary=binary
+    ):
+        reps = wire_cells(
+            grid,
+            source,
+            groups,
+            rho_list,
+            t_axes,
+            parent,
+            binary,
+            outer_anchor_dist=outer_full.tolist(),
+            points=points.tolist(),
+        )
 
-    tree = MulticastTree(points=points, parent=parent, root=source)
-    elapsed = time.perf_counter() - started
-
-    core_delay = (
-        float(tree.root_delays()[reps].max()) if reps.size else 0.0
-    )
+    with obs.span("polar_grid.delay_pass"):
+        tree = MulticastTree(points=points, parent=parent, root=source)
+        elapsed = time.perf_counter() - started
+        core_delay = (
+            float(tree.root_delays()[reps].max()) if reps.size else 0.0
+        )
     upper = None
     if dim == 2:
         upper = bounds_mod.polar_grid_upper_bound(
@@ -334,6 +379,19 @@ def build_bisection_tree(
         2 or 3 the binary variant (in d dimensions, ``2^d`` is the full
         threshold).
     """
+    with obs.span(
+        "bisection.build", degree=int(max_out_degree)
+    ) as build_span:
+        result = _build_bisection_impl(points, source, max_out_degree)
+        build_span.set(n=result.tree.n)
+        obs.add("build.bisection.total")
+        obs.observe("build.bisection.seconds", result.build_seconds)
+        return result
+
+
+def _build_bisection_impl(
+    points, source: int, max_out_degree: int
+) -> BuildResult:
     started = time.perf_counter()
     points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
     validate_points(points)
@@ -355,7 +413,8 @@ def build_bisection_tree(
         )
 
     if dim == 2:
-        center, segment = bounding_segment_far_center(points)
+        with obs.span("bisection.segment"):
+            center, segment = bounding_segment_far_center(points)
         from repro.geometry.polar import to_polar
 
         rho, theta = to_polar(points, center)
@@ -364,16 +423,17 @@ def build_bisection_tree(
             np.mod(theta - segment.theta_start, TWO_PI) / TWO_PI
         ).tolist()
         rho_list = rho.tolist()
-        bisection_tree_2d(
-            rho_list,
-            theta_t,
-            receivers,
-            source,
-            (segment.r_inner, segment.r_outer),
-            (0.0, segment.theta_span / TWO_PI),
-            parent,
-            max_out_degree,
-        )
+        with obs.span("bisection.wire", n=n, dim=dim):
+            bisection_tree_2d(
+                rho_list,
+                theta_t,
+                receivers,
+                source,
+                (segment.r_inner, segment.r_outer),
+                (0.0, segment.theta_span / TWO_PI),
+                parent,
+                max_out_degree,
+            )
     else:
         transform = SphericalTransform(dim)
         rho, t = transform.transform(points, points[source])
@@ -388,16 +448,17 @@ def build_bisection_tree(
         rho_list = rho.tolist()
         t_axes = tuple(t[:, j].tolist() for j in range(dim - 1))
         t_box = tuple((0.0, 1.0) for _ in range(dim - 1))
-        bisection_tree_nd(
-            rho_list,
-            t_axes,
-            receivers,
-            source,
-            (0.0, r_max),
-            t_box,
-            parent,
-            max_out_degree,
-        )
+        with obs.span("bisection.wire", n=n, dim=dim):
+            bisection_tree_nd(
+                rho_list,
+                t_axes,
+                receivers,
+                source,
+                (0.0, r_max),
+                t_box,
+                parent,
+                max_out_degree,
+            )
 
     tree = MulticastTree(points=points, parent=parent, root=source)
     return BuildResult(

@@ -41,9 +41,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.core.builder import build_polar_grid_tree
 from repro.experiments.runner import TrialRecord
 from repro.workloads.generators import unit_ball, unit_disk
@@ -56,8 +58,10 @@ __all__ = [
     "TrialExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "ObservedOutcome",
     "execute_trial",
     "run_task",
+    "run_task_observed",
     "make_executor",
     "process_unavailable_reason",
 ]
@@ -161,6 +165,52 @@ def run_task(task: TrialTask) -> TrialRecord | TrialFailure:
         )
 
 
+@dataclass(frozen=True)
+class ObservedOutcome:
+    """A trial outcome bundled with the worker's observability capture.
+
+    ``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    dict and ``spans`` a list of span dicts — both plain JSON-able data,
+    so the bundle pickles across the process boundary exactly like the
+    bare outcome does. The parent unwraps it in
+    :meth:`TrialExecutor.imap`, folding the capture into the
+    process-wide registry/trace via :func:`repro.obs.absorb`.
+    """
+
+    outcome: TrialRecord | TrialFailure
+    metrics: dict
+    spans: list
+
+
+def run_task_observed(task: TrialTask) -> ObservedOutcome:
+    """:func:`run_task` inside an isolated observability capture.
+
+    Top-level so it pickles. Used (by both backends, for symmetry) when
+    the parent process has observability enabled: the worker records the
+    trial's spans and metrics into a throwaway registry — workers
+    spawned fresh have observability *disabled* globally, and
+    :func:`repro.obs.capture` force-enables it only for the trial — and
+    ships the serialized capture home with the result.
+    """
+    with obs.capture() as cap:
+        with obs.span(
+            "engine.trial",
+            n=task.n,
+            degree=task.max_out_degree,
+            dim=task.dim,
+            seed=task.seed,
+        ):
+            outcome = run_task(task)
+        obs.add("engine.trials.total")
+        if isinstance(outcome, TrialFailure):
+            obs.add("engine.trials.failed")
+        else:
+            obs.observe("engine.trial.seconds", outcome.seconds)
+    return ObservedOutcome(
+        outcome=outcome, metrics=cap.metrics, spans=cap.spans
+    )
+
+
 # ----------------------------------------------------------------------
 # Executors
 
@@ -169,6 +219,24 @@ class TrialExecutor:
     """Runs :class:`TrialTask` batches; results come back in task order."""
 
     name = "abstract"
+
+    @staticmethod
+    def _task_fn():
+        """The worker function for this batch.
+
+        Checked at ``imap`` time: with observability enabled the
+        observed wrapper runs instead, so every worker's trial spans and
+        metric increments come home with its results.
+        """
+        return run_task_observed if obs.is_enabled() else run_task
+
+    @staticmethod
+    def _unwrap(outcome):
+        """Fold an observed outcome's capture in; pass others through."""
+        if isinstance(outcome, ObservedOutcome):
+            obs.absorb(outcome.metrics, outcome.spans)
+            return outcome.outcome
+        return outcome
 
     def imap(self, tasks, chunksize: int | None = None):
         """Yield one outcome per task, in task order, as they finish."""
@@ -199,8 +267,9 @@ class SerialExecutor(TrialExecutor):
         self.fallback_reason = fallback_reason
 
     def imap(self, tasks, chunksize: int | None = None):
+        fn = self._task_fn()
         for task in tasks:
-            yield run_task(task)
+            yield self._unwrap(fn(task))
 
 
 class ProcessExecutor(TrialExecutor):
@@ -227,19 +296,27 @@ class ProcessExecutor(TrialExecutor):
             # A few chunks per worker amortises pickling at small n
             # while keeping the pool load-balanced at large n.
             chunksize = max(1, len(tasks) // (self.max_workers * 4))
+        fn = self._task_fn()
+        observing = fn is run_task_observed
         done = 0
+        waited = time.perf_counter()
         try:
-            for outcome in self._pool.map(
-                run_task, tasks, chunksize=chunksize
-            ):
+            for outcome in self._pool.map(fn, tasks, chunksize=chunksize):
                 done += 1
-                yield outcome
+                if observing:
+                    # Parent-side stall per result: how long the main
+                    # process sat blocked before this record arrived.
+                    now = time.perf_counter()
+                    obs.observe("engine.result.wait_seconds", now - waited)
+                    waited = now
+                yield self._unwrap(outcome)
         except Exception:
             # Pool infrastructure failure (BrokenProcessPool, a worker
             # killed by the OOM killer, ...) — task-level exceptions
             # never escape run_task. Finish the tail in-process.
+            obs.add("engine.pool_broken.total")
             for task in tasks[done:]:
-                yield run_task(task)
+                yield self._unwrap(fn(task))
 
     def close(self):
         self._pool.shutdown(wait=True, cancel_futures=True)
@@ -288,4 +365,5 @@ def make_executor(
             return ProcessExecutor(max_workers=max_workers)
         except (OSError, ImportError) as exc:
             reason = f"process pool failed to start: {exc}"
+    obs.add("engine.fallback.total")
     return SerialExecutor(fallback_reason=reason)

@@ -1,0 +1,220 @@
+"""repro.obs — zero-dependency structured observability.
+
+Three primitives, all off by default and free when off:
+
+* **trace spans** — ``with obs.span("polar_grid.wire_cells", n=n):``
+  nests hierarchically and records monotonic durations (never wall-clock
+  timestamps, so recorded data stays deterministic-safe);
+* **metrics** — process-wide counters / gauges / histograms
+  (``obs.add("overlay.repairs.total")``), snapshot-mergeable across
+  process-pool workers;
+* **exporters** — a human-readable span tree, a JSON-lines trace file,
+  and a flat Prometheus-style text dump (see :mod:`repro.obs.export`).
+
+The module-level enabled flag is the only switch. Instrumented code
+never checks it — the helpers here do, and degrade to no-ops costing one
+flag test per call (see ``tools/bench_obs.py`` for the measured
+disabled-mode overhead, < 2% on a full build).
+
+>>> import repro.obs as obs
+>>> obs.reset()
+>>> obs.add("demo.events")          # disabled: silently dropped
+>>> obs.enable()
+>>> with obs.span("demo.phase", n=3):
+...     obs.add("demo.events", 2)
+>>> obs.snapshot()["demo.events"]["value"]
+2.0
+>>> [r.name for r in obs.current_records()]
+['demo.phase']
+>>> obs.reset()                     # back to disabled, state cleared
+>>> obs.is_enabled()
+False
+
+Worker processes use :func:`capture` to record into a throwaway
+registry/collector pair and ship the result home:
+
+>>> obs.enable()
+>>> with obs.capture() as cap:      # what run_task_observed does
+...     obs.add("demo.trials")
+>>> cap.metrics["demo.trials"]["value"]
+1.0
+>>> obs.absorb(cap.metrics, cap.spans)   # what the parent does
+>>> obs.snapshot()["demo.trials"]["value"]
+1.0
+>>> obs.reset()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.export import (
+    format_span_tree,
+    prometheus_text,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import summarize_records, summarize_trace
+from repro.obs.trace import NOOP_SPAN, SpanRecord, TraceCollector
+
+__all__ = [
+    "enable",
+    "disable",
+    "reset",
+    "is_enabled",
+    "span",
+    "add",
+    "observe",
+    "set_gauge",
+    "snapshot",
+    "merge",
+    "absorb",
+    "current_records",
+    "capture",
+    "ObsCapture",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceCollector",
+    "DEFAULT_BUCKETS",
+    "format_span_tree",
+    "prometheus_text",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "summarize_records",
+    "summarize_trace",
+]
+
+_ENABLED = False
+_registry = MetricsRegistry()
+_collector = TraceCollector()
+
+
+def enable() -> None:
+    """Switch observability on (idempotent; state is kept)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Switch observability off; recorded state stays readable."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset() -> None:
+    """Disable and drop all recorded spans and metrics."""
+    global _ENABLED, _registry, _collector
+    _ENABLED = False
+    _registry = MetricsRegistry()
+    _collector = TraceCollector()
+
+
+def is_enabled() -> bool:
+    """Whether spans and metrics are currently being recorded."""
+    return _ENABLED
+
+
+# ----------------------------------------------------------------------
+# recording
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named region (no-op when disabled)."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _collector.start_span(name, attrs)
+
+
+def add(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    if _ENABLED:
+        _registry.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    if _ENABLED:
+        _registry.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    if _ENABLED:
+        _registry.gauge(name).set(value)
+
+
+# ----------------------------------------------------------------------
+# reading / merging
+
+
+def snapshot() -> dict:
+    """JSON-ready dump of the process-wide metrics registry."""
+    return _registry.snapshot()
+
+
+def merge(metrics_snapshot: dict) -> None:
+    """Fold a foreign metrics snapshot into the process-wide registry."""
+    _registry.merge(metrics_snapshot)
+
+
+def current_records() -> list[SpanRecord]:
+    """All finished spans recorded so far (collection order)."""
+    return list(_collector.records)
+
+
+def absorb(metrics_snapshot: dict | None, spans=None) -> None:
+    """Merge a worker's capture: metrics into the registry, spans under
+    the innermost currently-open span."""
+    if metrics_snapshot:
+        _registry.merge(metrics_snapshot)
+    if spans:
+        _collector.absorb(spans)
+
+
+# ----------------------------------------------------------------------
+# worker-side capture
+
+
+@dataclass
+class ObsCapture:
+    """What one :func:`capture` block recorded, in picklable form."""
+
+    metrics: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+
+
+@contextmanager
+def capture():
+    """Record into a fresh registry/collector for the block's duration.
+
+    Used by process-pool workers (and the serial engine, for symmetry)
+    to isolate one trial's observations: the surrounding global state is
+    untouched, and the yielded :class:`ObsCapture` is filled with the
+    block's metrics snapshot and span dicts on exit — ready to pickle
+    back to the parent, which folds it in with :func:`absorb`.
+    Observability is force-enabled inside the block (workers spawned
+    fresh have it disabled) and the previous state is restored after.
+    """
+    global _ENABLED, _registry, _collector
+    prev = (_ENABLED, _registry, _collector)
+    _ENABLED = True
+    _registry = MetricsRegistry()
+    _collector = TraceCollector()
+    out = ObsCapture()
+    try:
+        yield out
+    finally:
+        out.metrics = _registry.snapshot()
+        out.spans = [r.to_dict() for r in _collector.records]
+        _ENABLED, _registry, _collector = prev

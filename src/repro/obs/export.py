@@ -1,0 +1,177 @@
+"""Exporters: span tree, JSON-lines trace file, Prometheus text dump.
+
+Three formats, one source of truth (the :class:`~repro.obs.trace.SpanRecord`
+list and the registry snapshot dict):
+
+* :func:`format_span_tree` — indentation-rendered call tree for humans;
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — one span per
+  line plus an optional trailing ``{"type": "metrics", ...}`` line, the
+  on-disk format behind ``--trace FILE`` and ``trace-report``;
+* :func:`prometheus_text` — the flat ``# TYPE`` / sample-line text
+  exposition format, behind ``--metrics``.
+
+>>> from repro.obs.trace import SpanRecord
+>>> spans = [SpanRecord(1, None, "build", 0.0, 0.5, {"n": 10})]
+>>> print(format_span_tree(spans))
+build  500.000ms  n=10
+>>> print(prometheus_text({"builds.total": {"kind": "counter", "value": 2}}))
+# TYPE repro_builds_total counter
+repro_builds_total 2
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "format_span_tree",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "prometheus_text",
+]
+
+
+def _fmt_value(value) -> str:
+    """Compact, deterministic number formatting for text dumps."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return format(value, ".9g")
+    return str(value)
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    return " ".join(f"{k}={_fmt_value(v)}" for k, v in attrs.items())
+
+
+def format_span_tree(records) -> str:
+    """Render spans as an indented tree, children in start order.
+
+    Spans whose parent is missing from ``records`` are treated as roots,
+    so partial traces (a single captured trial, say) still render.
+    """
+    records = list(records)
+    by_id = {r.span_id: r for r in records}
+    children: dict[int | None, list] = {}
+    for r in records:
+        parent = r.parent_id if r.parent_id in by_id else None
+        children.setdefault(parent, []).append(r)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.start, r.span_id))
+
+    lines: list[str] = []
+
+    def walk(record, depth):
+        attrs = _fmt_attrs(record.attrs)
+        lines.append(
+            "  " * depth
+            + f"{record.name}  {record.duration * 1e3:.3f}ms"
+            + (f"  {attrs}" if attrs else "")
+        )
+        for child in children.get(record.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def write_trace_jsonl(records, path, metrics: dict | None = None) -> Path:
+    """Write spans (and optionally a metrics snapshot) as JSON lines.
+
+    Creates parent directories. Returns the written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for r in records:
+            payload = r.to_dict() if hasattr(r, "to_dict") else dict(r)
+            fh.write(json.dumps(payload) + "\n")
+        if metrics is not None:
+            fh.write(json.dumps({"type": "metrics", "data": metrics}) + "\n")
+    return path
+
+
+def read_trace_jsonl(path):
+    """Parse a trace file back into ``(span_records, metrics_or_None)``."""
+    from repro.obs.trace import SpanRecord
+
+    spans: list[SpanRecord] = []
+    metrics: dict | None = None
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+            kind = payload.get("type")
+            if kind == "span":
+                spans.append(SpanRecord.from_dict(payload))
+            elif kind == "metrics":
+                metrics = payload.get("data")
+            else:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown record type {kind!r}"
+                )
+    return spans, metrics
+
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    Metric names are prefixed ``repro_`` and non-alphanumerics become
+    underscores (``engine.trials.completed`` →
+    ``repro_engine_trials_completed``). Histograms expand into
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` / ``_min`` / ``_max``.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload["kind"]
+        prom = _prom_name(name)
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {prom} {kind}")
+            lines.append(f"{prom} {_fmt_value(float(payload['value']))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(
+                payload["buckets"], payload["bucket_counts"]
+            ):
+                cumulative += int(count)
+                lines.append(
+                    f'{prom}_bucket{{le="{_fmt_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += int(payload["bucket_counts"][-1])
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{prom}_sum {_fmt_value(float(payload['sum']))}")
+            lines.append(f"{prom}_count {int(payload['count'])}")
+            if payload["count"]:
+                lines.append(
+                    f"{prom}_min {_fmt_value(float(payload['min']))}"
+                )
+                lines.append(
+                    f"{prom}_max {_fmt_value(float(payload['max']))}"
+                )
+        else:
+            raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+    return "\n".join(lines)

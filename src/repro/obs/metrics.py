@@ -1,0 +1,221 @@
+"""Counters, gauges and histograms in a mergeable process-wide registry.
+
+Three instrument kinds, all write-cheap and lock-free (the experiment
+engine parallelises with *processes*, never threads, so plain Python
+attribute updates are safe):
+
+* :class:`Counter` — monotonically increasing totals
+  (``engine.trials.completed``);
+* :class:`Gauge` — last-written value (``fuzz.execs_per_sec``);
+* :class:`Histogram` — count / sum / min / max plus cumulative
+  ``le``-bucket counts (``engine.trial.seconds``).
+
+A :class:`MetricsRegistry` owns one instrument per name. Registries
+serialise to plain-dict *snapshots* and merge snapshots back in, which
+is how per-worker observations cross the process boundary: each worker
+runs its trial inside :func:`repro.obs.capture`, ships the snapshot home
+with the result, and the parent merges it — counters and histograms add,
+gauges keep the last value seen.
+
+>>> from repro.obs.metrics import MetricsRegistry
+>>> a, b = MetricsRegistry(), MetricsRegistry()
+>>> a.counter("trials").inc(3)
+>>> b.counter("trials").inc(2)
+>>> b.histogram("seconds").observe(0.25)
+>>> a.merge(b.snapshot())
+>>> a.counter("trials").value
+5.0
+>>> a.histogram("seconds").count
+1
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured; spans the
+#: microsecond no-op to the multi-minute 5M-node build).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    def merge(self, payload: dict) -> None:
+        self.value += float(payload["value"])
+
+
+class Gauge:
+    """A point-in-time value; merge keeps the last value written."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    def merge(self, payload: dict) -> None:
+        self.value = float(payload["value"])
+
+
+class Histogram:
+    """count / sum / min / max plus cumulative ``le`` buckets."""
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge(self, payload: dict) -> None:
+        if tuple(payload["buckets"]) != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ; "
+                "snapshots are only mergeable between identical layouts"
+            )
+        self.count += int(payload["count"])
+        self.sum += float(payload["sum"])
+        self.min = min(self.min, float(payload["min"]))
+        self.max = max(self.max, float(payload["max"]))
+        for i, c in enumerate(payload["bucket_counts"]):
+            self.bucket_counts[i] += int(c)
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """One instrument per name; snapshots out, merges in.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create and raise
+    if the name already exists with a different kind — a name means one
+    thing for the whole process.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def items(self):
+        """(name, instrument) pairs in sorted-name order."""
+        return sorted(self._instruments.items())
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump: ``{name: {"kind": ..., **state}}``."""
+        return {
+            name: {"kind": inst.kind, **inst.to_dict()}
+            for name, inst in self._instruments.items()
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges overwrite."""
+        for name, payload in snapshot.items():
+            kind = payload.get("kind")
+            cls = _KINDS.get(kind)
+            if cls is None:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+            if cls is Histogram:
+                inst = self._get(
+                    name, cls, buckets=tuple(payload["buckets"])
+                )
+            else:
+                inst = self._get(name, cls)
+            inst.merge(payload)

@@ -1,0 +1,93 @@
+"""Trace-file summarizer behind ``python -m repro trace-report FILE``.
+
+Aggregates a JSONL trace (see :mod:`repro.obs.export`) into the view
+you actually want after a run: where the time went per span name, the
+shape of the slowest call trees, and the metrics snapshot if the file
+carries one.
+
+>>> from repro.obs.trace import SpanRecord
+>>> spans = [
+...     SpanRecord(1, None, "build", 0.0, 1.0, {"n": 100}),
+...     SpanRecord(2, 1, "build.wire", 0.1, 0.6, {}),
+... ]
+>>> print(summarize_records(spans).splitlines()[0])
+trace: 2 spans, 2 distinct names, root wall time 1.000s
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import format_span_tree, prometheus_text, read_trace_jsonl
+
+__all__ = ["summarize_records", "summarize_trace"]
+
+
+def summarize_records(records, metrics: dict | None = None, top: int = 3) -> str:
+    """Render the summary for in-memory span records."""
+    records = list(records)
+    if not records and not metrics:
+        return "trace: empty (no spans, no metrics)"
+
+    by_id = {r.span_id for r in records}
+    roots = [r for r in records if r.parent_id not in by_id]
+    root_wall = sum(r.duration for r in roots)
+
+    lines = [
+        f"trace: {len(records)} spans, "
+        f"{len({r.name for r in records})} distinct names, "
+        f"root wall time {root_wall:.3f}s"
+    ]
+
+    if records:
+        stats: dict[str, list[float]] = {}
+        for r in records:
+            stats.setdefault(r.name, []).append(r.duration)
+        lines.append("")
+        lines.append("per-name totals (slowest first):")
+        header = f"  {'name':<40} {'count':>6} {'total':>10} {'mean':>10} {'max':>10}"
+        lines.append(header)
+        for name, durs in sorted(
+            stats.items(), key=lambda kv: -sum(kv[1])
+        ):
+            total = sum(durs)
+            lines.append(
+                f"  {name:<40} {len(durs):>6} {total:>9.3f}s "
+                f"{total / len(durs):>9.4f}s {max(durs):>9.4f}s"
+            )
+
+        slowest = sorted(roots, key=lambda r: -r.duration)[:top]
+        if slowest:
+            lines.append("")
+            lines.append(f"slowest {len(slowest)} root span(s):")
+            for root in slowest:
+                subtree = _subtree(records, root)
+                tree = format_span_tree(subtree)
+                lines.extend("  " + ln for ln in tree.splitlines())
+
+    if metrics:
+        lines.append("")
+        lines.append("metrics snapshot:")
+        lines.extend("  " + ln for ln in prometheus_text(metrics).splitlines())
+    return "\n".join(lines)
+
+
+def _subtree(records, root):
+    """``root`` and every descendant, in the original record order."""
+    children: dict[int, list] = {}
+    for r in records:
+        if r.parent_id is not None:
+            children.setdefault(r.parent_id, []).append(r)
+    keep = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        keep.append(node)
+        stack.extend(children.get(node.span_id, ()))
+    order = {id(r): i for i, r in enumerate(records)}
+    keep.sort(key=lambda r: order[id(r)])
+    return keep
+
+
+def summarize_trace(path, top: int = 3) -> str:
+    """Read a JSONL trace file and render its summary."""
+    spans, metrics = read_trace_jsonl(path)
+    return summarize_records(spans, metrics, top=top)

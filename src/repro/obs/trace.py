@@ -1,0 +1,197 @@
+"""Hierarchical trace spans with monotonic timings.
+
+A *span* is a named, timed region of code. Spans nest: entering a span
+while another is open makes it a child, so a build shows up as a tree —
+``polar_grid.build`` containing ``polar_grid.cell_layout``,
+``polar_grid.wire_cells`` and so on. Each span carries free-form
+attributes (``n=100_000``, ``rings=12``) and two numbers: ``start``
+(seconds since the collector's epoch, a *monotonic* offset, never a wall
+clock) and ``duration`` (seconds).
+
+Everything is off by default. :func:`repro.obs.span` returns a shared
+no-op object while observability is disabled, so instrumented hot paths
+pay one flag check and nothing else.
+
+>>> import repro.obs as obs
+>>> obs.reset()
+>>> obs.enable()
+>>> with obs.span("outer", n=4):
+...     with obs.span("inner"):
+...         pass
+>>> records = obs.current_records()   # end order: children close first
+>>> [(r.name, r.parent_id is None) for r in records]
+[('inner', False), ('outer', True)]
+>>> records[0].parent_id == records[1].span_id
+True
+>>> obs.reset()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "TraceCollector", "NoopSpan", "NOOP_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, ready for export.
+
+    ``start`` is measured from the owning collector's epoch with
+    ``time.perf_counter`` — a duration, not a timestamp, so traces stay
+    deterministic-safe (re-runs differ only in timings, never in
+    identity or ordering semantics).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the JSONL exporter writes exactly this)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            span_id=int(payload["id"]),
+            parent_id=(
+                None if payload.get("parent") is None else int(payload["parent"])
+            ),
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+class ActiveSpan:
+    """Context manager for one live span. Created by the collector."""
+
+    __slots__ = ("_collector", "_record", "_t0")
+
+    def __init__(self, collector: "TraceCollector", record: SpanRecord):
+        self._collector = collector
+        self._record = record
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> "ActiveSpan":
+        """Attach attributes to the span after entry (chainable)."""
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "ActiveSpan":
+        self._t0 = time.perf_counter()
+        self._record.start = self._t0 - self._collector.epoch
+        self._collector._stack.append(self._record.span_id)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._record.duration = time.perf_counter() - self._t0
+        stack = self._collector._stack
+        if stack and stack[-1] == self._record.span_id:
+            stack.pop()
+        self._collector.records.append(self._record)
+        return False
+
+
+class NoopSpan:
+    """The do-nothing span handed out while observability is disabled.
+
+    A single shared instance (:data:`NOOP_SPAN`) keeps the disabled-mode
+    cost of ``with obs.span(...)`` to one flag check and two trivial
+    method calls — no allocation, no clock reads.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class TraceCollector:
+    """Accumulates finished :class:`SpanRecord` objects in end order.
+
+    Children finish before their parents, so ``records`` lists subtrees
+    bottom-up; exporters sort by ``start`` when rendering. The collector
+    also tracks the open-span stack that gives new spans their parent.
+    """
+
+    def __init__(self):
+        self.epoch = time.perf_counter()
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def start_span(self, name: str, attrs: dict) -> ActiveSpan:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=parent,
+            name=name,
+            start=0.0,
+            duration=0.0,
+            attrs=dict(attrs),
+        )
+        return ActiveSpan(self, record)
+
+    def current_parent(self) -> int | None:
+        """Id of the innermost open span (for absorbing foreign spans)."""
+        return self._stack[-1] if self._stack else None
+
+    def absorb(self, spans, parent_id: int | None = None) -> None:
+        """Graft externally captured spans (e.g. from a worker process).
+
+        Ids are remapped into this collector's sequence; top-level
+        foreign spans are parented under ``parent_id`` (or the innermost
+        open span when ``None``), so a worker's trial spans appear under
+        the sweep span that dispatched them. Start offsets are kept as
+        the worker measured them — they are durations on the worker's
+        own clock and are reported as such.
+        """
+        if parent_id is None:
+            parent_id = self.current_parent()
+        incoming = [
+            span if isinstance(span, SpanRecord) else SpanRecord.from_dict(span)
+            for span in spans
+        ]
+        # Two passes: records arrive in end order (children close before
+        # parents), so every id must be remapped before parents resolve.
+        remap: dict[int, int] = {}
+        for record in incoming:
+            remap[record.span_id] = self._next_id
+            self._next_id += 1
+        for record in incoming:
+            self.records.append(
+                SpanRecord(
+                    span_id=remap[record.span_id],
+                    parent_id=remap.get(record.parent_id, parent_id),
+                    name=record.name,
+                    start=record.start,
+                    duration=record.duration,
+                    attrs=dict(record.attrs),
+                )
+            )

@@ -25,8 +25,11 @@ trade-off is observable (see ``examples``/``benchmarks``).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+import repro.obs as obs
 from repro.core.builder import build_polar_grid_tree
 from repro.core.tree import MulticastTree
 from repro.overlay.repair import repair_after_failure
@@ -112,6 +115,7 @@ class DynamicOverlay:
         from repro.analysis.oracle import check_tree
         from repro.core.tree import TreeInvariantError
 
+        t0 = time.perf_counter()
         tree = self.tree()
         report = check_tree(tree, d_max=self.max_out_degree)
         report.raise_if_failed()
@@ -127,6 +131,7 @@ class DynamicOverlay:
             raise TreeInvariantError(
                 "cached out-degrees drifted from the tree"
             )
+        obs.observe("overlay.validation.seconds", time.perf_counter() - t0)
 
     def _after_event(self):
         if self.validate:
@@ -140,6 +145,7 @@ class DynamicOverlay:
 
     def rebuild(self):
         """Full polar-grid rebuild over the current membership."""
+        obs.add("overlay.rebuilds.total")
         points = np.asarray(self._points)
         result = build_polar_grid_tree(points, 0, self.max_out_degree)
         tree = result.tree
@@ -165,6 +171,7 @@ class DynamicOverlay:
                 f"coords must have shape ({self.dim},); got {coords.shape}"
             )
 
+        obs.add("overlay.joins.total")
         points = np.asarray(self._points)
         degree = np.asarray(self._degree)
         delay = np.asarray(self._delay)
@@ -196,6 +203,7 @@ class DynamicOverlay:
             raise ValueError("the source cannot leave its own session")
         if name not in self._index:
             raise ValueError(f"unknown member {name!r}")
+        obs.add("overlay.leaves.total")
         victim = self._index[name]
 
         tree = self.tree()

@@ -14,8 +14,11 @@ decentralized version": it keeps the tree valid between full rebuilds.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+import repro.obs as obs
 from repro.core.tree import MulticastTree
 
 __all__ = ["repair_after_failure"]
@@ -45,6 +48,17 @@ def repair_after_failure(
     :raises ValueError: if the root fails (a multicast without its source
         cannot be repaired) or if no feasible attachment point remains.
     """
+    with obs.span("overlay.repair", n=tree.n, failed=int(failed)):
+        return _repair_impl(tree, failed, max_out_degree, validate=validate)
+
+
+def _repair_impl(
+    tree: MulticastTree,
+    failed: int,
+    max_out_degree,
+    *,
+    validate: bool,
+) -> tuple[MulticastTree, np.ndarray]:
     failed = int(failed)
     if failed == tree.root:
         raise ValueError("cannot repair the failure of the source itself")
@@ -83,6 +97,10 @@ def repair_after_failure(
     detached = np.zeros(n, dtype=bool)
     for nodes in subtrees.values():
         detached[nodes] = True
+
+    obs.add("overlay.repairs.total")
+    obs.add("overlay.orphans.total", int(orphans.size))
+    obs.observe("overlay.orphan_subtree_nodes", int(detached.sum()))
 
     for orphan in orphans:
         orphan = int(orphan)
@@ -123,5 +141,7 @@ def repair_after_failure(
         # Lazy import: analysis depends on core, not the other way round.
         from repro.analysis.oracle import check_tree
 
+        t0 = time.perf_counter()
         check_tree(new_tree, d_max=budgets[survivors]).raise_if_failed()
+        obs.observe("overlay.validation.seconds", time.perf_counter() - t0)
     return new_tree, index_map

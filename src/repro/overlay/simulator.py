@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.tree import MulticastTree
 
 __all__ = ["DisseminationResult", "simulate_dissemination"]
@@ -97,6 +98,8 @@ def simulate_dissemination(
         unreached = int(np.flatnonzero(np.isinf(receive))[0])
         raise ValueError(f"node {unreached} is unreachable from the root")
 
+    obs.add("overlay.simulations.total")
+    obs.add("overlay.sim_events.total", events)
     return DisseminationResult(
         receive_time=receive,
         completion_time=float(receive.max()),

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.testing.differential import run_differential
 
 __all__ = [
@@ -232,6 +233,7 @@ def shrink_instance(
         full_check = False
 
     def still_fails(indices):
+        obs.add("fuzz.shrink_checks.total")
         sub = points[indices]
         sub_source = indices.index(source)
         found = check_instance(
@@ -331,7 +333,8 @@ def run_fuzz(
     :param shrink: bisect failing instances down before writing them out.
     :returns: :data:`EXIT_CLEAN` or :data:`EXIT_CRASH`.
     """
-    deadline = None if budget is None else time.monotonic() + float(budget)
+    started = time.monotonic()
+    deadline = None if budget is None else started + float(budget)
     out_path = Path(out_dir)
     crashes = 0
     executed = 0
@@ -340,12 +343,17 @@ def run_fuzz(
             log(f"budget exhausted after {executed}/{seeds} instances")
             break
         instance = instance_from_seed(base_seed, index)
-        violations = check_instance(
-            instance.points, instance.source, instance.d_max
-        )
+        with obs.span(
+            "fuzz.instance", index=index, n=instance.points.shape[0]
+        ):
+            violations = check_instance(
+                instance.points, instance.source, instance.d_max
+            )
         executed += 1
+        obs.add("fuzz.execs.total")
         if violations:
             crashes += 1
+            obs.add("fuzz.crashes.total")
             log(f"FUZZ FAILURE: {instance.description}")
             for v in violations[:8]:
                 log(f"  [{v['code']}] {v['message'].splitlines()[0]}")
@@ -365,6 +373,9 @@ def run_fuzz(
                 break
         elif report_every and executed % report_every == 0:
             log(f"{executed} instances clean (last index {index})")
+    elapsed = time.monotonic() - started
+    if elapsed > 0:
+        obs.set_gauge("fuzz.execs_per_sec", executed / elapsed)
     if crashes:
         log(f"fuzzing found {crashes} failing instances ({executed} run)")
         return EXIT_CRASH

@@ -1,0 +1,455 @@
+"""Tests for repro.obs: spans, metrics, capture/merge, exporters, CLI."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, SpanRecord, TraceCollector
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with observability disabled and empty."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# spans
+
+
+class TestSpans:
+    def test_nesting_assigns_parents(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("middle"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("sibling"):
+                pass
+        records = {r.name: r for r in obs.current_records()}
+        assert records["outer"].parent_id is None
+        assert records["middle"].parent_id == records["outer"].span_id
+        assert records["inner"].parent_id == records["middle"].span_id
+        assert records["sibling"].parent_id == records["outer"].span_id
+
+    def test_timing_is_monotonic_and_contains_children(self):
+        obs.enable()
+        with obs.span("parent"):
+            with obs.span("child"):
+                sum(range(10_000))
+        by_name = {r.name: r for r in obs.current_records()}
+        parent, child = by_name["parent"], by_name["child"]
+        assert parent.duration > 0
+        assert child.duration > 0
+        assert parent.duration >= child.duration
+        assert child.start >= parent.start
+
+    def test_attrs_at_entry_and_via_set(self):
+        obs.enable()
+        with obs.span("build", n=100) as sp:
+            sp.set(rings=4)
+        (record,) = obs.current_records()
+        assert record.attrs == {"n": 100, "rings": 4}
+
+    def test_exception_still_closes_span(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = obs.current_records()
+        assert record.name == "doomed"
+        assert record.duration >= 0
+        # the stack unwound: a new span is a root again
+        with obs.span("after"):
+            pass
+        assert obs.current_records()[-1].parent_id is None
+
+    def test_span_record_roundtrip(self):
+        record = SpanRecord(7, 3, "x", 0.5, 0.25, {"k": "v"})
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+
+# ----------------------------------------------------------------------
+# disabled mode
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_noop(self):
+        assert obs.span("anything", n=1) is NOOP_SPAN
+        assert obs.span("other") is NOOP_SPAN
+        with obs.span("nested"):
+            with obs.span("inner"):
+                pass
+        assert obs.current_records() == []
+
+    def test_metrics_are_dropped(self):
+        obs.add("c.total")
+        obs.observe("h.seconds", 1.0)
+        obs.set_gauge("g", 3.0)
+        assert obs.snapshot() == {}
+
+    def test_instrumented_build_records_nothing(self):
+        from repro.core.builder import build_polar_grid_tree
+        from repro.workloads.generators import unit_disk
+
+        build_polar_grid_tree(unit_disk(100, seed=0), 0, 6)
+        assert obs.current_records() == []
+        assert obs.snapshot() == {}
+
+    def test_noop_span_set_chains(self):
+        assert NOOP_SPAN.set(a=1) is NOOP_SPAN
+
+
+# ----------------------------------------------------------------------
+# metrics registry + merge
+
+
+class TestRegistryMerge:
+    def test_counters_add_gauges_overwrite(self):
+        workers = []
+        for w in range(3):
+            reg = MetricsRegistry()
+            reg.counter("trials").inc(4)
+            reg.gauge("last_seed").set(w)
+            workers.append(reg.snapshot())
+        merged = MetricsRegistry()
+        for snap in workers:
+            merged.merge(snap)
+        assert merged.counter("trials").value == 12
+        assert merged.gauge("last_seed").value == 2
+
+    def test_histograms_merge_counts_sums_extremes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.002, 0.2):
+            a.histogram("secs").observe(v)
+        for v in (0.02, 7.0):
+            b.histogram("secs").observe(v)
+        a.merge(b.snapshot())
+        h = a.histogram("secs")
+        assert h.count == 4
+        assert math.isclose(h.sum, 7.222)
+        assert h.min == 0.002
+        assert h.max == 7.0
+        assert sum(h.bucket_counts) == 4
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_bucket_layout_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h").observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b.snapshot())
+
+    def test_snapshot_is_json_serialisable(self):
+        obs.enable()
+        obs.add("c")
+        obs.observe("h", 0.5)
+        obs.set_gauge("g", 1.0)
+        json.dumps(obs.snapshot())
+
+
+# ----------------------------------------------------------------------
+# capture / absorb (the worker protocol)
+
+
+class TestCaptureAbsorb:
+    def test_capture_isolates_and_restores(self):
+        obs.enable()
+        obs.add("outer.counter")
+        with obs.capture() as cap:
+            obs.add("inner.counter", 5)
+            with obs.span("inner.span"):
+                pass
+        # the capture took the inner observations...
+        assert cap.metrics["inner.counter"]["value"] == 5
+        assert [s["name"] for s in cap.spans] == ["inner.span"]
+        # ...and the global state never saw them
+        assert "inner.counter" not in obs.snapshot()
+        assert obs.current_records() == []
+        assert obs.snapshot()["outer.counter"]["value"] == 1
+
+    def test_capture_enables_even_when_disabled(self):
+        assert not obs.is_enabled()
+        with obs.capture() as cap:
+            assert obs.is_enabled()
+            obs.add("w.counter")
+        assert not obs.is_enabled()
+        assert cap.metrics["w.counter"]["value"] == 1
+
+    def test_absorb_grafts_spans_under_open_span(self):
+        obs.enable()
+        with obs.capture() as cap:
+            with obs.span("trial"):
+                with obs.span("build"):
+                    pass
+        with obs.span("sweep"):
+            obs.absorb(cap.metrics, cap.spans)
+        by_name = {r.name: r for r in obs.current_records()}
+        assert by_name["trial"].parent_id == by_name["sweep"].span_id
+        # internal parentage preserved through the id remap
+        assert by_name["build"].parent_id == by_name["trial"].span_id
+
+    def test_simulated_multi_worker_merge(self):
+        # Three "workers" capture independently; the parent folds all in.
+        captures = []
+        for w in range(3):
+            with obs.capture() as cap:
+                obs.add("engine.trials.total", 2)
+                obs.observe("engine.trial.seconds", 0.1 * (w + 1))
+            captures.append(cap)
+        obs.enable()
+        for cap in captures:
+            obs.absorb(cap.metrics, cap.spans)
+        snap = obs.snapshot()
+        assert snap["engine.trials.total"]["value"] == 6
+        assert snap["engine.trial.seconds"]["count"] == 3
+        assert math.isclose(snap["engine.trial.seconds"]["sum"], 0.6)
+
+
+# ----------------------------------------------------------------------
+# engine integration
+
+
+class TestEngineObservability:
+    def test_serial_engine_merges_worker_metrics(self):
+        from repro.experiments.runner import run_trials
+
+        obs.enable()
+        with obs.span("sweep"):
+            records = run_trials(120, 6, 3, seed=0, engine="serial")
+        assert len(records) == 3
+        snap = obs.snapshot()
+        assert snap["engine.trials.total"]["value"] == 3
+        assert snap["engine.trial.seconds"]["count"] == 3
+        trial_spans = [
+            r for r in obs.current_records() if r.name == "engine.trial"
+        ]
+        assert len(trial_spans) == 3
+
+    def test_process_pool_merges_every_workers_trials(self):
+        from repro.experiments.parallel import ProcessExecutor, TrialTask
+
+        obs.enable()
+        tasks = [
+            TrialTask(n=100, max_out_degree=6, dim=2, seed=s)
+            for s in range(4)
+        ]
+        with obs.span("sweep"):
+            with ProcessExecutor(max_workers=2) as ex:
+                outcomes = ex.map(tasks)
+        assert all(hasattr(o, "delay") for o in outcomes)
+        snap = obs.snapshot()
+        assert snap["engine.trials.total"]["value"] == 4
+        assert snap["engine.trial.seconds"]["count"] == 4
+        by_name = {}
+        for r in obs.current_records():
+            by_name.setdefault(r.name, []).append(r)
+        assert len(by_name["engine.trial"]) == 4
+        sweep = by_name["sweep"][0]
+        assert all(r.parent_id == sweep.span_id for r in by_name["engine.trial"])
+
+    def test_disabled_engine_stays_silent(self):
+        from repro.experiments.runner import run_trials
+
+        records = run_trials(100, 6, 2, seed=0, engine="serial")
+        assert len(records) == 2
+        assert obs.snapshot() == {}
+        assert obs.current_records() == []
+
+    def test_records_identical_with_and_without_observability(self):
+        from repro.experiments.runner import run_trials
+
+        baseline = run_trials(150, 2, 3, seed=5, engine="serial")
+        obs.enable()
+        observed = run_trials(150, 2, 3, seed=5, engine="serial")
+        for a, b in zip(baseline, observed):
+            assert (a.n, a.rings, a.core_delay, a.delay, a.bound) == (
+                b.n,
+                b.rings,
+                b.core_delay,
+                b.delay,
+                b.bound,
+            )
+
+
+# ----------------------------------------------------------------------
+# overlay + fuzz counters
+
+
+class TestDomainCounters:
+    def test_repair_counts_orphans(self):
+        import numpy as np
+
+        from repro.core.builder import build_polar_grid_tree
+        from repro.overlay.repair import repair_after_failure
+        from repro.workloads.generators import unit_disk
+
+        tree = build_polar_grid_tree(unit_disk(60, seed=3), 0, 2).tree
+        victim = int(np.flatnonzero(tree.out_degrees() > 0)[-1])
+        obs.enable()
+        repair_after_failure(tree, victim, 2, validate=True)
+        snap = obs.snapshot()
+        assert snap["overlay.repairs.total"]["value"] == 1
+        assert snap["overlay.orphan_subtree_nodes"]["count"] == 1
+        assert snap["overlay.validation.seconds"]["count"] == 1
+        names = [r.name for r in obs.current_records()]
+        assert "overlay.repair" in names
+
+    def test_dynamic_overlay_counts_membership_events(self):
+        from repro.overlay.dynamic import DynamicOverlay
+
+        obs.enable()
+        overlay = DynamicOverlay((0.0, 0.0), max_out_degree=4,
+                                 rebuild_threshold=None)
+        for i in range(6):
+            overlay.join(f"m{i}", (0.1 * (i + 1), 0.2))
+        overlay.leave("m2")
+        overlay.rebuild()
+        snap = obs.snapshot()
+        assert snap["overlay.joins.total"]["value"] == 6
+        assert snap["overlay.leaves.total"]["value"] == 1
+        assert snap["overlay.rebuilds.total"]["value"] == 1
+
+    def test_fuzz_counts_execs(self, tmp_path):
+        from repro.testing.fuzz import run_fuzz
+
+        obs.enable()
+        code = run_fuzz(
+            seeds=3, out_dir=str(tmp_path), log=lambda *a, **k: None
+        )
+        assert code == 0
+        snap = obs.snapshot()
+        assert snap["fuzz.execs.total"]["value"] == 3
+        assert snap["fuzz.execs_per_sec"]["value"] > 0
+
+
+# ----------------------------------------------------------------------
+# exporters (golden files)
+
+
+def _golden_records():
+    return [
+        SpanRecord(3, 2, "polar_grid.cell_layout", 0.001, 0.0625,
+                   {"n": 1000, "rings": 6}),
+        SpanRecord(4, 2, "polar_grid.wire_cells", 0.064, 0.125,
+                   {"cells": 127}),
+        SpanRecord(2, 1, "polar_grid.build", 0.0, 0.25, {"n": 1000}),
+        SpanRecord(1, None, "cli.table1", 0.0, 0.5, {}),
+    ]
+
+
+def _golden_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("engine.trials.total").inc(8)
+    reg.gauge("fuzz.execs_per_sec").set(12.5)
+    h = reg.histogram("engine.trial.seconds", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 0.5):
+        h.observe(v)
+    return reg.snapshot()
+
+
+class TestExporters:
+    def test_span_tree_matches_golden(self):
+        rendered = obs.format_span_tree(_golden_records())
+        golden = (DATA_DIR / "golden_span_tree.txt").read_text().rstrip("\n")
+        assert rendered == golden
+
+    def test_prometheus_matches_golden(self):
+        rendered = obs.prometheus_text(_golden_snapshot())
+        golden = (DATA_DIR / "golden_prometheus.txt").read_text().rstrip("\n")
+        assert rendered == golden
+
+    def test_jsonl_roundtrip_with_metrics(self, tmp_path):
+        path = tmp_path / "trace" / "t.jsonl"
+        obs.write_trace_jsonl(
+            _golden_records(), path, metrics=_golden_snapshot()
+        )
+        spans, metrics = obs.read_trace_jsonl(path)
+        assert spans == _golden_records()
+        assert metrics == _golden_snapshot()
+
+    def test_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            obs.read_trace_jsonl(path)
+
+    def test_summarize_records_covers_spans_and_metrics(self):
+        text = obs.summarize_records(_golden_records(), _golden_snapshot())
+        assert "4 spans" in text
+        assert "cli.table1" in text
+        assert "repro_engine_trials_total 8" in text
+
+    def test_summarize_empty(self):
+        assert "empty" in obs.summarize_records([])
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_table1_trace_and_metrics(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "table1",
+                "--sizes", "80",
+                "--trials", "2",
+                "--engine", "process",
+                "--trace", str(trace),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # merged snapshot covers every worker's trials: 1 size x 2 degrees
+        # x 2 trials
+        assert "repro_engine_trials_total 4" in out
+        assert "repro_build_polar_grid_total 4" in out
+        spans, metrics = obs.read_trace_jsonl(trace)
+        assert metrics["engine.trials.total"]["value"] == 4
+        names = [s.name for s in spans]
+        assert names.count("engine.trial") == 4
+        assert "cli.table1" in names
+        # CLI state is torn down afterwards
+        assert not obs.is_enabled()
+        assert obs.current_records() == []
+
+    def test_trace_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.jsonl"
+        obs.write_trace_jsonl(
+            _golden_records(), trace, metrics=_golden_snapshot()
+        )
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "4 spans" in out
+        assert "per-name totals" in out
+        assert "repro_engine_trials_total 8" in out
+
+    def test_demo_without_flags_records_nothing(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo", "--nodes", "50"]) == 0
+        assert obs.current_records() == []
+        assert "repro_" not in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Measure the observability layer's overhead; emit BENCH_obs.json.
+
+The contract (ISSUE 3 / docs/OBSERVABILITY.md) is that instrumentation
+costs < 2% when observability is **disabled** — the default. Two
+measurements back that up:
+
+1. **A/B build timing** — median wall time of repeated polar-grid
+   builds with observability disabled vs enabled. Disabled is the
+   shipping configuration; enabled shows the (small) price of actually
+   recording spans and metrics.
+2. **No-op microbench** — the per-call cost of ``obs.span`` and
+   ``obs.add`` while disabled, times the number of instrumentation
+   points a build crosses, divided by the build time. This is the
+   *structural* disabled-mode overhead, independent of timer noise.
+
+Schema::
+
+    {"n": int,                        # nodes per build
+     "repeats": int,                  # builds per configuration
+     "disabled_seconds": float,       # median build, obs off
+     "enabled_seconds": float,        # median build, obs on
+     "enabled_overhead_pct": float,
+     "noop_span_ns": float,           # one disabled obs.span() call
+     "noop_add_ns": float,            # one disabled obs.add() call
+     "calls_per_build": int,          # instrumentation points crossed
+     "disabled_overhead_pct": float}  # structural estimate, the gate
+
+Run::
+
+    PYTHONPATH=src python tools/bench_obs.py --out BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import repro.obs as obs
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import unit_disk
+
+#: Observability calls one polar-grid build crosses: the build wrapper
+#: span, four phase spans, one counter, one histogram observation.
+CALLS_PER_BUILD = 7
+
+GATE_PCT = 2.0
+
+
+def median_build_seconds(points, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        build_polar_grid_tree(points, 0, 6)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def noop_ns(fn, calls: int = 200_000) -> float:
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - t0) / calls * 1e9
+
+
+def run(n: int, repeats: int) -> dict:
+    points = unit_disk(n, seed=0)
+    build_polar_grid_tree(points, 0, 6)  # warm caches/allocator
+
+    obs.reset()  # observability off — the shipping default
+    disabled = median_build_seconds(points, repeats)
+
+    obs.enable()
+    enabled = median_build_seconds(points, repeats)
+    obs.reset()
+
+    span_ns = noop_ns(lambda: obs.span("bench.noop", n=1).__enter__())
+    add_ns = noop_ns(lambda: obs.add("bench.noop"))
+
+    per_build_ns = CALLS_PER_BUILD * max(span_ns, add_ns)
+    disabled_pct = per_build_ns / (disabled * 1e9) * 100.0
+    return {
+        "n": n,
+        "repeats": repeats,
+        "disabled_seconds": round(disabled, 4),
+        "enabled_seconds": round(enabled, 4),
+        "enabled_overhead_pct": round((enabled / disabled - 1.0) * 100, 2),
+        "noop_span_ns": round(span_ns, 1),
+        "noop_add_ns": round(add_ns, 1),
+        "calls_per_build": CALLS_PER_BUILD,
+        "disabled_overhead_pct": round(disabled_pct, 6),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="nodes per build")
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    report = run(args.n, args.repeats)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    if report["disabled_overhead_pct"] >= GATE_PCT:
+        print(
+            f"FAIL: disabled-mode overhead "
+            f"{report['disabled_overhead_pct']:.3f}% >= {GATE_PCT}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: disabled-mode overhead {report['disabled_overhead_pct']:.4f}% "
+        f"< {GATE_PCT}% (enabled: {report['enabled_overhead_pct']:+.2f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

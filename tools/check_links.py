@@ -1,0 +1,115 @@
+"""Offline markdown link checker for README.md and docs/.
+
+Validates every relative link and image target in the repo's markdown
+files — inline ``[text](target)``, reference definitions
+``[label]: target`` — against the working tree, including ``#fragment``
+anchors into markdown files (matched against GitHub-style slugs of their
+headings). External ``http(s):`` / ``mailto:`` links are skipped: CI has
+no network, and this repo's docs are expected to stand alone.
+
+Run::
+
+    python tools/check_links.py            # README.md + docs/**/*.md
+    python tools/check_links.py FILE...    # explicit file list
+
+Exit status is the number of broken links (0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` and ``![alt](target)`` — target up to the first
+#: unescaped closing paren; titles (``(target "title")``) handled below.
+INLINE_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)[^)]*\)")
+#: ``[label]: target`` reference-style definitions.
+REF_DEF_RE = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code so sample links are ignored."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, strip punctuation, dashes."""
+    heading = re.sub(r"[`*_\[\]!()]", "", heading)
+    heading = re.sub(r"[^\w\- ]", "", heading.lower())
+    return heading.strip().replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set[str]:
+    text = strip_code(md_path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING_RE.finditer(text):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def targets_of(md_path: Path):
+    text = strip_code(md_path.read_text(encoding="utf-8"))
+    for regex in (INLINE_LINK_RE, REF_DEF_RE):
+        for match in regex.finditer(text):
+            yield match.group(1).strip("<>")
+
+
+def check_file(md_path: Path) -> list[str]:
+    errors: list[str] = []
+    for target in targets_of(md_path):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, data: — external, skipped
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md_path.parent / path_part).resolve()
+            if not resolved.is_relative_to(REPO):
+                continue  # e.g. GitHub's ../../actions/... badge URLs
+            if not resolved.exists():
+                errors.append(f"{md_path}: broken link -> {target}")
+                continue
+        else:
+            resolved = md_path
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if fragment.lower() not in anchors_of(resolved):
+                errors.append(f"{md_path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = [REPO / "README.md", *sorted((REPO / "docs").rglob("*.md"))]
+
+    errors: list[str] = []
+    for md in files:
+        if not md.is_file():
+            errors.append(f"{md}: no such file")
+            continue
+        errors.extend(check_file(md))
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
