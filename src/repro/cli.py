@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import repro.obs as obs
 from repro.core.builder import build_polar_grid_tree
@@ -108,6 +109,40 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="worker processes for --engine process "
             "(default: all CPUs)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECS",
+            help="per-trial attempt timeout in seconds; a timed-out "
+            "attempt counts as a failure and is retried per --retries "
+            "(see docs/OPERATIONS.md)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="K",
+            help="extra attempts per failed trial, with exponential "
+            "backoff and deterministic retry seeds; a trial that "
+            "exhausts them becomes a structured failure row and the "
+            "sweep continues",
+        )
+        p.add_argument(
+            "--checkpoint",
+            metavar="FILE",
+            default=None,
+            help="append every finished trial to a crash-safe JSONL "
+            "journal; if FILE already exists its completed trials are "
+            "resumed (kill-and-resume safe, see docs/OPERATIONS.md)",
+        )
+        p.add_argument(
+            "--resume",
+            metavar="FILE",
+            default=None,
+            help="resume from an existing checkpoint journal (errors "
+            "if FILE is missing) and keep appending to it",
         )
 
     t1 = sub.add_parser("table1", help="reproduce Table I")
@@ -254,6 +289,75 @@ def _sweep_params(args, paper_trials=200):
     return sizes, args.trials
 
 
+def _resilience_setup(args, sizes, trials):
+    """Build the (policy, journal, failures) triple for a sweep command.
+
+    Returns ``(None, None, None)`` when no resilience flag was given, so
+    the classic raise-on-failure path stays untouched. ``--resume`` and
+    ``--checkpoint`` both open the same crash-safe journal; ``--resume``
+    additionally requires the file to exist already.
+    """
+    from repro.experiments.resilience import CheckpointJournal, ResiliencePolicy
+
+    wants = (
+        args.timeout is not None
+        or args.retries
+        or args.checkpoint
+        or args.resume
+    )
+    if not wants:
+        return None, None, None
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        raise SystemExit(
+            "--resume and --checkpoint name different files; pass one "
+            "(both resume and append to the same journal)"
+        )
+    policy = ResiliencePolicy(timeout=args.timeout, retries=args.retries)
+    journal = None
+    path = args.resume or args.checkpoint
+    if path:
+        if args.resume and not Path(path).exists():
+            raise SystemExit(
+                f"--resume {path}: no such checkpoint journal "
+                "(use --checkpoint to start a new one)"
+            )
+        journal = CheckpointJournal(
+            path,
+            params={
+                "command": args.command,
+                "seed": args.seed,
+                "trials": trials,
+                "sizes": list(sizes),
+            },
+        )
+        journal.open()
+        if journal.completed_count:
+            print(
+                f"resuming: {journal.completed_count} completed trial(s) "
+                f"replayed from {path}",
+                file=sys.stderr,
+            )
+    return policy, journal, []
+
+
+def _finish_resilient(journal, failures) -> int:
+    """Close the journal, report permanent failures; 1 if any, else 0."""
+    if journal is not None:
+        journal.close()
+    if not failures:
+        return 0
+    print(
+        f"{len(failures)} trial(s) failed permanently "
+        "(recorded as structured failure rows):",
+        file=sys.stderr,
+    )
+    for failure in failures[:5]:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    if len(failures) > 5:
+        print(f"  ... and {len(failures) - 5} more", file=sys.stderr)
+    return 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -296,22 +400,29 @@ def main(argv=None) -> int:
 def _dispatch(args) -> int:
     if args.command == "table1":
         sizes, trials = _sweep_params(args)
+        policy, journal, failures = _resilience_setup(args, sizes, trials)
         rows = run_table1(
             sizes=sizes,
             trials=trials,
             seed=args.seed,
             engine=args.engine,
             max_workers=args.workers,
+            resilience=policy,
+            journal=journal,
+            failures=failures,
         )
         if args.json:
             print(json.dumps([row.__dict__ for row in rows], indent=2))
         else:
             print(f"Table I reproduction ({trials} trials per size)")
             print(format_table1(rows))
+        if policy is not None:
+            return _finish_resilient(journal, failures)
         return 0
 
     if args.command in ("fig4", "fig5", "fig6", "fig7", "fig8"):
         sizes, trials = _sweep_params(args)
+        policy, journal, failures = _resilience_setup(args, sizes, trials)
         fig_fn = getattr(figures_mod, f"figure{args.command[3:]}")
         fig = fig_fn(
             sizes=sizes,
@@ -319,6 +430,9 @@ def _dispatch(args) -> int:
             seed=args.seed,
             engine=args.engine,
             max_workers=args.workers,
+            resilience=policy,
+            journal=journal,
+            failures=failures,
         )
         print(fig.render())
         if args.data:
@@ -328,15 +442,21 @@ def _dispatch(args) -> int:
             from repro.experiments.svg_charts import save_figure_svg
 
             print(f"\nwrote {save_figure_svg(fig, args.svg)}")
+        if policy is not None:
+            return _finish_resilient(journal, failures)
         return 0
 
     if args.command == "figures":
         sizes, trials = _sweep_params(args)
+        policy, journal, failures = _resilience_setup(args, sizes, trials)
         written = figures_mod.save_all_figures(
             args.out, sizes=sizes, trials=trials, seed=args.seed,
             progress=print, engine=args.engine, max_workers=args.workers,
+            resilience=policy, journal=journal, failures=failures,
         )
         print(f"{len(written)} files in {args.out}")
+        if policy is not None:
+            return _finish_resilient(journal, failures)
         return 0
 
     if args.command == "demo":

@@ -16,8 +16,16 @@ from repro.experiments import extensions, figures
 from repro.experiments.campaign import Campaign, ExperimentSpec
 from repro.experiments.parallel import (
     TrialError,
+    TrialFailure,
     TrialTask,
     make_executor,
+)
+from repro.experiments.resilience import (
+    CheckpointJournal,
+    ResiliencePolicy,
+    make_resilient_executor,
+    retry_seed,
+    trial_key,
 )
 from repro.experiments.runner import (
     AggregateRow,
@@ -35,18 +43,24 @@ from repro.experiments.table1 import (
 __all__ = [
     "AggregateRow",
     "Campaign",
+    "CheckpointJournal",
     "ExperimentSpec",
     "PAPER_TABLE1",
+    "ResiliencePolicy",
     "Scorecard",
     "TrialError",
+    "TrialFailure",
     "TrialRecord",
     "TrialTask",
     "extensions",
     "make_executor",
+    "make_resilient_executor",
+    "retry_seed",
     "run_scorecard",
     "aggregate",
     "figures",
     "format_table1",
     "run_table1",
     "run_trials",
+    "trial_key",
 ]

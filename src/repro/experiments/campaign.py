@@ -46,6 +46,7 @@ class ExperimentSpec:
     seed: int = 0
 
     def __post_init__(self):
+        """Validate the spec and normalise sizes/degrees to int tuples."""
         if not self.name or "/" in self.name:
             raise ValueError("campaign name must be a non-empty path segment")
         if self.trials < 1:
@@ -56,6 +57,7 @@ class ExperimentSpec:
         )
 
     def configurations(self):
+        """Yield every ``(n, degree)`` cell of the sweep grid."""
         for n in self.sizes:
             for degree in self.degrees:
                 yield n, degree
@@ -65,6 +67,7 @@ class Campaign:
     """Run an :class:`ExperimentSpec` with per-trial checkpointing."""
 
     def __init__(self, spec: ExperimentSpec, directory):
+        """Bind ``spec`` to its checkpoint directory (created if absent)."""
         self.spec = spec
         self.directory = Path(directory) / spec.name
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -87,6 +90,7 @@ class Campaign:
         return records
 
     def completed_trials(self, n: int, degree: int) -> int:
+        """How many trials of one configuration are already on disk."""
         return len(self._load_records(n, degree))
 
     def status(self) -> dict:
@@ -101,6 +105,7 @@ class Campaign:
 
     @property
     def finished(self) -> bool:
+        """Whether every configuration has all its trials checkpointed."""
         return all(
             done >= total for done, total in self.status().values()
         )
@@ -112,6 +117,7 @@ class Campaign:
         progress=None,
         engine: str = "serial",
         max_workers: int | None = None,
+        resilience=None,
     ) -> list[AggregateRow]:
         """Run (or resume) every configuration; returns the aggregates.
 
@@ -121,14 +127,29 @@ class Campaign:
             trials are executed (see
             :func:`repro.experiments.parallel.make_executor`).
         :param max_workers: worker-process count for the process engine.
+        :param resilience: optional
+            :class:`~repro.experiments.resilience.ResiliencePolicy`;
+            when given, trials run through the resilient executor
+            (per-attempt timeouts, deterministic retries, worker-crash
+            isolation). A trial that still fails after its retries stops
+            that configuration's checkpoint — exactly like a plain
+            failure would — so the per-config prefix invariant holds.
         :raises TrialError: if any trial failed. Raised only after every
             configuration was attempted, so one degenerate draw does not
             cost the rest of the campaign; the checkpoint files keep
             every trial completed before the failing one.
         """
+        if resilience is not None:
+            from repro.experiments.resilience import make_resilient_executor
+
+            executor_cm = make_resilient_executor(
+                engine, max_workers, policy=resilience
+            )
+        else:
+            executor_cm = make_executor(engine, max_workers)
         rows = []
         failures: list[TrialFailure] = []
-        with make_executor(engine, max_workers) as executor:
+        with executor_cm as executor:
             for n, degree in self.spec.configurations():
                 records = self._run_config(executor, n, degree, failures)
                 if len(records) < self.spec.trials:
@@ -167,6 +188,7 @@ class Campaign:
                 max_out_degree=degree,
                 dim=self.spec.dim,
                 seed=self.spec.seed + trial,
+                trial_index=trial,
             )
             for trial in range(len(records), self.spec.trials)
         ]

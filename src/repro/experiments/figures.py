@@ -42,6 +42,7 @@ class FigureData:
     log_x: bool = True
 
     def render(self, width: int = 72, height: int = 18) -> str:
+        """The figure as an ASCII chart with its caption line."""
         chart = ascii_chart(
             self.xs,
             self.series,
@@ -53,6 +54,7 @@ class FigureData:
         return f"{self.name}: {self.title}\n{chart}"
 
     def table(self) -> str:
+        """The underlying series as an aligned text table."""
         headers = ["n"] + list(self.series)
         rows = [
             [x] + [self.series[label][i] for label in self.series]
@@ -69,27 +71,43 @@ def sweep(
     seed: int = 0,
     engine: str = "serial",
     max_workers: int | None = None,
+    resilience=None,
+    journal=None,
+    failures: list | None = None,
 ) -> dict[tuple[int, int], AggregateRow]:
     """Run the Section V sweep once; figures 4-7 all read from it.
 
     :param engine: trial execution backend (``"serial"``/``"process"``/
         ``"auto"``, see :mod:`repro.experiments.parallel`).
+    :param resilience: optional
+        :class:`~repro.experiments.resilience.ResiliencePolicy`
+        (timeouts/retries with graceful degradation); a configuration
+        whose trials all fail permanently is omitted from the mapping.
+    :param journal: optional open
+        :class:`~repro.experiments.resilience.CheckpointJournal` for
+        kill-and-resume sweeps (see docs/OPERATIONS.md).
+    :param failures: optional list collecting permanent ``TrialFailure``
+        rows from a resilient run.
     :returns: mapping ``(n, degree) -> AggregateRow``.
     """
     out = {}
     for n in sizes:
         for degree in degrees:
-            out[(n, degree)] = aggregate(
-                run_trials(
-                    n,
-                    degree,
-                    trials,
-                    dim=dim,
-                    seed=seed,
-                    engine=engine,
-                    max_workers=max_workers,
-                )
+            records = run_trials(
+                n,
+                degree,
+                trials,
+                dim=dim,
+                seed=seed,
+                engine=engine,
+                max_workers=max_workers,
+                resilience=resilience,
+                journal=journal,
+                failures=failures,
             )
+            if not records:
+                continue  # resilient mode: every trial failed permanently
+            out[(n, degree)] = aggregate(records)
     return out
 
 
@@ -104,6 +122,9 @@ def figure4(
     seed=0,
     engine="serial",
     max_workers=None,
+    resilience=None,
+    journal=None,
+    failures=None,
 ):
     """Figure 4: average maximum delay vs the eq. (7) bound and the core
     delay, for the out-degree-6 tree."""
@@ -115,6 +136,9 @@ def figure4(
             seed=seed,
             engine=engine,
             max_workers=max_workers,
+            resilience=resilience,
+            journal=journal,
+            failures=failures,
         )
     xs = _sizes_of(results, 6)
     rows = [results[(n, 6)] for n in xs]
@@ -138,6 +162,9 @@ def figure5(
     seed=0,
     engine="serial",
     max_workers=None,
+    resilience=None,
+    journal=None,
+    failures=None,
 ):
     """Figure 5: average maximum delay, out-degree 2 vs out-degree 6."""
     if results is None:
@@ -148,6 +175,9 @@ def figure5(
             seed=seed,
             engine=engine,
             max_workers=max_workers,
+            resilience=resilience,
+            journal=journal,
+            failures=failures,
         )
     xs = _sizes_of(results, 6)
     return FigureData(
@@ -169,6 +199,9 @@ def figure6(
     seed=0,
     engine="serial",
     max_workers=None,
+    resilience=None,
+    journal=None,
+    failures=None,
 ):
     """Figure 6: average number of rings k in the grid vs n.
 
@@ -183,6 +216,9 @@ def figure6(
             seed=seed,
             engine=engine,
             max_workers=max_workers,
+            resilience=resilience,
+            journal=journal,
+            failures=failures,
         )
     xs = _sizes_of(results, 6)
     return FigureData(
@@ -201,6 +237,9 @@ def figure7(
     seed=0,
     engine="serial",
     max_workers=None,
+    resilience=None,
+    journal=None,
+    failures=None,
 ):
     """Figure 7: algorithm running time vs n (near-linear growth)."""
     if results is None:
@@ -211,6 +250,9 @@ def figure7(
             seed=seed,
             engine=engine,
             max_workers=max_workers,
+            resilience=resilience,
+            journal=journal,
+            failures=failures,
         )
     xs = _sizes_of(results, 6)
     return FigureData(
@@ -234,6 +276,9 @@ def save_all_figures(
     progress=None,
     engine: str = "serial",
     max_workers: int | None = None,
+    resilience=None,
+    journal=None,
+    failures: list | None = None,
 ) -> list:
     """Regenerate Figures 4-8 into ``directory`` as SVG + ASCII text.
 
@@ -241,6 +286,14 @@ def save_all_figures(
     3-D sweep once (figure 8). Returns the list of written paths.
 
     :param progress: optional callable for status lines.
+    :param resilience: optional
+        :class:`~repro.experiments.resilience.ResiliencePolicy`
+        threaded into both sweeps.
+    :param journal: optional open
+        :class:`~repro.experiments.resilience.CheckpointJournal` shared
+        by both sweeps (keys embed ``dim``, so they cannot collide).
+    :param failures: optional list collecting permanent ``TrialFailure``
+        rows from a resilient run.
     """
     from pathlib import Path
 
@@ -258,6 +311,9 @@ def save_all_figures(
         seed=seed,
         engine=engine,
         max_workers=max_workers,
+        resilience=resilience,
+        journal=journal,
+        failures=failures,
     )
     if progress:
         progress("running the 3-D sweep (figure 8)...")
@@ -269,6 +325,9 @@ def save_all_figures(
         seed=seed,
         engine=engine,
         max_workers=max_workers,
+        resilience=resilience,
+        journal=journal,
+        failures=failures,
     )
 
     written = []
@@ -296,6 +355,9 @@ def figure8(
     seed=0,
     engine="serial",
     max_workers=None,
+    resilience=None,
+    journal=None,
+    failures=None,
 ):
     """Figure 8: average maximum delay in the 3-D unit sphere.
 
@@ -312,6 +374,9 @@ def figure8(
             seed=seed,
             engine=engine,
             max_workers=max_workers,
+            resilience=resilience,
+            journal=journal,
+            failures=failures,
         )
     xs = _sizes_of(results, 10)
     return FigureData(

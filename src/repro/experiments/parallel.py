@@ -73,15 +73,21 @@ ENGINES = ("auto", "serial", "process")
 class TrialTask:
     """Everything needed to reproduce one trial, and nothing else.
 
-    Workers rebuild the point set and tree from these four integers, so
-    the task pickles in a few bytes and the result does not depend on
-    which worker (or which backend) ran it.
+    Workers rebuild the point set and tree from these integers, so the
+    task pickles in a few bytes and the result does not depend on which
+    worker (or which backend) ran it. ``trial_index`` and ``attempt``
+    are bookkeeping for the resilience layer
+    (:mod:`repro.experiments.resilience`): they identify the trial's
+    position in its sweep and which retry attempt this is. Neither
+    influences :func:`execute_trial` — only ``seed`` feeds the RNG.
     """
 
     n: int
     max_out_degree: int
     dim: int
     seed: int
+    trial_index: int | None = None
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -89,14 +95,18 @@ class TrialFailure:
     """A trial that raised, captured picklably (exceptions may not be).
 
     ``task.seed`` is the exact seed that reproduces the failure:
-    ``execute_trial(task)`` re-raises it deterministically.
+    ``execute_trial(task)`` re-raises it deterministically. ``attempts``
+    counts how many times the resilience layer tried the trial before
+    giving up (1 when resilience is off — there is only the one try).
     """
 
     task: TrialTask
     error_type: str
     error: str
+    attempts: int = 1
 
     def describe(self) -> str:
+        """One-line human-readable account of the failed trial."""
         t = self.task
         return (
             f"trial seed={t.seed} (n={t.n}, degree={t.max_out_degree}, "
@@ -113,6 +123,7 @@ class TrialError(RuntimeError):
     """
 
     def __init__(self, failures, completed=()):
+        """Summarise ``failures`` (keeping ``completed`` records)."""
         self.failures = list(failures)
         self.completed = list(completed)
         shown = [f.describe() for f in self.failures[:5]]
@@ -133,6 +144,13 @@ def execute_trial(task: TrialTask) -> TrialRecord:
     (``seconds``) is measured inside :func:`build_polar_grid_tree`, i.e.
     per worker.
     """
+    if os.environ.get("REPRO_FAULTS"):
+        # Test-only hook, inert unless the env var is set: the lazy
+        # import keeps repro.testing out of the production import graph
+        # (the layering exception is documented in ARCHITECTURE.md).
+        from repro.testing.faults import maybe_inject
+
+        maybe_inject(task)
     if task.dim == 2:
         points = unit_disk(task.n, seed=task.seed)
     else:
@@ -250,9 +268,11 @@ class TrialExecutor:
         """Release worker resources (idempotent)."""
 
     def __enter__(self):
+        """Support ``with make_executor(...) as ex:`` usage."""
         return self
 
     def __exit__(self, *exc_info):
+        """Close on exit; never suppresses exceptions."""
         self.close()
         return False
 
@@ -263,10 +283,11 @@ class SerialExecutor(TrialExecutor):
     name = "serial"
 
     def __init__(self, fallback_reason: str | None = None):
-        #: why a requested process backend degraded to this one (or None)
+        """Record why a requested process backend degraded (or None)."""
         self.fallback_reason = fallback_reason
 
     def imap(self, tasks, chunksize: int | None = None):
+        """Yield one outcome per task, in order (``chunksize`` unused)."""
         fn = self._task_fn()
         for task in tasks:
             yield self._unwrap(fn(task))
@@ -285,12 +306,14 @@ class ProcessExecutor(TrialExecutor):
     name = "process"
 
     def __init__(self, max_workers: int | None = None):
+        """Start the pool; ``max_workers`` defaults to all CPUs."""
         self.max_workers = int(max_workers or os.cpu_count() or 1)
         if self.max_workers < 1:
             raise ValueError("max_workers must be positive")
         self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
 
     def imap(self, tasks, chunksize: int | None = None):
+        """Yield outcomes in task order, fanning out over the pool."""
         tasks = list(tasks)
         if chunksize is None:
             # A few chunks per worker amortises pickling at small n
@@ -319,6 +342,7 @@ class ProcessExecutor(TrialExecutor):
                 yield self._unwrap(fn(task))
 
     def close(self):
+        """Shut the worker pool down, waiting for stragglers."""
         self._pool.shutdown(wait=True, cancel_futures=True)
 
 
@@ -331,8 +355,13 @@ def process_unavailable_reason() -> str | None:
 
     Mirrors the fallback policy in the module docstring: a single CPU
     makes worker processes pure overhead, and a platform without any
-    multiprocessing start method cannot host a pool at all.
+    multiprocessing start method cannot host a pool at all. Setting the
+    ``REPRO_FORCE_PROCESS_ENGINE`` environment variable bypasses the
+    single-CPU check — used by the interruption-smoke harness so real
+    worker processes exist to crash and kill even on one-core boxes.
     """
+    if os.environ.get("REPRO_FORCE_PROCESS_ENGINE"):
+        return None
     cpus = os.cpu_count() or 1
     if cpus <= 1:
         return "single CPU (os.cpu_count() <= 1)"

@@ -1,0 +1,724 @@
+"""Fault-tolerant trial execution: retries, timeouts, crash isolation,
+and a crash-safe checkpoint journal.
+
+The paper's Table I sweeps run to 5,000,000 nodes; at that scale a
+single worker OOM, hang, or interrupted process must not discard hours
+of finished trials. This layer wraps the execution engine of
+:mod:`repro.experiments.parallel` with four guarantees:
+
+* **per-trial timeouts** — an attempt that exceeds ``timeout`` seconds
+  is abandoned (``SIGALRM`` under the serial backend; pool teardown and
+  re-dispatch under the process backend) and counts as a failed attempt;
+* **retry with exponential backoff** — a failed attempt is retried up
+  to ``retries`` times. Retry seeds are derived as
+  ``SeedSequence((base_seed, trial_index, attempt))``, so a retry draws
+  a fresh but fully deterministic sample while the seeds of every
+  *untouched* trial stay exactly ``base_seed + trial_index``;
+* **worker-crash isolation** — when a process-pool worker dies, only
+  the trials that were actually lost are re-dispatched (results already
+  collected are kept), and repeat offenders are isolated one-at-a-time
+  so the crashing trial can be identified and retired;
+* **graceful degradation** — a trial that exhausts its retries becomes
+  a structured :class:`~repro.experiments.parallel.TrialFailure` row in
+  the outcome stream; the sweep continues instead of raising.
+
+On top sits :class:`CheckpointJournal`: an append-only, fsync-per-record
+JSON-lines file that lets any sweep be killed (``SIGKILL`` included) and
+resumed with ``--resume FILE`` — completed records are replayed
+byte-identically, only in-flight trials are recomputed. See
+``docs/OPERATIONS.md`` for the operator's guide and the file format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import json
+import os
+import signal
+import threading
+import time
+from concurrent import futures as _futures
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+import repro.obs as obs
+from repro.experiments.parallel import (
+    ENGINES,
+    TrialExecutor,
+    TrialFailure,
+    TrialTask,
+    process_unavailable_reason,
+)
+from repro.experiments.runner import TrialRecord
+
+__all__ = [
+    "ResiliencePolicy",
+    "ResilientSerialExecutor",
+    "ResilientProcessExecutor",
+    "CheckpointJournal",
+    "JournalMismatch",
+    "make_resilient_executor",
+    "retry_seed",
+    "trial_key",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# Policy and deterministic derivations
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard to fight for each trial before recording a failure.
+
+    ``retries`` is the number of *extra* attempts after the first, so a
+    trial runs at most ``retries + 1`` times. ``timeout`` bounds one
+    attempt in seconds (``None`` = unbounded). Backoff before attempt
+    ``k`` (k >= 1) is ``min(backoff_max, backoff_base *
+    backoff_factor**(k-1))`` scaled by a deterministic jitter in
+    ``[0.5, 1.5)`` derived from the trial identity — deterministic so a
+    replayed campaign waits the same way it did the first time.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+
+    def __post_init__(self):
+        """Validate ranges at construction time."""
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_seconds(self, task: TrialTask, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` (>= 1)."""
+        raw = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        rng = np.random.default_rng(
+            np.random.SeedSequence(_trial_entropy(task) + (attempt, 0xB0FF))
+        )
+        return raw * (0.5 + rng.random())
+
+
+def _trial_entropy(task: TrialTask) -> tuple[int, int]:
+    """``(base_seed, trial_index)`` entropy words for a task.
+
+    When the sweep did not stamp a ``trial_index`` the task's own seed
+    stands in for the base seed — still deterministic, just not aligned
+    with the documented ``(base_seed, trial_index, attempt)`` triple.
+    """
+    if task.trial_index is not None:
+        return ((task.seed - task.trial_index) & _MASK64, task.trial_index)
+    return (task.seed & _MASK64, 0)
+
+
+def retry_seed(task: TrialTask, attempt: int) -> int:
+    """Seed for retry ``attempt`` (>= 1) of ``task``.
+
+    Derived as ``SeedSequence((base_seed, trial_index, attempt))`` per
+    the determinism contract: a retried trial re-samples with fresh,
+    reproducible randomness, and no other trial's seed moves.
+    """
+    if attempt < 1:
+        raise ValueError("attempt 0 runs the original seed; no derivation")
+    ss = np.random.SeedSequence(_trial_entropy(task) + (attempt,))
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+def attempt_task(task: TrialTask, attempt: int) -> TrialTask:
+    """The task to run for a given attempt number.
+
+    Attempt 0 is the task itself (original seed — this is what keeps
+    checkpoint replay byte-identical); attempt ``k >= 1`` swaps in the
+    derived retry seed and stamps the attempt for observability and
+    fault matching.
+    """
+    if attempt == 0:
+        return task
+    return dataclasses.replace(
+        task, seed=retry_seed(task, attempt), attempt=attempt
+    )
+
+
+def trial_key(task: TrialTask) -> str:
+    """The journal key identifying a trial across a whole campaign."""
+    index = task.trial_index if task.trial_index is not None else task.seed
+    return f"n{task.n}:d{task.max_out_degree}:dim{task.dim}:t{index}"
+
+
+# ----------------------------------------------------------------------
+# Serial backend: SIGALRM timeouts, in-process retries
+
+
+class _AttemptTimeout(BaseException):
+    """Raised by the SIGALRM handler; BaseException so the worker-side
+    ``except Exception`` in ``run_task`` cannot swallow it."""
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Arm a SIGALRM-based deadline around a block (POSIX main thread).
+
+    Yields ``True`` when the deadline is armed, ``False`` when it cannot
+    be (no ``SIGALRM`` on the platform, or not the main thread) — the
+    caller then runs unbounded, which is the honest fallback.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield False
+        return
+
+    def _on_alarm(signum, frame):
+        raise _AttemptTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class ResilientSerialExecutor(TrialExecutor):
+    """The serial backend with per-attempt deadlines and retries.
+
+    Timeouts use ``SIGALRM`` (posix, main thread only; elsewhere they
+    degrade to unbounded attempts). A crash of the process itself cannot
+    be survived in-process — that is the checkpoint journal's job.
+    """
+
+    name = "serial-resilient"
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        fallback_reason: str | None = None,
+    ):
+        """Wrap the serial loop with ``policy``; ``fallback_reason``
+        records why a requested process backend degraded to this."""
+        self.policy = policy
+        self.fallback_reason = fallback_reason
+
+    def imap(self, tasks, chunksize: int | None = None):
+        """Yield one final outcome per task, in task order."""
+        fn = self._task_fn()
+        for task in tasks:
+            yield self._run_one(task, fn)
+
+    def _run_one(self, task: TrialTask, fn):
+        """Run one trial to a final outcome (record or exhausted failure)."""
+        policy = self.policy
+        attempt = 0
+        while True:
+            current = attempt_task(task, attempt)
+            try:
+                with _deadline(policy.timeout):
+                    outcome = self._unwrap(fn(current))
+            except _AttemptTimeout:
+                obs.add("resilience.timeouts.total")
+                outcome = TrialFailure(
+                    task=current,
+                    error_type="TrialTimeout",
+                    error=f"attempt exceeded {policy.timeout}s",
+                )
+            if not isinstance(outcome, TrialFailure):
+                return outcome
+            if outcome.error_type != "TrialTimeout":
+                obs.add("resilience.errors.total")
+            if attempt >= policy.retries:
+                obs.add("resilience.trial_failures.total")
+                return dataclasses.replace(outcome, attempts=attempt + 1)
+            attempt += 1
+            obs.add("resilience.retries.total")
+            delay = policy.backoff_seconds(task, attempt)
+            obs.observe("resilience.backoff_seconds", delay)
+            time.sleep(delay)
+
+
+# ----------------------------------------------------------------------
+# Process backend: crash isolation, pool rebuilds, parallel retries
+
+
+class ResilientProcessExecutor(TrialExecutor):
+    """The process backend with timeouts, retries, and crash isolation.
+
+    Differences from the plain :class:`ProcessExecutor`:
+
+    * tasks are dispatched as individual futures (never chunked), so a
+      lost worker loses exactly the trials it was running;
+    * a broken pool is rebuilt and only the unfinished trials are
+      re-dispatched — results already collected are kept;
+    * because a pool break does not say *which* task killed the worker,
+      the survivors are re-run one-at-a-time (window of 1) until the set
+      drains; a break with a single task in flight is attributable, and
+      that task's attempt is charged as a ``WorkerCrash`` failure.
+      Innocent trials re-run with their original attempt number and
+      seed, so crashes never perturb the results of bystanders;
+    * an attempt past its deadline hard-kills the pool (a hung worker
+      never returns on its own), charges a ``TrialTimeout`` to exactly
+      the overdue trials, and re-dispatches the rest untouched.
+    """
+
+    name = "process-resilient"
+
+    def __init__(
+        self, policy: ResiliencePolicy, max_workers: int | None = None
+    ):
+        """Create the pool; ``max_workers`` defaults to all CPUs."""
+        self.policy = policy
+        self.max_workers = int(max_workers or os.cpu_count() or 1)
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _teardown_pool(self, kill: bool = False):
+        """Shut the pool down; ``kill`` SIGKILLs workers first (hangs)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            try:  # private attr, guarded: absent => plain shutdown
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.kill()
+            except Exception:  # pragma: no cover - platform specific
+                pass
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # pragma: no cover - already broken
+            pass
+
+    def _rebuild_pool(self, kill: bool = False):
+        """Replace a broken/hung pool with a fresh one."""
+        self._teardown_pool(kill=kill)
+        self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def close(self):
+        """Release the worker pool (idempotent)."""
+        self._teardown_pool()
+
+    # -- the dispatch loop ---------------------------------------------
+
+    def imap(self, tasks, chunksize: int | None = None):
+        """Yield one final outcome per task, in task order.
+
+        ``chunksize`` is accepted for interface compatibility and
+        ignored: resilient dispatch is always one future per trial.
+        """
+        tasks = list(tasks)
+        fn = self._task_fn()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+
+        policy = self.policy
+        n_tasks = len(tasks)
+        failed_attempts = [0] * n_tasks
+        final: dict[int, object] = {}
+        # (ready_at, index, attempt) — min-heap on the retry-ready time.
+        ready: list[tuple[float, int, int]] = [
+            (0.0, i, 0) for i in range(n_tasks)
+        ]
+        heapq.heapify(ready)
+        inflight: dict = {}  # future -> (index, attempt, deadline)
+        quarantine: set[int] = set()
+        next_yield = 0
+
+        def charge_failure(index: int, failure: TrialFailure, counter: str):
+            """One attempt of ``index`` failed: retry or finalise."""
+            obs.add(counter)
+            failed_attempts[index] += 1
+            quarantine.discard(index)
+            if failed_attempts[index] <= policy.retries:
+                obs.add("resilience.retries.total")
+                delay = policy.backoff_seconds(
+                    tasks[index], failed_attempts[index]
+                )
+                obs.observe("resilience.backoff_seconds", delay)
+                heapq.heappush(
+                    ready,
+                    (
+                        time.monotonic() + delay,
+                        index,
+                        failed_attempts[index],
+                    ),
+                )
+            else:
+                obs.add("resilience.trial_failures.total")
+                final[index] = dataclasses.replace(
+                    failure, attempts=failed_attempts[index]
+                )
+
+        def harvest():
+            """Collect every completed future; report pool breakage."""
+            victims: list[tuple[int, int]] = []
+            for fut in [f for f in inflight if f.done()]:
+                index, attempt, _ = inflight.pop(fut)
+                try:
+                    outcome = self._unwrap(fut.result())
+                except BaseException:
+                    # BrokenProcessPool / CancelledError: the pool died
+                    # under this future. Attribution happens below.
+                    victims.append((index, attempt))
+                    continue
+                if isinstance(outcome, TrialFailure):
+                    charge_failure(
+                        index, outcome, "resilience.errors.total"
+                    )
+                else:
+                    final[index] = outcome
+                    quarantine.discard(index)
+            return victims
+
+        while next_yield < n_tasks:
+            now = time.monotonic()
+            window = 1 if quarantine else self.max_workers
+
+            while ready and len(inflight) < window and ready[0][0] <= now:
+                _, index, attempt = heapq.heappop(ready)
+                current = attempt_task(tasks[index], attempt)
+                try:
+                    fut = self._pool.submit(fn, current)
+                except Exception:
+                    self._rebuild_pool()
+                    fut = self._pool.submit(fn, current)
+                deadline = now + policy.timeout if policy.timeout else None
+                inflight[fut] = (index, attempt, deadline)
+
+            while next_yield < n_tasks and next_yield in final:
+                yield final[next_yield]
+                next_yield += 1
+            if next_yield >= n_tasks:
+                break
+
+            if not inflight:
+                if ready:
+                    time.sleep(max(0.0, ready[0][0] - time.monotonic()))
+                continue
+
+            # Block until something completes, a deadline expires, or a
+            # backoff timer would free a dispatch slot.
+            wait_for = 0.5
+            now = time.monotonic()
+            deadlines = [dl for (_, _, dl) in inflight.values() if dl]
+            if deadlines:
+                wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+            if ready and len(inflight) < window:
+                wait_for = min(wait_for, max(0.0, ready[0][0] - now))
+            _futures.wait(
+                list(inflight),
+                timeout=wait_for,
+                return_when=_futures.FIRST_COMPLETED,
+            )
+
+            victims = harvest()
+            if victims:
+                # The pool broke. Rebuild it; whatever else was in
+                # flight is lost too and must re-run.
+                obs.add("engine.pool_broken.total")
+                victims += [
+                    (index, attempt)
+                    for (index, attempt, _) in inflight.values()
+                ]
+                inflight.clear()
+                self._rebuild_pool()
+                if len(victims) == 1:
+                    # Sole task in flight: the crash is attributable.
+                    index, attempt = victims[0]
+                    charge_failure(
+                        index,
+                        TrialFailure(
+                            task=attempt_task(tasks[index], attempt),
+                            error_type="WorkerCrash",
+                            error="worker process died during this trial",
+                        ),
+                        "resilience.crashes.total",
+                    )
+                else:
+                    # Unknown culprit: re-run the survivors solo (same
+                    # attempt numbers — bystanders keep their seeds).
+                    now = time.monotonic()
+                    for index, attempt in victims:
+                        quarantine.add(index)
+                        heapq.heappush(ready, (now, index, attempt))
+                continue
+
+            # Deadline sweep: a hung worker never completes on its own,
+            # so an overdue attempt costs the whole pool.
+            now = time.monotonic()
+            overdue = [
+                (fut, meta)
+                for fut, meta in inflight.items()
+                if meta[2] is not None and now >= meta[2] and not fut.done()
+            ]
+            if overdue:
+                bystanders = [
+                    (index, attempt)
+                    for fut, (index, attempt, _) in inflight.items()
+                    if fut not in {f for f, _ in overdue}
+                ]
+                inflight.clear()
+                self._rebuild_pool(kill=True)
+                for _, (index, attempt, _) in overdue:
+                    charge_failure(
+                        index,
+                        TrialFailure(
+                            task=attempt_task(tasks[index], attempt),
+                            error_type="TrialTimeout",
+                            error=f"attempt exceeded {policy.timeout}s",
+                        ),
+                        "resilience.timeouts.total",
+                    )
+                now = time.monotonic()
+                for index, attempt in bystanders:
+                    heapq.heappush(ready, (now, index, attempt))
+
+
+# ----------------------------------------------------------------------
+# Selection
+
+
+def make_resilient_executor(
+    engine: str = "auto",
+    max_workers: int | None = None,
+    policy: ResiliencePolicy | None = None,
+) -> TrialExecutor:
+    """Build the resilient executor for an ``engine`` knob value.
+
+    Mirrors :func:`repro.experiments.parallel.make_executor`: the same
+    engine names, the same graceful degradation to the serial backend
+    (with the reason recorded) when a pool cannot help or cannot start.
+    """
+    policy = policy or ResiliencePolicy()
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}; got {engine!r}")
+    if engine == "serial":
+        return ResilientSerialExecutor(policy)
+    reason = process_unavailable_reason()
+    if reason is None:
+        try:
+            return ResilientProcessExecutor(policy, max_workers=max_workers)
+        except (OSError, ImportError) as exc:
+            reason = f"process pool failed to start: {exc}"
+    obs.add("engine.fallback.total")
+    return ResilientSerialExecutor(policy, fallback_reason=reason)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+
+
+class JournalMismatch(ValueError):
+    """A journal's header does not match the sweep trying to resume it."""
+
+
+class CheckpointJournal:
+    """Append-only JSON-lines checkpoint for kill-and-resume sweeps.
+
+    Layout — one JSON object per line::
+
+        {"type": "header", "version": 1, "params": {...}}
+        {"type": "record", "key": "n100:d6:dim2:t0", "record": {...},
+         "attempts": 1}
+        {"type": "failure", "key": "n100:d6:dim2:t3", "task": {...},
+         "error_type": "WorkerCrash", "error": "...", "attempts": 3}
+
+    Every appended line is flushed *and fsynced* before the outcome is
+    reported upstream, so a ``SIGKILL`` can lose at most the in-flight
+    trials — never a completed record. On load, a torn final line (the
+    kill landed mid-write) is tolerated and dropped; corruption anywhere
+    else raises. Completed records replay byte-identically: JSON float
+    round-tripping is exact, so the reconstructed
+    :class:`~repro.experiments.runner.TrialRecord` equals the original.
+
+    ``params`` captures the sweep identity (command, seed, sizes,
+    trials); resuming with different parameters raises
+    :class:`JournalMismatch` instead of silently mixing campaigns.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path, params: dict | None = None):
+        """Bind to ``path``; ``params`` is the sweep-identity header."""
+        self.path = Path(path)
+        self.params = _normalize_params(params)
+        self._completed: dict[str, dict] = {}
+        self._valid_bytes = 0
+        self._fh = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self) -> "CheckpointJournal":
+        """Load any existing journal, validate it, open for append.
+
+        A torn final line (kill landed mid-write) is truncated away
+        before the append handle opens — appending after a partial line
+        would weld two records onto one line and corrupt the journal
+        for the *next* resume.
+        """
+        if self.path.exists():
+            self._load()
+            if self._valid_bytes < self.path.stat().st_size:
+                with self.path.open("r+b") as fh:
+                    fh.truncate(self._valid_bytes)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "type": "header",
+                "version": self.VERSION,
+                "params": self.params,
+            }
+            self.path.write_text(json.dumps(header) + "\n")
+        self._fh = self.path.open("a")
+        return self
+
+    def close(self):
+        """Close the append handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        """Open on entry so ``with CheckpointJournal(...) as j:`` works."""
+        return self.open()
+
+    def __exit__(self, *exc_info):
+        """Close on exit; never suppresses exceptions."""
+        self.close()
+        return False
+
+    def _load(self):
+        """Read the journal, tolerating a torn (killed mid-write) tail.
+
+        Sets ``_valid_bytes`` to the length of the longest prefix made
+        of complete, parseable lines; anything past it is the torn tail
+        the kill left behind. A final line that parses but has no
+        newline is also treated as torn — the writer emits record and
+        terminator in one write, so a missing terminator means the
+        write never finished.
+        """
+        raw = self.path.read_bytes()
+        if not raw:
+            raise ValueError(f"{self.path}: empty checkpoint journal")
+        entries = []
+        self._valid_bytes = 0
+        pos, lineno = 0, 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            terminated = newline != -1
+            end = newline + 1 if terminated else len(raw)
+            line = raw[pos : end - 1 if terminated else end]
+            lineno += 1
+            if line.strip():
+                if not terminated:
+                    break  # torn tail: the kill landed mid-write
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    if end >= len(raw):
+                        break  # torn final line
+                    raise ValueError(
+                        f"{self.path}:{lineno}: corrupt journal line"
+                    )
+            self._valid_bytes = end
+            pos = end
+        if not entries or entries[0].get("type") != "header":
+            raise JournalMismatch(f"{self.path}: missing journal header")
+        header = entries[0]
+        if header.get("version") != self.VERSION:
+            raise JournalMismatch(
+                f"{self.path}: journal version {header.get('version')} "
+                f"!= supported {self.VERSION}"
+            )
+        if self.params is not None:
+            recorded = header.get("params")
+            if recorded is not None and recorded != self.params:
+                raise JournalMismatch(
+                    f"{self.path}: journal was written by a different "
+                    f"sweep.\n  journal params: {recorded}\n  "
+                    f"current params: {self.params}"
+                )
+        for entry in entries[1:]:
+            if entry.get("type") in ("record", "failure"):
+                self._completed[entry["key"]] = entry
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def completed_count(self) -> int:
+        """How many trials (records + permanent failures) are on disk."""
+        return len(self._completed)
+
+    def replay(self, key: str):
+        """The stored outcome for ``key``, or ``None`` if not completed.
+
+        Records come back as :class:`TrialRecord`, permanent failures as
+        :class:`TrialFailure` — exactly what the executor would yield,
+        so resumed and fresh outcomes are indistinguishable downstream.
+        """
+        entry = self._completed.get(key)
+        if entry is None:
+            return None
+        if entry["type"] == "record":
+            return TrialRecord(**entry["record"])
+        return TrialFailure(
+            task=TrialTask(**entry["task"]),
+            error_type=entry["error_type"],
+            error=entry["error"],
+            attempts=entry.get("attempts", 1),
+        )
+
+    # -- writing -------------------------------------------------------
+
+    def record(self, key: str, outcome) -> None:
+        """Append one final outcome and force it to stable storage."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open — call open() first")
+        if isinstance(outcome, TrialFailure):
+            entry = {
+                "type": "failure",
+                "key": key,
+                "task": asdict(outcome.task),
+                "error_type": outcome.error_type,
+                "error": outcome.error,
+                "attempts": outcome.attempts,
+            }
+        else:
+            entry = {
+                "type": "record",
+                "key": key,
+                "record": asdict(outcome),
+                "attempts": 1,
+            }
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._completed[key] = entry
+
+
+def _normalize_params(params: dict | None) -> dict | None:
+    """Round-trip params through JSON so tuple/list mismatches cannot
+    cause spurious :class:`JournalMismatch` errors."""
+    if params is None:
+        return None
+    return json.loads(json.dumps(params))

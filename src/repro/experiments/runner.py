@@ -51,6 +51,9 @@ def run_trials(
     seed: int = 0,
     engine: str = "serial",
     max_workers: int | None = None,
+    resilience=None,
+    journal=None,
+    failures: list | None = None,
 ) -> list[TrialRecord]:
     """Run ``trials`` independent builds on fresh uniform samples.
 
@@ -65,9 +68,23 @@ def run_trials(
         trials are executed (see :func:`make_executor`).
     :param max_workers: worker-process count for the process engine
         (default: ``os.cpu_count()``).
-    :raises TrialError: if any trial raised. Every trial is attempted
-        first; the error lists each failing seed and carries the
-        successful records on ``.completed``.
+    :param resilience: optional
+        :class:`~repro.experiments.resilience.ResiliencePolicy`. When
+        given (or when ``journal`` is), trials run through the resilient
+        executor: per-attempt timeouts, deterministic retries, and
+        **graceful degradation** — a trial that exhausts its retries is
+        reported on ``failures`` instead of raising ``TrialError``.
+    :param journal: optional open
+        :class:`~repro.experiments.resilience.CheckpointJournal`.
+        Completed trials found in it are replayed byte-identically
+        instead of recomputed; new outcomes are appended as they finish.
+    :param failures: optional list that collects the permanent
+        :class:`TrialFailure` rows of a resilient run (ignored in the
+        classic mode, which raises instead).
+    :raises TrialError: only in the classic (non-resilient) mode, if any
+        trial raised. Every trial is attempted first; the error lists
+        each failing seed and carries the successful records on
+        ``.completed``.
     """
     # Imported here: parallel.py needs TrialRecord from this module.
     from repro.experiments.parallel import (
@@ -80,15 +97,60 @@ def run_trials(
     if trials < 1:
         raise ValueError("need at least one trial")
     tasks = [
-        TrialTask(n=n, max_out_degree=max_out_degree, dim=dim, seed=seed + t)
+        TrialTask(
+            n=n,
+            max_out_degree=max_out_degree,
+            dim=dim,
+            seed=seed + t,
+            trial_index=t,
+        )
         for t in range(trials)
     ]
-    with make_executor(engine, max_workers) as executor:
-        outcomes = executor.map(tasks)
-    failures = [o for o in outcomes if isinstance(o, TrialFailure)]
-    records = [o for o in outcomes if not isinstance(o, TrialFailure)]
-    if failures:
-        raise TrialError(failures, completed=records)
+
+    if resilience is None and journal is None:
+        with make_executor(engine, max_workers) as executor:
+            outcomes = executor.map(tasks)
+        errors = [o for o in outcomes if isinstance(o, TrialFailure)]
+        records = [o for o in outcomes if not isinstance(o, TrialFailure)]
+        if errors:
+            raise TrialError(errors, completed=records)
+        return records
+
+    from repro.experiments.resilience import (
+        make_resilient_executor,
+        trial_key,
+    )
+
+    import repro.obs as obs
+
+    replayed: dict[int, object] = {}
+    todo: list[TrialTask] = []
+    for task in tasks:
+        previous = journal.replay(trial_key(task)) if journal else None
+        if previous is not None:
+            replayed[task.trial_index] = previous
+            obs.add("resilience.resumed.total")
+        else:
+            todo.append(task)
+
+    fresh: dict[int, object] = {}
+    if todo:
+        with make_resilient_executor(
+            engine, max_workers, policy=resilience
+        ) as executor:
+            for task, outcome in zip(todo, executor.imap(todo)):
+                if journal is not None:
+                    journal.record(trial_key(task), outcome)
+                fresh[task.trial_index] = outcome
+
+    records = []
+    for t in range(trials):
+        outcome = replayed.get(t, fresh.get(t))
+        if isinstance(outcome, TrialFailure):
+            if failures is not None:
+                failures.append(outcome)
+        else:
+            records.append(outcome)
     return records
 
 

@@ -44,24 +44,31 @@ class CellScore:
     passed: bool
 
     def delay_error(self) -> float:
+        """Relative error of the measured delay vs the paper's value."""
         return abs(self.measured_delay - self.paper_delay) / self.paper_delay
 
     def core_error(self) -> float:
+        """Relative error of the measured core delay vs the paper's."""
         return abs(self.measured_core - self.paper_core) / self.paper_core
 
 
 @dataclass
 class Scorecard:
+    """Graded paper-vs-measured comparison, one cell per Table I row."""
+
     cells: list
 
     @property
     def passed(self) -> bool:
+        """Whether every cell is within its tolerance band."""
         return all(cell.passed for cell in self.cells)
 
     def worst_delay_error(self) -> float:
+        """The largest relative delay error across all cells."""
         return max(cell.delay_error() for cell in self.cells)
 
     def render(self) -> str:
+        """The scorecard as an aligned text table with verdicts."""
         headers = [
             "n",
             "deg",

@@ -69,6 +69,9 @@ def run_table1(
     seed: int = 0,
     engine: str = "serial",
     max_workers: int | None = None,
+    resilience=None,
+    journal=None,
+    failures: list | None = None,
 ) -> list[AggregateRow]:
     """Regenerate Table I.
 
@@ -79,23 +82,37 @@ def run_table1(
         ``"auto"`` (see :mod:`repro.experiments.parallel`); results are
         identical either way.
     :param max_workers: worker-process count for the process engine.
+    :param resilience: optional
+        :class:`~repro.experiments.resilience.ResiliencePolicy` for
+        per-trial timeouts/retries with graceful degradation — a
+        configuration whose trials all fail permanently is skipped
+        rather than aborting the sweep (its failures land on
+        ``failures``).
+    :param journal: optional open
+        :class:`~repro.experiments.resilience.CheckpointJournal`;
+        completed trials are replayed instead of recomputed, making the
+        whole sweep kill-and-resume safe (see docs/OPERATIONS.md).
+    :param failures: optional list collecting permanent ``TrialFailure``
+        rows from a resilient run.
     :returns: one :class:`AggregateRow` per (size, degree), sizes outer.
     """
     rows = []
     for n in sizes:
         for degree in degrees:
-            rows.append(
-                aggregate(
-                    run_trials(
-                        n,
-                        degree,
-                        trials,
-                        seed=seed,
-                        engine=engine,
-                        max_workers=max_workers,
-                    )
-                )
+            records = run_trials(
+                n,
+                degree,
+                trials,
+                seed=seed,
+                engine=engine,
+                max_workers=max_workers,
+                resilience=resilience,
+                journal=journal,
+                failures=failures,
             )
+            if not records:
+                continue  # resilient mode: every trial failed; row skipped
+            rows.append(aggregate(records))
     return rows
 
 

@@ -65,18 +65,22 @@ class Counter:
     kind = "counter"
 
     def __init__(self, name: str):
+        """A zeroed counter called ``name``."""
         self.name = name
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
         self.value += amount
 
     def to_dict(self) -> dict:
+        """JSON-ready state."""
         return {"value": self.value}
 
     def merge(self, payload: dict) -> None:
+        """Fold a foreign snapshot in: counters add."""
         self.value += float(payload["value"])
 
 
@@ -87,16 +91,20 @@ class Gauge:
     kind = "gauge"
 
     def __init__(self, name: str):
+        """A zeroed gauge called ``name``."""
         self.name = name
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Overwrite the current value."""
         self.value = float(value)
 
     def to_dict(self) -> dict:
+        """JSON-ready state."""
         return {"value": self.value}
 
     def merge(self, payload: dict) -> None:
+        """Fold a foreign snapshot in: last write wins."""
         self.value = float(payload["value"])
 
 
@@ -107,6 +115,7 @@ class Histogram:
     kind = "histogram"
 
     def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
+        """An empty histogram over cumulative ``le`` bucket bounds."""
         self.name = name
         self.buckets = tuple(float(b) for b in buckets)
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +Inf
@@ -116,6 +125,7 @@ class Histogram:
         self.max = float("-inf")
 
     def observe(self, value: float) -> None:
+        """Record one sample."""
         value = float(value)
         self.count += 1
         self.sum += value
@@ -127,9 +137,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Average of the recorded samples (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
+        """JSON-ready state, bucket layout included."""
         return {
             "buckets": list(self.buckets),
             "bucket_counts": list(self.bucket_counts),
@@ -140,6 +152,7 @@ class Histogram:
         }
 
     def merge(self, payload: dict) -> None:
+        """Fold a foreign snapshot in (bucket layouts must match)."""
         if tuple(payload["buckets"]) != self.buckets:
             raise ValueError(
                 f"histogram {self.name!r}: bucket bounds differ; "
@@ -165,6 +178,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
+        """An empty registry."""
         self._instruments: dict[str, object] = {}
 
     def _get(self, name: str, cls, **kwargs):
@@ -179,12 +193,15 @@ class MetricsRegistry:
         return instrument
 
     def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
         return self._get(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
         return self._get(name, Gauge)
 
     def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        """Get-or-create the histogram called ``name``."""
         return self._get(name, Histogram, buckets=buckets)
 
     def get(self, name: str):
@@ -192,6 +209,7 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
     def __len__(self) -> int:
+        """How many instruments are registered."""
         return len(self._instruments)
 
     def items(self):

@@ -65,6 +65,7 @@ class SpanRecord:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SpanRecord":
+        """Rebuild a record from its ``to_dict`` payload."""
         return cls(
             span_id=int(payload["id"]),
             parent_id=(
@@ -83,6 +84,7 @@ class ActiveSpan:
     __slots__ = ("_collector", "_record", "_t0")
 
     def __init__(self, collector: "TraceCollector", record: SpanRecord):
+        """Bind the span to its collector; timing starts at entry."""
         self._collector = collector
         self._record = record
         self._t0 = 0.0
@@ -93,12 +95,14 @@ class ActiveSpan:
         return self
 
     def __enter__(self) -> "ActiveSpan":
+        """Start the clock and push the span onto the open stack."""
         self._t0 = time.perf_counter()
         self._record.start = self._t0 - self._collector.epoch
         self._collector._stack.append(self._record.span_id)
         return self
 
     def __exit__(self, *exc_info) -> bool:
+        """Stop the clock and file the finished record."""
         self._record.duration = time.perf_counter() - self._t0
         stack = self._collector._stack
         if stack and stack[-1] == self._record.span_id:
@@ -118,12 +122,15 @@ class NoopSpan:
     __slots__ = ()
 
     def set(self, **attrs) -> "NoopSpan":
+        """Discard attributes (chainable, like the real span)."""
         return self
 
     def __enter__(self) -> "NoopSpan":
+        """No-op entry."""
         return self
 
     def __exit__(self, *exc_info) -> bool:
+        """No-op exit; never suppresses exceptions."""
         return False
 
 
@@ -139,12 +146,14 @@ class TraceCollector:
     """
 
     def __init__(self):
+        """Fresh collector: empty records, epoch pinned to now."""
         self.epoch = time.perf_counter()
         self.records: list[SpanRecord] = []
         self._stack: list[int] = []
         self._next_id = 1
 
     def start_span(self, name: str, attrs: dict) -> ActiveSpan:
+        """A new live span parented to the innermost open span."""
         span_id = self._next_id
         self._next_id += 1
         parent = self._stack[-1] if self._stack else None

@@ -7,9 +7,13 @@ with every algorithm and cross-checks them against the structural oracle
 eq. (7) bound and a set of metamorphic transforms.
 :mod:`repro.testing.fuzz` drives that harness from a deterministic seed
 corpus (``python -m repro fuzz``), writing shrunk crash artifacts to
-``results/fuzz/``. See ``docs/TESTING.md`` for the full picture.
+``results/fuzz/``. :mod:`repro.testing.faults` injects deterministic
+crashes/hangs/OOMs into trials (via the ``REPRO_FAULTS`` env var) to
+exercise the resilience layer. See ``docs/TESTING.md`` for the full
+picture.
 """
 
+from repro.testing import faults
 from repro.testing.differential import (
     BuilderOutcome,
     DifferentialReport,
@@ -28,6 +32,7 @@ __all__ = [
     "DifferentialReport",
     "EXIT_CLEAN",
     "EXIT_CRASH",
+    "faults",
     "instance_from_seed",
     "run_differential",
     "run_fuzz",

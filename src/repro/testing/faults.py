@@ -1,0 +1,175 @@
+"""Deterministic fault injection for resilience testing.
+
+Real campaigns die in three ways the unit suite cannot produce on
+demand: a worker crashes (OOM killer, segfault), a worker hangs
+(swap thrash, deadlocked BLAS), or a trial raises. This module forges
+all three, deterministically, from a plan carried in the
+``REPRO_FAULTS`` environment variable — an env var because it crosses
+the ``fork``/``spawn`` boundary for free, so the same plan reaches
+process-pool workers and the in-process serial engine alike.
+
+The hook itself lives at the top of
+:func:`repro.experiments.execute_trial` and is completely inert (one
+``os.environ`` lookup) unless the variable is set; nothing in
+production code paths imports this module.
+
+Plan format — a JSON object with a ``faults`` list::
+
+    {"faults": [
+        {"kind": "crash", "trial": 3, "attempt": 0},
+        {"kind": "hang",  "trial": 5, "attempt": 0, "seconds": 3600},
+        {"kind": "sleep", "seconds": 0.2}
+    ]}
+
+Each entry matches a :class:`~repro.experiments.parallel.TrialTask` by
+``trial`` (its ``trial_index``; omitted or ``null`` = every trial),
+``attempt`` (omitted or ``null`` = every attempt) and optionally
+``seed``. The first matching entry fires. Kinds:
+
+``error``
+    raise ``RuntimeError`` — captured as a ``TrialFailure`` and retried.
+``oom``
+    raise ``MemoryError`` — the OOM simulation; same retry path.
+``crash``
+    ``os._exit(13)`` — kills the hosting process outright. Only inject
+    this under a process engine: under the serial engine it kills the
+    sweep (which is itself a useful drill for checkpoint resume).
+``hang``
+    sleep for ``seconds`` (default 3600) — long enough that only a
+    per-trial timeout gets the trial back.
+``sleep``
+    sleep for ``seconds`` (default 0.1) and then run normally — not a
+    fault, a brake: the kill-and-resume harness uses it to hold a sweep
+    in flight long enough to SIGKILL it mid-campaign.
+
+Use :func:`plan_json` to build the value and :func:`injected` to set it
+for an in-process block of code::
+
+    from repro.testing import faults
+
+    with faults.injected(faults.FaultSpec(kind="error", trial=1)):
+        run_trials(100, 6, trials=3, resilience=policy)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultSpec",
+    "maybe_inject",
+    "plan_json",
+    "injected",
+]
+
+#: The environment variable the trial runner checks for a fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Injectable fault kinds (see the module docstring for semantics).
+KINDS = ("error", "oom", "crash", "hang", "sleep")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what to do and which trial attempt to hit."""
+
+    kind: str
+    trial: int | None = None
+    attempt: int | None = None
+    seed: int | None = None
+    seconds: float | None = None
+
+    def __post_init__(self):
+        """Reject unknown kinds early, at plan-construction time."""
+        if self.kind not in KINDS:
+            raise ValueError(f"fault kind must be one of {KINDS}; got {self.kind!r}")
+
+    def matches(self, task) -> bool:
+        """Whether this fault fires for ``task`` (a ``TrialTask``)."""
+        if self.trial is not None and self.trial != task.trial_index:
+            return False
+        if self.attempt is not None and self.attempt != task.attempt:
+            return False
+        if self.seed is not None and self.seed != task.seed:
+            return False
+        return True
+
+
+def plan_json(*specs: FaultSpec) -> str:
+    """Serialise fault specs into the ``REPRO_FAULTS`` value format."""
+    return json.dumps(
+        {"faults": [asdict(spec) for spec in specs]}, sort_keys=True
+    )
+
+
+@lru_cache(maxsize=8)
+def _parse_plan(raw: str) -> tuple[FaultSpec, ...]:
+    """Decode a plan string once per distinct value (cached per process)."""
+    payload = json.loads(raw)
+    return tuple(
+        FaultSpec(
+            kind=entry["kind"],
+            trial=entry.get("trial"),
+            attempt=entry.get("attempt"),
+            seed=entry.get("seed"),
+            seconds=entry.get("seconds"),
+        )
+        for entry in payload.get("faults", ())
+    )
+
+
+def maybe_inject(task) -> None:
+    """Fire the first planned fault matching ``task``, if any.
+
+    Called from ``execute_trial`` when ``REPRO_FAULTS`` is set. A
+    malformed plan raises immediately (a typo must not silently disable
+    a fault drill).
+    """
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return
+    for spec in _parse_plan(raw):
+        if not spec.matches(task):
+            continue
+        if spec.kind == "error":
+            raise RuntimeError(
+                f"injected fault (trial={task.trial_index} "
+                f"attempt={task.attempt} seed={task.seed})"
+            )
+        if spec.kind == "oom":
+            raise MemoryError(
+                f"injected OOM (trial={task.trial_index} "
+                f"attempt={task.attempt})"
+            )
+        if spec.kind == "crash":
+            os._exit(13)
+        if spec.kind == "hang":
+            time.sleep(spec.seconds if spec.seconds is not None else 3600.0)
+            return
+        if spec.kind == "sleep":
+            time.sleep(spec.seconds if spec.seconds is not None else 0.1)
+            return
+
+
+@contextmanager
+def injected(*specs: FaultSpec):
+    """Set ``REPRO_FAULTS`` to the given plan for the ``with`` block.
+
+    Restores (or removes) the previous value on exit. Affects the
+    current process and any worker processes spawned inside the block.
+    """
+    previous = os.environ.get(FAULTS_ENV)
+    os.environ[FAULTS_ENV] = plan_json(*specs)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = previous

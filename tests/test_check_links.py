@@ -1,0 +1,126 @@
+"""Tests for ``tools/check_links.py``.
+
+Covers the two behaviours ISSUE 4 hardened: example paths inside fenced
+code blocks (including indented fences and fences with info strings)
+must never be reported as broken links, and duplicate heading anchors
+must fail the run.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def test_repo_docs_are_clean(capsys):
+    assert checker.main([]) == 0
+
+
+def test_inline_link_regex_matches_basic_forms():
+    text = "[a](docs/x.md) ![img](img/y.svg) [t](z.md#frag)"
+    found = [m.group(1) for m in checker.INLINE_LINK_RE.finditer(text)]
+    assert found == ["docs/x.md", "img/y.svg", "z.md#frag"]
+
+
+class TestStripCode:
+    def test_plain_fence_removed(self):
+        text = "before\n```\n[gone](missing.md)\n```\nafter"
+        assert "missing.md" not in checker.strip_code(text)
+        assert "before" in checker.strip_code(text)
+
+    def test_fence_with_info_string_removed(self):
+        text = "```bash\npython -m repro table1 --resume [x](a.md)\n```"
+        assert "a.md" not in checker.strip_code(text)
+
+    def test_indented_fence_removed(self):
+        text = "- item\n   ```\n   [gone](missing.md)\n   ```\n- next"
+        stripped = checker.strip_code(text)
+        assert "missing.md" not in stripped
+        assert "next" in stripped
+
+    def test_tilde_line_inside_backtick_fence_is_content(self):
+        text = "```\n~~~\n[gone](missing.md)\n```\n[kept](README.md)"
+        stripped = checker.strip_code(text)
+        assert "missing.md" not in stripped
+        assert "README.md" in stripped
+
+    def test_shorter_marker_does_not_close(self):
+        text = "````\n```\n[gone](missing.md)\n````\n[kept](README.md)"
+        stripped = checker.strip_code(text)
+        assert "missing.md" not in stripped
+        assert "README.md" in stripped
+
+    def test_inline_code_spans_removed(self):
+        assert "a.md" not in checker.strip_code("see `[x](a.md)` here")
+
+
+class TestAnchors:
+    def test_inline_code_heading_keeps_text(self, tmp_path):
+        md = tmp_path / "f.md"
+        md.write_text("## `repro.core`\n")
+        assert "reprocore" in checker.anchors_of(md)
+
+    def test_repeated_headings_get_github_suffixes(self, tmp_path):
+        md = tmp_path / "f.md"
+        md.write_text("## Setup\n\ntext\n\n## Setup\n")
+        assert {"setup", "setup-1"} <= checker.anchors_of(md)
+
+    def test_heading_inside_fence_is_not_an_anchor(self, tmp_path):
+        md = tmp_path / "f.md"
+        md.write_text("```sh\n# not a heading\n```\n## Real\n")
+        assert checker.anchors_of(md) == {"real"}
+
+
+class TestDuplicateAnchors:
+    def test_duplicates_reported(self, tmp_path):
+        md = tmp_path / "f.md"
+        md.write_text("## Usage\n\n## Usage\n")
+        assert checker.duplicate_anchors_of(md) == ["usage"]
+
+    def test_unique_headings_clean(self, tmp_path):
+        md = tmp_path / "f.md"
+        md.write_text("## One\n\n## Two\n")
+        assert checker.duplicate_anchors_of(md) == []
+
+    def test_main_exits_nonzero_on_duplicates(self, tmp_path, capsys):
+        md = tmp_path / "f.md"
+        md.write_text("## Usage\n\n## Usage\n")
+        rc = checker.main([str(md)])
+        assert rc == 1
+        assert "duplicate anchor" in capsys.readouterr().err
+
+
+class TestBrokenLinks:
+    def test_missing_target_detected(self, tmp_path, monkeypatch):
+        md = tmp_path / "f.md"
+        md.write_text("[x](does-not-exist.md)\n")
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        assert checker.main([str(md)]) == 1
+
+    def test_missing_fragment_detected(self, tmp_path, monkeypatch):
+        target = tmp_path / "t.md"
+        target.write_text("## Present\n")
+        md = tmp_path / "f.md"
+        md.write_text("[x](t.md#absent)\n")
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        assert checker.main([str(md)]) == 1
+
+    def test_good_fragment_passes(self, tmp_path, monkeypatch):
+        target = tmp_path / "t.md"
+        target.write_text("## Present\n")
+        md = tmp_path / "f.md"
+        md.write_text("[x](t.md#present)\n")
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        assert checker.main([str(md)]) == 0

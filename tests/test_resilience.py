@@ -1,0 +1,443 @@
+"""Tests for the resilience layer (repro.experiments.resilience).
+
+The contracts under test, straight from the determinism notes in the
+module docstring:
+
+* retry seeds derive from ``SeedSequence((base_seed, trial_index,
+  attempt))`` — reproducible, and never perturbing untouched trials;
+* a trial that exhausts its retries degrades to a structured
+  :class:`TrialFailure` row while the sweep continues;
+* worker crashes and hangs under the process backend are charged to the
+  guilty trial only — bystanders re-run with their original attempt-0
+  seed and stay byte-identical;
+* the checkpoint journal replays completed trials byte-identically,
+  tolerates a torn final line (the crash case it exists for), and
+  refuses to resume against mismatched parameters.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.experiments.parallel import TrialFailure, TrialTask, run_task
+from repro.experiments.resilience import (
+    CheckpointJournal,
+    JournalMismatch,
+    ResiliencePolicy,
+    ResilientProcessExecutor,
+    ResilientSerialExecutor,
+    attempt_task,
+    make_resilient_executor,
+    retry_seed,
+    trial_key,
+)
+from repro.experiments.runner import TrialRecord, run_trials
+from repro.testing import faults
+
+
+def task_for(trial, n=40, degree=6, seed=0, **kw):
+    """A TrialTask stamped the way the sweeps stamp them."""
+    return TrialTask(
+        n=n,
+        max_out_degree=degree,
+        dim=2,
+        seed=seed + trial,
+        trial_index=trial,
+        **kw,
+    )
+
+
+def strip_timing(records):
+    """Records with the wall-clock field zeroed — the deterministic part."""
+    return [dataclasses.replace(r, seconds=0.0) for r in records]
+
+
+@pytest.fixture
+def metrics():
+    """Observability switched on for the test, reset afterwards."""
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.reset()
+
+
+def counter(name):
+    return obs.snapshot().get(name, {}).get("value", 0.0)
+
+
+# ----------------------------------------------------------------------
+# policy + seed derivation
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(timeout=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = ResiliencePolicy(
+            retries=5, backoff_base=1.0, backoff_factor=2.0, backoff_max=3.0
+        )
+        task = task_for(0)
+        delays = [policy.backoff_seconds(task, k) for k in (1, 2, 3, 4)]
+        # jitter is in [0.5, 1.5), so bounds are raw/2 .. raw*1.5
+        assert 0.5 <= delays[0] < 1.5
+        assert 1.0 <= delays[1] < 3.0
+        assert all(d < 4.5 for d in delays)  # capped at 3.0 * 1.5
+
+    def test_backoff_is_deterministic(self):
+        policy = ResiliencePolicy(retries=2)
+        task = task_for(3, seed=17)
+        assert policy.backoff_seconds(task, 1) == policy.backoff_seconds(
+            task, 1
+        )
+
+
+class TestRetrySeeds:
+    def test_matches_documented_derivation(self):
+        task = task_for(trial=4, seed=100)  # base_seed=100, index=4
+        expected = int(
+            np.random.SeedSequence((100, 4, 2)).generate_state(
+                1, dtype=np.uint64
+            )[0]
+        )
+        assert retry_seed(task, 2) == expected
+
+    def test_attempt_zero_is_the_original_task(self):
+        task = task_for(2)
+        assert attempt_task(task, 0) is task
+
+    def test_attempt_zero_has_no_derived_seed(self):
+        with pytest.raises(ValueError):
+            retry_seed(task_for(0), 0)
+
+    def test_retries_do_not_perturb_other_trials(self):
+        # The retried trial's neighbours keep seed = base + index
+        # regardless of how many times trial 3 retried.
+        tasks = [task_for(t, seed=7) for t in range(6)]
+        retried = attempt_task(tasks[3], 5)
+        assert retried.seed != tasks[3].seed
+        for t, task in enumerate(tasks):
+            if t != 3:
+                assert attempt_task(task, 0).seed == 7 + t
+
+    def test_distinct_attempts_distinct_seeds(self):
+        task = task_for(0)
+        seeds = {retry_seed(task, k) for k in range(1, 6)}
+        assert len(seeds) == 5
+
+    def test_trial_key_format(self):
+        assert trial_key(task_for(2, n=60, degree=6)) == "n60:d6:dim2:t2"
+
+
+# ----------------------------------------------------------------------
+# serial backend
+
+
+class TestSerialResilience:
+    def test_clean_run_matches_plain_engine(self):
+        baseline = run_trials(n=40, max_out_degree=6, trials=3)
+        resilient = run_trials(
+            n=40,
+            max_out_degree=6,
+            trials=3,
+            resilience=ResiliencePolicy(retries=2),
+        )
+        assert strip_timing(baseline) == strip_timing(resilient)
+
+    def test_error_retried_to_success(self, metrics):
+        # Fault: attempt 0 of trial 1 errors; the retry (attempt 1)
+        # matches nothing and succeeds.
+        policy = ResiliencePolicy(retries=2, backoff_base=0.0)
+        with faults.injected(faults.FaultSpec("error", trial=1, attempt=0)):
+            records = run_trials(
+                n=40, max_out_degree=6, trials=3, resilience=policy
+            )
+        assert len(records) == 3
+        assert all(isinstance(r, TrialRecord) for r in records)
+        assert counter("resilience.retries.total") == 1
+        assert counter("resilience.errors.total") == 1
+
+    def test_exhausted_retries_degrade_to_failure_row(self, metrics):
+        # Every attempt of trial 0 errors; trials 1..2 must still run.
+        policy = ResiliencePolicy(retries=1, backoff_base=0.0)
+        failures = []
+        with faults.injected(faults.FaultSpec("error", trial=0)):
+            records = run_trials(
+                n=40,
+                max_out_degree=6,
+                trials=3,
+                resilience=policy,
+                failures=failures,
+            )
+        assert len(records) == 2
+        assert len(failures) == 1
+        assert failures[0].error_type == "RuntimeError"
+        assert failures[0].attempts == 2
+        assert counter("resilience.trial_failures.total") == 1
+
+    def test_oom_simulation_is_caught(self):
+        policy = ResiliencePolicy(retries=0, backoff_base=0.0)
+        failures = []
+        with faults.injected(faults.FaultSpec("oom", trial=0)):
+            run_trials(
+                n=40,
+                max_out_degree=6,
+                trials=1,
+                resilience=policy,
+                failures=failures,
+            )
+        assert failures and failures[0].error_type == "MemoryError"
+
+    def test_timeout_bounds_an_attempt(self, metrics):
+        # Trial 0 hangs on attempt 0; the 0.3s deadline fires, the retry
+        # succeeds. Generous hang length keeps slow CI honest.
+        policy = ResiliencePolicy(
+            timeout=0.3, retries=1, backoff_base=0.0
+        )
+        with faults.injected(
+            faults.FaultSpec("hang", trial=0, attempt=0, seconds=30.0)
+        ):
+            records = run_trials(
+                n=40, max_out_degree=6, trials=2, resilience=policy
+            )
+        assert len(records) == 2
+        assert counter("resilience.timeouts.total") == 1
+
+    def test_retried_record_uses_derived_seed(self):
+        # The retried trial's record must equal the record the derived
+        # retry seed produces — not the original seed's record.
+        policy = ResiliencePolicy(retries=1, backoff_base=0.0)
+        task = task_for(0, n=40)
+        with faults.injected(faults.FaultSpec("error", trial=0, attempt=0)):
+            with make_resilient_executor("serial", None, policy) as ex:
+                (record,) = list(ex.imap([task]))
+        assert isinstance(record, TrialRecord)
+        expected = run_task(attempt_task(task, 1))
+        assert strip_timing([record]) == strip_timing([expected])
+
+
+# ----------------------------------------------------------------------
+# process backend (forced, so single-CPU hosts still exercise it)
+
+
+class TestProcessResilience:
+    def test_crash_isolated_to_guilty_trial(self):
+        # Trial 1's worker dies with os._exit; with retries=0 the trial
+        # is retired as a WorkerCrash row, and trials 0/2 stay
+        # byte-identical to a serial run.
+        policy = ResiliencePolicy(retries=0, backoff_base=0.0)
+        tasks = [task_for(t, n=40) for t in range(3)]
+        with faults.injected(faults.FaultSpec("crash", trial=1)):
+            with ResilientProcessExecutor(policy, max_workers=2) as ex:
+                outcomes = list(ex.imap(tasks))
+        assert isinstance(outcomes[1], TrialFailure)
+        assert outcomes[1].error_type == "WorkerCrash"
+        baseline = [
+            o
+            for o in run_trials(n=40, max_out_degree=6, trials=3)
+        ]
+        assert strip_timing([outcomes[0], outcomes[2]]) == strip_timing(
+            [baseline[0], baseline[2]]
+        )
+
+    def test_crash_retried_on_fresh_worker(self):
+        # Attempt 0 crashes; attempt 1 (derived seed, no matching fault)
+        # runs on a rebuilt pool and succeeds.
+        policy = ResiliencePolicy(retries=1, backoff_base=0.0)
+        tasks = [task_for(t, n=40) for t in range(2)]
+        with faults.injected(faults.FaultSpec("crash", trial=0, attempt=0)):
+            with ResilientProcessExecutor(policy, max_workers=2) as ex:
+                outcomes = list(ex.imap(tasks))
+        assert all(isinstance(o, TrialRecord) for o in outcomes)
+        assert strip_timing([outcomes[0]]) == strip_timing(
+            [run_task(attempt_task(tasks[0], 1))]
+        )
+        assert strip_timing([outcomes[1]]) == strip_timing(
+            [run_task(tasks[1])]
+        )
+
+    def test_hang_reclaimed_by_deadline(self, metrics):
+        policy = ResiliencePolicy(
+            timeout=1.0, retries=0, backoff_base=0.0
+        )
+        tasks = [task_for(t, n=40) for t in range(2)]
+        with faults.injected(
+            faults.FaultSpec("hang", trial=0, seconds=60.0)
+        ):
+            with ResilientProcessExecutor(policy, max_workers=2) as ex:
+                outcomes = list(ex.imap(tasks))
+        assert isinstance(outcomes[0], TrialFailure)
+        assert outcomes[0].error_type == "TrialTimeout"
+        assert isinstance(outcomes[1], TrialRecord)
+        assert counter("resilience.timeouts.total") >= 1
+
+    def test_outcomes_arrive_in_task_order(self):
+        policy = ResiliencePolicy(retries=0)
+        tasks = [task_for(t, n=30) for t in range(5)]
+        with ResilientProcessExecutor(policy, max_workers=2) as ex:
+            outcomes = list(ex.imap(tasks))
+        expected = [run_task(t) for t in tasks]
+        assert strip_timing(outcomes) == strip_timing(expected)
+
+    def test_close_is_idempotent(self):
+        ex = ResilientProcessExecutor(ResiliencePolicy(), max_workers=1)
+        ex.close()
+        ex.close()
+
+
+class TestMakeResilientExecutor:
+    def test_serial_request(self):
+        with make_resilient_executor("serial", None, ResiliencePolicy()) as ex:
+            assert isinstance(ex, ResilientSerialExecutor)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            make_resilient_executor("threads", None, ResiliencePolicy())
+
+    def test_forced_process_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PROCESS_ENGINE", "1")
+        with make_resilient_executor(
+            "process", 2, ResiliencePolicy()
+        ) as ex:
+            assert isinstance(ex, ResilientProcessExecutor)
+
+
+# ----------------------------------------------------------------------
+# checkpoint journal
+
+
+class TestCheckpointJournal:
+    PARAMS = {"command": "table1", "seed": 0, "trials": 3, "sizes": [40]}
+
+    def write_some(self, path):
+        records = run_trials(n=40, max_out_degree=6, trials=2)
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            for t, record in enumerate(records):
+                journal.record(f"n40:d6:dim2:t{t}", record)
+        return records
+
+    def test_replay_is_byte_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        records = self.write_some(path)
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            assert journal.completed_count == 2
+            for t, record in enumerate(records):
+                assert journal.replay(f"n40:d6:dim2:t{t}") == record
+            assert journal.replay("n40:d6:dim2:t9") is None
+
+    def test_failure_rows_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        failure = TrialFailure(
+            task=task_for(0, n=40),
+            error_type="RuntimeError",
+            error="injected",
+            attempts=2,
+        )
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            journal.record("n40:d6:dim2:t0", failure)
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            replayed = journal.replay("n40:d6:dim2:t0")
+        assert isinstance(replayed, TrialFailure)
+        assert replayed.error_type == "RuntimeError"
+        assert replayed.attempts == 2
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        # The crash case the journal exists for: a record truncated
+        # mid-write. The torn tail is discarded, the prefix survives.
+        path = tmp_path / "j.jsonl"
+        self.write_some(path)
+        with path.open("a") as fh:
+            fh.write('{"type": "record", "key": "n40:d6:dim2:t2", "rec')
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            assert journal.completed_count == 2
+
+    def test_torn_tail_truncated_before_append(self, tmp_path):
+        # Appending after a torn partial line would weld two records
+        # onto one line and corrupt the journal for the *second*
+        # resume. open() must truncate the tail first.
+        path = tmp_path / "j.jsonl"
+        records = self.write_some(path)
+        clean = path.read_bytes()
+        with path.open("a") as fh:
+            fh.write('{"type": "record", "key": "n40:d6:dim2:t2", "rec')
+        extra = run_trials(n=40, max_out_degree=6, trials=3)[2]
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            journal.record("n40:d6:dim2:t2", extra)
+        # The torn tail is gone; the clean prefix is byte-preserved.
+        assert path.read_bytes().startswith(clean)
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            assert journal.completed_count == 3
+            assert journal.replay("n40:d6:dim2:t2") == extra
+            assert journal.replay("n40:d6:dim2:t0") == records[0]
+
+    def test_unterminated_final_line_treated_as_torn(self, tmp_path):
+        # A parseable final line without its newline never finished
+        # fsync — drop it rather than trust it.
+        path = tmp_path / "j.jsonl"
+        self.write_some(path)
+        content = path.read_bytes()
+        path.write_bytes(content.rstrip(b"\n"))
+        with CheckpointJournal(path, params=self.PARAMS) as journal:
+            assert journal.completed_count == 1
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write_some(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # tear a middle line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            CheckpointJournal(path, params=self.PARAMS).open()
+
+    def test_params_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write_some(path)
+        other = dict(self.PARAMS, seed=1)
+        with pytest.raises(JournalMismatch):
+            CheckpointJournal(path, params=other).open()
+
+    def test_missing_header_refused(self, tmp_path):
+        # Not a journal at all (no header line) — refuse to resume.
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"type": "record", "key": "x", "record": {}}\n')
+        with pytest.raises(JournalMismatch):
+            CheckpointJournal(path, params=self.PARAMS).open()
+
+    def test_header_written_first(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write_some(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        assert header["params"]["command"] == "table1"
+
+
+class TestResumeThroughRunner:
+    def test_resumed_run_replays_and_completes(self, tmp_path, metrics):
+        path = tmp_path / "j.jsonl"
+        policy = ResiliencePolicy(retries=0)
+        kwargs = dict(
+            n=40, max_out_degree=6, trials=4, resilience=policy
+        )
+        with CheckpointJournal(path, params=None) as journal:
+            full = run_trials(journal=journal, **kwargs)
+
+        # Truncate to the header + first two records, as a kill would.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+
+        with CheckpointJournal(path, params=None) as journal:
+            resumed = run_trials(journal=journal, **kwargs)
+        assert strip_timing(resumed) == strip_timing(full)
+        # The two surviving records were replayed, not recomputed...
+        assert counter("resilience.resumed.total") == 2
+        # ...byte-identically: replayed rows keep their original timing.
+        assert resumed[0] == full[0]
+        assert resumed[1] == full[1]

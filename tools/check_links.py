@@ -7,12 +7,24 @@ anchors into markdown files (matched against GitHub-style slugs of their
 headings). External ``http(s):`` / ``mailto:`` links are skipped: CI has
 no network, and this repo's docs are expected to stand alone.
 
+Links inside fenced code blocks are excluded, including fences indented
+up to three spaces (e.g. inside lists) and fences with info strings —
+example paths in a ``bash`` block must never fail the check. A fence
+closes only on a matching marker (same character, at least as long), per
+CommonMark, so a ``~~~`` line inside a backtick fence stays content.
+
+Duplicate anchors are errors: two headings in one file that slugify to
+the same anchor make ``#fragment`` links ambiguous (GitHub silently
+binds the bare slug to the first heading), so the checker exits nonzero
+on them rather than letting the ambiguity ship.
+
 Run::
 
     python tools/check_links.py            # README.md + docs/**/*.md
     python tools/check_links.py FILE...    # explicit file list
 
-Exit status is the number of broken links (0 = clean).
+Exit status is the number of broken links + duplicate anchors (0 =
+clean).
 """
 
 from __future__ import annotations
@@ -28,20 +40,38 @@ REPO = Path(__file__).resolve().parent.parent
 INLINE_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)[^)]*\)")
 #: ``[label]: target`` reference-style definitions.
 REF_DEF_RE = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
-FENCE_RE = re.compile(r"^(```|~~~)", re.MULTILINE)
+#: A fence marker: up to 3 leading spaces, then 3+ backticks or tildes.
+FENCE_RE = re.compile(r"^ {0,3}(`{3,}|~{3,})")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+
+def strip_fences(text: str) -> str:
+    """Drop fenced code blocks, keeping everything outside them."""
+    out: list[str] = []
+    open_fence: str | None = None
+    for line in text.splitlines():
+        match = FENCE_RE.match(line)
+        if match:
+            marker = match.group(1)
+            if open_fence is None:
+                open_fence = marker
+                continue
+            # CommonMark: a fence closes only on the same character,
+            # at least as long as the opener.
+            if marker[0] == open_fence[0] and len(marker) >= len(open_fence):
+                open_fence = None
+                continue
+        if open_fence is None:
+            out.append(line)
+    return "\n".join(out)
 
 
 def strip_code(text: str) -> str:
     """Drop fenced code blocks and inline code so sample links are ignored."""
-    out, in_fence = [], False
-    for line in text.splitlines():
-        if FENCE_RE.match(line):
-            in_fence = not in_fence
-            continue
-        if not in_fence:
-            out.append(re.sub(r"`[^`]*`", "", line))
-    return "\n".join(out)
+    return "\n".join(
+        re.sub(r"`[^`]*`", "", line)
+        for line in strip_fences(text).splitlines()
+    )
 
 
 def slugify(heading: str) -> str:
@@ -51,16 +81,34 @@ def slugify(heading: str) -> str:
     return heading.strip().replace(" ", "-")
 
 
+def _heading_slugs(md_path: Path) -> list[str]:
+    """Every heading slug of a file, in order, without de-duplication.
+
+    Fenced code blocks are excluded (a ``# comment`` in a shell sample
+    is not a heading), but inline code spans keep their text — GitHub
+    slugifies ``## `repro.core``` to ``#reprocore``.
+    """
+    text = strip_fences(md_path.read_text(encoding="utf-8"))
+    return [slugify(match.group(1)) for match in HEADING_RE.finditer(text)]
+
+
 def anchors_of(md_path: Path) -> set[str]:
-    text = strip_code(md_path.read_text(encoding="utf-8"))
+    """The link-able anchors of a file (GitHub-suffixed for repeats)."""
     slugs: set[str] = set()
     counts: dict[str, int] = {}
-    for match in HEADING_RE.finditer(text):
-        slug = slugify(match.group(1))
+    for slug in _heading_slugs(md_path):
         n = counts.get(slug, 0)
         counts[slug] = n + 1
         slugs.add(slug if n == 0 else f"{slug}-{n}")
     return slugs
+
+
+def duplicate_anchors_of(md_path: Path) -> list[str]:
+    """Slugs that appear more than once in a file (ambiguous targets)."""
+    counts: dict[str, int] = {}
+    for slug in _heading_slugs(md_path):
+        counts[slug] = counts.get(slug, 0) + 1
+    return sorted(slug for slug, n in counts.items() if n > 1)
 
 
 def targets_of(md_path: Path):
@@ -104,10 +152,14 @@ def main(argv=None) -> int:
             errors.append(f"{md}: no such file")
             continue
         errors.extend(check_file(md))
+        errors.extend(
+            f"{md}: duplicate anchor -> #{slug}"
+            for slug in duplicate_anchors_of(md)
+        )
 
     for err in errors:
         print(err, file=sys.stderr)
-    print(f"checked {len(files)} files: {len(errors)} broken links")
+    print(f"checked {len(files)} files: {len(errors)} problems")
     return len(errors)
 
 

@@ -1,0 +1,161 @@
+"""Generate the CLI flag reference in docs/ENGINE.md from the parser.
+
+Hand-written flag tables drift the moment someone adds an option; this
+tool makes the argparse definitions in :func:`repro.cli.build_parser`
+the single source of truth. It renders one markdown table per
+subcommand (flag, type/choices, default, help text) and splices the
+result between the ``<!-- cli-flags:begin -->`` / ``<!-- cli-flags:end
+-->`` markers in ``docs/ENGINE.md``.
+
+Modes::
+
+    python tools/gen_cli_docs.py --check   # exit 1 if docs are stale
+    python tools/gen_cli_docs.py --write   # rewrite the marked block
+
+CI runs ``--check`` in the docs job; a failing check means "run
+``--write`` and commit".
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+TARGET = REPO / "docs" / "ENGINE.md"
+BEGIN = "<!-- cli-flags:begin -->"
+END = "<!-- cli-flags:end -->"
+PREAMBLE = (
+    "Generated from the argparse definitions in `src/repro/cli.py` by\n"
+    "`tools/gen_cli_docs.py --write`; CI fails if this block is stale.\n"
+)
+
+
+def subparsers_of(parser: argparse.ArgumentParser):
+    """``(name, subparser)`` pairs, in declaration order."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            seen = set()
+            for name, sub in action.choices.items():
+                if id(sub) not in seen:  # aliases map to the same parser
+                    seen.add(id(sub))
+                    yield name, sub
+
+
+def describe_type(action: argparse.Action) -> str:
+    """Human-readable value description for one option."""
+    if isinstance(
+        action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+    ):
+        return "flag"
+    if action.choices:
+        return " \\| ".join(f"`{c}`" for c in action.choices)
+    name = getattr(action.type, "__name__", None) or "str"
+    if action.nargs in ("+", "*"):
+        return f"{name}…"
+    return name
+
+
+def describe_default(action: argparse.Action) -> str:
+    if isinstance(
+        action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+    ):
+        return "off"
+    if action.default is None or action.default == argparse.SUPPRESS:
+        return "—"
+    return f"`{action.default}`"
+
+
+def clean_help(action: argparse.Action) -> str:
+    text = (action.help or "").strip()
+    return re.sub(r"\s+", " ", text)
+
+
+def option_rows(parser: argparse.ArgumentParser) -> list[str]:
+    rows = []
+    for action in parser._actions:
+        if isinstance(action, argparse._HelpAction):
+            continue
+        if action.option_strings:
+            flag = ", ".join(f"`{s}`" for s in action.option_strings)
+        else:
+            flag = f"`{action.dest}`"  # positional
+        rows.append(
+            f"| {flag} | {describe_type(action)} "
+            f"| {describe_default(action)} | {clean_help(action)} |"
+        )
+    return rows
+
+
+def render() -> str:
+    """The full marked block, markers included."""
+    parser = build_parser()
+    lines = [BEGIN, PREAMBLE]
+    for name, sub in subparsers_of(parser):
+        lines.append(f"### `python -m repro {name}`")
+        lines.append("")
+        description = (sub.description or "").strip()
+        if description:
+            lines.append(description)
+            lines.append("")
+        lines.append("| flag | value | default | meaning |")
+        lines.append("|---|---|---|---|")
+        lines.extend(option_rows(sub))
+        lines.append("")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def spliced(text: str) -> str:
+    """``text`` with the marked block replaced by a fresh render."""
+    begin = text.find(BEGIN)
+    end = text.find(END)
+    if begin == -1 or end == -1:
+        raise SystemExit(
+            f"{TARGET}: missing {BEGIN} / {END} markers — add them where "
+            "the flag reference should live"
+        )
+    return text[:begin] + render() + text[end + len(END) :]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the generated block is stale",
+    )
+    mode.add_argument(
+        "--write", action="store_true", help="rewrite the generated block"
+    )
+    args = parser.parse_args(argv)
+
+    current = TARGET.read_text(encoding="utf-8")
+    fresh = spliced(current)
+    if args.write:
+        if fresh != current:
+            TARGET.write_text(fresh, encoding="utf-8")
+            print(f"updated {TARGET}")
+        else:
+            print(f"{TARGET} already up to date")
+        return 0
+    if fresh != current:
+        print(
+            f"{TARGET}: CLI flag reference is stale — run "
+            "'python tools/gen_cli_docs.py --write'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{TARGET}: CLI flag reference up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,294 @@
+"""Kill-and-resume drill for the resilience layer (CI interruption smoke).
+
+The drill, end to end:
+
+1. **Reference run** — a clean ``table1`` sweep with ``--checkpoint``,
+   establishing the ground-truth record stream.
+2. **Victim run** — the same sweep under the process engine
+   (``REPRO_FORCE_PROCESS_ENGINE=1`` so single-CPU runners still fork
+   real workers), slowed by an injected per-trial ``sleep`` fault so the
+   kill reliably lands mid-flight. Once the journal holds at least
+   ``--min-records`` completed trials, the whole process group gets
+   ``SIGKILL`` — no cleanup handlers, exactly like the OOM killer.
+3. **Resume run** — the same sweep with ``--resume`` against the
+   victim's journal. Completed trials must be replayed, not recomputed;
+   only the in-flight tail is re-run.
+4. **Verdict** — the resumed journal must (a) byte-preserve the
+   victim's complete-line prefix and (b) yield a merged record stream
+   identical (modulo per-trial wall-clock ``seconds``) to the reference.
+
+Exit status 0 on success, 1 on any violated property. The journals are
+left in ``--workdir`` so CI can upload them as artifacts.
+
+Run locally::
+
+    python tools/interruption_smoke.py --workdir /tmp/smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOTAL_DEGREES = 2  # table1 sweeps out-degrees 6 and 2
+
+
+def sweep_command(args, journal_flag: str, journal: Path) -> list[str]:
+    """The ``python -m repro table1`` invocation for one drill stage."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "table1",
+        "--sizes",
+        *[str(s) for s in args.sizes],
+        "--trials",
+        str(args.trials),
+        "--seed",
+        str(args.seed),
+        journal_flag,
+        str(journal),
+    ]
+
+
+def sweep_env(faults_plan: str | None = None, force_process: bool = False):
+    """Subprocess environment: repo on PYTHONPATH, optional fault plan."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FORCE_PROCESS_ENGINE", None)
+    if faults_plan is not None:
+        env["REPRO_FAULTS"] = faults_plan
+    if force_process:
+        env["REPRO_FORCE_PROCESS_ENGINE"] = "1"
+    return env
+
+
+def journal_records(path: Path) -> dict[str, dict]:
+    """``key -> record`` from a journal, wall-clock field stripped."""
+    records: dict[str, dict] = {}
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail — the kill case this tool exists for
+        if entry.get("type") == "record":
+            record = dict(entry["record"])
+            record.pop("seconds", None)
+            records[entry["key"]] = record
+    return records
+
+
+def count_records(path: Path) -> int:
+    """Completed records currently in a (possibly growing) journal."""
+    if not path.exists():
+        return 0
+    return len(journal_records(path))
+
+
+def complete_line_prefix(raw: bytes) -> bytes:
+    """The prefix of ``raw`` made of whole lines (drops any torn tail)."""
+    end = raw.rfind(b"\n")
+    return raw[: end + 1] if end != -1 else b""
+
+
+def run_reference(args, workdir: Path) -> Path:
+    """Stage 1: the uninterrupted ground-truth sweep."""
+    journal = workdir / "reference.jsonl"
+    result = subprocess.run(
+        sweep_command(args, "--checkpoint", journal),
+        env=sweep_env(),
+        capture_output=True,
+        text=True,
+        timeout=args.stage_timeout,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"reference run failed (rc={result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return journal
+
+
+def run_victim(args, workdir: Path) -> tuple[Path, bytes]:
+    """Stage 2: the sweep that gets SIGKILLed mid-flight.
+
+    Returns the journal path and its bytes as captured right after the
+    kill (before the resume touches the file).
+    """
+    journal = workdir / "victim.jsonl"
+    # Every trial sleeps a little: the brake that guarantees the kill
+    # lands while trials are still in flight.
+    plan = json.dumps(
+        {"faults": [{"kind": "sleep", "seconds": args.sleep}]}
+    )
+    command = sweep_command(args, "--checkpoint", journal) + [
+        "--engine",
+        "process",
+        "--workers",
+        "2",
+    ]
+    victim = subprocess.Popen(
+        command,
+        env=sweep_env(faults_plan=plan, force_process=True),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,  # killpg must not hit this process
+    )
+    total = len(args.sizes) * TOTAL_DEGREES * args.trials
+    deadline = time.monotonic() + args.stage_timeout
+    try:
+        while count_records(journal) < args.min_records:
+            if victim.poll() is not None:
+                raise RuntimeError(
+                    f"victim exited (rc={victim.returncode}) before "
+                    f"{args.min_records} records landed — raise --sleep"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"victim produced {count_records(journal)} records "
+                    f"in {args.stage_timeout}s; wanted {args.min_records}"
+                )
+            time.sleep(0.05)
+    finally:
+        if victim.poll() is None:
+            os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+        victim.wait()
+
+    pre_kill = journal.read_bytes()
+    survivors = len(journal_records(journal))
+    if survivors >= total:
+        raise RuntimeError(
+            f"victim finished all {total} trials before the kill landed "
+            f"— raise --sleep or lower --min-records"
+        )
+    print(
+        f"victim killed with {survivors}/{total} trials journaled",
+        flush=True,
+    )
+    return journal, pre_kill
+
+
+def run_resume(args, journal: Path) -> None:
+    """Stage 3: resume the killed sweep to completion."""
+    result = subprocess.run(
+        sweep_command(args, "--resume", journal),
+        env=sweep_env(),
+        capture_output=True,
+        text=True,
+        timeout=args.stage_timeout,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"resume run failed (rc={result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    if "resuming:" not in result.stderr:
+        raise RuntimeError(
+            f"resume run did not report replayed trials:\n{result.stderr}"
+        )
+
+
+def verdict(args, reference: Path, victim: Path, pre_kill: bytes) -> list[str]:
+    """Stage 4: the properties the drill asserts. Returns violations."""
+    problems = []
+    prefix = complete_line_prefix(pre_kill)
+    final = victim.read_bytes()
+    if not final.startswith(prefix):
+        problems.append(
+            "resumed journal does not byte-preserve the pre-kill prefix"
+        )
+    ref_records = journal_records(reference)
+    victim_records = journal_records(victim)
+    total = len(args.sizes) * TOTAL_DEGREES * args.trials
+    if len(ref_records) != total:
+        problems.append(
+            f"reference journal has {len(ref_records)} records, "
+            f"expected {total}"
+        )
+    if victim_records != ref_records:
+        missing = sorted(set(ref_records) - set(victim_records))
+        extra = sorted(set(victim_records) - set(ref_records))
+        diff = sorted(
+            k
+            for k in set(ref_records) & set(victim_records)
+            if ref_records[k] != victim_records[k]
+        )
+        problems.append(
+            "resumed record stream differs from the uninterrupted run: "
+            f"missing={missing} extra={extra} differing={diff}"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL a table1 sweep mid-flight, resume it, and "
+        "verify the merged record stream matches an uninterrupted run."
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[30, 40], metavar="N"
+    )
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sleep",
+        type=float,
+        default=0.4,
+        help="injected per-trial brake so the kill lands mid-flight",
+    )
+    parser.add_argument(
+        "--min-records",
+        type=int,
+        default=2,
+        help="completed trials to wait for before killing the victim",
+    )
+    parser.add_argument(
+        "--stage-timeout",
+        type=float,
+        default=180.0,
+        help="per-stage subprocess timeout in seconds",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for the journals (kept; uploadable as a CI "
+        "artifact). Default: a fresh temp directory.",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = Path(
+        args.workdir or tempfile.mkdtemp(prefix="interruption-smoke-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    print(f"journals under {workdir}", flush=True)
+
+    reference = run_reference(args, workdir)
+    print(f"reference run complete: {count_records(reference)} records")
+    victim, pre_kill = run_victim(args, workdir)
+    run_resume(args, victim)
+    problems = verdict(args, reference, victim, pre_kill)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            f"PASS: kill-and-resume preserved all "
+            f"{count_records(victim)} records"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
