@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py [n]
 
 import sys
 
-from repro import build_polar_grid_tree, unit_disk
+from repro import build, unit_disk
 
 
 def main() -> None:
@@ -18,7 +18,7 @@ def main() -> None:
     # Row 0 is the source at the disk centre; rows 1.. are receivers.
     points = unit_disk(n, seed=7)
 
-    result = build_polar_grid_tree(points, source=0, max_out_degree=6)
+    result = build(points, source=0, spec="polar-grid", max_out_degree=6)
     tree = result.tree
     tree.validate(max_out_degree=6)
 

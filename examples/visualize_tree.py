@@ -19,8 +19,7 @@ Run:  python examples/visualize_tree.py [n]
 import sys
 from pathlib import Path
 
-from repro import build_bisection_tree, build_polar_grid_tree, unit_disk
-from repro.baselines import compact_tree
+from repro import build, unit_disk
 from repro.viz import save_svg
 
 OUT_DIR = Path(__file__).resolve().parent
@@ -31,10 +30,10 @@ def main() -> None:
     points = unit_disk(n, seed=42)
 
     trees = {
-        "polar_grid_deg6": build_polar_grid_tree(points, 0, 6).tree,
-        "polar_grid_deg2": build_polar_grid_tree(points, 0, 2).tree,
-        "bisection_only": build_bisection_tree(points, 0, 4).tree,
-        "compact_tree": compact_tree(points, 0, 6),
+        "polar_grid_deg6": build(points, 0, "polar-grid", max_out_degree=6).tree,
+        "polar_grid_deg2": build(points, 0, "polar-grid", max_out_degree=2).tree,
+        "bisection_only": build(points, 0, "bisection", max_out_degree=4).tree,
+        "compact_tree": build(points, 0, "compact-tree", max_out_degree=6).tree,
     }
 
     for name, tree in trees.items():

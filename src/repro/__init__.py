@@ -12,15 +12,25 @@ source-to-receiver path, i.e. the maximum multicast delay.
 Top-level API
 -------------
 
-``build_polar_grid_tree``
-    Algorithm Polar_Grid (the paper's main contribution): asymptotically
-    optimal degree-constrained trees for points in a d-dimensional region.
-``build_bisection_tree``
-    The constant-factor Bisection algorithm of Section II, usable on its
-    own for arbitrary point sets.
+``build(points, source, spec, **params)``
+    The unified builder facade: dispatches by registered builder name
+    (``"polar-grid"``, ``"bisection"``, ``"quadtree"``,
+    ``"min-diameter"``, ``"heterogeneous"``, ``"compact-tree"``,
+    ``"bandwidth-latency"``, ``"capped-star"``, ``"random"``) with
+    normalized keyword parameters and a uniform
+    :class:`~repro.core.builder.BuildResult` return shape.
+``register_builder`` / ``get_builder`` / ``builder_names``
+    The registry behind the facade (see :mod:`repro.core.registry`).
 ``MulticastTree``
     Vectorised rooted-tree container with validity checking and
     O(n log depth) delay evaluation.
+
+The per-algorithm entry points (``build_polar_grid_tree``,
+``build_bisection_tree``, ``build_min_diameter_tree``) remain importable
+from this package as *deprecated* shims that forward to ``repro.build``
+with a :class:`DeprecationWarning`; they will be removed in repro 2.0.
+The canonical implementations stay in their home modules
+(:mod:`repro.core.builder`, :mod:`repro.core.diameter`).
 
 Sub-packages
 ------------
@@ -34,6 +44,8 @@ Sub-packages
 ``repro.experiments`` harnesses reproducing Table I and Figures 4-8
 """
 
+import warnings as _warnings
+
 from repro.core.bounds import (
     arc_length,
     lemma1_probability,
@@ -41,13 +53,19 @@ from repro.core.bounds import (
     rings_lower_bound,
     sum_of_inner_arcs,
 )
-from repro.core.builder import (
-    BuildResult,
-    build_bisection_tree,
-    build_polar_grid_tree,
-)
-from repro.core.diameter import build_min_diameter_tree, tree_diameter
+from repro.core.builder import BuildResult
+from repro.core.diameter import tree_diameter
 from repro.core.io import load_tree, save_tree
+from repro.core.registry import (
+    BuilderParamError,
+    BuilderSpec,
+    UnknownBuilderError,
+    build,
+    builder_names,
+    builder_specs,
+    get_builder,
+    register_builder,
+)
 from repro.core.tree import MulticastTree
 from repro.overlay.dynamic import DynamicOverlay
 from repro.overlay.host import Host
@@ -61,17 +79,25 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BuildResult",
+    "BuilderParamError",
+    "BuilderSpec",
     "DynamicOverlay",
     "Host",
     "MulticastSession",
     "MulticastTree",
+    "UnknownBuilderError",
     "arc_length",
+    "build",
     "build_bisection_tree",
     "build_min_diameter_tree",
     "build_polar_grid_tree",
+    "builder_names",
+    "builder_specs",
+    "get_builder",
     "lemma1_probability",
     "load_tree",
     "polar_grid_upper_bound",
+    "register_builder",
     "rings_lower_bound",
     "save_tree",
     "sum_of_inner_arcs",
@@ -80,3 +106,70 @@ __all__ = [
     "unit_disk",
     "__version__",
 ]
+
+
+# ----------------------------------------------------------------------
+# deprecated per-algorithm entry points (removal horizon: repro 2.0)
+# ----------------------------------------------------------------------
+
+def _deprecated(old: str, hint: str) -> None:
+    _warnings.warn(
+        f"repro.{old} is deprecated and will be removed in repro 2.0; "
+        f"use {hint} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _shim_build_polar_grid_tree(points, source=0, max_out_degree=6, **kwargs):
+    """Deprecated alias for ``repro.build(points, source, "polar-grid")``."""
+    _deprecated(
+        "build_polar_grid_tree",
+        'repro.build(points, source, "polar-grid", max_out_degree=...)',
+    )
+    return build(points, source, "polar-grid", max_out_degree=max_out_degree, **kwargs)
+
+
+def _shim_build_bisection_tree(points, source=0, max_out_degree=6, **kwargs):
+    """Deprecated alias for ``repro.build(points, source, "bisection")``."""
+    _deprecated(
+        "build_bisection_tree",
+        'repro.build(points, source, "bisection", max_out_degree=...)',
+    )
+    return build(points, source, "bisection", max_out_degree=max_out_degree, **kwargs)
+
+
+def _shim_build_min_diameter_tree(points, max_out_degree=6, **kwargs):
+    """Deprecated alias for ``repro.build(points, 0, "min-diameter")``.
+
+    Preserves the historical ``(BuildResult, diameter)`` tuple return;
+    the facade reports the diameter on ``result.extras["diameter"]``.
+    """
+    _deprecated(
+        "build_min_diameter_tree",
+        'repro.build(points, 0, "min-diameter", max_out_degree=...)',
+    )
+    result = build(points, 0, "min-diameter", max_out_degree=max_out_degree, **kwargs)
+    return result, result.extras["diameter"]
+
+
+_DEPRECATED_SHIMS = {
+    "build_polar_grid_tree": _shim_build_polar_grid_tree,
+    "build_bisection_tree": _shim_build_bisection_tree,
+    "build_min_diameter_tree": _shim_build_min_diameter_tree,
+}
+
+
+def __getattr__(name: str):
+    """Serve the deprecated entry points lazily.
+
+    The warning fires inside the shim (call time), not here (import
+    time), so ``from repro import build_polar_grid_tree`` stays silent
+    and only *using* the old name warns.
+    """
+    try:
+        return _DEPRECATED_SHIMS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None

@@ -1,0 +1,45 @@
+"""Registry adapters for the baseline heuristics.
+
+The baselines predate :class:`~repro.core.builder.BuildResult` and
+return bare :class:`~repro.core.tree.MulticastTree` objects; registering
+them here (rather than editing each module) keeps their original
+signatures intact for direct callers while giving the
+:func:`repro.build` facade a uniform surface — the facade wraps the bare
+tree into a ``BuildResult`` with measured ``build_seconds``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bandwidth_latency import bandwidth_latency_tree
+from repro.baselines.compact_tree import compact_tree
+from repro.baselines.naive import capped_star, random_feasible_tree
+from repro.core.registry import register_builder
+
+__all__: list[str] = []
+
+
+register_builder(
+    "compact-tree",
+    summary="greedy min-delay heuristic (Shi-Turner compact-tree line), "
+    "per-node budgets",
+    wraps_tree=True,
+)(compact_tree)
+
+register_builder(
+    "bandwidth-latency",
+    summary="widest-shortest sequential joins (Chu et al.), "
+    "bandwidth classes",
+    wraps_tree=True,
+)(bandwidth_latency_tree)
+
+register_builder(
+    "capped-star",
+    summary="sanity baseline: source star plus nearest-attached overflow",
+    wraps_tree=True,
+)(capped_star)
+
+register_builder(
+    "random",
+    summary="null model: random feasible attachment order",
+    wraps_tree=True,
+)(random_feasible_tree)

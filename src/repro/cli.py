@@ -34,7 +34,7 @@ import sys
 from pathlib import Path
 
 import repro.obs as obs
-from repro.core.builder import build_polar_grid_tree
+from repro.core.registry import build, builder_names
 from repro.experiments import figures as figures_mod
 from repro.experiments.table1 import (
     DEFAULT_SIZES,
@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="independent trials per size",
         )
         p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+        p.add_argument(
+            "--builder",
+            choices=builder_names(),
+            default="polar-grid",
+            help="registered tree builder to sweep (default: polar-grid, "
+            "the paper's algorithm); see docs/API.md for the registry",
+        )
         p.add_argument(
             "--paper",
             action="store_true",
@@ -177,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_args(demo)
     demo.add_argument("--nodes", type=int, default=10_000)
     demo.add_argument("--degree", type=int, default=6)
+    demo.add_argument(
+        "--builder",
+        choices=builder_names(),
+        default="polar-grid",
+        help="registered tree builder to run (default: polar-grid)",
+    )
     demo.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument(
@@ -278,6 +291,90 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="K",
         help="how many slowest root spans to expand (default 3)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the tree-build service: a TCP server with a "
+        "content-addressed build cache, request coalescing, and "
+        "admission control (JSON-lines protocol, see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7464, help="bind port (default 7464)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="build threads (default 2)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        metavar="K",
+        help="bound on distinct in-flight builds; beyond it requests "
+        "are rejected with a structured ServiceOverload error",
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=int,
+        default=256,
+        metavar="MB",
+        help="in-memory build cache budget in MiB (LRU eviction)",
+    )
+    serve.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="spill evicted cache entries to DIR (e.g. results/cache) "
+        "so they reload from disk instead of rebuilding",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="default per-request build deadline in seconds "
+        "(requests may override; expiry is a structured "
+        "DeadlineExceeded error and the build still lands in the cache)",
+    )
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="closed-loop latency benchmark of the build service "
+        "(cold build vs cache hit vs coalesced; writes BENCH_serve.json)",
+    )
+    bench.add_argument("--nodes", type=int, default=20_000)
+    bench.add_argument(
+        "--builder",
+        choices=builder_names(),
+        default="polar-grid",
+        help="registered tree builder to benchmark",
+    )
+    bench.add_argument("--degree", type=int, default=6)
+    bench.add_argument(
+        "--warm",
+        type=int,
+        default=20,
+        metavar="K",
+        help="repeat count for the cache-hit phase (default 20)",
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent connections in the coalescing phase (default 8)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_serve.json",
+        help="where to write the JSON report (default BENCH_serve.json)",
     )
     return parser
 
@@ -410,6 +507,7 @@ def _dispatch(args) -> int:
             resilience=policy,
             journal=journal,
             failures=failures,
+            builder=args.builder,
         )
         if args.json:
             print(json.dumps([row.__dict__ for row in rows], indent=2))
@@ -433,6 +531,7 @@ def _dispatch(args) -> int:
             resilience=policy,
             journal=journal,
             failures=failures,
+            builder=args.builder,
         )
         print(fig.render())
         if args.data:
@@ -453,6 +552,7 @@ def _dispatch(args) -> int:
             args.out, sizes=sizes, trials=trials, seed=args.seed,
             progress=print, engine=args.engine, max_workers=args.workers,
             resilience=policy, journal=journal, failures=failures,
+            builder=args.builder,
         )
         print(f"{len(written)} files in {args.out}")
         if policy is not None:
@@ -464,9 +564,10 @@ def _dispatch(args) -> int:
             points = unit_disk(args.nodes, seed=args.seed)
         else:
             points = unit_ball(args.nodes, dim=args.dim, seed=args.seed)
-        result = build_polar_grid_tree(points, 0, args.degree)
+        result = build(points, 0, args.builder, max_out_degree=args.degree)
         summary = result.tree.summary()
         summary.update(
+            builder=result.builder,
             rings=result.rings,
             core_delay=result.core_delay,
             bound=result.upper_bound,
@@ -487,13 +588,14 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "diameter":
-        from repro.core.diameter import build_min_diameter_tree
-
         if args.dim == 2:
             points = unit_disk(args.nodes, seed=args.seed)
         else:
             points = unit_ball(args.nodes, dim=args.dim, seed=args.seed)
-        result, diameter = build_min_diameter_tree(points, args.degree)
+        result = build(
+            points, 0, "min-diameter", max_out_degree=args.degree
+        )
+        diameter = result.extras["diameter"]
         print(f"{'nodes':>15}: {args.nodes}")
         print(f"{'root index':>15}: {result.tree.root}")
         print(f"{'diameter':>15}: {diameter:.4f}")
@@ -535,6 +637,51 @@ def _dispatch(args) -> int:
             max_crashes=args.max_crashes,
             shrink=not args.no_shrink,
         )
+
+    if args.command == "serve":
+        from repro.experiments.resilience import ResiliencePolicy
+        from repro.service import BuildCache, run_server
+
+        policy = (
+            ResiliencePolicy(timeout=args.timeout)
+            if args.timeout is not None
+            else None
+        )
+        cache = BuildCache(
+            max_bytes=args.cache_mb * 1024 * 1024, spill_dir=args.spill_dir
+        )
+        return run_server(
+            host=args.host,
+            port=args.port,
+            cache=cache,
+            max_pending=args.max_pending,
+            policy=policy,
+            max_workers=args.workers,
+        )
+
+    if args.command == "bench-serve":
+        from repro.service import run_bench
+
+        report = run_bench(
+            n=args.nodes,
+            builder=args.builder,
+            max_out_degree=args.degree,
+            warm_requests=args.warm,
+            clients=args.clients,
+            seed=args.seed,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(
+            f"cold {report['cold_seconds']:.4f}s | warm median "
+            f"{report['warm_seconds_median'] * 1000:.2f}ms | "
+            f"speedup {report['speedup']:.0f}x | "
+            f"{report['coalesce']['clients']} concurrent identical "
+            f"requests -> {report['coalesce']['builds']} build(s) | "
+            f"oracle {'ok' if report['oracle_ok'] else 'FAILED'}"
+        )
+        print(f"report -> {args.out}")
+        return 0 if report["oracle_ok"] and report["coalesce"]["builds"] == 1 else 1
 
     if args.command == "scorecard":
         from repro.experiments.scorecard import run_scorecard

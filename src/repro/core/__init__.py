@@ -12,6 +12,8 @@
   core tree (Sections III-B and IV-A);
 * :mod:`repro.core.builder` — ``build_polar_grid_tree`` /
   ``build_bisection_tree`` front doors;
+* :mod:`repro.core.registry` — the named builder registry behind the
+  :func:`repro.build` facade;
 * :mod:`repro.core.bounds` — the analytic quantities of the paper
   (``Delta_i``, ``S_k``, equations (1), (2), (7), Lemmas 1-2).
 """
@@ -36,10 +38,28 @@ from repro.core.grid_nd import PolarGridND
 from repro.core.heterogeneous import build_heterogeneous_tree
 from repro.core.io import load_tree, save_tree
 from repro.core.quadtree import build_quadtree_tree, quadtree_path_bound
+from repro.core.registry import (
+    BuilderParamError,
+    BuilderSpec,
+    UnknownBuilderError,
+    build,
+    builder_names,
+    builder_specs,
+    get_builder,
+    register_builder,
+)
 from repro.core.tree import MulticastTree
 
 __all__ = [
     "BuildResult",
+    "BuilderParamError",
+    "BuilderSpec",
+    "UnknownBuilderError",
+    "build",
+    "builder_names",
+    "builder_specs",
+    "get_builder",
+    "register_builder",
     "MulticastTree",
     "PolarGrid",
     "PolarGridND",

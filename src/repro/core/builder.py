@@ -29,6 +29,7 @@ from repro.core.bisection import (
 from repro.core.core_network import wire_cells
 from repro.core.grid import PolarGrid
 from repro.core.grid_nd import PolarGridND, choose_ring_count
+from repro.core.registry import register_builder
 from repro.core.tree import MulticastTree
 from repro.geometry.points import validate_points
 from repro.geometry.polar import TWO_PI, SphericalTransform
@@ -75,6 +76,11 @@ class BuildResult:
     * ``upper_bound`` — equation (7) evaluated at ``j = 0`` for this
       run's ``k`` (``None`` when no 2-D bound applies);
     * ``build_seconds`` — the "CPU Sec" column.
+
+    ``builder`` names the registered algorithm that produced the result
+    (stamped by the :func:`repro.build` facade); ``extras`` carries
+    builder-specific auxiliary outputs (e.g. ``"diameter"`` for the
+    min-diameter variant).
     """
 
     tree: MulticastTree
@@ -86,6 +92,8 @@ class BuildResult:
     representative_count: int = 0
     grid: PolarGridND | None = None
     representatives: np.ndarray = field(default=None, repr=False)
+    builder: str | None = None
+    extras: dict = field(default_factory=dict)
 
     @property
     def radius(self) -> float:
@@ -120,6 +128,11 @@ def _fallback_chain(
     return MulticastTree(points=points, parent=parent, root=source)
 
 
+@register_builder(
+    "polar-grid",
+    summary="Algorithm Polar_Grid — asymptotically optimal (the paper's "
+    "main contribution)",
+)
 def build_polar_grid_tree(
     points,
     source: int = 0,
@@ -361,6 +374,10 @@ def _build_polar_grid_impl(
     )
 
 
+@register_builder(
+    "bisection",
+    summary="Section II constant-factor bisection (factor 5/9 in 2-D)",
+)
 def build_bisection_tree(
     points,
     source: int = 0,

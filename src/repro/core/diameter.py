@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.builder import BuildResult, build_polar_grid_tree
+from repro.core.registry import register_builder
 from repro.core.tree import MulticastTree
 from repro.geometry.points import distances_from, validate_points
 
@@ -131,3 +132,22 @@ def build_min_diameter_tree(
         points, root, max_out_degree, **grid_kwargs
     )
     return result, tree_diameter(result.tree)
+
+
+@register_builder(
+    "min-diameter",
+    summary="Conclusion's variant: artificial central root minimising "
+    "the tree diameter",
+)
+def _min_diameter_builder(points, source: int = 0, max_out_degree: int = 6, **grid_kwargs):
+    """Registry adapter for :func:`build_min_diameter_tree`.
+
+    ``source`` is advisory only — the variant picks its own root near
+    the approximate 1-centre (recorded on ``result.tree.root``). The
+    measured diameter lands on ``result.extras["diameter"]``.
+    """
+    result, diameter = build_min_diameter_tree(
+        points, max_out_degree, **grid_kwargs
+    )
+    result.extras["diameter"] = diameter
+    return result

@@ -28,10 +28,43 @@ import time
 import numpy as np
 
 from repro.core.builder import BuildResult, build_polar_grid_tree
+from repro.core.registry import register_builder
 from repro.core.tree import MulticastTree
 from repro.geometry.points import validate_points
 
 __all__ = ["build_heterogeneous_tree"]
+
+
+@register_builder(
+    "heterogeneous",
+    summary="binary polar-grid backbone over forwarders, leaf-only "
+    "hosts on spare capacity",
+)
+def _heterogeneous_builder(
+    points,
+    source: int = 0,
+    *,
+    budgets=None,
+    max_out_degree: int | None = None,
+    **grid_kwargs,
+):
+    """Registry adapter for :func:`build_heterogeneous_tree`.
+
+    Accepts either per-host ``budgets`` (the native contract) or a
+    scalar ``max_out_degree`` normalized into a uniform budget array;
+    exactly one must be given.
+    """
+    if budgets is None:
+        if max_out_degree is None:
+            raise ValueError(
+                "the heterogeneous builder needs per-host 'budgets' "
+                "(or a uniform 'max_out_degree' to derive them from)"
+            )
+        n = np.asarray(points, dtype=np.float64).shape[0]
+        budgets = np.full(n, int(max_out_degree), dtype=np.int64)
+    elif max_out_degree is not None:
+        raise ValueError("pass either 'budgets' or 'max_out_degree', not both")
+    return build_heterogeneous_tree(points, budgets, source, **grid_kwargs)
 
 
 def build_heterogeneous_tree(

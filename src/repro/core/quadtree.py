@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from repro.core.builder import BuildResult
+from repro.core.registry import register_builder
 from repro.core.tree import MulticastTree
 from repro.geometry.points import validate_points
 
@@ -133,6 +134,10 @@ def _run_binary(stack, points, parent, dim):
                 stack.append((rep, group, box, next_axis))
 
 
+@register_builder(
+    "quadtree",
+    summary="square-grid bisection over the bounding box (2^d / binary)",
+)
 def build_quadtree_tree(
     points,
     source: int = 0,

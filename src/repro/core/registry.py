@@ -1,0 +1,323 @@
+"""Unified builder registry: one front door for every tree algorithm.
+
+Historically every algorithm shipped its own differently-shaped entry
+point — ``build_polar_grid_tree(points, source, max_out_degree, *, k,
+...)``, ``build_min_diameter_tree(points, max_out_degree)`` returning a
+``(result, diameter)`` tuple, baselines returning bare
+:class:`~repro.core.tree.MulticastTree` objects — so every consumer
+(CLI, experiments, fuzzer, overlay sessions, and now the build service)
+grew its own dispatch table. This module replaces those tables with one
+registry:
+
+* :class:`BuilderSpec` — the descriptor of one registered builder:
+  name, callable, one-line summary, and the normalized keyword
+  parameters it accepts;
+* :func:`register_builder` — a decorator builder modules apply to their
+  entry point (``@register_builder("polar-grid", summary=...)``);
+* :func:`build` — the facade: ``build(points, source, "quadtree",
+  max_out_degree=4)`` dispatches by name, normalizes the return value
+  into a :class:`~repro.core.builder.BuildResult`, and raises
+  *structured* errors (:class:`UnknownBuilderError` listing the known
+  names, :class:`BuilderParamError` listing the accepted kwargs).
+
+Normalized parameter names
+--------------------------
+
+Every registered builder takes ``(points, source=0, **params)`` where
+the parameter vocabulary is shared across builders: ``max_out_degree``
+(fan-out budget), ``seed`` (for the randomised baselines), ``budgets``
+(per-host fan-outs where supported), plus builder-specific extras
+(``k``, ``fit_annulus``, ``occupancy``, ``representative_rule``).
+Builders that pick their own root (``min-diameter``) still accept
+``source`` and record the root they chose on the result.
+
+The registry is the single dispatch point for the whole repo: the CLI's
+``--builder`` flag, the sweep engine's :class:`TrialTask`, the
+differential/fuzz harnesses, overlay sessions, and
+:mod:`repro.service` all resolve names here. The facade is re-exported
+as ``repro.build``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BuilderSpec",
+    "UnknownBuilderError",
+    "BuilderParamError",
+    "register_builder",
+    "get_builder",
+    "builder_names",
+    "builder_specs",
+    "unregister_builder",
+    "build",
+]
+
+
+class UnknownBuilderError(ValueError):
+    """Raised when a builder name is not in the registry.
+
+    Carries the offending ``name`` and the tuple of ``known`` names so
+    callers (the CLI, the service's error responses) can render an
+    actionable message without parsing the string.
+    """
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown builder {name!r}; registered builders: "
+            + ", ".join(known)
+        )
+
+
+class BuilderParamError(TypeError):
+    """Raised when a builder is handed parameters it does not accept.
+
+    Carries ``builder``, the ``rejected`` parameter names, and the
+    ``accepted`` vocabulary, so error responses stay structured.
+    """
+
+    def __init__(
+        self,
+        builder: str,
+        rejected: tuple[str, ...],
+        accepted: tuple[str, ...],
+        reason: str | None = None,
+    ):
+        self.builder = builder
+        self.rejected = rejected
+        self.accepted = accepted
+        detail = reason or (
+            f"unexpected parameter(s) {', '.join(sorted(rejected))}"
+        )
+        super().__init__(
+            f"builder {builder!r}: {detail}; accepted parameters: "
+            + ", ".join(accepted)
+        )
+
+
+@dataclass(frozen=True)
+class BuilderSpec:
+    """One registered builder and the contract it exposes.
+
+    :param name: registry key (kebab-case, e.g. ``"polar-grid"``).
+    :param fn: the callable, signature ``fn(points, source=0, **params)``.
+    :param summary: one-line human description (shown by ``--builder``
+        help and the service's introspection endpoint).
+    :param params: normalized keyword parameter names ``fn`` accepts
+        (derived from its signature at registration time).
+    :param required: parameters without defaults that the caller must
+        supply (e.g. nothing for most builders).
+    :param wraps_tree: True when ``fn`` returns a bare
+        :class:`~repro.core.tree.MulticastTree` that the facade wraps
+        into a :class:`~repro.core.builder.BuildResult`.
+    """
+
+    name: str
+    fn: object = field(repr=False)
+    summary: str = ""
+    params: tuple[str, ...] = ()
+    required: tuple[str, ...] = ()
+    wraps_tree: bool = False
+
+
+_REGISTRY: dict[str, BuilderSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def _inspect_params(fn) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """``(accepted, required)`` keyword parameter names of a builder.
+
+    ``points`` and ``source`` are positional in the facade contract and
+    excluded from the keyword vocabulary. A ``**kwargs`` catch-all marks
+    the builder as open (it forwards extras, e.g. grid kwargs), which
+    the facade records as the ``"..."`` sentinel.
+    """
+    accepted: list[str] = []
+    required: list[str] = []
+    for pname, param in inspect.signature(fn).parameters.items():
+        if pname in ("points", "source"):
+            continue
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            accepted.append("...")
+            continue
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            continue
+        accepted.append(pname)
+        if param.default is inspect.Parameter.empty:
+            required.append(pname)
+    return tuple(accepted), tuple(required)
+
+
+def register_builder(
+    name: str, *, summary: str = "", wraps_tree: bool = False
+):
+    """Class the decorated callable as the builder registered as ``name``.
+
+    The callable must follow the facade contract
+    ``fn(points, source=0, **normalized_params)``. Registration is
+    idempotent per name — re-registering a name overwrites it, which is
+    what tests use to inject instrumented builders (restore with
+    :func:`unregister_builder`).
+
+    >>> @register_builder("doc-demo", summary="docstring example")
+    ... def _demo(points, source=0, max_out_degree=2):
+    ...     from repro.baselines.naive import capped_star
+    ...     return capped_star(points, source, max_out_degree)
+    >>> get_builder("doc-demo").params
+    ('max_out_degree',)
+    >>> unregister_builder("doc-demo") is not None
+    True
+    """
+
+    def _register(fn):
+        params, required = _inspect_params(fn)
+        _REGISTRY[name] = BuilderSpec(
+            name=name,
+            fn=fn,
+            summary=summary,
+            params=params,
+            required=required,
+            wraps_tree=wraps_tree,
+        )
+        return fn
+
+    return _register
+
+
+def unregister_builder(name: str) -> BuilderSpec | None:
+    """Remove ``name`` from the registry; returns the removed spec.
+
+    Exists for tests that temporarily register instrumented builders;
+    production code never unregisters.
+    """
+    return _REGISTRY.pop(name, None)
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in builders.
+
+    Dispatching by name must work even when the caller imported only
+    this module — the home modules self-register at import, so pull
+    them in once, lazily (they import this module for the decorator,
+    hence the deferral).
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.baselines.adapters  # noqa: F401
+    import repro.core.builder  # noqa: F401
+    import repro.core.diameter  # noqa: F401
+    import repro.core.heterogeneous  # noqa: F401
+    import repro.core.quadtree  # noqa: F401
+
+
+def get_builder(spec) -> BuilderSpec:
+    """Resolve a builder name (or pass a :class:`BuilderSpec` through).
+
+    :raises UnknownBuilderError: for names not in the registry.
+    """
+    if isinstance(spec, BuilderSpec):
+        return spec
+    _ensure_builtins()
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise UnknownBuilderError(
+            str(spec), builder_names()
+        ) from None
+
+
+def builder_names() -> tuple[str, ...]:
+    """All registered builder names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def builder_specs() -> tuple[BuilderSpec, ...]:
+    """All registered specs, sorted by name."""
+    _ensure_builtins()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def _check_params(spec: BuilderSpec, params: dict) -> None:
+    """Validate ``params`` against the spec's vocabulary (structured)."""
+    missing = tuple(p for p in spec.required if p not in params)
+    if missing:
+        raise BuilderParamError(
+            spec.name,
+            missing,
+            spec.params,
+            reason=f"missing required parameter(s) {', '.join(missing)}",
+        )
+    if "..." in spec.params:
+        return  # open signature: the builder forwards extras itself
+    rejected = tuple(k for k in params if k not in spec.params)
+    if rejected:
+        raise BuilderParamError(spec.name, rejected, spec.params)
+
+
+def build(points, source: int = 0, spec="polar-grid", **params):
+    """Build a degree-bounded multicast tree with any registered builder.
+
+    The single public entry point for tree construction::
+
+        import repro
+        result = repro.build(points, 0, "polar-grid", max_out_degree=6)
+        result = repro.build(points, 0, "quadtree", max_out_degree=4)
+        result = repro.build(points, 0, "random", seed=42)
+
+    :param points: ``(n, d)`` host coordinates, source included.
+    :param source: index of the multicast source (builders that pick
+        their own root, e.g. ``min-diameter``, note the chosen root on
+        ``result.tree.root``).
+    :param spec: builder name (see :func:`builder_names`) or a
+        :class:`BuilderSpec`.
+    :param params: normalized keyword parameters (``max_out_degree``,
+        ``seed``, ``budgets``, builder-specific extras).
+    :returns: a :class:`~repro.core.builder.BuildResult` whose
+        ``builder`` field names the algorithm that produced it. Builders
+        that natively return a bare tree are wrapped (with measured
+        ``build_seconds``); builders with auxiliary outputs expose them
+        on ``result.extras`` (e.g. ``extras["diameter"]``).
+    :raises UnknownBuilderError: when ``spec`` names no registered
+        builder.
+    :raises BuilderParamError: when ``params`` contains names the
+        builder does not accept (or misses required ones).
+    """
+    import repro.obs as obs
+    from repro.core.builder import BuildResult
+    from repro.core.tree import MulticastTree
+
+    resolved = get_builder(spec)
+    _check_params(resolved, params)
+    started = time.perf_counter()
+    out = resolved.fn(points, source, **params)
+    elapsed = time.perf_counter() - started
+    if isinstance(out, MulticastTree):
+        # Per-node budget arrays have no single bound; report the
+        # fan-out the tree actually uses in that case.
+        budget = params.get("max_out_degree")
+        if budget is None or not np.isscalar(budget):
+            budget = out.max_out_degree()
+        out = BuildResult(
+            tree=out,
+            max_out_degree=int(budget),
+            build_seconds=elapsed,
+        )
+    elif not isinstance(out, BuildResult):
+        raise TypeError(
+            f"builder {resolved.name!r} returned {type(out).__name__}; "
+            "registered builders must return BuildResult or MulticastTree"
+        )
+    out.builder = resolved.name
+    obs.add("registry.build.total")
+    obs.add(f"registry.build.{resolved.name}.total")
+    return out

@@ -74,18 +74,38 @@ class MulticastTree:
 
     @classmethod
     def from_edges(cls, points: np.ndarray, edges, root: int) -> "MulticastTree":
-        """Build from ``(parent, child)`` pairs; missing children are an error."""
+        """Build from ``(parent, child)`` pairs; missing children are an error.
+
+        All defects are collected before raising — the single
+        :class:`TreeInvariantError` names *every* node with two parents
+        and every parentless node, so fuzz shrinkers and crash artifacts
+        see the full extent of a bad edge list instead of just its first
+        symptom.
+        """
         points = np.asarray(points, dtype=np.float64)
         n = points.shape[0]
         parent = np.full(n, -1, dtype=np.int64)
         parent[root] = root
+        multi_parent: list[int] = []
         for u, v in edges:
             if parent[v] != -1:
-                raise TreeInvariantError(f"node {v} has two parents")
+                if v not in multi_parent:
+                    multi_parent.append(int(v))
+                continue
             parent[v] = u
-        if np.any(parent < 0):
-            missing = int(np.flatnonzero(parent < 0)[0])
-            raise TreeInvariantError(f"node {missing} has no parent")
+        orphans = np.flatnonzero(parent < 0).tolist()
+        if multi_parent or orphans:
+            problems = []
+            if multi_parent:
+                problems.append(
+                    f"nodes with two parents or more: {sorted(multi_parent)}"
+                )
+            if orphans:
+                problems.append(f"nodes with no parent: {orphans}")
+            raise TreeInvariantError(
+                "edge list does not describe a rooted tree: "
+                + "; ".join(problems)
+            )
         return cls(points=points, parent=parent, root=root)
 
     def edges(self) -> np.ndarray:

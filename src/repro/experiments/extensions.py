@@ -23,14 +23,7 @@ from statistics import mean
 
 import numpy as np
 
-from repro.baselines import (
-    bandwidth_latency_tree,
-    capped_star,
-    compact_tree,
-    random_feasible_tree,
-)
-from repro.core.builder import build_bisection_tree, build_polar_grid_tree
-from repro.core.quadtree import build_quadtree_tree
+from repro.core.registry import build
 from repro.experiments.reporting import format_table
 from repro.workloads.generators import (
     annulus_points,
@@ -69,7 +62,7 @@ def degree_sweep(
         delays, depths = [], []
         for trial in range(trials):
             points = unit_disk(n, seed=seed + trial)
-            result = build_polar_grid_tree(points, 0, degree)
+            result = build(points, 0, "polar-grid", max_out_degree=degree)
             delays.append(result.radius)
             depths.append(int(result.tree.depths().max()))
         rows.append(
@@ -120,7 +113,9 @@ def region_study(
         ratios, rings = [], []
         for trial in range(trials):
             points, kwargs = make(n, seed + trial)
-            result = build_polar_grid_tree(points, 0, 6, **kwargs)
+            result = build(
+                points, 0, "polar-grid", max_out_degree=6, **kwargs
+            )
             ratios.append(result.radius / _lower_bound(points))
             rings.append(result.rings)
         rows.append(
@@ -133,15 +128,21 @@ def region_study(
     return rows
 
 
+#: ``label -> (registry name, extra params)`` — every row dispatches
+#: through :func:`repro.build`, so a newly registered builder only needs
+#: one entry here to join the showdown.
 ALGORITHMS = {
-    "polar-grid deg6": lambda pts: build_polar_grid_tree(pts, 0, 6).tree,
-    "polar-grid deg2": lambda pts: build_polar_grid_tree(pts, 0, 2).tree,
-    "quadtree deg4": lambda pts: build_quadtree_tree(pts, 0, 4).tree,
-    "bisection deg4": lambda pts: build_bisection_tree(pts, 0, 4).tree,
-    "compact-tree deg6": lambda pts: compact_tree(pts, 0, 6),
-    "bw-latency deg6": lambda pts: bandwidth_latency_tree(pts, 0, 6, seed=0),
-    "capped-star deg6": lambda pts: capped_star(pts, 0, 6),
-    "random deg6": lambda pts: random_feasible_tree(pts, 0, 6, seed=0),
+    "polar-grid deg6": ("polar-grid", {"max_out_degree": 6}),
+    "polar-grid deg2": ("polar-grid", {"max_out_degree": 2}),
+    "quadtree deg4": ("quadtree", {"max_out_degree": 4}),
+    "bisection deg4": ("bisection", {"max_out_degree": 4}),
+    "compact-tree deg6": ("compact-tree", {"max_out_degree": 6}),
+    "bw-latency deg6": (
+        "bandwidth-latency",
+        {"max_out_degree": 6, "seed": 0},
+    ),
+    "capped-star deg6": ("capped-star", {"max_out_degree": 6}),
+    "random deg6": ("random", {"max_out_degree": 6, "seed": 0}),
 }
 
 
@@ -150,9 +151,9 @@ def algorithm_showdown(n: int = 5_000, seed: int = 0) -> list[dict]:
     points = unit_disk(n, seed=seed)
     bound = _lower_bound(points)
     rows = []
-    for name, build in ALGORITHMS.items():
+    for name, (builder, params) in ALGORITHMS.items():
         start = time.perf_counter()
-        tree = build(points)
+        tree = build(points, 0, builder, **params).tree
         elapsed = time.perf_counter() - start
         rows.append(
             {

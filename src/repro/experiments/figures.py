@@ -74,6 +74,7 @@ def sweep(
     resilience=None,
     journal=None,
     failures: list | None = None,
+    builder: str = "polar-grid",
 ) -> dict[tuple[int, int], AggregateRow]:
     """Run the Section V sweep once; figures 4-7 all read from it.
 
@@ -88,6 +89,8 @@ def sweep(
         kill-and-resume sweeps (see docs/OPERATIONS.md).
     :param failures: optional list collecting permanent ``TrialFailure``
         rows from a resilient run.
+    :param builder: registry name of the tree builder (default
+        ``"polar-grid"``); see :func:`repro.builder_names`.
     :returns: mapping ``(n, degree) -> AggregateRow``.
     """
     out = {}
@@ -104,6 +107,7 @@ def sweep(
                 resilience=resilience,
                 journal=journal,
                 failures=failures,
+                builder=builder,
             )
             if not records:
                 continue  # resilient mode: every trial failed permanently
@@ -125,6 +129,7 @@ def figure4(
     resilience=None,
     journal=None,
     failures=None,
+    builder="polar-grid",
 ):
     """Figure 4: average maximum delay vs the eq. (7) bound and the core
     delay, for the out-degree-6 tree."""
@@ -139,6 +144,7 @@ def figure4(
             resilience=resilience,
             journal=journal,
             failures=failures,
+            builder=builder,
         )
     xs = _sizes_of(results, 6)
     rows = [results[(n, 6)] for n in xs]
@@ -165,6 +171,7 @@ def figure5(
     resilience=None,
     journal=None,
     failures=None,
+    builder="polar-grid",
 ):
     """Figure 5: average maximum delay, out-degree 2 vs out-degree 6."""
     if results is None:
@@ -178,6 +185,7 @@ def figure5(
             resilience=resilience,
             journal=journal,
             failures=failures,
+            builder=builder,
         )
     xs = _sizes_of(results, 6)
     return FigureData(
@@ -202,6 +210,7 @@ def figure6(
     resilience=None,
     journal=None,
     failures=None,
+    builder="polar-grid",
 ):
     """Figure 6: average number of rings k in the grid vs n.
 
@@ -219,6 +228,7 @@ def figure6(
             resilience=resilience,
             journal=journal,
             failures=failures,
+            builder=builder,
         )
     xs = _sizes_of(results, 6)
     return FigureData(
@@ -240,6 +250,7 @@ def figure7(
     resilience=None,
     journal=None,
     failures=None,
+    builder="polar-grid",
 ):
     """Figure 7: algorithm running time vs n (near-linear growth)."""
     if results is None:
@@ -253,6 +264,7 @@ def figure7(
             resilience=resilience,
             journal=journal,
             failures=failures,
+            builder=builder,
         )
     xs = _sizes_of(results, 6)
     return FigureData(
@@ -279,6 +291,7 @@ def save_all_figures(
     resilience=None,
     journal=None,
     failures: list | None = None,
+    builder: str = "polar-grid",
 ) -> list:
     """Regenerate Figures 4-8 into ``directory`` as SVG + ASCII text.
 
@@ -314,6 +327,7 @@ def save_all_figures(
         resilience=resilience,
         journal=journal,
         failures=failures,
+        builder=builder,
     )
     if progress:
         progress("running the 3-D sweep (figure 8)...")
@@ -328,6 +342,7 @@ def save_all_figures(
         resilience=resilience,
         journal=journal,
         failures=failures,
+        builder=builder,
     )
 
     written = []
@@ -358,6 +373,7 @@ def figure8(
     resilience=None,
     journal=None,
     failures=None,
+    builder="polar-grid",
 ):
     """Figure 8: average maximum delay in the 3-D unit sphere.
 
@@ -377,6 +393,7 @@ def figure8(
             resilience=resilience,
             journal=journal,
             failures=failures,
+            builder=builder,
         )
     xs = _sizes_of(results, 10)
     return FigureData(

@@ -46,7 +46,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import repro.obs as obs
-from repro.core.builder import build_polar_grid_tree
+from repro.core.registry import build
 from repro.experiments.runner import TrialRecord
 from repro.workloads.generators import unit_ball, unit_disk
 
@@ -88,6 +88,7 @@ class TrialTask:
     seed: int
     trial_index: int | None = None
     attempt: int = 0
+    builder: str = "polar-grid"
 
 
 @dataclass(frozen=True)
@@ -140,9 +141,11 @@ def execute_trial(task: TrialTask) -> TrialRecord:
 
     Top-level (module-scope) so :class:`ProcessExecutor` can pickle it.
     The workload matches Section V: uniform unit disk for ``dim == 2``,
-    uniform unit ball otherwise, source at the centre. Timing
-    (``seconds``) is measured inside :func:`build_polar_grid_tree`, i.e.
-    per worker.
+    uniform unit ball otherwise, source at the centre. The tree builder
+    is resolved by ``task.builder`` through :func:`repro.build`
+    (default ``"polar-grid"``); timing (``seconds``) is measured inside
+    the build, i.e. per worker. Non-grid builders report ``None`` for
+    the grid-specific columns (``rings``, ``core_delay``, ``bound``).
     """
     if os.environ.get("REPRO_FAULTS"):
         # Test-only hook, inert unless the env var is set: the lazy
@@ -155,7 +158,9 @@ def execute_trial(task: TrialTask) -> TrialRecord:
         points = unit_disk(task.n, seed=task.seed)
     else:
         points = unit_ball(task.n, dim=task.dim, seed=task.seed)
-    result = build_polar_grid_tree(points, 0, task.max_out_degree)
+    result = build(
+        points, 0, task.builder, max_out_degree=task.max_out_degree
+    )
     return TrialRecord(
         n=task.n,
         max_out_degree=task.max_out_degree,
@@ -165,6 +170,7 @@ def execute_trial(task: TrialTask) -> TrialRecord:
         delay=result.radius,
         bound=result.upper_bound,
         seconds=result.build_seconds,
+        builder=task.builder,
     )
 
 

@@ -157,9 +157,17 @@ def attempt_task(task: TrialTask, attempt: int) -> TrialTask:
 
 
 def trial_key(task: TrialTask) -> str:
-    """The journal key identifying a trial across a whole campaign."""
+    """The journal key identifying a trial across a whole campaign.
+
+    Non-default builders get a ``:b<name>`` suffix; the default
+    (``"polar-grid"``) is left unsuffixed so journals written before the
+    builder field existed still replay.
+    """
     index = task.trial_index if task.trial_index is not None else task.seed
-    return f"n{task.n}:d{task.max_out_degree}:dim{task.dim}:t{index}"
+    key = f"n{task.n}:d{task.max_out_degree}:dim{task.dim}:t{index}"
+    if task.builder != "polar-grid":
+        key += f":b{task.builder}"
+    return key
 
 
 # ----------------------------------------------------------------------

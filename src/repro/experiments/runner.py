@@ -15,32 +15,44 @@ __all__ = ["TrialRecord", "AggregateRow", "run_trials", "aggregate"]
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """Metrics of a single build, mirroring Table I's columns."""
+    """Metrics of a single build, mirroring Table I's columns.
+
+    ``rings``, ``core_delay`` and ``bound`` are grid-specific: builders
+    without a polar-grid phase (``"compact-tree"``, ``"random"``, ...)
+    report ``None`` for them. ``builder`` names the registry entry the
+    tree came from.
+    """
 
     n: int
     max_out_degree: int
     dim: int
-    rings: int
-    core_delay: float
+    rings: int | None
+    core_delay: float | None
     delay: float
     bound: float | None
     seconds: float
+    builder: str = "polar-grid"
 
 
 @dataclass(frozen=True)
 class AggregateRow:
-    """Mean/std over the trials of one (n, degree, dim) configuration."""
+    """Mean/std over the trials of one (n, degree, dim) configuration.
+
+    The grid-specific columns (``rings``, ``core_delay``, ``bound``)
+    are ``None`` when no trial in the configuration reported them.
+    """
 
     n: int
     max_out_degree: int
     dim: int
     trials: int
-    rings: float
-    core_delay: float
+    rings: float | None
+    core_delay: float | None
     delay: float
     delay_std: float
     bound: float | None
     seconds: float
+    builder: str = "polar-grid"
 
 
 def run_trials(
@@ -54,6 +66,7 @@ def run_trials(
     resilience=None,
     journal=None,
     failures: list | None = None,
+    builder: str = "polar-grid",
 ) -> list[TrialRecord]:
     """Run ``trials`` independent builds on fresh uniform samples.
 
@@ -81,6 +94,8 @@ def run_trials(
     :param failures: optional list that collects the permanent
         :class:`TrialFailure` rows of a resilient run (ignored in the
         classic mode, which raises instead).
+    :param builder: registry name of the tree builder (default
+        ``"polar-grid"``); see :func:`repro.builder_names`.
     :raises TrialError: only in the classic (non-resilient) mode, if any
         trial raised. Every trial is attempted first; the error lists
         each failing seed and carries the successful records on
@@ -103,6 +118,7 @@ def run_trials(
             dim=dim,
             seed=seed + t,
             trial_index=t,
+            builder=builder,
         )
         for t in range(trials)
     ]
@@ -167,16 +183,19 @@ def aggregate(records: list[TrialRecord]) -> AggregateRow:
         ):
             raise ValueError("records mix configurations")
     delays = [r.delay for r in records]
+    rings = [r.rings for r in records if r.rings is not None]
+    core_delays = [r.core_delay for r in records if r.core_delay is not None]
     bounds = [r.bound for r in records if r.bound is not None]
     return AggregateRow(
         n=head.n,
         max_out_degree=head.max_out_degree,
         dim=head.dim,
         trials=len(records),
-        rings=mean(r.rings for r in records),
-        core_delay=mean(r.core_delay for r in records),
+        rings=mean(rings) if rings else None,
+        core_delay=mean(core_delays) if core_delays else None,
         delay=mean(delays),
         delay_std=pstdev(delays) if len(delays) > 1 else 0.0,
         bound=mean(bounds) if bounds else None,
         seconds=mean(r.seconds for r in records),
+        builder=head.builder,
     )

@@ -72,6 +72,7 @@ def run_table1(
     resilience=None,
     journal=None,
     failures: list | None = None,
+    builder: str = "polar-grid",
 ) -> list[AggregateRow]:
     """Regenerate Table I.
 
@@ -94,6 +95,9 @@ def run_table1(
         whole sweep kill-and-resume safe (see docs/OPERATIONS.md).
     :param failures: optional list collecting permanent ``TrialFailure``
         rows from a resilient run.
+    :param builder: registry name of the tree builder (default
+        ``"polar-grid"``); lets the sweep machinery benchmark any
+        registered algorithm against the paper's numbers.
     :returns: one :class:`AggregateRow` per (size, degree), sizes outer.
     """
     rows = []
@@ -109,6 +113,7 @@ def run_table1(
                 resilience=resilience,
                 journal=journal,
                 failures=failures,
+                builder=builder,
             )
             if not records:
                 continue  # resilient mode: every trial failed; row skipped
@@ -135,8 +140,8 @@ def format_table1(rows: list[AggregateRow], show_paper: bool = True) -> str:
         line = [
             row.n,
             row.max_out_degree,
-            round(row.rings, 2),
-            round(row.core_delay, 3),
+            None if row.rings is None else round(row.rings, 2),
+            None if row.core_delay is None else round(row.core_delay, 3),
             round(row.delay, 3),
             round(row.delay_std, 3),
             None if row.bound is None else round(row.bound, 3),

@@ -11,10 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.bandwidth_latency import bandwidth_latency_tree
-from repro.baselines.compact_tree import compact_tree
-from repro.baselines.naive import capped_star, random_feasible_tree
-from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.registry import build
 from repro.core.tree import MulticastTree
 from repro.overlay.host import Host
 from repro.overlay.metrics import TreeMetrics, evaluate_tree
@@ -107,47 +104,52 @@ class MulticastSession:
     # ------------------------------------------------------------------
 
     def build(self, seed=None, **kwargs) -> MulticastTree:
-        """Build (or rebuild) the distribution tree."""
+        """Build (or rebuild) the distribution tree.
+
+        Every algorithm dispatches through :func:`repro.build`; the
+        session only decides what degree argument each registered
+        builder receives (uniform minimum, per-host budgets, or the
+        heterogeneous backbone split).
+        """
         points = self.points()
         src = self.source_index
-        if self.algorithm == "polar-grid":
-            budgets = self.fanout_budgets()
-            if int(budgets.min()) >= 2:
-                result = build_polar_grid_tree(
-                    points, src, int(budgets.min()), **kwargs
-                )
-            else:
-                # Mixed population with leaf-only hosts: binary backbone
-                # over the forwarders, leaves attached to spare slots.
-                from repro.core.heterogeneous import build_heterogeneous_tree
-
-                result = build_heterogeneous_tree(
-                    points, budgets, src, **kwargs
-                )
-            self.tree = result.tree
-            self.last_build = result
-        elif self.algorithm == "bisection":
-            result = build_bisection_tree(
-                points, src, self._uniform_budget(), **kwargs
+        budgets = self.fanout_budgets()
+        if self.algorithm == "polar-grid" and int(budgets.min()) < 2:
+            # Mixed population with leaf-only hosts: binary backbone
+            # over the forwarders, leaves attached to spare slots.
+            result = build(
+                points, src, "heterogeneous", budgets=budgets, **kwargs
             )
-            self.tree = result.tree
-            self.last_build = result
-        elif self.algorithm == "compact-tree":
-            self.tree = compact_tree(points, src, self.fanout_budgets())
-            self.last_build = None
-        elif self.algorithm == "bandwidth-latency":
-            self.tree = bandwidth_latency_tree(
-                points, src, self.fanout_budgets(), seed=seed
+        elif self.algorithm in ("polar-grid", "bisection"):
+            result = build(
+                points,
+                src,
+                self.algorithm,
+                max_out_degree=self._uniform_budget(),
+                **kwargs,
             )
-            self.last_build = None
-        elif self.algorithm == "capped-star":
-            self.tree = capped_star(points, src, self._uniform_budget())
-            self.last_build = None
-        else:  # "random"
-            self.tree = random_feasible_tree(
-                points, src, self._uniform_budget(), seed=seed
+        elif self.algorithm in ("compact-tree", "bandwidth-latency"):
+            if self.algorithm == "bandwidth-latency":
+                kwargs = {"seed": seed, **kwargs}
+            result = build(
+                points,
+                src,
+                self.algorithm,
+                max_out_degree=budgets,
+                **kwargs,
             )
-            self.last_build = None
+        else:  # "capped-star", "random"
+            if self.algorithm == "random":
+                kwargs = {"seed": seed, **kwargs}
+            result = build(
+                points,
+                src,
+                self.algorithm,
+                max_out_degree=self._uniform_budget(),
+                **kwargs,
+            )
+        self.tree = result.tree
+        self.last_build = result
         return self.tree
 
     def _require_tree(self) -> MulticastTree:

@@ -1,0 +1,50 @@
+"""repro.service — the tree-build service layer.
+
+A long-lived front end to the builder registry
+(:func:`repro.build`) for workloads that request the same trees
+repeatedly: overlay controllers re-planning after churn, sweep drivers
+sharing instances, notebooks hammering one dataset. Three layers
+collapse duplicate work (see :mod:`repro.service.core`):
+
+* a **content-addressed cache** — requests are keyed by a SHA-256 over
+  the canonicalised points, source, builder name, and params, so a
+  repeat is answered without building (:mod:`repro.service.cache`);
+* **request coalescing** — concurrent identical requests share one
+  in-flight build;
+* **admission control** — bounded in-flight builds, structured
+  :class:`ServiceOverload` rejections, per-request deadlines.
+
+Run one with ``python -m repro serve``; talk to it with
+:class:`ServiceClient`; measure it with ``python -m repro bench-serve``.
+See docs/SERVICE.md for the full protocol and operational guidance.
+"""
+
+from repro.service.bench import run_bench
+from repro.service.cache import BuildCache, canonical_key
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.core import (
+    BuildRequest,
+    BuildResponse,
+    DeadlineExceeded,
+    ServiceOverload,
+    TreeBuildService,
+    WorkloadSpec,
+)
+from repro.service.server import DEFAULT_PORT, BackgroundServer, run_server
+
+__all__ = [
+    "BuildCache",
+    "BuildRequest",
+    "BuildResponse",
+    "BackgroundServer",
+    "DEFAULT_PORT",
+    "DeadlineExceeded",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceOverload",
+    "TreeBuildService",
+    "WorkloadSpec",
+    "canonical_key",
+    "run_bench",
+    "run_server",
+]

@@ -1,0 +1,155 @@
+"""Closed-loop latency benchmark for the build service.
+
+Drives a real :class:`~repro.service.server.BackgroundServer` over TCP
+with :class:`~repro.service.client.ServiceClient` connections — the
+full stack, wire protocol included — through four phases:
+
+1. **cold** — a fresh workload key: the request pays for the build;
+2. **warm** — the same request repeated: every reply must come from the
+   content-addressed cache, and the median warm latency versus the cold
+   build is the headline ``speedup``;
+3. **coalesce** — N client threads fire the *same fresh* request
+   concurrently; the service's build counter must advance by exactly 1
+   (everyone else joins the in-flight build or hits the cache);
+4. **oracle** — one ``include_tree`` response is reconstructed and
+   pushed through :func:`repro.analysis.oracle.check_tree`, proving the
+   wire format round-trips a structurally valid tree.
+
+``python -m repro bench-serve`` (or ``tools/bench_serve.py``) runs it
+and writes the report to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+__all__ = ["run_bench"]
+
+
+def _timed(fn):
+    """``(seconds, result)`` of one call."""
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def run_bench(
+    n: int = 20_000,
+    builder: str = "polar-grid",
+    max_out_degree: int = 6,
+    warm_requests: int = 20,
+    clients: int = 8,
+    seed: int = 0,
+    log=None,
+) -> dict:
+    """Run the four-phase closed-loop benchmark; returns the report dict.
+
+    :param n: workload size (nodes per requested tree).
+    :param warm_requests: repeats in the cache-hit phase.
+    :param clients: concurrent connections in the coalescing phase.
+    :param log: optional ``print``-like progress sink.
+    """
+    from repro.analysis.oracle import check_tree
+    from repro.service.client import ServiceClient
+    from repro.service.server import BackgroundServer
+
+    say = log or (lambda *_: None)
+    params = {"max_out_degree": max_out_degree}
+
+    def workload(offset: int) -> dict:
+        return {"kind": "unit-disk", "n": n, "seed": seed + offset}
+
+    with BackgroundServer(max_workers=max(2, clients)) as server:
+        client = ServiceClient(port=server.port)
+        try:
+            # Phase 1: cold build.
+            cold_seconds, cold = _timed(
+                lambda: client.build(
+                    workload=workload(0), builder=builder, params=params
+                )
+            )
+            assert not cold["cached"] and not cold["coalesced"]
+            say(f"cold: {cold_seconds:.4f}s (build {cold['build_seconds']:.4f}s)")
+
+            # Phase 2: warm cache hits.
+            warm_samples = []
+            for _ in range(warm_requests):
+                seconds, reply = _timed(
+                    lambda: client.build(
+                        workload=workload(0), builder=builder, params=params
+                    )
+                )
+                assert reply["cached"], "warm request must hit the cache"
+                warm_samples.append(seconds)
+            warm_median = statistics.median(warm_samples)
+            speedup = cold_seconds / warm_median
+            say(f"warm: median {warm_median:.6f}s over {warm_requests} "
+                f"requests -> speedup {speedup:.1f}x")
+
+            # Phase 3: N concurrent identical requests, one build.
+            builds_before = server.service.builds
+            replies: list[dict] = []
+            errors: list[BaseException] = []
+            barrier = threading.Barrier(clients)
+
+            def fire():
+                try:
+                    with ServiceClient(port=server.port) as c:
+                        barrier.wait(timeout=30)
+                        replies.append(
+                            c.build(
+                                workload=workload(1),
+                                builder=builder,
+                                params=params,
+                            )
+                        )
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            if errors:
+                raise errors[0]
+            builds_delta = server.service.builds - builds_before
+            coalesced = sum(1 for r in replies if r["coalesced"])
+            cached = sum(1 for r in replies if r["cached"])
+            say(f"coalesce: {clients} concurrent clients -> "
+                f"{builds_delta} build(s), {coalesced} coalesced, "
+                f"{cached} cache hits")
+
+            # Phase 4: oracle-check a reconstructed response.
+            reply, tree = client.build_tree(
+                workload=workload(0), builder=builder, params=params
+            )
+            oracle = check_tree(tree, d_max=max_out_degree)
+            say(f"oracle: ok={oracle.ok}")
+
+            stats = client.stats()
+        finally:
+            client.close()
+
+    return {
+        "benchmark": "repro.service closed-loop",
+        "workload": {"kind": "unit-disk", "n": n, "seed": seed},
+        "builder": builder,
+        "max_out_degree": max_out_degree,
+        "cold_seconds": cold_seconds,
+        "cold_build_seconds": cold["build_seconds"],
+        "warm_requests": warm_requests,
+        "warm_seconds_median": warm_median,
+        "warm_seconds_max": max(warm_samples),
+        "speedup": speedup,
+        "coalesce": {
+            "clients": clients,
+            "builds": builds_delta,
+            "coalesced_replies": coalesced,
+            "cached_replies": cached,
+        },
+        "oracle_ok": bool(oracle.ok),
+        "service_stats": stats,
+    }

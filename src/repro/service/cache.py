@@ -1,0 +1,260 @@
+"""Content-addressed build cache: identical requests build once, ever.
+
+A build is fully determined by ``(points, source, builder, params)`` —
+every registered builder is deterministic given those inputs (the
+randomised baselines take an explicit ``seed`` parameter, which is part
+of ``params``). :func:`canonical_key` hashes exactly that tuple, so the
+key is stable across processes, platforms, and sessions: the points are
+canonicalised to contiguous float64 bytes (plus their shape, so a
+transposed array cannot collide), and the params to sorted JSON.
+
+:class:`BuildCache` maps keys to :class:`~repro.core.builder.BuildResult`
+objects under a *byte* budget — entries are charged for their dominant
+arrays (points + parent), so a handful of 5M-node trees cannot silently
+pin gigabytes. Eviction is LRU. Evicted entries can optionally spill to
+disk (``.npz`` tree + JSON metadata sidecar under ``results/cache/``);
+a later miss on a spilled key reloads it instead of rebuilding.
+
+Counters (all under ``service.cache.*``, visible via ``obs.snapshot()``
+and the service's ``stats`` endpoint): ``hit``, ``miss``, ``eviction``,
+``spill.write``, ``spill.read``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.builder import BuildResult
+
+__all__ = ["canonical_key", "BuildCache", "entry_nbytes"]
+
+#: Fixed per-entry overhead charged on top of the array payloads
+#: (dataclass, dict slots, key string). Small and deliberately rough.
+ENTRY_OVERHEAD_BYTES = 1024
+
+
+def _canonical_param(value):
+    """A JSON-stable form of one parameter value.
+
+    Arrays (per-node ``budgets``/``max_out_degree``) become lists;
+    numpy scalars become native Python scalars; everything else must
+    already be JSON-serialisable — a requirement of the normalized
+    parameter vocabulary, enforced here with a clear error.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_canonical_param(v) for v in value]
+    return value
+
+
+def canonical_key(points, source: int, builder: str, params: dict) -> str:
+    """SHA-256 content address of one build request.
+
+    The digest covers the points' dtype-normalised bytes and shape, the
+    source index, the builder name, and the params as sorted JSON —
+    nothing else, so two requests that would produce the same tree get
+    the same key no matter which client sent them or when.
+    """
+    pts = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    payload = json.dumps(
+        {
+            "source": int(source),
+            "builder": builder,
+            "params": {
+                k: _canonical_param(v) for k, v in sorted(params.items())
+            },
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256()
+    digest.update(str(pts.shape).encode())
+    digest.update(pts.tobytes())
+    digest.update(payload.encode())
+    return digest.hexdigest()
+
+
+def entry_nbytes(result: BuildResult) -> int:
+    """Bytes a cached result is charged for: its dominant arrays."""
+    tree = result.tree
+    return int(tree.points.nbytes + tree.parent.nbytes) + ENTRY_OVERHEAD_BYTES
+
+
+# BuildResult fields that survive a disk spill round-trip (JSON-safe
+# scalars). ``grid`` and ``representatives`` are working state of the
+# polar-grid construction and are dropped on spill.
+_META_FIELDS = (
+    "rings",
+    "core_delay",
+    "upper_bound",
+    "build_seconds",
+    "representative_count",
+    "builder",
+)
+
+
+class BuildCache:
+    """Bounded LRU cache of build results, keyed by content address.
+
+    :param max_bytes: byte budget for in-memory entries; inserting past
+        it evicts least-recently-used entries first. ``0`` disables
+        in-memory caching entirely (useful to exercise the spill path).
+    :param spill_dir: directory for evicted entries (created lazily);
+        ``None`` disables disk spill and evictions are final.
+
+    Not thread-safe by itself — the service serialises cache access on
+    the event loop.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024, spill_dir=None):
+        """An empty cache with the given byte budget and spill target."""
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = int(max_bytes)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: OrderedDict[str, BuildResult] = OrderedDict()
+        self._nbytes: dict[str, int] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spill_writes = 0
+        self.spill_reads = 0
+
+    def __len__(self) -> int:
+        """How many results are resident in memory."""
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is resident in memory (spill not consulted)."""
+        return key in self._entries
+
+    def get(self, key: str) -> BuildResult | None:
+        """The cached result for ``key``, or ``None``.
+
+        A hit refreshes the entry's LRU position. On an in-memory miss
+        the spill directory (when configured) is consulted before
+        giving up; a spill hit is promoted back into memory.
+        """
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs.add("service.cache.hit")
+            return result
+        result = self._load_spilled(key)
+        if result is not None:
+            self.hits += 1
+            obs.add("service.cache.hit")
+            self.put(key, result)
+            return result
+        self.misses += 1
+        obs.add("service.cache.miss")
+        return None
+
+    def put(self, key: str, result: BuildResult) -> None:
+        """Insert ``result`` under ``key``, evicting LRU entries to fit.
+
+        An entry larger than the whole budget is not admitted to memory
+        (it would only evict everything else); it still spills to disk
+        when a spill directory is configured.
+        """
+        nbytes = entry_nbytes(result)
+        if key in self._entries:
+            self.current_bytes -= self._nbytes.pop(key)
+            del self._entries[key]
+        if nbytes > self.max_bytes:
+            self._spill(key, result)
+            return
+        self._entries[key] = result
+        self._nbytes[key] = nbytes
+        self.current_bytes += nbytes
+        while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+            self._evict_lru(exclude=key)
+
+    def _evict_lru(self, exclude: str) -> None:
+        for victim in self._entries:
+            if victim != exclude:
+                break
+        else:  # pragma: no cover - loop guard keeps >= 2 entries
+            return
+        result = self._entries.pop(victim)
+        self.current_bytes -= self._nbytes.pop(victim)
+        self.evictions += 1
+        obs.add("service.cache.eviction")
+        self._spill(victim, result)
+
+    # -- disk spill --------------------------------------------------
+
+    def _spill_paths(self, key: str) -> tuple[Path, Path]:
+        return (
+            self.spill_dir / f"{key}.npz",
+            self.spill_dir / f"{key}.meta.json",
+        )
+
+    def _spill(self, key: str, result: BuildResult) -> None:
+        if self.spill_dir is None:
+            return
+        from repro.core.io import save_tree
+
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        tree_path, meta_path = self._spill_paths(key)
+        if tree_path.exists():
+            return  # content-addressed: an existing spill is identical
+        save_tree(result.tree, tree_path)
+        meta = {name: getattr(result, name) for name in _META_FIELDS}
+        meta["max_out_degree"] = int(result.max_out_degree)
+        meta["extras"] = {
+            k: _canonical_param(v)
+            for k, v in result.extras.items()
+            if isinstance(v, (int, float, str, bool, np.generic))
+        }
+        meta_path.write_text(json.dumps(meta))
+        self.spill_writes += 1
+        obs.add("service.cache.spill.write")
+
+    def _load_spilled(self, key: str) -> BuildResult | None:
+        if self.spill_dir is None:
+            return None
+        tree_path, meta_path = self._spill_paths(key)
+        if not (tree_path.exists() and meta_path.exists()):
+            return None
+        from repro.core.io import load_tree
+
+        tree = load_tree(tree_path)
+        meta = json.loads(meta_path.read_text())
+        self.spill_reads += 1
+        obs.add("service.cache.spill.read")
+        return BuildResult(
+            tree=tree,
+            max_out_degree=int(meta["max_out_degree"]),
+            rings=meta["rings"],
+            core_delay=meta["core_delay"],
+            upper_bound=meta["upper_bound"],
+            build_seconds=float(meta["build_seconds"]),
+            representative_count=int(meta["representative_count"]),
+            builder=meta["builder"],
+            extras=dict(meta["extras"]),
+        )
+
+    def stats(self) -> dict:
+        """A JSON-safe snapshot of cache occupancy and traffic."""
+        return {
+            "entries": len(self._entries),
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "spill_writes": self.spill_writes,
+            "spill_reads": self.spill_reads,
+            "spill_dir": None if self.spill_dir is None else str(self.spill_dir),
+        }

@@ -1,0 +1,166 @@
+"""Synchronous client for the build service's JSON-lines TCP protocol.
+
+:class:`ServiceClient` is a thin blocking wrapper — one socket, one
+request/response line pair per call — aimed at scripts, tests, and the
+closed-loop benchmark. Failures come back as :class:`ServiceClientError`
+carrying the server's structured error object (``error["type"]`` is the
+exception class name: ``"ServiceOverload"``, ``"DeadlineExceeded"``,
+``"UnknownBuilderError"``, ...).
+
+>>> # doctest: +SKIP
+>>> from repro.service import BackgroundServer, ServiceClient
+>>> with BackgroundServer() as server:
+...     with ServiceClient(port=server.port) as client:
+...         reply = client.build(
+...             workload={"kind": "unit-disk", "n": 500, "seed": 1},
+...             params={"max_out_degree": 6},
+...         )
+...         reply["cached"]
+False
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+from repro.service.core import WorkloadSpec, workload_to_payload
+from repro.service.server import DEFAULT_PORT
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """A structured error response from the service.
+
+    ``error`` is the server's error object; ``error_type`` its
+    ``"type"`` field, for branching without digging into the dict.
+    """
+
+    def __init__(self, error: dict):
+        """Wrap the server's error object."""
+        self.error = dict(error)
+        self.error_type = self.error.get("type", "Error")
+        super().__init__(
+            f"{self.error_type}: {self.error.get('message', 'request failed')}"
+        )
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for one service connection.
+
+    :param host: server address (default loopback).
+    :param port: server port (default :data:`~repro.service.server
+        .DEFAULT_PORT`).
+    :param timeout: socket timeout in seconds for connect and replies —
+        a *transport* bound, distinct from the service-side build
+        deadline passed per request.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 300.0,
+    ):
+        """Connect immediately; raises ``OSError`` when nothing listens."""
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the connection on context exit."""
+        self.close()
+
+    def _call(self, payload: dict) -> dict:
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok", False):
+            raise ServiceClientError(reply.get("error", {}))
+        return reply
+
+    # -- ops ---------------------------------------------------------
+
+    def build(
+        self,
+        points=None,
+        workload=None,
+        source: int = 0,
+        builder: str = "polar-grid",
+        params: dict | None = None,
+        deadline: float | None = None,
+        include_tree: bool = False,
+    ) -> dict:
+        """Request one tree build; returns the response summary dict.
+
+        Exactly one of ``points`` (array-like) / ``workload``
+        (:class:`~repro.service.core.WorkloadSpec` or plain dict) must
+        be given — the same contract as
+        :class:`~repro.service.core.BuildRequest`.
+        """
+        payload: dict = {
+            "op": "build",
+            "source": source,
+            "builder": builder,
+            "params": dict(params or {}),
+        }
+        if points is not None:
+            payload["points"] = np.asarray(points, dtype=np.float64).tolist()
+        if workload is not None:
+            if isinstance(workload, WorkloadSpec):
+                workload = workload_to_payload(workload)
+            payload["workload"] = dict(workload)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if include_tree:
+            payload["include_tree"] = True
+        return self._call(payload)
+
+    def build_tree(self, **kwargs) -> tuple[dict, MulticastTree]:
+        """Like :meth:`build` but reconstructs the tree client-side.
+
+        Forces ``include_tree`` and returns ``(reply, tree)``; the tree
+        is re-validated on the way in, so a corrupted wire payload
+        fails loudly here rather than downstream.
+        """
+        kwargs["include_tree"] = True
+        reply = self.build(**kwargs)
+        tree = MulticastTree(
+            np.asarray(reply["points"], dtype=np.float64),
+            np.asarray(reply["parent"], dtype=np.int64),
+            reply["root"],
+        ).validate()
+        return reply, tree
+
+    def stats(self) -> dict:
+        """Service + cache counters."""
+        return self._call({"op": "stats"})["stats"]
+
+    def builders(self) -> list[dict]:
+        """Registry introspection: every registered builder's contract."""
+        return self._call({"op": "builders"})["builders"]
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return self._call({"op": "ping"})["ok"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (after acknowledging)."""
+        self._call({"op": "shutdown"})

@@ -1,0 +1,441 @@
+"""The tree-build service: one build per distinct request, ever.
+
+:class:`TreeBuildService` fronts the builder registry
+(:func:`repro.build`) with three request-collapsing layers:
+
+1. **content-addressed cache** — a repeat of an earlier request is
+   answered from :class:`~repro.service.cache.BuildCache` without
+   building (``response.cached``);
+2. **request coalescing** — concurrent *identical* requests share one
+   in-flight build: the first becomes the owner, the rest await its
+   future (``response.coalesced``). N clients asking for the same tree
+   at once cost exactly one build;
+3. **admission control** — distinct in-flight builds are bounded by
+   ``max_pending``; past that, new work is rejected *immediately* with
+   a structured :class:`ServiceOverload` (cache hits and coalesced
+   joins are always admitted — they add no build work).
+
+Per-request deadlines reuse the resilience layer's
+:class:`~repro.experiments.resilience.ResiliencePolicy` as the config
+carrier: the service-wide default is ``policy.timeout``, overridable
+per request. A deadline that expires raises :class:`DeadlineExceeded`;
+the underlying build keeps running and its result still lands in the
+cache (late work is not wasted — the next request hits).
+
+Builds run on a thread pool via ``loop.run_in_executor`` — the numpy
+kernels release the GIL for their hot loops, so the event loop stays
+responsive while trees build.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from functools import partial
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.builder import BuildResult
+from repro.core.registry import build
+from repro.service.cache import BuildCache, canonical_key
+from repro.workloads.generators import (
+    clustered_disk,
+    nonuniform_disk,
+    unit_ball,
+    unit_disk,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "BuildRequest",
+    "BuildResponse",
+    "ServiceOverload",
+    "DeadlineExceeded",
+    "TreeBuildService",
+    "WORKLOAD_KINDS",
+]
+
+
+class ServiceOverload(RuntimeError):
+    """Admission control rejected a request: too many builds in flight.
+
+    Carries ``pending`` (distinct builds in flight) and ``limit``
+    (``max_pending``) so clients can implement informed backoff instead
+    of parsing a message string.
+    """
+
+    def __init__(self, pending: int, limit: int):
+        """Record the observed load and the configured bound."""
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"service overloaded: {pending} builds in flight "
+            f"(limit {limit}); retry later"
+        )
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's deadline expired before its build finished.
+
+    Carries the request ``key`` and the ``deadline`` in seconds. The
+    build itself is not abandoned — its result is cached on completion,
+    so a retry of the same request typically hits.
+    """
+
+    def __init__(self, key: str, deadline: float):
+        """Record which request missed which deadline."""
+        self.key = key
+        self.deadline = deadline
+        super().__init__(
+            f"build {key[:12]}… missed its {deadline}s deadline "
+            "(still building; a retry may hit the cache)"
+        )
+
+
+def _workload_disk(n, seed, dim):
+    """Uniform unit-disk instance (``dim`` ignored: always 2-D)."""
+    return unit_disk(n, seed=seed)
+
+
+def _workload_ball(n, seed, dim):
+    """Uniform unit-ball instance in ``dim`` dimensions (default 3)."""
+    return unit_ball(n, dim=dim if dim else 3, seed=seed)
+
+
+def _workload_clustered(n, seed, dim):
+    """Clustered-disk instance (``dim`` ignored)."""
+    return clustered_disk(n, seed=seed)
+
+
+def _workload_nonuniform(n, seed, dim):
+    """Density-tilted disk instance (``dim`` ignored)."""
+    return nonuniform_disk(n, seed=seed)
+
+
+#: Workload kinds a request may name instead of shipping raw points.
+WORKLOAD_KINDS = {
+    "unit-disk": _workload_disk,
+    "unit-ball": _workload_ball,
+    "clustered-disk": _workload_clustered,
+    "nonuniform-disk": _workload_nonuniform,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, seeded point-set a request asks the service to generate.
+
+    Materialisation is deterministic, so a workload request and a raw
+    points request for the same coordinates share one cache key — the
+    cache addresses *content*, not request phrasing.
+    """
+
+    kind: str = "unit-disk"
+    n: int = 1000
+    seed: int = 0
+    dim: int = 0  # 0 = the kind's natural dimension
+
+    def materialize(self) -> np.ndarray:
+        """Generate the ``(n, d)`` coordinate array this spec names."""
+        try:
+            generator = WORKLOAD_KINDS[self.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; known kinds: "
+                + ", ".join(sorted(WORKLOAD_KINDS))
+            ) from None
+        return generator(self.n, self.seed, self.dim)
+
+
+@dataclass
+class BuildRequest:
+    """One tree-build request: a point set (or workload) plus a builder.
+
+    Exactly one of ``points`` / ``workload`` must be given. ``params``
+    uses the registry's normalized vocabulary (``max_out_degree``,
+    ``seed``, ...). ``deadline`` (seconds) overrides the service-wide
+    default from its resilience policy; ``None`` inherits it.
+    """
+
+    points: np.ndarray | None = None
+    workload: WorkloadSpec | None = None
+    source: int = 0
+    builder: str = "polar-grid"
+    params: dict = field(default_factory=dict)
+    deadline: float | None = None
+
+    def resolve_points(self) -> np.ndarray:
+        """The concrete coordinate array this request builds over."""
+        if (self.points is None) == (self.workload is None):
+            raise ValueError(
+                "a BuildRequest needs exactly one of points= or workload="
+            )
+        if self.points is not None:
+            return np.asarray(self.points, dtype=np.float64)
+        return self.workload.materialize()
+
+
+@dataclass
+class BuildResponse:
+    """What the service answers: the result plus how it was obtained.
+
+    ``cached`` — served from the content-addressed cache (no build);
+    ``coalesced`` — joined another request's in-flight build;
+    ``service_seconds`` — request latency inside the service, queueing
+    included (compare with ``result.build_seconds``, the build alone).
+    """
+
+    key: str
+    result: BuildResult
+    cached: bool = False
+    coalesced: bool = False
+    service_seconds: float = 0.0
+
+    def to_dict(self, include_tree: bool = False) -> dict:
+        """A JSON-safe summary (the wire format of the TCP server).
+
+        With ``include_tree`` the payload carries ``points``, ``parent``
+        and ``root`` — everything needed to reconstruct the
+        :class:`~repro.core.tree.MulticastTree` and oracle-check it on
+        the client side.
+        """
+        tree = self.result.tree
+        payload = {
+            "key": self.key,
+            "builder": self.result.builder,
+            "n": int(tree.n),
+            "radius": float(tree.radius()),
+            "max_out_degree": int(self.result.max_out_degree),
+            "rings": self.result.rings,
+            "core_delay": self.result.core_delay,
+            "upper_bound": self.result.upper_bound,
+            "build_seconds": float(self.result.build_seconds),
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "service_seconds": float(self.service_seconds),
+        }
+        if include_tree:
+            payload["root"] = int(tree.root)
+            payload["parent"] = tree.parent.tolist()
+            payload["points"] = tree.points.tolist()
+        return payload
+
+
+def _mark_retrieved(future: asyncio.Future) -> None:
+    """Consume a future's exception so asyncio never logs it as lost."""
+    if not future.cancelled():
+        future.exception()
+
+
+class TreeBuildService:
+    """Coalescing, caching, admission-controlled front end to the registry.
+
+    :param cache: a :class:`~repro.service.cache.BuildCache` (a default
+        256 MiB in-memory cache when ``None``).
+    :param max_pending: bound on *distinct* in-flight builds; requests
+        that would start build number ``max_pending + 1`` are rejected
+        with :class:`ServiceOverload`.
+    :param policy: a :class:`~repro.experiments.resilience
+        .ResiliencePolicy` whose ``timeout`` is the default per-request
+        deadline (``None`` = no default deadline).
+    :param max_workers: build threads (default 2).
+
+    Single-event-loop object: all coordination state (in-flight map,
+    counters, cache) is touched only from the loop that calls
+    :meth:`submit`, so no locks are needed.
+    """
+
+    def __init__(
+        self,
+        cache: BuildCache | None = None,
+        max_pending: int = 32,
+        policy=None,
+        max_workers: int | None = None,
+    ):
+        """A fresh service with no in-flight builds."""
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.cache = cache if cache is not None else BuildCache()
+        self.max_pending = int(max_pending)
+        self.policy = policy
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers or 2, thread_name_prefix="repro-build"
+        )
+        self.requests = 0
+        self.builds = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.deadline_expired = 0
+
+    # -- public API --------------------------------------------------
+
+    async def submit(self, request: BuildRequest) -> BuildResponse:
+        """Resolve one request: cache hit, coalesced join, or new build.
+
+        :raises ServiceOverload: when admission control rejects it.
+        :raises DeadlineExceeded: when its deadline expires first.
+        :raises repro.UnknownBuilderError: unknown builder name.
+        :raises repro.BuilderParamError: parameters the builder rejects.
+        """
+        started = time.perf_counter()
+        self.requests += 1
+        obs.add("service.requests.total")
+        points = request.resolve_points()
+        key = canonical_key(
+            points, request.source, request.builder, request.params
+        )
+        deadline = request.deadline
+        if deadline is None and self.policy is not None:
+            deadline = self.policy.timeout
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._respond(key, cached, started, cached=True)
+
+        shared = self._inflight.get(key)
+        if shared is not None:
+            self.coalesced += 1
+            obs.add("service.coalesced.total")
+            result = await self._await_shared(shared, deadline, key)
+            return self._respond(key, result, started, coalesced=True)
+
+        if len(self._inflight) >= self.max_pending:
+            self.rejected += 1
+            obs.add("service.rejected.total")
+            raise ServiceOverload(len(self._inflight), self.max_pending)
+
+        result = await self._build_owned(request, points, key, deadline)
+        return self._respond(key, result, started)
+
+    def stats(self) -> dict:
+        """JSON-safe service counters plus the cache's own stats."""
+        return {
+            "requests": self.requests,
+            "builds": self.builds,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "deadline_expired": self.deadline_expired,
+            "inflight": len(self._inflight),
+            "max_pending": self.max_pending,
+            "cache": self.cache.stats(),
+        }
+
+    def close(self) -> None:
+        """Shut the build thread pool down (waits for running builds)."""
+        self._executor.shutdown(wait=True)
+
+    # -- internals ---------------------------------------------------
+
+    def _respond(self, key, result, started, cached=False, coalesced=False):
+        return BuildResponse(
+            key=key,
+            result=result,
+            cached=cached,
+            coalesced=coalesced,
+            service_seconds=time.perf_counter() - started,
+        )
+
+    async def _await_shared(self, shared, deadline, key) -> BuildResult:
+        """Join another request's build; shield it from our deadline."""
+        try:
+            return await asyncio.wait_for(asyncio.shield(shared), deadline)
+        except asyncio.TimeoutError:
+            self.deadline_expired += 1
+            obs.add("service.deadline.total")
+            raise DeadlineExceeded(key, deadline) from None
+
+    async def _build_owned(self, request, points, key, deadline) -> BuildResult:
+        """Run the build we own, publishing the outcome to coalescers."""
+        loop = asyncio.get_running_loop()
+        shared = loop.create_future()
+        shared.add_done_callback(_mark_retrieved)
+        self._inflight[key] = shared
+        work = loop.run_in_executor(
+            self._executor,
+            partial(
+                build, points, request.source, request.builder, **request.params
+            ),
+        )
+        try:
+            result = await asyncio.wait_for(asyncio.shield(work), deadline)
+        except asyncio.TimeoutError:
+            self._inflight.pop(key, None)
+            self.deadline_expired += 1
+            obs.add("service.deadline.total")
+            error = DeadlineExceeded(key, deadline)
+            if not shared.done():
+                shared.set_exception(error)
+            # The thread can't be interrupted; harvest its result into
+            # the cache when it lands so the work is not wasted.
+            work.add_done_callback(partial(self._absorb_late, key))
+            raise error from None
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not shared.done():
+                shared.set_exception(exc)
+            raise
+        self._inflight.pop(key, None)
+        self._record_build(key, result)
+        if not shared.done():
+            shared.set_result(result)
+        return result
+
+    def _record_build(self, key: str, result: BuildResult) -> None:
+        self.builds += 1
+        obs.add("service.builds.total")
+        self.cache.put(key, result)
+
+    def _absorb_late(self, key: str, work: asyncio.Future) -> None:
+        """Cache a build that finished after its request's deadline."""
+        if work.cancelled() or work.exception() is not None:
+            return
+        self._record_build(key, work.result())
+        obs.add("service.builds.late")
+
+
+def request_from_payload(payload: dict) -> BuildRequest:
+    """Decode the TCP wire format (a JSON object) into a request.
+
+    Accepted fields: ``points`` (nested list) *or* ``workload``
+    (``{"kind", "n", "seed", "dim"}``), plus ``source``, ``builder``,
+    ``params``, ``deadline``. Unknown fields are rejected so typos fail
+    loudly instead of silently building something else.
+    """
+    known = {
+        "op",
+        "points",
+        "workload",
+        "source",
+        "builder",
+        "params",
+        "deadline",
+        "include_tree",
+    }
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            "unknown request field(s): " + ", ".join(sorted(unknown))
+        )
+    workload = payload.get("workload")
+    if workload is not None:
+        workload = WorkloadSpec(**workload)
+    points = payload.get("points")
+    if points is not None:
+        points = np.asarray(points, dtype=np.float64)
+    return BuildRequest(
+        points=points,
+        workload=workload,
+        source=int(payload.get("source", 0)),
+        builder=payload.get("builder", "polar-grid"),
+        params=dict(payload.get("params", {})),
+        deadline=payload.get("deadline"),
+    )
+
+
+def workload_to_payload(spec: WorkloadSpec) -> dict:
+    """The wire form of a :class:`WorkloadSpec` (plain dict)."""
+    return asdict(spec)

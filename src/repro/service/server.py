@@ -1,0 +1,230 @@
+"""Asyncio TCP front end for the build service: JSON lines in and out.
+
+Protocol: one JSON object per line, one response line per request, over
+a plain TCP connection (``python -m repro serve`` to run one). Ops:
+
+* ``{"op": "build", ...}`` — build/fetch a tree (see
+  :func:`~repro.service.core.request_from_payload` for the fields);
+  add ``"include_tree": true`` to get ``points``/``parent``/``root``
+  back for client-side reconstruction and oracle checks;
+* ``{"op": "stats"}`` — service + cache counters;
+* ``{"op": "builders"}`` — registry introspection (name, summary,
+  accepted params of every registered builder);
+* ``{"op": "ping"}`` — liveness;
+* ``{"op": "shutdown"}`` — stop the server after responding.
+
+Every failure is a structured error object, never a dropped connection:
+``{"ok": false, "error": {"type": "ServiceOverload", "pending": 32,
+"limit": 32, "message": ...}}`` — the ``type`` names the exception
+class and the extra fields mirror its structured attributes
+(``known`` builders, ``rejected``/``accepted`` params, ``deadline``),
+so clients branch on data instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from functools import partial
+
+from repro.core.registry import (
+    BuilderParamError,
+    UnknownBuilderError,
+    builder_specs,
+)
+from repro.service.core import (
+    DeadlineExceeded,
+    ServiceOverload,
+    TreeBuildService,
+    request_from_payload,
+)
+
+__all__ = ["DEFAULT_PORT", "error_payload", "serve", "BackgroundServer"]
+
+DEFAULT_PORT = 7464
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The structured wire form of a request failure."""
+    payload = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, ServiceOverload):
+        payload.update(pending=exc.pending, limit=exc.limit)
+    elif isinstance(exc, DeadlineExceeded):
+        payload.update(key=exc.key, deadline=exc.deadline)
+    elif isinstance(exc, UnknownBuilderError):
+        payload.update(name=exc.name, known=list(exc.known))
+    elif isinstance(exc, BuilderParamError):
+        payload.update(
+            builder=exc.builder,
+            rejected=list(exc.rejected),
+            accepted=list(exc.accepted),
+        )
+    return payload
+
+
+def _builders_payload() -> list[dict]:
+    return [
+        {"name": s.name, "summary": s.summary, "params": list(s.params)}
+        for s in builder_specs()
+    ]
+
+
+async def _handle_line(service: TreeBuildService, stop: asyncio.Event, line):
+    """One request line -> one response dict (never raises)."""
+    try:
+        payload = json.loads(line)
+        op = payload.get("op", "build")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "builders":
+            return {"ok": True, "builders": _builders_payload()}
+        if op == "shutdown":
+            stop.set()
+            return {"ok": True, "op": "shutdown"}
+        if op == "build":
+            request = request_from_payload(payload)
+            response = await service.submit(request)
+            include_tree = bool(payload.get("include_tree", False))
+            return {"ok": True, **response.to_dict(include_tree=include_tree)}
+        return {
+            "ok": False,
+            "error": {"type": "UnknownOp", "message": f"unknown op {op!r}"},
+        }
+    except Exception as exc:  # noqa: BLE001 - protocol boundary
+        return {"ok": False, "error": error_payload(exc)}
+
+
+async def _handle_connection(service, stop, reader, writer):
+    """Serve one client: a JSON-lines request/response loop."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            response = await _handle_line(service, stop, line)
+            writer.write((json.dumps(response) + "\n").encode())
+            await writer.drain()
+            if stop.is_set():
+                break
+    finally:
+        # close() without wait_closed(): every response was drained, and
+        # awaiting here races loop teardown when the server stops while
+        # clients are still connected.
+        writer.close()
+
+
+async def serve(
+    service: TreeBuildService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    ready=None,
+    log=None,
+) -> None:
+    """Run the TCP server until a client sends ``{"op": "shutdown"}``.
+
+    :param ready: optional callback invoked with the bound ``(host,
+        port)`` once listening (port 0 binds an ephemeral port).
+    :param log: optional ``print``-like progress sink.
+    """
+    stop = asyncio.Event()
+    server = await asyncio.start_server(
+        partial(_handle_connection, service, stop), host, port
+    )
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound)
+    if log is not None:
+        log(f"repro service listening on {bound[0]}:{bound[1]}")
+    async with server:
+        await stop.wait()
+    if log is not None:
+        log("repro service stopped")
+
+
+def run_server(host="127.0.0.1", port=DEFAULT_PORT, log=print, **service_kw):
+    """Blocking entry point behind ``python -m repro serve``."""
+    service = TreeBuildService(**service_kw)
+    try:
+        asyncio.run(serve(service, host, port, log=log))
+    finally:
+        service.close()
+    return 0
+
+
+class BackgroundServer:
+    """A service + TCP server on a daemon thread (tests and benches).
+
+    Use as a context manager::
+
+        with BackgroundServer() as server:
+            client = ServiceClient(port=server.port)
+
+    The bound ``host``/``port`` are available once ``start`` returns
+    (an ephemeral port is requested by default, so parallel test runs
+    never collide). ``service`` is the underlying
+    :class:`~repro.service.core.TreeBuildService` — its counters can be
+    inspected directly from the test thread once requests have settled.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **service_kw):
+        """Configure (but do not yet start) the server thread."""
+        self._requested = (host, port)
+        self._service_kw = service_kw
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_cb = None
+        self.service: TreeBuildService | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self) -> "BackgroundServer":
+        """Launch the server thread and wait until it is listening."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._loop is not None and self._stop_cb is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_cb)
+            except RuntimeError:  # loop already closed (in-band shutdown)
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        """Context-manager entry: start and wait until listening."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the server on context exit."""
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        self._stop_cb = stop.set
+        self.service = TreeBuildService(**self._service_kw)
+        server = await asyncio.start_server(
+            partial(_handle_connection, self.service, stop),
+            *self._requested,
+        )
+        self.host, self.port = server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        try:
+            async with server:
+                await stop.wait()
+        finally:
+            self.service.close()

@@ -53,10 +53,9 @@ from repro.analysis.oracle import (
     check_build_result,
     check_tree,
 )
-from repro.baselines import capped_star, compact_tree
 from repro.baselines.exact import MAX_EXACT_NODES, optimal_radius
 from repro.core.bounds import bisection_constant_factor
-from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.registry import build
 
 __all__ = [
     "BuilderOutcome",
@@ -258,18 +257,20 @@ def run_differential(
     radii: dict[str, float] = {}
     grid_result = None
 
-    def run_builder(name, build, oracle):
+    def run_builder(name, oracle):
+        """Build ``name`` through :func:`repro.build` and oracle-check it."""
         nonlocal grid_result
         try:
-            built = build()
+            built = build(points, source, name, max_out_degree=d_max)
         except Exception as exc:  # noqa: BLE001 - recorded, not swallowed
             report.outcomes.append(
                 BuilderOutcome(builder=name, error=_error_text(exc))
             )
             return
-        tree = built.tree if hasattr(built, "tree") else built
         outcome = BuilderOutcome(
-            builder=name, radius=float(tree.radius()), report=oracle(built)
+            builder=name,
+            radius=float(built.tree.radius()),
+            report=oracle(built),
         )
         report.outcomes.append(outcome)
         radii[name] = outcome.radius
@@ -278,26 +279,15 @@ def run_differential(
 
     run_builder(
         "polar-grid",
-        lambda: build_polar_grid_tree(points, source, d_max),
         lambda built: check_build_result(
             built, occupancy="full", representative_rule="inner-anchor"
         ),
     )
-    run_builder(
-        "bisection",
-        lambda: build_bisection_tree(points, source, d_max),
-        lambda built: check_tree(built.tree, d_max=d_max, root=source),
-    )
-    run_builder(
-        "compact-tree",
-        lambda: compact_tree(points, source, d_max),
-        lambda built: check_tree(built, d_max=d_max, root=source),
-    )
-    run_builder(
-        "capped-star",
-        lambda: capped_star(points, source, d_max),
-        lambda built: check_tree(built, d_max=d_max, root=source),
-    )
+    for name in ("bisection", "compact-tree", "capped-star"):
+        run_builder(
+            name,
+            lambda built: check_tree(built.tree, d_max=d_max, root=source),
+        )
 
     # --- cross-builder bounds ------------------------------------------
     slack = BOUND_SLACK * max(lower, 1.0)
@@ -351,23 +341,17 @@ def run_differential(
             METAMORPHIC_TRANSFORMS.items()
         ):
             t_points, t_source, factor = transform(points, source, rng)
-            for builder, build, equal in (
-                (
-                    "polar-grid",
-                    lambda: build_polar_grid_tree(t_points, t_source, d_max),
-                    grid_eq(dim, d_max),
-                ),
-                (
-                    "bisection",
-                    lambda: build_bisection_tree(t_points, t_source, d_max),
-                    bisect_eq(dim, d_max),
-                ),
+            for builder, equal in (
+                ("polar-grid", grid_eq(dim, d_max)),
+                ("bisection", bisect_eq(dim, d_max)),
             ):
                 if builder not in radii:
                     continue  # the base build already failed; reported above
                 label = f"{builder}[{name}]"
                 try:
-                    variant = build()
+                    variant = build(
+                        t_points, t_source, builder, max_out_degree=d_max
+                    )
                 except Exception as exc:  # noqa: BLE001
                     report.outcomes.append(
                         BuilderOutcome(builder=label, error=_error_text(exc))

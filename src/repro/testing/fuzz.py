@@ -157,8 +157,7 @@ def check_instance(
 
     # Builders outside the differential harness, plus the simulator.
     from repro.analysis.oracle import check_tree
-    from repro.baselines import bandwidth_latency_tree
-    from repro.core.quadtree import build_quadtree_tree
+    from repro.core.registry import build as build_named
     from repro.overlay.simulator import simulate_dissemination
 
     def extra(name, build):
@@ -186,10 +185,17 @@ def check_instance(
                 }
             )
 
-    extra("quadtree", lambda: build_quadtree_tree(points, source, d_max).tree)
+    extra(
+        "quadtree",
+        lambda: build_named(
+            points, source, "quadtree", max_out_degree=d_max
+        ).tree,
+    )
     extra(
         "bandwidth-latency",
-        lambda: bandwidth_latency_tree(points, source, d_max, seed=0),
+        lambda: build_named(
+            points, source, "bandwidth-latency", max_out_degree=d_max, seed=0
+        ).tree,
     )
     return violations
 

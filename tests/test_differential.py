@@ -66,37 +66,62 @@ class TestCleanInstances:
         assert payload["violations"] == []
 
 
-class TestFailureDetection:
-    def test_builder_exception_becomes_build_error(self, monkeypatch):
-        import repro.testing.differential as diff
+def _swap_builder(name, fn, wraps_tree=False):
+    """Temporarily re-register ``name`` with ``fn``; return a restorer.
 
-        def explode(points, source, d_max):
+    The harness dispatches through :func:`repro.build`, so fault
+    injection goes through the registry rather than module attributes.
+    """
+    from repro.core.registry import get_builder, register_builder
+
+    original = get_builder(name)
+    register_builder(name, summary=original.summary, wraps_tree=wraps_tree)(fn)
+
+    def restore():
+        register_builder(
+            name,
+            summary=original.summary,
+            wraps_tree=original.wraps_tree,
+        )(original.fn)
+
+    return restore
+
+
+class TestFailureDetection:
+    def test_builder_exception_becomes_build_error(self):
+        def explode(points, source=0, max_out_degree=6):
             raise RuntimeError("synthetic builder crash")
 
-        monkeypatch.setattr(diff, "compact_tree", explode)
-        report = run_differential(unit_disk(30, seed=16), 0, 6)
+        restore = _swap_builder("compact-tree", explode, wraps_tree=True)
+        try:
+            report = run_differential(unit_disk(30, seed=16), 0, 6)
+        finally:
+            restore()
         assert not report.ok
         assert "BUILD_ERROR" in vcodes(report)
         assert any(
             "synthetic builder crash" in v.message for v in report.violations
         )
 
-    def test_radius_inflation_breaks_the_metamorphic_layer(self, monkeypatch):
+    def test_radius_inflation_breaks_the_metamorphic_layer(self):
         # A builder whose output quality depends on absolute position is
         # exactly what the translate transform exists to catch.
-        import repro.testing.differential as diff
+        from repro.core.registry import get_builder
 
-        real = diff.build_polar_grid_tree
+        real = get_builder("polar-grid").fn
         calls = {"count": 0}
 
-        def position_sensitive(points, source, d_max):
+        def position_sensitive(points, source=0, max_out_degree=6):
             calls["count"] += 1
             if calls["count"] > 1:  # base build fine, variants degraded
-                return real(points, source, max(2, d_max - 4))
-            return real(points, source, d_max)
+                return real(points, source, max(2, max_out_degree - 4))
+            return real(points, source, max_out_degree)
 
-        monkeypatch.setattr(diff, "build_polar_grid_tree", position_sensitive)
-        report = run_differential(unit_disk(120, seed=17), 0, 6)
+        restore = _swap_builder("polar-grid", position_sensitive)
+        try:
+            report = run_differential(unit_disk(120, seed=17), 0, 6)
+        finally:
+            restore()
         assert not report.ok
         assert "METAMORPHIC_RADIUS" in vcodes(report)
 

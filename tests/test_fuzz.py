@@ -71,14 +71,16 @@ class TestCleanRun:
 
 class TestCrashPath:
     @pytest.fixture()
-    def broken_builder(self, monkeypatch):
-        """Degree-cap mutation injected into the differential harness's
-        view of the polar-grid builder."""
-        import repro.testing.differential as diff
+    def broken_builder(self):
+        """Degree-cap mutation injected into the registry's polar-grid
+        entry (the harness dispatches through repro.build)."""
+        from repro.core.registry import get_builder, register_builder
 
-        real = diff.build_polar_grid_tree
+        original = get_builder("polar-grid")
+        real = original.fn
 
-        def evil(points, source, d_max):
+        def evil(points, source=0, max_out_degree=6):
+            d_max = max_out_degree
             result = real(points, source, d_max)
             parent = result.tree.parent
             n = parent.shape[0]
@@ -97,7 +99,9 @@ class TestCrashPath:
                 setattr(result.tree, cache, None)
             return result
 
-        monkeypatch.setattr(diff, "build_polar_grid_tree", evil)
+        register_builder("polar-grid", summary=original.summary)(evil)
+        yield
+        register_builder("polar-grid", summary=original.summary)(real)
 
     def test_crash_produces_artifact_and_exit_code(
         self, tmp_path, broken_builder

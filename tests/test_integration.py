@@ -11,8 +11,7 @@ import repro
 from repro import (
     MulticastSession,
     MulticastTree,
-    build_bisection_tree,
-    build_polar_grid_tree,
+    build,
     unit_ball,
     unit_disk,
 )
@@ -32,7 +31,7 @@ class TestPublicAPI:
     def test_canonical_flow(self):
         """The README's quickstart, as a test."""
         points = unit_disk(2000, seed=1)
-        result = build_polar_grid_tree(points, source=0, max_out_degree=6)
+        result = build(points, source=0, spec="polar-grid", max_out_degree=6)
         tree = result.tree.validate(max_out_degree=6)
         assert isinstance(tree, MulticastTree)
         assert 1.0 <= result.radius <= result.upper_bound
@@ -43,8 +42,8 @@ class TestAlgorithmsAgree:
         """The hierarchical algorithm dominates its own subroutine on
         disk inputs — the reason Section III exists."""
         points = unit_disk(20_000, seed=2)
-        grid = build_polar_grid_tree(points, 0, 6).radius
-        bisect = build_bisection_tree(points, 0, 4).radius
+        grid = build(points, 0, "polar-grid", max_out_degree=6).radius
+        bisect = build(points, 0, "bisection", max_out_degree=4).radius
         assert grid < bisect
 
     def test_all_algorithms_same_node_set(self):
@@ -61,15 +60,14 @@ class TestAlgorithmsAgree:
 
     def test_simulator_is_universal_oracle(self):
         """Every builder's tree replays to exactly its analytic delays."""
-        from repro.baselines import compact_tree
         from repro.overlay.simulator import simulate_dissemination
 
         points = unit_disk(400, seed=4)
         for tree in (
-            build_polar_grid_tree(points, 0, 6).tree,
-            build_polar_grid_tree(points, 0, 2).tree,
-            build_bisection_tree(points, 0, 4).tree,
-            compact_tree(points, 0, 6),
+            build(points, 0, "polar-grid", max_out_degree=6).tree,
+            build(points, 0, "polar-grid", max_out_degree=2).tree,
+            build(points, 0, "bisection", max_out_degree=4).tree,
+            build(points, 0, "compact-tree", max_out_degree=6).tree,
         ):
             replay = simulate_dissemination(tree)
             assert np.allclose(replay.receive_time, tree.root_delays())
@@ -115,8 +113,10 @@ class TestDimensionalBehaviour:
         """Section V's Figure 8 observation: at equal n, 3-D delays are
         higher than 2-D delays."""
         n = 5000
-        d2 = build_polar_grid_tree(unit_disk(n, seed=7), 0, 6).radius
-        d3 = build_polar_grid_tree(unit_ball(n, dim=3, seed=7), 0, 10).radius
+        d2 = build(unit_disk(n, seed=7), 0, "polar-grid", max_out_degree=6).radius
+        d3 = build(
+            unit_ball(n, dim=3, seed=7), 0, "polar-grid", max_out_degree=10
+        ).radius
         assert d3 > d2
 
 

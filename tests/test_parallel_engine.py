@@ -122,18 +122,18 @@ class TestFailureHandling:
         assert outcome.task.seed == 5
 
     def test_partial_failure_keeps_successes(self, monkeypatch):
+        # The trial worker dispatches through repro.build, so the fault
+        # is injected at the facade level.
         import repro.experiments.parallel as parallel_mod
 
-        real_build = parallel_mod.build_polar_grid_tree
+        real_build = parallel_mod.build
 
-        def flaky(points, source, degree, **kw):
+        def flaky(points, source, spec, **kw):
             if len(points) == 77:  # poison one specific task
                 raise RuntimeError("degenerate draw")
-            return real_build(points, source, degree, **kw)
+            return real_build(points, source, spec, **kw)
 
-        monkeypatch.setattr(
-            parallel_mod, "build_polar_grid_tree", flaky
-        )
+        monkeypatch.setattr(parallel_mod, "build", flaky)
         tasks = [TrialTask(n, 6, 2, seed=i) for i, n in
                  enumerate((50, 77, 60))]
         outcomes = [run_task(t) for t in tasks]

@@ -1,0 +1,161 @@
+"""The builder registry and the repro.build facade: the one front door."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.oracle import check_tree
+from repro.core.builder import BuildResult
+from repro.core.registry import (
+    BuilderParamError,
+    BuilderSpec,
+    UnknownBuilderError,
+    build,
+    builder_names,
+    builder_specs,
+    get_builder,
+    register_builder,
+    unregister_builder,
+)
+from repro.workloads.generators import unit_disk
+
+POINTS = unit_disk(120, seed=3)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = builder_names()
+        assert {
+            "polar-grid",
+            "bisection",
+            "quadtree",
+            "min-diameter",
+            "heterogeneous",
+            "compact-tree",
+            "bandwidth-latency",
+            "capped-star",
+            "random",
+        } <= set(names)
+        assert list(names) == sorted(names)
+
+    def test_specs_carry_contract_metadata(self):
+        for spec in builder_specs():
+            assert isinstance(spec, BuilderSpec)
+            assert spec.name and callable(spec.fn)
+            assert "max_out_degree" in spec.params or "..." in spec.params
+
+    def test_get_builder_passes_spec_through(self):
+        spec = get_builder("polar-grid")
+        assert get_builder(spec) is spec
+
+    def test_registration_roundtrip(self):
+        @register_builder("test-echo", summary="test-only")
+        def echo(points, source=0, max_out_degree=6):
+            return build(points, source, "capped-star",
+                         max_out_degree=max_out_degree)
+
+        try:
+            assert "test-echo" in builder_names()
+            result = build(POINTS, 0, "test-echo", max_out_degree=4)
+            assert result.builder == "test-echo"
+        finally:
+            removed = unregister_builder("test-echo")
+        assert removed is not None
+        assert "test-echo" not in builder_names()
+
+
+class TestFacade:
+    @pytest.mark.parametrize("name", sorted(
+        {"polar-grid", "bisection", "quadtree", "min-diameter",
+         "heterogeneous", "compact-tree", "bandwidth-latency",
+         "capped-star", "random"}
+    ))
+    def test_every_builtin_roundtrips_through_the_facade(self, name):
+        # The uniform contract: every registered builder accepts the
+        # normalized vocabulary, returns a stamped BuildResult, and its
+        # tree passes the structural oracle.
+        params = {"max_out_degree": 4}
+        if name in ("bandwidth-latency", "random"):
+            params["seed"] = 0
+        result = build(POINTS, 0, name, **params)
+        assert isinstance(result, BuildResult)
+        assert result.builder == name
+        assert result.tree.n == POINTS.shape[0]
+        # min-diameter picks its own root; everyone else keeps source 0.
+        if name != "min-diameter":
+            assert result.tree.root == 0
+        report = check_tree(result.tree, d_max=4)
+        assert report.ok, report.render()
+
+    def test_unknown_builder_error_is_structured(self):
+        with pytest.raises(UnknownBuilderError) as info:
+            build(POINTS, 0, "no-such-builder")
+        err = info.value
+        assert err.name == "no-such-builder"
+        assert "polar-grid" in err.known
+        assert isinstance(err, ValueError)
+        assert "polar-grid" in str(err)
+
+    def test_param_error_is_structured(self):
+        with pytest.raises(BuilderParamError) as info:
+            build(POINTS, 0, "capped-star", bogus_knob=3)
+        err = info.value
+        assert err.builder == "capped-star"
+        assert "bogus_knob" in err.rejected
+        assert "max_out_degree" in err.accepted
+        assert isinstance(err, TypeError)
+
+    def test_min_diameter_exposes_diameter_extra(self):
+        result = build(POINTS, 0, "min-diameter", max_out_degree=6)
+        assert result.extras["diameter"] > 0
+        assert result.builder == "min-diameter"
+
+    def test_wrapped_builders_measure_build_time(self):
+        result = build(POINTS, 0, "compact-tree", max_out_degree=6)
+        assert result.build_seconds > 0
+
+    def test_counters_track_builds(self):
+        import repro.obs as obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            build(POINTS, 0, "capped-star", max_out_degree=5)
+            snap = obs.snapshot()
+        finally:
+            obs.reset()
+        assert snap["registry.build.total"]["value"] == 1.0
+        assert snap["registry.build.capped-star.total"]["value"] == 1.0
+
+
+class TestDeprecatedShims:
+    def test_old_entry_points_warn_and_still_work(self):
+        with pytest.warns(DeprecationWarning, match="repro.build"):
+            result = repro.build_polar_grid_tree(POINTS, 0, 6)
+        assert result.builder == "polar-grid"
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            result = repro.build_bisection_tree(POINTS, 0, 4)
+        assert result.builder == "bisection"
+
+    def test_min_diameter_shim_keeps_the_tuple_contract(self):
+        with pytest.warns(DeprecationWarning):
+            result, diameter = repro.build_min_diameter_tree(
+                POINTS, max_out_degree=6
+            )
+        assert diameter == result.extras["diameter"]
+
+    def test_importing_repro_is_warning_free(self):
+        # Shims warn at CALL time only; merely importing (or touching
+        # the canonical API) must stay silent under -W error.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build(POINTS, 0, "polar-grid", max_out_degree=6)
+            np.testing.assert_allclose(POINTS, POINTS)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_an_api

@@ -1,0 +1,463 @@
+"""The build service: cache, coalescing, backpressure, deadlines, TCP."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.oracle import check_tree
+from repro.core.builder import build_polar_grid_tree
+from repro.core.registry import register_builder, unregister_builder
+from repro.service import (
+    BackgroundServer,
+    BuildCache,
+    BuildRequest,
+    DeadlineExceeded,
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverload,
+    TreeBuildService,
+    WorkloadSpec,
+    canonical_key,
+)
+from repro.service.core import request_from_payload
+from repro.workloads.generators import unit_disk
+
+POINTS = unit_disk(150, seed=5)
+PARAMS = {"max_out_degree": 6}
+
+
+def run(coro):
+    """Drive one async test body to completion."""
+    return asyncio.run(coro)
+
+
+class TestCanonicalKey:
+    def test_identical_requests_share_a_key(self):
+        a = canonical_key(POINTS, 0, "polar-grid", {"max_out_degree": 6})
+        b = canonical_key(POINTS.copy(), 0, "polar-grid", {"max_out_degree": 6})
+        assert a == b
+
+    def test_param_order_does_not_matter(self):
+        a = canonical_key(POINTS, 0, "polar-grid", {"max_out_degree": 6, "k": 3})
+        b = canonical_key(POINTS, 0, "polar-grid", {"k": 3, "max_out_degree": 6})
+        assert a == b
+
+    def test_every_request_dimension_changes_the_key(self):
+        base = canonical_key(POINTS, 0, "polar-grid", PARAMS)
+        assert canonical_key(POINTS, 1, "polar-grid", PARAMS) != base
+        assert canonical_key(POINTS, 0, "bisection", PARAMS) != base
+        assert (
+            canonical_key(POINTS, 0, "polar-grid", {"max_out_degree": 4})
+            != base
+        )
+        other = POINTS.copy()
+        other[0, 0] += 1e-9
+        assert canonical_key(other, 0, "polar-grid", PARAMS) != base
+
+    def test_transposed_points_cannot_collide(self):
+        square = unit_disk(2, seed=1)  # (2, 2): same bytes transposed
+        a = canonical_key(square, 0, "polar-grid", PARAMS)
+        b = canonical_key(
+            np.ascontiguousarray(square.T), 0, "polar-grid", PARAMS
+        )
+        assert a != b or np.array_equal(square, square.T)
+
+    def test_array_valued_params_are_hashable(self):
+        budgets = np.full(POINTS.shape[0], 3)
+        a = canonical_key(
+            POINTS, 0, "compact-tree", {"max_out_degree": budgets}
+        )
+        b = canonical_key(
+            POINTS, 0, "compact-tree", {"max_out_degree": budgets.copy()}
+        )
+        assert a == b
+
+
+def small_result(seed=0):
+    pts = unit_disk(80, seed=seed)
+    return build_polar_grid_tree(pts, 0, 6)
+
+
+class TestBuildCache:
+    def test_miss_then_hit(self):
+        cache = BuildCache(max_bytes=10**7)
+        assert cache.get("k") is None
+        result = small_result()
+        cache.put("k", result)
+        assert cache.get("k") is result
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_respects_byte_budget(self):
+        results = [small_result(seed=s) for s in range(4)]
+        from repro.service.cache import entry_nbytes
+
+        budget = int(entry_nbytes(results[0]) * 2.5)  # room for two
+        cache = BuildCache(max_bytes=budget)
+        for s, result in enumerate(results):
+            cache.put(f"k{s}", result)
+        assert len(cache) == 2
+        assert cache.evictions == 2
+        assert cache.current_bytes <= budget
+        # Most-recently-used survive; the oldest were evicted.
+        assert cache.get("k3") is results[3]
+        assert cache.get("k0") is None
+
+    def test_hit_refreshes_lru_position(self):
+        results = [small_result(seed=s) for s in range(3)]
+        from repro.service.cache import entry_nbytes
+
+        cache = BuildCache(max_bytes=int(entry_nbytes(results[0]) * 2.5))
+        cache.put("a", results[0])
+        cache.put("b", results[1])
+        assert cache.get("a") is results[0]  # refresh: b is now LRU
+        cache.put("c", results[2])
+        assert "a" in cache and "b" not in cache
+
+    def test_eviction_spills_and_reloads(self, tmp_path):
+        from repro.service.cache import entry_nbytes
+
+        results = [small_result(seed=s) for s in range(3)]
+        cache = BuildCache(
+            max_bytes=int(entry_nbytes(results[0]) * 1.5),
+            spill_dir=tmp_path,
+        )
+        for s, result in enumerate(results):
+            cache.put(f"k{s}", result)
+        assert cache.spill_writes == 2
+        reloaded = cache.get("k0")
+        assert reloaded is not None
+        assert cache.spill_reads == 1
+        original = results[0]
+        assert np.array_equal(reloaded.tree.parent, original.tree.parent)
+        assert np.array_equal(reloaded.tree.points, original.tree.points)
+        assert reloaded.rings == original.rings
+        assert reloaded.max_out_degree == original.max_out_degree
+
+    def test_oversized_entry_not_admitted_to_memory(self, tmp_path):
+        cache = BuildCache(max_bytes=10, spill_dir=tmp_path)
+        cache.put("big", small_result())
+        assert len(cache) == 0
+        assert cache.spill_writes == 1
+        assert cache.get("big") is not None  # served from disk
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            BuildCache(max_bytes=-1)
+
+
+class TestRequests:
+    def test_exactly_one_point_source_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            BuildRequest().resolve_points()
+        with pytest.raises(ValueError, match="exactly one"):
+            BuildRequest(
+                points=POINTS, workload=WorkloadSpec()
+            ).resolve_points()
+
+    def test_workload_materialisation_is_deterministic(self):
+        spec = WorkloadSpec("unit-disk", 200, seed=9)
+        assert np.array_equal(spec.materialize(), spec.materialize())
+
+    def test_unknown_workload_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec("mystery", 10).materialize()
+
+    def test_wire_decoding_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            request_from_payload({"op": "build", "pointz": [[0, 0]]})
+
+
+class SlowBuilder:
+    """A registered builder that blocks until released (fault clock)."""
+
+    def __init__(self, name="test-slow"):
+        self.name = name
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    def __enter__(self):
+        outer = self
+
+        @register_builder(self.name, summary="test-only gated builder")
+        def gated(points, source=0, max_out_degree=6):
+            outer.calls += 1
+            outer.entered.set()
+            assert outer.release.wait(30), "test forgot to release the gate"
+            return build_polar_grid_tree(points, source, max_out_degree)
+
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release.set()
+        unregister_builder(self.name)
+
+
+class TestService:
+    def test_repeat_requests_hit_the_cache(self):
+        async def body():
+            service = TreeBuildService()
+            try:
+                request = BuildRequest(points=POINTS, params=dict(PARAMS))
+                first = await service.submit(request)
+                second = await service.submit(
+                    BuildRequest(points=POINTS, params=dict(PARAMS))
+                )
+                return first, second, service.stats()
+            finally:
+                service.close()
+
+        first, second, stats = run(body())
+        assert not first.cached and second.cached
+        assert second.result is first.result
+        assert stats["builds"] == 1
+        assert stats["cache"]["hits"] == 1
+
+    def test_workload_and_raw_points_share_one_cache_entry(self):
+        async def body():
+            service = TreeBuildService()
+            try:
+                spec = WorkloadSpec("unit-disk", 150, seed=5)
+                by_workload = await service.submit(
+                    BuildRequest(workload=spec, params=dict(PARAMS))
+                )
+                by_points = await service.submit(
+                    BuildRequest(points=POINTS, params=dict(PARAMS))
+                )
+                return by_workload, by_points
+            finally:
+                service.close()
+
+        by_workload, by_points = run(body())
+        assert by_workload.key == by_points.key
+        assert by_points.cached
+
+    def test_concurrent_identical_requests_build_once(self):
+        async def body(slow):
+            service = TreeBuildService()
+            try:
+                requests = [
+                    BuildRequest(points=POINTS, builder=slow.name)
+                    for _ in range(5)
+                ]
+                tasks = [
+                    asyncio.create_task(service.submit(r)) for r in requests
+                ]
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, slow.entered.wait, 10)
+                slow.release.set()
+                responses = await asyncio.gather(*tasks)
+                return responses, service
+            finally:
+                service.close()
+
+        with SlowBuilder() as slow:
+            responses, service = run(body(slow))
+        assert slow.calls == 1
+        assert service.builds == 1
+        assert sum(1 for r in responses if r.coalesced) == 4
+        assert sum(1 for r in responses if not r.coalesced) == 1
+        keys = {r.key for r in responses}
+        assert len(keys) == 1
+
+    def test_overload_rejection_is_structured(self):
+        async def body(slow):
+            service = TreeBuildService(max_pending=1)
+            try:
+                blocker = asyncio.create_task(
+                    service.submit(
+                        BuildRequest(points=POINTS, builder=slow.name)
+                    )
+                )
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, slow.entered.wait, 10)
+                # A *different* key must be rejected immediately...
+                other = unit_disk(60, seed=8)
+                with pytest.raises(ServiceOverload) as info:
+                    await service.submit(
+                        BuildRequest(points=other, builder=slow.name)
+                    )
+                # ...while an identical one coalesces (adds no work).
+                join = asyncio.create_task(
+                    service.submit(
+                        BuildRequest(points=POINTS, builder=slow.name)
+                    )
+                )
+                await asyncio.sleep(0)
+                slow.release.set()
+                await asyncio.gather(blocker, join)
+                return info.value, service.stats()
+            finally:
+                service.close()
+
+        with SlowBuilder() as slow:
+            error, stats = run(body(slow))
+        assert (error.pending, error.limit) == (1, 1)
+        assert stats["rejected"] == 1
+        assert stats["coalesced"] == 1
+
+    def test_deadline_expiry_and_late_cache_absorption(self):
+        async def body(slow):
+            service = TreeBuildService()
+            try:
+                with pytest.raises(DeadlineExceeded) as info:
+                    await service.submit(
+                        BuildRequest(
+                            points=POINTS,
+                            builder=slow.name,
+                            deadline=0.05,
+                        )
+                    )
+                assert info.value.deadline == 0.05
+                slow.release.set()
+                for _ in range(200):  # the late build lands in the cache
+                    if service.builds:
+                        break
+                    await asyncio.sleep(0.05)
+                retry = await service.submit(
+                    BuildRequest(points=POINTS, builder=slow.name)
+                )
+                return retry, service.stats()
+            finally:
+                service.close()
+
+        with SlowBuilder() as slow:
+            retry, stats = run(body(slow))
+        assert retry.cached, "late build must be absorbed into the cache"
+        assert stats["deadline_expired"] == 1
+        assert stats["builds"] == 1
+
+    def test_default_deadline_comes_from_the_resilience_policy(self):
+        from repro.experiments.resilience import ResiliencePolicy
+
+        async def body(slow):
+            service = TreeBuildService(
+                policy=ResiliencePolicy(timeout=0.05)
+            )
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await service.submit(
+                        BuildRequest(points=POINTS, builder=slow.name)
+                    )
+            finally:
+                slow.release.set()
+                service.close()
+
+        with SlowBuilder() as slow:
+            run(body(slow))
+
+    def test_builder_errors_propagate_to_every_coalescer(self):
+        async def body():
+            service = TreeBuildService()
+            try:
+                # max_out_degree=1 is rejected inside the build.
+                request = BuildRequest(
+                    points=POINTS, params={"max_out_degree": 1}
+                )
+                with pytest.raises(ValueError, match="max_out_degree"):
+                    await service.submit(request)
+                assert service.stats()["builds"] == 0
+                assert len(service._inflight) == 0
+            finally:
+                service.close()
+
+        run(body())
+
+    def test_rejects_bad_max_pending(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            TreeBuildService(max_pending=0)
+
+
+class TestTCPService:
+    def test_full_protocol_round_trip(self):
+        with BackgroundServer() as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.ping()
+                workload = {"kind": "unit-disk", "n": 400, "seed": 2}
+                first = client.build(
+                    workload=workload, params={"max_out_degree": 4}
+                )
+                assert not first["cached"]
+                assert first["builder"] == "polar-grid"
+                assert first["n"] == 400
+                second = client.build(
+                    workload=workload, params={"max_out_degree": 4}
+                )
+                assert second["cached"]
+                assert second["key"] == first["key"]
+
+                reply, tree = client.build_tree(
+                    workload=workload, params={"max_out_degree": 4}
+                )
+                report = check_tree(tree, d_max=4)
+                assert report.ok, report.render()
+                assert tree.n == 400
+
+                stats = client.stats()
+                assert stats["builds"] == 1
+                assert stats["cache"]["hits"] >= 2
+
+                names = [b["name"] for b in client.builders()]
+                assert "polar-grid" in names and "quadtree" in names
+
+    def test_structured_errors_cross_the_wire(self):
+        with BackgroundServer() as server:
+            with ServiceClient(port=server.port) as client:
+                workload = {"kind": "unit-disk", "n": 50, "seed": 0}
+                with pytest.raises(ServiceClientError) as info:
+                    client.build(workload=workload, builder="nope")
+                assert info.value.error_type == "UnknownBuilderError"
+                assert "polar-grid" in info.value.error["known"]
+
+                with pytest.raises(ServiceClientError) as info:
+                    client.build(workload=workload, params={"bogus": 1})
+                assert info.value.error_type == "BuilderParamError"
+                assert info.value.error["rejected"] == ["bogus"]
+
+                with pytest.raises(ServiceClientError) as info:
+                    client.build(
+                        workload={"kind": "unit-disk", "n": 150_000, "seed": 1},
+                        deadline=0.001,
+                    )
+                assert info.value.error_type == "DeadlineExceeded"
+                assert info.value.error["deadline"] == 0.001
+
+    def test_raw_points_round_trip(self):
+        with BackgroundServer() as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.build(
+                    points=POINTS, params={"max_out_degree": 6}
+                )
+                assert reply["n"] == POINTS.shape[0]
+                again = client.build(
+                    points=POINTS, params={"max_out_degree": 6}
+                )
+                assert again["cached"]
+
+    def test_shutdown_op_stops_the_server(self):
+        server = BackgroundServer().start()
+        with ServiceClient(port=server.port) as client:
+            client.shutdown()
+        server._thread.join(timeout=10)
+        assert not server._thread.is_alive()
+        server.stop()  # idempotent after shutdown
+
+
+@pytest.mark.slow
+class TestServiceSmokeTool:
+    def test_smoke_tool_passes(self, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[1] / "tools" / "service_smoke.py"
+        )
+        module_spec = importlib.util.spec_from_file_location("smoke", path)
+        smoke = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(smoke)
+        assert smoke.main(["--nodes", "1500", "--clients", "4"]) == 0
+        assert "1 build" in capsys.readouterr().out

@@ -33,10 +33,14 @@ class TestBuildKwargs:
         assert session.last_build is not None
         assert session.last_build.upper_bound > session.metrics().radius
 
-    def test_last_build_none_for_baselines(self):
+    def test_last_build_wrapped_for_baselines(self):
+        # Baselines now dispatch through repro.build too, so last_build
+        # is a uniform BuildResult; the grid-only columns stay None.
         session = MulticastSession(make_hosts(), algorithm="compact-tree")
         session.build()
-        assert session.last_build is None
+        assert session.last_build.builder == "compact-tree"
+        assert session.last_build.rings is None
+        assert session.last_build.tree is session.tree
 
     def test_rebuild_replaces_tree(self):
         session = MulticastSession(make_hosts(), algorithm="random")

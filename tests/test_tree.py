@@ -60,6 +60,18 @@ class TestConstruction:
         with pytest.raises(TreeInvariantError, match="no parent"):
             MulticastTree.from_edges(pts, [(0, 1)], root=0)
 
+    def test_from_edges_reports_every_offender_at_once(self):
+        # One failed construction must name ALL defective nodes — both
+        # double-parented and orphaned — not just the first symptom.
+        pts = np.zeros((6, 2))
+        edges = [(0, 1), (2, 1), (0, 2), (3, 2)]  # 1, 2 doubled; 3-5 orphans
+        with pytest.raises(TreeInvariantError) as info:
+            MulticastTree.from_edges(pts, edges, root=0)
+        message = str(info.value)
+        assert "[1, 2]" in message, message
+        assert "[3, 4, 5]" in message, message
+        assert "two parents" in message and "no parent" in message
+
     def test_edges_roundtrip(self):
         tree = chain_tree(5)
         rebuilt = MulticastTree.from_edges(tree.points, tree.edges(), 0)

@@ -1,0 +1,83 @@
+"""Closed-loop build-service benchmark; emits BENCH_serve.json.
+
+Thin shim over :func:`repro.service.bench.run_bench` (also exposed as
+``python -m repro bench-serve``). Four phases over a real TCP server:
+
+1. **cold** — first request for a fresh key pays for the build;
+2. **warm** — repeats of the same request must hit the
+   content-addressed cache; the gate is a >= 10x speedup of the median
+   warm latency over the cold request;
+3. **coalesce** — N concurrent identical requests from separate
+   connections; the gate is *exactly one* underlying build;
+4. **oracle** — one response is reconstructed client-side and passed
+   through :func:`repro.analysis.oracle.check_tree`.
+
+Schema (abridged)::
+
+    {"cold_seconds": float,
+     "warm_seconds_median": float,
+     "speedup": float,                       # gate: >= 10
+     "coalesce": {"clients": int,
+                  "builds": int,             # gate: == 1
+                  "coalesced_replies": int},
+     "oracle_ok": bool,                      # gate: true
+     "service_stats": {...}}                 # counters + cache stats
+
+Run::
+
+    PYTHONPATH=src python tools/bench_serve.py --out BENCH_serve.json
+
+Exit code 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.service.bench import run_bench
+
+SPEEDUP_GATE = 10.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--nodes", type=int, default=20_000)
+    parser.add_argument("--builder", default="polar-grid")
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--warm", type=int, default=20)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        n=args.nodes,
+        builder=args.builder,
+        max_out_degree=args.degree,
+        warm_requests=args.warm,
+        clients=args.clients,
+        seed=args.seed,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    ok = (
+        report["speedup"] >= SPEEDUP_GATE
+        and report["coalesce"]["builds"] == 1
+        and report["oracle_ok"]
+    )
+    print(
+        f"gates: speedup {report['speedup']:.1f}x (>= {SPEEDUP_GATE:.0f}), "
+        f"builds {report['coalesce']['builds']} (== 1), "
+        f"oracle {'ok' if report['oracle_ok'] else 'FAILED'} -> "
+        f"{'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

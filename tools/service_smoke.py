@@ -1,0 +1,104 @@
+"""CI smoke test for the build service: coalescing is not optional.
+
+Starts a real TCP server, fires N concurrent identical build requests
+from independent connections, and asserts — via the service's build
+counter — that exactly **one** underlying build ran: every other
+request must be answered by coalescing onto the in-flight build or by
+the content-addressed cache. One response is then reconstructed
+client-side and pushed through the structural oracle.
+
+Fast by design (a few thousand nodes, seconds of wall clock); the CI
+workflow runs it on every push. Exit 0 on pass, 1 on any violation.
+
+Run::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.analysis.oracle import check_tree
+from repro.service import BackgroundServer, ServiceClient
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--nodes", type=int, default=5_000)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--degree", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    workload = {"kind": "unit-disk", "n": args.nodes, "seed": 0}
+    params = {"max_out_degree": args.degree}
+    failures: list[str] = []
+
+    with BackgroundServer(max_workers=max(2, args.clients)) as server:
+        barrier = threading.Barrier(args.clients)
+        replies: list[dict] = []
+        errors: list[BaseException] = []
+
+        def fire():
+            try:
+                with ServiceClient(port=server.port) as client:
+                    barrier.wait(timeout=30)
+                    replies.append(
+                        client.build(workload=workload, params=params)
+                    )
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fire) for _ in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+
+        if errors:
+            failures.append(f"client error: {errors[0]!r}")
+        if len(replies) != args.clients:
+            failures.append(
+                f"{len(replies)}/{args.clients} replies arrived"
+            )
+        builds = server.service.builds
+        if builds != 1:
+            failures.append(
+                f"{args.clients} concurrent identical requests ran "
+                f"{builds} builds; wanted exactly 1"
+            )
+        absorbed = sum(
+            1 for r in replies if r.get("coalesced") or r.get("cached")
+        )
+        if absorbed != len(replies) - 1:
+            failures.append(
+                f"{absorbed} replies coalesced/cached; wanted "
+                f"{len(replies) - 1}"
+            )
+
+        with ServiceClient(port=server.port) as client:
+            reply, tree = client.build_tree(workload=workload, params=params)
+            if not reply["cached"]:
+                failures.append("post-smoke repeat missed the cache")
+            oracle = check_tree(tree, d_max=args.degree)
+            if not oracle.ok:
+                failures.append(f"oracle violations: {oracle.render()}")
+
+    if failures:
+        print("service smoke FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"service smoke ok: {args.clients} concurrent requests, "
+        f"1 build, oracle clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
