@@ -342,6 +342,94 @@ def build_parser() -> argparse.ArgumentParser:
         "DeadlineExceeded error and the build still lands in the cache)",
     )
 
+    fleet = sub.add_parser(
+        "serve-fleet",
+        help="run a sharded fleet: N serve processes on ephemeral "
+        "ports with the cache key space consistent-hashed across them "
+        "(route requests with repro.service.ShardRouter; see "
+        "docs/SERVICE.md)",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        metavar="N",
+        help="fleet size (default 3); each shard is an independent "
+        "serve process with its own cache",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="build threads per shard (default 2)",
+    )
+    fleet.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        metavar="K",
+        help="per-shard bound on distinct in-flight builds",
+    )
+
+    bfleet = sub.add_parser(
+        "bench-fleet",
+        help="scaling-curve benchmark of the sharded fleet: closed-loop "
+        "clients against 1/2/4-shard fleets (hot-key coalescing, "
+        "mixed working set; writes BENCH_fleet.json)",
+    )
+    bfleet.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="fleet sizes to sweep (default: 1 2 4)",
+    )
+    bfleet.add_argument("--nodes", type=int, default=5_000)
+    bfleet.add_argument(
+        "--builder",
+        choices=builder_names(),
+        default="polar-grid",
+        help="registered tree builder to benchmark",
+    )
+    bfleet.add_argument("--degree", type=int, default=6)
+    bfleet.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent closed-loop clients, each with its own router",
+    )
+    bfleet.add_argument(
+        "--requests",
+        type=int,
+        default=25,
+        metavar="K",
+        help="requests per client in the closed-loop phase",
+    )
+    bfleet.add_argument(
+        "--keys",
+        type=int,
+        default=5,
+        metavar="K",
+        help="distinct workload keys in the closed-loop working set",
+    )
+    bfleet.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        metavar="R",
+        help="preference-list length per key (primary + R-1 replicas)",
+    )
+    bfleet.add_argument("--seed", type=int, default=0)
+    bfleet.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_fleet.json",
+        help="where to write the JSON report (default BENCH_fleet.json)",
+    )
+
     bench = sub.add_parser(
         "bench-serve",
         help="closed-loop latency benchmark of the build service "
@@ -658,6 +746,52 @@ def _dispatch(args) -> int:
             policy=policy,
             max_workers=args.workers,
         )
+
+    if args.command == "serve-fleet":
+        from repro.service.fleet import run_fleet
+
+        return run_fleet(
+            shards=args.shards,
+            max_workers=args.workers,
+            max_pending=args.max_pending,
+        )
+
+    if args.command == "bench-fleet":
+        from repro.service import run_fleet_bench
+
+        report = run_fleet_bench(
+            shard_counts=tuple(args.shards),
+            n=args.nodes,
+            builder=args.builder,
+            max_out_degree=args.degree,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            distinct_keys=args.keys,
+            replication=args.replication,
+            seed=args.seed,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        ok = True
+        for entry in report["curve"]:
+            loop = entry["closed_loop"]
+            entry_ok = (
+                entry["hot"]["builds"] == 1
+                and entry["hot"]["errors"] == 0
+                and loop["builds"] == loop["distinct_keys"]
+                and loop["errors"] == 0
+                and entry["oracle_ok"]
+            )
+            ok = ok and entry_ok
+            print(
+                f"{entry['shards']} shard(s): hot {entry['hot']['builds']} "
+                f"build(s) | loop {loop['builds']}/{loop['distinct_keys']} "
+                f"builds, coalesce {loop['coalesce_ratio']:.3f}, "
+                f"{loop['throughput_rps']:.0f} req/s | "
+                f"oracle {'ok' if entry['oracle_ok'] else 'FAILED'}"
+            )
+        print(f"report -> {args.out}")
+        return 0 if ok else 1
 
     if args.command == "bench-serve":
         from repro.service import run_bench

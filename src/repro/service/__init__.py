@@ -14,14 +14,28 @@ collapse duplicate work (see :mod:`repro.service.core`):
 * **admission control** — bounded in-flight builds, structured
   :class:`ServiceOverload` rejections, per-request deadlines.
 
-Run one with ``python -m repro serve``; talk to it with
-:class:`ServiceClient`; measure it with ``python -m repro bench-serve``.
-See docs/SERVICE.md for the full protocol and operational guidance.
+Scale one service out horizontally with the shard layer
+(:mod:`repro.service.shard` / :mod:`repro.service.fleet`): a
+consistent-hash :class:`HashRing` partitions the cache-key space over N
+shards, a :class:`ShardRouter` sends every request to its key's primary
+shard (failing over along the key's deterministic preference list on
+:class:`ServiceUnavailable`), and a :class:`ShardFleet` spawns,
+monitors, and kills whole fleets for tests and benches.
+
+Run one with ``python -m repro serve`` (a fleet with ``serve-fleet``);
+talk to it with :class:`ServiceClient` (a fleet with
+:class:`ShardRouter`); measure with ``python -m repro bench-serve`` /
+``bench-fleet``. See docs/SERVICE.md for the full protocol, the
+sharding contract, and operational guidance.
 """
 
-from repro.service.bench import run_bench
+from repro.service.bench import run_bench, run_fleet_bench
 from repro.service.cache import BuildCache, canonical_key
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceUnavailable,
+)
 from repro.service.core import (
     BuildRequest,
     BuildResponse,
@@ -30,7 +44,9 @@ from repro.service.core import (
     TreeBuildService,
     WorkloadSpec,
 )
+from repro.service.fleet import ShardFleet
 from repro.service.server import DEFAULT_PORT, BackgroundServer, run_server
+from repro.service.shard import HashRing, NoShardAvailable, ShardRouter
 
 __all__ = [
     "BuildCache",
@@ -39,12 +55,18 @@ __all__ = [
     "BackgroundServer",
     "DEFAULT_PORT",
     "DeadlineExceeded",
+    "HashRing",
+    "NoShardAvailable",
     "ServiceClient",
     "ServiceClientError",
     "ServiceOverload",
+    "ServiceUnavailable",
+    "ShardFleet",
+    "ShardRouter",
     "TreeBuildService",
     "WorkloadSpec",
     "canonical_key",
     "run_bench",
+    "run_fleet_bench",
     "run_server",
 ]

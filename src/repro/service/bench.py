@@ -25,7 +25,7 @@ import statistics
 import threading
 import time
 
-__all__ = ["run_bench"]
+__all__ = ["run_bench", "run_fleet_bench"]
 
 
 def _timed(fn):
@@ -152,4 +152,224 @@ def run_bench(
         },
         "oracle_ok": bool(oracle.ok),
         "service_stats": stats,
+    }
+
+
+def _fleet_phase_hot(fleet, clients, workload, builder, params):
+    """All clients hammer one fresh key at once; returns the phase dict."""
+    builds_before = fleet.total_builds()
+    barrier = threading.Barrier(clients)
+    replies: list[dict] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def fire():
+        try:
+            with fleet.router() as router:
+                barrier.wait(timeout=30)
+                reply = router.build(
+                    workload=workload, builder=builder, params=params
+                )
+                with lock:
+                    replies.append(reply)
+        except Exception as exc:  # noqa: BLE001 - collected for the gate
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=fire) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    return {
+        "clients": clients,
+        "builds": fleet.total_builds() - builds_before,
+        "absorbed": sum(
+            1 for r in replies if r.get("cached") or r.get("coalesced")
+        ),
+        "errors": len(errors),
+        "error_samples": [repr(e) for e in errors[:3]],
+    }
+
+
+def _fleet_phase_closed_loop(
+    fleet, clients, requests_per_client, workloads, builder, params
+):
+    """Closed-loop mixed traffic over a working set; returns the dict."""
+    builds_before = fleet.total_builds()
+    barrier = threading.Barrier(clients)
+    samples: list[tuple[float, dict]] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def drive(client_index: int):
+        try:
+            with fleet.router() as router:
+                barrier.wait(timeout=30)
+                for i in range(requests_per_client):
+                    workload = workloads[(client_index + i) % len(workloads)]
+                    seconds, reply = _timed(
+                        lambda w=workload: router.build(
+                            workload=w, builder=builder, params=params
+                        )
+                    )
+                    with lock:
+                        samples.append((seconds, reply))
+        except Exception as exc:  # noqa: BLE001 - collected for the gate
+            with lock:
+                errors.append(exc)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    wall = time.perf_counter() - started
+
+    total = len(samples)
+    warm = [s for s, r in samples if r.get("cached")]
+    absorbed = sum(
+        1 for _, r in samples if r.get("cached") or r.get("coalesced")
+    )
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_seconds": wall,
+        "throughput_rps": total / wall if wall > 0 else 0.0,
+        "builds": fleet.total_builds() - builds_before,
+        "distinct_keys": len(workloads),
+        "coalesce_ratio": absorbed / total if total else 0.0,
+        "warm_hit_seconds_median": (
+            statistics.median(warm) if warm else None
+        ),
+        "warm_hits": len(warm),
+        "errors": len(errors),
+        "error_samples": [repr(e) for e in errors[:3]],
+    }
+
+
+def run_fleet_bench(
+    shard_counts=(1, 2, 4),
+    n: int = 5_000,
+    builder: str = "polar-grid",
+    max_out_degree: int = 6,
+    clients: int = 4,
+    requests_per_client: int = 25,
+    distinct_keys: int = 5,
+    replication: int = 2,
+    vnodes: int = 64,
+    seed: int = 0,
+    log=None,
+) -> dict:
+    """Scaling-curve benchmark: the closed loop against 1/2/4-shard fleets.
+
+    For each shard count a fresh thread-mode
+    :class:`~repro.service.fleet.ShardFleet` serves two phases:
+
+    1. **hot** — every client fires the *same fresh* key concurrently
+       through its own :class:`~repro.service.shard.ShardRouter`; the
+       fleet-wide build delta must be exactly 1 (shard-aware
+       coalescing: deterministic routing sends the hot key to one
+       shard, whose in-process coalescing collapses the stampede);
+    2. **closed loop** — each client issues ``requests_per_client``
+       requests round-robin over ``distinct_keys`` workloads; the
+       fleet-wide build delta must equal ``distinct_keys`` (every key
+       built exactly once, everything else cache/coalesce), and the
+       warm-hit latency and throughput land in the report.
+
+    One ``include_tree`` response per fleet is reconstructed and
+    oracle-checked. Returns the report dict written to
+    ``BENCH_fleet.json`` by ``python -m repro bench-fleet``.
+    """
+    import numpy as np
+
+    from repro.analysis.oracle import check_tree
+    from repro.core.tree import MulticastTree
+    from repro.service.fleet import ShardFleet
+
+    say = log or (lambda *_: None)
+    params = {"max_out_degree": max_out_degree}
+    curve = []
+    for shards in shard_counts:
+        say(f"--- fleet of {shards} shard(s) ---")
+        with ShardFleet(
+            shards=shards,
+            mode="thread",
+            replication=replication,
+            vnodes=vnodes,
+            max_workers=max(2, clients),
+        ) as fleet:
+            hot = _fleet_phase_hot(
+                fleet,
+                clients,
+                {"kind": "unit-disk", "n": n, "seed": seed + 1_000 + shards},
+                builder,
+                params,
+            )
+            say(
+                f"hot: {hot['clients']} clients -> {hot['builds']} build(s), "
+                f"{hot['absorbed']} absorbed, {hot['errors']} errors"
+            )
+            workloads = [
+                {"kind": "unit-disk", "n": n, "seed": seed + j}
+                for j in range(distinct_keys)
+            ]
+            loop = _fleet_phase_closed_loop(
+                fleet, clients, requests_per_client, workloads, builder, params
+            )
+            say(
+                f"loop: {loop['requests']} requests -> {loop['builds']} "
+                f"builds, coalesce ratio {loop['coalesce_ratio']:.3f}, "
+                f"{loop['throughput_rps']:.0f} req/s"
+            )
+            with fleet.router() as router:
+                reply = router.build(
+                    workload=workloads[0],
+                    builder=builder,
+                    params=params,
+                    include_tree=True,
+                )
+            tree = MulticastTree(
+                np.asarray(reply["points"], dtype=np.float64),
+                np.asarray(reply["parent"], dtype=np.int64),
+                reply["root"],
+            ).validate()
+            oracle_ok = bool(check_tree(tree, d_max=max_out_degree).ok)
+            say(f"oracle: ok={oracle_ok}")
+            per_shard = {
+                sid: (
+                    None
+                    if stats is None
+                    else {
+                        "requests": stats["requests"],
+                        "builds": stats["builds"],
+                        "cache_hits": stats["cache"]["hits"],
+                        "cache_misses": stats["cache"]["misses"],
+                    }
+                )
+                for sid, stats in fleet.fleet_stats().items()
+            }
+        curve.append(
+            {
+                "shards": shards,
+                "hot": hot,
+                "closed_loop": loop,
+                "oracle_ok": oracle_ok,
+                "per_shard": per_shard,
+            }
+        )
+    return {
+        "benchmark": "repro.service sharded-fleet closed-loop",
+        "workload": {"kind": "unit-disk", "n": n, "seed": seed},
+        "builder": builder,
+        "max_out_degree": max_out_degree,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "distinct_keys": distinct_keys,
+        "replication": replication,
+        "vnodes": vnodes,
+        "curve": curve,
     }

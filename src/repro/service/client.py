@@ -2,10 +2,15 @@
 
 :class:`ServiceClient` is a thin blocking wrapper — one socket, one
 request/response line pair per call — aimed at scripts, tests, and the
-closed-loop benchmark. Failures come back as :class:`ServiceClientError`
-carrying the server's structured error object (``error["type"]`` is the
-exception class name: ``"ServiceOverload"``, ``"DeadlineExceeded"``,
-``"UnknownBuilderError"``, ...).
+closed-loop benchmark. Failures split into two structured families:
+
+* :class:`ServiceClientError` — the server is alive and answered with a
+  structured error object (``error["type"]`` is the exception class
+  name: ``"ServiceOverload"``, ``"DeadlineExceeded"``,
+  ``"UnknownBuilderError"``, ...);
+* :class:`ServiceUnavailable` — the server cannot be reached at all
+  (refused connection, reset, closed socket), carrying ``host``/``port``
+  so a shard router can fail over to a replica.
 
 >>> # doctest: +SKIP
 >>> from repro.service import BackgroundServer, ServiceClient
@@ -30,7 +35,30 @@ from repro.core.tree import MulticastTree
 from repro.service.core import WorkloadSpec, workload_to_payload
 from repro.service.server import DEFAULT_PORT
 
-__all__ = ["ServiceClient", "ServiceClientError"]
+__all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The service at ``host:port`` cannot be reached (dead shard).
+
+    Raised instead of the transport's bare ``ConnectionRefusedError`` /
+    ``ConnectionResetError`` / closed-socket errors, so callers — the
+    shard router above all — can distinguish *dead server* (retry on a
+    replica) from *protocol error* (:class:`ServiceClientError`: the
+    server is alive and said no). Carries ``host`` and ``port``; the
+    original transport failure rides along as ``__cause__``.
+
+    Subclasses ``ConnectionError``, so pre-existing ``except
+    ConnectionError`` handlers keep working.
+    """
+
+    def __init__(self, host: str, port: int, reason: str):
+        """Record which endpoint failed and why."""
+        self.host = host
+        self.port = int(port)
+        super().__init__(
+            f"service at {host}:{port} unavailable: {reason}"
+        )
 
 
 class ServiceClientError(RuntimeError):
@@ -66,8 +94,19 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         timeout: float = 300.0,
     ):
-        """Connect immediately; raises ``OSError`` when nothing listens."""
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        """Connect immediately.
+
+        :raises ServiceUnavailable: when nothing listens at
+            ``host:port`` (connection refused / timed out).
+        """
+        self.host = host
+        self.port = int(port)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(host, port, f"connect failed: {exc}") from exc
         self._file = self._sock.makefile("rwb")
 
     def close(self) -> None:
@@ -86,11 +125,18 @@ class ServiceClient:
         self.close()
 
     def _call(self, payload: dict) -> dict:
-        self._file.write(json.dumps(payload).encode() + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(json.dumps(payload).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:  # reset / broken pipe / timeout mid-request
+            raise ServiceUnavailable(
+                self.host, self.port, f"request failed: {exc}"
+            ) from exc
         if not line:
-            raise ConnectionError("service closed the connection")
+            raise ServiceUnavailable(
+                self.host, self.port, "server closed the connection"
+            )
         reply = json.loads(line)
         if not reply.get("ok", False):
             raise ServiceClientError(reply.get("error", {}))

@@ -1,0 +1,378 @@
+"""Spawn, monitor, and kill a fleet of build-service shards.
+
+:class:`ShardFleet` brings up N independent
+:class:`~repro.service.core.TreeBuildService` instances on ephemeral
+ports and hands out :class:`~repro.service.shard.ShardRouter`\\ s wired
+to them. Two modes:
+
+``thread`` (default)
+    each shard is a :class:`~repro.service.server.BackgroundServer`
+    daemon thread in this process — instant startup, direct access to
+    each shard's ``service`` object for counter assertions. ``kill``
+    stops the shard abruptly (listening socket closed, live
+    connections dropped), which clients observe as
+    :class:`~repro.service.client.ServiceUnavailable` — the same
+    symptom as a dead process.
+
+``process``
+    each shard is a real ``python -m repro serve`` subprocess — the
+    only mode where ``kill`` can deliver an honest ``SIGKILL``, which
+    is exactly what the CI fleet-smoke does mid-run. Startup parses
+    each child's "listening on host:port" line to learn its ephemeral
+    port.
+
+Fault drills reuse the :mod:`repro.testing.faults` plan format:
+:meth:`ShardFleet.inject` interprets a sequence of
+:class:`~repro.testing.faults.FaultSpec` entries with ``trial`` read as
+the *shard index* — ``crash`` SIGKILLs (or abruptly stops) that shard,
+``hang`` SIGSTOPs it (process mode), ``sleep`` is the inter-step brake.
+The same vocabulary that kills trial workers in resilience drills kills
+shards here.
+
+>>> # doctest: +SKIP
+>>> from repro.service.fleet import ShardFleet
+>>> with ShardFleet(shards=3) as fleet:
+...     with fleet.router() as router:
+...         reply = router.build(workload={"kind": "unit-disk", "n": 500})
+...         fleet.total_builds()
+1
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.server import BackgroundServer
+from repro.service.shard import ShardRouter
+
+__all__ = ["ShardFleet", "run_fleet"]
+
+_LISTENING = re.compile(r"listening on ([0-9.]+):([0-9]+)")
+
+
+class _Shard:
+    """One fleet member: its id, address, and underlying server handle."""
+
+    def __init__(self, shard_id: str):
+        self.shard_id = shard_id
+        self.host: str | None = None
+        self.port: int | None = None
+        self.server: BackgroundServer | None = None  # thread mode
+        self.process: subprocess.Popen | None = None  # process mode
+        self.killed = False
+        self._ready = threading.Event()
+
+    def alive(self) -> bool:
+        """Best-effort liveness: not killed and the backend still runs."""
+        if self.killed:
+            return False
+        if self.process is not None:
+            return self.process.poll() is None
+        if self.server is not None and self.server._thread is not None:
+            return self.server._thread.is_alive()
+        return False
+
+
+class ShardFleet:
+    """N build-service shards on ephemeral ports, as one context manager.
+
+    :param shards: fleet size (shard ids ``shard-0`` … ``shard-N-1``).
+    :param mode: ``"thread"`` (in-process :class:`BackgroundServer`\\ s)
+        or ``"process"`` (``python -m repro serve`` subprocesses that
+        can be SIGKILLed).
+    :param replication: preference-list length for routers this fleet
+        hands out (see :class:`~repro.service.shard.HashRing`).
+    :param vnodes: virtual nodes per shard on those routers' rings.
+    :param max_workers: build threads per shard.
+    :param max_pending: per-shard admission bound.
+    :param start_timeout: seconds to wait for every shard to listen.
+    """
+
+    def __init__(
+        self,
+        shards: int = 3,
+        mode: str = "thread",
+        replication: int = 2,
+        vnodes: int = 64,
+        max_workers: int = 2,
+        max_pending: int = 32,
+        start_timeout: float = 60.0,
+    ):
+        """Configure (but do not yet start) the fleet."""
+        if shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        self.mode = mode
+        self.replication = int(replication)
+        self.vnodes = int(vnodes)
+        self.max_workers = int(max_workers)
+        self.max_pending = int(max_pending)
+        self.start_timeout = float(start_timeout)
+        self._shards = [_Shard(f"shard-{i}") for i in range(shards)]
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "ShardFleet":
+        """Bring every shard up and wait until all of them listen."""
+        for shard in self._shards:
+            if self.mode == "thread":
+                self._start_thread_shard(shard)
+            else:
+                self._start_process_shard(shard)
+        deadline = time.monotonic() + self.start_timeout
+        for shard in self._shards:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not shard._ready.wait(timeout=remaining) or shard.port is None:
+                self.stop()
+                raise RuntimeError(
+                    f"{shard.shard_id} failed to listen within "
+                    f"{self.start_timeout}s"
+                )
+        return self
+
+    def stop(self) -> None:
+        """Stop every shard (idempotent; dead shards are skipped)."""
+        for shard in self._shards:
+            if shard.server is not None:
+                shard.server.stop()
+            if shard.process is not None and shard.process.poll() is None:
+                shard.process.terminate()
+        for shard in self._shards:
+            if shard.process is not None:
+                try:
+                    shard.process.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    shard.process.kill()
+                    shard.process.wait(timeout=10)
+                if shard.process.stdout is not None:
+                    shard.process.stdout.close()
+
+    def __enter__(self) -> "ShardFleet":
+        """Context-manager entry: start and wait for all shards."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the fleet on context exit."""
+        self.stop()
+
+    def _start_thread_shard(self, shard: _Shard) -> None:
+        shard.server = BackgroundServer(
+            port=0,
+            max_workers=self.max_workers,
+            max_pending=self.max_pending,
+        ).start()
+        shard.host = shard.server.host
+        shard.port = shard.server.port
+        shard._ready.set()
+
+    def _start_process_shard(self, shard: _Shard) -> None:
+        src = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        shard.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--workers",
+                str(self.max_workers),
+                "--max-pending",
+                str(self.max_pending),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        watcher = threading.Thread(
+            target=self._watch_stdout,
+            args=(shard,),
+            name=f"fleet-{shard.shard_id}",
+            daemon=True,
+        )
+        watcher.start()
+
+    @staticmethod
+    def _watch_stdout(shard: _Shard) -> None:
+        """Parse the child's listening line, then drain its output."""
+        for line in shard.process.stdout:
+            match = _LISTENING.search(line)
+            if match and shard.port is None:
+                shard.host = match.group(1)
+                shard.port = int(match.group(2))
+                shard._ready.set()
+        shard._ready.set()  # EOF before listening = startup failure
+
+    # -- monitoring ---------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        """The fleet's shard ids, in index order."""
+        return tuple(s.shard_id for s in self._shards)
+
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        """Shard id → ``(host, port)``, the map routers are built from."""
+        return {s.shard_id: (s.host, s.port) for s in self._shards}
+
+    def alive(self) -> dict[str, bool]:
+        """Per-shard liveness (killed shards report ``False``)."""
+        return {s.shard_id: s.alive() for s in self._shards}
+
+    def router(self, **kwargs) -> ShardRouter:
+        """A fresh router over this fleet (one per client thread)."""
+        kwargs.setdefault("replication", self.replication)
+        kwargs.setdefault("vnodes", self.vnodes)
+        return ShardRouter(self.addresses(), **kwargs)
+
+    def fleet_stats(self) -> dict[str, dict | None]:
+        """Every shard's ``stats`` response (``None`` for dead shards)."""
+        stats: dict[str, dict | None] = {}
+        for shard in self._shards:
+            if shard.server is not None and shard.server.service is not None:
+                # Thread mode: read the service object directly — works
+                # even after an abrupt stop, when TCP would refuse.
+                stats[shard.shard_id] = shard.server.service.stats()
+                continue
+            try:
+                with ServiceClient(host=shard.host, port=shard.port) as client:
+                    stats[shard.shard_id] = client.stats()
+            except ServiceUnavailable:
+                stats[shard.shard_id] = None
+        return stats
+
+    def total_builds(self) -> int:
+        """Builds run fleet-wide.
+
+        Thread-mode shards stay countable after a kill (their service
+        object survives in-process); a SIGKILLed subprocess does not,
+        and its builds died with it — exactly the loss failover must
+        absorb.
+        """
+        return sum(
+            s["builds"] for s in self.fleet_stats().values() if s is not None
+        )
+
+    # -- fault drills -------------------------------------------------
+
+    def kill(self, shard_id: str) -> None:
+        """Kill one shard: SIGKILL its process, or stop its thread dead.
+
+        Idempotent; killing an already-dead shard is a no-op.
+        """
+        shard = self._get(shard_id)
+        shard.killed = True
+        if shard.process is not None:
+            if shard.process.poll() is None:
+                shard.process.kill()  # SIGKILL — no goodbye
+                shard.process.wait(timeout=10)
+        elif shard.server is not None:
+            shard.server.stop()
+
+    def inject(self, *specs) -> None:
+        """Run a fault plan against the fleet, in order.
+
+        Reuses the :class:`~repro.testing.faults.FaultSpec` vocabulary
+        with ``trial`` read as the shard index: ``crash`` kills
+        ``shard-<trial>`` (SIGKILL in process mode), ``hang`` SIGSTOPs
+        it (process mode only), ``sleep`` pauses between steps.
+
+        :raises ValueError: a kind this harness cannot express
+            (``error``/``oom`` are worker-level faults), ``crash``/
+            ``hang`` without a shard index, or ``hang`` in thread mode.
+        """
+        for spec in specs:
+            if spec.kind == "sleep":
+                time.sleep(spec.seconds if spec.seconds is not None else 0.1)
+                continue
+            if spec.trial is None:
+                raise ValueError(
+                    f"fleet fault {spec.kind!r} needs trial= (the shard index)"
+                )
+            shard = self._get(f"shard-{spec.trial}")
+            if spec.kind == "crash":
+                self.kill(shard.shard_id)
+            elif spec.kind == "hang":
+                if shard.process is None:
+                    raise ValueError(
+                        "hang needs mode='process' (SIGSTOP has no "
+                        "thread-mode equivalent)"
+                    )
+                shard.process.send_signal(signal.SIGSTOP)
+            else:
+                raise ValueError(
+                    f"fault kind {spec.kind!r} is not a fleet-level fault"
+                )
+
+    def _get(self, shard_id: str) -> _Shard:
+        for shard in self._shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(f"unknown shard {shard_id!r}")
+
+
+def run_fleet(
+    shards: int = 3,
+    max_workers: int = 2,
+    max_pending: int = 32,
+    poll_seconds: float = 1.0,
+    log=print,
+    _cycles: int | None = None,
+) -> int:
+    """Blocking entry point behind ``python -m repro serve-fleet``.
+
+    Spawns a process-mode fleet on ephemeral ports, prints the shard
+    map (feed it to :class:`~repro.service.shard.ShardRouter`), and
+    monitors liveness until interrupted. A dead shard is reported but
+    the fleet keeps serving — that is what replicas are for; exit code
+    1 only when *every* shard is gone (``_cycles`` bounds the monitor
+    loop for tests).
+    """
+    fleet = ShardFleet(
+        shards=shards,
+        mode="process",
+        max_workers=max_workers,
+        max_pending=max_pending,
+    )
+    with fleet:
+        for shard_id, (host, port) in fleet.addresses().items():
+            log(f"{shard_id} listening on {host}:{port}")
+        log(f"fleet of {shards} shard(s) up; Ctrl+C to stop")
+        reported: set[str] = set()
+        cycle = 0
+        try:
+            while _cycles is None or cycle < _cycles:
+                cycle += 1
+                time.sleep(poll_seconds)
+                alive = fleet.alive()
+                for shard_id, up in alive.items():
+                    if not up and shard_id not in reported:
+                        reported.add(shard_id)
+                        log(
+                            f"{shard_id} died; routers fail over to its "
+                            "replicas"
+                        )
+                if not any(alive.values()):
+                    log("all shards dead; giving up")
+                    return 1
+        except KeyboardInterrupt:
+            log("stopping fleet")
+    return 0

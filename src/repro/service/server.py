@@ -109,6 +109,11 @@ async def _handle_connection(service, stop, reader, writer):
             await writer.drain()
             if stop.is_set():
                 break
+    except asyncio.CancelledError:
+        # Loop teardown while this client sat idle — an abrupt stop
+        # (ShardFleet.kill in thread mode) cancels connection tasks;
+        # ending cleanly here keeps the reaper from logging it.
+        pass
     finally:
         # close() without wait_closed(): every response was drained, and
         # awaiting here races loop teardown when the server stops while

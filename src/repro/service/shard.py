@@ -1,0 +1,457 @@
+"""Consistent-hash sharding of the build-cache key space.
+
+One :class:`~repro.service.core.TreeBuildService` is one process with
+one cache. This module scales that horizontally without changing any
+service contract: the SHA-256 content addresses from
+:func:`~repro.service.cache.canonical_key` already distribute uniformly,
+so a :class:`HashRing` places them on N shards with classic consistent
+hashing (virtual nodes for balance, a replication factor for failover),
+and a :class:`ShardRouter` sends every request to its key's primary
+shard, falling back along the key's deterministic preference list when
+a shard is dead.
+
+Because routing is a pure function of the cache key, *all* clients of a
+fleet agree on where a key lives. That is what makes coalescing
+shard-aware for free: every concurrent request for a hot key lands on
+the same shard, whose in-process coalescing (see
+:mod:`repro.service.core`) collapses them onto one build — a hot key
+costs exactly one build **fleet-wide**, not one per shard.
+
+Failover is driven by error *type*, never by guessing:
+
+* :class:`~repro.service.client.ServiceUnavailable` — the shard is
+  dead (refused/reset/closed transport). The router retries the same
+  request on the next replica in the preference list and counts
+  ``service.shard.failover.total``.
+* :class:`~repro.service.client.ServiceClientError` — the shard is
+  alive and said no (overload, deadline, bad builder). Propagated
+  unchanged: retrying a *protocol* error on a replica would duplicate
+  builds and mask real failures.
+
+Counters (``repro.obs``): ``service.shard.route.total`` (requests
+routed), ``service.shard.failover.total`` (dead-shard retries),
+``service.shard.rebalance.total`` (live ring membership changes), and
+per-shard ``service.shard.<id>.{hit,miss}`` (cache hit vs built/fresh,
+as observed by this router). :meth:`ShardRouter.stats` returns the same
+data per shard as a plain dict.
+
+>>> ring = HashRing(["a", "b", "c"], vnodes=32, replication=2)
+>>> order = ring.preference("deadbeef" * 8)
+>>> len(order), len(set(order))
+(2, 2)
+>>> ring.primary("deadbeef" * 8) == order[0]
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+
+import numpy as np
+
+import repro.obs as obs
+from repro.service.cache import canonical_key
+from repro.service.client import (
+    ServiceClient,
+    ServiceUnavailable,
+)
+from repro.service.core import WorkloadSpec, workload_to_payload
+
+__all__ = ["HashRing", "ShardRouter", "NoShardAvailable"]
+
+
+class NoShardAvailable(ConnectionError):
+    """Every shard in a key's preference list was unreachable.
+
+    Carries the ``key`` routed and the ``attempted`` shard ids in the
+    order they were tried; the last transport failure is ``__cause__``.
+    """
+
+    def __init__(self, key: str, attempted: tuple[str, ...]):
+        """Record the routed key and the exhausted failover order."""
+        self.key = key
+        self.attempted = tuple(attempted)
+        super().__init__(
+            f"no shard available for key {key[:12]}…; tried "
+            + " -> ".join(attempted)
+        )
+
+
+def _position(token: str) -> int:
+    """A point on the ring for ``token`` (64-bit slice of SHA-256)."""
+    digest = hashlib.sha256(token.encode()).hexdigest()
+    return int(digest[:16], 16)
+
+
+class HashRing:
+    """Consistent-hash ring over the canonical cache-key space.
+
+    :param shards: initial shard ids (any strings; the fleet uses
+        ``"shard-0"``, ``"shard-1"``, ...).
+    :param vnodes: virtual nodes per shard. More vnodes → smoother
+        balance (the classic trade against ring size); 64 keeps the
+        max/mean shard load within ~30% for hundreds of keys.
+    :param replication: preference-list length per key — the primary
+        plus ``replication - 1`` failover replicas. Clamped to the
+        shard count at lookup time, so a 1-shard ring is legal.
+
+    Keys are the hex SHA-256 digests produced by
+    :func:`~repro.service.cache.canonical_key`; their ring position is
+    the first 64 bits of the digest itself (they are already uniform —
+    re-hashing them would only cost cycles). Shard vnodes are placed at
+    ``sha256(f"{shard_id}#{i}")``.
+
+    The consistency property (verified in ``tests/test_shard.py``):
+    when a shard joins an N-shard ring, only keys that now belong to
+    the newcomer move — expected fraction ``1/(N+1)`` — and no key
+    moves *between* surviving shards. Symmetrically for a leave.
+    """
+
+    def __init__(self, shards=(), vnodes: int = 64, replication: int = 2):
+        """An empty ring; ``shards`` are added in the given order."""
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.vnodes = int(vnodes)
+        self.replication = int(replication)
+        self._positions: list[int] = []  # sorted vnode positions
+        self._owners: dict[int, str] = {}  # position -> shard id
+        self._shards: list[str] = []  # insertion order, for stats
+        for shard in shards:
+            self.add(shard)
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Current shard ids, in insertion order."""
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        """How many shards are on the ring."""
+        return len(self._shards)
+
+    def _vnode_positions(self, shard: str) -> list[int]:
+        return [_position(f"{shard}#{i}") for i in range(self.vnodes)]
+
+    def add(self, shard: str) -> None:
+        """Place ``shard``'s virtual nodes on the ring.
+
+        :raises ValueError: duplicate shard id, or a (vanishingly
+            unlikely) vnode position collision with another shard.
+        """
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        for pos in self._vnode_positions(shard):
+            owner = self._owners.get(pos)
+            if owner is not None and owner != shard:
+                raise ValueError(
+                    f"vnode collision between {shard!r} and {owner!r}"
+                )
+            self._owners[pos] = shard
+            bisect.insort(self._positions, pos)
+        self._shards.append(shard)
+
+    def remove(self, shard: str) -> None:
+        """Take ``shard``'s virtual nodes off the ring.
+
+        :raises KeyError: unknown shard id.
+        """
+        if shard not in self._shards:
+            raise KeyError(f"shard {shard!r} not on the ring")
+        for pos in self._vnode_positions(shard):
+            if self._owners.get(pos) == shard:
+                del self._owners[pos]
+                index = bisect.bisect_left(self._positions, pos)
+                del self._positions[index]
+        self._shards.remove(shard)
+
+    def preference(self, key: str, count: int | None = None) -> tuple[str, ...]:
+        """The key's failover order: primary first, then replicas.
+
+        Walks clockwise from the key's ring position collecting the
+        first ``count`` (default: the ring's replication factor)
+        *distinct* shards. Deterministic: every ring built with the
+        same shards/vnodes yields the same order for the same key.
+
+        :raises RuntimeError: empty ring.
+        """
+        if not self._positions:
+            raise RuntimeError("hash ring has no shards")
+        want = min(count or self.replication, len(self._shards))
+        start = bisect.bisect_right(self._positions, int(key[:16], 16))
+        chosen: list[str] = []
+        for step in range(len(self._positions)):
+            pos = self._positions[(start + step) % len(self._positions)]
+            owner = self._owners[pos]
+            if owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return tuple(chosen)
+
+    def primary(self, key: str) -> str:
+        """The shard that owns ``key`` (first of its preference list)."""
+        return self.preference(key, count=1)[0]
+
+    def load(self, keys) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (balance diagnostics)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.primary(key)] += 1
+        return counts
+
+
+class ShardRouter:
+    """Client-side router: each build goes to its key's primary shard.
+
+    :param addresses: mapping of shard id → ``(host, port)``. The ids
+        (not the addresses) are hashed onto the ring, so a shard can
+        restart on a new port without remapping the key space — update
+        the address, keep the id.
+    :param vnodes: virtual nodes per shard (see :class:`HashRing`).
+    :param replication: preference-list length — how many shards are
+        tried before :class:`NoShardAvailable`.
+    :param timeout: per-connection transport timeout, passed to each
+        underlying :class:`~repro.service.client.ServiceClient`.
+
+    One router holds at most one connection per shard, opened lazily
+    and dropped on transport failure. Like ``ServiceClient``, a router
+    is not thread-safe — give each closed-loop client thread its own.
+
+    Routing keys are the exact content addresses of the cache layer:
+    raw-points requests hash the points they carry; workload requests
+    are materialised locally (deterministic, and memoised per spec) so
+    a workload request and a raw-points request for the same
+    coordinates route to the same shard and share one cache entry
+    fleet-wide.
+    """
+
+    def __init__(
+        self,
+        addresses: dict[str, tuple[str, int]],
+        vnodes: int = 64,
+        replication: int = 2,
+        timeout: float = 300.0,
+    ):
+        """A router over a fixed initial shard map (growable later)."""
+        if not addresses:
+            raise ValueError("a ShardRouter needs at least one shard")
+        self._addresses = {
+            sid: (host, int(port)) for sid, (host, port) in addresses.items()
+        }
+        self.ring = HashRing(
+            self._addresses, vnodes=vnodes, replication=replication
+        )
+        self._timeout = timeout
+        self._clients: dict[str, ServiceClient] = {}
+        self._key_memo: dict[str, str] = {}
+        self.routed = 0
+        self.failovers = 0
+        self.rebalances = 0
+        self._per_shard: dict[str, dict[str, int]] = {
+            sid: self._fresh_shard_stats() for sid in self._addresses
+        }
+
+    @staticmethod
+    def _fresh_shard_stats() -> dict[str, int]:
+        return {"requests": 0, "hits": 0, "misses": 0, "failovers": 0}
+
+    # -- ring membership ----------------------------------------------
+
+    def add_shard(self, shard_id: str, host: str, port: int) -> None:
+        """Grow the fleet: place a new shard on the live ring."""
+        self.ring.add(shard_id)
+        self._addresses[shard_id] = (host, int(port))
+        self._per_shard.setdefault(shard_id, self._fresh_shard_stats())
+        self.rebalances += 1
+        obs.add("service.shard.rebalance.total")
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Shrink the fleet: drop a shard from the live ring."""
+        self.ring.remove(shard_id)
+        self._addresses.pop(shard_id, None)
+        self._drop_client(shard_id)
+        self.rebalances += 1
+        obs.add("service.shard.rebalance.total")
+
+    # -- connections --------------------------------------------------
+
+    def _client(self, shard_id: str) -> ServiceClient:
+        client = self._clients.get(shard_id)
+        if client is None:
+            host, port = self._addresses[shard_id]
+            client = ServiceClient(host=host, port=port, timeout=self._timeout)
+            self._clients[shard_id] = client
+        return client
+
+    def _drop_client(self, shard_id: str) -> None:
+        client = self._clients.pop(shard_id, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def close(self) -> None:
+        """Close every open shard connection (idempotent)."""
+        for shard_id in list(self._clients):
+            self._drop_client(shard_id)
+
+    def __enter__(self) -> "ShardRouter":
+        """Context-manager entry: the router itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close all shard connections on context exit."""
+        self.close()
+
+    # -- routing ------------------------------------------------------
+
+    def routing_key(
+        self,
+        points=None,
+        workload=None,
+        source: int = 0,
+        builder: str = "polar-grid",
+        params: dict | None = None,
+    ) -> str:
+        """The cache key this request will occupy, computed client-side.
+
+        Workload specs are materialised locally to hash the exact
+        coordinates; the digest is memoised per (spec, source, builder,
+        params) so a closed-loop client pays the generation once.
+        """
+        params = dict(params or {})
+        if (points is None) == (workload is None):
+            raise ValueError("need exactly one of points= or workload=")
+        if points is not None:
+            return canonical_key(points, source, builder, params)
+        if isinstance(workload, WorkloadSpec):
+            spec = workload
+        else:
+            spec = WorkloadSpec(**dict(workload))
+        memo = json.dumps(
+            [workload_to_payload(spec), int(source), builder, params],
+            sort_keys=True,
+        )
+        key = self._key_memo.get(memo)
+        if key is None:
+            key = canonical_key(spec.materialize(), source, builder, params)
+            self._key_memo[memo] = key
+        return key
+
+    def build(
+        self,
+        points=None,
+        workload=None,
+        source: int = 0,
+        builder: str = "polar-grid",
+        params: dict | None = None,
+        deadline: float | None = None,
+        include_tree: bool = False,
+    ) -> dict:
+        """Route one build to its primary shard, failing over if dead.
+
+        Same signature and reply dict as
+        :meth:`~repro.service.client.ServiceClient.build`, plus a
+        ``shard`` field naming the shard that answered.
+
+        :raises NoShardAvailable: the whole preference list is dead.
+        :raises ServiceClientError: a live shard answered with a
+            structured error (never retried on a replica).
+        """
+        key = self.routing_key(
+            points=points,
+            workload=workload,
+            source=source,
+            builder=builder,
+            params=params,
+        )
+        order = self.ring.preference(key)
+        last: ServiceUnavailable | None = None
+        for attempt, shard_id in enumerate(order):
+            try:
+                client = self._client(shard_id)
+                reply = client.build(
+                    points=points,
+                    workload=workload,
+                    source=source,
+                    builder=builder,
+                    params=params,
+                    deadline=deadline,
+                    include_tree=include_tree,
+                )
+            except ServiceUnavailable as exc:
+                self._drop_client(shard_id)
+                self.failovers += 1
+                self._per_shard[shard_id]["failovers"] += 1
+                obs.add("service.shard.failover.total")
+                last = exc
+                continue
+            self.routed += 1
+            obs.add("service.shard.route.total")
+            stats = self._per_shard[shard_id]
+            stats["requests"] += 1
+            if reply.get("cached") or reply.get("coalesced"):
+                stats["hits"] += 1
+                obs.add(f"service.shard.{shard_id}.hit")
+            else:
+                stats["misses"] += 1
+                obs.add(f"service.shard.{shard_id}.miss")
+            reply["shard"] = shard_id
+            if attempt:
+                reply["failovers"] = attempt
+            return reply
+        raise NoShardAvailable(key, order) from last
+
+    def shard_stats(self, shard_id: str) -> dict:
+        """One live shard's own ``stats`` response (service + cache)."""
+        return self._client(shard_id).stats()
+
+    def stats(self) -> dict:
+        """Router-side counters: totals plus per-shard hit/miss."""
+        return {
+            "routed": self.routed,
+            "failovers": self.failovers,
+            "rebalances": self.rebalances,
+            "shards": {
+                sid: dict(counts) for sid, counts in self._per_shard.items()
+            },
+        }
+
+
+def fleet_key_for_shard(
+    ring: HashRing,
+    target: str,
+    n: int = 500,
+    builder: str = "polar-grid",
+    params: dict | None = None,
+    source: int = 0,
+    max_seed: int = 10_000,
+) -> WorkloadSpec:
+    """A workload spec whose cache key's *primary* is ``target``.
+
+    Test/bench helper: scans unit-disk seeds until one hashes onto the
+    requested shard — with uniform key placement the expected number of
+    tries is the shard count. Deterministic for a given ring.
+
+    :raises RuntimeError: no seed under ``max_seed`` landed on
+        ``target`` (practically impossible unless the shard owns almost
+        nothing).
+    """
+    params = dict(params or {})
+    for seed in range(max_seed):
+        spec = WorkloadSpec(kind="unit-disk", n=n, seed=seed)
+        key = canonical_key(
+            np.asarray(spec.materialize(), dtype=np.float64),
+            source,
+            builder,
+            params,
+        )
+        if ring.primary(key) == target:
+            return spec
+    raise RuntimeError(
+        f"no unit-disk seed < {max_seed} routed to shard {target!r}"
+    )

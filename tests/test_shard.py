@@ -1,0 +1,314 @@
+"""The shard layer: hash ring, router failover, fleet coalescing."""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.service import (
+    BackgroundServer,
+    HashRing,
+    NoShardAvailable,
+    ServiceClient,
+    ServiceClientError,
+    ServiceUnavailable,
+    ShardFleet,
+    ShardRouter,
+)
+from repro.service.shard import fleet_key_for_shard
+from repro.testing import faults
+
+PARAMS = {"max_out_degree": 6}
+
+
+def sample_keys(count: int) -> list[str]:
+    """Deterministic stand-ins for canonical cache keys (SHA-256 hex)."""
+    return [
+        hashlib.sha256(f"key-{i}".encode()).hexdigest() for i in range(count)
+    ]
+
+
+class TestHashRing:
+    def test_preference_is_deterministic_across_instances(self):
+        shards = ["shard-0", "shard-1", "shard-2", "shard-3"]
+        a = HashRing(shards, vnodes=48, replication=3)
+        b = HashRing(list(reversed(shards)), vnodes=48, replication=3)
+        for key in sample_keys(50):
+            assert a.preference(key) == b.preference(key)
+
+    def test_preference_lists_are_distinct_and_sized(self):
+        ring = HashRing(["a", "b", "c"], vnodes=32, replication=2)
+        for key in sample_keys(50):
+            order = ring.preference(key)
+            assert len(order) == 2
+            assert len(set(order)) == 2
+            assert order[0] == ring.primary(key)
+
+    def test_replication_clamps_to_shard_count(self):
+        ring = HashRing(["solo"], vnodes=16, replication=3)
+        assert ring.preference(sample_keys(1)[0]) == ("solo",)
+
+    def test_balance_within_a_factor_of_the_mean(self):
+        ring = HashRing(
+            [f"shard-{i}" for i in range(4)], vnodes=64, replication=2
+        )
+        load = ring.load(sample_keys(4000))
+        mean = 4000 / 4
+        assert max(load.values()) < 2 * mean
+        assert min(load.values()) > mean / 3
+
+    def test_join_moves_only_keys_claimed_by_the_newcomer(self):
+        keys = sample_keys(2000)
+        ring = HashRing([f"shard-{i}" for i in range(4)], vnodes=64)
+        before = {key: ring.primary(key) for key in keys}
+        ring.add("shard-4")
+        moved = 0
+        for key in keys:
+            after = ring.primary(key)
+            if after != before[key]:
+                moved += 1
+                # consistency: keys only ever move TO the new shard,
+                # never get reshuffled between survivors
+                assert after == "shard-4"
+        # expected fraction 1/5; allow 2x slack for vnode variance
+        assert moved <= 2 * len(keys) / 5
+        assert moved > 0
+
+    def test_leave_moves_only_the_departed_shards_keys(self):
+        keys = sample_keys(2000)
+        ring = HashRing([f"shard-{i}" for i in range(4)], vnodes=64)
+        before = {key: ring.primary(key) for key in keys}
+        ring.remove("shard-2")
+        for key in keys:
+            if before[key] != "shard-2":
+                assert ring.primary(key) == before[key]
+            else:
+                assert ring.primary(key) != "shard-2"
+
+    def test_join_then_leave_restores_the_original_map(self):
+        keys = sample_keys(500)
+        ring = HashRing(["a", "b", "c"], vnodes=32)
+        before = {key: ring.preference(key) for key in keys}
+        ring.add("d")
+        ring.remove("d")
+        assert {key: ring.preference(key) for key in keys} == before
+
+    def test_structured_errors(self):
+        ring = HashRing(["a"], vnodes=8)
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(KeyError):
+            ring.remove("zzz")
+        with pytest.raises(RuntimeError):
+            HashRing([], vnodes=8).preference(sample_keys(1)[0])
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(replication=0)
+
+
+class TestServiceUnavailable:
+    def test_connect_to_dead_port_is_structured(self):
+        with BackgroundServer() as server:
+            host, port = server.host, server.port
+        # server is down now; the port is dead
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            ServiceClient(host=host, port=port, timeout=5)
+        assert excinfo.value.host == host
+        assert excinfo.value.port == port
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_mid_request_death_is_structured(self):
+        server = BackgroundServer().start()
+        client = ServiceClient(host=server.host, port=server.port)
+        server.stop()
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.ping()
+        assert excinfo.value.port == server.port
+        client.close()
+
+
+class TestShardRouter:
+    def test_routes_land_on_the_rings_primary(self):
+        with ShardFleet(shards=3) as fleet:
+            with fleet.router() as router:
+                assert isinstance(router, ShardRouter)
+                spec = fleet_key_for_shard(router.ring, "shard-1", n=200)
+                reply = router.build(workload=spec, params=PARAMS)
+                assert reply["shard"] == "shard-1"
+                assert "failovers" not in reply
+
+    def test_repeat_requests_hit_the_same_shards_cache(self):
+        with ShardFleet(shards=3) as fleet:
+            with fleet.router() as router:
+                wl = {"kind": "unit-disk", "n": 300, "seed": 1}
+                first = router.build(workload=wl, params=PARAMS)
+                second = router.build(workload=wl, params=PARAMS)
+                assert second["shard"] == first["shard"]
+                assert second["cached"]
+                stats = router.stats()
+                assert stats["shards"][first["shard"]]["hits"] == 1
+                assert stats["shards"][first["shard"]]["misses"] == 1
+
+    def test_failover_to_replica_in_preference_order(self):
+        with ShardFleet(shards=3, replication=2) as fleet:
+            with fleet.router() as router:
+                wl = {"kind": "unit-disk", "n": 300, "seed": 2}
+                key = router.routing_key(workload=wl, params=PARAMS)
+                primary, replica = router.ring.preference(key)
+                fleet.kill(primary)
+                reply = router.build(workload=wl, params=PARAMS)
+                assert reply["shard"] == replica
+                assert reply["failovers"] == 1
+                assert router.stats()["failovers"] >= 1
+
+    def test_all_replicas_dead_raises_no_shard_available(self):
+        with ShardFleet(shards=2, replication=2) as fleet:
+            with fleet.router() as router:
+                wl = {"kind": "unit-disk", "n": 200, "seed": 3}
+                for shard_id in fleet.shard_ids:
+                    fleet.kill(shard_id)
+                with pytest.raises(NoShardAvailable) as excinfo:
+                    router.build(workload=wl, params=PARAMS)
+                assert len(excinfo.value.attempted) == 2
+                assert isinstance(
+                    excinfo.value.__cause__, ServiceUnavailable
+                )
+
+    def test_protocol_errors_do_not_fail_over(self):
+        with ShardFleet(shards=2) as fleet:
+            with fleet.router() as router:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    router.build(
+                        workload={"kind": "unit-disk", "n": 200, "seed": 4},
+                        builder="no-such-builder",
+                    )
+                assert excinfo.value.error_type == "UnknownBuilderError"
+                assert router.stats()["failovers"] == 0
+
+    def test_rebalance_counts_membership_changes(self):
+        with ShardFleet(shards=2) as fleet:
+            with fleet.router() as router:
+                addresses = fleet.addresses()
+                router.remove_shard("shard-1")
+                assert router.ring.shards == ("shard-0",)
+                host, port = addresses["shard-1"]
+                router.add_shard("shard-1", host, port)
+                assert router.stats()["rebalances"] == 2
+
+    def test_raw_points_and_workload_share_one_routing_key(self):
+        from repro.service.core import WorkloadSpec
+
+        spec = WorkloadSpec(kind="unit-disk", n=150, seed=9)
+        with ShardFleet(shards=3) as fleet:
+            with fleet.router() as router:
+                via_spec = router.routing_key(workload=spec, params=PARAMS)
+                via_points = router.routing_key(
+                    points=spec.materialize(), params=PARAMS
+                )
+                assert via_spec == via_points
+
+
+class TestFleetCoalescing:
+    def test_hot_key_costs_one_build_fleet_wide(self):
+        clients = 5
+        with ShardFleet(shards=3, max_workers=clients) as fleet:
+            barrier = threading.Barrier(clients)
+            replies: list[dict] = []
+            errors: list[BaseException] = []
+            lock = threading.Lock()
+
+            def fire():
+                try:
+                    with fleet.router() as router:
+                        barrier.wait(timeout=30)
+                        reply = router.build(
+                            workload={"kind": "unit-disk", "n": 800, "seed": 6},
+                            params=PARAMS,
+                        )
+                        with lock:
+                            replies.append(reply)
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    with lock:
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+
+            assert not errors
+            assert len(replies) == clients
+            assert fleet.total_builds() == 1
+            assert len({r["shard"] for r in replies}) == 1
+            absorbed = sum(
+                1 for r in replies if r["cached"] or r["coalesced"]
+            )
+            assert absorbed == clients - 1
+
+    def test_distinct_keys_spread_and_build_once_each(self):
+        with ShardFleet(shards=3) as fleet:
+            with fleet.router() as router:
+                shards_hit = set()
+                for seed in range(6):
+                    reply = router.build(
+                        workload={"kind": "unit-disk", "n": 300, "seed": seed},
+                        params=PARAMS,
+                    )
+                    shards_hit.add(reply["shard"])
+                assert fleet.total_builds() == 6
+                assert len(shards_hit) > 1  # the key space actually spreads
+                per_shard = fleet.fleet_stats()
+                assert (
+                    sum(s["builds"] for s in per_shard.values()) == 6
+                )
+
+
+class TestFleetHarness:
+    def test_kill_is_idempotent_and_observable(self):
+        with ShardFleet(shards=2) as fleet:
+            assert all(fleet.alive().values())
+            fleet.kill("shard-0")
+            fleet.kill("shard-0")
+            assert fleet.alive() == {"shard-0": False, "shard-1": True}
+            with pytest.raises(KeyError):
+                fleet.kill("shard-9")
+
+    def test_fault_plan_vocabulary_rejects_worker_level_kinds(self):
+        with ShardFleet(shards=1) as fleet:
+            with pytest.raises(ValueError):
+                fleet.inject(faults.FaultSpec(kind="error", trial=0))
+            with pytest.raises(ValueError):
+                fleet.inject(faults.FaultSpec(kind="crash"))  # no index
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShardFleet(shards=0)
+        with pytest.raises(ValueError):
+            ShardFleet(mode="fiber")
+
+
+@pytest.mark.slow
+class TestProcessFleetIntegration:
+    """Real subprocess shards: the SIGKILL drill the CI smoke runs."""
+
+    def test_kill_one_shard_via_fault_plan_with_zero_client_failures(self):
+        with ShardFleet(shards=3, mode="process") as fleet:
+            with fleet.router() as router:
+                wl = {"kind": "unit-disk", "n": 500, "seed": 11}
+                first = router.build(workload=wl, params=PARAMS)
+                assert fleet.total_builds() == 1
+                primary_index = int(first["shard"].rsplit("-", 1)[1])
+                fleet.inject(
+                    faults.FaultSpec(kind="crash", trial=primary_index),
+                    faults.FaultSpec(kind="sleep", seconds=0.1),
+                )
+                assert not fleet.alive()[first["shard"]]
+                # every post-kill request must succeed via a replica
+                for _ in range(3):
+                    reply = router.build(workload=wl, params=PARAMS)
+                    assert reply["shard"] != first["shard"]
+                    assert reply["failovers"] == 1

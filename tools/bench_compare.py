@@ -1,0 +1,213 @@
+"""Bench-regression gate: fresh BENCH_*.json vs the committed baselines.
+
+CI produces fresh ``BENCH_serve.json`` / ``BENCH_fleet.json`` on every
+push and this tool diffs them against the baselines committed in the
+repo root, failing (exit 1) on a regression in either of two metric
+families:
+
+* **warm-hit latency** — ``warm_seconds_median`` (serve) and each
+  fleet entry's ``closed_loop.warm_hit_seconds_median``. *Higher is
+  worse.* Tolerance: fresh may exceed baseline by up to
+  ``--tolerance`` (default 30%) **plus** an absolute grace of
+  ``--latency-grace`` seconds (default 5 ms). The relative tolerance
+  absorbs CI-runner vs. laptop speed differences; the absolute grace
+  keeps sub-millisecond medians — where a single scheduler hiccup is
+  a large *percentage* — from flapping the gate. A genuine cache-path
+  regression (extra copy, lost cache hit → rebuild) blows through
+  both.
+* **coalescing ratio** — the fraction of requests absorbed without a
+  build: serve's ``(coalesced + cached) / clients`` and each fleet
+  entry's ``closed_loop.coalesce_ratio``. *Lower is worse*, and the
+  ratio is machine-independent, so the only slack is the same
+  ``--tolerance``: fresh must stay above ``baseline * (1 -
+  tolerance)``. Duplicate builds for one key cannot hide in it.
+
+Throughput and cold-build times are *reported* but not gated — they
+measure the CI runner more than the code.
+
+Run::
+
+    PYTHONPATH=src python tools/bench_compare.py \\
+        --serve BENCH_serve.json results/bench/BENCH_serve.json \\
+        --fleet BENCH_fleet.json results/bench/BENCH_fleet.json
+
+Each flag takes ``BASELINE FRESH``; pass either or both pairs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Relative slack on every gated metric (0.30 = 30% worse allowed).
+DEFAULT_TOLERANCE = 0.30
+
+#: Absolute latency grace in seconds, added on top of the relative
+#: tolerance (see the module docstring for why).
+DEFAULT_LATENCY_GRACE = 0.005
+
+
+class Comparison:
+    """Accumulates metric rows and verdicts for one gate run."""
+
+    def __init__(self, tolerance: float, latency_grace: float):
+        """A fresh comparison with the given slacks."""
+        self.tolerance = tolerance
+        self.latency_grace = latency_grace
+        self.rows: list[tuple[str, float, float, bool, str]] = []
+
+    def latency(self, name: str, baseline: float, fresh: float) -> None:
+        """Gate a higher-is-worse latency metric."""
+        limit = baseline * (1 + self.tolerance) + self.latency_grace
+        self.rows.append(
+            (name, baseline, fresh, fresh <= limit, f"<= {limit:.6f}")
+        )
+
+    def ratio(self, name: str, baseline: float, fresh: float) -> None:
+        """Gate a lower-is-worse ratio metric."""
+        limit = baseline * (1 - self.tolerance)
+        self.rows.append(
+            (name, baseline, fresh, fresh >= limit, f">= {limit:.3f}")
+        )
+
+    def info(self, name: str, baseline: float, fresh: float) -> None:
+        """Report a metric without gating it."""
+        self.rows.append((name, baseline, fresh, True, "(not gated)"))
+
+    @property
+    def failures(self) -> list[str]:
+        """Names of every gated metric that regressed."""
+        return [name for name, _, _, ok, _ in self.rows if not ok]
+
+    def render(self) -> str:
+        """A fixed-width table of every comparison row."""
+        lines = [
+            f"{'metric':<44} {'baseline':>12} {'fresh':>12} "
+            f"{'verdict':<8} bound"
+        ]
+        for name, baseline, fresh, ok, bound in self.rows:
+            lines.append(
+                f"{name:<44} {baseline:>12.6f} {fresh:>12.6f} "
+                f"{'ok' if ok else 'REGRESSED':<8} {bound}"
+            )
+        return "\n".join(lines)
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"bench report not found: {path}") from None
+
+
+def _serve_coalesce_ratio(report: dict) -> float:
+    coalesce = report["coalesce"]
+    absorbed = coalesce["coalesced_replies"] + coalesce["cached_replies"]
+    return absorbed / coalesce["clients"] if coalesce["clients"] else 0.0
+
+
+def compare_serve(cmp: Comparison, baseline: dict, fresh: dict) -> None:
+    """Add the BENCH_serve.json rows to ``cmp``."""
+    cmp.latency(
+        "serve.warm_seconds_median",
+        baseline["warm_seconds_median"],
+        fresh["warm_seconds_median"],
+    )
+    cmp.ratio(
+        "serve.coalesce_ratio",
+        _serve_coalesce_ratio(baseline),
+        _serve_coalesce_ratio(fresh),
+    )
+    cmp.info("serve.cold_seconds", baseline["cold_seconds"], fresh["cold_seconds"])
+
+
+def compare_fleet(cmp: Comparison, baseline: dict, fresh: dict) -> None:
+    """Add the BENCH_fleet.json rows to ``cmp``, matched by shard count."""
+    fresh_by_shards = {e["shards"]: e for e in fresh["curve"]}
+    for base_entry in baseline["curve"]:
+        shards = base_entry["shards"]
+        fresh_entry = fresh_by_shards.get(shards)
+        if fresh_entry is None:
+            cmp.rows.append(
+                (f"fleet[{shards}].missing", 1.0, 0.0, False, "entry present")
+            )
+            continue
+        base_loop = base_entry["closed_loop"]
+        fresh_loop = fresh_entry["closed_loop"]
+        if base_loop.get("warm_hit_seconds_median") is not None:
+            cmp.latency(
+                f"fleet[{shards}].warm_hit_seconds_median",
+                base_loop["warm_hit_seconds_median"],
+                fresh_loop["warm_hit_seconds_median"] or float("inf"),
+            )
+        cmp.ratio(
+            f"fleet[{shards}].coalesce_ratio",
+            base_loop["coalesce_ratio"],
+            fresh_loop["coalesce_ratio"],
+        )
+        cmp.info(
+            f"fleet[{shards}].throughput_rps",
+            base_loop["throughput_rps"],
+            fresh_loop["throughput_rps"],
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--serve",
+        nargs=2,
+        metavar=("BASELINE", "FRESH"),
+        help="compare a BENCH_serve.json pair",
+    )
+    parser.add_argument(
+        "--fleet",
+        nargs=2,
+        metavar=("BASELINE", "FRESH"),
+        help="compare a BENCH_fleet.json pair",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative regression slack (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--latency-grace",
+        type=float,
+        default=DEFAULT_LATENCY_GRACE,
+        metavar="SECS",
+        help="absolute latency grace added to the relative slack "
+        "(default 0.005s; see the module docstring)",
+    )
+    args = parser.parse_args(argv)
+    if not args.serve and not args.fleet:
+        parser.error("pass --serve and/or --fleet (BASELINE FRESH pairs)")
+
+    cmp = Comparison(args.tolerance, args.latency_grace)
+    if args.serve:
+        compare_serve(cmp, _load(args.serve[0]), _load(args.serve[1]))
+    if args.fleet:
+        compare_fleet(cmp, _load(args.fleet[0]), _load(args.fleet[1]))
+
+    print(cmp.render())
+    failures = cmp.failures
+    if failures:
+        print(
+            f"\nbench regression gate FAILED: {', '.join(failures)} "
+            f"(tolerance {args.tolerance:.0%} "
+            f"+ {args.latency_grace * 1000:.0f}ms latency grace)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nbench regression gate ok "
+        f"({len(cmp.rows)} metrics, tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

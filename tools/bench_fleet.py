@@ -1,0 +1,126 @@
+"""Sharded-fleet scaling benchmark; emits and gates BENCH_fleet.json.
+
+Thin shim over :func:`repro.service.bench.run_fleet_bench` (also
+exposed as ``python -m repro bench-fleet``). For each fleet size
+(default 1/2/4 shards) it drives two phases of closed-loop clients,
+each with its own :class:`~repro.service.shard.ShardRouter`, against a
+fresh :class:`~repro.service.fleet.ShardFleet`:
+
+1. **hot** — every client fires the same fresh key concurrently; the
+   gate is exactly **one build fleet-wide** (deterministic routing
+   sends a hot key to one shard, whose coalescing collapses the rest);
+2. **closed loop** — mixed traffic over K distinct keys; the gates are
+   **builds == K** (each key built once, fleet-wide), **zero client
+   errors**, and a clean oracle check of a reconstructed response.
+
+Schema (abridged)::
+
+    {"curve": [
+        {"shards": 1,
+         "hot": {"clients": int, "builds": int,      # gate: == 1
+                 "errors": int},                     # gate: == 0
+         "closed_loop": {"requests": int,
+                         "builds": int,              # gate: == keys
+                         "distinct_keys": int,
+                         "coalesce_ratio": float,    # compared by
+                                                     #  bench_compare
+                         "warm_hit_seconds_median": float,
+                         "throughput_rps": float,
+                         "errors": int},             # gate: == 0
+         "oracle_ok": true,                          # gate: true
+         "per_shard": {...}},
+        {"shards": 2, ...}, {"shards": 4, ...}]}
+
+Run::
+
+    PYTHONPATH=src python tools/bench_fleet.py --out BENCH_fleet.json
+
+Exit code 0 when every gate holds on every fleet size, 1 otherwise.
+``tools/bench_compare.py`` additionally diffs a fresh report against
+the committed baseline for regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.service.bench import run_fleet_bench
+
+
+def gate(report: dict) -> list[str]:
+    """All gate violations in ``report`` (empty = pass)."""
+    failures = []
+    for entry in report["curve"]:
+        tag = f"{entry['shards']}-shard fleet"
+        hot, loop = entry["hot"], entry["closed_loop"]
+        if hot["builds"] != 1:
+            failures.append(
+                f"{tag}: hot key cost {hot['builds']} builds fleet-wide; "
+                "wanted exactly 1"
+            )
+        if hot["errors"]:
+            failures.append(
+                f"{tag}: {hot['errors']} hot-phase client errors: "
+                f"{hot['error_samples']}"
+            )
+        if loop["builds"] != loop["distinct_keys"]:
+            failures.append(
+                f"{tag}: {loop['distinct_keys']} distinct keys cost "
+                f"{loop['builds']} builds; wanted one build per key"
+            )
+        if loop["errors"]:
+            failures.append(
+                f"{tag}: {loop['errors']} closed-loop client errors: "
+                f"{loop['error_samples']}"
+            )
+        if not entry["oracle_ok"]:
+            failures.append(f"{tag}: oracle check failed")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4], metavar="N"
+    )
+    parser.add_argument("--nodes", type=int, default=5_000)
+    parser.add_argument("--builder", default="polar-grid")
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25)
+    parser.add_argument("--keys", type=int, default=5)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    report = run_fleet_bench(
+        shard_counts=tuple(args.shards),
+        n=args.nodes,
+        builder=args.builder,
+        max_out_degree=args.degree,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        distinct_keys=args.keys,
+        replication=args.replication,
+        seed=args.seed,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = gate(report)
+    for failure in failures:
+        print(f"GATE: {failure}", file=sys.stderr)
+    print(
+        "gates: one-build-per-hot-key, one-build-per-distinct-key, "
+        f"zero client errors, oracle -> {'PASS' if not failures else 'FAIL'}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

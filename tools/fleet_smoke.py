@@ -1,0 +1,167 @@
+"""CI smoke for the sharded fleet: coalescing and failover, or bust.
+
+Starts a **process-mode** 3-shard fleet (real ``python -m repro serve``
+subprocesses on ephemeral ports) and asserts, in order:
+
+1. **one build fleet-wide** — N concurrent clients, each with its own
+   :class:`~repro.service.shard.ShardRouter`, request the same hot key;
+   the summed ``builds`` counters across all shards must advance by
+   exactly 1 (routing sends every copy to the key's primary shard,
+   which coalesces them onto one in-flight build);
+2. **SIGKILL failover** — the hot key's primary shard is SIGKILLed
+   mid-run via the :mod:`repro.testing.faults` plan vocabulary
+   (``FaultSpec(kind="crash", trial=<shard index>)`` interpreted by
+   :meth:`~repro.service.fleet.ShardFleet.inject`); a fresh wave of
+   client requests for the same key must then succeed with **zero
+   client-visible failures**, each reply recording the failover to a
+   replica;
+3. **replica correctness** — one post-kill response is reconstructed
+   client-side and pushed through the structural oracle.
+
+Fast by design (a few thousand nodes, seconds of wall clock); the CI
+workflow runs it on every push. Exit 0 on pass, 1 on any violation.
+
+Run::
+
+    PYTHONPATH=src python tools/fleet_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+import numpy as np
+
+from repro.analysis.oracle import check_tree
+from repro.core.tree import MulticastTree
+from repro.service.fleet import ShardFleet
+from repro.testing import faults
+
+
+def _concurrent_wave(fleet, clients, workload, params):
+    """Fire one barrier-synchronised request per client; return results."""
+    barrier = threading.Barrier(clients)
+    replies: list[dict] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def fire():
+        try:
+            with fleet.router() as router:
+                barrier.wait(timeout=30)
+                reply = router.build(workload=workload, params=params)
+                with lock:
+                    replies.append(reply)
+        except Exception as exc:  # noqa: BLE001 - collected for the gate
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=fire) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    return replies, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--nodes", type=int, default=3_000)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--degree", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    workload = {"kind": "unit-disk", "n": args.nodes, "seed": 0}
+    params = {"max_out_degree": args.degree}
+    failures: list[str] = []
+
+    with ShardFleet(
+        shards=args.shards, mode="process", max_workers=max(2, args.clients)
+    ) as fleet:
+        # Phase 1: hot key, one build fleet-wide.
+        replies, errors = _concurrent_wave(
+            fleet, args.clients, workload, params
+        )
+        if errors:
+            failures.append(f"hot-phase client error: {errors[0]!r}")
+        builds = fleet.total_builds()
+        if builds != 1:
+            failures.append(
+                f"{args.clients} concurrent clients x {args.shards} shards "
+                f"ran {builds} builds fleet-wide; wanted exactly 1"
+            )
+        if not replies:
+            failures.append("no replies in the hot phase")
+            primary = None
+        else:
+            primary = replies[0]["shard"]
+            if any(r["shard"] != primary for r in replies):
+                failures.append(
+                    "concurrent identical requests landed on different "
+                    f"shards: { {r['shard'] for r in replies} }"
+                )
+
+        # Phase 2: SIGKILL the primary mid-run, via the faults plan
+        # vocabulary; the next wave must fail over with zero errors.
+        if primary is not None:
+            fleet.inject(
+                faults.FaultSpec(
+                    kind="crash", trial=int(primary.rsplit("-", 1)[1])
+                )
+            )
+            if fleet.alive()[primary]:
+                failures.append(f"{primary} still alive after SIGKILL")
+            replies2, errors2 = _concurrent_wave(
+                fleet, args.clients, workload, params
+            )
+            if errors2:
+                failures.append(
+                    f"{len(errors2)} client-visible failures after killing "
+                    f"{primary}: {errors2[0]!r}"
+                )
+            if len(replies2) != args.clients:
+                failures.append(
+                    f"{len(replies2)}/{args.clients} replies after the kill"
+                )
+            survivors = {r["shard"] for r in replies2}
+            if primary in survivors:
+                failures.append(
+                    f"dead shard {primary} answered a post-kill request"
+                )
+            if not all(r.get("failovers") for r in replies2):
+                failures.append(
+                    "post-kill replies did not record a failover hop"
+                )
+
+            # Phase 3: a replica's answer must be structurally valid.
+            with fleet.router() as router:
+                reply = router.build(
+                    workload=workload, params=params, include_tree=True
+                )
+            tree = MulticastTree(
+                np.asarray(reply["points"], dtype=np.float64),
+                np.asarray(reply["parent"], dtype=np.int64),
+                reply["root"],
+            ).validate()
+            oracle = check_tree(tree, d_max=args.degree)
+            if not oracle.ok:
+                failures.append(f"oracle violations: {oracle.render()}")
+
+    if failures:
+        print("fleet smoke FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"fleet smoke ok: {args.shards} shards, {args.clients} clients, "
+        "1 build fleet-wide, SIGKILL failover with zero client failures, "
+        "oracle clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
