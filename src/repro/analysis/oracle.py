@@ -38,6 +38,7 @@ __all__ = [
     "OracleReport",
     "check_tree",
     "check_build_result",
+    "check_incremental_state",
 ]
 
 # How many offending node indices a Violation records before truncating;
@@ -495,4 +496,202 @@ def check_build_result(
                 f"{representative_rule!r} key within their cell",
                 offenders,
             )
+    return report
+
+
+# ----------------------------------------------------------------------
+# incremental-maintenance invariants
+# ----------------------------------------------------------------------
+
+
+def check_incremental_state(engine) -> OracleReport:
+    """Oracle pass over a live :class:`~repro.overlay.incremental.
+    IncrementalGridTree`.
+
+    Re-derives every piece of the engine's bookkeeping from raw
+    coordinates and the frozen grid, trusting nothing the engine caches:
+
+    * the compacted tree passes :func:`check_tree` with the engine's
+      degree budget (spanning, acyclic, degree-capped, finite);
+    * **CELL_MEMBERSHIP** — every live member's ``(ring, cell)``
+      assignment recomputed from its coordinates matches both
+      ``cell_of`` and the :class:`~repro.core.grid.CellTable` buckets;
+    * **CELL_DANGLING** — no representative entry for an empty cell
+      (the corruption a last-member leave used to cause);
+    * **CELL_REP_RULE** — each occupied subdivided cell's representative
+      minimises the inner-anchor distance among its members (ties from
+      duplicate coordinates allowed);
+    * **CELL_CHAIN** — each occupied cell's recorded provider is its
+      nearest occupied ancestor, and its representative's parent is the
+      provider's representative unless a fallback attachment is recorded
+      (then the parent must be exactly the recorded fallback target);
+    * **HOLE_REGISTRY** — the engine's hole set equals the exhaustively
+      recomputed set of empty interior cells;
+    * **DRIFT_BOUND** — the amortized-cost counter sits in
+      ``[0, drift_limit)``: the partial rebuild must have fired before
+      the bound was crossed, and resets it;
+    * **STATE_DELAY_DRIFT** — the engine's per-slot cached delays match
+      a from-scratch BFS recomputation over its parent array.
+    """
+    grid = engine.grid
+    snap = engine.snapshot()
+    report = check_tree(snap.tree, d_max=engine.d_max)
+    report.stats["live"] = engine.live_count
+
+    live = [
+        s
+        for s, nm in enumerate(engine.names)
+        if nm is not None and s != engine.source_slot
+    ]
+
+    report.checks.append("cell-membership")
+    mismatched = []
+    derived_members: dict[int, list[int]] = {}
+    if live:
+        pts = np.asarray([engine.points[s] for s in live])
+        ring, cell = grid.assign_points(pts)
+        gids = np.asarray(grid.global_id(ring, cell)).tolist()
+        for slot, g in zip(live, gids):
+            derived_members.setdefault(int(g), []).append(slot)
+            if engine.cell_of[slot] != int(g):
+                mismatched.append(slot)
+    if mismatched:
+        report.add(
+            "CELL_MEMBERSHIP",
+            f"{len(mismatched)} slots carry a stale cell assignment",
+            mismatched,
+        )
+    table_gids = set(engine.cells.occupied_gids())
+    if table_gids != set(derived_members):
+        report.add(
+            "CELL_MEMBERSHIP",
+            f"cell table tracks gids {sorted(table_gids)[:8]}..., "
+            f"recomputation gives {sorted(derived_members)[:8]}...",
+        )
+    else:
+        for g, expected in derived_members.items():
+            if sorted(engine.cells.members(g)) != sorted(expected):
+                report.add(
+                    "CELL_MEMBERSHIP",
+                    f"cell {g} member bucket disagrees with recomputation",
+                    expected,
+                )
+
+    report.checks.append("cell-dangling")
+    dangling = engine.cells.dangling_reps()
+    if dangling:
+        report.add(
+            "CELL_DANGLING",
+            f"{len(dangling)} empty cells still carry a representative "
+            f"entry (gids {dangling[:8]})",
+        )
+    if engine.cells.has_rep(0):
+        report.add(
+            "CELL_DANGLING",
+            "the inner region D0 carries a representative entry "
+            "(the source represents it)",
+        )
+
+    report.checks.append("cell-rep-rule")
+    for g in engine.cells.occupied_gids():
+        if g == 0:
+            continue
+        r, c = grid.ring_of_global(g)
+        if not engine.cells.has_rep(g):
+            report.add("CELL_REP_MISSING", f"occupied cell {g} has no rep")
+            continue
+        rep = engine.cells.rep(g)
+        members = engine.cells.members(g)
+        if rep not in members:
+            report.add(
+                "CELL_REP_RULE", f"rep of cell {g} is not one of its members"
+            )
+            continue
+        anchor = grid.cell_anchor(r, c, "inner")
+        dists = {
+            m: float(np.sqrt(np.sum((engine.points[m] - anchor) ** 2)))
+            for m in members
+        }
+        best = min(dists.values())
+        if not np.isclose(dists[rep], best, rtol=1e-9, atol=1e-12):
+            report.add(
+                "CELL_REP_RULE",
+                f"rep of cell {g} sits {dists[rep]:.6g} from the inner "
+                f"anchor; best member is at {best:.6g}",
+                [rep],
+            )
+
+    report.checks.append("cell-chain")
+    for g in engine.cells.occupied_gids():
+        if g == 0:
+            continue
+        r, c = grid.ring_of_global(g)
+        provider, _hops = engine.cells.nearest_live_ancestor(r, c)
+        if engine.providers.get(g) != provider:
+            report.add(
+                "CELL_CHAIN",
+                f"cell {g} records provider {engine.providers.get(g)}, "
+                f"nearest occupied ancestor is {provider}",
+            )
+            continue
+        if not engine.cells.has_rep(g):
+            continue
+        rep = engine.cells.rep(g)
+        par = engine.parent[rep]
+        if g in engine.fallbacks:
+            if par != engine.fallbacks[g]:
+                report.add(
+                    "CELL_CHAIN",
+                    f"cell {g} records fallback target "
+                    f"{engine.fallbacks[g]} but its rep attaches to {par}",
+                    [rep],
+                )
+        else:
+            expected = (
+                engine.source_slot
+                if provider == 0
+                else engine.cells.rep(provider)
+            )
+            if par != expected:
+                report.add(
+                    "CELL_CHAIN",
+                    f"cell {g}'s rep attaches to {par}, expected its "
+                    f"provider {provider}'s rep {expected}",
+                    [rep],
+                )
+
+    report.checks.append("hole-registry")
+    derived_holes = engine.cells.interior_holes()
+    if engine.holes != derived_holes:
+        ghost = sorted(engine.holes - derived_holes)
+        missed = sorted(derived_holes - engine.holes)
+        report.add(
+            "HOLE_REGISTRY",
+            f"hole set drifted: {len(ghost)} ghost entries "
+            f"(gids {ghost[:8]}), {len(missed)} unregistered holes "
+            f"(gids {missed[:8]})",
+        )
+
+    report.checks.append("drift-bound")
+    if not 0 <= engine.drift_events < engine.drift_limit:
+        report.add(
+            "DRIFT_BOUND",
+            f"amortized-cost counter at {engine.drift_events}, outside "
+            f"[0, {engine.drift_limit}) — a partial rebuild failed to fire",
+        )
+    report.stats["drift_events"] = int(engine.drift_events)
+
+    report.checks.append("state-delay-drift")
+    delays = snap.tree.root_delays()
+    cached = np.asarray([engine.delay[s] for s in snap.slots])
+    if not np.allclose(cached, delays, rtol=FLOAT_RTOL, atol=FLOAT_ATOL):
+        bad = np.flatnonzero(
+            ~np.isclose(cached, delays, rtol=FLOAT_RTOL, atol=FLOAT_ATOL)
+        )
+        report.add(
+            "STATE_DELAY_DRIFT",
+            f"cached delays drifted from recomputation at {bad.size} "
+            f"slots (worst gap {float(np.abs(cached - delays).max()):.3e})",
+            [snap.slots[int(b)] for b in bad],
+        )
     return report

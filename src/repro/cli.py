@@ -259,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, default=200, help="corpus size (instances)"
     )
     fuzz.add_argument(
+        "--mode",
+        choices=("builders", "churn"),
+        default="builders",
+        help="corpus kind: static clouds through the differential "
+        "harness, or churn event traces through the incremental engine",
+    )
+    fuzz.add_argument(
         "--budget",
         type=float,
         default=None,
@@ -722,6 +729,7 @@ def _dispatch(args) -> int:
             budget=args.budget,
             base_seed=args.seed,
             out_dir=args.out,
+            mode=args.mode,
             max_crashes=args.max_crashes,
             shrink=not args.no_shrink,
         )

@@ -6,6 +6,11 @@
 exactly one angular axis, so ring ``i`` consists of ``2^i`` aligned ring
 segments and cell ``c`` of ring ``i`` sits under cells ``2c`` and
 ``2c + 1`` of ring ``i + 1`` — the layout of the paper's Figure 2.
+
+:class:`CellTable` is the grid's *mutable* companion: per-cell occupancy
+and representative bookkeeping for incremental membership maintenance
+(:mod:`repro.overlay.incremental`). The grid itself stays frozen; only
+the table changes as hosts join and leave.
 """
 
 from __future__ import annotations
@@ -16,7 +21,133 @@ from repro.core.grid_nd import PolarGridND, choose_ring_count
 from repro.geometry.polar import TWO_PI, to_polar
 from repro.geometry.rings import RingSegment
 
-__all__ = ["PolarGrid"]
+__all__ = ["PolarGrid", "CellTable"]
+
+
+class CellTable:
+    """Mutable per-cell membership and representative registry.
+
+    Keys are the grid's global cell ids (:meth:`PolarGridND.global_id`).
+    The table holds an entry only for occupied cells: emptying a cell
+    drops both its member list *and* its representative entry — a
+    dangling representative for an empty cell is exactly the corruption
+    the oracle's ``CELL_DANGLING`` check hunts.
+
+    The inner region D0 (gid 0) is tracked like any other cell when it
+    has members, but never carries a representative entry: the source
+    itself represents it (``wire_cells`` semantics).
+    """
+
+    def __init__(self, grid: PolarGridND):
+        """An empty table over ``grid``."""
+        self.grid = grid
+        self._members: dict[int, list[int]] = {}
+        self._rep: dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------
+
+    def occupied(self, gid: int) -> bool:
+        """Whether cell ``gid`` currently has members."""
+        return gid in self._members
+
+    def occupied_gids(self) -> list[int]:
+        """All occupied cell ids, ascending (ring order: inner first)."""
+        return sorted(self._members)
+
+    def members(self, gid: int) -> list[int]:
+        """Member node ids of cell ``gid`` (copy; empty if unoccupied)."""
+        return list(self._members.get(gid, ()))
+
+    def size(self, gid: int) -> int:
+        """Number of members in cell ``gid``."""
+        return len(self._members.get(gid, ()))
+
+    def rep(self, gid: int) -> int:
+        """Representative node of cell ``gid``.
+
+        :raises KeyError: for cells with no representative entry (empty
+            cells, and the inner region D0).
+        """
+        return self._rep[gid]
+
+    def has_rep(self, gid: int) -> bool:
+        """Whether a representative entry exists for ``gid``."""
+        return gid in self._rep
+
+    def dangling_reps(self) -> list[int]:
+        """Cell ids carrying a representative but no members.
+
+        Always empty when the table is maintained correctly; the oracle
+        checks it after every incremental event.
+        """
+        return sorted(g for g in self._rep if g not in self._members)
+
+    # -- mutation ----------------------------------------------------
+
+    def add(self, gid: int, node: int) -> bool:
+        """Add ``node`` to cell ``gid``; True when the cell spawned."""
+        bucket = self._members.get(gid)
+        if bucket is None:
+            self._members[gid] = [node]
+            return True
+        bucket.append(node)
+        return False
+
+    def remove(self, gid: int, node: int) -> bool:
+        """Remove ``node`` from cell ``gid``; True when the cell emptied.
+
+        Emptying a cell drops its representative entry too, so the
+        chain bookkeeping can never point at a ghost cell.
+        """
+        bucket = self._members[gid]
+        bucket.remove(node)
+        if bucket:
+            if self._rep.get(gid) == node:
+                del self._rep[gid]
+            return False
+        del self._members[gid]
+        self._rep.pop(gid, None)
+        return True
+
+    def set_rep(self, gid: int, node: int) -> None:
+        """Record ``node`` as the representative of occupied cell ``gid``."""
+        if gid not in self._members:
+            raise KeyError(f"cell {gid} has no members")
+        if node not in self._members[gid]:
+            raise ValueError(f"node {node} is not a member of cell {gid}")
+        self._rep[gid] = node
+
+    # -- chain / occupancy helpers -----------------------------------
+
+    def nearest_live_ancestor(self, ring: int, cell: int) -> tuple[int, int]:
+        """First occupied ancestor cell's gid, plus the hops walked.
+
+        Walks the aligned parent-cell chain (skipping holes) and stops
+        at the first occupied cell, or at the inner region (gid 0 — the
+        source always forwards for it). The hop count is the number of
+        chain steps taken, the message cost of cell-routed join walks.
+        """
+        hops = 0
+        for r, c in self.grid.ancestor_cells(ring, cell):
+            hops += 1
+            if r == 0:
+                return 0, hops
+            gid = int(self.grid.global_id(r, c))
+            if gid in self._members:
+                return gid, hops
+        return 0, hops
+
+    def interior_holes(self) -> set[int]:
+        """Empty cells of rings ``1..k-1`` (property-3 violations).
+
+        Exhaustive by construction — ``O(2^k)`` — which is fine for the
+        grids incremental maintenance runs on (``k`` tracks ``log n``).
+        """
+        k = self.grid.k
+        if k <= 1:
+            return set()
+        all_interior = range(1, (1 << k) - 1)
+        return {g for g in all_interior if g not in self._members}
 
 
 class PolarGrid(PolarGridND):

@@ -282,6 +282,49 @@ class PolarGridND:
         ring, cell = self.assign(rho, t)
         return ring, cell
 
+    def assign_point(self, point) -> tuple[int, int, float, np.ndarray]:
+        """Single-point assignment for incremental membership events.
+
+        Shares :meth:`assign` exactly (one-row vectorised call), so a
+        point joining a live grid lands in the same cell a full rebuild
+        would put it in. Radii beyond ``r_max`` are clipped into ring
+        ``k`` — the caller decides whether that counts as drift.
+
+        :returns: ``(ring, cell, rho, t)`` with ``t`` of shape ``(d-1,)``.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dim,):
+            raise ValueError(
+                f"expected a ({self.dim},) point, got shape {point.shape}"
+            )
+        rho, t = self.transform.transform(point[None, :], self.center)
+        ring, cell = self.assign(rho, t)
+        return int(ring[0]), int(cell[0]), float(rho[0]), t[0]
+
+    def cell_anchor(self, ring: int, cell: int, face: str = "inner") -> np.ndarray:
+        """Centre of the cell's inner or outer face in ambient coordinates.
+
+        The inner anchor is the point the Section III-B representative
+        rule minimises distance to; the definition matches the builder's
+        per-receiver computation (the bin midpoint of the cell's angular
+        box at radius ``r_lo``), so incremental re-picks agree with a
+        from-scratch build.
+        """
+        if face not in ("inner", "outer"):
+            raise ValueError(f"face must be 'inner' or 'outer', got {face!r}")
+        r_lo, r_hi = self.cell_radial_range(ring)
+        box = self.cell_t_box(ring, cell)
+        t_mid = np.array([[(lo + hi) / 2.0 for lo, hi in box]])
+        radius = r_lo if face == "inner" else r_hi
+        return self.center + radius * self.transform.direction(t_mid)[0]
+
+    def ancestor_cells(self, ring: int, cell: int):
+        """Yield ``(ring, cell)`` ancestors from the parent down to D0."""
+        self._check_ring(ring)
+        while ring > 0:
+            ring, cell = self.parent_cell(ring, cell)
+            yield ring, cell
+
     def occupancy_ok(self, ring: np.ndarray, cell: np.ndarray) -> bool:
         """Property 3 of Section III-A: every cell of rings ``1..k-1``
         holds at least one point (the outermost ring may have holes)."""

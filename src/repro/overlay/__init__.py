@@ -10,19 +10,32 @@ the paper's algorithm would need.
 
 from repro.overlay.dynamic import DynamicOverlay
 from repro.overlay.host import Host
+from repro.overlay.incremental import (
+    DELAY_DRIFT_BOUND,
+    EventReceipt,
+    IncrementalGridTree,
+)
 from repro.overlay.metrics import TreeMetrics, evaluate_tree
 from repro.overlay.multitree import MultiTree, build_striped_trees
-from repro.overlay.protocol import DistributedJoinProtocol, JoinOutcome
+from repro.overlay.protocol import (
+    CellRoutedProtocol,
+    DistributedJoinProtocol,
+    JoinOutcome,
+)
 from repro.overlay.repair import repair_after_failure
 from repro.overlay.session import MulticastSession
 from repro.overlay.simulator import DisseminationResult, simulate_dissemination
 from repro.overlay.stream_sim import FailureEvent, StreamReport, simulate_stream
 
 __all__ = [
+    "CellRoutedProtocol",
+    "DELAY_DRIFT_BOUND",
     "DisseminationResult",
     "DistributedJoinProtocol",
     "DynamicOverlay",
+    "EventReceipt",
     "FailureEvent",
+    "IncrementalGridTree",
     "StreamReport",
     "simulate_stream",
     "Host",

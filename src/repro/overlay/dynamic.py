@@ -19,6 +19,14 @@ Policy (the standard one for overlay trees):
   paper's near-linear build time is what makes periodic full rebuilds
   affordable even for very large groups.
 
+``mode="incremental"`` replaces reattach-or-rebuild with the cell-local
+maintenance engine (:class:`~repro.overlay.incremental.
+IncrementalGridTree`): once the group reaches ``bootstrap`` members, a
+single full build seeds the grid structure and every later join/leave
+touches only its own grid cell, with amortized partial rebuilds of the
+drifted annulus instead of threshold-triggered full rebuilds. The
+greedy policy stays the default — its behaviour is unchanged.
+
 The class tracks both trees' quality so the maintenance/rebuild
 trade-off is observable (see ``examples``/``benchmarks``).
 """
@@ -32,6 +40,7 @@ import numpy as np
 import repro.obs as obs
 from repro.core.builder import build_polar_grid_tree
 from repro.core.tree import MulticastTree
+from repro.overlay.incremental import EventReceipt, IncrementalGridTree
 from repro.overlay.repair import repair_after_failure
 
 __all__ = ["DynamicOverlay"]
@@ -53,6 +62,12 @@ class DynamicOverlay:
         immediately instead of corrupting later events. Costs O(n) per
         event — intended for simulations and tests, not the 5M-node
         path.
+    :param mode: ``"greedy"`` (default, the policy above) or
+        ``"incremental"`` — cell-local grid maintenance once the group
+        reaches ``bootstrap`` members (requires the full construction's
+        budget, ``max_out_degree >= 2^d + 2``).
+    :param bootstrap: group size at which incremental mode seeds its
+        grid with one full build; below it, joins attach greedily.
     """
 
     def __init__(
@@ -61,6 +76,8 @@ class DynamicOverlay:
         max_out_degree: int = 6,
         rebuild_threshold: float | None = 0.25,
         validate: bool = False,
+        mode: str = "greedy",
+        bootstrap: int = 16,
     ):
         coords = np.asarray(source_coords, dtype=np.float64)
         if coords.ndim != 1 or coords.shape[0] < 2:
@@ -69,10 +86,24 @@ class DynamicOverlay:
             raise ValueError("max_out_degree must be at least 2")
         if rebuild_threshold is not None and not 0.0 < rebuild_threshold:
             raise ValueError("rebuild_threshold must be positive or None")
+        if mode not in ("greedy", "incremental"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "incremental":
+            full_threshold = (1 << coords.shape[0]) + 2
+            if max_out_degree < full_threshold:
+                raise ValueError(
+                    f"incremental mode needs the full construction's budget "
+                    f"(max_out_degree >= {full_threshold} for d="
+                    f"{coords.shape[0]})"
+                )
+            if bootstrap < 2:
+                raise ValueError("bootstrap must be at least 2")
 
         self.max_out_degree = int(max_out_degree)
         self.rebuild_threshold = rebuild_threshold
         self.validate = bool(validate)
+        self.mode = mode
+        self.bootstrap = int(bootstrap)
         self._names: list[str] = ["__source__"]
         self._points: list[np.ndarray] = [coords]
         self._index: dict[str, int] = {"__source__": 0}
@@ -82,11 +113,18 @@ class DynamicOverlay:
         self._degree: list[int] = [0]
         self._churn_since_rebuild = 0
         self.rebuild_count = 0
+        #: The cell-local maintenance engine, live once incremental mode
+        #: has bootstrapped (None before that, and always in greedy mode).
+        self.engine: IncrementalGridTree | None = None
+        #: Receipt of the last event the engine handled (None otherwise).
+        self.last_receipt: EventReceipt | None = None
 
     # ------------------------------------------------------------------
 
     @property
     def n(self) -> int:
+        if self.engine is not None:
+            return self.engine.live_count
         return len(self._names)
 
     @property
@@ -95,10 +133,14 @@ class DynamicOverlay:
 
     def members(self) -> list[str]:
         """Current member names, source first."""
+        if self.engine is not None:
+            return self.engine.members()
         return list(self._names)
 
     def tree(self) -> MulticastTree:
         """Snapshot of the current distribution tree."""
+        if self.engine is not None:
+            return self.engine.tree()
         return MulticastTree(
             points=np.asarray(self._points),
             parent=np.asarray(self._parent, dtype=np.int64),
@@ -106,6 +148,8 @@ class DynamicOverlay:
         )
 
     def radius(self) -> float:
+        if self.engine is not None:
+            return self.engine.radius()
         return max(self._delay) if self.n > 1 else 0.0
 
     # ------------------------------------------------------------------
@@ -143,9 +187,32 @@ class DynamicOverlay:
         if self._churn_since_rebuild > self.rebuild_threshold * self.n:
             self.rebuild()
 
+    def _maybe_promote(self):
+        """Seed the incremental engine once the group is big enough."""
+        if self.mode != "incremental" or self.engine is not None:
+            return
+        if len(self._names) < self.bootstrap:
+            return
+        result = build_polar_grid_tree(
+            np.asarray(self._points), 0, self.max_out_degree
+        )
+        if result.grid is None:
+            # Degenerate cloud (e.g. everyone at the source); stay
+            # greedy and retry at the next event.
+            return
+        self.engine = IncrementalGridTree(
+            result,
+            names=list(self._names),
+            validate=self.validate,
+        )
+
     def rebuild(self):
         """Full polar-grid rebuild over the current membership."""
         obs.add("overlay.rebuilds.total")
+        if self.engine is not None:
+            self.engine.full_rebuild()
+            self.rebuild_count += 1
+            return
         points = np.asarray(self._points)
         result = build_polar_grid_tree(points, 0, self.max_out_degree)
         tree = result.tree
@@ -163,6 +230,11 @@ class DynamicOverlay:
         spare fan-out. May trigger a full rebuild (in which case the
         returned parent reflects the post-rebuild tree).
         """
+        if self.engine is not None:
+            obs.add("overlay.joins.total")
+            receipt = self.engine.join(name, coords)
+            self.last_receipt = receipt
+            return self.engine.names[receipt.parent]
         if name in self._index:
             raise ValueError(f"member {name!r} already in the session")
         coords = np.asarray(coords, dtype=np.float64)
@@ -192,13 +264,20 @@ class DynamicOverlay:
         self._degree.append(0)
         self._degree[pick] += 1
         self._churn_since_rebuild += 1
-        self._maybe_rebuild()
-        self._after_event()
-        parent_idx = self._parent[self._index[name]]
-        return self._names[parent_idx]
+        self._maybe_promote()
+        if self.engine is None:
+            self._maybe_rebuild()
+            self._after_event()
+            parent_idx = self._parent[self._index[name]]
+            return self._names[parent_idx]
+        return self.engine.names[self.engine.parent[self.engine.index[name]]]
 
     def leave(self, name: str):
         """Remove a member; orphans are reattached, churn is counted."""
+        if self.engine is not None:
+            obs.add("overlay.leaves.total")
+            self.last_receipt = self.engine.leave(name)
+            return
         if name == "__source__":
             raise ValueError("the source cannot leave its own session")
         if name not in self._index:
@@ -232,9 +311,11 @@ class DynamicOverlay:
         """
         if self.n <= 2:
             return 1.0
-        fresh = build_polar_grid_tree(
-            np.asarray(self._points), 0, self.max_out_degree
-        )
+        if self.engine is not None:
+            points = self.engine.tree().points
+        else:
+            points = np.asarray(self._points)
+        fresh = build_polar_grid_tree(points, 0, self.max_out_degree)
         if fresh.radius == 0.0:
             return 1.0
         return self.radius() / fresh.radius

@@ -21,6 +21,13 @@ Overcast style) so the cost of decentralisation is measurable:
 The protocol's trees are worse than the centralised greedy's and far
 worse than a fresh polar-grid build at scale; the benchmarks quantify
 both gaps together with the message counts that justify them.
+
+:class:`CellRoutedProtocol` is the grid-aware alternative: it costs each
+membership event as the cell-local maintenance engine
+(:mod:`repro.overlay.incremental`) would route it in a deployment —
+probe the members of one cell, walk the ancestor-cell chain to find the
+uplink — so the message budget scales with cell size and ring count,
+not with tree depth times fan-out.
 """
 
 from __future__ import annotations
@@ -30,8 +37,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.tree import MulticastTree
+from repro.overlay.dynamic import DynamicOverlay
 
-__all__ = ["DistributedJoinProtocol", "JoinOutcome"]
+__all__ = ["DistributedJoinProtocol", "JoinOutcome", "CellRoutedProtocol"]
 
 
 @dataclass(frozen=True)
@@ -254,3 +262,95 @@ class DistributedJoinProtocol:
             [shift(c) for c in kids] for kids in self._children
         ]
         self._index = {nm: i for i, nm in enumerate(self._names)}
+
+
+class CellRoutedProtocol:
+    """Cell-routed join/leave, costed at message level.
+
+    Routes every membership event through the cell-local maintenance
+    engine (a :class:`~repro.overlay.dynamic.DynamicOverlay` in
+    ``"incremental"`` mode) and reports what the event would cost in a
+    deployment: one probe per member of the touched cell (the cell
+    re-wiring), one message per ancestor-cell hop of the chain walk, and
+    one per dependent cell re-pointed. Until the group reaches
+    ``bootstrap`` members the newcomer attaches greedily and is charged
+    one probe per member, like a source-assisted bootstrap would.
+
+    :param source_coords: position of the session source.
+    :param max_out_degree: fan-out budget; must cover the full
+        construction (``>= 2^d + 2``).
+    :param bootstrap: group size at which the grid structure is seeded.
+    """
+
+    def __init__(self, source_coords, max_out_degree: int = 6, bootstrap: int = 16):
+        self._overlay = DynamicOverlay(
+            source_coords,
+            max_out_degree=max_out_degree,
+            rebuild_threshold=None,
+            mode="incremental",
+            bootstrap=bootstrap,
+        )
+        self.max_out_degree = self._overlay.max_out_degree
+        self.total_messages = 0
+        self.join_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._overlay.n
+
+    @property
+    def dim(self) -> int:
+        return self._overlay.dim
+
+    def tree(self) -> MulticastTree:
+        """Snapshot of the current distribution tree."""
+        return self._overlay.tree()
+
+    def radius(self) -> float:
+        """Maximum source-to-member delay of the maintained tree."""
+        return self._overlay.radius()
+
+    def mean_messages_per_join(self) -> float:
+        """Average message cost over the joins handled so far."""
+        return self.total_messages / self.join_count if self.join_count else 0.0
+
+    def _event_cost(self) -> int:
+        receipt = self._overlay.last_receipt
+        if receipt is None:
+            # Greedy bootstrap phase: the source probes every member on
+            # the newcomer's behalf.
+            return max(1, self._overlay.n - 1)
+        cost = receipt.cell_size + receipt.chain_hops + receipt.deps_repointed
+        if receipt.partial_rebuild or receipt.full_rebuild:
+            # Amortized maintenance touches the whole drifted region;
+            # charge one message per live member, the upper bound.
+            cost += self._overlay.n
+        return max(1, cost)
+
+    def join(self, name: str, coords) -> JoinOutcome:
+        """Route a join through the cell-local path; returns its cost."""
+        before = self._overlay.last_receipt
+        parent = self._overlay.join(name, coords)
+        receipt = self._overlay.last_receipt
+        if receipt is before:  # greedy bootstrap handled it
+            probes, hops = max(1, self.n - 1), 0
+        else:
+            probes = self._event_cost()
+            hops = receipt.chain_hops
+        self.total_messages += probes
+        self.join_count += 1
+        return JoinOutcome(parent=parent, probes=probes, hops=hops)
+
+    def leave(self, name: str) -> int:
+        """Route a leave through the cell-local path; returns its cost."""
+        before = self._overlay.last_receipt
+        self._overlay.leave(name)
+        receipt = self._overlay.last_receipt
+        if receipt is before:
+            messages = max(1, self.n - 1)
+        else:
+            messages = self._event_cost()
+        self.total_messages += messages
+        return messages

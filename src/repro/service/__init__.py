@@ -42,6 +42,9 @@ from repro.service.core import (
     DeadlineExceeded,
     ServiceOverload,
     TreeBuildService,
+    UnknownUpdateKey,
+    UpdateResponse,
+    UpdateUnsupported,
     WorkloadSpec,
 )
 from repro.service.fleet import ShardFleet
@@ -64,6 +67,9 @@ __all__ = [
     "ShardFleet",
     "ShardRouter",
     "TreeBuildService",
+    "UnknownUpdateKey",
+    "UpdateResponse",
+    "UpdateUnsupported",
     "WorkloadSpec",
     "canonical_key",
     "run_bench",

@@ -195,6 +195,28 @@ class ServiceClient:
         ).validate()
         return reply, tree
 
+    def update(
+        self,
+        key: str,
+        events: list[dict],
+        deadline: float | None = None,
+        include_tree: bool = False,
+    ) -> dict:
+        """Mutate a warm cache entry in place via the incremental path.
+
+        ``events`` is a list of ``{"action": "join", "coords": [...],
+        "name"?}`` / ``{"action": "leave", "name"?|"index"?}`` objects;
+        the reply carries the mutated tree's new content address under
+        ``"key"`` (the submitted key survives as ``"old_key"``) plus the
+        engine's per-op counters.
+        """
+        payload: dict = {"op": "update", "key": key, "events": list(events)}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if include_tree:
+            payload["include_tree"] = True
+        return self._call(payload)
+
     def stats(self) -> dict:
         """Service + cache counters."""
         return self._call({"op": "stats"})["stats"]

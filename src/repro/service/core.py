@@ -25,6 +25,17 @@ cache (late work is not wasted — the next request hits).
 Builds run on a thread pool via ``loop.run_in_executor`` — the numpy
 kernels release the GIL for their hot loops, so the event loop stays
 responsive while trees build.
+
+**Updates.** A warm cache entry does not have to be invalidated by
+membership churn: :meth:`TreeBuildService.update` replays a batch of
+join/leave events through the cell-local maintenance engine
+(:mod:`repro.overlay.incremental`) against a cached polar-grid build and
+stores the mutated tree under its new content address. The old entry
+stays (the cache addresses content, and the old point set still hashes
+to it); the response carries the new key plus the engine's per-op
+counters. Only full-mode polar-grid entries (those carrying their grid)
+support in-place mutation — anything else raises
+:class:`UpdateUnsupported`.
 """
 
 from __future__ import annotations
@@ -52,8 +63,11 @@ __all__ = [
     "WorkloadSpec",
     "BuildRequest",
     "BuildResponse",
+    "UpdateResponse",
     "ServiceOverload",
     "DeadlineExceeded",
+    "UnknownUpdateKey",
+    "UpdateUnsupported",
     "TreeBuildService",
     "WORKLOAD_KINDS",
 ]
@@ -92,6 +106,39 @@ class DeadlineExceeded(TimeoutError):
         super().__init__(
             f"build {key[:12]}… missed its {deadline}s deadline "
             "(still building; a retry may hit the cache)"
+        )
+
+
+class UnknownUpdateKey(RuntimeError):
+    """An update referenced a key with no live cache entry.
+
+    Carries the missing ``key``. The fix is client-side: build (or
+    re-build) first, then update the key the build response returned.
+    """
+
+    def __init__(self, key: str):
+        """Record the key that missed."""
+        self.key = key
+        super().__init__(
+            f"no cached tree under key {key[:12]}…; build it first, then "
+            "update the key the build response returns"
+        )
+
+
+class UpdateUnsupported(RuntimeError):
+    """The cached entry cannot be mutated in place.
+
+    Carries the ``key`` and a ``reason``: incremental maintenance needs
+    a full-mode polar-grid build (one carrying its grid and a fan-out
+    budget of at least ``2^d + 2``).
+    """
+
+    def __init__(self, key: str, reason: str):
+        """Record which entry was rejected and why."""
+        self.key = key
+        self.reason = reason
+        super().__init__(
+            f"cached tree {key[:12]}… cannot be updated in place: {reason}"
         )
 
 
@@ -224,6 +271,99 @@ class BuildResponse:
         return payload
 
 
+@dataclass
+class UpdateResponse:
+    """What an in-place update answers: the mutated tree's new address.
+
+    ``key`` is the *new* content address (the old entry survives —
+    content addressing means the pre-churn point set still owns it);
+    ``counters`` carries the engine's per-op totals for the batch
+    (``joins``, ``leaves``, ``partial_rebuilds``, ``full_rebuilds``).
+    """
+
+    key: str
+    old_key: str
+    result: BuildResult
+    events_applied: int = 0
+    counters: dict = field(default_factory=dict)
+    service_seconds: float = 0.0
+
+    def to_dict(self, include_tree: bool = False) -> dict:
+        """A JSON-safe summary (the wire format of the TCP server)."""
+        tree = self.result.tree
+        payload = {
+            "key": self.key,
+            "old_key": self.old_key,
+            "n": int(tree.n),
+            "radius": float(tree.radius()),
+            "max_out_degree": int(self.result.max_out_degree),
+            "rings": self.result.rings,
+            "events_applied": int(self.events_applied),
+            "counters": dict(self.counters),
+            "service_seconds": float(self.service_seconds),
+        }
+        if include_tree:
+            payload["root"] = int(tree.root)
+            payload["parent"] = tree.parent.tolist()
+            payload["points"] = tree.points.tolist()
+        return payload
+
+
+def _normalize_events(events) -> list[dict]:
+    """Validate an update's event batch into ``{action, name?, ...}``."""
+    if not isinstance(events, (list, tuple)) or not events:
+        raise ValueError("events must be a non-empty list of event objects")
+    normalized = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        action = ev.get("action")
+        if action not in ("join", "leave"):
+            raise ValueError(
+                f"event {i}: action must be 'join' or 'leave', "
+                f"got {action!r}"
+            )
+        known = {"action", "name", "coords", "index"}
+        unknown = set(ev) - known
+        if unknown:
+            raise ValueError(
+                f"event {i}: unknown field(s): " + ", ".join(sorted(unknown))
+            )
+        if action == "join":
+            if "coords" not in ev:
+                raise ValueError(f"event {i}: a join needs coords")
+        elif "name" not in ev and "index" not in ev:
+            raise ValueError(f"event {i}: a leave needs a name or an index")
+        normalized.append(dict(ev))
+    return normalized
+
+
+def _apply_update_events(result: BuildResult, events: list[dict], serial: int):
+    """Replay one update batch through the incremental engine (worker).
+
+    Runs on the build thread pool. The engine's end state is
+    oracle-checked before anything is returned, so a corrupt tree can
+    never reach the cache.
+    """
+    from repro.overlay.incremental import IncrementalGridTree
+
+    engine = IncrementalGridTree(result)
+    for i, ev in enumerate(events):
+        if ev["action"] == "join":
+            name = ev.get("name") or f"u{serial}-{i}"
+            engine.join(name, np.asarray(ev["coords"], dtype=np.float64))
+        else:
+            name = ev.get("name")
+            if name is None:
+                idx = int(ev["index"])
+                if not 0 <= idx < len(engine.names) or engine.names[idx] is None:
+                    raise ValueError(f"event {i}: no member at index {idx}")
+                name = engine.names[idx]
+            engine.leave(name)
+    engine.check().raise_if_failed()
+    return engine
+
+
 def _mark_retrieved(future: asyncio.Future) -> None:
     """Consume a future's exception so asyncio never logs it as lost."""
     if not future.cancelled():
@@ -270,6 +410,8 @@ class TreeBuildService:
         self.coalesced = 0
         self.rejected = 0
         self.deadline_expired = 0
+        self.updates = 0
+        self._update_serial = 0
 
     # -- public API --------------------------------------------------
 
@@ -311,6 +453,85 @@ class TreeBuildService:
         result = await self._build_owned(request, points, key, deadline)
         return self._respond(key, result, started)
 
+    async def update(
+        self,
+        key: str,
+        events,
+        deadline: float | None = None,
+    ) -> UpdateResponse:
+        """Mutate a warm cache entry in place via the incremental engine.
+
+        Replays ``events`` — objects like ``{"action": "join", "coords":
+        [...], "name"?}`` or ``{"action": "leave", "name"?|"index"?}`` —
+        against the cached build under ``key``, oracle-checks the end
+        state, and caches the mutated tree under its new content
+        address. The old entry is left alone.
+
+        :raises UnknownUpdateKey: nothing cached under ``key``.
+        :raises UpdateUnsupported: the entry is not a full-mode
+            polar-grid build (no grid, or fan-out below ``2^d + 2``).
+        :raises DeadlineExceeded: the batch missed its deadline.
+        :raises ValueError: malformed events, unknown members,
+            duplicate joins.
+        """
+        started = time.perf_counter()
+        self.updates += 1
+        obs.add("service.updates.total")
+        events = _normalize_events(events)
+        if deadline is None and self.policy is not None:
+            deadline = self.policy.timeout
+
+        entry = self.cache.get(key)
+        if entry is None:
+            raise UnknownUpdateKey(key)
+        if entry.grid is None or entry.representatives is None:
+            raise UpdateUnsupported(
+                key, "the entry carries no polar grid (degenerate or "
+                "non-grid builder)"
+            )
+        full_threshold = (1 << entry.grid.dim) + 2
+        if entry.max_out_degree < full_threshold:
+            raise UpdateUnsupported(
+                key,
+                f"binary-mode build (max_out_degree "
+                f"{entry.max_out_degree} < {full_threshold})",
+            )
+
+        self._update_serial += 1
+        loop = asyncio.get_running_loop()
+        work = loop.run_in_executor(
+            self._executor,
+            partial(_apply_update_events, entry, events, self._update_serial),
+        )
+        try:
+            engine = await asyncio.wait_for(asyncio.shield(work), deadline)
+        except asyncio.TimeoutError:
+            self.deadline_expired += 1
+            obs.add("service.deadline.total")
+            raise DeadlineExceeded(key, deadline) from None
+
+        result = engine.to_build_result(builder=entry.builder or "polar-grid")
+        new_key = canonical_key(
+            np.asarray(result.tree.points),
+            int(result.tree.root),
+            result.builder,
+            {"max_out_degree": int(result.max_out_degree)},
+        )
+        self.cache.put(new_key, result)
+        return UpdateResponse(
+            key=new_key,
+            old_key=key,
+            result=result,
+            events_applied=len(events),
+            counters={
+                "joins": engine.joins,
+                "leaves": engine.leaves,
+                "partial_rebuilds": engine.partial_rebuilds,
+                "full_rebuilds": engine.full_rebuilds,
+            },
+            service_seconds=time.perf_counter() - started,
+        )
+
     def stats(self) -> dict:
         """JSON-safe service counters plus the cache's own stats."""
         return {
@@ -319,6 +540,7 @@ class TreeBuildService:
             "coalesced": self.coalesced,
             "rejected": self.rejected,
             "deadline_expired": self.deadline_expired,
+            "updates": self.updates,
             "inflight": len(self._inflight),
             "max_pending": self.max_pending,
             "cache": self.cache.stats(),

@@ -7,6 +7,10 @@ a plain TCP connection (``python -m repro serve`` to run one). Ops:
   :func:`~repro.service.core.request_from_payload` for the fields);
   add ``"include_tree": true`` to get ``points``/``parent``/``root``
   back for client-side reconstruction and oracle checks;
+* ``{"op": "update", "key": ..., "events": [...]}`` — mutate a warm
+  cache entry in place through the cell-local incremental engine
+  instead of invalidating it; answers with the mutated tree's new
+  content address (``include_tree`` works here too);
 * ``{"op": "stats"}`` — service + cache counters;
 * ``{"op": "builders"}`` — registry introspection (name, summary,
   accepted params of every registered builder);
@@ -37,6 +41,8 @@ from repro.service.core import (
     DeadlineExceeded,
     ServiceOverload,
     TreeBuildService,
+    UnknownUpdateKey,
+    UpdateUnsupported,
     request_from_payload,
 )
 
@@ -52,6 +58,10 @@ def error_payload(exc: BaseException) -> dict:
         payload.update(pending=exc.pending, limit=exc.limit)
     elif isinstance(exc, DeadlineExceeded):
         payload.update(key=exc.key, deadline=exc.deadline)
+    elif isinstance(exc, UnknownUpdateKey):
+        payload.update(key=exc.key)
+    elif isinstance(exc, UpdateUnsupported):
+        payload.update(key=exc.key, reason=exc.reason)
     elif isinstance(exc, UnknownBuilderError):
         payload.update(name=exc.name, known=list(exc.known))
     elif isinstance(exc, BuilderParamError):
@@ -87,6 +97,21 @@ async def _handle_line(service: TreeBuildService, stop: asyncio.Event, line):
         if op == "build":
             request = request_from_payload(payload)
             response = await service.submit(request)
+            include_tree = bool(payload.get("include_tree", False))
+            return {"ok": True, **response.to_dict(include_tree=include_tree)}
+        if op == "update":
+            known = {"op", "key", "events", "deadline", "include_tree"}
+            unknown = set(payload) - known
+            if unknown:
+                raise ValueError(
+                    "unknown update field(s): " + ", ".join(sorted(unknown))
+                )
+            key = payload.get("key")
+            if not isinstance(key, str) or not key:
+                raise ValueError("an update needs the cache key to mutate")
+            response = await service.update(
+                key, payload.get("events"), deadline=payload.get("deadline")
+            )
             include_tree = bool(payload.get("include_tree", False))
             return {"ok": True, **response.to_dict(include_tree=include_tree)}
         return {

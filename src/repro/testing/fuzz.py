@@ -19,6 +19,15 @@ downward while the failure persists — and a JSON crash artifact
 ``results/fuzz/``. Artifacts are written only on violation; a clean run
 leaves the directory untouched.
 
+``--mode churn`` switches the corpus from static point clouds to seeded
+join/leave *event sequences* replayed through the cell-local
+incremental engine (:mod:`repro.overlay.incremental`): after every
+event the live tree must pass the incremental-state oracle and stay
+within :data:`~repro.overlay.incremental.DELAY_DRIFT_BOUND` of a
+from-scratch build over the same membership. Failing traces shrink to
+the shortest failing event prefix first, then drop earlier events
+chunk-wise with the same delta-debugging loop.
+
 Exit codes: :data:`EXIT_CLEAN` (0) for a clean run, :data:`EXIT_CRASH`
 (3) when at least one violation was found (distinct from argparse's 2
 and from an ordinary crash of the harness itself, which propagates as a
@@ -49,9 +58,13 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_CRASH",
     "FuzzInstance",
+    "ChurnInstance",
     "instance_from_seed",
+    "churn_instance_from_seed",
     "check_instance",
+    "check_churn_instance",
     "shrink_instance",
+    "shrink_churn_instance",
     "run_fuzz",
     "main",
 ]
@@ -130,6 +143,283 @@ def instance_from_seed(base_seed: int, index: int) -> FuzzInstance:
         d_max=d_max,
         kind=kind,
     )
+
+
+# ----------------------------------------------------------------------
+# churn-sequence corpus (--mode churn)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnInstance:
+    """One churn-trace corpus entry, determined by ``(base_seed, index)``.
+
+    ``events`` is a list of plain dicts — ``{"action": "join", "name":
+    ..., "coords": [...]}`` / ``{"action": "leave", "name": ...}`` — so
+    crash artifacts serialise it untouched. The trace starts from an
+    empty session (source only); the warm-up joins are part of the trace
+    and shrink like any other event.
+    """
+
+    base_seed: int
+    index: int
+    dim: int
+    d_max: int
+    bootstrap: int
+    events: tuple
+
+    @property
+    def description(self) -> str:
+        return (
+            f"base_seed={self.base_seed} index={self.index} "
+            f"dim={self.dim} d_max={self.d_max} "
+            f"bootstrap={self.bootstrap} events={len(self.events)}"
+        )
+
+
+def churn_instance_from_seed(base_seed: int, index: int) -> ChurnInstance:
+    """Materialise churn-trace ``index`` of the ``base_seed`` stream.
+
+    The stream is tagged with a third seed component so the churn corpus
+    never overlaps the builder corpus of the same base seed. Traces mix
+    deliberately nasty events in: duplicate coordinates, escapees far
+    beyond the initial footprint (they break the grid's ``r_max``
+    assumption), and near-source joins.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence((base_seed, index, 1)))
+    dim = int(rng.choice([2, 2, 2, 3]))
+    full_threshold = (1 << dim) + 2
+    d_max = int(rng.choice([full_threshold, full_threshold, full_threshold + 2]))
+    n0 = int(rng.integers(8, 80))
+    n_events = int(rng.integers(20, 160))
+    join_prob = float(rng.choice([0.35, 0.5, 0.65]))
+
+    events = []
+    live: list[str] = []
+    serial = 0
+
+    def join_event():
+        nonlocal serial
+        roll = rng.random()
+        if roll < 0.10 and live:
+            # Duplicate an existing member's coordinates exactly.
+            coords = next(
+                e["coords"]
+                for e in reversed(events)
+                if e["action"] == "join" and e["name"] == live[-1]
+            )
+        elif roll < 0.15:
+            coords = rng.uniform(-1, 1, size=dim) * rng.uniform(3, 10)
+            coords = coords.tolist()
+        elif roll < 0.20:
+            coords = (rng.normal(size=dim) * 1e-6).tolist()
+        else:
+            coords = rng.uniform(-1, 1, size=dim).tolist()
+        name = f"c{serial}"
+        serial += 1
+        events.append({"action": "join", "name": name, "coords": coords})
+        live.append(name)
+
+    for _ in range(n0):
+        join_event()
+    for _ in range(n_events):
+        if live and rng.random() >= join_prob:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            events.append({"action": "leave", "name": victim})
+        else:
+            join_event()
+    return ChurnInstance(
+        base_seed=int(base_seed),
+        index=int(index),
+        dim=dim,
+        d_max=d_max,
+        bootstrap=8,
+        events=tuple(events),
+    )
+
+
+def check_churn_instance(
+    events, dim: int, d_max: int, bootstrap: int = 8
+) -> list[dict]:
+    """Replay one churn trace through the incremental path; all findings.
+
+    After every event the maintained tree is validated — through the
+    incremental-state oracle once the engine has bootstrapped, through
+    the plain tree oracle before — and its radius is compared against a
+    from-scratch polar-grid build over the same membership
+    (:data:`~repro.overlay.incremental.DELAY_DRIFT_BOUND`). Violations
+    carry the 0-based ``event`` index that exposed them.
+
+    Events that are infeasible at replay time (leave of an absent
+    member, duplicate join) are *skipped*, not flagged: the shrinker
+    removes events chunk-wise, so a candidate trace must stay replayable
+    after any subset of removals.
+    """
+    from repro.analysis.oracle import check_incremental_state, check_tree
+    from repro.core.builder import build_polar_grid_tree
+    from repro.overlay.dynamic import DynamicOverlay
+    from repro.overlay.incremental import DELAY_DRIFT_BOUND
+
+    violations: list[dict] = []
+    overlay = DynamicOverlay(
+        np.zeros(dim),
+        max_out_degree=d_max,
+        rebuild_threshold=None,
+        mode="incremental",
+        bootstrap=bootstrap,
+    )
+    live: set[str] = set()
+    for i, event in enumerate(events):
+        name = event["name"]
+        feasible = (
+            name not in live
+            if event["action"] == "join"
+            else name in live
+        )
+        if not feasible:
+            continue
+        try:
+            if event["action"] == "join":
+                overlay.join(name, np.asarray(event["coords"], dtype=np.float64))
+                live.add(name)
+            else:
+                overlay.leave(name)
+                live.discard(name)
+        except Exception:  # noqa: BLE001 - an event crash IS a finding
+            violations.append(
+                {
+                    "code": "EVENT_ERROR",
+                    "message": traceback.format_exc(limit=6),
+                    "nodes": [],
+                    "event": i,
+                }
+            )
+            return violations  # state unusable past a crashed event
+
+        if overlay.engine is not None:
+            report = check_incremental_state(overlay.engine)
+        else:
+            report = check_tree(overlay.tree(), d_max=d_max)
+        for v in report.to_dict()["violations"]:
+            violations.append({**v, "event": i})
+        if violations:
+            return violations  # later events replay corrupted state
+
+        if overlay.engine is not None and overlay.n >= 3:
+            fresh = build_polar_grid_tree(
+                overlay.tree().points, 0, d_max
+            )
+            if (
+                fresh.radius > 0.0
+                and overlay.radius() > DELAY_DRIFT_BOUND * fresh.radius
+            ):
+                violations.append(
+                    {
+                        "code": "DELAY_DRIFT",
+                        "message": (
+                            f"incremental radius {overlay.radius():.6g} "
+                            f"exceeds {DELAY_DRIFT_BOUND} x fresh-build "
+                            f"radius {fresh.radius:.6g}"
+                        ),
+                        "nodes": [],
+                        "event": i,
+                    }
+                )
+                return violations
+    return violations
+
+
+def shrink_churn_instance(
+    events,
+    dim: int,
+    d_max: int,
+    bootstrap: int = 8,
+    *,
+    max_checks: int = 80,
+) -> tuple[list, list[dict]]:
+    """Minimise a failing churn trace to a short reproducer.
+
+    First truncates to the prefix ending at the first failing event
+    (everything after it never ran), then delta-debugs *earlier* events
+    out chunk-wise — dropping any chunk whose removal keeps the prefix
+    failing. Infeasible leftovers (a leave whose join was dropped) are
+    skipped by the checker, so every candidate stays replayable.
+
+    :returns: ``(shrunk_events, violations)`` for the smallest failing
+        trace found within ``max_checks`` re-checks.
+    """
+    events = list(events)
+    best_violations = check_churn_instance(events, dim, d_max, bootstrap)
+    if not best_violations:
+        return events, []
+    first_failure = min(
+        (v.get("event", len(events) - 1) for v in best_violations),
+        default=len(events) - 1,
+    )
+    keep = events[: first_failure + 1]
+
+    checks = 0
+    chunk = max(1, len(keep) // 2)
+    while chunk >= 1 and checks < max_checks:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(keep) and checks < max_checks:
+            # Never drop the final event — it is the one that fails.
+            candidate = [
+                e
+                for pos, e in enumerate(keep)
+                if pos == len(keep) - 1 or not start <= pos < start + chunk
+            ]
+            if len(candidate) == len(keep) or not candidate:
+                start += chunk
+                continue
+            checks += 1
+            obs.add("fuzz.shrink_checks.total")
+            found = check_churn_instance(candidate, dim, d_max, bootstrap)
+            if found:
+                keep = candidate
+                best_violations = found
+                shrunk_this_pass = True
+                start = 0
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+        else:
+            chunk = min(chunk, max(1, len(keep) // 2))
+    return keep, best_violations
+
+
+def _write_churn_artifact(
+    out_dir: Path, instance: ChurnInstance, violations, shrunk
+) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"crash-churn-{instance.base_seed}-{instance.index}.json"
+    shrunk_events, shrunk_violations = shrunk
+    payload = {
+        "description": instance.description,
+        "base_seed": instance.base_seed,
+        "index": instance.index,
+        "dim": instance.dim,
+        "d_max": instance.d_max,
+        "bootstrap": instance.bootstrap,
+        "violations": violations,
+        "events": list(instance.events),
+        "shrunk": {
+            "events": list(shrunk_events),
+            "violations": shrunk_violations,
+        },
+        "reproduce": (
+            "from repro.testing.fuzz import churn_instance_from_seed, "
+            "check_churn_instance; "
+            f"i = churn_instance_from_seed({instance.base_seed}, "
+            f"{instance.index}); "
+            "print(check_churn_instance(i.events, i.dim, i.d_max, "
+            "i.bootstrap))"
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -323,6 +613,7 @@ def run_fuzz(
     base_seed: int = 0,
     out_dir: str = DEFAULT_OUT_DIR,
     *,
+    mode: str = "builders",
     max_crashes: int = 5,
     shrink: bool = True,
     report_every: int = 50,
@@ -335,10 +626,15 @@ def run_fuzz(
         early (still cleanly) when it is exhausted.
     :param base_seed: corpus identity; same value, same instances.
     :param out_dir: crash artifact directory (created on first crash).
+    :param mode: ``"builders"`` (static point clouds through the
+        differential harness) or ``"churn"`` (join/leave event traces
+        through the incremental engine).
     :param max_crashes: stop after this many distinct failing instances.
     :param shrink: bisect failing instances down before writing them out.
     :returns: :data:`EXIT_CLEAN` or :data:`EXIT_CRASH`.
     """
+    if mode not in ("builders", "churn"):
+        raise ValueError(f"unknown fuzz mode {mode!r}")
     started = time.monotonic()
     deadline = None if budget is None else started + float(budget)
     out_path = Path(out_dir)
@@ -348,13 +644,25 @@ def run_fuzz(
         if deadline is not None and time.monotonic() >= deadline:
             log(f"budget exhausted after {executed}/{seeds} instances")
             break
-        instance = instance_from_seed(base_seed, index)
-        with obs.span(
-            "fuzz.instance", index=index, n=instance.points.shape[0]
-        ):
-            violations = check_instance(
-                instance.points, instance.source, instance.d_max
-            )
+        if mode == "churn":
+            instance = churn_instance_from_seed(base_seed, index)
+            with obs.span(
+                "fuzz.churn_instance", index=index, events=len(instance.events)
+            ):
+                violations = check_churn_instance(
+                    instance.events,
+                    instance.dim,
+                    instance.d_max,
+                    instance.bootstrap,
+                )
+        else:
+            instance = instance_from_seed(base_seed, index)
+            with obs.span(
+                "fuzz.instance", index=index, n=instance.points.shape[0]
+            ):
+                violations = check_instance(
+                    instance.points, instance.source, instance.d_max
+                )
         executed += 1
         obs.add("fuzz.execs.total")
         if violations:
@@ -363,17 +671,37 @@ def run_fuzz(
             log(f"FUZZ FAILURE: {instance.description}")
             for v in violations[:8]:
                 log(f"  [{v['code']}] {v['message'].splitlines()[0]}")
-            if shrink:
-                shrunk = shrink_instance(
-                    instance.points, instance.source, instance.d_max
+            if mode == "churn":
+                if shrink:
+                    shrunk = shrink_churn_instance(
+                        instance.events,
+                        instance.dim,
+                        instance.d_max,
+                        instance.bootstrap,
+                    )
+                else:
+                    shrunk = (list(instance.events), violations)
+                artifact = _write_churn_artifact(
+                    out_path, instance, violations, shrunk
+                )
+                log(
+                    f"  artifact: {artifact} "
+                    f"(shrunk to {len(shrunk[0])} events)"
                 )
             else:
-                shrunk = (instance.points, instance.source, violations)
-            artifact = _write_artifact(out_path, instance, violations, shrunk)
-            log(
-                f"  artifact: {artifact} "
-                f"(shrunk to n={shrunk[0].shape[0]})"
-            )
+                if shrink:
+                    shrunk = shrink_instance(
+                        instance.points, instance.source, instance.d_max
+                    )
+                else:
+                    shrunk = (instance.points, instance.source, violations)
+                artifact = _write_artifact(
+                    out_path, instance, violations, shrunk
+                )
+                log(
+                    f"  artifact: {artifact} "
+                    f"(shrunk to n={shrunk[0].shape[0]})"
+                )
             if crashes >= max_crashes:
                 log(f"stopping after {crashes} crashes")
                 break
@@ -396,6 +724,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seeds", type=int, default=200, help="corpus size (instances)"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("builders", "churn"),
+        default="builders",
+        help="corpus kind: static clouds through the differential "
+        "harness, or churn event traces through the incremental engine",
     )
     parser.add_argument(
         "--budget",
@@ -428,6 +763,7 @@ def main(argv=None) -> int:
         budget=args.budget,
         base_seed=args.seed,
         out_dir=args.out,
+        mode=args.mode,
         max_crashes=args.max_crashes,
         shrink=not args.no_shrink,
     )

@@ -12,8 +12,11 @@ import pytest
 
 from repro.testing import EXIT_CLEAN, EXIT_CRASH
 from repro.testing.fuzz import (
+    check_churn_instance,
+    churn_instance_from_seed,
     instance_from_seed,
     run_fuzz,
+    shrink_churn_instance,
     shrink_instance,
 )
 
@@ -173,3 +176,116 @@ class TestEntryPoints:
             timeout=300,
         )
         assert proc.returncode == EXIT_CLEAN, proc.stderr
+
+
+class TestChurnCorpus:
+    def test_churn_instances_are_reproducible(self):
+        a = churn_instance_from_seed(42, 7)
+        b = churn_instance_from_seed(42, 7)
+        assert a == b
+        assert a.events and a.bootstrap == 8
+
+    def test_distinct_churn_entries_differ(self):
+        assert (
+            churn_instance_from_seed(0, 1).events
+            != churn_instance_from_seed(0, 2).events
+        )
+
+    def test_churn_corpus_disjoint_from_builder_corpus(self):
+        # The third seed component tags the stream: a builder instance
+        # and a churn instance of the same (base_seed, index) must not
+        # be derived from the same raw draws.
+        builder = instance_from_seed(0, 0)
+        churn = churn_instance_from_seed(0, 0)
+        first_join = next(
+            e for e in churn.events if e["action"] == "join" and e["coords"]
+        )
+        assert not np.allclose(
+            builder.points[1][: len(first_join["coords"])],
+            first_join["coords"],
+        )
+
+    def test_infeasible_events_are_skipped_not_flagged(self):
+        events = [
+            {"action": "join", "name": "a", "coords": [0.5, 0.1]},
+            {"action": "leave", "name": "ghost"},  # never joined
+            {"action": "join", "name": "a", "coords": [0.2, 0.2]},  # dup name
+            {"action": "leave", "name": "a"},
+            {"action": "leave", "name": "a"},  # already gone
+        ]
+        assert check_churn_instance(events, 2, 6) == []
+
+    def test_clean_churn_run_writes_nothing(self, tmp_path):
+        out = tmp_path / "churn"
+        lines = []
+        code = run_fuzz(
+            4,
+            base_seed=0,
+            out_dir=str(out),
+            mode="churn",
+            report_every=2,
+            log=lines.append,
+        )
+        assert code == EXIT_CLEAN
+        assert not out.exists()
+        assert any("clean" in line for line in lines)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_fuzz(1, mode="bogus")
+
+
+class TestChurnCrashPath:
+    @pytest.fixture()
+    def tightened_drift_bound(self, monkeypatch):
+        """Force every post-bootstrap event over the delay-drift bound.
+
+        The checker (and the engine's refit trigger) read the bound from
+        the incremental module at call time; 0.5 makes even an exact
+        from-scratch tree a violation, so every trace fails as soon as
+        the engine bootstraps — a deterministic crash injection.
+        """
+        import repro.overlay.incremental as incremental
+
+        monkeypatch.setattr(incremental, "DELAY_DRIFT_BOUND", 0.5)
+
+    def test_churn_crash_produces_artifact(
+        self, tmp_path, tightened_drift_bound
+    ):
+        out = tmp_path / "churn"
+        lines = []
+        code = run_fuzz(
+            3,
+            base_seed=0,
+            out_dir=str(out),
+            mode="churn",
+            max_crashes=1,
+            log=lines.append,
+        )
+        assert code == EXIT_CRASH
+        artifacts = sorted(out.glob("crash-churn-*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["violations"]
+        assert {"DELAY_DRIFT"} <= {v["code"] for v in payload["violations"]}
+        assert payload["events"], "artifact carries the full trace"
+        assert "churn_instance_from_seed(0," in payload["reproduce"]
+        # Shrinking truncated to the failing prefix and kept it failing.
+        assert 1 <= len(payload["shrunk"]["events"]) <= len(payload["events"])
+        assert payload["shrunk"]["violations"]
+        assert any("FUZZ FAILURE" in line for line in lines)
+
+    def test_churn_shrinker_minimises_and_preserves_failure(
+        self, tightened_drift_bound
+    ):
+        inst = churn_instance_from_seed(0, 0)
+        shrunk, violations = shrink_churn_instance(
+            inst.events, inst.dim, inst.d_max, inst.bootstrap, max_checks=40
+        )
+        assert violations, "shrinking must keep the trace failing"
+        assert len(shrunk) < len(inst.events)
+        # The minimised trace is a genuine reproducer on its own.
+        again = check_churn_instance(shrunk, inst.dim, inst.d_max, inst.bootstrap)
+        assert again
+        first_failure = min(v["event"] for v in again)
+        assert first_failure == len(shrunk) - 1, "last event is the failure"

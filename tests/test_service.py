@@ -11,6 +11,7 @@ import pytest
 from repro.analysis.oracle import check_tree
 from repro.core.builder import build_polar_grid_tree
 from repro.core.registry import register_builder, unregister_builder
+from repro.core.tree import MulticastTree
 from repro.service import (
     BackgroundServer,
     BuildCache,
@@ -461,3 +462,159 @@ class TestServiceSmokeTool:
         module_spec.loader.exec_module(smoke)
         assert smoke.main(["--nodes", "1500", "--clients", "4"]) == 0
         assert "1 build" in capsys.readouterr().out
+
+
+class TestUpdateOp:
+    """The update op: warm cache entries mutate through the incremental path."""
+
+    def test_update_mutates_and_readdresses_the_entry(self):
+        async def body():
+            service = TreeBuildService()
+            try:
+                first = await service.submit(
+                    BuildRequest(points=POINTS, params=dict(PARAMS))
+                )
+                events = [
+                    {"action": "join", "coords": [0.31, -0.17]},
+                    {"action": "join", "coords": [-0.4, 0.2], "name": "late"},
+                    {"action": "leave", "index": 5},
+                    {"action": "leave", "name": "late"},
+                ]
+                update = await service.update(first.key, events)
+                # The mutated tree's key must be the same content address
+                # a from-scratch request over those points would get.
+                readdress = await service.submit(
+                    BuildRequest(
+                        points=update.result.tree.points,
+                        params=dict(PARAMS),
+                    )
+                )
+                return first, update, readdress, service.stats()
+            finally:
+                service.close()
+
+        first, update, readdress, stats = run(body())
+        assert update.old_key == first.key
+        assert update.key != first.key
+        assert update.events_applied == 4
+        assert update.counters["joins"] == 2
+        assert update.counters["leaves"] == 2
+        assert update.result.tree.n == POINTS.shape[0]
+        report = check_tree(update.result.tree, d_max=6)
+        assert report.ok, report.render()
+        assert readdress.cached and readdress.key == update.key
+        assert stats["updates"] == 1
+
+    def test_unknown_key_is_structured(self):
+        from repro.service import UnknownUpdateKey
+
+        async def body():
+            service = TreeBuildService()
+            try:
+                await service.update(
+                    "0" * 64, [{"action": "join", "coords": [0.1, 0.1]}]
+                )
+            finally:
+                service.close()
+
+        with pytest.raises(UnknownUpdateKey) as info:
+            run(body())
+        assert info.value.key == "0" * 64
+
+    def test_gridless_entry_is_unsupported(self):
+        from repro.service import UpdateUnsupported
+
+        async def body():
+            service = TreeBuildService()
+            try:
+                built = await service.submit(
+                    BuildRequest(
+                        points=POINTS, builder="quadtree", params=dict(PARAMS)
+                    )
+                )
+                await service.update(
+                    built.key, [{"action": "join", "coords": [0.1, 0.1]}]
+                )
+            finally:
+                service.close()
+
+        with pytest.raises(UpdateUnsupported) as info:
+            run(body())
+        assert info.value.key
+
+    def test_binary_mode_entry_is_unsupported(self):
+        from repro.service import UpdateUnsupported
+
+        async def body():
+            service = TreeBuildService()
+            try:
+                built = await service.submit(
+                    BuildRequest(points=POINTS, params={"max_out_degree": 2})
+                )
+                await service.update(
+                    built.key, [{"action": "join", "coords": [0.1, 0.1]}]
+                )
+            finally:
+                service.close()
+
+        with pytest.raises(UpdateUnsupported) as info:
+            run(body())
+        assert "binary" in str(info.value) or "full" in str(info.value)
+
+    def test_event_validation(self):
+        async def body(events):
+            service = TreeBuildService()
+            try:
+                built = await service.submit(
+                    BuildRequest(points=POINTS, params=dict(PARAMS))
+                )
+                await service.update(built.key, events)
+            finally:
+                service.close()
+
+        for bad in (
+            [],
+            [{"action": "reboot"}],
+            [{"action": "join"}],  # join needs coords
+            [{"action": "leave"}],  # leave needs name or index
+            [{"action": "join", "coords": [0.1, 0.1], "bogus": 1}],
+        ):
+            with pytest.raises(ValueError):
+                run(body(bad))
+
+    def test_update_round_trips_over_tcp(self):
+        with BackgroundServer() as server:
+            with ServiceClient(port=server.port) as client:
+                built = client.build(
+                    points=POINTS, params={"max_out_degree": 6}
+                )
+                reply = client.update(
+                    built["key"],
+                    [
+                        {"action": "join", "coords": [0.25, 0.33]},
+                        {"action": "leave", "index": 3},
+                    ],
+                    include_tree=True,
+                )
+                assert reply["old_key"] == built["key"]
+                assert reply["key"] != built["key"]
+                assert reply["events_applied"] == 2
+                tree = MulticastTree(
+                    np.asarray(reply["points"]),
+                    np.asarray(reply["parent"], dtype=np.int64),
+                    reply["root"],
+                ).validate()
+                assert tree.n == POINTS.shape[0]
+                # The new address is warm: a fresh build request over the
+                # mutated membership hits the cache.
+                again = client.build(
+                    points=reply["points"], params={"max_out_degree": 6}
+                )
+                assert again["cached"] and again["key"] == reply["key"]
+
+                with pytest.raises(ServiceClientError) as info:
+                    client.update(
+                        "f" * 64, [{"action": "join", "coords": [0.1, 0.1]}]
+                    )
+                assert info.value.error_type == "UnknownUpdateKey"
+                assert info.value.error["key"] == "f" * 64

@@ -1,0 +1,207 @@
+"""CI soak for cell-local incremental maintenance under churn.
+
+Replays a long seeded churn trace (5k events by default) through a
+:class:`~repro.overlay.dynamic.DynamicOverlay` in ``incremental`` mode
+and gates, in order:
+
+1. **periodic oracle** — every ``--check-every`` events the live engine
+   state is re-derived from raw coordinates by
+   :func:`repro.analysis.oracle.check_incremental_state` (or
+   :func:`check_tree` while still bootstrapping), and the overlay's
+   radius is compared against a from-scratch polar-grid build: the
+   incremental tree may not exceed ``DELAY_DRIFT_BOUND`` times the
+   fresh radius;
+2. **cell locality** — after the soak, one steady-state join/leave
+   probe runs under :func:`repro.obs.capture`; it must emit no
+   ``cell_layout``/``wire_cells`` span and no rebuild, only the
+   per-event ``overlay.incremental.{join,leave}.total`` counters.
+
+On any violation a self-contained crash artifact (the full trace, the
+failing event index, the violations) is written under ``--out`` and the
+process exits 1; the CI workflow uploads the artifact. Exit 0 on pass.
+
+Run::
+
+    PYTHONPATH=src python tools/churn_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+import repro.obs as obs
+from repro.analysis.oracle import check_incremental_state, check_tree
+from repro.core.builder import build_polar_grid_tree
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.incremental import DELAY_DRIFT_BOUND
+from repro.workloads.churn import generate_churn_trace
+
+
+def _trace(n_events: int, dim: int, seed: int):
+    """A seeded steady-state trace of at least ``n_events`` events."""
+    arrival_rate = 4.0
+    events = generate_churn_trace(
+        duration=max(10.0, n_events / arrival_rate),
+        arrival_rate=arrival_rate,
+        mean_session=10.0,
+        session_sigma=1.0,
+        dim=dim,
+        seed=seed,
+    )
+    # Truncating keeps every leave feasible: a leave's join sorts first.
+    return events[:n_events]
+
+
+def _write_artifact(out_dir: str, payload: dict, log) -> None:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"crash-churn-soak-{payload['seed']}.json"
+    path.write_text(json.dumps(payload, indent=2))
+    log(f"CHURN SOAK FAILURE: artifact written to {path}")
+
+
+def _check(overlay: DynamicOverlay, d_max: int) -> list[dict]:
+    """Oracle + differential bound; returns violation dicts, [] if clean."""
+    if overlay.engine is not None:
+        report = check_incremental_state(overlay.engine)
+    else:
+        report = check_tree(overlay.tree(), d_max=d_max)
+    violations = report.to_dict()["violations"]
+    if overlay.engine is not None and overlay.n >= 3:
+        fresh = build_polar_grid_tree(overlay.tree().points, 0, d_max)
+        if fresh.radius > 0.0 and overlay.radius() > (
+            DELAY_DRIFT_BOUND * fresh.radius
+        ):
+            violations.append(
+                {
+                    "code": "DELAY_DRIFT",
+                    "message": (
+                        f"incremental radius {overlay.radius():.4f} exceeds "
+                        f"{DELAY_DRIFT_BOUND} x fresh radius {fresh.radius:.4f}"
+                    ),
+                }
+            )
+    return violations
+
+
+def run_soak(
+    n_events: int,
+    check_every: int,
+    dim: int,
+    d_max: int,
+    seed: int,
+    out_dir: str,
+    log=print,
+) -> int:
+    """Replay the soak trace with periodic oracle gates; 0 clean, 1 crash."""
+    events = _trace(n_events, dim, seed)
+    log(
+        f"churn soak: {len(events)} events (seed={seed}, dim={dim}, "
+        f"d_max={d_max}), oracle every {check_every}"
+    )
+    overlay = DynamicOverlay(
+        np.zeros(dim),
+        max_out_degree=d_max,
+        rebuild_threshold=None,
+        mode="incremental",
+        bootstrap=8,
+    )
+    applied = []
+    for i, event in enumerate(events):
+        applied.append(
+            {"action": event.action, "name": event.name,
+             "coords": None if event.coords is None else list(event.coords)}
+        )
+        if event.action == "join":
+            overlay.join(event.name, event.coords)
+        else:
+            overlay.leave(event.name)
+        if (i + 1) % check_every and i + 1 != len(events):
+            continue
+        violations = _check(overlay, d_max)
+        if violations:
+            _write_artifact(
+                out_dir,
+                {
+                    "seed": seed,
+                    "dim": dim,
+                    "d_max": d_max,
+                    "event": i,
+                    "n": overlay.n,
+                    "violations": violations,
+                    "events": applied,
+                    "reproduce": (
+                        f"python tools/churn_smoke.py --events {n_events} "
+                        f"--check-every {check_every} --seed {seed}"
+                    ),
+                },
+                log,
+            )
+            for v in violations:
+                log(f"  event {i}: {v['code']}: {v.get('message', '')}")
+            return 1
+        log(f"  event {i + 1}/{len(events)}: oracle clean, n={overlay.n}")
+    if overlay.engine is None:
+        log("soak never reached incremental mode — trace too small")
+        return 1
+    return _probe_locality(overlay, log)
+
+
+def _probe_locality(overlay: DynamicOverlay, log=print) -> int:
+    """One steady-state join/leave must stay cell-local."""
+    rng = np.random.default_rng(0)
+    with obs.capture() as cap:
+        overlay.join("locality-probe", rng.normal(size=overlay.dim))
+        join = overlay.last_receipt
+        overlay.leave("locality-probe")
+        leave = overlay.last_receipt
+    global_spans = [
+        s["name"]
+        for s in cap.spans
+        if "cell_layout" in s["name"] or "wire_cells" in s["name"]
+    ]
+    failures = []
+    if global_spans:
+        failures.append(f"probe ran global layout spans: {global_spans}")
+    for op, receipt in (("join", join), ("leave", leave)):
+        if receipt.partial_rebuild or receipt.full_rebuild:
+            failures.append(f"probe {op} triggered a rebuild")
+    for op in ("join", "leave"):
+        counter = cap.metrics.get(f"overlay.incremental.{op}.total")
+        if counter is None or counter["value"] != 1.0:
+            failures.append(f"probe {op} counter missing or != 1")
+    if failures:
+        for line in failures:
+            log(f"CELL LOCALITY FAILURE: {line}")
+        return 1
+    log(f"cell-locality probe clean at n={overlay.n}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=5000)
+    parser.add_argument("--check-every", type=int, default=500)
+    parser.add_argument("--dim", type=int, default=2)
+    parser.add_argument("--d-max", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="results/churn")
+    args = parser.parse_args(argv)
+    return run_soak(
+        args.events,
+        args.check_every,
+        args.dim,
+        args.d_max,
+        args.seed,
+        args.out,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
