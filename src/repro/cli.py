@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 import repro.obs as obs
+from repro.core.backends import BACKEND_ENV, BACKENDS
 from repro.core.registry import build, builder_names
 from repro.experiments import figures as figures_mod
 from repro.experiments.table1 import (
@@ -100,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--paper",
             action="store_true",
             help="use the paper's full protocol (200 trials, up to 5M nodes)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=BACKENDS,
+            default=None,
+            help="build backend: 'numpy' (default, frontier-vectorised), "
+            "'reference' (the paper-shaped Python loops), or 'numba' "
+            "(JIT kernels; falls back to numpy when numba is absent). "
+            "All backends build identical trees — docs/PERFORMANCE.md",
         )
         p.add_argument(
             "--engine",
@@ -192,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="build backend (see docs/PERFORMANCE.md); default numpy",
+    )
     demo.add_argument(
         "--svg",
         metavar="PATH",
@@ -471,6 +488,33 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_serve.json",
         help="where to write the JSON report (default BENCH_serve.json)",
     )
+
+    bbuild = sub.add_parser(
+        "bench-build",
+        help="time one build per backend (reference/numpy/numba), "
+        "cross-check identical trees, gate the vectorised speedup "
+        "(writes BENCH_build_5m.json; see docs/PERFORMANCE.md)",
+    )
+    bbuild.add_argument("--nodes", type=int, default=100_000)
+    bbuild.add_argument("--degree", type=int, default=6)
+    bbuild.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
+    bbuild.add_argument("--seed", type=int, default=0)
+    bbuild.add_argument(
+        "--scale",
+        type=int,
+        nargs="*",
+        default=(),
+        metavar="N",
+        help="extra sizes to run numpy-only scale entries for "
+        "(e.g. --scale 1000000 5000000)",
+    )
+    bbuild.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_build_5m.json",
+        help="where to write the JSON report "
+        "(default BENCH_build_5m.json)",
+    )
     return parser
 
 
@@ -590,6 +634,12 @@ def main(argv=None) -> int:
 
 
 def _dispatch(args) -> int:
+    # Export --backend through the environment rather than threading it
+    # through every call: process-engine workers inherit os.environ, so
+    # one assignment covers thread, process, and in-process builds alike.
+    if getattr(args, "backend", None):
+        os.environ[BACKEND_ENV] = args.backend
+
     if args.command == "table1":
         sizes, trials = _sweep_params(args)
         policy, journal, failures = _resilience_setup(args, sizes, trials)
@@ -824,6 +874,39 @@ def _dispatch(args) -> int:
         )
         print(f"report -> {args.out}")
         return 0 if report["oracle_ok"] and report["coalesce"]["builds"] == 1 else 1
+
+    if args.command == "bench-build":
+        from repro.experiments.buildbench import (
+            run_build_bench,
+            speedup_gate_failures,
+        )
+
+        report = run_build_bench(
+            n=args.nodes,
+            degree=args.degree,
+            dim=args.dim,
+            seed=args.seed,
+            scale_sizes=tuple(args.scale),
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        for name, entry in report["backends"].items():
+            wd = entry["phases"]["wire_cells"] + entry["phases"]["delay_pass"]
+            print(
+                f"{name:9s} total {entry['total_seconds']:8.3f}s  "
+                f"wire+delay {wd:8.3f}s  radius {entry['radius']:.9f}"
+            )
+        if "speedup" in report:
+            s = report["speedup"]
+            print(
+                f"speedup vs reference: wire+delay {s['wire_plus_delay']}x, "
+                f"total {s['total']}x"
+            )
+        print(f"report -> {args.out}")
+        failures = speedup_gate_failures(report)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1 if failures else 0
 
     if args.command == "scorecard":
         from repro.experiments.scorecard import run_scorecard

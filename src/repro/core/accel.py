@@ -1,0 +1,125 @@
+"""Optional numba JIT kernels behind a feature flag (graceful fallback).
+
+The frontier engine of :mod:`repro.core.vectorized` spends most of its
+time in segmented reductions — "first index achieving the minimum, per
+contiguous segment". Pure numpy expresses that as a stable
+``np.lexsort`` (``O(m log m)`` per round); with numba available the same
+reduction is a single linear scan. The kernels here are the JIT-able
+versions of those scans.
+
+Feature flag and fallback rules
+-------------------------------
+
+* numba is **optional**: when it is not importable, ``NUMBA_AVAILABLE``
+  is False, :func:`maybe_jit` is the identity, and the ``"numba"``
+  backend silently resolves to the ``"numpy"`` path (see
+  :func:`repro.core.backends.resolve_backend`). Nothing in the repo
+  imports numba unconditionally.
+* Setting ``REPRO_NUMBA=0`` (or ``off``/``false``) disables the JIT even
+  when numba is installed — the escape hatch for debugging a suspected
+  JIT miscompile, and the way CI pins the pure-numpy path.
+
+The kernels replicate the reference tie-breaks *exactly*: a strict
+``<`` comparison keeps the earliest index on ties, matching both
+``bisection._pick_representative`` and the stable-``lexsort`` fallback,
+so JIT on/off never changes a built tree (differentially tested in
+``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "maybe_jit",
+    "segment_first_min",
+    "segment_first_two_min",
+]
+
+
+def _load_njit():
+    """The ``numba.njit`` decorator, or ``None`` when unavailable/off."""
+    if os.environ.get("REPRO_NUMBA", "").strip().lower() in (
+        "0",
+        "off",
+        "false",
+    ):
+        return None
+    try:
+        from numba import njit
+    except ImportError:
+        return None
+    return njit
+
+
+_njit = _load_njit()
+NUMBA_AVAILABLE = _njit is not None
+
+
+def maybe_jit(fn):
+    """``numba.njit(cache=True)`` when available, identity otherwise.
+
+    The un-jitted functions below are plain Python loops — correct but
+    slow — so callers must branch on :data:`NUMBA_AVAILABLE` and use the
+    vectorised numpy equivalent when the JIT is off. They stay callable
+    regardless so the differential tests can exercise both forms.
+    """
+    if _njit is None:
+        return fn
+    return _njit(cache=True)(fn)
+
+
+@maybe_jit
+def segment_first_min(values, starts, ends):
+    """Index of the first minimum of ``values`` within each segment.
+
+    ``starts[s]:ends[s]`` delimits segment ``s`` (non-empty). Ties keep
+    the earliest index (strict ``<``), exactly like the reference
+    representative rule and ``np.lexsort``'s stable order.
+    """
+    out = np.empty(starts.shape[0], dtype=np.int64)
+    for s in range(starts.shape[0]):
+        lo = starts[s]
+        best = lo
+        best_val = values[lo]
+        for i in range(lo + 1, ends[s]):
+            if values[i] < best_val:
+                best = i
+                best_val = values[i]
+        out[s] = best
+    return out
+
+
+@maybe_jit
+def segment_first_two_min(values, starts, ends):
+    """Indices of the two smallest ``values`` per segment (size >= 2).
+
+    Replicates ``bisection._pick_two_relays``: the first return holds
+    the earliest index achieving the minimum, the second the earliest
+    index achieving the next-smallest value (the previous best demotes
+    to second when beaten).
+    """
+    first = np.empty(starts.shape[0], dtype=np.int64)
+    second = np.empty(starts.shape[0], dtype=np.int64)
+    for s in range(starts.shape[0]):
+        lo = starts[s]
+        best = lo
+        best_val = values[lo]
+        runner = -1
+        runner_val = np.inf
+        for i in range(lo + 1, ends[s]):
+            v = values[i]
+            if v < best_val:
+                runner = best
+                runner_val = best_val
+                best = i
+                best_val = v
+            elif v < runner_val:
+                runner = i
+                runner_val = v
+        first[s] = best
+        second[s] = runner
+    return first, second

@@ -1,0 +1,77 @@
+"""Build-backend registry: selecting how a tree gets computed.
+
+Every builder computes the *same* tree — same edges, same radius, bit
+for bit (differentially enforced by ``tests/test_backends.py`` through
+the oracle) — but three interchangeable execution strategies exist:
+
+``"reference"``
+    The original per-cell Python loops (``core_network.wire_cells`` +
+    the stack-based ``bisection`` variants). Slow past ~10^5 points but
+    deliberately close to the paper's pseudocode; it is the ground
+    truth the accelerated paths are diffed against.
+``"numpy"`` (default)
+    The frontier-vectorised path of :mod:`repro.core.vectorized`:
+    whole-build array passes, no per-point Python.
+``"numba"``
+    The numpy path with the segmented reductions JIT-compiled by numba
+    (:mod:`repro.core.accel`). **Feature-flagged**: when numba is not
+    installed (or ``REPRO_NUMBA=0``), requesting ``"numba"`` silently
+    falls back to ``"numpy"`` — same results, numpy speed — so code can
+    ask for it unconditionally.
+
+Selection order: explicit ``backend=`` argument, else the
+``REPRO_BUILD_BACKEND`` environment variable, else ``"numpy"``. The
+environment hook is how the CLI's ``--backend`` flag reaches process
+pool workers without widening the task protocol, and how CI runs the
+tier-1 suite per backend (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import repro.obs as obs
+from repro.core.accel import NUMBA_AVAILABLE
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV",
+    "resolve_backend",
+    "numba_available",
+]
+
+BACKENDS = ("reference", "numpy", "numba")
+DEFAULT_BACKEND = "numpy"
+BACKEND_ENV = "REPRO_BUILD_BACKEND"
+
+
+def numba_available() -> bool:
+    """Whether the ``"numba"`` backend would actually JIT here."""
+    return NUMBA_AVAILABLE
+
+
+def resolve_backend(requested: str | None = None) -> str:
+    """Resolve a backend request to the backend that will run.
+
+    :param requested: explicit choice, or ``None`` to consult the
+        ``REPRO_BUILD_BACKEND`` environment variable and then the
+        default (``"numpy"``).
+    :returns: one of :data:`BACKENDS`; ``"numba"`` degrades to
+        ``"numpy"`` when numba is unavailable (counted on the
+        ``build.backend.numba_fallback.total`` metric).
+    :raises ValueError: for names outside :data:`BACKENDS`.
+    """
+    name = requested
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    name = str(name).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown build backend {name!r}; choose from "
+            + ", ".join(BACKENDS)
+        )
+    if name == "numba" and not NUMBA_AVAILABLE:
+        obs.add("build.backend.numba_fallback.total")
+        return "numpy"
+    return name

@@ -21,12 +21,18 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core import bounds as bounds_mod
+from repro.core.backends import resolve_backend
 from repro.core.bisection import (
     bisection_tree_2d,
     bisection_tree_nd,
     bounding_segment_far_center,
 )
 from repro.core.core_network import wire_cells
+from repro.core.vectorized import (
+    bisection_vectorized_2d,
+    bisection_vectorized_nd,
+    wire_cells_vectorized,
+)
 from repro.core.grid import PolarGrid
 from repro.core.grid_nd import PolarGridND, choose_ring_count
 from repro.core.registry import register_builder
@@ -142,6 +148,7 @@ def build_polar_grid_tree(
     fit_annulus: bool = False,
     occupancy: str = "full",
     representative_rule: str = "inner-anchor",
+    backend: str | None = None,
 ) -> BuildResult:
     """Algorithm Polar_Grid: an asymptotically optimal degree-bounded tree.
 
@@ -170,11 +177,16 @@ def build_polar_grid_tree(
         that reproduces Table I. ``"min-radius"`` takes the least-radius
         point, the rule named in the Section III-E bound proof. The
         ablation benchmark compares the two.
+    :param backend: execution strategy — ``"reference"``, ``"numpy"``,
+        or ``"numba"`` (see :mod:`repro.core.backends`). ``None``
+        consults ``REPRO_BUILD_BACKEND`` and defaults to ``"numpy"``.
+        Every backend produces the identical tree; only speed differs.
     :returns: a :class:`BuildResult` whose tree spans all points, rooted
         at the source, respecting ``max_out_degree``.
     """
+    backend = resolve_backend(backend)
     with obs.span(
-        "polar_grid.build", degree=int(max_out_degree)
+        "polar_grid.build", degree=int(max_out_degree), backend=backend
     ) as build_span:
         result = _build_polar_grid_impl(
             points,
@@ -184,6 +196,7 @@ def build_polar_grid_tree(
             fit_annulus=fit_annulus,
             occupancy=occupancy,
             representative_rule=representative_rule,
+            backend=backend,
         )
         build_span.set(
             n=result.tree.n,
@@ -191,6 +204,7 @@ def build_polar_grid_tree(
             representatives=result.representative_count,
         )
         obs.add("build.polar_grid.total")
+        obs.add(f"build.backend.{backend}.total")
         obs.observe("build.polar_grid.seconds", result.build_seconds)
         return result
 
@@ -204,6 +218,7 @@ def _build_polar_grid_impl(
     fit_annulus: bool,
     occupancy: str,
     representative_rule: str,
+    backend: str,
 ) -> BuildResult:
     if representative_rule not in ("inner-anchor", "min-radius"):
         raise ValueError(f"unknown representative rule {representative_rule!r}")
@@ -320,32 +335,52 @@ def _build_polar_grid_impl(
         starts = np.concatenate([[0], cuts])
         ends = np.concatenate([cuts, [sorted_gid.shape[0]]])
 
-        node_lists = sorted_nodes.tolist()
-        groups = [
-            (int(sorted_gid[s]), node_lists[s:e]) for s, e in zip(starts, ends)
-        ]
-
     parent = np.full(n, -1, dtype=np.int64)
     parent[source] = source
-    rho_list = rho.tolist()
-    t_axes = tuple(t[:, j].tolist() for j in range(dim - 1))
     outer_full = np.zeros(n)
     outer_full[receivers] = outer_dist
 
     with obs.span(
-        "polar_grid.wire_cells", cells=len(groups), binary=binary
+        "polar_grid.wire_cells",
+        cells=int(starts.shape[0]),
+        binary=binary,
+        backend=backend,
     ):
-        reps = wire_cells(
-            grid,
-            source,
-            groups,
-            rho_list,
-            t_axes,
-            parent,
-            binary,
-            outer_anchor_dist=outer_full.tolist(),
-            points=points.tolist(),
-        )
+        if backend == "reference":
+            # The reference wiring walks plain Python lists; the
+            # conversions are part of what this backend pays for.
+            node_lists = sorted_nodes.tolist()
+            groups = [
+                (int(sorted_gid[s]), node_lists[s:e])
+                for s, e in zip(starts, ends)
+            ]
+            reps = wire_cells(
+                grid,
+                source,
+                groups,
+                rho.tolist(),
+                tuple(t[:, j].tolist() for j in range(dim - 1)),
+                parent,
+                binary,
+                outer_anchor_dist=outer_full.tolist(),
+                points=points.tolist(),
+            )
+        else:
+            reps = wire_cells_vectorized(
+                grid,
+                source,
+                sorted_nodes,
+                sorted_gid,
+                starts,
+                ends,
+                rho,
+                t,
+                parent,
+                binary,
+                outer_anchor_dist=outer_full,
+                points=points,
+                jit=backend == "numba",
+            )
 
     with obs.span("polar_grid.delay_pass"):
         tree = MulticastTree(points=points, parent=parent, root=source)
@@ -382,6 +417,8 @@ def build_bisection_tree(
     points,
     source: int = 0,
     max_out_degree: int = 4,
+    *,
+    backend: str | None = None,
 ) -> BuildResult:
     """The Section II constant-factor bisection algorithm, standalone.
 
@@ -395,11 +432,16 @@ def build_bisection_tree(
     :param max_out_degree: 4 or more selects the quartering variant;
         2 or 3 the binary variant (in d dimensions, ``2^d`` is the full
         threshold).
+    :param backend: execution strategy, as for
+        :func:`build_polar_grid_tree` (identical trees, different speed).
     """
+    backend = resolve_backend(backend)
     with obs.span(
-        "bisection.build", degree=int(max_out_degree)
+        "bisection.build", degree=int(max_out_degree), backend=backend
     ) as build_span:
-        result = _build_bisection_impl(points, source, max_out_degree)
+        result = _build_bisection_impl(
+            points, source, max_out_degree, backend
+        )
         build_span.set(n=result.tree.n)
         obs.add("build.bisection.total")
         obs.observe("build.bisection.seconds", result.build_seconds)
@@ -407,7 +449,7 @@ def build_bisection_tree(
 
 
 def _build_bisection_impl(
-    points, source: int, max_out_degree: int
+    points, source: int, max_out_degree: int, backend: str
 ) -> BuildResult:
     started = time.perf_counter()
     points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
@@ -436,21 +478,31 @@ def _build_bisection_impl(
 
         rho, theta = to_polar(points, center)
         # Shift angles so the segment starts at zero — no wrap inside.
-        theta_t = (
-            np.mod(theta - segment.theta_start, TWO_PI) / TWO_PI
-        ).tolist()
-        rho_list = rho.tolist()
-        with obs.span("bisection.wire", n=n, dim=dim):
-            bisection_tree_2d(
-                rho_list,
-                theta_t,
-                receivers,
-                source,
-                (segment.r_inner, segment.r_outer),
-                (0.0, segment.theta_span / TWO_PI),
-                parent,
-                max_out_degree,
-            )
+        theta_t = np.mod(theta - segment.theta_start, TWO_PI) / TWO_PI
+        with obs.span("bisection.wire", n=n, dim=dim, backend=backend):
+            if backend == "reference":
+                bisection_tree_2d(
+                    rho.tolist(),
+                    theta_t.tolist(),
+                    receivers,
+                    source,
+                    (segment.r_inner, segment.r_outer),
+                    (0.0, segment.theta_span / TWO_PI),
+                    parent,
+                    max_out_degree,
+                )
+            else:
+                bisection_vectorized_2d(
+                    rho,
+                    theta_t,
+                    receivers,
+                    source,
+                    (segment.r_inner, segment.r_outer),
+                    (0.0, segment.theta_span / TWO_PI),
+                    parent,
+                    max_out_degree,
+                    jit=backend == "numba",
+                )
     else:
         transform = SphericalTransform(dim)
         rho, t = transform.transform(points, points[source])
@@ -462,20 +514,29 @@ def _build_bisection_impl(
                 max_out_degree=max_out_degree,
                 build_seconds=time.perf_counter() - started,
             )
-        rho_list = rho.tolist()
-        t_axes = tuple(t[:, j].tolist() for j in range(dim - 1))
-        t_box = tuple((0.0, 1.0) for _ in range(dim - 1))
-        with obs.span("bisection.wire", n=n, dim=dim):
-            bisection_tree_nd(
-                rho_list,
-                t_axes,
-                receivers,
-                source,
-                (0.0, r_max),
-                t_box,
-                parent,
-                max_out_degree,
-            )
+        with obs.span("bisection.wire", n=n, dim=dim, backend=backend):
+            if backend == "reference":
+                bisection_tree_nd(
+                    rho.tolist(),
+                    tuple(t[:, j].tolist() for j in range(dim - 1)),
+                    receivers,
+                    source,
+                    (0.0, r_max),
+                    tuple((0.0, 1.0) for _ in range(dim - 1)),
+                    parent,
+                    max_out_degree,
+                )
+            else:
+                bisection_vectorized_nd(
+                    rho,
+                    t,
+                    receivers,
+                    source,
+                    (0.0, r_max),
+                    parent,
+                    max_out_degree,
+                    jit=backend == "numba",
+                )
 
     tree = MulticastTree(points=points, parent=parent, root=source)
     return BuildResult(

@@ -1,0 +1,168 @@
+"""Single-build backend benchmark — the profile→optimize→gate loop's gate.
+
+Runs :func:`~repro.core.builder.build_polar_grid_tree` once per backend
+on the same point cloud, pulls the per-phase timings out of the
+``polar_grid.*`` observability spans, cross-checks that every backend
+produced the *identical* tree (parent array and radius), and reports the
+wire+delay speedup of the vectorised path over the reference — the
+number the acceptance gate in ``tools/bench_build.py`` enforces
+(>= 5x at n >= 100,000).
+
+The report is what ``BENCH_build_5m.json`` commits: an honest record of
+single-process numbers on the box that ran it (CI runners are 1-CPU-ish;
+the committed file's provenance is in its ``host`` block), plus optional
+``scale`` entries that take the default backend up to the paper's
+Table-I sizes. See docs/PERFORMANCE.md for the workflow around it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.backends import BACKENDS, numba_available, resolve_backend
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import unit_ball, unit_disk
+
+__all__ = ["PHASES", "run_build_bench", "speedup_gate_failures"]
+
+PHASES = ("cell_layout", "representatives", "wire_cells", "delay_pass")
+
+# The acceptance gate: vectorised wire_cells+delay_pass must beat the
+# reference by this factor once n is large enough for asymptotics to
+# show (below that, constant factors dominate and the gate is waived).
+SPEEDUP_GATE = 5.0
+SPEEDUP_GATE_MIN_N = 100_000
+
+
+def _points(n: int, dim: int, seed: int) -> np.ndarray:
+    if dim == 2:
+        return unit_disk(n, seed=seed)
+    return unit_ball(n, dim=dim, seed=seed)
+
+
+def _timed_build(points, degree: int, backend: str):
+    """One build under span capture; returns (phase dict, result)."""
+    with obs.capture() as cap:
+        started = time.perf_counter()
+        result = build_polar_grid_tree(points, 0, degree, backend=backend)
+        total = time.perf_counter() - started
+    phases = dict.fromkeys(PHASES, 0.0)
+    for span in cap.spans:
+        leaf = span["name"].rsplit(".", 1)[-1]
+        if span["name"].startswith("polar_grid.") and leaf in phases:
+            phases[leaf] += float(span["duration"])
+    return {
+        "total_seconds": round(total, 6),
+        "phases": {k: round(v, 6) for k, v in phases.items()},
+        "radius": result.radius,
+        "rings": result.rings,
+        "effective_backend": resolve_backend(backend),
+    }, result
+
+
+def run_build_bench(
+    n: int = 100_000,
+    degree: int = 6,
+    dim: int = 2,
+    seed: int = 0,
+    backends: tuple[str, ...] = BACKENDS,
+    scale_sizes: tuple[int, ...] = (),
+    log=None,
+) -> dict:
+    """Benchmark every backend on one cloud; cross-check identical trees.
+
+    :param backends: backend names to time (each runs once, cold).
+    :param scale_sizes: extra sizes to run on the default (numpy)
+        backend only — the scaling table up to Table-I n.
+    :param log: optional ``callable(str)`` for progress lines.
+    :returns: the JSON-able report (see module docstring / the committed
+        ``BENCH_build_5m.json`` for the schema).
+    """
+    say = log or (lambda msg: None)
+    points = _points(n, dim, seed)
+    report = {
+        "schema": "bench-build/1",
+        "n": int(n),
+        "degree": int(degree),
+        "dim": int(dim),
+        "seed": int(seed),
+        "host": {
+            "cpus": os.cpu_count() or 1,
+            "numba": numba_available(),
+        },
+        "backends": {},
+        "scale": [],
+    }
+    parents = {}
+    for backend in backends:
+        say(f"build n={n} backend={backend} ...")
+        entry, result = _timed_build(points, degree, backend)
+        report["backends"][backend] = entry
+        parents[backend] = result.tree.parent
+    baseline = backends[0]
+    report["identical_trees"] = all(
+        np.array_equal(parents[baseline], parents[b]) for b in backends
+    ) and len({report["backends"][b]["radius"] for b in backends}) == 1
+    for b in backends:
+        report["backends"][b]["radius"] = round(
+            report["backends"][b]["radius"], 12
+        )
+
+    if "reference" in report["backends"]:
+        ref = report["backends"]["reference"]
+        best = min(
+            (b for b in backends if b != "reference"),
+            key=lambda b: report["backends"][b]["total_seconds"],
+            default=None,
+        )
+        if best is not None:
+            fast = report["backends"][best]
+            wd_ref = (
+                ref["phases"]["wire_cells"] + ref["phases"]["delay_pass"]
+            )
+            wd_fast = (
+                fast["phases"]["wire_cells"] + fast["phases"]["delay_pass"]
+            )
+            report["speedup"] = {
+                "vs": best,
+                "wire_plus_delay": round(wd_ref / max(wd_fast, 1e-9), 3),
+                "total": round(
+                    ref["total_seconds"]
+                    / max(fast["total_seconds"], 1e-9),
+                    3,
+                ),
+            }
+
+    for size in scale_sizes:
+        say(f"scale build n={size} backend=numpy ...")
+        entry, _ = _timed_build(_points(size, dim, seed), degree, "numpy")
+        entry["n"] = int(size)
+        report["scale"].append(entry)
+    return report
+
+
+def speedup_gate_failures(report: dict) -> list[str]:
+    """The bench gates, as a list of human-readable violations.
+
+    * every backend must have produced the identical tree;
+    * at ``n >= 100_000`` (with a reference run present), the vectorised
+      ``wire_cells + delay_pass`` must be >= 5x faster than the
+      reference.
+    """
+    failures = []
+    if not report.get("identical_trees", False):
+        failures.append(
+            "backends disagree on the built tree (parent array or radius)"
+        )
+    speedup = report.get("speedup")
+    if report["n"] >= SPEEDUP_GATE_MIN_N and speedup is not None:
+        if speedup["wire_plus_delay"] < SPEEDUP_GATE:
+            failures.append(
+                f"wire_cells+delay_pass speedup {speedup['wire_plus_delay']}x "
+                f"< {SPEEDUP_GATE}x at n={report['n']}"
+            )
+    return failures

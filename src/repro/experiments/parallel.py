@@ -23,7 +23,11 @@ its inputs inside the worker, so serial and process backends produce
 identical :class:`~repro.experiments.runner.TrialRecord` streams — same
 values, same order (results are yielded in *task* order regardless of
 completion order) — for every field except ``seconds``, which is
-wall-clock time measured per worker.
+wall-clock time measured per worker. Tasks carrying a ``points_ref``
+build from a :mod:`repro.experiments.shm` shared-memory block instead
+of sampling — one copy of the coordinates machine-wide, a ~100-byte
+descriptor per task — and stay just as deterministic (the block's
+contents are the input).
 
 Fallback policy
 ---------------
@@ -48,6 +52,7 @@ from dataclasses import dataclass
 import repro.obs as obs
 from repro.core.registry import build
 from repro.experiments.runner import TrialRecord
+from repro.experiments.shm import SharedPointsRef, attach
 from repro.workloads.generators import unit_ball, unit_disk
 
 __all__ = [
@@ -80,6 +85,13 @@ class TrialTask:
     (:mod:`repro.experiments.resilience`): they identify the trial's
     position in its sweep and which retry attempt this is. Neither
     influences :func:`execute_trial` — only ``seed`` feeds the RNG.
+
+    ``points_ref`` opts a task out of seed-regeneration: it names a
+    block published via :mod:`repro.experiments.shm`, and workers build
+    from the shared mapping instead of sampling. The task still pickles
+    in a few bytes — the descriptor replaces the coordinates, not the
+    other way round. ``n`` and ``dim`` must match the block's shape
+    (validated in the worker), and ``seed`` becomes bookkeeping only.
     """
 
     n: int
@@ -89,6 +101,7 @@ class TrialTask:
     trial_index: int | None = None
     attempt: int = 0
     builder: str = "polar-grid"
+    points_ref: "SharedPointsRef | None" = None
 
 
 @dataclass(frozen=True)
@@ -154,7 +167,15 @@ def execute_trial(task: TrialTask) -> TrialRecord:
         from repro.testing.faults import maybe_inject
 
         maybe_inject(task)
-    if task.dim == 2:
+    if task.points_ref is not None:
+        points = attach(task.points_ref)
+        if points.shape != (task.n, task.dim):
+            raise ValueError(
+                f"shared points block {task.points_ref.name!r} has shape "
+                f"{points.shape}, but the task says (n={task.n}, "
+                f"dim={task.dim})"
+            )
+    elif task.dim == 2:
         points = unit_disk(task.n, seed=task.seed)
     else:
         points = unit_ball(task.n, dim=task.dim, seed=task.seed)

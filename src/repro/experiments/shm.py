@@ -1,0 +1,158 @@
+"""Shared-memory point arrays for the parallel engine.
+
+The classic :class:`~repro.experiments.parallel.TrialTask` protocol
+ships only integers — workers regenerate their points from the seed. For
+explicit point clouds (externally supplied coordinates, or one cloud
+shared by many trials) that protocol would have to pickle the full
+``(n, d)`` float64 block to every worker: 80 MB per task at the paper's
+n=5,000,000. This module keeps one copy of the block in
+:mod:`multiprocessing.shared_memory` instead and ships a
+:class:`SharedPointsRef` — a ~100-byte picklable name+shape+dtype
+descriptor; workers attach to the segment read-only-by-convention and
+build straight from the mapped memory, no copy, no re-pickling.
+
+Usage (publisher side)::
+
+    with shared_points(points) as ref:
+        tasks = [TrialTask(..., points_ref=ref) for ...]
+        for record in executor.imap(tasks):
+            ...
+
+Workers call :func:`attach` (done for them by
+:func:`~repro.experiments.parallel.execute_trial`); attachments are
+cached per process so a worker pool maps each segment once, however many
+trials it runs. The publisher owns the segment's lifetime — exiting the
+``shared_points`` block unlinks it, so keep the executor inside.
+"""
+
+from __future__ import annotations
+
+import atexit
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+import repro.obs as obs
+
+__all__ = [
+    "SharedPointsRef",
+    "SharedPoints",
+    "shared_points",
+    "attach",
+    "detach_all",
+]
+
+
+@dataclass(frozen=True)
+class SharedPointsRef:
+    """Picklable descriptor of a published point block.
+
+    ``name`` keys the OS shared-memory segment; ``shape``/``dtype_str``
+    reconstruct the array view. The descriptor is a few hundred bytes
+    however large the block is — that is the whole point.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype_str: str = "float64"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described block in bytes."""
+        return int(np.prod(self.shape)) * np.dtype(self.dtype_str).itemsize
+
+
+class SharedPoints:
+    """Publisher handle: owns a shared-memory copy of a point array."""
+
+    def __init__(self, points: np.ndarray):
+        """Copy ``points`` into a fresh shared-memory segment."""
+        points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=points.nbytes
+        )
+        view = np.ndarray(
+            points.shape, dtype=points.dtype, buffer=self._shm.buf
+        )
+        view[...] = points
+        self.ref = SharedPointsRef(
+            name=self._shm.name,
+            shape=tuple(points.shape),
+            dtype_str=str(points.dtype),
+        )
+        obs.add("engine.shm.published.total")
+        obs.observe("engine.shm.published.bytes", points.nbytes)
+
+    def close(self):
+        """Release and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere
+            pass
+        self._shm = None
+
+    def __enter__(self):
+        """Context-manage the segment's lifetime."""
+        return self
+
+    def __exit__(self, *exc_info):
+        """Unlink on exit; never suppresses exceptions."""
+        self.close()
+        return False
+
+
+@contextmanager
+def shared_points(points: np.ndarray):
+    """Publish ``points`` for the duration of a ``with`` block.
+
+    Yields the :class:`SharedPointsRef` to stamp onto tasks. The segment
+    is unlinked when the block exits, so executors consuming the ref
+    must finish inside it.
+    """
+    holder = SharedPoints(points)
+    try:
+        yield holder.ref
+    finally:
+        holder.close()
+
+
+# Worker-side cache: segment name -> (SharedMemory, ndarray view). One
+# mapping per process regardless of how many trials reference it.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach(ref: SharedPointsRef) -> np.ndarray:
+    """Map a published block into this process and return the view.
+
+    The returned array aliases the shared segment — treat it as
+    read-only (builders never mutate their input points). Repeated
+    attaches to the same segment are free.
+    """
+    cached = _ATTACHED.get(ref.name)
+    if cached is not None:
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=ref.name)
+    view = np.ndarray(
+        tuple(ref.shape), dtype=np.dtype(ref.dtype_str), buffer=shm.buf
+    )
+    _ATTACHED[ref.name] = (shm, view)
+    obs.add("engine.shm.attached.total")
+    return view
+
+
+def detach_all():
+    """Drop every cached attachment (worker shutdown / test isolation)."""
+    for shm, _view in _ATTACHED.values():
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - platform-specific teardown
+            pass
+    _ATTACHED.clear()
+
+
+atexit.register(detach_all)

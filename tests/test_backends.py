@@ -1,0 +1,215 @@
+"""Differential backend coverage: reference vs numpy vs numba.
+
+The vectorised build path (:mod:`repro.core.vectorized`) promises
+*bit-identical* trees to the paper-shaped reference loops — same parent
+array, same radius, same error behaviour. These tests enforce that
+contract across dimensions, degrees, adversarial point layouts, and the
+fuzz seed corpus, and pin down the backend-resolution rules
+(explicit > ``REPRO_BUILD_BACKEND`` > default, numba falling back to
+numpy when the JIT is absent). docs/PERFORMANCE.md documents the
+contract; ``tools/bench_build.py`` re-checks it at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.analysis import check_build_result
+from repro.core.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    numba_available,
+    resolve_backend,
+)
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.core_network import WiringError
+from repro.testing.fuzz import instance_from_seed
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+def assert_same_build(a, b):
+    """Bit-identical contract: same parents, same radius, same rings."""
+    assert np.array_equal(a.tree.parent, b.tree.parent)
+    assert a.radius == b.radius
+    assert a.rings == b.rings
+
+
+def cloud(n, dim, seed):
+    return unit_disk(n, seed=seed) if dim == 2 else unit_ball(n, dim=dim, seed=seed)
+
+
+class TestBackendResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == DEFAULT_BACKEND == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend("reference") == "reference"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "reference")
+        assert resolve_backend(None) == "reference"
+
+    def test_names_are_normalised(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend("  Reference ") == "reference"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown build backend"):
+            resolve_backend("cython")
+
+    def test_numba_resolution_matches_availability(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_backend("numba") == expected
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_numba_fallback_counts(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        obs.reset()
+        obs.enable()
+        try:
+            resolve_backend("numba")
+            snap = obs.snapshot()
+        finally:
+            obs.reset()
+        assert snap["build.backend.numba_fallback.total"]["value"] == 1
+
+    def test_build_records_backend_counter(self):
+        obs.reset()
+        obs.enable()
+        try:
+            build_polar_grid_tree(unit_disk(40, seed=0), 0, 6, backend="numpy")
+            snap = obs.snapshot()
+        finally:
+            obs.reset()
+        assert snap["build.backend.numpy.total"]["value"] == 1
+
+
+class TestPolarGridDifferential:
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("degree", [2, 6, 10])
+    @pytest.mark.parametrize("n", [3, 7, 50, 400])
+    def test_matrix(self, dim, degree, n):
+        points = cloud(n, dim, seed=31 * dim + n)
+        ref = build_polar_grid_tree(points, 0, degree, backend="reference")
+        for backend in ("numpy", "numba"):
+            fast = build_polar_grid_tree(points, 0, degree, backend=backend)
+            assert_same_build(ref, fast)
+        report = check_build_result(fast, points, degree, 0)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fuzz_corpus(self, seed):
+        inst = instance_from_seed(0, seed)
+        ref = build_polar_grid_tree(
+            inst.points, inst.source, inst.d_max, backend="reference"
+        )
+        fast = build_polar_grid_tree(
+            inst.points, inst.source, inst.d_max, backend="numpy"
+        )
+        assert_same_build(ref, fast)
+
+    def test_duplicate_points(self):
+        points = np.repeat(unit_disk(9, seed=3), 4, axis=0)
+        ref = build_polar_grid_tree(points, 0, 4, backend="reference")
+        fast = build_polar_grid_tree(points, 0, 4, backend="numpy")
+        assert_same_build(ref, fast)
+
+    def test_off_centre_source(self):
+        points = unit_disk(120, seed=8)
+        ref = build_polar_grid_tree(points, 17, 6, backend="reference")
+        fast = build_polar_grid_tree(points, 17, 6, backend="numpy")
+        assert_same_build(ref, fast)
+
+    def test_forced_k_wiring_error_parity(self):
+        # A forced-too-deep grid leaves interior parent cells empty; both
+        # paths must raise WiringError with the same message (the
+        # vectorised path checks up front, the reference mid-wiring).
+        points = unit_disk(12, seed=5)
+        with pytest.raises(WiringError) as ref_exc:
+            build_polar_grid_tree(points, 0, 6, k=6, backend="reference")
+        with pytest.raises(WiringError) as fast_exc:
+            build_polar_grid_tree(points, 0, 6, k=6, backend="numpy")
+        assert str(ref_exc.value) == str(fast_exc.value)
+
+    def test_forced_k_success_parity(self):
+        points = unit_disk(300, seed=6)
+        ref = build_polar_grid_tree(points, 0, 6, k=2, backend="reference")
+        fast = build_polar_grid_tree(points, 0, 6, k=2, backend="numpy")
+        assert_same_build(ref, fast)
+
+    def test_connected_occupancy_parity(self):
+        # An annulus cloud leaves inner rings empty -> the relaxed
+        # parent-chain wiring, which the vectorised path must replicate.
+        rng = np.random.default_rng(7)
+        theta = rng.uniform(0, 2 * np.pi, 250)
+        rho = rng.uniform(0.8, 1.0, 250)
+        points = np.column_stack([rho * np.cos(theta), rho * np.sin(theta)])
+        points[0] = (0.0, 0.0)
+        ref = build_polar_grid_tree(
+            points, 0, 6, occupancy="connected", backend="reference"
+        )
+        fast = build_polar_grid_tree(
+            points, 0, 6, occupancy="connected", backend="numpy"
+        )
+        assert_same_build(ref, fast)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        points = unit_disk(60, seed=9)
+        monkeypatch.setenv(BACKEND_ENV, "reference")
+        ref = build_polar_grid_tree(points, 0, 6)
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        fast = build_polar_grid_tree(points, 0, 6)
+        assert_same_build(ref, fast)
+
+
+class TestBisectionDifferential:
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("degree", [2, 6, 10])
+    @pytest.mark.parametrize("n", [3, 20, 150])
+    def test_matrix(self, dim, degree, n):
+        points = cloud(n, dim, seed=17 * dim + n)
+        ref = build_bisection_tree(points, 0, degree, backend="reference")
+        for backend in ("numpy", "numba"):
+            fast = build_bisection_tree(points, 0, degree, backend=backend)
+            assert_same_build(ref, fast)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_corpus(self, seed):
+        inst = instance_from_seed(0, seed)
+        ref = build_bisection_tree(
+            inst.points, inst.source, inst.d_max, backend="reference"
+        )
+        fast = build_bisection_tree(
+            inst.points, inst.source, inst.d_max, backend="numpy"
+        )
+        assert_same_build(ref, fast)
+
+    def test_collinear_points(self):
+        xs = np.linspace(-0.9, 0.9, 41)
+        points = np.column_stack([xs, np.zeros_like(xs)])
+        ref = build_bisection_tree(points, 20, 2, backend="reference")
+        fast = build_bisection_tree(points, 20, 2, backend="numpy")
+        assert_same_build(ref, fast)
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaJit:
+    def test_numba_resolves_to_itself(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend("numba") == "numba"
+
+    def test_jit_kernels_match_reference(self):
+        points = unit_disk(500, seed=4)
+        ref = build_polar_grid_tree(points, 0, 6, backend="reference")
+        jit = build_polar_grid_tree(points, 0, 6, backend="numba")
+        assert_same_build(ref, jit)
+
+
+def test_all_backends_listed():
+    assert BACKENDS == ("reference", "numpy", "numba")

@@ -39,7 +39,13 @@ def worst_representative(monkeypatch):
 @pytest.fixture()
 def degree_cap_breaker(monkeypatch):
     """Wrap the core-network wiring: after the honest wiring, pile extra
-    leaves onto the busiest node until it exceeds the fan-out budget."""
+    leaves onto the busiest node until it exceeds the fan-out budget.
+
+    The sabotage lives on the reference wiring path, so the builds are
+    pinned to the ``reference`` backend (the vectorised backends are
+    proven equivalent to it differentially in ``test_backends.py``).
+    """
+    monkeypatch.setenv("REPRO_BUILD_BACKEND", "reference")
     real = builder_mod.wire_cells
 
     def sabotaged(grid, source, groups, rho_list, t_axes, parent, binary, **kw):

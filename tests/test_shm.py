@@ -1,0 +1,136 @@
+"""Tests for shared-memory point blocks (repro.experiments.shm).
+
+The contract: a published block is visible to process-pool workers as
+the *identical* float64 array through a ~100-byte picklable descriptor
+— no coordinate pickling per task — and ``execute_trial`` builds from
+the mapped memory exactly as it would from the original array. Real
+subprocesses are exercised via :class:`ProcessExecutor` (as in
+test_parallel_engine.py), so the descriptor genuinely crosses the
+pickle boundary.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.experiments.parallel import (
+    ProcessExecutor,
+    TrialTask,
+    execute_trial,
+)
+from repro.experiments.shm import (
+    SharedPoints,
+    attach,
+    detach_all,
+    shared_points,
+)
+from repro.workloads.generators import unit_disk
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    """Drop cached mappings after each test so segments really unlink."""
+    yield
+    detach_all()
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_bit_identical(self):
+        points = unit_disk(500, seed=1)
+        with shared_points(points) as ref:
+            view = attach(ref)
+            assert view.dtype == np.float64
+            assert np.array_equal(view, points)
+
+    def test_attach_is_cached_per_process(self):
+        with shared_points(unit_disk(50, seed=2)) as ref:
+            first = attach(ref)
+            second = attach(ref)
+            assert first is second
+
+    def test_ref_is_tiny_and_picklable(self):
+        # 80 MB of coordinates -> a descriptor of a few hundred bytes.
+        points = unit_disk(10_000, seed=3)
+        with shared_points(points) as ref:
+            blob = pickle.dumps(ref)
+            assert len(blob) < 500
+            assert len(blob) < points.nbytes // 100
+            restored = pickle.loads(blob)
+            assert restored == ref
+            assert restored.nbytes == points.nbytes
+
+    def test_task_with_ref_still_pickles_small(self):
+        points = unit_disk(20_000, seed=4)
+        with shared_points(points) as ref:
+            task = TrialTask(points.shape[0], 6, 2, seed=0, points_ref=ref)
+            assert len(pickle.dumps(task)) < 1000
+
+    def test_close_is_idempotent(self):
+        holder = SharedPoints(unit_disk(10, seed=5))
+        holder.close()
+        holder.close()  # second close must be a no-op
+
+    def test_unlinked_segment_cannot_be_attached(self):
+        with shared_points(unit_disk(10, seed=6)) as ref:
+            pass
+        with pytest.raises(FileNotFoundError):
+            attach(ref)
+
+    def test_counters(self):
+        obs.reset()
+        obs.enable()
+        try:
+            points = unit_disk(30, seed=7)
+            with shared_points(points) as ref:
+                attach(ref)
+                attach(ref)  # cached: must not double-count
+            snap = obs.snapshot()
+        finally:
+            obs.reset()
+        assert snap["engine.shm.published.total"]["value"] == 1
+        assert snap["engine.shm.attached.total"]["value"] == 1
+
+
+class TestTrialsFromSharedBlock:
+    def test_execute_trial_matches_seed_regeneration(self):
+        # Publishing the exact cloud the seed would generate must yield
+        # the identical record (the build sees the same bits).
+        n, seed = 300, 42
+        points = unit_disk(n, seed=seed)
+        plain = execute_trial(TrialTask(n, 6, 2, seed=seed))
+        with shared_points(points) as ref:
+            shared = execute_trial(
+                TrialTask(n, 6, 2, seed=seed, points_ref=ref)
+            )
+        assert dataclasses.replace(plain, seconds=0.0) == dataclasses.replace(
+            shared, seconds=0.0
+        )
+
+    def test_shape_mismatch_is_rejected(self):
+        with shared_points(unit_disk(40, seed=8)) as ref:
+            task = TrialTask(41, 6, 2, seed=0, points_ref=ref)
+            with pytest.raises(ValueError, match="shape"):
+                execute_trial(task)
+
+    def test_process_workers_build_from_shared_block(self):
+        # The core promise: workers in real subprocesses attach to the
+        # published segment (the descriptor pickles, the coordinates do
+        # not) and build the identical tree for every trial.
+        n, seed = 250, 9
+        points = unit_disk(n, seed=seed)
+        expected = execute_trial(TrialTask(n, 4, 2, seed=seed))
+        with shared_points(points) as ref:
+            tasks = [
+                TrialTask(n, 4, 2, seed=seed, points_ref=ref)
+                for _ in range(3)
+            ]
+            with ProcessExecutor(max_workers=2) as ex:
+                records = ex.map(tasks)
+        assert len(records) == 3
+        for record in records:
+            assert dataclasses.replace(
+                record, seconds=0.0
+            ) == dataclasses.replace(expected, seconds=0.0)

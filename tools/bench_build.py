@@ -1,0 +1,113 @@
+"""Backend build benchmark + speedup gate; emits BENCH_build_5m.json.
+
+Thin shim over :func:`repro.experiments.buildbench.run_build_bench`
+(also exposed as ``python -m repro bench-build``). One cold build per
+backend (reference / numpy / numba) on the same cloud, phase timings
+pulled from the ``polar_grid.*`` spans, then two gates:
+
+1. **identical trees** — every backend must produce the same parent
+   array and radius (the differential contract of docs/PERFORMANCE.md);
+2. **speedup** — at ``n >= 100,000``, the vectorised
+   ``wire_cells + delay_pass`` phases must be >= 5x faster than the
+   reference backend.
+
+Schema (abridged)::
+
+    {"schema": "bench-build/1",
+     "n": int, "degree": int, "dim": int,
+     "host": {"cpus": int, "numba": bool},
+     "backends": {"reference": {"total_seconds": float,
+                                "phases": {"cell_layout": ..,
+                                           "representatives": ..,
+                                           "wire_cells": ..,
+                                           "delay_pass": ..},
+                                "radius": float}, ...},
+     "identical_trees": bool,                  # gate: true
+     "speedup": {"wire_plus_delay": float,     # gate: >= 5 at n >= 100k
+                 "total": float},
+     "scale": [{"n": int, "total_seconds": float, ...}, ...]}
+
+Run (the committed baseline was produced with ``--scale 1000000
+5000000`` on a 1-CPU container — honest serial numbers, like
+BENCH_engine)::
+
+    PYTHONPATH=src python tools/bench_build.py --nodes 100000 \
+        --out BENCH_build_5m.json
+
+``--check FILE`` re-gates an existing report without running anything
+(CI uses it to keep the committed baseline honest). Exit code 0 when
+every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.buildbench import (
+    run_build_bench,
+    speedup_gate_failures,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--nodes", type=int, default=100_000)
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--dim", type=int, default=2, choices=(2, 3, 4))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale",
+        type=int,
+        nargs="*",
+        default=(),
+        metavar="N",
+        help="extra sizes to run numpy-only scale entries for "
+        "(e.g. --scale 1000000 5000000)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        default=None,
+        help="re-run the gates over an existing report instead of "
+        "benchmarking",
+    )
+    parser.add_argument("--out", default="BENCH_build_5m.json")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        report = json.loads(Path(args.check).read_text())
+    else:
+        report = run_build_bench(
+            n=args.nodes,
+            degree=args.degree,
+            dim=args.dim,
+            seed=args.seed,
+            scale_sizes=tuple(args.scale),
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+
+    for name, entry in report["backends"].items():
+        wd = entry["phases"]["wire_cells"] + entry["phases"]["delay_pass"]
+        print(
+            f"{name:9s} total {entry['total_seconds']:8.3f}s  "
+            f"wire+delay {wd:8.3f}s  radius {entry['radius']:.9f}"
+        )
+    if "speedup" in report:
+        s = report["speedup"]
+        print(
+            f"speedup vs reference: wire+delay {s['wire_plus_delay']}x, "
+            f"total {s['total']}x"
+        )
+    failures = speedup_gate_failures(report)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
