@@ -16,7 +16,8 @@ Top-level API
     The unified builder facade: dispatches by registered builder name
     (``"polar-grid"``, ``"bisection"``, ``"quadtree"``,
     ``"min-diameter"``, ``"heterogeneous"``, ``"compact-tree"``,
-    ``"bandwidth-latency"``, ``"capped-star"``, ``"random"``) with
+    ``"bandwidth-latency"``, ``"capped-star"``, ``"random"``,
+    ``"steiner"``) with
     normalized keyword parameters and a uniform
     :class:`~repro.core.builder.BuildResult` return shape.
 ``register_builder`` / ``get_builder`` / ``builder_names``
@@ -38,9 +39,11 @@ Sub-packages
 ``repro.geometry``    points, polar transforms, regions, ring segments
 ``repro.core``        trees, bisection, polar grids, builders, bounds
 ``repro.baselines``   competing heuristics and an exact solver for tiny n
+``repro.costmodel``   pluggable edge costs: congestion-scaled delay,
+                      utilization feedback from the stream simulator
 ``repro.embedding``   GNP / Vivaldi network-coordinate substrates
 ``repro.overlay``     hosts, sessions, dissemination simulator, repair
-``repro.workloads``   seeded random point-set generators
+``repro.workloads``   seeded random point-set and load/churn generators
 ``repro.experiments`` harnesses reproducing Table I and Figures 4-8
 """
 

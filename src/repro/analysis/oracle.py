@@ -157,7 +157,15 @@ def _coerce_inputs(tree, points, root):
     return None, parent, np.asarray(points, dtype=np.float64), int(root)
 
 
-def check_tree(tree, points=None, d_max=None, root=None) -> OracleReport:
+def check_tree(
+    tree,
+    points=None,
+    d_max=None,
+    root=None,
+    *,
+    cost_model=None,
+    utilization=None,
+) -> OracleReport:
     """Re-derive every structural invariant of a rooted multicast tree.
 
     :param tree: a :class:`~repro.core.tree.MulticastTree`, or a raw
@@ -167,6 +175,16 @@ def check_tree(tree, points=None, d_max=None, root=None) -> OracleReport:
     :param d_max: out-degree budget — a scalar, a per-node array, or
         ``None`` to skip the degree check.
     :param root: expected root index; defaults to the tree's own.
+    :param cost_model: optional non-Euclidean cost model (any form
+        :func:`repro.costmodel.get_cost_model` accepts). When given,
+        the oracle additionally sanity-checks the model's per-edge
+        costs and re-accumulates effective delays edge by edge in BFS
+        order, catching pointer-doubling bugs in
+        :func:`repro.costmodel.effective_delays` the same way the
+        radius check catches them in ``root_delays()``.
+    :param utilization: per-edge utilization array for ``cost_model``
+        (``None`` = idle network); validated for shape, finiteness and
+        sign before use.
     :returns: an :class:`OracleReport`; ``report.ok`` means every check
         that ran found nothing wrong.
 
@@ -314,7 +332,108 @@ def check_tree(tree, points=None, d_max=None, root=None) -> OracleReport:
                     f"radius() reports {claimed_radius!r}, recomputation "
                     f"gives {radius!r}",
                 )
+
+        # --- effective delays under a non-Euclidean cost model --------
+        if cost_model is not None:
+            _check_effective_delays(
+                report, mtree, parent, points, root, order,
+                cost_model, utilization,
+            )
     return report
+
+
+def _check_effective_delays(
+    report, mtree, parent, points, root, order, cost_model, utilization
+):
+    """Cost-model extension of :func:`check_tree`.
+
+    Re-accumulates the model's per-edge costs in BFS order (no pointer
+    doubling) and compares against :func:`repro.costmodel.
+    effective_delays`; also sanity-checks the costs themselves: finite,
+    non-negative, zero at the root, and never *below* the idle-network
+    cost (congestion can only add delay).
+    """
+    from repro.costmodel import effective_delays, get_cost_model
+
+    model = get_cost_model(cost_model)
+    n = int(parent.shape[0])
+    eval_tree = (
+        mtree
+        if mtree is not None
+        else MulticastTree(points=points, parent=parent, root=root)
+    )
+
+    u = None
+    if utilization is not None:
+        report.checks.append("utilization-sanity")
+        u = np.asarray(utilization, dtype=np.float64)
+        if u.shape != (n,):
+            report.add(
+                "UTILIZATION_SHAPE",
+                f"utilization shape {u.shape} does not match n={n}",
+            )
+            return
+        bad = np.flatnonzero(~np.isfinite(u) | (u < 0))
+        if bad.size:
+            report.add(
+                "UTILIZATION_RANGE",
+                f"{bad.size} utilization entries are negative or "
+                "non-finite",
+                bad,
+            )
+            return
+
+    report.checks.append(f"effective-cost-sanity[{model.name}]")
+    costs = np.asarray(model.edge_costs(eval_tree, u), dtype=np.float64)
+    if costs.shape != (n,):
+        report.add(
+            "EFFECTIVE_COST_SANITY",
+            f"edge_costs returned shape {costs.shape}, expected ({n},)",
+        )
+        return
+    if not np.isclose(costs[root], 0.0, rtol=FLOAT_RTOL, atol=FLOAT_ATOL):
+        report.add(
+            "EFFECTIVE_COST_SANITY",
+            f"the root's (nonexistent) parent edge costs {costs[root]!r}, "
+            "expected 0",
+            [root],
+        )
+    bad = np.flatnonzero(~np.isfinite(costs) | (costs < 0))
+    if bad.size:
+        report.add(
+            "EFFECTIVE_COST_SANITY",
+            f"{bad.size} per-edge costs are negative or non-finite",
+            bad,
+        )
+        return
+    idle = np.asarray(model.edge_costs(eval_tree, None), dtype=np.float64)
+    below = np.flatnonzero(costs < idle * (1.0 - FLOAT_RTOL) - FLOAT_ATOL)
+    if below.size:
+        report.add(
+            "EFFECTIVE_COST_SANITY",
+            f"{below.size} loaded edge costs fall below the idle cost — "
+            "congestion can only add delay",
+            below,
+        )
+
+    report.checks.append("effective-delay-recompute")
+    eff = np.zeros(n, dtype=np.float64)
+    for node in order:
+        if node != root:
+            eff[node] = eff[parent[node]] + costs[node]
+    report.stats["effective_radius"] = float(eff.max()) if n else 0.0
+    claimed = effective_delays(eval_tree, model, u)
+    if not np.allclose(claimed, eff, rtol=FLOAT_RTOL, atol=FLOAT_ATOL):
+        bad = np.flatnonzero(
+            ~np.isclose(claimed, eff, rtol=FLOAT_RTOL, atol=FLOAT_ATOL)
+        )
+        report.add(
+            "EFFECTIVE_DELAY_MISMATCH",
+            f"effective_delays() disagrees with the BFS recomputation at "
+            f"{bad.size} nodes (worst gap "
+            f"{float(np.abs(claimed - eff).max()):.3e})",
+            bad,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,9 @@ tests:
 * :func:`bandwidth_latency_tree` — the Bandwidth-Latency join heuristic
   of Chu et al. ([5], [19]): maximise residual fan-out first, break ties
   by latency;
+* :func:`steiner_tree` — degree-capped Steiner/MST approximation over
+  a kNN graph, the low-fan-out baseline for the congested regime
+  (:mod:`repro.costmodel`);
 * :func:`capped_star`, :func:`random_feasible_tree` — sanity baselines;
 * :func:`optimal_radius_tree` — exhaustive optimum for ``n <= 8``, the
   ground truth for Theorem 1's factor checks.
@@ -23,6 +26,7 @@ from repro.baselines.exact import (
     optimal_radius_tree,
 )
 from repro.baselines.naive import capped_star, random_feasible_tree
+from repro.baselines.steiner import steiner_tree
 
 __all__ = [
     "bandwidth_latency_tree",
@@ -32,4 +36,5 @@ __all__ = [
     "optimal_radius",
     "optimal_radius_tree",
     "random_feasible_tree",
+    "steiner_tree",
 ]

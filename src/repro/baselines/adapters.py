@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.baselines.bandwidth_latency import bandwidth_latency_tree
 from repro.baselines.compact_tree import compact_tree
 from repro.baselines.naive import capped_star, random_feasible_tree
+from repro.baselines.steiner import steiner_tree
 from repro.core.registry import register_builder
 
 __all__: list[str] = []
@@ -43,3 +44,10 @@ register_builder(
     summary="null model: random feasible attachment order",
     wraps_tree=True,
 )(random_feasible_tree)
+
+register_builder(
+    "steiner",
+    summary="degree-capped Steiner/MST over a kNN graph "
+    "(low-fan-out baseline for the congested regime)",
+    wraps_tree=True,
+)(steiner_tree)

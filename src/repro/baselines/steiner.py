@@ -1,0 +1,162 @@
+"""Steiner-tree baseline over a k-nearest-neighbour graph.
+
+The congested regime rewards *low fan-out*: under the uplink model
+(:mod:`repro.costmodel`) a node forwarding to ``d`` children at offered
+load ``L`` drives its uplink to ``d * L / capacity``, so total-length
+minimisers — which naturally keep degrees small — stress their hosts
+far less than radius-greedy trees that fill every fan-out budget. This
+module provides that end of the trade-off: a networkx Steiner-tree
+approximation over a kNN graph of the point cloud, oriented away from
+the source and repaired to respect the degree cap.
+
+With every member a terminal the Steiner approximation degenerates to
+(essentially) a minimum spanning tree — stated here honestly rather
+than hidden: the value of the baseline is its degree profile and total
+edge length, not Steiner-point savings. The kNN graph keeps the
+construction near-linear; disconnected kNN graphs fall back to
+augmenting with each component's bridge edge to its nearest outside
+neighbour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+from repro.geometry.points import validate_points
+
+__all__ = ["steiner_tree"]
+
+
+def _knn_graph(points: np.ndarray, k: int):
+    """Undirected kNN graph with Euclidean weights, connected by force.
+
+    Returns a :class:`networkx.Graph`. If the mutual-kNN union is
+    disconnected, each extra component is bridged to its nearest
+    outside node (deterministic: smallest bridge first).
+    """
+    import networkx as nx
+    from scipy.spatial import cKDTree
+
+    n = points.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    k_eff = min(k + 1, n)  # +1: each point is its own nearest neighbour
+    tree = cKDTree(points)
+    dists, idx = tree.query(points, k=k_eff)
+    dists = np.atleast_2d(dists)
+    idx = np.atleast_2d(idx)
+    for v in range(n):
+        for d, u in zip(dists[v], idx[v]):
+            if int(u) != v:
+                graph.add_edge(v, int(u), weight=float(d))
+
+    # Bridge any stray components into the one containing node 0.
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    if len(components) > 1:
+        components.sort(key=lambda c: (0 not in c, c[0]))
+        core = list(components[0])
+        for comp in components[1:]:
+            core_pts = points[core]
+            best = (np.inf, -1, -1)
+            for v in comp:
+                gaps = np.sqrt(np.sum((core_pts - points[v]) ** 2, axis=1))
+                at = int(np.argmin(gaps))
+                if float(gaps[at]) < best[0]:
+                    best = (float(gaps[at]), v, core[at])
+            graph.add_edge(best[1], best[2], weight=best[0])
+            core.extend(comp)
+    return graph
+
+
+def steiner_tree(
+    points,
+    source: int = 0,
+    max_out_degree: int = 6,
+    knn: int = 8,
+) -> MulticastTree:
+    """Degree-capped Steiner/MST baseline for the congested regime.
+
+    Pipeline: kNN graph → networkx Steiner-tree approximation
+    (``mehlhorn``, all nodes as terminals) → orient away from the
+    source by BFS → repair any node whose fan-out exceeds the cap by
+    reattaching its farthest excess children to the nearest
+    already-processed node with spare budget (the same overflow rule as
+    :func:`repro.baselines.naive.capped_star`).
+
+    :param knn: neighbours per node in the underlay graph; higher values
+        give the Steiner approximation more shortcut edges to work with.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    validate_points(points)
+    n = points.shape[0]
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be at least 2")
+    if knn < 1:
+        raise ValueError("knn must be at least 1")
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    if n == 1:
+        return MulticastTree(points=points, parent=parent, root=source)
+
+    import networkx as nx
+    from networkx.algorithms.approximation import steinertree
+
+    graph = _knn_graph(points, knn)
+    span = steinertree.steiner_tree(
+        graph, terminal_nodes=list(range(n)), weight="weight",
+        method="mehlhorn",
+    )
+
+    # Orient away from the source: BFS over the undirected Steiner tree.
+    order = [source]
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    head = 0
+    while head < len(order):
+        node = order[head]
+        head += 1
+        for nb in span.neighbors(node):
+            if not seen[nb]:
+                seen[nb] = True
+                parent[nb] = node
+                order.append(nb)
+
+    # Degree-cap repair in BFS order: a node keeps its max_out_degree
+    # nearest children; the rest reattach to the closest processed node
+    # with spare budget (processed = on a root path already, so the
+    # reattachment cannot create a cycle).
+    residual = np.full(n, max_out_degree, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        if v != source:
+            children[int(parent[v])].append(v)
+    processed = np.zeros(n, dtype=bool)
+    for node in order:
+        processed[node] = True
+        kids = children[node]
+        excess: list[int] = []
+        if len(kids) > max_out_degree:
+            gaps = np.sqrt(
+                np.sum((points[kids] - points[node]) ** 2, axis=1)
+            )
+            keep_order = np.argsort(gaps, kind="stable")
+            excess = [kids[int(i)] for i in keep_order[max_out_degree:]]
+            children[node] = [kids[int(i)] for i in keep_order[:max_out_degree]]
+        # Claim this node's capacity before reattaching, so it cannot
+        # host its own excess children.
+        residual[node] -= len(children[node])
+        for v in excess:
+            hosts = np.flatnonzero(processed & (residual > 0))
+            dist = np.sqrt(
+                np.sum((points[hosts] - points[v]) ** 2, axis=1)
+            )
+            u = int(hosts[int(np.argmin(dist))])
+            parent[v] = u
+            children[u].append(v)
+            residual[u] -= 1
+
+    return MulticastTree(points=points, parent=parent, root=source)

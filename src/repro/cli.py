@@ -515,6 +515,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report "
         "(default BENCH_build_5m.json)",
     )
+
+    bcong = sub.add_parser(
+        "bench-congestion",
+        help="offered-load sweep under the utilization-scaled cost model "
+        "(polar-grid vs compact-tree vs steiner), congestion-rebuild "
+        "demo + profile replays, gated (writes BENCH_congestion.json; "
+        "see docs/SCENARIOS.md)",
+    )
+    bcong.add_argument("--nodes", type=int, default=600)
+    bcong.add_argument("--degree", type=int, default=6)
+    bcong.add_argument("--seed", type=int, default=0)
+    bcong.add_argument(
+        "--loads",
+        type=float,
+        nargs="*",
+        default=(),
+        metavar="L",
+        help="offered loads to sweep, ascending "
+        "(default 0.0 0.2 0.4 0.6 0.8)",
+    )
+    bcong.add_argument(
+        "--capacity",
+        type=float,
+        default=8.0,
+        help="uplink capacity in stream copies (default 8)",
+    )
+    bcong.add_argument(
+        "--figures",
+        metavar="DIR",
+        default=None,
+        help="also write FIG_congestion_{radius,stress}.svg to DIR",
+    )
+    bcong.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_congestion.json",
+        help="where to write the JSON report "
+        "(default BENCH_congestion.json)",
+    )
     return parser
 
 
@@ -904,6 +943,51 @@ def _dispatch(args) -> int:
             )
         print(f"report -> {args.out}")
         failures = speedup_gate_failures(report)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1 if failures else 0
+
+    if args.command == "bench-congestion":
+        from repro.experiments.congestion import (
+            DEFAULT_LOADS,
+            congestion_figures,
+            congestion_gate_failures,
+            run_congestion_sweep,
+        )
+
+        report = run_congestion_sweep(
+            n=args.nodes,
+            degree=args.degree,
+            seed=args.seed,
+            loads=tuple(args.loads) or DEFAULT_LOADS,
+            capacity=args.capacity,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        figs = congestion_figures(report)
+        for fig in figs:
+            print(fig.render())
+            print()
+        if args.figures:
+            from repro.experiments.svg_charts import save_figure_svg
+
+            out_dir = Path(args.figures)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for fig in figs:
+                written = save_figure_svg(
+                    fig, out_dir / f"FIG_{fig.name}.svg"
+                )
+                print(f"wrote {written}")
+        demo = report["rebuild_demo"]
+        print(
+            f"rebuild demo: inflation {demo['inflation']:.2f} -> "
+            f"{'rebuilt' if demo['rebuilt'] else 'kept'}, loaded radius "
+            f"{demo['radius_before']:.3f} -> {demo['radius_after']:.3f}"
+        )
+        print(f"report -> {args.out}")
+        failures = congestion_gate_failures(report)
         for failure in failures:
             print(f"GATE FAILED: {failure}")
         return 1 if failures else 0

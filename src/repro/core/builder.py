@@ -149,6 +149,7 @@ def build_polar_grid_tree(
     occupancy: str = "full",
     representative_rule: str = "inner-anchor",
     backend: str | None = None,
+    cost_model=None,
 ) -> BuildResult:
     """Algorithm Polar_Grid: an asymptotically optimal degree-bounded tree.
 
@@ -181,6 +182,12 @@ def build_polar_grid_tree(
         or ``"numba"`` (see :mod:`repro.core.backends`). ``None``
         consults ``REPRO_BUILD_BACKEND`` and defaults to ``"numpy"``.
         Every backend produces the identical tree; only speed differs.
+    :param cost_model: evaluate the built tree under a non-Euclidean
+        cost model (any form :func:`repro.costmodel.get_cost_model`
+        accepts). Does not change the construction — the tree is the
+        same; the result's ``extras`` gain ``"cost_model"`` (canonical
+        key) and ``"effective_radius"`` (idle-network effective radius),
+        and the parameter participates in service cache keys.
     :returns: a :class:`BuildResult` whose tree spans all points, rooted
         at the source, respecting ``max_out_degree``.
     """
@@ -206,7 +213,25 @@ def build_polar_grid_tree(
         obs.add("build.polar_grid.total")
         obs.add(f"build.backend.{backend}.total")
         obs.observe("build.polar_grid.seconds", result.build_seconds)
+        _stamp_cost_model(result, cost_model)
         return result
+
+
+def _stamp_cost_model(result: BuildResult, cost_model) -> None:
+    """Record a cost model's view of a finished build in its extras."""
+    if cost_model is None:
+        return
+    from repro.costmodel import (
+        cost_model_key,
+        effective_radius,
+        get_cost_model,
+    )
+
+    model = get_cost_model(cost_model)
+    result.extras["cost_model"] = cost_model_key(model)
+    result.extras["effective_radius"] = effective_radius(
+        result.tree, model, None
+    )
 
 
 def _build_polar_grid_impl(
@@ -419,6 +444,7 @@ def build_bisection_tree(
     max_out_degree: int = 4,
     *,
     backend: str | None = None,
+    cost_model=None,
 ) -> BuildResult:
     """The Section II constant-factor bisection algorithm, standalone.
 
@@ -434,6 +460,9 @@ def build_bisection_tree(
         threshold).
     :param backend: execution strategy, as for
         :func:`build_polar_grid_tree` (identical trees, different speed).
+    :param cost_model: evaluate the built tree under a non-Euclidean
+        cost model, as for :func:`build_polar_grid_tree` — stamps
+        ``extras["cost_model"]`` and ``extras["effective_radius"]``.
     """
     backend = resolve_backend(backend)
     with obs.span(
@@ -445,6 +474,7 @@ def build_bisection_tree(
         build_span.set(n=result.tree.n)
         obs.add("build.bisection.total")
         obs.observe("build.bisection.seconds", result.build_seconds)
+        _stamp_cost_model(result, cost_model)
         return result
 
 

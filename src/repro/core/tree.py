@@ -165,6 +165,22 @@ class MulticastTree:
             "or a second root"
         )
 
+    def accumulate_to_root(self, per_edge) -> np.ndarray:
+        """Sum arbitrary per-parent-edge values along each root path.
+
+        The generalisation of :meth:`root_delays` that the pluggable
+        cost-model layer (:mod:`repro.costmodel`) evaluates non-Euclidean
+        delays with: ``per_edge[v]`` is the cost of ``v``'s parent edge
+        (the root's entry is ignored), and the result is each node's
+        path total — one ``O(n log depth)`` doubling pass, uncached.
+        """
+        per_edge = np.asarray(per_edge, dtype=np.float64)
+        if per_edge.shape != (self.n,):
+            raise ValueError(
+                f"per_edge must have shape ({self.n},); got {per_edge.shape}"
+            )
+        return self._double(per_edge)
+
     def root_delays(self) -> np.ndarray:
         """Delay (path length) from the root to every node.
 

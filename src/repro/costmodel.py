@@ -1,0 +1,317 @@
+"""Underlay-aware edge-cost models with congestion feedback.
+
+The paper evaluates trees under *delay = Euclidean distance*. Real
+overlays sit on an underlay whose links add fixed per-hop overheads
+(switching, packet processing) and whose effective delay grows with
+utilization: an M/M/1-shaped queueing penalty makes a link at 90%
+utilization roughly 10x slower than an idle one. This module makes the
+edge-cost function a pluggable layer so every consumer — builders, the
+overlay's rebuild policy, the oracle, the congestion benchmarks — can
+evaluate the *same tree* under the paper's model or under a loaded
+underlay.
+
+The cost model (following the SDN-controller formulation referenced in
+the ROADMAP: cost = prop + switch + proc, scaled by ``1/(1 - U)``)::
+
+    effective(e) = (prop(e) + switch + proc) / (1 - u(e))
+
+where ``prop(e)`` is the Euclidean edge length, ``switch``/``proc`` are
+fixed per-hop overheads, and ``u(e)`` is the utilization of the edge,
+clipped to ``max_utilization`` so a saturated link stays finite.
+
+Utilization comes from one of two places:
+
+* the **static uplink model** — a member forwarding to ``d`` children
+  at offered load ``L`` (stream rate as a fraction of one capacity
+  unit) drives its uplink to ``u = d * L / capacity``; every child edge
+  of that member sees its parent's uplink utilization
+  (:func:`link_utilization`);
+* the **measured feed** — :func:`repro.overlay.stream_sim.
+  simulate_stream` counts the packets every edge actually carried and
+  :meth:`~repro.overlay.stream_sim.StreamReport.uplink_utilization`
+  converts those counts into the same per-edge array.
+
+Either way the utilization array is indexed by *child node* (each node
+has exactly one parent edge), which keeps the whole layer vectorised:
+effective delays are one pointer-doubling pass over the re-weighted
+edges (:meth:`~repro.core.tree.MulticastTree.accumulate_to_root`).
+
+Cost models are frozen dataclasses with a canonical ``to_key()`` form,
+so they participate in the service's content-addressed cache keys: two
+requests for the same cloud under different cost models are different
+cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tree import MulticastTree
+
+__all__ = [
+    "CostModel",
+    "EuclideanCost",
+    "CongestionCost",
+    "COST_MODELS",
+    "get_cost_model",
+    "cost_model_key",
+    "effective_delays",
+    "effective_radius",
+    "inflation_factor",
+    "uplink_utilization",
+    "edge_utilization",
+    "link_utilization",
+    "hottest_uplink",
+]
+
+#: Default fixed per-hop overheads, in the same unit as the coordinates
+#: (the unit-disk experiments have radii near 1, so 0.01 + 0.005 per hop
+#: is a small but visible per-hop tax, as on a real forwarding path).
+DEFAULT_SWITCH_DELAY = 0.01
+DEFAULT_PROC_DELAY = 0.005
+
+#: Utilization ceiling: a saturated link is pinned just below 1 so the
+#: ``1/(1-u)`` scaling stays finite (the SDN formulation does the same).
+DEFAULT_MAX_UTILIZATION = 0.99
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Base class: maps a tree's parent edges to effective delays.
+
+    Subclasses override :meth:`edge_costs`; everything else (delay
+    accumulation, radius, inflation) is generic. Instances are frozen
+    and hashable so they can ride inside cache keys and dataclasses.
+    """
+
+    #: Registry name; subclasses set their own.
+    name = "euclidean"
+
+    def edge_costs(self, tree: MulticastTree, utilization=None) -> np.ndarray:
+        """Effective cost of each node's parent edge (0 for the root).
+
+        :param utilization: per-node utilization of each node's parent
+            edge (``None`` = idle network). Models that ignore load
+            (the base Euclidean model) may disregard it.
+        """
+        raise NotImplementedError
+
+    def to_key(self) -> dict:
+        """Canonical JSON-safe form — the cache-key representation."""
+        return {"name": self.name}
+
+
+@dataclass(frozen=True)
+class EuclideanCost(CostModel):
+    """The paper's model: delay equals Euclidean distance, load-blind."""
+
+    name = "euclidean"
+
+    def edge_costs(self, tree: MulticastTree, utilization=None) -> np.ndarray:
+        """Parent-edge Euclidean lengths, regardless of utilization."""
+        return tree.edge_lengths().copy()
+
+
+@dataclass(frozen=True)
+class CongestionCost(CostModel):
+    """Propagation + switch + processing delay, scaled by ``1/(1-u)``.
+
+    :param switch_delay: fixed switching overhead per hop.
+    :param proc_delay: fixed processing overhead per hop.
+    :param max_utilization: clip for the utilization input; keeps the
+        queueing factor finite on saturated links.
+    """
+
+    switch_delay: float = DEFAULT_SWITCH_DELAY
+    proc_delay: float = DEFAULT_PROC_DELAY
+    max_utilization: float = DEFAULT_MAX_UTILIZATION
+
+    name = "congestion"
+
+    def __post_init__(self):
+        """Reject overheads/ceilings outside their meaningful ranges."""
+        if self.switch_delay < 0 or self.proc_delay < 0:
+            raise ValueError("per-hop overheads must be non-negative")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError("max_utilization must be in (0, 1)")
+
+    def base_edge_costs(self, tree: MulticastTree) -> np.ndarray:
+        """Static (idle-network) per-edge cost: length + fixed overheads."""
+        costs = tree.edge_lengths() + (self.switch_delay + self.proc_delay)
+        costs = np.asarray(costs, dtype=np.float64).copy()
+        costs[tree.root] = 0.0  # the root has no parent edge
+        return costs
+
+    def edge_costs(self, tree: MulticastTree, utilization=None) -> np.ndarray:
+        """``(prop + switch + proc) / (1 - u)`` per parent edge."""
+        costs = self.base_edge_costs(tree)
+        if utilization is None:
+            return costs
+        u = np.asarray(utilization, dtype=np.float64)
+        if u.shape != (tree.n,):
+            raise ValueError(
+                f"utilization must have shape ({tree.n},); got {u.shape}"
+            )
+        u = np.clip(u, 0.0, self.max_utilization)
+        costs /= 1.0 - u
+        costs[tree.root] = 0.0
+        return costs
+
+    def to_key(self) -> dict:
+        """Canonical JSON-safe form — the cache-key representation."""
+        return {
+            "name": self.name,
+            "switch_delay": float(self.switch_delay),
+            "proc_delay": float(self.proc_delay),
+            "max_utilization": float(self.max_utilization),
+        }
+
+
+#: Registered cost-model names -> constructors (keyword params allowed).
+COST_MODELS = {
+    "euclidean": EuclideanCost,
+    "congestion": CongestionCost,
+}
+
+
+def get_cost_model(spec) -> CostModel:
+    """Resolve a cost-model spec into a :class:`CostModel` instance.
+
+    Accepts an instance (returned as-is), a registered name
+    (``"euclidean"``, ``"congestion"``), or a dict with a ``"name"``
+    key plus constructor keywords — the form :func:`cost_model_key`
+    emits, so keys round-trip: ``get_cost_model(cost_model_key(m))``
+    reconstructs an equal model.
+    """
+    if isinstance(spec, CostModel):
+        return spec
+    if isinstance(spec, str):
+        name, params = spec, {}
+    elif isinstance(spec, dict):
+        params = dict(spec)
+        try:
+            name = params.pop("name")
+        except KeyError:
+            raise ValueError(
+                "cost-model dicts need a 'name' key; see repro.costmodel"
+            ) from None
+    else:
+        raise TypeError(
+            f"cannot resolve a cost model from {type(spec).__name__}; "
+            "pass a CostModel, a registered name, or a to_key() dict"
+        )
+    try:
+        factory = COST_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cost model {name!r}; registered models: "
+            + ", ".join(sorted(COST_MODELS))
+        ) from None
+    return factory(**params)
+
+
+def cost_model_key(model) -> dict:
+    """The canonical JSON-safe identity of a cost model (cache keys)."""
+    return get_cost_model(model).to_key()
+
+
+# ----------------------------------------------------------------------
+# effective-delay evaluation
+# ----------------------------------------------------------------------
+
+
+def effective_delays(
+    tree: MulticastTree, model=None, utilization=None
+) -> np.ndarray:
+    """Per-node source-to-receiver delay under a cost model.
+
+    One pointer-doubling pass over the model's re-weighted edges —
+    ``O(n log depth)``, same machinery as the Euclidean
+    :meth:`~repro.core.tree.MulticastTree.root_delays`.
+    """
+    model = get_cost_model(model) if model is not None else EuclideanCost()
+    return tree.accumulate_to_root(model.edge_costs(tree, utilization))
+
+
+def effective_radius(tree: MulticastTree, model=None, utilization=None) -> float:
+    """Maximum effective source-to-receiver delay (the loaded radius)."""
+    if tree.n == 1:
+        return 0.0
+    return float(effective_delays(tree, model, utilization).max())
+
+
+def inflation_factor(tree: MulticastTree, model, utilization) -> float:
+    """Loaded over idle effective radius: how much congestion hurts.
+
+    1.0 means the offered load costs nothing on the critical path; the
+    overlay's congestion-rebuild policy triggers when this crosses its
+    threshold. Trees with zero idle radius report 1.0.
+    """
+    idle = effective_radius(tree, model, None)
+    if idle <= 0.0:
+        return 1.0
+    return effective_radius(tree, model, utilization) / idle
+
+
+# ----------------------------------------------------------------------
+# the static uplink-utilization model
+# ----------------------------------------------------------------------
+
+
+def uplink_utilization(
+    tree: MulticastTree, offered_load: float, capacity: float = 8.0
+) -> np.ndarray:
+    """Per-node utilization of each member's uplink, *unclipped*.
+
+    A member forwarding the stream to ``d`` children sends ``d`` copies:
+    ``u = d * offered_load / capacity``. Values may exceed 1 (an
+    overcommitted host); cost models clip when scaling. This raw number
+    is also the benchmark's **stress** metric — the hottest value is
+    :func:`hottest_uplink`.
+    """
+    if offered_load < 0:
+        raise ValueError("offered_load must be non-negative")
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    degrees = tree.out_degrees().astype(np.float64)
+    return degrees * (offered_load / capacity)
+
+
+def edge_utilization(tree: MulticastTree, uplink: np.ndarray) -> np.ndarray:
+    """Per-edge utilization from per-node uplink utilization.
+
+    The edge into node ``v`` shares ``parent(v)``'s uplink, so
+    ``u_edge[v] = uplink[parent[v]]`` (0 for the root's self-loop).
+    """
+    uplink = np.asarray(uplink, dtype=np.float64)
+    if uplink.shape != (tree.n,):
+        raise ValueError(f"uplink must have shape ({tree.n},)")
+    u = uplink[tree.parent]
+    u = u.copy()
+    u[tree.root] = 0.0
+    return u
+
+
+def link_utilization(
+    tree: MulticastTree, offered_load: float, capacity: float = 8.0
+) -> np.ndarray:
+    """Per-edge utilization under the static uplink model."""
+    return edge_utilization(
+        tree, uplink_utilization(tree, offered_load, capacity)
+    )
+
+
+def hottest_uplink(
+    tree: MulticastTree, offered_load: float, capacity: float = 8.0
+) -> float:
+    """The maximum (unclipped) uplink utilization — the stress metric.
+
+    Grows linearly with offered load at a slope set by the tree's
+    largest fan-out; low-degree structures (the Steiner/MST baseline)
+    stress their hosts less than budget-filling greedy trees.
+    """
+    if tree.n == 1:
+        return 0.0
+    return float(uplink_utilization(tree, offered_load, capacity).max())

@@ -1,0 +1,342 @@
+"""Offered-load sweeps and the congestion-rebuild gate (BENCH_congestion).
+
+The congestion scenario family: evaluate the same trees under the
+utilization-scaled cost model of :mod:`repro.costmodel` across a range
+of offered loads, compare builders with opposite degree profiles
+(budget-filling polar-grid and compact-tree vs the low-fan-out Steiner
+baseline), and exercise the :class:`~repro.overlay.dynamic.
+DynamicOverlay` congestion-rebuild trigger on seeded churn + load
+traces. Everything here is deterministic — seeded clouds, closed-form
+utilization, no timings — so the committed ``BENCH_congestion.json``
+re-gates bit-for-bit (within float tolerance) on any machine.
+
+Three deliverables:
+
+* :func:`run_congestion_sweep` — the report behind
+  ``python -m repro bench-congestion`` / ``tools/bench_congestion.py``;
+* :func:`congestion_figures` — radius-vs-load and stress-vs-load
+  figures (``FIG_congestion_radius.svg``, ``FIG_congestion_stress.svg``);
+* :func:`congestion_gate_failures` — the CI gate over the report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.oracle import check_tree
+from repro.costmodel import (
+    cost_model_key,
+    effective_radius,
+    get_cost_model,
+    hottest_uplink,
+    link_utilization,
+)
+from repro.experiments.figures import FigureData
+from repro.overlay.dynamic import DynamicOverlay
+from repro.workloads import LOAD_PROFILES, generate_load_trace, unit_disk
+
+__all__ = [
+    "DEFAULT_BUILDERS",
+    "DEFAULT_LOADS",
+    "run_congestion_sweep",
+    "congestion_rebuild_demo",
+    "replay_load_profile",
+    "congestion_figures",
+    "congestion_gate_failures",
+]
+
+SCHEMA = "bench-congestion/1"
+
+#: Offered loads swept (fraction of one uplink capacity unit per copy).
+DEFAULT_LOADS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+#: Builders compared: the paper's algorithm, the greedy min-delay
+#: heuristic, and the low-fan-out Steiner/MST baseline.
+DEFAULT_BUILDERS = ("polar-grid", "compact-tree", "steiner")
+
+#: Inflation threshold used by the rebuild demo and profile replays —
+#: comfortably above what light load causes on a churned tree, and
+#: comfortably below what heavy load causes (verified by the gate).
+DEMO_THRESHOLD = 1.4
+
+
+def _churned_overlay(
+    seed: int, degree: int, congestion_threshold: float | None, cost_model
+) -> DynamicOverlay:
+    """A deterministically churn-degraded overlay (no auto rebuilds).
+
+    120 joins, then three waves of 25 leaves + 25 joins — enough greedy
+    maintenance that the loaded effective radius visibly inflates.
+    """
+    rng = np.random.default_rng(seed)
+    overlay = DynamicOverlay(
+        np.zeros(2),
+        max_out_degree=degree,
+        rebuild_threshold=None,
+        congestion_threshold=congestion_threshold,
+        cost_model=cost_model,
+    )
+    for i in range(120):
+        overlay.join(f"m{i}", rng.normal(size=2))
+    for wave in range(3):
+        for i in range(wave * 30, wave * 30 + 25):
+            overlay.leave(f"m{i}")
+        for i in range(120 + wave * 25, 145 + wave * 25):
+            overlay.join(f"m{i}", rng.normal(size=2))
+    return overlay
+
+
+def congestion_rebuild_demo(
+    seed: int = 23,
+    degree: int = 6,
+    offered_load: float = 0.9,
+    threshold: float = DEMO_THRESHOLD,
+    cost_model="congestion",
+) -> dict:
+    """One end-to-end congestion-triggered rebuild, oracle-validated.
+
+    Churn-degrade an overlay, observe a heavy load, and report what the
+    trigger did. The default seed is chosen so the make-before-break
+    rebuild actually adopts a better tree (the gate asserts it).
+    """
+    model = get_cost_model(cost_model)
+    overlay = _churned_overlay(seed, degree, threshold, model)
+    receipt = overlay.observe_load(offered_load)
+    tree = overlay.tree()
+    report = check_tree(
+        tree,
+        d_max=degree,
+        cost_model=model,
+        utilization=link_utilization(tree, offered_load, overlay.capacity),
+    )
+    return {
+        "seed": seed,
+        "degree": degree,
+        "offered_load": offered_load,
+        "threshold": threshold,
+        "inflation": receipt.inflation,
+        "triggered": receipt.triggered,
+        "rebuilt": receipt.rebuilt,
+        "radius_before": receipt.radius_before,
+        "radius_after": receipt.radius_after,
+        "oracle_ok": report.ok,
+    }
+
+
+def replay_load_profile(
+    profile: str,
+    seed: int = 23,
+    degree: int = 6,
+    threshold: float = DEMO_THRESHOLD,
+    cost_model="congestion",
+) -> dict:
+    """Replay a named offered-load profile through the rebuild trigger.
+
+    The overlay is churn-degraded once up front (static membership
+    during the replay), then each window's load goes through
+    :meth:`~repro.overlay.dynamic.DynamicOverlay.observe_load`. Every
+    adopted rebuild is oracle-validated under the scaled cost model at
+    that window's load.
+    """
+    if profile not in LOAD_PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; known: "
+            + ", ".join(sorted(LOAD_PROFILES))
+        )
+    model = get_cost_model(cost_model)
+    overlay = _churned_overlay(seed, degree, threshold, model)
+    loads = generate_load_trace(**LOAD_PROFILES[profile])
+    max_inflation = 0.0
+    oracle_ok = True
+    for load in loads:
+        receipt = overlay.observe_load(float(load))
+        max_inflation = max(max_inflation, receipt.inflation)
+        if receipt.rebuilt:
+            tree = overlay.tree()
+            report = check_tree(
+                tree,
+                d_max=degree,
+                cost_model=model,
+                utilization=link_utilization(
+                    tree, float(load), overlay.capacity
+                ),
+            )
+            oracle_ok = oracle_ok and report.ok
+    return {
+        "profile": profile,
+        "windows": int(loads.size),
+        "triggers": overlay.congestion_triggers,
+        "rebuilds": overlay.congestion_rebuilds,
+        "max_inflation": max_inflation,
+        "oracle_ok": oracle_ok,
+    }
+
+
+def run_congestion_sweep(
+    n: int = 600,
+    degree: int = 6,
+    seed: int = 0,
+    loads=DEFAULT_LOADS,
+    builders=DEFAULT_BUILDERS,
+    capacity: float = 8.0,
+    cost_model="congestion",
+    log=None,
+) -> dict:
+    """Sweep offered loads over one cloud for every builder.
+
+    For each builder: one build (Table-I unit-disk cloud, source at the
+    centre), then per load the effective radius under the scaled cost
+    model (static uplink utilization) and the stress (hottest unclipped
+    uplink). Each tree is oracle-validated under the heaviest load.
+    """
+    log = log or (lambda msg: None)
+    if not loads:
+        raise ValueError("need at least one load")
+    loads = tuple(float(x) for x in loads)
+    if any(x < 0 for x in loads) or list(loads) != sorted(loads):
+        raise ValueError("loads must be non-negative and ascending")
+    model = get_cost_model(cost_model)
+    points = unit_disk(n, seed=seed)
+
+    per_builder = {}
+    for name in builders:
+        result = repro.build(points, 0, name, max_out_degree=degree)
+        tree = result.tree
+        radii = [
+            effective_radius(
+                tree, model, link_utilization(tree, load, capacity)
+            )
+            for load in loads
+        ]
+        stresses = [hottest_uplink(tree, load, capacity) for load in loads]
+        heaviest = link_utilization(tree, loads[-1], capacity)
+        oracle = check_tree(
+            tree, d_max=degree, cost_model=model, utilization=heaviest
+        )
+        per_builder[name] = {
+            "radius": radii,
+            "stress": stresses,
+            "idle_radius": effective_radius(tree, model, None),
+            "euclidean_radius": tree.radius(),
+            "max_out_degree": tree.max_out_degree(),
+            "oracle_ok": oracle.ok,
+        }
+        log(
+            f"{name}: idle {per_builder[name]['idle_radius']:.3f}, "
+            f"loaded({loads[-1]}) {radii[-1]:.3f}, "
+            f"maxdeg {per_builder[name]['max_out_degree']}, "
+            f"oracle {'ok' if oracle.ok else 'FAILED'}"
+        )
+
+    log("rebuild demo + profile replays...")
+    return {
+        "schema": SCHEMA,
+        "n": n,
+        "degree": degree,
+        "seed": seed,
+        "capacity": capacity,
+        "cost_model": cost_model_key(model),
+        "loads": list(loads),
+        "builders": per_builder,
+        "rebuild_demo": congestion_rebuild_demo(
+            degree=degree, cost_model=model
+        ),
+        "profiles": {
+            name: replay_load_profile(name, degree=degree, cost_model=model)
+            for name in sorted(LOAD_PROFILES)
+        },
+    }
+
+
+def congestion_figures(report: dict) -> list[FigureData]:
+    """Radius-vs-load and stress-vs-load from a sweep report."""
+    loads = report["loads"]
+    return [
+        FigureData(
+            name="congestion_radius",
+            title=(
+                f"Effective radius vs offered load "
+                f"(n = {report['n']}, degree {report['degree']})"
+            ),
+            xs=loads,
+            series={
+                name: entry["radius"]
+                for name, entry in report["builders"].items()
+            },
+            y_label="effective radius",
+            log_x=False,
+        ),
+        FigureData(
+            name="congestion_stress",
+            title=(
+                f"Hottest uplink utilization vs offered load "
+                f"(n = {report['n']}, capacity {report['capacity']})"
+            ),
+            xs=loads,
+            series={
+                name: entry["stress"]
+                for name, entry in report["builders"].items()
+            },
+            y_label="max uplink utilization",
+            log_x=False,
+        ),
+    ]
+
+
+def congestion_gate_failures(report: dict) -> list[str]:
+    """Every gate the committed BENCH_congestion.json must satisfy."""
+    failures: list[str] = []
+    if report.get("schema") != SCHEMA:
+        failures.append(
+            f"schema is {report.get('schema')!r}, expected {SCHEMA!r}"
+        )
+        return failures
+
+    loads = report["loads"]
+    builders = report["builders"]
+    if "steiner" not in builders or len(builders) < 3:
+        failures.append(
+            "report must compare polar-grid against >= 2 baselines "
+            "including 'steiner'"
+        )
+    for name, entry in builders.items():
+        radii = entry["radius"]
+        if any(b < a - 1e-9 for a, b in zip(radii, radii[1:])):
+            failures.append(
+                f"{name}: effective radius is not monotone in offered load"
+            )
+        if loads and loads[0] == 0.0:
+            if abs(radii[0] - entry["idle_radius"]) > 1e-9:
+                failures.append(
+                    f"{name}: radius at load 0 differs from the idle radius"
+                )
+        if not entry["oracle_ok"]:
+            failures.append(f"{name}: oracle validation failed")
+        stress = entry["stress"]
+        if any(b < a - 1e-12 for a, b in zip(stress, stress[1:])):
+            failures.append(f"{name}: stress is not monotone in offered load")
+
+    demo = report["rebuild_demo"]
+    if not demo["triggered"]:
+        failures.append("rebuild demo: heavy load did not trigger")
+    if not demo["rebuilt"]:
+        failures.append("rebuild demo: trigger did not adopt a rebuild")
+    if demo["radius_after"] > demo["radius_before"] + 1e-12:
+        failures.append(
+            "rebuild demo: loaded radius did not drop after the rebuild"
+        )
+    if not demo["oracle_ok"]:
+        failures.append("rebuild demo: oracle validation failed")
+
+    profiles = report["profiles"]
+    if profiles.get("light", {}).get("triggers", 1) != 0:
+        failures.append("light profile must never trigger the rebuild")
+    if profiles.get("heavy", {}).get("triggers", 0) < 1:
+        failures.append("heavy profile must trigger the rebuild")
+    for name, entry in profiles.items():
+        if not entry.get("oracle_ok", False):
+            failures.append(
+                f"profile {name}: a rebuild failed oracle validation"
+            )
+    return failures

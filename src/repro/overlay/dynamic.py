@@ -34,16 +34,45 @@ trade-off is observable (see ``examples``/``benchmarks``).
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 import repro.obs as obs
 from repro.core.builder import build_polar_grid_tree
 from repro.core.tree import MulticastTree
+from repro.costmodel import (
+    CongestionCost,
+    effective_radius,
+    get_cost_model,
+    inflation_factor,
+    link_utilization,
+)
 from repro.overlay.incremental import EventReceipt, IncrementalGridTree
 from repro.overlay.repair import repair_after_failure
 
-__all__ = ["DynamicOverlay"]
+__all__ = ["CongestionReceipt", "DynamicOverlay"]
+
+
+@dataclass(frozen=True)
+class CongestionReceipt:
+    """What one :meth:`DynamicOverlay.observe_load` call saw and did.
+
+    :param offered_load: the observed per-copy stream load.
+    :param inflation: loaded / idle effective radius before any action.
+    :param triggered: whether the inflation crossed the threshold.
+    :param rebuilt: whether a full rebuild was performed.
+    :param radius_before: loaded effective radius before the rebuild.
+    :param radius_after: loaded effective radius after the rebuild
+        (equal to ``radius_before`` when no rebuild happened).
+    """
+
+    offered_load: float
+    inflation: float
+    triggered: bool
+    rebuilt: bool
+    radius_before: float
+    radius_after: float
 
 
 class DynamicOverlay:
@@ -68,6 +97,17 @@ class DynamicOverlay:
         budget, ``max_out_degree >= 2^d + 2``).
     :param bootstrap: group size at which incremental mode seeds its
         grid with one full build; below it, joins attach greedily.
+    :param cost_model: edge-cost model for the congestion policy (any
+        form :func:`repro.costmodel.get_cost_model` accepts). Defaults
+        to :class:`~repro.costmodel.CongestionCost` when a
+        ``congestion_threshold`` is set, else stays unset.
+    :param congestion_threshold: inflation-factor ceiling for
+        :meth:`observe_load` — when the offered load inflates the
+        effective radius past ``threshold * idle radius``, the overlay
+        rebuilds. ``None`` (default) disables congestion rebuilds;
+        ``observe_load`` then only records the inflation.
+    :param capacity: uplink capacity (stream copies per capacity unit)
+        for the static utilization model.
     """
 
     def __init__(
@@ -78,6 +118,9 @@ class DynamicOverlay:
         validate: bool = False,
         mode: str = "greedy",
         bootstrap: int = 16,
+        cost_model=None,
+        congestion_threshold: float | None = None,
+        capacity: float = 8.0,
     ):
         coords = np.asarray(source_coords, dtype=np.float64)
         if coords.ndim != 1 or coords.shape[0] < 2:
@@ -98,7 +141,23 @@ class DynamicOverlay:
                 )
             if bootstrap < 2:
                 raise ValueError("bootstrap must be at least 2")
+        if congestion_threshold is not None and congestion_threshold <= 1.0:
+            raise ValueError(
+                "congestion_threshold must exceed 1.0 (an idle tree has "
+                "inflation exactly 1.0) or be None"
+            )
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if cost_model is None and congestion_threshold is not None:
+            cost_model = CongestionCost()
 
+        self.cost_model = (
+            get_cost_model(cost_model) if cost_model is not None else None
+        )
+        self.congestion_threshold = congestion_threshold
+        self.capacity = float(capacity)
+        self.congestion_triggers = 0
+        self.congestion_rebuilds = 0
         self.max_out_degree = int(max_out_degree)
         self.rebuild_threshold = rebuild_threshold
         self.validate = bool(validate)
@@ -299,6 +358,110 @@ class DynamicOverlay:
         self._churn_since_rebuild += 1
         self._maybe_rebuild()
         self._after_event()
+
+    # ------------------------------------------------------------------
+    # congestion feedback
+    # ------------------------------------------------------------------
+
+    def effective_radius(self, offered_load: float | None = None) -> float:
+        """Effective radius under the configured cost model.
+
+        ``offered_load=None`` evaluates the idle network; a load uses
+        the static uplink model at this overlay's ``capacity``. Without
+        a configured cost model this is the plain Euclidean radius.
+        """
+        tree = self.tree()
+        if self.cost_model is None:
+            return tree.radius()
+        utilization = (
+            None
+            if offered_load is None
+            else link_utilization(tree, offered_load, self.capacity)
+        )
+        return effective_radius(tree, self.cost_model, utilization)
+
+    def observe_load(self, offered_load: float) -> CongestionReceipt:
+        """Feed an offered-load observation into the rebuild policy.
+
+        Computes the inflation factor (loaded over idle effective
+        radius) of the current tree under the configured cost model; if
+        it exceeds ``congestion_threshold``, triggers a full rebuild.
+        The inflation is recorded in the ``overlay.congestion.inflation``
+        histogram either way; triggers and rebuilds bump
+        ``overlay.congestion.{trigger,rebuild}.total``.
+
+        The rebuild is **make-before-break**: a fresh polar-grid tree is
+        built off to the side and adopted only if it improves the loaded
+        effective radius, so ``radius_after <= radius_before`` always
+        holds — a trigger can never make service worse. (Greedy mode
+        only; the incremental engine's full rebuild is in-place, so
+        there the fresh tree is adopted unconditionally.) Triggers that
+        did not improve anything still count toward
+        ``congestion_triggers``; only adopted trees count as rebuilds.
+        """
+        if offered_load < 0:
+            raise ValueError("offered_load must be non-negative")
+        model = self.cost_model if self.cost_model is not None else CongestionCost()
+        tree = self.tree()
+        utilization = link_utilization(tree, offered_load, self.capacity)
+        inflation = inflation_factor(tree, model, utilization)
+        obs.observe("overlay.congestion.inflation", inflation)
+        radius_before = effective_radius(tree, model, utilization)
+
+        triggered = (
+            self.congestion_threshold is not None
+            and inflation > self.congestion_threshold
+        )
+        rebuilt = False
+        radius_after = radius_before
+        if triggered:
+            obs.add("overlay.congestion.trigger.total")
+            self.congestion_triggers += 1
+            if self.n >= 3:
+                rebuilt, radius_after = self._congestion_rebuild(
+                    model, offered_load, radius_before
+                )
+        return CongestionReceipt(
+            offered_load=float(offered_load),
+            inflation=float(inflation),
+            triggered=bool(triggered),
+            rebuilt=rebuilt,
+            radius_before=radius_before,
+            radius_after=radius_after,
+        )
+
+    def _congestion_rebuild(
+        self, model, offered_load: float, radius_before: float
+    ) -> tuple[bool, float]:
+        """Make-before-break rebuild; returns (adopted, loaded radius)."""
+        if self.engine is not None:
+            # The engine rebuilds in place; adopt unconditionally.
+            self.rebuild()
+            obs.add("overlay.congestion.rebuild.total")
+            self.congestion_rebuilds += 1
+            new_tree = self.tree()
+            return True, effective_radius(
+                new_tree,
+                model,
+                link_utilization(new_tree, offered_load, self.capacity),
+            )
+        points = np.asarray(self._points)
+        fresh = build_polar_grid_tree(points, 0, self.max_out_degree).tree
+        radius_fresh = effective_radius(
+            fresh, model, link_utilization(fresh, offered_load, self.capacity)
+        )
+        if radius_fresh >= radius_before:
+            return False, radius_before
+        self._parent = fresh.parent.tolist()
+        self._delay = fresh.root_delays().tolist()
+        self._degree = fresh.out_degrees().tolist()
+        self._churn_since_rebuild = 0
+        self.rebuild_count += 1
+        obs.add("overlay.rebuilds.total")
+        obs.add("overlay.congestion.rebuild.total")
+        self.congestion_rebuilds += 1
+        self._after_event()
+        return True, radius_fresh
 
     # ------------------------------------------------------------------
 

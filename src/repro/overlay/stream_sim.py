@@ -41,6 +41,13 @@ class StreamReport:
 
     Per-receiver arrays are indexed by *original* node indices. Nodes
     that failed during the stream carry ``lost == -1`` as a sentinel.
+
+    ``link_packets[v]`` counts the packets the edge *into* ``v``
+    (from its then-current parent) actually carried — a multicast edge
+    carries each packet once, however many receivers sit below it.
+    ``forwarded[v]`` counts the copies ``v`` sent to its children. Both
+    are the stream simulator's link-load accounting, the measured side
+    of the congestion feedback loop (:mod:`repro.costmodel`).
     """
 
     packets_sent: int
@@ -49,6 +56,8 @@ class StreamReport:
     worst_interruption: float
     failures_applied: int
     final_tree: MulticastTree = field(repr=False, default=None)
+    link_packets: np.ndarray = field(repr=False, default=None)
+    forwarded: np.ndarray = field(repr=False, default=None)
 
     @property
     def total_lost(self) -> int:
@@ -58,6 +67,28 @@ class StreamReport:
         receivers = int(np.count_nonzero(self.lost >= 0))
         possible = self.packets_sent * receivers
         return self.total_lost / possible if possible else 0.0
+
+    def uplink_utilization(
+        self, offered_load: float, capacity: float = 8.0
+    ) -> np.ndarray:
+        """Measured per-node uplink utilization, *unclipped*.
+
+        The forwarding duty cycle ``forwarded[v] / packets_sent`` is the
+        average number of copies ``v`` sent per emitted packet (its
+        effective out-degree over the stream, outage windows included);
+        at offered load ``L`` per copy and uplink capacity ``C`` the
+        utilization is ``duty * L / C`` — the measured counterpart of
+        :func:`repro.costmodel.uplink_utilization`. On a failure-free
+        stream the two agree exactly.
+        """
+        if self.forwarded is None:
+            raise ValueError("this report carries no link-load accounting")
+        if offered_load < 0:
+            raise ValueError("offered_load must be non-negative")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        duty = self.forwarded.astype(np.float64) / float(self.packets_sent)
+        return duty * (offered_load / capacity)
 
 
 def simulate_stream(
@@ -104,10 +135,16 @@ def simulate_stream(
 
     # original index -> index in the current (repaired) tree; -1 = gone.
     index_map = np.arange(n_original)
+    # current index -> original index, kept in lockstep with index_map.
+    inverse = np.arange(n_original)
     alive = np.ones(n_original, dtype=bool)
     delivered = np.zeros(n_original, dtype=np.int64)
     lost = np.zeros(n_original, dtype=np.int64)
     blocked_until = np.zeros(n_original)
+    # Link-load accounting: packets carried by each node's parent edge
+    # and copies forwarded by each node, both by original index.
+    link_packets = np.zeros(n_original, dtype=np.int64)
+    forwarded = np.zeros(n_original, dtype=np.int64)
 
     failure_iter = iter(failures)
     pending = next(failure_iter, None)
@@ -126,9 +163,6 @@ def simulate_stream(
             current = int(index_map[orig])
 
             # Who loses service: the failed node's current subtree.
-            inverse = np.full(tree.n, -1, dtype=np.int64)
-            for o in np.flatnonzero(alive):
-                inverse[index_map[o]] = o
             affected = inverse[tree.subtree_nodes(current)]
             affected = affected[(affected >= 0) & (affected != orig)]
 
@@ -140,6 +174,9 @@ def simulate_stream(
                 index_map[o] = step_map[index_map[o]]
             alive[orig] = False
             index_map[orig] = -1
+            inverse = np.full(tree.n, -1, dtype=np.int64)
+            live = np.flatnonzero(alive)
+            inverse[index_map[live]] = live
             applied += 1
 
             resume = pending.time + recovery_latency
@@ -149,6 +186,7 @@ def simulate_stream(
 
         # Deliver this packet to every live receiver not in an outage.
         receivers = np.flatnonzero(alive)
+        served: list[int] = []
         for orig in receivers:
             if int(index_map[orig]) == tree.root:
                 continue
@@ -156,6 +194,22 @@ def simulate_stream(
                 lost[orig] += 1
             else:
                 delivered[orig] += 1
+                served.append(int(index_map[orig]))
+
+        # Link-load accounting: the packet crosses the union of the
+        # served receivers' root paths, each edge once (multicast).
+        # ``carried`` memoises edges already credited for this packet,
+        # so the walk is O(edges crossed), not O(receivers * depth).
+        parent = tree.parent
+        carried: set[int] = set()
+        for cur in served:
+            walk = cur
+            while walk != tree.root and walk not in carried:
+                carried.add(walk)
+                walk = int(parent[walk])
+        for cur in carried:
+            link_packets[inverse[cur]] += 1
+            forwarded[inverse[int(parent[cur])]] += 1
 
     lost[~alive] = -1
     return StreamReport(
@@ -165,4 +219,6 @@ def simulate_stream(
         worst_interruption=worst_interruption,
         failures_applied=applied,
         final_tree=tree,
+        link_packets=link_packets,
+        forwarded=forwarded,
     )

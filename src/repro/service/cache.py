@@ -43,9 +43,12 @@ def _canonical_param(value):
     """A JSON-stable form of one parameter value.
 
     Arrays (per-node ``budgets``/``max_out_degree``) become lists;
-    numpy scalars become native Python scalars; everything else must
-    already be JSON-serialisable — a requirement of the normalized
-    parameter vocabulary, enforced here with a clear error.
+    numpy scalars become native Python scalars; cost-model instances
+    (:class:`repro.costmodel.CostModel`) become their canonical
+    ``to_key()`` dicts, so two requests under different cost models are
+    distinct cache entries and two equal instances collide; everything
+    else must already be JSON-serialisable — a requirement of the
+    normalized parameter vocabulary, enforced here with a clear error.
     """
     if isinstance(value, np.ndarray):
         return value.tolist()
@@ -53,6 +56,13 @@ def _canonical_param(value):
         return value.item()
     if isinstance(value, (list, tuple)):
         return [_canonical_param(v) for v in value]
+    if value is not None and not isinstance(
+        value, (str, int, float, bool, dict)
+    ):
+        from repro.costmodel import CostModel
+
+        if isinstance(value, CostModel):
+            return value.to_key()
     return value
 
 

@@ -15,9 +15,15 @@ from repro.workloads.generators import (
     unit_disk,
     with_source_at_center,
 )
+from repro.workloads.load import (
+    LOAD_PROFILES,
+    generate_load_trace,
+)
 
 __all__ = [
     "ChurnEvent",
+    "LOAD_PROFILES",
+    "generate_load_trace",
     "annulus_points",
     "generate_churn_trace",
     "replay_trace",

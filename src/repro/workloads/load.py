@@ -1,0 +1,76 @@
+"""Offered-load traces: seeded utilization pressure for the congestion suite.
+
+Where :mod:`repro.workloads.churn` varies *who* is in the session, this
+module varies *how hard the stream pushes* — the offered load ``L``
+(stream rate as a fraction of one uplink capacity unit) that the cost
+models of :mod:`repro.costmodel` turn into per-edge queueing penalties.
+
+:data:`LOAD_PROFILES` mirrors the churn profiles documented in
+EXPERIMENTS.md: three named, seeded regimes (light / heavy / bursty)
+whose windows replay through :meth:`repro.overlay.dynamic.
+DynamicOverlay.observe_load` to exercise the congestion-rebuild
+trigger. Every profile is fully determined by its entry — the suite is
+reproducible from the documentation alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generators import as_rng
+
+__all__ = ["LOAD_PROFILES", "generate_load_trace"]
+
+#: The highest load a trace emits; stays clear of 1.0 so even a
+#: fan-out-1 chain keeps a finite queueing factor without clipping.
+MAX_LOAD = 0.95
+
+#: Named offered-load regimes (see EXPERIMENTS.md "Offered-load
+#: profiles"). ``mean``/``sigma`` shape the Gaussian around which each
+#: window's load is drawn; ``burst``/``burst_every`` (bursty only)
+#: overwrite every ``burst_every``-th window with a spike around the
+#: burst level.
+LOAD_PROFILES = {
+    "light": {"seed": 101, "windows": 24, "mean": 0.15, "sigma": 0.04},
+    "heavy": {"seed": 202, "windows": 24, "mean": 0.65, "sigma": 0.10},
+    "bursty": {
+        "seed": 303,
+        "windows": 24,
+        "mean": 0.25,
+        "sigma": 0.05,
+        "burst": 0.85,
+        "burst_every": 4,
+    },
+}
+
+
+def generate_load_trace(
+    windows: int,
+    mean: float,
+    sigma: float,
+    burst: float | None = None,
+    burst_every: int = 4,
+    seed=None,
+) -> np.ndarray:
+    """One offered-load sample per observation window, in ``[0, 0.95]``.
+
+    Gaussian around ``mean`` with spread ``sigma``; when ``burst`` is
+    given, every ``burst_every``-th window (starting at the first) is
+    replaced by a spike drawn around the burst level with the same
+    spread. Clipped to ``[0,`` :data:`MAX_LOAD` ``]``.
+
+    ``generate_load_trace(**LOAD_PROFILES[name])`` reproduces a named
+    profile exactly.
+    """
+    if windows < 1:
+        raise ValueError("need at least one window")
+    if sigma < 0:
+        raise ValueError("sigma cannot be negative")
+    if burst_every < 1:
+        raise ValueError("burst_every must be at least 1")
+    rng = as_rng(seed)
+    loads = rng.normal(loc=mean, scale=sigma, size=windows)
+    if burst is not None:
+        spikes = rng.normal(loc=burst, scale=sigma, size=windows)
+        loads[::burst_every] = spikes[::burst_every]
+    return np.clip(loads, 0.0, MAX_LOAD)

@@ -1,0 +1,261 @@
+"""Tests for congestion feedback: stream link-load accounting, the
+DynamicOverlay rebuild trigger, and the offered-load experiment gates."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro import costmodel as cm
+from repro.core.builder import build_polar_grid_tree
+from repro.experiments.congestion import (
+    congestion_figures,
+    congestion_gate_failures,
+    congestion_rebuild_demo,
+    replay_load_profile,
+    run_congestion_sweep,
+)
+from repro.overlay.dynamic import DynamicOverlay
+from repro.overlay.stream_sim import FailureEvent, simulate_stream
+from repro.workloads import LOAD_PROFILES, generate_load_trace
+from repro.workloads.generators import unit_disk
+
+
+@pytest.fixture
+def tree():
+    return build_polar_grid_tree(unit_disk(150, seed=8), 0, 6).tree
+
+
+class TestStreamLinkLoad:
+    def test_failure_free_duty_equals_out_degree(self, tree):
+        report = simulate_stream(tree, 6, packets=40)
+        assert np.array_equal(report.forwarded, tree.out_degrees() * 40)
+        mask = np.arange(tree.n) != tree.root
+        assert np.all(report.link_packets[mask] == 40)
+        assert report.link_packets[tree.root] == 0
+
+    def test_measured_matches_static_model_when_idle(self, tree):
+        report = simulate_stream(tree, 6, packets=40)
+        measured = report.uplink_utilization(0.5, capacity=8.0)
+        assert np.allclose(
+            measured, cm.uplink_utilization(tree, 0.5, capacity=8.0)
+        )
+
+    def test_outage_lowers_measured_duty(self, tree):
+        # A relay failure suppresses traffic below it for a while: the
+        # affected links must carry strictly fewer packets than the
+        # stream emitted, never more.
+        degrees = tree.out_degrees()
+        relay = int(
+            np.flatnonzero((degrees > 0) & (np.arange(tree.n) != tree.root))[0]
+        )
+        report = simulate_stream(
+            tree,
+            6,
+            packets=60,
+            packet_interval=0.02,
+            failures=[FailureEvent(node=relay, time=0.3)],
+            recovery_latency=0.2,
+        )
+        assert report.failures_applied == 1
+        assert np.all(report.link_packets <= 60)
+        assert np.all(report.link_packets >= 0)
+        # The dead relay stops carrying traffic at its failure time.
+        assert report.link_packets[relay] < 60
+        measured = report.uplink_utilization(0.5)
+        assert measured.shape == (tree.n,)
+        assert np.all(measured >= 0)
+
+    def test_conservation_against_delivered(self, tree):
+        # Every packet delivered to a leaf was carried by its parent
+        # edge; with no failures link_packets equals delivered exactly.
+        report = simulate_stream(tree, 6, packets=25)
+        receivers = np.flatnonzero(np.arange(tree.n) != tree.root)
+        assert np.array_equal(
+            report.link_packets[receivers], report.delivered[receivers]
+        )
+
+    def test_report_without_accounting_raises(self, tree):
+        from repro.overlay.stream_sim import StreamReport
+
+        bare = StreamReport(
+            packets_sent=10,
+            delivered=np.zeros(3),
+            lost=np.zeros(3),
+            worst_interruption=0.0,
+            failures_applied=0,
+        )
+        with pytest.raises(ValueError):
+            bare.uplink_utilization(0.5)
+
+
+def _churned(seed=23, threshold=1.4, degree=6, **kwargs):
+    rng = np.random.default_rng(seed)
+    overlay = DynamicOverlay(
+        np.zeros(2),
+        max_out_degree=degree,
+        rebuild_threshold=None,
+        congestion_threshold=threshold,
+        **kwargs,
+    )
+    for i in range(120):
+        overlay.join(f"m{i}", rng.normal(size=2))
+    for wave in range(3):
+        for i in range(wave * 30, wave * 30 + 25):
+            overlay.leave(f"m{i}")
+        for i in range(120 + wave * 25, 145 + wave * 25):
+            overlay.join(f"m{i}", rng.normal(size=2))
+    return overlay
+
+
+class TestCongestionTrigger:
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            DynamicOverlay(np.zeros(2), congestion_threshold=1.0)
+        with pytest.raises(ValueError):
+            DynamicOverlay(np.zeros(2), congestion_threshold=1.5, capacity=0)
+        overlay = DynamicOverlay(np.zeros(2), congestion_threshold=1.5)
+        assert overlay.cost_model == cm.CongestionCost()
+
+    def test_idle_load_never_triggers(self):
+        overlay = _churned()
+        receipt = overlay.observe_load(0.0)
+        assert receipt.inflation == pytest.approx(1.0)
+        assert not receipt.triggered and not receipt.rebuilt
+        assert overlay.congestion_triggers == 0
+
+    def test_light_trace_never_crosses_threshold(self):
+        # Seeded trace whose inflation provably stays below 1.4.
+        overlay = _churned()
+        for load in generate_load_trace(**LOAD_PROFILES["light"]):
+            receipt = overlay.observe_load(float(load))
+            assert receipt.inflation < 1.4
+        assert overlay.congestion_triggers == 0
+        assert overlay.congestion_rebuilds == 0
+
+    def test_heavy_trace_crosses_threshold(self):
+        overlay = _churned()
+        for load in generate_load_trace(**LOAD_PROFILES["heavy"]):
+            overlay.observe_load(float(load))
+        assert overlay.congestion_triggers > 0
+
+    def test_rebuild_lowers_loaded_radius(self):
+        # Differential check: make-before-break means the post-rebuild
+        # effective radius can only drop, and at this seed it strictly
+        # does (an adoption happens).
+        overlay = _churned(seed=23)
+        before = overlay.effective_radius(0.9)
+        receipt = overlay.observe_load(0.9)
+        assert receipt.triggered and receipt.rebuilt
+        assert receipt.radius_before == pytest.approx(before)
+        assert receipt.radius_after < receipt.radius_before
+        assert overlay.effective_radius(0.9) == pytest.approx(
+            receipt.radius_after
+        )
+
+    def test_never_adopts_a_worse_tree(self):
+        for seed in (7, 11, 23, 41):
+            overlay = _churned(seed=seed)
+            receipt = overlay.observe_load(0.9)
+            assert receipt.radius_after <= receipt.radius_before + 1e-12
+
+    def test_rebuilt_tree_validates_under_scaled_model(self):
+        from repro.analysis.oracle import check_tree
+
+        overlay = _churned(seed=23)
+        receipt = overlay.observe_load(0.9)
+        assert receipt.rebuilt
+        tree = overlay.tree()
+        report = check_tree(
+            tree,
+            d_max=6,
+            cost_model=overlay.cost_model,
+            utilization=cm.link_utilization(tree, 0.9, overlay.capacity),
+        )
+        assert report.ok
+
+    def test_obs_counters_and_histogram(self):
+        overlay = _churned(seed=23)
+        obs.enable()
+        try:
+            overlay.observe_load(0.9)
+            snap = obs.snapshot()
+        finally:
+            obs.reset()
+        assert snap["overlay.congestion.trigger.total"]["value"] >= 1
+        assert snap["overlay.congestion.rebuild.total"]["value"] >= 1
+        hist = snap["overlay.congestion.inflation"]
+        assert hist["count"] >= 1
+        assert hist["max"] > 1.4
+
+    def test_threshold_none_only_records(self):
+        overlay = _churned(threshold=None, cost_model="congestion")
+        receipt = overlay.observe_load(0.9)
+        assert receipt.inflation > 1.0
+        assert not receipt.triggered and not receipt.rebuilt
+        assert overlay.congestion_triggers == 0
+
+
+class TestExperimentGates:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_congestion_sweep(n=200, seed=1)
+
+    def test_gates_pass_on_a_fresh_sweep(self, report):
+        assert congestion_gate_failures(report) == []
+
+    def test_figures_cover_all_builders(self, report):
+        figs = congestion_figures(report)
+        assert [f.name for f in figs] == [
+            "congestion_radius", "congestion_stress",
+        ]
+        for fig in figs:
+            assert set(fig.series) == set(report["builders"])
+            assert not fig.log_x
+
+    def test_gate_catches_tampering(self, report):
+        import copy
+
+        bad = copy.deepcopy(report)
+        bad["builders"]["polar-grid"]["radius"][-1] = 0.0  # non-monotone
+        assert any(
+            "monotone" in f for f in congestion_gate_failures(bad)
+        )
+        bad = copy.deepcopy(report)
+        bad["profiles"]["light"]["triggers"] = 3
+        assert any(
+            "light" in f for f in congestion_gate_failures(bad)
+        )
+        bad = copy.deepcopy(report)
+        del bad["builders"]["steiner"]
+        assert any(
+            "steiner" in f for f in congestion_gate_failures(bad)
+        )
+
+    def test_demo_and_profiles_deterministic(self):
+        assert congestion_rebuild_demo() == congestion_rebuild_demo()
+        assert replay_load_profile("light") == replay_load_profile("light")
+        with pytest.raises(ValueError):
+            replay_load_profile("no-such-profile")
+
+
+class TestLoadTraces:
+    def test_profiles_are_deterministic_and_bounded(self):
+        for name, prof in LOAD_PROFILES.items():
+            trace = generate_load_trace(**prof)
+            assert np.array_equal(trace, generate_load_trace(**prof))
+            assert trace.min() >= 0.0 and trace.max() <= 0.95
+
+    def test_burst_windows_spike(self):
+        prof = LOAD_PROFILES["bursty"]
+        trace = generate_load_trace(**prof)
+        assert trace[:: prof["burst_every"]].mean() > 2 * np.delete(
+            trace, np.s_[:: prof["burst_every"]]
+        ).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_load_trace(0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            generate_load_trace(5, 0.5, -0.1)
+        with pytest.raises(ValueError):
+            generate_load_trace(5, 0.5, 0.1, burst=0.9, burst_every=0)

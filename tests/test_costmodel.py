@@ -1,0 +1,206 @@
+"""Tests for the pluggable cost-model layer (repro.costmodel)."""
+
+import numpy as np
+import pytest
+
+from repro import costmodel as cm
+from repro.core.builder import build_bisection_tree, build_polar_grid_tree
+from repro.core.tree import MulticastTree
+from repro.service.cache import canonical_key
+from repro.workloads.generators import unit_disk
+
+
+@pytest.fixture
+def tree():
+    return build_polar_grid_tree(unit_disk(200, seed=4), 0, 6).tree
+
+
+class TestModels:
+    def test_euclidean_matches_root_delays(self, tree):
+        delays = cm.effective_delays(tree, cm.EuclideanCost(), None)
+        assert np.allclose(delays, tree.root_delays())
+
+    def test_euclidean_ignores_load(self, tree):
+        u = cm.link_utilization(tree, 0.9)
+        assert np.allclose(
+            cm.effective_delays(tree, "euclidean", u), tree.root_delays()
+        )
+
+    def test_congestion_idle_adds_per_hop_overheads(self, tree):
+        model = cm.CongestionCost(switch_delay=0.01, proc_delay=0.005)
+        delays = cm.effective_delays(tree, model, None)
+        expected = tree.root_delays() + 0.015 * tree.depths()
+        assert np.allclose(delays, expected)
+
+    def test_congestion_scales_by_one_over_one_minus_u(self):
+        # Source -> a -> b chain: closed-form check of the formula.
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        tree = MulticastTree(
+            points=points, parent=np.array([0, 0, 1]), root=0
+        )
+        model = cm.CongestionCost(switch_delay=0.1, proc_delay=0.1)
+        u = np.array([0.0, 0.5, 0.75])
+        delays = cm.effective_delays(tree, model, u)
+        assert delays[1] == pytest.approx(1.2 / 0.5)
+        assert delays[2] == pytest.approx(1.2 / 0.5 + 1.2 / 0.25)
+
+    def test_utilization_clipped_at_ceiling(self, tree):
+        model = cm.CongestionCost(max_utilization=0.9)
+        u = np.full(tree.n, 5.0)  # hopelessly overcommitted
+        delays = cm.effective_delays(tree, model, u)
+        assert np.all(np.isfinite(delays))
+        idle = cm.effective_delays(tree, model, None)
+        mask = np.arange(tree.n) != tree.root
+        assert np.allclose(delays[mask], idle[mask] / 0.1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            cm.CongestionCost(switch_delay=-1.0)
+        with pytest.raises(ValueError):
+            cm.CongestionCost(max_utilization=1.0)
+
+    def test_get_cost_model_round_trips(self):
+        model = cm.CongestionCost(switch_delay=0.2)
+        again = cm.get_cost_model(cm.cost_model_key(model))
+        assert again == model
+        assert cm.get_cost_model("euclidean") == cm.EuclideanCost()
+        with pytest.raises(ValueError):
+            cm.get_cost_model("no-such-model")
+        with pytest.raises(TypeError):
+            cm.get_cost_model(42)
+        with pytest.raises(ValueError):
+            cm.get_cost_model({"switch_delay": 0.1})  # no name
+
+
+class TestUplinkModel:
+    def test_uplink_is_degree_times_load_over_capacity(self, tree):
+        u = cm.uplink_utilization(tree, 0.5, capacity=10.0)
+        assert np.allclose(u, tree.out_degrees() * 0.05)
+
+    def test_edge_inherits_parent_uplink(self, tree):
+        uplink = cm.uplink_utilization(tree, 0.5)
+        edge = cm.edge_utilization(tree, uplink)
+        assert edge[tree.root] == 0.0
+        v = int(np.flatnonzero(np.arange(tree.n) != tree.root)[0])
+        assert edge[v] == uplink[tree.parent[v]]
+
+    def test_zero_load_means_idle(self, tree):
+        assert cm.inflation_factor(
+            tree, "congestion", cm.link_utilization(tree, 0.0)
+        ) == pytest.approx(1.0)
+
+    def test_inflation_grows_with_load(self, tree):
+        model = cm.CongestionCost()
+        factors = [
+            cm.inflation_factor(tree, model, cm.link_utilization(tree, x))
+            for x in (0.2, 0.5, 0.8)
+        ]
+        assert factors[0] > 1.0
+        assert factors == sorted(factors)
+
+    def test_hottest_uplink_is_linear_in_load(self, tree):
+        assert cm.hottest_uplink(tree, 0.8) == pytest.approx(
+            2 * cm.hottest_uplink(tree, 0.4)
+        )
+        assert cm.hottest_uplink(tree, 0.8) == pytest.approx(
+            tree.max_out_degree() * 0.1
+        )
+
+    def test_validation(self, tree):
+        with pytest.raises(ValueError):
+            cm.uplink_utilization(tree, -0.1)
+        with pytest.raises(ValueError):
+            cm.uplink_utilization(tree, 0.5, capacity=0.0)
+        with pytest.raises(ValueError):
+            cm.edge_utilization(tree, np.zeros(3))
+        with pytest.raises(ValueError):
+            cm.effective_delays(tree, "congestion", np.zeros(3))
+
+
+class TestAccumulateToRoot:
+    def test_matches_manual_walk(self, tree):
+        rng = np.random.default_rng(0)
+        per_edge = rng.uniform(size=tree.n)
+        totals = tree.accumulate_to_root(per_edge)
+        assert totals[tree.root] == 0.0
+        v = int(np.argmax(tree.depths()))
+        expected = sum(per_edge[u] for u in tree.path_to_root(v)[:-1])
+        assert totals[v] == pytest.approx(expected)
+
+    def test_shape_checked(self, tree):
+        with pytest.raises(ValueError):
+            tree.accumulate_to_root(np.zeros(tree.n - 1))
+
+
+class TestBuilderWiring:
+    def test_extras_stamped(self):
+        points = unit_disk(100, seed=2)
+        result = build_polar_grid_tree(points, 0, 6, cost_model="congestion")
+        assert result.extras["cost_model"]["name"] == "congestion"
+        assert result.extras["effective_radius"] > result.tree.radius()
+        plain = build_polar_grid_tree(points, 0, 6)
+        assert "cost_model" not in plain.extras
+        bis = build_bisection_tree(points, 0, 4, cost_model="congestion")
+        assert bis.extras["effective_radius"] > bis.tree.radius()
+
+    def test_cache_keys_distinguish_models(self):
+        points = unit_disk(40, seed=3)
+        base = {"max_out_degree": 6}
+        k_euc = canonical_key(
+            points, 0, "polar-grid",
+            {**base, "cost_model": cm.EuclideanCost()},
+        )
+        k_con = canonical_key(
+            points, 0, "polar-grid",
+            {**base, "cost_model": cm.CongestionCost()},
+        )
+        k_con2 = canonical_key(
+            points, 0, "polar-grid",
+            {**base, "cost_model": cm.CongestionCost()},
+        )
+        assert k_euc != k_con
+        assert k_con == k_con2
+        assert canonical_key(points, 0, "polar-grid", base) not in (
+            k_euc, k_con
+        )
+
+
+class TestOracleExtension:
+    def test_clean_tree_passes_under_scaled_model(self, tree):
+        from repro.analysis.oracle import check_tree
+
+        u = cm.link_utilization(tree, 0.7)
+        report = check_tree(
+            tree, d_max=6, cost_model="congestion", utilization=u
+        )
+        assert report.ok
+        assert "effective-delay-recompute" in report.checks
+        assert report.stats["effective_radius"] > report.stats["radius"]
+
+    def test_bad_utilization_flagged(self, tree):
+        from repro.analysis.oracle import check_tree
+
+        report = check_tree(
+            tree, cost_model="congestion",
+            utilization=np.full(tree.n, -1.0),
+        )
+        assert [v.code for v in report.violations] == ["UTILIZATION_RANGE"]
+        report = check_tree(
+            tree, cost_model="congestion", utilization=np.zeros(3)
+        )
+        assert [v.code for v in report.violations] == ["UTILIZATION_SHAPE"]
+
+    def test_doubling_bug_would_be_caught(self, tree):
+        # Simulate a pointer-doubling bug (totals off by 1%): the BFS
+        # recomputation shares no code with doubling, so it must notice.
+        from repro.analysis.oracle import check_tree
+
+        tree.root_delays()  # populate the Euclidean caches honestly
+        original = tree._double
+        tree._double = lambda acc: original(acc) * 1.01
+        try:
+            report = check_tree(tree, cost_model="euclidean")
+        finally:
+            del tree._double
+        codes = {v.code for v in report.violations}
+        assert "EFFECTIVE_DELAY_MISMATCH" in codes

@@ -1,0 +1,76 @@
+"""Tests for the Steiner/MST baseline (repro.baselines.steiner)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import costmodel as cm
+from repro.analysis.oracle import check_tree
+from repro.baselines import steiner_tree
+from repro.core.builder import build_polar_grid_tree
+from repro.workloads.generators import unit_disk
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 50, 300])
+    def test_valid_degree_capped_tree(self, n):
+        points = unit_disk(n, seed=n)
+        tree = steiner_tree(points, 0, 4)
+        tree.validate(max_out_degree=4)
+        assert check_tree(tree, d_max=4).ok
+
+    def test_degree_cap_respected_even_when_tight(self):
+        points = unit_disk(120, seed=5)
+        tree = steiner_tree(points, 0, 2, knn=3)
+        assert tree.max_out_degree() <= 2
+
+    def test_deterministic(self):
+        points = unit_disk(200, seed=6)
+        a = steiner_tree(points, 0, 4)
+        b = steiner_tree(points, 0, 4)
+        assert np.array_equal(a.parent, b.parent)
+
+    def test_sparse_knn_still_spans(self):
+        # knn=1 forces the component-bridging fallback.
+        points = unit_disk(60, seed=7)
+        tree = steiner_tree(points, 0, 4, knn=1)
+        assert check_tree(tree, d_max=4).ok
+
+    def test_validation(self):
+        points = unit_disk(10, seed=0)
+        with pytest.raises(ValueError):
+            steiner_tree(points, 99, 4)
+        with pytest.raises(ValueError):
+            steiner_tree(points, 0, 1)
+        with pytest.raises(ValueError):
+            steiner_tree(points, 0, 4, knn=0)
+
+
+class TestCongestedRegime:
+    def test_lower_stress_than_polar_grid(self):
+        # The whole point of the baseline: at the same budget its hosts
+        # run cooler (smaller max fan-out) at the price of radius.
+        points = unit_disk(500, seed=9)
+        st = steiner_tree(points, 0, 6)
+        pg = build_polar_grid_tree(points, 0, 6).tree
+        assert cm.hottest_uplink(st, 0.8) < cm.hottest_uplink(pg, 0.8)
+
+    def test_validates_under_scaled_cost_model(self):
+        points = unit_disk(200, seed=10)
+        tree = steiner_tree(points, 0, 6)
+        report = check_tree(
+            tree,
+            d_max=6,
+            cost_model="congestion",
+            utilization=cm.link_utilization(tree, 0.8),
+        )
+        assert report.ok
+
+
+class TestRegistry:
+    def test_facade_build(self):
+        points = unit_disk(80, seed=11)
+        result = repro.build(points, 0, "steiner", max_out_degree=4, knn=6)
+        assert result.max_out_degree == 4
+        assert result.tree.n == 80
+        assert "steiner" in repro.builder_names()

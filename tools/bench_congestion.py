@@ -1,0 +1,149 @@
+"""Offered-load congestion benchmark + gate; emits BENCH_congestion.json.
+
+Thin shim over :func:`repro.experiments.congestion.run_congestion_sweep`
+(also exposed as ``python -m repro bench-congestion``). One seeded
+unit-disk cloud, one build per builder (polar-grid / compact-tree /
+steiner), effective radius and hottest-uplink stress at each offered
+load under the 1/(1 - u) congestion cost model, plus a
+congestion-triggered rebuild demo and the three named load-profile
+replays (light / heavy / bursty). Gates:
+
+1. **curve shape** — effective radius and stress are monotone
+   non-decreasing in offered load, and the load-0 radius equals the
+   idle radius;
+2. **oracle** — every tree (and every adopted congestion rebuild)
+   validates under the scaled cost model;
+3. **trigger calibration** — the light profile never trips the rebuild
+   threshold, the heavy profile does, and the demo's make-before-break
+   rebuild lowers the loaded radius;
+4. **determinism** (``--check`` only) — the sweep is re-run with the
+   committed report's parameters and every curve must agree within
+   1e-9 (the whole suite is closed-form, so this is exact on any host).
+
+Schema (abridged)::
+
+    {"schema": "bench-congestion/1",
+     "n": int, "degree": int, "seed": int, "capacity": float,
+     "cost_model": {"name": "congestion", ...},
+     "loads": [float, ...],
+     "builders": {"polar-grid": {"radius": [...], "stress": [...],
+                                 "idle_radius": float, "oracle_ok": true},
+                  ...},
+     "rebuild_demo": {"inflation": float, "triggered": true,
+                      "rebuilt": true, "radius_before": float,
+                      "radius_after": float, "oracle_ok": true},
+     "profiles": {"light": {"triggers": 0, ...}, ...}}
+
+Run::
+
+    PYTHONPATH=src python tools/bench_congestion.py --out BENCH_congestion.json
+
+``--check FILE`` re-runs the (cheap, deterministic) sweep with the
+report's own parameters, compares curves, and re-applies every gate.
+Exit code 0 when all gates hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.congestion import (
+    DEFAULT_LOADS,
+    congestion_gate_failures,
+    run_congestion_sweep,
+)
+
+
+def determinism_failures(committed: dict) -> list[str]:
+    """Re-run the sweep with the committed params; compare every curve."""
+    fresh = run_congestion_sweep(
+        n=committed["n"],
+        degree=committed["degree"],
+        seed=committed["seed"],
+        loads=tuple(committed["loads"]),
+        builders=tuple(committed["builders"]),
+        capacity=committed["capacity"],
+        cost_model=committed["cost_model"],
+    )
+    failures = []
+    for name, entry in committed["builders"].items():
+        fresh_entry = fresh["builders"][name]
+        for key in ("radius", "stress"):
+            gaps = [
+                abs(a - b) for a, b in zip(entry[key], fresh_entry[key])
+            ]
+            if max(gaps) > 1e-9:
+                failures.append(
+                    f"{name}: committed {key} curve drifts from a re-run "
+                    f"by {max(gaps):.3e}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--nodes", type=int, default=600)
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--loads", type=float, nargs="*", default=(), metavar="L"
+    )
+    parser.add_argument("--capacity", type=float, default=8.0)
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        default=None,
+        help="re-gate an existing report (plus a determinism re-run) "
+        "instead of writing a new one",
+    )
+    parser.add_argument("--out", default="BENCH_congestion.json")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        report = json.loads(Path(args.check).read_text())
+        failures = congestion_gate_failures(report)
+        failures += determinism_failures(report)
+    else:
+        report = run_congestion_sweep(
+            n=args.nodes,
+            degree=args.degree,
+            seed=args.seed,
+            loads=tuple(args.loads) or DEFAULT_LOADS,
+            capacity=args.capacity,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+        failures = congestion_gate_failures(report)
+
+    for name, entry in report["builders"].items():
+        print(
+            f"{name:13s} idle {entry['idle_radius']:7.3f}  "
+            f"loaded({report['loads'][-1]}) {entry['radius'][-1]:7.3f}  "
+            f"maxdeg {entry['max_out_degree']}  "
+            f"oracle {'ok' if entry['oracle_ok'] else 'FAILED'}"
+        )
+    demo = report["rebuild_demo"]
+    print(
+        f"rebuild demo: inflation {demo['inflation']:.2f}, loaded radius "
+        f"{demo['radius_before']:.3f} -> {demo['radius_after']:.3f}"
+    )
+    for name in sorted(report["profiles"]):
+        entry = report["profiles"][name]
+        print(
+            f"profile {name:7s} triggers {entry['triggers']:3d}  "
+            f"rebuilds {entry['rebuilds']}  "
+            f"max inflation {entry['max_inflation']:.2f}"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
