@@ -1,0 +1,126 @@
+"""Unified service error hierarchy with a structured wire encoding.
+
+Every error the service can hand back over the TCP protocol subclasses
+:class:`ServiceError` and encodes uniformly as::
+
+    {"error": {"type": "<ClassName>", "message": "<human text>",
+               "fields": {...machine-readable details...}}}
+
+The concrete classes keep their historical secondary bases
+(``RuntimeError`` / ``TimeoutError``) so existing ``except`` clauses in
+1.x callers keep working unchanged.  This module is a dependency-free
+leaf: ``repro.packing`` imports :class:`ServiceError` from here without
+pulling in the asyncio service.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ServiceError",
+    "ServiceOverload",
+    "DeadlineExceeded",
+    "UnknownUpdateKey",
+    "UpdateUnsupported",
+    "UnknownGroup",
+    "PackingUnavailable",
+]
+
+
+class ServiceError(Exception):
+    """Base for every structured service-level failure.
+
+    Subclasses populate :attr:`fields` with the machine-readable detail
+    that crosses the wire; :meth:`to_wire` renders the uniform
+    ``{"type", "message", "fields"}`` envelope.
+    """
+
+    def __init__(self, message: str, **fields: Any) -> None:
+        super().__init__(message)
+        self.fields: dict[str, Any] = fields
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "type": type(self).__name__,
+            "message": str(self),
+            "fields": dict(self.fields),
+        }
+
+
+class ServiceOverload(ServiceError, RuntimeError):
+    """Raised when admission control rejects a request."""
+
+    def __init__(self, pending: int, limit: int) -> None:
+        super().__init__(
+            f"service overloaded: {pending} builds in flight "
+            f"(limit {limit}); retry later",
+            pending=pending,
+            limit=limit,
+        )
+        self.pending = pending
+        self.limit = limit
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """Raised when a request misses its deadline."""
+
+    def __init__(self, key: str, deadline: float) -> None:
+        super().__init__(
+            f"build {key[:12]}… missed its {deadline}s deadline "
+            "(still building; a retry may hit the cache)",
+            key=key,
+            deadline=deadline,
+        )
+        self.key = key
+        self.deadline = deadline
+
+
+class UnknownUpdateKey(ServiceError, RuntimeError):
+    """Raised when an ``update`` names a key the cache no longer holds."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(
+            f"no cached tree under key {key[:12]}…; build it first, then "
+            "update the key the build response returns",
+            key=key,
+        )
+        self.key = key
+
+
+class UpdateUnsupported(ServiceError, RuntimeError):
+    """Raised when a cached entry cannot take incremental updates."""
+
+    def __init__(self, key: str, reason: str) -> None:
+        super().__init__(
+            f"cached tree {key[:12]}… cannot be updated in place: {reason}",
+            key=key,
+            reason=reason,
+        )
+        self.key = key
+        self.reason = reason
+
+
+class UnknownGroup(ServiceError, KeyError):
+    """Raised when ``evict`` (or a session lookup) names no live group."""
+
+    def __init__(self, group_id: str, live: list[str] | None = None) -> None:
+        super().__init__(
+            f"no live session for group {group_id!r}",
+            group=group_id,
+            live=sorted(live or []),
+        )
+        self.group_id = group_id
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+class PackingUnavailable(ServiceError, RuntimeError):
+    """Raised when admit/evict hits a service with no shared population."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "service was started without a shared host population; "
+            "pass population=/host_caps= (or serve --packing-hosts)",
+        )

@@ -37,6 +37,7 @@ __all__ = [
     "Violation",
     "OracleReport",
     "check_tree",
+    "check_packing",
     "check_build_result",
     "check_incremental_state",
 ]
@@ -157,6 +158,16 @@ def _coerce_inputs(tree, points, root):
     return None, parent, np.asarray(points, dtype=np.float64), int(root)
 
 
+def _label_group(report: OracleReport, group: str) -> OracleReport:
+    """Prefix every violation with its group label (multi-group runs)."""
+    report.stats["group"] = group
+    report.violations = [
+        Violation(v.code, f"group {group!r}: {v.message}", v.nodes)
+        for v in report.violations
+    ]
+    return report
+
+
 def check_tree(
     tree,
     points=None,
@@ -165,6 +176,7 @@ def check_tree(
     *,
     cost_model=None,
     utilization=None,
+    group=None,
 ) -> OracleReport:
     """Re-derive every structural invariant of a rooted multicast tree.
 
@@ -185,6 +197,9 @@ def check_tree(
     :param utilization: per-edge utilization array for ``cost_model``
         (``None`` = idle network); validated for shape, finiteness and
         sign before use.
+    :param group: optional group label for multi-group runs — stamped
+        into ``report.stats`` and prefixed onto every violation
+        message, so packing crash artifacts name the offending group.
     :returns: an :class:`OracleReport`; ``report.ok`` means every check
         that ran found nothing wrong.
 
@@ -192,6 +207,29 @@ def check_tree(
     :meth:`MulticastTree.validate`: it shares no code path with the
     pointer-doubling delay machinery, so a bug there cannot mask itself.
     """
+    report = _check_tree_body(
+        tree,
+        points,
+        d_max,
+        root,
+        cost_model=cost_model,
+        utilization=utilization,
+    )
+    if group is not None:
+        _label_group(report, group)
+    return report
+
+
+def _check_tree_body(
+    tree,
+    points=None,
+    d_max=None,
+    root=None,
+    *,
+    cost_model=None,
+    utilization=None,
+) -> OracleReport:
+    """The label-free single-tree oracle pass behind :func:`check_tree`."""
     report = OracleReport()
     mtree, parent, points, root = _coerce_inputs(tree, points, root)
     n = int(parent.shape[0])
@@ -339,6 +377,121 @@ def check_tree(
                 report, mtree, parent, points, root, order,
                 cost_model, utilization,
             )
+    return report
+
+
+def check_packing(
+    trees,
+    memberships,
+    caps,
+    *,
+    n_hosts=None,
+    d_maxes=None,
+    groups=None,
+) -> OracleReport:
+    """Check a set of live group trees against shared per-host caps.
+
+    The packing invariant (Kerivin et al., arXiv 1111.0706): every
+    host's out-degree *summed across all live sessions* stays within
+    its cap, while each per-group tree independently passes the full
+    single-tree oracle (:func:`check_tree`).
+
+    :param trees: one :class:`~repro.core.tree.MulticastTree` per live
+        group, each over its own member-local index space.
+    :param memberships: per group, the population indices its tree's
+        local nodes map to (``len(members) == tree.n``; local node
+        ``i`` is population host ``members[i]``).
+    :param caps: per-host out-degree caps — an ``(N,)`` array, or a
+        scalar with ``n_hosts`` giving ``N``.
+    :param d_maxes: optional per-group fan-out bounds forwarded to each
+        tree's own degree check (scalar or sequence, ``None`` skips).
+    :param groups: optional group labels (default ``group0``,
+        ``group1``, ...) — violations from group ``i``'s tree are
+        prefixed with its label via ``check_tree(group=...)``.
+    :returns: an :class:`OracleReport` whose stats summarise the
+        packing (``live_groups``, ``slots_used``, ``agg_max_degree``).
+    """
+    report = OracleReport()
+    caps_arr = np.asarray(caps, dtype=np.int64)
+    if caps_arr.ndim == 0:
+        if n_hosts is None:
+            raise ValueError("scalar caps need n_hosts to size the host set")
+        caps_arr = np.full(int(n_hosts), int(caps_arr), dtype=np.int64)
+    if caps_arr.ndim != 1:
+        raise ValueError("caps must be a scalar or a 1-D array")
+    n = int(caps_arr.size)
+    trees = list(trees)
+    memberships = list(memberships)
+    if len(trees) != len(memberships):
+        raise ValueError(
+            f"{len(trees)} trees but {len(memberships)} membership lists"
+        )
+    if groups is None:
+        groups = [f"group{i}" for i in range(len(trees))]
+    groups = [str(g) for g in groups]
+    if len(groups) != len(trees):
+        raise ValueError(f"{len(trees)} trees but {len(groups)} labels")
+    if d_maxes is None or np.isscalar(d_maxes):
+        d_maxes = [d_maxes] * len(trees)
+
+    report.checks.append("packing-membership")
+    total = np.zeros(n, dtype=np.int64)
+    used_by: dict[int, list[str]] = {}
+    for tree, members, label, d_max in zip(
+        trees, memberships, groups, d_maxes
+    ):
+        members = np.asarray(members, dtype=np.int64)
+        ok = True
+        uniq, counts = np.unique(members, return_counts=True)
+        if (counts > 1).any():
+            report.add(
+                "MEMBER_DUP",
+                f"group {label!r} lists duplicate population hosts",
+                uniq[counts > 1],
+            )
+            ok = False
+        if members.size and (members.min() < 0 or members.max() >= n):
+            report.add(
+                "MEMBER_RANGE",
+                f"group {label!r} members outside the population [0, {n})",
+                members[(members < 0) | (members >= n)],
+            )
+            ok = False
+        if int(tree.n) != int(members.size):
+            report.add(
+                "MEMBER_COUNT",
+                f"group {label!r}: tree spans {int(tree.n)} nodes but "
+                f"membership lists {int(members.size)} hosts",
+            )
+            ok = False
+        report.extend(check_tree(tree, d_max=d_max, group=label))
+        if not ok:
+            continue
+        total[members] += tree.out_degrees()
+        for host in members[tree.out_degrees() > 0].tolist():
+            used_by.setdefault(int(host), []).append(label)
+
+    report.checks.append("packing-aggregate-degree")
+    over = np.flatnonzero(total > caps_arr)
+    if over.size:
+        worst = int(over[np.argmax((total - caps_arr)[over])])
+        report.add(
+            "AGG_DEGREE_CAP",
+            f"{over.size} host(s) exceed their shared out-degree cap; "
+            f"worst is host {worst} at {int(total[worst])}/"
+            f"{int(caps_arr[worst])} across groups "
+            f"{used_by.get(worst, [])}",
+            over,
+        )
+    report.stats.update(
+        hosts=n,
+        live_groups=len(trees),
+        slots_used=int(total.sum()),
+        agg_max_degree=int(total.max()) if n else 0,
+    )
+    # check_tree stamped the last group's label; the merged report is
+    # not about any single group.
+    report.stats.pop("group", None)
     return report
 
 

@@ -277,10 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--mode",
-        choices=("builders", "churn"),
+        choices=("builders", "churn", "packing"),
         default="builders",
         help="corpus kind: static clouds through the differential "
-        "harness, or churn event traces through the incremental engine",
+        "harness, churn event traces through the incremental engine, "
+        "or admit/evict traces against a shared degree-budget ledger",
     )
     fuzz.add_argument(
         "--budget",
@@ -364,6 +365,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request build deadline in seconds "
         "(requests may override; expiry is a structured "
         "DeadlineExceeded error and the build still lands in the cache)",
+    )
+    serve.add_argument(
+        "--packing-hosts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="host a shared population of N points and enable session "
+        "ops (admit/evict/sessions) with a per-host degree-budget "
+        "ledger; omit to run the stateless build-only service",
+    )
+    serve.add_argument(
+        "--packing-cap",
+        type=int,
+        default=8,
+        metavar="C",
+        help="per-host out-degree cap shared across admitted groups "
+        "(default 8; only with --packing-hosts)",
+    )
+    serve.add_argument(
+        "--packing-seed",
+        type=int,
+        default=0,
+        help="seed for the hosted population (default 0; only with "
+        "--packing-hosts)",
     )
 
     fleet = sub.add_parser(
@@ -553,6 +578,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_congestion.json",
         help="where to write the JSON report "
         "(default BENCH_congestion.json)",
+    )
+
+    bpack = sub.add_parser(
+        "bench-packing",
+        help="multi-group admission sweep over one shared degree-budget "
+        "pool (packed-polar-grid vs naive polar-grid), with a TCP "
+        "admit/evict/readmit phase, gated (writes BENCH_packing.json; "
+        "see docs/SCENARIOS.md)",
+    )
+    bpack.add_argument("--hosts", type=int, default=120)
+    bpack.add_argument("--cap", type=int, default=8)
+    bpack.add_argument("--degree", type=int, default=6)
+    bpack.add_argument(
+        "--group-size",
+        type=int,
+        default=40,
+        help="members per multicast group (default 40)",
+    )
+    bpack.add_argument("--seed", type=int, default=0)
+    bpack.add_argument(
+        "--offered",
+        type=int,
+        nargs="*",
+        default=(),
+        metavar="G",
+        help="concurrent-group counts to sweep, ascending "
+        "(default 2 4 6 8 12 16)",
+    )
+    bpack.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_packing.json",
+        help="where to write the JSON report (default BENCH_packing.json)",
     )
     return parser
 
@@ -835,6 +893,14 @@ def _dispatch(args) -> int:
         cache = BuildCache(
             max_bytes=args.cache_mb * 1024 * 1024, spill_dir=args.spill_dir
         )
+        packing_kw = {}
+        if args.packing_hosts is not None:
+            packing_kw = {
+                "population": unit_disk(
+                    args.packing_hosts, seed=args.packing_seed
+                ),
+                "host_caps": args.packing_cap,
+            }
         return run_server(
             host=args.host,
             port=args.port,
@@ -842,6 +908,7 @@ def _dispatch(args) -> int:
             max_pending=args.max_pending,
             policy=policy,
             max_workers=args.workers,
+            **packing_kw,
         )
 
     if args.command == "serve-fleet":
@@ -988,6 +1055,49 @@ def _dispatch(args) -> int:
         )
         print(f"report -> {args.out}")
         failures = congestion_gate_failures(report)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+        return 1 if failures else 0
+
+    if args.command == "bench-packing":
+        from repro.experiments.packing import (
+            DEFAULT_OFFERED,
+            packing_gate_failures,
+            run_packing_sweep,
+        )
+
+        report = run_packing_sweep(
+            n_hosts=args.hosts,
+            cap=args.cap,
+            degree=args.degree,
+            group_size=args.group_size,
+            seed=args.seed,
+            offered=tuple(args.offered) or DEFAULT_OFFERED,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(
+            "admitted (packed vs naive): "
+            + ", ".join(
+                f"{count}:{p}/{nv}"
+                for count, p, nv in zip(
+                    report["offered"],
+                    report["packed"]["admitted"],
+                    report["naive"]["admitted"],
+                )
+            )
+        )
+        tcp = report["tcp"]
+        print(
+            f"tcp: admitted {tcp['admitted']}, "
+            f"rejection {'yes' if tcp['rejection'] else 'no'}, "
+            f"readmit after evict "
+            f"{'ok' if tcp['readmit_ok'] else 'FAILED'}"
+        )
+        print(f"report -> {args.out}")
+        failures = packing_gate_failures(report)
         for failure in failures:
             print(f"GATE FAILED: {failure}")
         return 1 if failures else 0

@@ -217,6 +217,7 @@ def _ensure_builtins() -> None:
     import repro.core.diameter  # noqa: F401
     import repro.core.heterogeneous  # noqa: F401
     import repro.core.quadtree  # noqa: F401
+    import repro.packing.builder  # noqa: F401
 
 
 def get_builder(spec) -> BuilderSpec:

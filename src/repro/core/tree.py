@@ -73,14 +73,18 @@ class MulticastTree:
         return self.points.shape[1]
 
     @classmethod
-    def from_edges(cls, points: np.ndarray, edges, root: int) -> "MulticastTree":
+    def from_edges(
+        cls, points: np.ndarray, edges, root: int, *, group: str | None = None
+    ) -> "MulticastTree":
         """Build from ``(parent, child)`` pairs; missing children are an error.
 
         All defects are collected before raising — the single
         :class:`TreeInvariantError` names *every* node with two parents
         and every parentless node, so fuzz shrinkers and crash artifacts
         see the full extent of a bad edge list instead of just its first
-        symptom.
+        symptom. ``group`` labels the error message in multi-group
+        (packing) runs, so an artifact covering several trees names the
+        one whose edge list was bad.
         """
         points = np.asarray(points, dtype=np.float64)
         n = points.shape[0]
@@ -102,8 +106,9 @@ class MulticastTree:
                 )
             if orphans:
                 problems.append(f"nodes with no parent: {orphans}")
+            prefix = f"group {group!r}: " if group is not None else ""
             raise TreeInvariantError(
-                "edge list does not describe a rooted tree: "
+                f"{prefix}edge list does not describe a rooted tree: "
                 + "; ".join(problems)
             )
         return cls(points=points, parent=parent, root=root)

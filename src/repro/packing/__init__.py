@@ -1,0 +1,24 @@
+"""Multi-group tree packing: shared per-host out-degree budgets.
+
+Many concurrent multicast groups share one host population; every
+host's out-degree cap is split across the groups it forwards for — the
+Maximum Bounded Rooted-Tree Packing problem (Kerivin et al.,
+arXiv 1111.0706).  This package owns the budget ledger
+(:class:`DegreeBudgetAllocator`), the structured rejection
+(:class:`BudgetExhausted`), and the residual-aware builder registered
+as ``"packed-polar-grid"``.
+"""
+
+from repro.packing.allocator import (
+    BudgetExhausted,
+    BudgetReceipt,
+    DegreeBudgetAllocator,
+)
+from repro.packing.builder import build_packed_polar_grid_tree
+
+__all__ = [
+    "BudgetExhausted",
+    "BudgetReceipt",
+    "DegreeBudgetAllocator",
+    "build_packed_polar_grid_tree",
+]

@@ -1,0 +1,193 @@
+"""Per-host out-degree budget ledger shared across multicast groups.
+
+:class:`DegreeBudgetAllocator` owns one integer cap per host and a
+ledger of live reservations, one per admitted group.  ``reserve`` is
+all-or-nothing: either every host in the group's usage vector fits its
+residual budget and the whole vector commits, or the call raises a
+structured :class:`BudgetExhausted` naming the tightest host and
+nothing changes.  ``release`` returns a group's slots to the pool.
+
+The allocator is deliberately dumb about *what* the slots are used for
+— it never sees trees, only usage vectors — so the same ledger backs
+the packed builder (src/repro/packing/builder.py), the service admit
+path (src/repro/service/core.py), and the packing fuzz mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro._service_errors import ServiceError, UnknownGroup
+
+__all__ = ["BudgetExhausted", "BudgetReceipt", "DegreeBudgetAllocator"]
+
+
+class BudgetExhausted(ServiceError, RuntimeError):
+    """A reservation (or residual-aware build) could not fit the caps.
+
+    ``host`` is the index of the tightest violating host, or ``None``
+    for aggregate infeasibility (total residual capacity short of the
+    group's needs).  ``requested``/``available`` quantify the gap at
+    that host (or in aggregate); ``cap`` is the host's full cap when a
+    single host is at fault.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        group: str | None = None,
+        host: int | None = None,
+        requested: int = 0,
+        available: int = 0,
+        cap: int | None = None,
+    ) -> None:
+        """Record the gap; every kwarg also lands in ``fields``."""
+        super().__init__(
+            message,
+            group=group,
+            host=host,
+            requested=requested,
+            available=available,
+            cap=cap,
+        )
+        self.group = group
+        self.host = host
+        self.requested = requested
+        self.available = available
+        self.cap = cap
+
+
+@dataclass(frozen=True)
+class BudgetReceipt:
+    """Proof of a committed reservation, returned by ``reserve``.
+
+    ``hosts`` lists the population indices that actually consumed
+    slots (usage > 0); ``slots`` is the total out-degree reserved.
+    """
+
+    group_id: str
+    hosts: tuple[int, ...]
+    slots: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready receipt (inverse of :meth:`from_dict`)."""
+        return {
+            "group": self.group_id,
+            "hosts": list(self.hosts),
+            "slots": self.slots,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> BudgetReceipt:
+        """Rebuild a receipt from its :meth:`to_dict` payload."""
+        return cls(
+            group_id=payload["group"],
+            hosts=tuple(int(h) for h in payload["hosts"]),
+            slots=int(payload["slots"]),
+        )
+
+
+@dataclass
+class DegreeBudgetAllocator:
+    """Shared out-degree budget ledger over one host population."""
+
+    caps: np.ndarray
+    _usage: dict[str, np.ndarray] = field(default_factory=dict)
+    _in_use: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        """Validate the caps vector and zero the in-use ledger."""
+        caps = np.asarray(self.caps, dtype=np.int64)
+        if caps.ndim != 1 or caps.size == 0:
+            raise ValueError("caps must be a non-empty 1-D integer array")
+        if (caps < 0).any():
+            raise ValueError("caps must be non-negative")
+        self.caps = caps
+        self._in_use = np.zeros_like(caps)
+
+    @property
+    def n_hosts(self) -> int:
+        """Size of the shared host population."""
+        return int(self.caps.size)
+
+    def residual(self) -> np.ndarray:
+        """Remaining budget per host (a copy; safe to mutate)."""
+        return self.caps - self._in_use
+
+    def live_groups(self) -> list[str]:
+        """Sorted ids of every group holding a reservation."""
+        return sorted(self._usage)
+
+    def usage_of(self, group_id: str) -> np.ndarray:
+        """One live group's reserved slots per host (a copy)."""
+        if group_id not in self._usage:
+            raise UnknownGroup(group_id, self.live_groups())
+        return self._usage[group_id].copy()
+
+    def reserve(self, group_id: str, usage: np.ndarray) -> BudgetReceipt:
+        """Atomically commit ``usage`` slots per host for ``group_id``."""
+        if group_id in self._usage:
+            raise ValueError(
+                f"group {group_id!r} already holds a reservation"
+            )
+        vec = np.asarray(usage, dtype=np.int64)
+        if vec.shape != self.caps.shape:
+            raise ValueError(
+                f"usage has shape {vec.shape}, caps have {self.caps.shape}"
+            )
+        if (vec < 0).any():
+            raise ValueError("usage must be non-negative")
+        residual = self.residual()
+        over = np.flatnonzero(vec > residual)
+        if over.size:
+            worst = int(over[np.argmax((vec - residual)[over])])
+            raise BudgetExhausted(
+                f"group {group_id!r} needs {int(vec[worst])} slots on host "
+                f"{worst} but only {int(residual[worst])} of its cap "
+                f"{int(self.caps[worst])} remain "
+                f"({over.size} host(s) over budget)",
+                group=group_id,
+                host=worst,
+                requested=int(vec[worst]),
+                available=int(residual[worst]),
+                cap=int(self.caps[worst]),
+            )
+        self._usage[group_id] = vec.copy()
+        self._in_use += vec
+        slots = int(vec.sum())
+        obs.add("packing.budget.reserved.total", slots)
+        return BudgetReceipt(
+            group_id=group_id,
+            hosts=tuple(int(h) for h in np.flatnonzero(vec)),
+            slots=slots,
+        )
+
+    def release(self, group_id: str) -> BudgetReceipt:
+        """Return ``group_id``'s slots to the pool."""
+        if group_id not in self._usage:
+            raise UnknownGroup(group_id, self.live_groups())
+        vec = self._usage.pop(group_id)
+        self._in_use -= vec
+        slots = int(vec.sum())
+        obs.add("packing.budget.released.total", slots)
+        return BudgetReceipt(
+            group_id=group_id,
+            hosts=tuple(int(h) for h in np.flatnonzero(vec)),
+            slots=slots,
+        )
+
+    def stats(self) -> dict:
+        """Ledger summary: pool size, reserved slots, hottest host."""
+        return {
+            "hosts": self.n_hosts,
+            "total_cap": int(self.caps.sum()),
+            "reserved_slots": int(self._in_use.sum()),
+            "live_groups": len(self._usage),
+            "hottest_host": int(np.argmax(self._in_use))
+            if self._in_use.any()
+            else None,
+        }

@@ -1,0 +1,99 @@
+"""``packed-polar-grid``: a residual-budget-aware registered builder.
+
+Builds one group's tree against the *residual* per-host budgets left
+by already-admitted groups: effective budget per host is
+``min(residual, max_out_degree)``, the tree is a binary polar-grid
+backbone over hosts with >= 2 effective slots, and leaf-only hosts
+greedily attach to spare capacity (delegating to
+:func:`repro.core.heterogeneous.build_heterogeneous_tree`).  A binary
+backbone keeps the per-tree footprint low — at most 2 slots per
+backbone host — which is exactly what makes many trees pack into the
+same caps.
+
+Infeasible residuals raise a structured
+:class:`~repro.packing.allocator.BudgetExhausted` (not a bare
+``ValueError``) so the service admit path and fuzzer can tell a
+rejection from a bug.  The feasibility check is exact: a population of
+``n`` hosts needs ``n - 1`` child slots, all carried by hosts with
+budget >= 2, plus a source with at least 2 slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.heterogeneous import build_heterogeneous_tree
+from repro.core.registry import register_builder
+from repro.packing.allocator import BudgetExhausted
+
+__all__ = ["build_packed_polar_grid_tree"]
+
+
+@register_builder(
+    "packed-polar-grid",
+    summary="binary polar-grid backbone built against residual "
+    "shared-population budgets (multi-group packing)",
+)
+def build_packed_polar_grid_tree(
+    points,
+    source: int = 0,
+    max_out_degree: int = 6,
+    *,
+    budgets=None,
+    group: str | None = None,
+    **grid_kwargs,
+):
+    """Build one group's tree under residual per-host budgets.
+
+    :param budgets: residual out-degree budget per host, shape
+        ``(n,)``; ``None`` means a fresh population (uniform
+        ``max_out_degree``).
+    :param max_out_degree: this group's own fan-out limit; the
+        effective budget per host is ``min(budgets, max_out_degree)``.
+    :param group: optional group label, threaded into
+        :class:`BudgetExhausted` for multi-group diagnostics.
+    :raises BudgetExhausted: when the residual budgets cannot span the
+        group (source short of 2 slots, or aggregate capacity short of
+        ``n - 1`` edges).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if max_out_degree < 2:
+        raise ValueError("max_out_degree must be >= 2")
+    if budgets is None:
+        budgets = np.full(n, int(max_out_degree), dtype=np.int64)
+    else:
+        budgets = np.asarray(budgets, dtype=np.int64)
+        if budgets.shape != (n,):
+            raise ValueError(f"budgets must have shape ({n},)")
+        if (budgets < 0).any():
+            raise ValueError("budgets cannot be negative")
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+
+    effective = np.minimum(budgets, int(max_out_degree))
+    if n > 1 and effective[source] < 2:
+        raise BudgetExhausted(
+            f"source host {source} has {int(effective[source])} residual "
+            f"slot(s) but needs 2 to root a backbone",
+            group=group,
+            host=int(source),
+            requested=2,
+            available=int(effective[source]),
+            cap=int(budgets[source]),
+        )
+    # Exact aggregate feasibility: the tree needs n - 1 child slots and
+    # only hosts with >= 2 effective slots (the backbone) supply any;
+    # the backbone itself consumes F - 1 of them, leaves the rest.
+    forwarder_slots = int(effective[effective >= 2].sum())
+    if forwarder_slots < n - 1:
+        raise BudgetExhausted(
+            f"residual budgets offer {forwarder_slots} forwarding slots "
+            f"for {n - 1} required edges; the group does not fit",
+            group=group,
+            host=None,
+            requested=n - 1,
+            available=forwarder_slots,
+            cap=None,
+        )
+    return build_heterogeneous_tree(pts, effective, source, **grid_kwargs)

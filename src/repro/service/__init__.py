@@ -37,11 +37,15 @@ from repro.service.client import (
     ServiceUnavailable,
 )
 from repro.service.core import (
+    BudgetExhausted,
     BuildRequest,
     BuildResponse,
     DeadlineExceeded,
+    PackingUnavailable,
+    ServiceError,
     ServiceOverload,
     TreeBuildService,
+    UnknownGroup,
     UnknownUpdateKey,
     UpdateResponse,
     UpdateUnsupported,
@@ -49,24 +53,31 @@ from repro.service.core import (
 )
 from repro.service.fleet import ShardFleet
 from repro.service.server import DEFAULT_PORT, BackgroundServer, run_server
+from repro.service.session import GroupSession, SessionHandle
 from repro.service.shard import HashRing, NoShardAvailable, ShardRouter
 
 __all__ = [
+    "BudgetExhausted",
     "BuildCache",
     "BuildRequest",
     "BuildResponse",
     "BackgroundServer",
     "DEFAULT_PORT",
     "DeadlineExceeded",
+    "GroupSession",
     "HashRing",
     "NoShardAvailable",
+    "PackingUnavailable",
     "ServiceClient",
     "ServiceClientError",
+    "ServiceError",
     "ServiceOverload",
     "ServiceUnavailable",
+    "SessionHandle",
     "ShardFleet",
     "ShardRouter",
     "TreeBuildService",
+    "UnknownGroup",
     "UnknownUpdateKey",
     "UpdateResponse",
     "UpdateUnsupported",

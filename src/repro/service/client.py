@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import json
 import socket
+import warnings
 
 import numpy as np
 
 from repro.core.tree import MulticastTree
 from repro.service.core import WorkloadSpec, workload_to_payload
 from repro.service.server import DEFAULT_PORT
+from repro.service.session import SessionHandle
 
 __all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailable"]
 
@@ -65,13 +67,18 @@ class ServiceClientError(RuntimeError):
     """A structured error response from the service.
 
     ``error`` is the server's error object; ``error_type`` its
-    ``"type"`` field, for branching without digging into the dict.
+    ``"type"`` field, for branching without digging into the dict;
+    ``fields`` the machine-readable detail sub-object of the uniform
+    2.x encoding (``{"error": {"type", "message", "fields"}}`` —
+    empty for pre-2.x servers, whose flat extras still appear in
+    ``error`` directly).
     """
 
     def __init__(self, error: dict):
         """Wrap the server's error object."""
         self.error = dict(error)
         self.error_type = self.error.get("type", "Error")
+        self.fields = dict(self.error.get("fields", {}))
         super().__init__(
             f"{self.error_type}: {self.error.get('message', 'request failed')}"
         )
@@ -108,6 +115,7 @@ class ServiceClient:
         except OSError as exc:
             raise ServiceUnavailable(host, port, f"connect failed: {exc}") from exc
         self._file = self._sock.makefile("rwb")
+        self._sessions: dict[str, SessionHandle] = {}
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -159,8 +167,19 @@ class ServiceClient:
         Exactly one of ``points`` (array-like) / ``workload``
         (:class:`~repro.service.core.WorkloadSpec` or plain dict) must
         be given — the same contract as
-        :class:`~repro.service.core.BuildRequest`.
+        :class:`~repro.service.core.BuildRequest`. Passing a
+        :class:`~repro.service.session.SessionHandle` as the first
+        argument instead fetches that admitted group's tree (a warm
+        cache hit server-side); raw sessionless specs remain the
+        canonical path and never warn.
         """
+        if isinstance(points, SessionHandle):
+            payload = {"op": "build", "session": points.group_id}
+            if deadline is not None:
+                payload["deadline"] = deadline
+            if include_tree:
+                payload["include_tree"] = True
+            return self._call(payload)
         payload: dict = {
             "op": "build",
             "source": source,
@@ -197,7 +216,7 @@ class ServiceClient:
 
     def update(
         self,
-        key: str,
+        key: str | SessionHandle,
         events: list[dict],
         deadline: float | None = None,
         include_tree: bool = False,
@@ -209,13 +228,114 @@ class ServiceClient:
         the reply carries the mutated tree's new content address under
         ``"key"`` (the submitted key survives as ``"old_key"``) plus the
         engine's per-op counters.
+
+        ``key`` may be a :class:`~repro.service.session.SessionHandle`,
+        whose ``key`` is then re-pointed to the mutated tree's new
+        address. Addressing a session-owned entry by its raw key string
+        still works but earns a ``DeprecationWarning`` — the handle is
+        the 2.x way (sessionless raw keys stay canonical and silent).
         """
+        handle = None
+        if isinstance(key, SessionHandle):
+            handle, key = key, key.key
+        elif any(
+            h.live and h.key == key for h in self._sessions.values()
+        ):
+            warnings.warn(
+                "updating a session-owned entry by raw key is deprecated; "
+                "pass the SessionHandle returned by admit()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         payload: dict = {"op": "update", "key": key, "events": list(events)}
         if deadline is not None:
             payload["deadline"] = deadline
         if include_tree:
             payload["include_tree"] = True
-        return self._call(payload)
+        reply = self._call(payload)
+        if handle is not None:
+            handle.key = reply["key"]
+        return reply
+
+    # -- sessions ----------------------------------------------------
+
+    def admit(
+        self,
+        group: str,
+        members=None,
+        source: int = 0,
+        builder: str = "packed-polar-grid",
+        params: dict | None = None,
+        deadline: float | None = None,
+    ) -> SessionHandle:
+        """Admit one whole group; returns its first-class handle.
+
+        ``members`` are indices into the *server's* shared host
+        population (``None`` = every host), ``source`` the member that
+        roots the tree. On success the returned
+        :class:`~repro.service.session.SessionHandle` carries the
+        group id, the admitted spec, the tree's content key, and the
+        budget receipt. A group that does not fit raises
+        :class:`ServiceClientError` with ``error_type ==
+        "BudgetExhausted"`` and the gap detail in ``fields``.
+        """
+        payload: dict = {
+            "op": "admit",
+            "group": group,
+            "source": source,
+            "builder": builder,
+            "params": dict(params or {}),
+        }
+        if members is not None:
+            payload["members"] = [int(m) for m in members]
+        if deadline is not None:
+            payload["deadline"] = deadline
+        reply = self._call(payload)
+        sess = reply["session"]
+        handle = SessionHandle(
+            group_id=sess["group"],
+            spec={
+                "members": list(sess["members"]),
+                "source": sess["source"],
+                "builder": sess["builder"],
+                "params": dict(params or {}),
+            },
+            key=sess["key"],
+            receipt=dict(sess["receipt"]),
+            radius=float(sess["radius"]),
+        )
+        self._sessions[handle.group_id] = handle
+        return handle
+
+    def evict(self, session: SessionHandle | str) -> dict:
+        """End a live session, releasing its budget slots server-side.
+
+        Pass the :class:`~repro.service.session.SessionHandle` returned
+        by :meth:`admit`; a raw group-id string still works but earns a
+        ``DeprecationWarning``. Returns the server's final session
+        summary; the handle's ``live`` flag flips to ``False``.
+        """
+        if isinstance(session, SessionHandle):
+            group = session.group_id
+        else:
+            warnings.warn(
+                "passing a raw group id to evict() is deprecated; pass "
+                "the SessionHandle returned by admit()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            group = session
+        reply = self._call({"op": "evict", "group": group})
+        handle = self._sessions.pop(group, None)
+        if handle is None and isinstance(session, SessionHandle):
+            handle = session
+        if handle is not None:
+            handle.live = False
+        return reply["session"]
+
+    def sessions(self) -> list[dict]:
+        """The server's live group sessions (JSON summaries)."""
+        return self._call({"op": "sessions"})["sessions"]
 
     def stats(self) -> dict:
         """Service + cache counters."""

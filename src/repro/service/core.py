@@ -36,6 +36,15 @@ to it); the response carries the new key plus the engine's per-op
 counters. Only full-mode polar-grid entries (those carrying their grid)
 support in-place mutation — anything else raises
 :class:`UpdateUnsupported`.
+
+**Sessions.** Constructed with a shared ``population`` (and per-host
+``host_caps``), the service also runs multi-group admission: ``admit``
+builds one group's tree against the *residual* budgets other groups
+left in a shared :class:`~repro.packing.allocator
+.DegreeBudgetAllocator` and atomically reserves the tree's per-host
+out-degrees; ``evict`` releases them. A group that does not fit is
+rejected with a structured
+:class:`~repro.packing.allocator.BudgetExhausted` and no budget moves.
 """
 
 from __future__ import annotations
@@ -51,7 +60,18 @@ import numpy as np
 import repro.obs as obs
 from repro.core.builder import BuildResult
 from repro.core.registry import build
+from repro.packing.allocator import BudgetExhausted, DegreeBudgetAllocator
 from repro.service.cache import BuildCache, canonical_key
+from repro.service.errors import (
+    DeadlineExceeded,
+    PackingUnavailable,
+    ServiceError,
+    ServiceOverload,
+    UnknownGroup,
+    UnknownUpdateKey,
+    UpdateUnsupported,
+)
+from repro.service.session import GroupSession
 from repro.workloads.generators import (
     clustered_disk,
     nonuniform_disk,
@@ -64,82 +84,17 @@ __all__ = [
     "BuildRequest",
     "BuildResponse",
     "UpdateResponse",
+    "ServiceError",
     "ServiceOverload",
     "DeadlineExceeded",
     "UnknownUpdateKey",
     "UpdateUnsupported",
+    "UnknownGroup",
+    "PackingUnavailable",
+    "BudgetExhausted",
     "TreeBuildService",
     "WORKLOAD_KINDS",
 ]
-
-
-class ServiceOverload(RuntimeError):
-    """Admission control rejected a request: too many builds in flight.
-
-    Carries ``pending`` (distinct builds in flight) and ``limit``
-    (``max_pending``) so clients can implement informed backoff instead
-    of parsing a message string.
-    """
-
-    def __init__(self, pending: int, limit: int):
-        """Record the observed load and the configured bound."""
-        self.pending = pending
-        self.limit = limit
-        super().__init__(
-            f"service overloaded: {pending} builds in flight "
-            f"(limit {limit}); retry later"
-        )
-
-
-class DeadlineExceeded(TimeoutError):
-    """A request's deadline expired before its build finished.
-
-    Carries the request ``key`` and the ``deadline`` in seconds. The
-    build itself is not abandoned — its result is cached on completion,
-    so a retry of the same request typically hits.
-    """
-
-    def __init__(self, key: str, deadline: float):
-        """Record which request missed which deadline."""
-        self.key = key
-        self.deadline = deadline
-        super().__init__(
-            f"build {key[:12]}… missed its {deadline}s deadline "
-            "(still building; a retry may hit the cache)"
-        )
-
-
-class UnknownUpdateKey(RuntimeError):
-    """An update referenced a key with no live cache entry.
-
-    Carries the missing ``key``. The fix is client-side: build (or
-    re-build) first, then update the key the build response returned.
-    """
-
-    def __init__(self, key: str):
-        """Record the key that missed."""
-        self.key = key
-        super().__init__(
-            f"no cached tree under key {key[:12]}…; build it first, then "
-            "update the key the build response returns"
-        )
-
-
-class UpdateUnsupported(RuntimeError):
-    """The cached entry cannot be mutated in place.
-
-    Carries the ``key`` and a ``reason``: incremental maintenance needs
-    a full-mode polar-grid build (one carrying its grid and a fan-out
-    budget of at least ``2^d + 2``).
-    """
-
-    def __init__(self, key: str, reason: str):
-        """Record which entry was rejected and why."""
-        self.key = key
-        self.reason = reason
-        super().__init__(
-            f"cached tree {key[:12]}… cannot be updated in place: {reason}"
-        )
 
 
 def _workload_disk(n, seed, dim):
@@ -394,8 +349,19 @@ class TreeBuildService:
         max_pending: int = 32,
         policy=None,
         max_workers: int | None = None,
+        population: np.ndarray | None = None,
+        host_caps=None,
     ):
-        """A fresh service with no in-flight builds."""
+        """A fresh service with no in-flight builds.
+
+        ``population`` (an ``(N, d)`` coordinate array) plus
+        ``host_caps`` (scalar or ``(N,)`` per-host out-degree caps)
+        turn on multi-group packing: :meth:`admit` / :meth:`evict`
+        manage whole-group sessions against a shared
+        :class:`~repro.packing.allocator.DegreeBudgetAllocator`.
+        Without a population, those ops raise
+        :class:`PackingUnavailable`.
+        """
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.cache = cache if cache is not None else BuildCache()
@@ -412,6 +378,25 @@ class TreeBuildService:
         self.deadline_expired = 0
         self.updates = 0
         self._update_serial = 0
+        self.population: np.ndarray | None = None
+        self.packing: DegreeBudgetAllocator | None = None
+        self._sessions: dict[str, GroupSession] = {}
+        self.sessions_admitted = 0
+        self.sessions_rejected = 0
+        self.sessions_evicted = 0
+        if population is not None:
+            pop = np.ascontiguousarray(
+                np.asarray(population, dtype=np.float64)
+            )
+            if pop.ndim != 2 or pop.shape[0] < 1:
+                raise ValueError("population must be an (N, d) array")
+            caps = host_caps if host_caps is not None else 8
+            if np.isscalar(caps):
+                caps = np.full(pop.shape[0], int(caps), dtype=np.int64)
+            self.population = pop
+            self.packing = DegreeBudgetAllocator(caps)
+        elif host_caps is not None:
+            raise ValueError("host_caps requires a population= array")
 
     # -- public API --------------------------------------------------
 
@@ -532,9 +517,176 @@ class TreeBuildService:
             service_seconds=time.perf_counter() - started,
         )
 
+    # -- multi-group sessions ----------------------------------------
+
+    async def admit(
+        self,
+        group_id: str,
+        members=None,
+        source: int = 0,
+        builder: str = "packed-polar-grid",
+        params: dict | None = None,
+        deadline: float | None = None,
+    ) -> tuple[GroupSession, BuildResponse]:
+        """Admit one whole group against the shared population.
+
+        Builds the group's tree over ``population[members]`` (rooted at
+        population index ``source``, which must be a member), then
+        atomically reserves the tree's per-host out-degrees in the
+        shared budget allocator. Either both succeed and the group gets
+        a live :class:`~repro.service.session.GroupSession`, or a
+        structured :class:`BudgetExhausted` rejects it and no budget
+        moves. The packed builder sees the allocator's *residual*
+        budgets, so it shapes each tree around what earlier groups
+        left; any other registered builder is admitted blind and only
+        checked at reservation time (the "naive" strategy the packing
+        bench compares against).
+
+        :raises PackingUnavailable: the service has no population.
+        :raises BudgetExhausted: the group does not fit the residual
+            budgets (build-time for the packed builder, reserve-time
+            for any builder).
+        :raises ValueError: bad group id / members / source, or a
+            group id that already has a live session.
+        """
+        if self.packing is None or self.population is None:
+            raise PackingUnavailable()
+        if not isinstance(group_id, str) or not group_id:
+            raise ValueError("group_id must be a non-empty string")
+        if group_id in self._sessions:
+            raise ValueError(
+                f"group {group_id!r} already has a live session; "
+                "evict it first"
+            )
+        n = self.population.shape[0]
+        if members is None:
+            member_idx = np.arange(n, dtype=np.int64)
+        else:
+            member_idx = np.unique(np.asarray(members, dtype=np.int64))
+            if member_idx.size == 0:
+                raise ValueError("members must name at least one host")
+            if member_idx[0] < 0 or member_idx[-1] >= n:
+                raise ValueError(
+                    f"members must be population indices in [0, {n})"
+                )
+        source = int(source)
+        local = np.flatnonzero(member_idx == source)
+        if local.size == 0:
+            raise ValueError(
+                f"source {source} is not a member of group {group_id!r}"
+            )
+        local_source = int(local[0])
+        params = dict(params or {})
+        if builder == "packed-polar-grid":
+            params.setdefault(
+                "budgets", self.packing.residual()[member_idx].tolist()
+            )
+        request = BuildRequest(
+            points=self.population[member_idx],
+            source=local_source,
+            builder=builder,
+            params=params,
+            deadline=deadline,
+        )
+        try:
+            response = await self.submit(request)
+        except BudgetExhausted as exc:
+            # The builder speaks member-local indices and residual
+            # budgets; translate to population indices and true caps
+            # before the rejection crosses the wire.
+            if exc.host is not None:
+                exc.host = int(member_idx[exc.host])
+                exc.fields["host"] = exc.host
+                exc.cap = int(self.packing.caps[exc.host])
+                exc.fields["cap"] = exc.cap
+            exc.group = group_id
+            exc.fields["group"] = group_id
+            self._reject_session()
+            raise
+        usage = np.zeros(n, dtype=np.int64)
+        usage[member_idx] = response.result.tree.out_degrees()
+        try:
+            receipt = self.packing.reserve(group_id, usage)
+        except BudgetExhausted:
+            self._reject_session()
+            raise
+        session = GroupSession(
+            group_id=group_id,
+            members=member_idx,
+            source=source,
+            builder=builder,
+            params=params,
+            key=response.key,
+            usage=usage,
+            radius=float(response.result.tree.radius()),
+            receipt=receipt,
+        )
+        self._sessions[group_id] = session
+        self.sessions_admitted += 1
+        obs.add("service.sessions.admitted.total")
+        return session, response
+
+    def evict(self, group_id: str) -> GroupSession:
+        """End a live session, returning its budget slots to the pool.
+
+        The session's cache entries stay warm (the cache addresses
+        content, and a re-admitted identical group will hit them);
+        only the budget reservation is released.
+
+        :raises PackingUnavailable: the service has no population.
+        :raises UnknownGroup: no live session under ``group_id``.
+        """
+        if self.packing is None:
+            raise PackingUnavailable()
+        if group_id not in self._sessions:
+            raise UnknownGroup(group_id, list(self._sessions))
+        session = self._sessions.pop(group_id)
+        self.packing.release(group_id)
+        self.sessions_evicted += 1
+        obs.add("service.sessions.evicted.total")
+        return session
+
+    def sessions(self) -> list[GroupSession]:
+        """The live sessions, in admission order."""
+        return list(self._sessions.values())
+
+    def get_session(self, group_id: str) -> GroupSession:
+        """Look one live session up by group id.
+
+        :raises UnknownGroup: no live session under ``group_id``.
+        """
+        if group_id not in self._sessions:
+            raise UnknownGroup(group_id, list(self._sessions))
+        return self._sessions[group_id]
+
+    async def fetch_session(
+        self, group_id: str, deadline: float | None = None
+    ) -> tuple[GroupSession, BuildResponse]:
+        """Re-serve a live session's tree (normally a warm cache hit).
+
+        :raises UnknownGroup: no live session under ``group_id``.
+        """
+        session = self.get_session(group_id)
+        local_source = int(
+            np.flatnonzero(session.members == session.source)[0]
+        )
+        request = BuildRequest(
+            points=self.population[session.members],
+            source=local_source,
+            builder=session.builder,
+            params=session.params,
+            deadline=deadline,
+        )
+        response = await self.submit(request)
+        return session, response
+
+    def _reject_session(self) -> None:
+        self.sessions_rejected += 1
+        obs.add("service.sessions.rejected.total")
+
     def stats(self) -> dict:
         """JSON-safe service counters plus the cache's own stats."""
-        return {
+        payload = {
             "requests": self.requests,
             "builds": self.builds,
             "coalesced": self.coalesced,
@@ -544,7 +696,16 @@ class TreeBuildService:
             "inflight": len(self._inflight),
             "max_pending": self.max_pending,
             "cache": self.cache.stats(),
+            "sessions": {
+                "live": len(self._sessions),
+                "admitted": self.sessions_admitted,
+                "rejected": self.sessions_rejected,
+                "evicted": self.sessions_evicted,
+            },
         }
+        if self.packing is not None:
+            payload["packing"] = self.packing.stats()
+        return payload
 
     def close(self) -> None:
         """Shut the build thread pool down (waits for running builds)."""

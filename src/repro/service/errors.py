@@ -1,0 +1,28 @@
+"""Public home of the unified service error hierarchy.
+
+The classes live in the dependency-free leaf
+:mod:`repro._service_errors` so that :mod:`repro.packing` (whose
+:class:`~repro.packing.allocator.BudgetExhausted` subclasses
+:class:`ServiceError`) can import them without initialising the whole
+service package — import them from here in application code.
+"""
+
+from repro._service_errors import (
+    DeadlineExceeded,
+    PackingUnavailable,
+    ServiceError,
+    ServiceOverload,
+    UnknownGroup,
+    UnknownUpdateKey,
+    UpdateUnsupported,
+)
+
+__all__ = [
+    "ServiceError",
+    "ServiceOverload",
+    "DeadlineExceeded",
+    "UnknownUpdateKey",
+    "UpdateUnsupported",
+    "UnknownGroup",
+    "PackingUnavailable",
+]

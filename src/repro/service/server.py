@@ -11,18 +11,33 @@ a plain TCP connection (``python -m repro serve`` to run one). Ops:
   cache entry in place through the cell-local incremental engine
   instead of invalidating it; answers with the mutated tree's new
   content address (``include_tree`` works here too);
+* ``{"op": "admit", "group": ..., "members": [...], "source": ...,
+  "builder"?, "params"?}`` — admit a whole multicast group against the
+  service's shared host population (build + atomic budget
+  reservation); answers the session summary plus the build payload;
+* ``{"op": "evict", "group": ...}`` — end a live session and return
+  its budget slots to the pool;
+* ``{"op": "sessions"}`` — the live group sessions;
 * ``{"op": "stats"}`` — service + cache counters;
 * ``{"op": "builders"}`` — registry introspection (name, summary,
   accepted params of every registered builder);
 * ``{"op": "ping"}`` — liveness;
 * ``{"op": "shutdown"}`` — stop the server after responding.
 
-Every failure is a structured error object, never a dropped connection:
-``{"ok": false, "error": {"type": "ServiceOverload", "pending": 32,
-"limit": 32, "message": ...}}`` — the ``type`` names the exception
-class and the extra fields mirror its structured attributes
-(``known`` builders, ``rejected``/``accepted`` params, ``deadline``),
-so clients branch on data instead of parsing prose.
+Every failure is a structured error object, never a dropped
+connection, and every error encodes uniformly::
+
+    {"ok": false, "error": {"type": "BudgetExhausted",
+                            "message": "...",
+                            "fields": {"group": ..., "host": ...}}}
+
+``type`` names the :class:`~repro.service.errors.ServiceError`
+subclass (or plain exception class) and ``fields`` carries its
+machine-readable attributes (``pending``/``limit``, ``deadline``,
+``known`` builders, ``host``/``requested``/``available``...), so
+clients branch on data instead of parsing prose. For 1.x clients the
+fields are *also* mirrored at the top level of the error object;
+new code should read ``error["fields"]``.
 """
 
 from __future__ import annotations
@@ -38,11 +53,8 @@ from repro.core.registry import (
     builder_specs,
 )
 from repro.service.core import (
-    DeadlineExceeded,
-    ServiceOverload,
+    ServiceError,
     TreeBuildService,
-    UnknownUpdateKey,
-    UpdateUnsupported,
     request_from_payload,
 )
 
@@ -52,24 +64,34 @@ DEFAULT_PORT = 7464
 
 
 def error_payload(exc: BaseException) -> dict:
-    """The structured wire form of a request failure."""
-    payload = {"type": type(exc).__name__, "message": str(exc)}
-    if isinstance(exc, ServiceOverload):
-        payload.update(pending=exc.pending, limit=exc.limit)
-    elif isinstance(exc, DeadlineExceeded):
-        payload.update(key=exc.key, deadline=exc.deadline)
-    elif isinstance(exc, UnknownUpdateKey):
-        payload.update(key=exc.key)
-    elif isinstance(exc, UpdateUnsupported):
-        payload.update(key=exc.key, reason=exc.reason)
-    elif isinstance(exc, UnknownBuilderError):
-        payload.update(name=exc.name, known=list(exc.known))
-    elif isinstance(exc, BuilderParamError):
-        payload.update(
-            builder=exc.builder,
-            rejected=list(exc.rejected),
-            accepted=list(exc.accepted),
-        )
+    """The structured wire form of a request failure.
+
+    Uniform envelope: ``{"type", "message", "fields": {...}}``.
+    :class:`~repro.service.errors.ServiceError` subclasses carry their
+    own fields; registry errors are adapted into the same shape. The
+    fields are mirrored at the top level too so pre-2.x clients that
+    read ``error["pending"]`` keep working.
+    """
+    if isinstance(exc, ServiceError):
+        payload = exc.to_wire()
+    else:
+        fields = {}
+        if isinstance(exc, UnknownBuilderError):
+            fields = {"name": exc.name, "known": list(exc.known)}
+        elif isinstance(exc, BuilderParamError):
+            fields = {
+                "builder": exc.builder,
+                "rejected": list(exc.rejected),
+                "accepted": list(exc.accepted),
+            }
+        payload = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "fields": fields,
+        }
+    # 1.x mirror: flatten fields into the error object itself.
+    for name, value in payload["fields"].items():
+        payload.setdefault(name, value)
     return payload
 
 
@@ -95,9 +117,21 @@ async def _handle_line(service: TreeBuildService, stop: asyncio.Event, line):
             stop.set()
             return {"ok": True, "op": "shutdown"}
         if op == "build":
-            request = request_from_payload(payload)
-            response = await service.submit(request)
             include_tree = bool(payload.get("include_tree", False))
+            if "session" in payload:
+                known = {"op", "session", "deadline", "include_tree"}
+                unknown = set(payload) - known
+                if unknown:
+                    raise ValueError(
+                        "unknown session-build field(s): "
+                        + ", ".join(sorted(unknown))
+                    )
+                _, response = await service.fetch_session(
+                    payload["session"], deadline=payload.get("deadline")
+                )
+            else:
+                request = request_from_payload(payload)
+                response = await service.submit(request)
             return {"ok": True, **response.to_dict(include_tree=include_tree)}
         if op == "update":
             known = {"op", "key", "events", "deadline", "include_tree"}
@@ -114,6 +148,53 @@ async def _handle_line(service: TreeBuildService, stop: asyncio.Event, line):
             )
             include_tree = bool(payload.get("include_tree", False))
             return {"ok": True, **response.to_dict(include_tree=include_tree)}
+        if op == "admit":
+            known = {
+                "op",
+                "group",
+                "members",
+                "source",
+                "builder",
+                "params",
+                "deadline",
+                "include_tree",
+            }
+            unknown = set(payload) - known
+            if unknown:
+                raise ValueError(
+                    "unknown admit field(s): " + ", ".join(sorted(unknown))
+                )
+            session, response = await service.admit(
+                payload.get("group"),
+                members=payload.get("members"),
+                source=int(payload.get("source", 0)),
+                builder=payload.get("builder", "packed-polar-grid"),
+                params=payload.get("params"),
+                deadline=payload.get("deadline"),
+            )
+            include_tree = bool(payload.get("include_tree", False))
+            return {
+                "ok": True,
+                "session": session.to_dict(),
+                "build": response.to_dict(include_tree=include_tree),
+            }
+        if op == "evict":
+            known = {"op", "group"}
+            unknown = set(payload) - known
+            if unknown:
+                raise ValueError(
+                    "unknown evict field(s): " + ", ".join(sorted(unknown))
+                )
+            group = payload.get("group")
+            if not isinstance(group, str) or not group:
+                raise ValueError("an evict needs the group id to end")
+            session = service.evict(group)
+            return {"ok": True, "session": session.to_dict()}
+        if op == "sessions":
+            return {
+                "ok": True,
+                "sessions": [s.to_dict() for s in service.sessions()],
+            }
         return {
             "ok": False,
             "error": {"type": "UnknownOp", "message": f"unknown op {op!r}"},

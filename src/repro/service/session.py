@@ -1,0 +1,110 @@
+"""First-class multicast-group sessions for the tree-build service.
+
+Two views of one admitted group:
+
+* :class:`GroupSession` — the **server-side** record the
+  :class:`~repro.service.core.TreeBuildService` keeps per live group:
+  which population hosts belong to it, the content address of its
+  tree, the usage vector it reserved, and the budget receipt.
+* :class:`SessionHandle` — the **client-side** handle
+  :meth:`~repro.service.client.ServiceClient.admit` returns: the
+  group id, the spec that admitted it, the live content key (updated
+  by ``update``), and the receipt summary.  Handles are the 2.x way to
+  address session-owned state — passing raw group-id strings or raw
+  keys for session state still works but earns a
+  ``DeprecationWarning`` (see docs/API.md, "Migrating to session
+  handles").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.packing.allocator import BudgetReceipt
+
+__all__ = ["GroupSession", "SessionHandle"]
+
+
+@dataclass
+class GroupSession:
+    """Server-side record of one admitted group.
+
+    ``members`` / ``source`` are *population* indices; ``usage`` is the
+    population-shaped out-degree vector this session holds reserved in
+    the :class:`~repro.packing.allocator.DegreeBudgetAllocator`.
+    """
+
+    group_id: str
+    members: np.ndarray
+    source: int
+    builder: str
+    params: dict
+    key: str
+    usage: np.ndarray
+    radius: float
+    receipt: BudgetReceipt
+    admitted_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def size(self) -> int:
+        """Number of member hosts in the group."""
+        return int(self.members.size)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (the ``sessions`` op / admit wire reply)."""
+        return {
+            "group": self.group_id,
+            "size": self.size,
+            "members": [int(m) for m in self.members],
+            "source": int(self.source),
+            "builder": self.builder,
+            "key": self.key,
+            "radius": float(self.radius),
+            "slots": int(self.usage.sum()),
+            "receipt": self.receipt.to_dict(),
+        }
+
+
+@dataclass
+class SessionHandle:
+    """Client-side handle for an admitted group session.
+
+    ``spec`` records what was sent to ``admit`` (members, source,
+    builder, params); ``key`` is the session tree's current content
+    address and is re-pointed when the handle is passed to ``update``.
+    ``live`` flips to ``False`` after ``evict``.
+    """
+
+    group_id: str
+    spec: dict
+    key: str
+    receipt: dict
+    radius: float = 0.0
+    live: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready handle (inverse of :meth:`from_dict`)."""
+        return {
+            "group": self.group_id,
+            "spec": dict(self.spec),
+            "key": self.key,
+            "receipt": dict(self.receipt),
+            "radius": float(self.radius),
+            "live": self.live,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> SessionHandle:
+        """Rebuild a handle from its :meth:`to_dict` payload."""
+        return cls(
+            group_id=payload["group"],
+            spec=dict(payload.get("spec", {})),
+            key=payload["key"],
+            receipt=dict(payload.get("receipt", {})),
+            radius=float(payload.get("radius", 0.0)),
+            live=bool(payload.get("live", True)),
+        )

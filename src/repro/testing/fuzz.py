@@ -28,6 +28,17 @@ from-scratch build over the same membership. Failing traces shrink to
 the shortest failing event prefix first, then drop earlier events
 chunk-wise with the same delta-debugging loop.
 
+``--mode packing`` fuzzes the multi-group packing invariant instead:
+seeded admit/evict traces drive a shared
+:class:`~repro.packing.allocator.DegreeBudgetAllocator` and the
+``packed-polar-grid`` builder; after every event, every host's summed
+out-degree across live groups must stay within its cap
+(:func:`repro.analysis.oracle.check_packing`). Structured
+``BudgetExhausted`` rejections are *expected* on over-subscribed
+admits — only a builder/ledger disagreement or an aggregate-cap breach
+is a finding. Failing traces shrink exactly like churn traces (the
+final event is always kept).
+
 Exit codes: :data:`EXIT_CLEAN` (0) for a clean run, :data:`EXIT_CRASH`
 (3) when at least one violation was found (distinct from argparse's 2
 and from an ordinary crash of the harness itself, which propagates as a
@@ -59,12 +70,16 @@ __all__ = [
     "EXIT_CRASH",
     "FuzzInstance",
     "ChurnInstance",
+    "PackingInstance",
     "instance_from_seed",
     "churn_instance_from_seed",
+    "packing_instance_from_seed",
     "check_instance",
     "check_churn_instance",
+    "check_packing_instance",
     "shrink_instance",
     "shrink_churn_instance",
+    "shrink_packing_instance",
     "run_fuzz",
     "main",
 ]
@@ -423,6 +438,280 @@ def _write_churn_artifact(
 
 
 # ----------------------------------------------------------------------
+# multi-group packing corpus (--mode packing)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackingInstance:
+    """One admit/evict-sequence corpus entry: ``(base_seed, index)``.
+
+    ``points`` is the shared host population, ``cap`` the uniform
+    per-host out-degree cap, and ``events`` a list of plain dicts —
+    ``{"action": "admit", "group": ..., "members": [...], "source":
+    ..., "degree": ...}`` / ``{"action": "evict", "group": ...}`` — so
+    crash artifacts serialise the trace untouched.
+    """
+
+    base_seed: int
+    index: int
+    points: np.ndarray
+    cap: int
+    events: tuple
+
+    @property
+    def description(self) -> str:
+        n, dim = self.points.shape
+        return (
+            f"base_seed={self.base_seed} index={self.index} "
+            f"hosts={n} dim={dim} cap={self.cap} events={len(self.events)}"
+        )
+
+
+def packing_instance_from_seed(base_seed: int, index: int) -> PackingInstance:
+    """Materialise packing-trace ``index`` of the ``base_seed`` stream.
+
+    Tagged with a third seed component (2) so the packing corpus never
+    overlaps the builder (no tag) or churn (1) corpora of the same base
+    seed. Traces over-subscribe deliberately: group sizes up to the
+    whole population and caps as low as 3, so many admits are rejected
+    — a rejection is *expected* behaviour, not a finding.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence((base_seed, index, 2)))
+    dim = int(rng.choice([2, 2, 3]))
+    n_hosts = int(rng.integers(12, 48))
+    cap = int(rng.choice([3, 4, 6, 10]))
+    points = rng.uniform(-1.0, 1.0, size=(n_hosts, dim))
+    n_events = int(rng.integers(8, 40))
+    admit_prob = float(rng.choice([0.5, 0.65, 0.8]))
+
+    events = []
+    groups: list[str] = []
+    for _ in range(n_events):
+        if not groups or rng.random() < admit_prob:
+            size = int(rng.integers(3, n_hosts + 1))
+            members = np.sort(
+                rng.choice(n_hosts, size=size, replace=False)
+            ).tolist()
+            group = f"g{len(groups)}"
+            groups.append(group)
+            events.append(
+                {
+                    "action": "admit",
+                    "group": group,
+                    "members": [int(m) for m in members],
+                    "source": int(members[int(rng.integers(0, size))]),
+                    "degree": int(rng.choice([4, 6, 10])),
+                }
+            )
+        else:
+            # May target an already-evicted (or rejected) group; such
+            # events are skipped at replay, like churn's absent leaves.
+            events.append(
+                {
+                    "action": "evict",
+                    "group": groups[int(rng.integers(0, len(groups)))],
+                }
+            )
+    return PackingInstance(
+        base_seed=int(base_seed),
+        index=int(index),
+        points=points,
+        cap=cap,
+        events=tuple(events),
+    )
+
+
+def check_packing_instance(points, cap: int, events) -> list[dict]:
+    """Replay one admit/evict trace against a shared budget ledger.
+
+    Each admit builds the group's tree with the ``packed-polar-grid``
+    builder against the allocator's residual budgets, then reserves the
+    tree's out-degrees. A structured ``BudgetExhausted`` from the
+    *builder* is an expected rejection (skipped); a ``BudgetExhausted``
+    from the *ledger* after the builder claimed the group fits is a
+    real finding (``RESERVE_MISMATCH``) — the builder and the
+    allocator disagree about feasibility. After every event the full
+    live set must pass :func:`repro.analysis.oracle.check_packing`,
+    and no host's residual may go negative. Violations carry the
+    0-based ``event`` index that exposed them.
+    """
+    from repro.analysis.oracle import check_packing
+    from repro.core.registry import build
+    from repro.packing import BudgetExhausted, DegreeBudgetAllocator
+
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    allocator = DegreeBudgetAllocator(np.full(n, int(cap), dtype=np.int64))
+    live: dict[str, tuple] = {}  # group -> (tree, members, degree)
+    violations: list[dict] = []
+    for i, event in enumerate(events):
+        group = event["group"]
+        if event["action"] == "admit":
+            if group in live:
+                continue  # infeasible after shrinking; skip like churn
+            members = np.asarray(event["members"], dtype=np.int64)
+            try:
+                local_source = int(
+                    np.flatnonzero(members == int(event["source"]))[0]
+                )
+                out = build(
+                    points[members],
+                    local_source,
+                    "packed-polar-grid",
+                    max_out_degree=int(event["degree"]),
+                    budgets=allocator.residual()[members],
+                    group=group,
+                )
+            except BudgetExhausted:
+                continue  # an over-subscribed admit SHOULD be rejected
+            except Exception:  # noqa: BLE001 - an event crash IS a finding
+                violations.append(
+                    {
+                        "code": "EVENT_ERROR",
+                        "message": traceback.format_exc(limit=6),
+                        "nodes": [],
+                        "event": i,
+                    }
+                )
+                return violations
+            usage = np.zeros(n, dtype=np.int64)
+            usage[members] = out.tree.out_degrees()
+            try:
+                allocator.reserve(group, usage)
+            except BudgetExhausted as exc:
+                violations.append(
+                    {
+                        "code": "RESERVE_MISMATCH",
+                        "message": (
+                            "builder accepted the group under residual "
+                            f"budgets but the ledger rejected it: {exc}"
+                        ),
+                        "nodes": [] if exc.host is None else [exc.host],
+                        "event": i,
+                    }
+                )
+                return violations
+            live[group] = (out.tree, members, int(event["degree"]))
+        else:
+            if group not in live:
+                continue
+            del live[group]
+            allocator.release(group)
+
+        if (allocator.residual() < 0).any():
+            bad = np.flatnonzero(allocator.residual() < 0)
+            violations.append(
+                {
+                    "code": "NEGATIVE_RESIDUAL",
+                    "message": f"{bad.size} host(s) went past their cap",
+                    "nodes": bad.tolist(),
+                    "event": i,
+                }
+            )
+            return violations
+        report = check_packing(
+            [t for t, _, _ in live.values()],
+            [m for _, m, _ in live.values()],
+            cap,
+            n_hosts=n,
+            d_maxes=[d for _, _, d in live.values()],
+            groups=list(live),
+        )
+        for v in report.to_dict()["violations"]:
+            violations.append({**v, "event": i})
+        if violations:
+            return violations  # later events replay corrupted state
+    return violations
+
+
+def shrink_packing_instance(
+    points, cap: int, events, *, max_checks: int = 80
+) -> tuple[list, list[dict]]:
+    """Minimise a failing packing trace to a short reproducer.
+
+    Same delta-debugging loop as :func:`shrink_churn_instance`:
+    truncate to the first failing event, then drop earlier chunks
+    whose removal keeps the trace failing, never dropping the final
+    event. Events made infeasible by removals (evict of a never-
+    admitted group, duplicate admit) are skipped by the checker, so
+    every candidate stays replayable.
+    """
+    events = list(events)
+    best_violations = check_packing_instance(points, cap, events)
+    if not best_violations:
+        return events, []
+    first_failure = min(
+        (v.get("event", len(events) - 1) for v in best_violations),
+        default=len(events) - 1,
+    )
+    keep = events[: first_failure + 1]
+
+    checks = 0
+    chunk = max(1, len(keep) // 2)
+    while chunk >= 1 and checks < max_checks:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(keep) and checks < max_checks:
+            # Never drop the final event — it is the one that fails.
+            candidate = [
+                e
+                for pos, e in enumerate(keep)
+                if pos == len(keep) - 1 or not start <= pos < start + chunk
+            ]
+            if len(candidate) == len(keep) or not candidate:
+                start += chunk
+                continue
+            checks += 1
+            obs.add("fuzz.shrink_checks.total")
+            found = check_packing_instance(points, cap, candidate)
+            if found:
+                keep = candidate
+                best_violations = found
+                shrunk_this_pass = True
+                start = 0
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+        else:
+            chunk = min(chunk, max(1, len(keep) // 2))
+    return keep, best_violations
+
+
+def _write_packing_artifact(
+    out_dir: Path, instance: PackingInstance, violations, shrunk
+) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = (
+        out_dir / f"crash-packing-{instance.base_seed}-{instance.index}.json"
+    )
+    shrunk_events, shrunk_violations = shrunk
+    payload = {
+        "description": instance.description,
+        "base_seed": instance.base_seed,
+        "index": instance.index,
+        "cap": instance.cap,
+        "points": instance.points.tolist(),
+        "violations": violations,
+        "events": list(instance.events),
+        "shrunk": {
+            "events": list(shrunk_events),
+            "violations": shrunk_violations,
+        },
+        "reproduce": (
+            "from repro.testing.fuzz import packing_instance_from_seed, "
+            "check_packing_instance; "
+            f"i = packing_instance_from_seed({instance.base_seed}, "
+            f"{instance.index}); "
+            "print(check_packing_instance(i.points, i.cap, i.events))"
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+# ----------------------------------------------------------------------
 # per-instance checking
 # ----------------------------------------------------------------------
 
@@ -627,13 +916,14 @@ def run_fuzz(
     :param base_seed: corpus identity; same value, same instances.
     :param out_dir: crash artifact directory (created on first crash).
     :param mode: ``"builders"`` (static point clouds through the
-        differential harness) or ``"churn"`` (join/leave event traces
-        through the incremental engine).
+        differential harness), ``"churn"`` (join/leave event traces
+        through the incremental engine), or ``"packing"`` (admit/evict
+        traces against a shared degree-budget ledger).
     :param max_crashes: stop after this many distinct failing instances.
     :param shrink: bisect failing instances down before writing them out.
     :returns: :data:`EXIT_CLEAN` or :data:`EXIT_CRASH`.
     """
-    if mode not in ("builders", "churn"):
+    if mode not in ("builders", "churn", "packing"):
         raise ValueError(f"unknown fuzz mode {mode!r}")
     started = time.monotonic()
     deadline = None if budget is None else started + float(budget)
@@ -654,6 +944,16 @@ def run_fuzz(
                     instance.dim,
                     instance.d_max,
                     instance.bootstrap,
+                )
+        elif mode == "packing":
+            instance = packing_instance_from_seed(base_seed, index)
+            with obs.span(
+                "fuzz.packing_instance",
+                index=index,
+                events=len(instance.events),
+            ):
+                violations = check_packing_instance(
+                    instance.points, instance.cap, instance.events
                 )
         else:
             instance = instance_from_seed(base_seed, index)
@@ -682,6 +982,20 @@ def run_fuzz(
                 else:
                     shrunk = (list(instance.events), violations)
                 artifact = _write_churn_artifact(
+                    out_path, instance, violations, shrunk
+                )
+                log(
+                    f"  artifact: {artifact} "
+                    f"(shrunk to {len(shrunk[0])} events)"
+                )
+            elif mode == "packing":
+                if shrink:
+                    shrunk = shrink_packing_instance(
+                        instance.points, instance.cap, instance.events
+                    )
+                else:
+                    shrunk = (list(instance.events), violations)
+                artifact = _write_packing_artifact(
                     out_path, instance, violations, shrunk
                 )
                 log(
@@ -727,10 +1041,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("builders", "churn"),
+        choices=("builders", "churn", "packing"),
         default="builders",
         help="corpus kind: static clouds through the differential "
-        "harness, or churn event traces through the incremental engine",
+        "harness, churn event traces through the incremental engine, "
+        "or admit/evict traces against a shared degree-budget ledger",
     )
     parser.add_argument(
         "--budget",

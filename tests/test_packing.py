@@ -1,0 +1,533 @@
+"""Tests for multi-group tree packing: allocator, builder, sessions.
+
+Covers the degree-budget ledger (including a hypothesis property that
+no admit/evict interleaving ever oversubscribes a host), the
+``packed-polar-grid`` builder through the structural oracle across
+dimensions and fan-outs, the aggregate ``check_packing`` oracle, the
+session service API over real TCP (admit / evict / fetch / structured
+``BudgetExhausted``), the 1.x deprecation shims, the uniform error
+wire encoding, and the packing fuzz corpus + shrinker.
+"""
+
+import asyncio
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._service_errors import (
+    DeadlineExceeded,
+    ServiceError,
+    ServiceOverload,
+    UnknownGroup,
+)
+from repro.analysis.oracle import check_packing, check_tree
+from repro.core.registry import build
+from repro.core.tree import MulticastTree
+from repro.packing import (
+    BudgetExhausted,
+    BudgetReceipt,
+    DegreeBudgetAllocator,
+    build_packed_polar_grid_tree,
+)
+from repro.service import (
+    BackgroundServer,
+    ServiceClient,
+    ServiceClientError,
+    TreeBuildService,
+)
+from repro.service.server import error_payload
+from repro.service.session import SessionHandle
+from repro.testing.fuzz import (
+    check_packing_instance,
+    packing_instance_from_seed,
+    shrink_packing_instance,
+)
+from repro.workloads.generators import unit_ball, unit_disk
+
+
+class TestAllocator:
+    def test_reserve_then_release_restores_residual(self):
+        alloc = DegreeBudgetAllocator(np.full(5, 4))
+        usage = np.array([2, 0, 1, 0, 3])
+        receipt = alloc.reserve("g0", usage)
+        assert receipt.slots == 6
+        assert receipt.hosts == (0, 2, 4)
+        assert (alloc.residual() == np.array([2, 4, 3, 4, 1])).all()
+        alloc.release("g0")
+        assert (alloc.residual() == 4).all()
+        assert alloc.live_groups() == []
+
+    def test_reserve_is_all_or_nothing(self):
+        alloc = DegreeBudgetAllocator(np.array([3, 3]))
+        alloc.reserve("g0", np.array([3, 0]))
+        before = alloc.residual()
+        with pytest.raises(BudgetExhausted) as err:
+            alloc.reserve("g1", np.array([1, 2]))
+        assert (alloc.residual() == before).all()
+        assert "g1" not in alloc.live_groups()
+        exc = err.value
+        assert exc.group == "g1"
+        assert exc.host == 0
+        assert exc.requested == 1
+        assert exc.available == 0
+        assert exc.cap == 3
+        assert exc.fields["requested"] == 1
+
+    def test_budget_exhausted_is_a_service_error(self):
+        assert issubclass(BudgetExhausted, ServiceError)
+        assert issubclass(BudgetExhausted, RuntimeError)
+
+    def test_duplicate_group_rejected(self):
+        alloc = DegreeBudgetAllocator(np.full(3, 2))
+        alloc.reserve("g0", np.array([1, 0, 0]))
+        with pytest.raises(ValueError, match="already holds"):
+            alloc.reserve("g0", np.array([0, 1, 0]))
+
+    def test_release_unknown_group_is_structured(self):
+        alloc = DegreeBudgetAllocator(np.full(3, 2))
+        with pytest.raises(UnknownGroup):
+            alloc.release("ghost")
+
+    def test_usage_shape_and_sign_validated(self):
+        alloc = DegreeBudgetAllocator(np.full(3, 2))
+        with pytest.raises(ValueError, match="shape"):
+            alloc.reserve("g0", np.array([1, 1]))
+        with pytest.raises(ValueError, match="non-negative"):
+            alloc.reserve("g0", np.array([1, -1, 0]))
+
+    def test_stats_track_reservations(self):
+        alloc = DegreeBudgetAllocator(np.full(4, 3))
+        alloc.reserve("a", np.array([0, 3, 1, 0]))
+        stats = alloc.stats()
+        assert stats["reserved_slots"] == 4
+        assert stats["live_groups"] == 1
+        assert stats["hottest_host"] == 1
+
+    def test_receipt_round_trips_through_dict(self):
+        receipt = BudgetReceipt(group_id="g", hosts=(1, 4), slots=5)
+        assert BudgetReceipt.from_dict(receipt.to_dict()) == receipt
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        caps=st.lists(st.integers(0, 6), min_size=2, max_size=8),
+        events=st.lists(
+            st.tuples(
+                st.booleans(),  # True = admit, False = evict
+                st.integers(0, 5),  # group number
+                st.integers(0, 40),  # usage-vector seed
+            ),
+            max_size=30,
+        ),
+    )
+    def test_no_interleaving_oversubscribes(self, caps, events):
+        """Reserved totals never exceed caps under any admit/evict mix."""
+        caps = np.asarray(caps, dtype=np.int64)
+        alloc = DegreeBudgetAllocator(caps)
+        mirror: dict[str, np.ndarray] = {}
+        for is_admit, group_no, usage_seed in events:
+            group = f"g{group_no}"
+            if is_admit and group not in mirror:
+                rng = np.random.default_rng(usage_seed)
+                usage = rng.integers(0, 4, size=caps.size)
+                try:
+                    alloc.reserve(group, usage)
+                except BudgetExhausted:
+                    continue
+                mirror[group] = usage
+            elif not is_admit and group in mirror:
+                alloc.release(group)
+                del mirror[group]
+            total = sum(mirror.values(), np.zeros_like(caps))
+            assert (total <= caps).all()
+            assert (alloc.residual() == caps - total).all()
+            assert sorted(mirror) == alloc.live_groups()
+
+
+class TestPackedBuilder:
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("degree", [4, 6, 10])
+    def test_oracle_clean_across_dims_and_degrees(self, dim, degree):
+        pts = (
+            unit_disk(80, seed=3)
+            if dim == 2
+            else unit_ball(80, dim=3, seed=3)
+        )
+        out = build(pts, 0, "packed-polar-grid", max_out_degree=degree)
+        report = check_tree(out.tree, d_max=degree)
+        assert report.ok, report.render()
+        assert out.builder == "packed-polar-grid"
+
+    def test_budgets_bound_the_tree(self):
+        pts = unit_disk(40, seed=1)
+        budgets = np.full(40, 2)
+        budgets[0] = 3
+        out = build(
+            pts, 0, "packed-polar-grid", max_out_degree=10, budgets=budgets
+        )
+        assert (out.tree.out_degrees() <= budgets).all()
+
+    def test_source_without_slots_is_budget_exhausted(self):
+        pts = unit_disk(10, seed=0)
+        budgets = np.full(10, 4)
+        budgets[0] = 1
+        with pytest.raises(BudgetExhausted) as err:
+            build_packed_polar_grid_tree(pts, 0, budgets=budgets)
+        assert err.value.host == 0
+
+    def test_aggregate_shortfall_is_budget_exhausted(self):
+        pts = unit_disk(30, seed=0)
+        budgets = np.zeros(30, dtype=np.int64)
+        budgets[:3] = 4  # 12 forwarder slots for 29 edges: infeasible
+        with pytest.raises(BudgetExhausted) as err:
+            build_packed_polar_grid_tree(pts, 0, budgets=budgets)
+        assert err.value.host is None
+        assert err.value.requested >= err.value.available
+
+
+class TestCheckPacking:
+    def _two_groups(self):
+        pts = unit_disk(30, seed=5)
+        trees, members = [], []
+        for lo, hi in ((0, 20), (10, 30)):
+            idx = np.arange(lo, hi)
+            out = build(pts[idx], 0, "packed-polar-grid", max_out_degree=4)
+            trees.append(out.tree)
+            members.append(idx)
+        return trees, members
+
+    def test_disjoint_budgets_pass(self):
+        trees, members = self._two_groups()
+        report = check_packing(trees, members, 8, n_hosts=30)
+        assert report.ok, report.render()
+        assert report.stats["live_groups"] == 2
+        assert report.stats["agg_max_degree"] <= 8
+
+    def test_aggregate_cap_violation_names_host_and_groups(self):
+        trees, members = self._two_groups()
+        report = check_packing(
+            trees, members, 1, n_hosts=30, groups=["a", "b"]
+        )
+        assert not report.ok
+        assert any(v.code == "AGG_DEGREE_CAP" for v in report.violations)
+
+    def test_member_validation(self):
+        trees, members = self._two_groups()
+        bad = members[1].copy()
+        bad[0] = bad[1]  # duplicate
+        report = check_packing(trees, [members[0], bad], 8, n_hosts=30)
+        assert any(v.code == "MEMBER_DUP" for v in report.violations)
+        report = check_packing(
+            trees, [members[0], members[1] + 100], 8, n_hosts=30
+        )
+        assert any(v.code == "MEMBER_RANGE" for v in report.violations)
+        report = check_packing(
+            trees, [members[0], members[1][:-1]], 8, n_hosts=30
+        )
+        assert any(v.code == "MEMBER_COUNT" for v in report.violations)
+
+    def test_group_labels_prefix_tree_violations(self):
+        pts = unit_disk(12, seed=2)
+        out = build(pts, 0, "packed-polar-grid", max_out_degree=6)
+        report = check_packing(
+            [out.tree],
+            [np.arange(12)],
+            8,
+            n_hosts=12,
+            d_maxes=[1],  # impossible bound: forces DEGREE violations
+            groups=["tenant-x"],
+        )
+        assert not report.ok
+        assert any(
+            "tenant-x" in v.message for v in report.violations
+        ), report.render()
+
+
+class TestSessionService:
+    def test_admit_reserves_and_evict_releases(self):
+        pts = unit_disk(50, seed=9)
+        with BackgroundServer(population=pts, host_caps=6) as server:
+            with ServiceClient(port=server.port) as client:
+                handle = client.admit(
+                    "g0",
+                    members=list(range(25)),
+                    params={"max_out_degree": 4},
+                )
+                assert isinstance(handle, SessionHandle)
+                assert handle.live
+                assert handle.receipt["slots"] == 24
+                stats = client.stats()
+                assert stats["sessions"]["live"] == 1
+                assert stats["packing"]["reserved_slots"] == 24
+
+                listed = client.sessions()
+                assert [s["group"] for s in listed] == ["g0"]
+
+                summary = client.evict(handle)
+                assert summary["group"] == "g0"
+                assert not handle.live
+                stats = client.stats()
+                assert stats["sessions"]["live"] == 0
+                assert stats["packing"]["reserved_slots"] == 0
+                assert stats["sessions"]["evicted"] == 1
+
+    def test_budget_exhausted_crosses_the_wire_structured(self):
+        pts = unit_disk(20, seed=9)
+        with BackgroundServer(population=pts, host_caps=2) as server:
+            with ServiceClient(port=server.port) as client:
+                client.admit("g0", params={"max_out_degree": 2})
+                with pytest.raises(ServiceClientError) as err:
+                    client.admit("g1", params={"max_out_degree": 2})
+                exc = err.value
+                assert exc.error_type == "BudgetExhausted"
+                assert exc.fields["group"] == "g1"
+                assert exc.fields["requested"] > exc.fields["available"]
+                # 1.x flat mirror: fields also at the error's top level.
+                assert exc.error["requested"] == exc.fields["requested"]
+                stats = client.stats()
+                assert stats["sessions"]["rejected"] == 1
+
+    def test_session_fetch_is_a_cache_hit(self):
+        pts = unit_disk(30, seed=9)
+        with BackgroundServer(population=pts, host_caps=8) as server:
+            with ServiceClient(port=server.port) as client:
+                handle = client.admit("g0", params={"max_out_degree": 6})
+                reply = client.build(handle, include_tree=True)
+                assert reply["cached"]
+                assert reply["key"] == handle.key
+                tree = MulticastTree(
+                    np.asarray(reply["points"]),
+                    np.asarray(reply["parent"], dtype=np.int64),
+                    reply["root"],
+                ).validate()
+                assert check_tree(tree, d_max=6).ok
+
+    def test_admit_without_population_is_structured(self):
+        with BackgroundServer() as server:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceClientError) as err:
+                    client.admit("g0")
+                assert err.value.error_type == "PackingUnavailable"
+
+    def test_duplicate_and_unknown_groups_are_structured(self):
+        pts = unit_disk(20, seed=9)
+        with BackgroundServer(population=pts, host_caps=8) as server:
+            with ServiceClient(port=server.port) as client:
+                handle = client.admit("g0", params={"max_out_degree": 6})
+                with pytest.raises(ServiceClientError) as err:
+                    client.admit("g0", params={"max_out_degree": 6})
+                assert err.value.error_type == "ValueError"
+                with pytest.raises(ServiceClientError) as err:
+                    with pytest.warns(DeprecationWarning):
+                        client.evict("ghost")
+                assert err.value.error_type == "UnknownGroup"
+                client.evict(handle)
+
+    def test_raw_group_id_evict_warns(self):
+        pts = unit_disk(20, seed=9)
+        with BackgroundServer(population=pts, host_caps=8) as server:
+            with ServiceClient(port=server.port) as client:
+                client.admit("g0", params={"max_out_degree": 6})
+                with pytest.warns(DeprecationWarning, match="SessionHandle"):
+                    client.evict("g0")
+
+    def test_raw_key_update_on_session_entry_warns(self):
+        pts = unit_disk(20, seed=9)
+        with BackgroundServer(population=pts, host_caps=8) as server:
+            with ServiceClient(port=server.port) as client:
+                handle = client.admit("g0", params={"max_out_degree": 6})
+                events = [{"action": "join", "coords": [0.5, 0.5]}]
+                with pytest.warns(DeprecationWarning, match="raw key"):
+                    client.update(handle.key, events)
+
+    def test_handle_update_repoints_key_silently(self):
+        pts = unit_disk(20, seed=9)
+        with BackgroundServer(population=pts, host_caps=8) as server:
+            with ServiceClient(port=server.port) as client:
+                handle = client.admit("g0", params={"max_out_degree": 6})
+                old_key = handle.key
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    reply = client.update(
+                        handle, [{"action": "join", "coords": [0.5, 0.5]}]
+                    )
+                assert handle.key == reply["key"] != old_key
+
+    def test_sessionless_raw_paths_stay_silent(self):
+        with BackgroundServer() as server:
+            with ServiceClient(port=server.port) as client:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    reply = client.build(
+                        workload={"kind": "unit-disk", "n": 40, "seed": 0},
+                        params={"max_out_degree": 6},
+                    )
+                    client.update(
+                        reply["key"],
+                        [{"action": "join", "coords": [0.1, 0.2]}],
+                    )
+
+
+class TestServiceValidation:
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError, match=r"\(N, d\)"):
+            TreeBuildService(population=np.zeros(5))
+
+    def test_caps_without_population_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            TreeBuildService(host_caps=4)
+
+    def test_admit_member_validation(self):
+        pts = unit_disk(10, seed=0)
+        service = TreeBuildService(population=pts, host_caps=8)
+        with pytest.raises(ValueError, match="not a member"):
+            asyncio.run(service.admit("g0", members=[0, 1], source=9))
+        with pytest.raises(ValueError, match="population indices"):
+            asyncio.run(service.admit("g0", members=[0, 99]))
+        with pytest.raises(ValueError, match="non-empty"):
+            asyncio.run(service.admit(""))
+
+
+class TestErrorWireFormat:
+    def test_service_error_uniform_encoding(self):
+        exc = ServiceOverload(pending=7, limit=4)
+        payload = error_payload(exc)
+        assert payload["type"] == "ServiceOverload"
+        assert payload["fields"] == {"pending": 7, "limit": 4}
+        # 1.x mirror: fields flattened to the top level.
+        assert payload["pending"] == 7
+        wire = exc.to_wire()
+        assert wire["fields"] == {"pending": 7, "limit": 4}
+
+    def test_deadline_and_budget_errors_encode_fields(self):
+        exc = DeadlineExceeded(key="k" * 16, deadline=0.5)
+        assert error_payload(exc)["fields"]["deadline"] == 0.5
+        exc = BudgetExhausted(
+            "no room",
+            group="g",
+            host=3,
+            requested=4,
+            available=1,
+            cap=6,
+        )
+        payload = error_payload(exc)
+        assert payload["fields"]["host"] == 3
+        assert payload["cap"] == 6
+
+    def test_non_service_errors_still_encode(self):
+        payload = error_payload(ValueError("nope"))
+        assert payload["type"] == "ValueError"
+        assert payload["message"] == "nope"
+
+
+class TestPackingFuzz:
+    def test_corpus_is_deterministic(self):
+        a = packing_instance_from_seed(11, 3)
+        b = packing_instance_from_seed(11, 3)
+        assert a.events == b.events
+        assert np.array_equal(a.points, b.points)
+        assert a.description
+
+    def test_seeded_corpus_is_clean(self):
+        for i in range(6):
+            inst = packing_instance_from_seed(23, i)
+            violations = check_packing_instance(
+                inst.points, inst.cap, inst.events
+            )
+            assert violations == [], (i, violations)
+
+    def test_infeasible_events_are_skipped_not_findings(self):
+        pts = unit_disk(12, seed=0)
+        events = [
+            {"action": "evict", "group": "never-admitted"},
+            {
+                "action": "admit",
+                "group": "g0",
+                "members": list(range(12)),
+                "source": 0,
+                "degree": 6,
+            },
+            {  # duplicate admit of a live group: skipped at replay
+                "action": "admit",
+                "group": "g0",
+                "members": [0, 1, 2],
+                "source": 0,
+                "degree": 6,
+            },
+        ]
+        assert check_packing_instance(pts, 8, events) == []
+
+    def test_oversubscribed_admits_reject_cleanly(self):
+        # Cap 1 cannot host a backbone: every admit is a builder
+        # rejection, which is expected behaviour — not a finding.
+        pts = unit_disk(15, seed=1)
+        events = [
+            {
+                "action": "admit",
+                "group": f"g{i}",
+                "members": list(range(15)),
+                "source": 0,
+                "degree": 10,
+            }
+            for i in range(3)
+        ]
+        assert check_packing_instance(pts, 1, events) == []
+
+    def test_event_crash_is_a_finding_and_shrinks_to_it(self):
+        pts = unit_disk(12, seed=0)
+        good = {
+            "action": "admit",
+            "group": "g0",
+            "members": list(range(12)),
+            "source": 0,
+            "degree": 6,
+        }
+        bad = {  # source is not a member: replay crashes on this event
+            "action": "admit",
+            "group": "g1",
+            "members": [0, 1, 2, 3],
+            "source": 11,
+            "degree": 6,
+        }
+        violations = check_packing_instance(pts, 8, [good, bad])
+        assert violations[0]["code"] == "EVENT_ERROR"
+        assert violations[0]["event"] == 1
+        shrunk, kept = shrink_packing_instance(pts, 8, [good, bad])
+        assert shrunk == [bad]  # the crashing event survives shrinking
+        assert kept[0]["code"] == "EVENT_ERROR"
+
+
+class TestPackingSweep:
+    def test_small_sweep_passes_gates(self):
+        from repro.experiments.packing import (
+            packing_gate_failures,
+            run_packing_sweep,
+        )
+
+        report = run_packing_sweep(
+            n_hosts=60,
+            cap=6,
+            degree=6,
+            group_size=24,
+            seed=0,
+            offered=(2, 4, 8),
+        )
+        assert packing_gate_failures(report) == []
+        assert report["schema"] == "bench-packing/1"
+
+    def test_smoke_tool_passes(self, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "packing_smoke",
+            Path(__file__).resolve().parents[1]
+            / "tools"
+            / "packing_smoke.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert mod.main([]) == 0
+        assert "packing smoke ok" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Multi-group packing benchmark + gate; emits BENCH_packing.json.
+
+Thin shim over :func:`repro.experiments.packing.run_packing_sweep`
+(also exposed as ``python -m repro bench-packing``). One seeded
+unit-disk host population with a uniform per-host out-degree cap
+serves an increasing number of offered multicast groups under two
+admission strategies — **packed** (``packed-polar-grid`` built against
+the allocator's residual budgets) and **naive** (plain ``polar-grid``,
+blind to co-tenants, admitted only if its degrees happen to fit) —
+plus a TCP phase exercising admit/evict/readmit end to end. Gates:
+
+1. **oracle** — every admitted configuration at every offered count
+   passes :func:`repro.analysis.oracle.check_packing` (aggregate
+   out-degrees within caps, every per-group tree valid);
+2. **packing wins** — packed admits at least as many groups as naive
+   everywhere and strictly more somewhere;
+3. **admission shape** — admitted counts are monotone non-decreasing
+   and never exceed the offer;
+4. **rejection path** — over-subscription yields a structured
+   ``BudgetExhausted`` (requested/available fields) both in-process
+   and over TCP, and the rejected group fits after one evict;
+5. **determinism** (``--check`` only) — a re-run with the committed
+   report's parameters must reproduce every curve within 1e-9.
+
+Schema (abridged)::
+
+    {"schema": "bench-packing/1",
+     "n_hosts": int, "cap": int, "degree": int, "group_size": int,
+     "seed": int, "offered": [int, ...],
+     "packed": {"admitted": [...], "oracle_ok": [...],
+                "inflation_mean": [...], "inflation_max": [...],
+                "rejection": {"group", "type", "fields"}},
+     "naive": {"admitted": [...], "oracle_ok": [...], "rejection": ...},
+     "tcp": {"admitted": int, "rejection": {...}, "readmit_ok": true,
+             "evicted_group": str, "sessions": {...}}}
+
+Run::
+
+    PYTHONPATH=src python tools/bench_packing.py --out BENCH_packing.json
+
+``--check FILE`` re-runs the (cheap, deterministic) sweep with the
+report's own parameters, compares curves, and re-applies every gate.
+Exit code 0 when all gates hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.packing import (
+    DEFAULT_OFFERED,
+    packing_gate_failures,
+    run_packing_sweep,
+)
+
+
+def determinism_failures(committed: dict) -> list[str]:
+    """Re-run the sweep with the committed params; compare every curve."""
+    fresh = run_packing_sweep(
+        n_hosts=committed["n_hosts"],
+        cap=committed["cap"],
+        degree=committed["degree"],
+        group_size=committed["group_size"],
+        seed=committed["seed"],
+        offered=tuple(committed["offered"]),
+    )
+    failures = []
+    for name in ("packed", "naive"):
+        if committed[name]["admitted"] != fresh[name]["admitted"]:
+            failures.append(
+                f"{name}: committed admitted curve "
+                f"{committed[name]['admitted']} drifts from a re-run "
+                f"{fresh[name]['admitted']}"
+            )
+    for key in ("inflation_mean", "inflation_max"):
+        gaps = [
+            abs(a - b)
+            for a, b in zip(committed["packed"][key], fresh["packed"][key])
+        ]
+        if gaps and max(gaps) > 1e-9:
+            failures.append(
+                f"packed: committed {key} curve drifts from a re-run "
+                f"by {max(gaps):.3e}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--hosts", type=int, default=120)
+    parser.add_argument("--cap", type=int, default=8)
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--group-size", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--offered", type=int, nargs="*", default=(), metavar="G"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        default=None,
+        help="re-gate an existing report (plus a determinism re-run) "
+        "instead of writing a new one",
+    )
+    parser.add_argument("--out", default="BENCH_packing.json")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        report = json.loads(Path(args.check).read_text())
+        failures = packing_gate_failures(report)
+        failures += determinism_failures(report)
+    else:
+        report = run_packing_sweep(
+            n_hosts=args.hosts,
+            cap=args.cap,
+            degree=args.degree,
+            group_size=args.group_size,
+            seed=args.seed,
+            offered=tuple(args.offered) or DEFAULT_OFFERED,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+        failures = packing_gate_failures(report)
+
+    for count, p, nv, infl in zip(
+        report["offered"],
+        report["packed"]["admitted"],
+        report["naive"]["admitted"],
+        report["packed"]["inflation_mean"],
+    ):
+        print(
+            f"offered {count:3d}: packed {p:3d}  naive {nv:3d}  "
+            f"inflation {infl:5.3f}"
+        )
+    tcp = report["tcp"]
+    print(
+        f"tcp: admitted {tcp['admitted']}, "
+        f"rejection {'yes' if tcp['rejection'] else 'no'}, "
+        f"readmit after evict {'ok' if tcp['readmit_ok'] else 'FAILED'}"
+    )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

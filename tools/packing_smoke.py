@@ -1,0 +1,195 @@
+"""CI smoke test for multi-group packing: admit until the pool is full.
+
+Starts a real TCP server hosting a shared population with a per-host
+out-degree budget ledger, then admits seeded overlapping multicast
+groups until the first rejection. Asserts:
+
+* the rejection is a single structured ``BudgetExhausted`` carrying
+  ``requested``/``available`` fields (not a generic failure);
+* every admitted group's tree — fetched back over the wire via its
+  session handle — passes the aggregate-degree packing oracle
+  (:func:`repro.analysis.oracle.check_packing`): summed out-degrees
+  within caps, every per-group tree structurally valid;
+* after evicting live groups one at a time the rejected group fits
+  (the ledger actually returns slots to the pool — one evict need not
+  free the *specific* hosts the rejected group is short on, so the
+  drill retries after each);
+* the service's session counters agree with what the client did.
+
+Fast by design (a few dozen hosts, seconds of wall clock); the CI
+workflow runs it on every push. Exit 0 on pass, 1 on any violation.
+
+Run::
+
+    PYTHONPATH=src python tools/packing_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.oracle import check_packing
+from repro.core.tree import MulticastTree
+from repro.service import BackgroundServer, ServiceClient, ServiceClientError
+from repro.workloads.generators import unit_disk
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--hosts", type=int, default=60)
+    parser.add_argument("--cap", type=int, default=6)
+    parser.add_argument("--degree", type=int, default=6)
+    parser.add_argument("--group-size", type=int, default=24)
+    parser.add_argument("--max-groups", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    points = unit_disk(args.hosts, seed=args.seed)
+    failures: list[str] = []
+    rejections: list[dict] = []
+    handles = []
+    rejected_spec = None
+
+    with BackgroundServer(
+        population=points, host_caps=args.cap, max_pending=64
+    ) as server:
+        with ServiceClient(port=server.port) as client:
+            for g in range(args.max_groups):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence((args.seed, g))
+                )
+                members = np.sort(
+                    rng.choice(
+                        args.hosts, size=args.group_size, replace=False
+                    )
+                )
+                spec = {
+                    "group": f"g{g}",
+                    "members": [int(m) for m in members],
+                    "source": int(members[0]),
+                }
+                try:
+                    handles.append(
+                        client.admit(
+                            spec["group"],
+                            members=spec["members"],
+                            source=spec["source"],
+                            params={"max_out_degree": args.degree},
+                        )
+                    )
+                except ServiceClientError as exc:
+                    rejections.append(
+                        {"type": exc.error_type, "fields": exc.fields}
+                    )
+                    rejected_spec = spec
+                    break
+
+            if len(rejections) != 1:
+                failures.append(
+                    f"{len(rejections)} rejections in {args.max_groups} "
+                    "offered groups; wanted exactly 1 (raise --max-groups "
+                    "or shrink --cap if the pool never filled)"
+                )
+            for rejection in rejections:
+                if rejection["type"] != "BudgetExhausted":
+                    failures.append(
+                        f"rejection type {rejection['type']!r}; wanted "
+                        "BudgetExhausted"
+                    )
+                fields = rejection["fields"]
+                if "requested" not in fields or "available" not in fields:
+                    failures.append(
+                        f"rejection fields {sorted(fields)} missing "
+                        "requested/available detail"
+                    )
+
+            trees, memberships, groups = [], [], []
+            for handle in handles:
+                reply = client.build(handle, include_tree=True)
+                if not reply.get("cached"):
+                    failures.append(
+                        f"session {handle.group_id} fetch missed the cache"
+                    )
+                trees.append(
+                    MulticastTree(
+                        np.asarray(reply["points"], dtype=np.float64),
+                        np.asarray(reply["parent"], dtype=np.int64),
+                        reply["root"],
+                    ).validate()
+                )
+                memberships.append(handle.spec["members"])
+                groups.append(handle.group_id)
+            oracle = check_packing(
+                trees,
+                memberships,
+                args.cap,
+                n_hosts=args.hosts,
+                groups=groups,
+            )
+            if not oracle.ok:
+                failures.append(
+                    f"packing oracle violations: {oracle.render()}"
+                )
+
+            evicted = 0
+            retry_rejections = 0
+            if rejected_spec is not None and handles:
+                readmitted = False
+                for handle in handles:
+                    client.evict(handle)
+                    evicted += 1
+                    try:
+                        client.admit(
+                            rejected_spec["group"],
+                            members=rejected_spec["members"],
+                            source=rejected_spec["source"],
+                            params={"max_out_degree": args.degree},
+                        )
+                        readmitted = True
+                        break
+                    except ServiceClientError as exc:
+                        retry_rejections += 1
+                        if exc.error_type != "BudgetExhausted":
+                            failures.append(
+                                "readmit retry failed with "
+                                f"{exc.error_type!r}; wanted "
+                                f"BudgetExhausted: {exc}"
+                            )
+                            break
+                if not readmitted:
+                    failures.append(
+                        "rejected group never fit, even after evicting "
+                        f"all {evicted} live group(s)"
+                    )
+
+            stats = client.stats()["sessions"]
+            expected_rejected = len(rejections) + retry_rejections
+            if stats["rejected"] != expected_rejected:
+                failures.append(
+                    f"service counted {stats['rejected']} rejections; "
+                    f"client saw {expected_rejected}"
+                )
+            if stats["evicted"] != evicted:
+                failures.append(
+                    f"service counted {stats['evicted']} evictions; "
+                    f"client performed {evicted}"
+                )
+
+    if failures:
+        print("packing smoke FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"packing smoke ok: {len(handles)} groups admitted, 1 structured "
+        "rejection, aggregate-degree oracle clean, readmit after "
+        f"{evicted} evict(s) ok"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
